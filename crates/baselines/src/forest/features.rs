@@ -1,0 +1,180 @@
+//! Level feature extraction for the Fang et al. header detector.
+//!
+//! The AAAI'12 paper builds per-row (and, transposed, per-column) feature
+//! vectors from cell content and layout: position, value-type mix,
+//! agreement with the column type profile, string statistics, and
+//! distinct-value ratios. We reproduce that feature family; semantics stay
+//! surface-level (no embeddings), which is the published design.
+
+use tabmeta_tabular::{Axis, Table};
+use tabmeta_text::classify_numeric;
+
+/// Number of features per level.
+pub const N_FEATURES: usize = 10;
+
+/// Feature names, index-aligned with [`level_features`] output.
+pub const FEATURE_NAMES: [&str; N_FEATURES] = [
+    "position",
+    "rel_position",
+    "numeric_frac",
+    "blank_frac",
+    "mean_len",
+    "type_agreement",
+    "distinct_ratio",
+    "upper_start_frac",
+    "alpha_frac",
+    "cross_axis_width",
+];
+
+/// Per-table context reused across levels (column type profiles are O(n)
+/// to build, so compute them once).
+#[derive(Debug, Clone)]
+pub struct FeatureContext {
+    axis: Axis,
+    /// Majority value-kind per cross-axis index: `true` = numeric.
+    majority_numeric: Vec<bool>,
+}
+
+impl FeatureContext {
+    /// Build the context for extracting features along `axis`.
+    pub fn new(table: &Table, axis: Axis) -> Self {
+        let cross = axis.transposed();
+        let n_cross = table.n_levels(cross);
+        let n = table.n_levels(axis);
+        let lower_start = n / 2;
+        let mut majority_numeric = Vec::with_capacity(n_cross);
+        for j in 0..n_cross {
+            let mut numeric = 0usize;
+            let mut text = 0usize;
+            for i in lower_start..n {
+                let cell = match axis {
+                    Axis::Row => table.cell(i, j),
+                    Axis::Column => table.cell(j, i),
+                };
+                if cell.is_blank() {
+                    continue;
+                }
+                if classify_numeric(&cell.text).is_some() {
+                    numeric += 1;
+                } else {
+                    text += 1;
+                }
+            }
+            majority_numeric.push(numeric >= text && numeric > 0);
+        }
+        Self { axis, majority_numeric }
+    }
+}
+
+/// Extract the feature vector of one level.
+pub fn level_features(table: &Table, ctx: &FeatureContext, index: usize) -> [f32; N_FEATURES] {
+    let axis = ctx.axis;
+    let n = table.n_levels(axis);
+    let cells = table.level_cells(axis, index);
+    let total = cells.len().max(1);
+    let non_blank: Vec<(usize, &str)> = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.is_blank())
+        .map(|(j, c)| (j, c.text.as_str()))
+        .collect();
+    let nb = non_blank.len().max(1) as f32;
+
+    let numeric = non_blank.iter().filter(|(_, t)| classify_numeric(t).is_some()).count();
+    let agree = non_blank
+        .iter()
+        .filter(|(j, t)| {
+            ctx.majority_numeric.get(*j).copied().unwrap_or(false)
+                == classify_numeric(t).is_some()
+        })
+        .count();
+    let upper = non_blank
+        .iter()
+        .filter(|(_, t)| t.trim().chars().next().is_some_and(|c| c.is_uppercase()))
+        .count();
+    let alpha = non_blank
+        .iter()
+        .filter(|(_, t)| t.chars().any(|c| c.is_alphabetic()))
+        .count();
+    let total_len: usize = non_blank.iter().map(|(_, t)| t.trim().len()).sum();
+    let mut distinct: Vec<&str> = non_blank.iter().map(|(_, t)| *t).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+
+    [
+        (index as f32).min(8.0),
+        index as f32 / n.max(1) as f32,
+        numeric as f32 / nb,
+        (total - non_blank.len()) as f32 / total as f32,
+        (total_len as f32 / nb).min(64.0),
+        agree as f32 / nb,
+        distinct.len() as f32 / nb,
+        upper as f32 / nb,
+        alpha as f32 / nb,
+        (table.n_levels(axis.transposed()) as f32).min(32.0),
+    ]
+}
+
+/// Extract features for every level along `axis`.
+pub fn axis_features(table: &Table, axis: Axis) -> Vec<[f32; N_FEATURES]> {
+    let ctx = FeatureContext::new(table, axis);
+    (0..table.n_levels(axis)).map(|i| level_features(table, &ctx, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_strings(
+            1,
+            &[
+                &["State", "Enrollment", "Employees"],
+                &["New York", "19,639", "61"],
+                &["Indiana", "20,030", "32"],
+                &["Ohio", "9,201", "44"],
+            ],
+        )
+    }
+
+    #[test]
+    fn header_row_differs_from_data_rows() {
+        let f = axis_features(&sample(), Axis::Row);
+        assert_eq!(f.len(), 4);
+        // Header: no numerics, low type agreement; data: numeric-heavy.
+        assert_eq!(f[0][2], 0.0);
+        assert!(f[1][2] > 0.5);
+        assert!(f[0][5] < f[1][5], "header disagrees with column types");
+    }
+
+    #[test]
+    fn column_features_transpose() {
+        let f = axis_features(&sample(), Axis::Column);
+        assert_eq!(f.len(), 3);
+        // First column is textual; others numeric-dominated.
+        assert!(f[0][2] < 0.5);
+        assert!(f[1][2] > 0.5);
+    }
+
+    #[test]
+    fn blank_fraction_feature() {
+        let t = Table::from_strings(2, &[&["a", "", ""], &["1", "2", "3"]]);
+        let f = axis_features(&t, Axis::Row);
+        assert!((f[0][3] - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(f[1][3], 0.0);
+    }
+
+    #[test]
+    fn feature_count_matches_names() {
+        assert_eq!(FEATURE_NAMES.len(), N_FEATURES);
+        let f = axis_features(&sample(), Axis::Row);
+        assert_eq!(f[0].len(), N_FEATURES);
+    }
+
+    #[test]
+    fn distinct_ratio_detects_repetition() {
+        let t = Table::from_strings(3, &[&["x", "x", "x", "x"], &["a", "b", "c", "d"]]);
+        let f = axis_features(&t, Axis::Row);
+        assert!(f[0][6] < f[1][6]);
+    }
+}

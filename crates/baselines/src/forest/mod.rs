@@ -1,0 +1,250 @@
+//! Random-Forest header detector (Fang, Mitra, Tang, Giles — AAAI'12).
+//!
+//! The original has no public code; we re-implement its published design:
+//! per-row / per-column feature vectors ([`features`]), a bagged ensemble
+//! of Gini decision trees ([`tree`]), and two heuristics the paper states —
+//! the first row and first column serve as baseline headers, and detected
+//! headers form a *leading region* (the method reports HMD levels 1–3
+//! combined and VMD levels 1–2 combined; it does not separate hierarchy
+//! levels).
+
+pub mod features;
+pub mod tree;
+
+use crate::{Prediction, TableClassifier};
+use features::{axis_features, N_FEATURES};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tabmeta_tabular::{Axis, LevelLabel, Table};
+use tree::{DecisionTree, Sample, TreeConfig};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree growth limits.
+    pub tree: TreeConfig,
+    /// Bootstrap sample fraction per tree.
+    pub bag_fraction: f32,
+    /// Decision threshold on the ensemble probability.
+    pub threshold: f32,
+    /// Maximum header rows the leading run may span (paper: HMD ≤ 3).
+    pub max_hmd_run: usize,
+    /// Maximum header columns (paper: VMD ≤ 2).
+    pub max_vmd_run: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 24,
+            tree: TreeConfig { max_depth: 8, min_split: 6, features_per_split: 4 },
+            bag_fraction: 0.7,
+            threshold: 0.5,
+            max_hmd_run: 3,
+            max_vmd_run: 2,
+            seed: 0xf0_4e57,
+        }
+    }
+}
+
+/// A trained detector: one forest per axis.
+#[derive(Debug)]
+pub struct RandomForestDetector {
+    row_forest: Vec<DecisionTree<N_FEATURES>>,
+    col_forest: Vec<DecisionTree<N_FEATURES>>,
+    config: ForestConfig,
+}
+
+fn collect_samples(tables: &[Table], axis: Axis) -> Vec<Sample<N_FEATURES>> {
+    let mut out = Vec::new();
+    for table in tables {
+        let truth = table.truth.as_ref().expect("forest training needs annotations");
+        let labels = match axis {
+            Axis::Row => &truth.rows,
+            Axis::Column => &truth.columns,
+        };
+        for (feats, label) in axis_features(table, axis).into_iter().zip(labels) {
+            out.push(Sample { features: feats, label: label.is_metadata() });
+        }
+    }
+    out
+}
+
+fn fit_forest(
+    samples: &[Sample<N_FEATURES>],
+    config: &ForestConfig,
+    rng: &mut StdRng,
+) -> Vec<DecisionTree<N_FEATURES>> {
+    assert!(!samples.is_empty(), "cannot fit a forest on zero samples");
+    let bag = ((samples.len() as f32 * config.bag_fraction) as usize).max(1);
+    (0..config.n_trees)
+        .map(|_| {
+            let boot: Vec<&Sample<N_FEATURES>> =
+                (0..bag).map(|_| &samples[rng.random_range(0..samples.len())]).collect();
+            DecisionTree::fit(&boot, &config.tree, rng)
+        })
+        .collect()
+}
+
+fn forest_proba(forest: &[DecisionTree<N_FEATURES>], feats: &[f32; N_FEATURES]) -> f32 {
+    forest.iter().map(|t| t.predict_proba(feats)).sum::<f32>() / forest.len().max(1) as f32
+}
+
+impl RandomForestDetector {
+    /// Train on annotated tables (supervised, like the original).
+    ///
+    /// # Panics
+    /// Panics if a training table lacks ground truth or the set is empty.
+    pub fn train(tables: &[Table], config: ForestConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let rows = collect_samples(tables, Axis::Row);
+        let cols = collect_samples(tables, Axis::Column);
+        Self {
+            row_forest: fit_forest(&rows, &config, &mut rng),
+            col_forest: fit_forest(&cols, &config, &mut rng),
+            config,
+        }
+    }
+
+    /// Ensemble header probability for every level along `axis`.
+    pub fn probabilities(&self, table: &Table, axis: Axis) -> Vec<f32> {
+        let forest = match axis {
+            Axis::Row => &self.row_forest,
+            Axis::Column => &self.col_forest,
+        };
+        axis_features(table, axis).iter().map(|f| forest_proba(forest, f)).collect()
+    }
+}
+
+impl TableClassifier for RandomForestDetector {
+    fn classify_table(&self, table: &Table) -> Prediction {
+        let mut prediction = Prediction::all_data(table);
+        // Leading run of above-threshold rows, anchored on the first-row
+        // heuristic of the original: if row 0 is below threshold, the
+        // detector still inspects it against a relaxed margin.
+        let row_p = self.probabilities(table, Axis::Row);
+        let mut run = row_p
+            .iter()
+            .take(self.config.max_hmd_run)
+            .take_while(|p| **p >= self.config.threshold)
+            .count();
+        if run == 0 && row_p.first().is_some_and(|p| *p >= self.config.threshold * 0.6) {
+            run = 1;
+        }
+        for label in prediction.rows.iter_mut().take(run) {
+            *label = LevelLabel::Hmd(1);
+        }
+
+        let col_p = self.probabilities(table, Axis::Column);
+        let crun = col_p
+            .iter()
+            .take(self.config.max_vmd_run)
+            .take_while(|p| **p >= self.config.threshold)
+            .count();
+        for label in prediction.columns.iter_mut().take(crun) {
+            *label = LevelLabel::Vmd(1);
+        }
+        prediction
+    }
+
+    fn name(&self) -> &str {
+        "RandomForest"
+    }
+
+    fn supports_vmd(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+
+    fn trained(kind: CorpusKind, n: usize, seed: u64) -> (RandomForestDetector, Vec<Table>) {
+        let corpus = kind.generate(&GeneratorConfig { n_tables: n, seed });
+        let split = n * 7 / 10;
+        let model = RandomForestDetector::train(&corpus.tables[..split], ForestConfig::default());
+        (model, corpus.tables[split..].to_vec())
+    }
+
+    #[test]
+    fn header_region_detection_is_strong() {
+        let (model, test) = trained(CorpusKind::Saus, 150, 2);
+        let mut ok = 0;
+        for t in &test {
+            let p = model.classify_table(t);
+            if p.rows.first().is_some_and(|l| l.is_metadata()) {
+                ok += 1;
+            }
+        }
+        let acc = ok as f32 / test.len() as f32;
+        assert!(acc > 0.85, "first header row detection: {acc}");
+    }
+
+    #[test]
+    fn vmd_region_detected_monolithically() {
+        let (model, test) = trained(CorpusKind::Cius, 150, 4);
+        let mut tp = 0;
+        let mut n = 0;
+        for t in &test {
+            let truth = t.truth.as_ref().unwrap();
+            if truth.vmd_depth() == 0 {
+                continue;
+            }
+            n += 1;
+            let p = model.classify_table(t);
+            if p.columns.first().is_some_and(|l| l.is_metadata()) {
+                tp += 1;
+            }
+        }
+        assert!(n > 0);
+        assert!(tp as f32 / n as f32 > 0.8, "VMD level-1 region: {tp}/{n}");
+        assert!(model.supports_vmd());
+    }
+
+    #[test]
+    fn runs_are_bounded_by_config() {
+        let (model, test) = trained(CorpusKind::Ckg, 120, 6);
+        for t in &test {
+            let p = model.classify_table(t);
+            let run = p.rows.iter().take_while(|l| l.is_metadata()).count();
+            assert!(run <= 3, "HMD run cap");
+            let crun = p.columns.iter().take_while(|l| l.is_metadata()).count();
+            assert!(crun <= 2, "VMD run cap");
+        }
+    }
+
+    #[test]
+    fn labels_are_monolithic_level_one() {
+        let (model, test) = trained(CorpusKind::Ckg, 100, 8);
+        for t in &test {
+            let p = model.classify_table(t);
+            for l in p.rows.iter().chain(&p.columns) {
+                if let Some(level) = l.level() {
+                    assert_eq!(level, 1, "RF does not separate levels");
+                }
+            }
+        }
+        assert!(!model.distinguishes_levels());
+    }
+
+    #[test]
+    fn probabilities_align_with_levels() {
+        let (model, test) = trained(CorpusKind::Wdc, 80, 10);
+        let t = &test[0];
+        assert_eq!(model.probabilities(t, Axis::Row).len(), t.n_rows());
+        assert_eq!(model.probabilities(t, Axis::Column).len(), t.n_cols());
+    }
+
+    #[test]
+    #[should_panic(expected = "annotations")]
+    fn training_requires_truth() {
+        let t = Table::from_strings(1, &[&["a"], &["1"]]);
+        let _ = RandomForestDetector::train(&[t], ForestConfig::default());
+    }
+}

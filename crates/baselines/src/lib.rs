@@ -1,0 +1,132 @@
+//! Re-implemented baselines the paper compares against (§IV-D, §IV-H).
+//!
+//! None of the original comparators can be run offline — Pytheas is a
+//! Python system, Fang et al. never released code, Table Transformer is a
+//! DETR vision model, and GPT-3.5/4 are closed APIs — so per DESIGN.md §2
+//! each is rebuilt from its published design at the level of behaviour the
+//! paper measures:
+//!
+//! * [`pytheas`] — fuzzy-rule CSV line classifier with offline rule-weight
+//!   learning and online confidence fusion (Christodoulakis et al.,
+//!   VLDB'20). Detects HMD level 1 and "subheaders" (CMD); no VMD, no
+//!   level separation.
+//! * [`forest`] — Random-Forest header detector over cell/row features
+//!   (Fang et al., AAAI'12). Detects header rows/columns monolithically
+//!   (HMD levels 1–3 combined, VMD levels 1–2 combined).
+//! * [`layout`] — Table-Transformer stand-in: a structure recognizer over
+//!   the rendered layout grid (spans, emphasis, alignment, type mass)
+//!   predicting TT's six object classes. No vocabulary semantics, which is
+//!   what caps its accuracy the way the paper reports for TT.
+//! * [`llm`] — simulated GPT-3.5 / GPT-4 with the documented §IV-H error
+//!   mechanisms, plus a RAG store retrieving HTML-tagged sibling tables
+//!   (§IV-I). The prompt/response protocol is fully real; only the model
+//!   behind it is synthetic, and every result that involves it says so.
+//! * [`positional`] — the first-row/first-column floor every learned
+//!   method must clear.
+//!
+//! All baselines classify through one interface, [`TableClassifier`], so
+//! the evaluation harness scores them and the contrastive pipeline
+//! identically.
+
+pub mod forest;
+pub mod layout;
+pub mod llm;
+pub mod positional;
+pub mod pytheas;
+
+use tabmeta_tabular::{LevelLabel, Table};
+
+/// A baseline's per-table output: one label per row and per column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted label per row.
+    pub rows: Vec<LevelLabel>,
+    /// Predicted label per column.
+    pub columns: Vec<LevelLabel>,
+}
+
+impl Prediction {
+    /// All-data prediction of the right shape (the "no metadata found"
+    /// output every baseline falls back to).
+    pub fn all_data(table: &Table) -> Self {
+        Prediction {
+            rows: vec![LevelLabel::Data; table.n_rows()],
+            columns: vec![LevelLabel::Data; table.n_cols()],
+        }
+    }
+
+    /// Predicted HMD depth (largest `k` with a row labeled `Hmd(k)`).
+    pub fn hmd_depth(&self) -> u8 {
+        self.rows
+            .iter()
+            .filter_map(|l| match l {
+                LevelLabel::Hmd(k) => Some(*k),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Predicted VMD depth.
+    pub fn vmd_depth(&self) -> u8 {
+        self.columns
+            .iter()
+            .filter_map(|l| match l {
+                LevelLabel::Vmd(k) => Some(*k),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Common classification interface for baselines.
+pub trait TableClassifier {
+    /// Classify every row and column of one table.
+    fn classify_table(&self, table: &Table) -> Prediction;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Whether the method distinguishes hierarchy levels (our method does;
+    /// every baseline reports metadata monolithically).
+    fn distinguishes_levels(&self) -> bool {
+        false
+    }
+
+    /// Whether the method classifies vertical metadata at all.
+    fn supports_vmd(&self) -> bool {
+        false
+    }
+}
+
+pub use forest::{ForestConfig, RandomForestDetector};
+pub use positional::{PositionalBaseline, PositionalConfig};
+pub use layout::{LayoutClass, LayoutDetector, LayoutDetectorConfig};
+pub use llm::{LlmKind, RagStore, SimulatedLlm};
+pub use pytheas::{Pytheas, PytheasConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_data_prediction_matches_shape() {
+        let t = Table::from_strings(1, &[&["a", "b"], &["1", "2"], &["3", "4"]]);
+        let p = Prediction::all_data(&t);
+        assert_eq!(p.rows.len(), 3);
+        assert_eq!(p.columns.len(), 2);
+        assert_eq!(p.hmd_depth(), 0);
+        assert_eq!(p.vmd_depth(), 0);
+    }
+
+    #[test]
+    fn depths_read_from_labels() {
+        let p = Prediction {
+            rows: vec![LevelLabel::Hmd(1), LevelLabel::Hmd(2), LevelLabel::Data],
+            columns: vec![LevelLabel::Vmd(1), LevelLabel::Data],
+        };
+        assert_eq!(p.hmd_depth(), 2);
+        assert_eq!(p.vmd_depth(), 1);
+    }
+}

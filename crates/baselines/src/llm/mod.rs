@@ -1,0 +1,411 @@
+//! Simulated GPT-3.5 / GPT-4 classifier, with optional RAG (§IV-H, §IV-I).
+//!
+//! **What is real:** the entire harness path — the table is serialized to
+//! CSV inside the two-message prompt of [`prompt`], the "model" emits a
+//! textual response in the paper's documented output shape, and the
+//! response is parsed back into per-level labels by [`response`]. Scoring
+//! then treats the result exactly like any other classifier.
+//!
+//! **What is simulated:** the decision behind the response. Closed OpenAI
+//! models cannot be called offline, so [`SimulatedLlm`] reproduces the
+//! *error mechanisms* §IV-H documents (see [`profile::LlmProfile`]),
+//! seeded deterministically per (model, table). Every name and report
+//! carries the "(simulated)" marker.
+//!
+//! The decision procedure anchors on the table's annotated structure when
+//! present (the standard construction for behavioural simulation: apply a
+//! documented error process to the known answer) and falls back to a
+//! surface heuristic otherwise.
+
+pub mod profile;
+pub mod prompt;
+pub mod rag;
+pub mod response;
+
+pub use profile::LlmKind;
+pub use rag::RagStore;
+
+use crate::{Prediction, TableClassifier};
+use profile::LlmProfile;
+use prompt::Prompt;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use response::{parse_response, ResponseSpec};
+use tabmeta_tabular::{Axis, LevelLabel, Table};
+use tabmeta_text::classify_numeric;
+
+/// RAG trust parameters: how strongly the model lets retrieved tags
+/// override its own reading.
+#[derive(Debug, Clone, Copy)]
+pub struct RagTrust {
+    /// P(adopt the tag-derived header run when it is deeper).
+    pub hmd: f32,
+    /// P(adopt a tag-suggested VMD column at level k), k = 1..=3 —
+    /// alignment of bold-column cues degrades with depth, which is why
+    /// RAG lifts VMD₃ to ~15% rather than to markup coverage.
+    pub vmd: [f32; 3],
+    /// P(adopt a bold section row as CMD).
+    pub cmd: f32,
+}
+
+impl Default for RagTrust {
+    fn default() -> Self {
+        Self { hmd: 0.9, vmd: [0.8, 0.55, 0.4], cmd: 0.7 }
+    }
+}
+
+/// A simulated LLM, optionally retrieval-augmented.
+pub struct SimulatedLlm {
+    kind: LlmKind,
+    profile: LlmProfile,
+    rag: Option<RagStore>,
+    trust: RagTrust,
+    display_name: String,
+    seed: u64,
+}
+
+impl std::fmt::Debug for SimulatedLlm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatedLlm")
+            .field("kind", &self.kind)
+            .field("rag", &self.rag.is_some())
+            .finish()
+    }
+}
+
+/// Rescue keywords (§IV-H: headers with 'total', 'number of',
+/// 'percentage' — or parenthesized numbers — are recognized after all).
+const RESCUE_KEYWORDS: [&str; 3] = ["total", "number of", "percentage"];
+
+fn numeric_dominated(table: &Table, axis: Axis, index: usize) -> bool {
+    let texts = table.level_texts(axis, index);
+    if texts.is_empty() {
+        return false;
+    }
+    let numeric = texts.iter().filter(|t| classify_numeric(t).is_some()).count();
+    numeric * 2 > texts.len()
+}
+
+fn has_rescue_cue(table: &Table, axis: Axis, index: usize) -> bool {
+    table.level_texts(axis, index).iter().any(|t| {
+        let lower = t.to_lowercase();
+        lower.contains('(') || RESCUE_KEYWORDS.iter().any(|k| lower.contains(k))
+    })
+}
+
+impl SimulatedLlm {
+    /// A plain (non-RAG) simulated model.
+    pub fn new(kind: LlmKind, seed: u64) -> Self {
+        Self {
+            kind,
+            profile: kind.profile(),
+            rag: None,
+            trust: RagTrust::default(),
+            display_name: kind.name().to_string(),
+            seed,
+        }
+    }
+
+    /// Attach a RAG store (the paper's RAG+GPT-4 configuration).
+    pub fn with_rag(kind: LlmKind, seed: u64, store: RagStore) -> Self {
+        let display_name = format!("RAG+{}", kind.name());
+        Self {
+            kind,
+            profile: kind.profile(),
+            rag: Some(store),
+            trust: RagTrust::default(),
+            display_name,
+            seed,
+        }
+    }
+
+    /// The underlying model kind.
+    pub fn kind(&self) -> LlmKind {
+        self.kind
+    }
+
+    /// Whether retrieval augmentation is attached.
+    pub fn has_rag(&self) -> bool {
+        self.rag.is_some()
+    }
+
+    /// Render the exact request this table would produce (for inspection
+    /// and the prompt-protocol tests).
+    pub fn prompt_for(&self, table: &Table) -> Prompt {
+        Prompt::for_table(table)
+    }
+
+    /// The structural ground the simulation errs against: annotated depths
+    /// when available, a surface heuristic otherwise.
+    fn anchor(&self, table: &Table) -> (usize, usize, Vec<usize>) {
+        if let Some(truth) = &table.truth {
+            let cmd = truth
+                .rows
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| **l == LevelLabel::Cmd)
+                .map(|(i, _)| i)
+                .collect();
+            (truth.hmd_depth() as usize, truth.vmd_depth() as usize, cmd)
+        } else {
+            // Heuristic fallback: leading textual rows / leading textual
+            // column.
+            let hmd = (0..table.n_rows().min(5))
+                .take_while(|&i| !numeric_dominated(table, Axis::Row, i))
+                .count()
+                .max(1);
+            let vmd = usize::from(!numeric_dominated(table, Axis::Column, 0));
+            (hmd, vmd, Vec::new())
+        }
+    }
+
+    /// Run the simulated decision process for one table.
+    pub fn respond(&self, table: &Table) -> String {
+        let _prompt = Prompt::for_table(table); // the request that would be sent
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ self.kind.seed_salt() ^ table.id.wrapping_mul(0x9e37_79b9),
+        );
+        let p = &self.profile;
+        let (hmd_depth, vmd_depth, cmd_rows) = self.anchor(table);
+
+        // --- HMD block ---------------------------------------------------
+        let mut hmd_rows: Vec<usize> = Vec::new();
+        for level in 1..=hmd_depth.min(5) {
+            let row = level - 1;
+            let mut accept = if level == 1 {
+                p.hmd1_base
+            } else {
+                p.hmd_continue[level - 2]
+            };
+            if numeric_dominated(table, Axis::Row, row) {
+                if has_rescue_cue(table, Axis::Row, row) {
+                    if rng.random::<f32>() >= p.keyword_rescue {
+                        accept *= p.numeric_header_penalty;
+                    }
+                } else {
+                    accept *= p.numeric_header_penalty;
+                }
+            }
+            if rng.random::<f32>() < accept {
+                hmd_rows.push(row + 1); // 1-based in the response
+            } else {
+                break; // block semantics: a dropped level ends the header
+            }
+        }
+        // Documented failure: the same level line duplicated.
+        if !hmd_rows.is_empty() && rng.random::<f32>() < p.duplicate_level_prob {
+            let last = *hmd_rows.last().expect("non-empty");
+            hmd_rows.push(last);
+        }
+
+        // --- VMD block ---------------------------------------------------
+        let mut vmd_cols: Vec<usize> = Vec::new();
+        for level in 1..=vmd_depth.min(3) {
+            let col = level - 1;
+            let mut accept = p.vmd_base[level - 1];
+            if table.blank_fraction(Axis::Column, col) > 0.4 {
+                accept *= 1.0 - p.vmd_blank_penalty;
+            }
+            if numeric_dominated(table, Axis::Column, col) {
+                accept *= p.numeric_header_penalty;
+            }
+            if rng.random::<f32>() < accept {
+                vmd_cols.push(col + 1);
+            } else {
+                break;
+            }
+        }
+
+        // --- CMD ----------------------------------------------------------
+        let mut cmd: Vec<usize> = cmd_rows
+            .iter()
+            .filter(|_| rng.random::<f32>() < p.cmd_recall)
+            .map(|r| r + 1)
+            .collect();
+
+        // --- RAG corrections ----------------------------------------------
+        if let Some(store) = &self.rag {
+            if let Some(doc) = store.retrieve(table) {
+                if doc.header_run > hmd_rows.len()
+                    && rng.random::<f32>() < self.trust.hmd
+                {
+                    hmd_rows = (1..=doc.header_run).collect();
+                }
+                for level in vmd_cols.len() + 1..=doc.vmd_run.min(3) {
+                    if rng.random::<f32>() < self.trust.vmd[level - 1] {
+                        vmd_cols.push(level);
+                    } else {
+                        break;
+                    }
+                }
+                for r in &doc.bold_rows {
+                    if !cmd.contains(&(r + 1)) && rng.random::<f32>() < self.trust.cmd {
+                        cmd.push(r + 1);
+                    }
+                }
+            }
+        }
+
+        ResponseSpec { hmd_rows, vmd_cols, cmd_rows: cmd }.render()
+    }
+}
+
+impl TableClassifier for SimulatedLlm {
+    fn classify_table(&self, table: &Table) -> Prediction {
+        let text = self.respond(table);
+        match parse_response(&text, table.n_rows(), table.n_cols()) {
+            Ok((rows, columns)) => Prediction { rows, columns },
+            Err(_) => Prediction::all_data(table),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.display_name
+    }
+
+    fn distinguishes_levels(&self) -> bool {
+        true
+    }
+
+    fn supports_vmd(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+
+    fn corpus(n: usize, seed: u64) -> Vec<Table> {
+        CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: n, seed }).tables
+    }
+
+    fn level_acc(
+        model: &SimulatedLlm,
+        tables: &[Table],
+        want: impl Fn(&Table) -> bool,
+        hit: impl Fn(&Prediction, &Table) -> bool,
+    ) -> f32 {
+        let mut ok = 0usize;
+        let mut n = 0usize;
+        for t in tables {
+            if !want(t) {
+                continue;
+            }
+            n += 1;
+            if hit(&model.classify_table(t), t) {
+                ok += 1;
+            }
+        }
+        assert!(n > 0, "no qualifying tables");
+        ok as f32 / n as f32
+    }
+
+    #[test]
+    fn responses_are_deterministic() {
+        let tables = corpus(20, 4);
+        let m = SimulatedLlm::new(LlmKind::Gpt4, 1);
+        assert_eq!(m.respond(&tables[3]), m.respond(&tables[3]));
+        assert_eq!(m.classify_table(&tables[3]), m.classify_table(&tables[3]));
+    }
+
+    #[test]
+    fn hmd1_is_near_perfect_but_deep_levels_collapse() {
+        let tables = corpus(300, 9);
+        let m = SimulatedLlm::new(LlmKind::Gpt35, 2);
+        let acc1 = level_acc(
+            &m,
+            &tables,
+            |_| true,
+            |p, _| p.rows.first() == Some(&LevelLabel::Hmd(1)),
+        );
+        assert!(acc1 > 0.9, "HMD1: {acc1}");
+        let acc3 = level_acc(
+            &m,
+            &tables,
+            |t| t.truth.as_ref().unwrap().hmd_depth() >= 3,
+            |p, _| p.rows.get(2) == Some(&LevelLabel::Hmd(3)),
+        );
+        assert!(acc3 < 0.8, "deep HMD must degrade: {acc3}");
+        assert!(acc3 > 0.2, "but not vanish: {acc3}");
+    }
+
+    #[test]
+    fn vmd3_is_zero_without_rag() {
+        let tables = corpus(400, 11);
+        for kind in [LlmKind::Gpt35, LlmKind::Gpt4] {
+            let m = SimulatedLlm::new(kind, 3);
+            let acc = level_acc(
+                &m,
+                &tables,
+                |t| t.truth.as_ref().unwrap().vmd_depth() >= 3,
+                |p, _| p.columns.get(2) == Some(&LevelLabel::Vmd(3)),
+            );
+            assert_eq!(acc, 0.0, "{kind:?} must fail VMD3 entirely");
+        }
+    }
+
+    #[test]
+    fn gpt4_beats_gpt35_on_vmd() {
+        let tables = corpus(400, 13);
+        let a = SimulatedLlm::new(LlmKind::Gpt35, 5);
+        let b = SimulatedLlm::new(LlmKind::Gpt4, 5);
+        let vmd1 = |m: &SimulatedLlm| {
+            level_acc(
+                m,
+                &tables,
+                |t| t.truth.as_ref().unwrap().vmd_depth() >= 1,
+                |p, _| p.columns.first() == Some(&LevelLabel::Vmd(1)),
+            )
+        };
+        assert!(vmd1(&b) > vmd1(&a) + 0.05, "{} vs {}", vmd1(&b), vmd1(&a));
+    }
+
+    #[test]
+    fn rag_lifts_deep_levels() {
+        let tables = corpus(400, 17);
+        let store = RagStore::build(&tables);
+        let plain = SimulatedLlm::new(LlmKind::Gpt4, 7);
+        let rag = SimulatedLlm::with_rag(LlmKind::Gpt4, 7, store);
+        assert!(rag.has_rag());
+        let vmd3 = |m: &SimulatedLlm| {
+            level_acc(
+                m,
+                &tables,
+                |t| t.truth.as_ref().unwrap().vmd_depth() >= 3,
+                |p, _| p.columns.get(2) == Some(&LevelLabel::Vmd(3)),
+            )
+        };
+        assert_eq!(vmd3(&plain), 0.0);
+        let lifted = vmd3(&rag);
+        assert!(lifted > 0.03 && lifted < 0.6, "RAG lifts VMD3 modestly: {lifted}");
+        let hmd2 = |m: &SimulatedLlm| {
+            level_acc(
+                m,
+                &tables,
+                |t| t.truth.as_ref().unwrap().hmd_depth() >= 2,
+                |p, _| p.rows.get(1) == Some(&LevelLabel::Hmd(2)),
+            )
+        };
+        assert!(hmd2(&rag) > hmd2(&plain), "{} vs {}", hmd2(&rag), hmd2(&plain));
+    }
+
+    #[test]
+    fn names_reflect_configuration() {
+        let m = SimulatedLlm::new(LlmKind::Gpt35, 1);
+        assert_eq!(m.name(), "GPT-3.5 (simulated)");
+        let tables = corpus(10, 1);
+        let r = SimulatedLlm::with_rag(LlmKind::Gpt4, 1, RagStore::build(&tables));
+        assert_eq!(r.name(), "RAG+GPT-4 (simulated)");
+    }
+
+    #[test]
+    fn prompt_protocol_is_exercised() {
+        let tables = corpus(5, 2);
+        let m = SimulatedLlm::new(LlmKind::Gpt4, 1);
+        let p = m.prompt_for(&tables[0]);
+        assert!(p.user.contains("Please provide labels for HMD, VMD, and Data"));
+        assert!(p.len_chars() > p.system.len());
+    }
+}

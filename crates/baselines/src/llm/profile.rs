@@ -1,0 +1,124 @@
+//! Capability profiles of the simulated models.
+//!
+//! §IV-H documents *mechanisms*, not just numbers: numeric-looking header
+//! cells are misread as data unless rescued by parentheses or keywords
+//! like "total" / "number of" / "percentage"; deep header levels are
+//! dropped or duplicated; CMD is mostly missed; VMD recognition degrades
+//! with depth and collapses at level 3 (0% without RAG). The profile
+//! parameterizes those mechanisms; Table VI's numbers *emerge* from them
+//! rather than being pasted in.
+
+/// Which closed model is being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LlmKind {
+    /// GPT-3.5-turbo.
+    Gpt35,
+    /// GPT-4.
+    Gpt4,
+}
+
+impl LlmKind {
+    /// Display name used in reports (always marked simulated).
+    pub fn name(self) -> &'static str {
+        match self {
+            LlmKind::Gpt35 => "GPT-3.5 (simulated)",
+            LlmKind::Gpt4 => "GPT-4 (simulated)",
+        }
+    }
+
+    /// Seed salt so both models draw different error patterns.
+    pub(crate) fn seed_salt(self) -> u64 {
+        match self {
+            LlmKind::Gpt35 => 0x0035_7357,
+            LlmKind::Gpt4 => 0x0044_44aa,
+        }
+    }
+
+    /// The behaviour profile of this model.
+    pub fn profile(self) -> LlmProfile {
+        match self {
+            LlmKind::Gpt35 => LlmProfile {
+                hmd1_base: 0.99,
+                hmd_continue: [0.62, 0.97, 0.97, 0.97],
+                numeric_header_penalty: 0.75,
+                keyword_rescue: 0.8,
+                duplicate_level_prob: 0.06,
+                vmd_base: [0.62, 0.30, 0.0],
+                vmd_blank_penalty: 0.5,
+                cmd_recall: 0.15,
+            },
+            LlmKind::Gpt4 => LlmProfile {
+                hmd1_base: 0.995,
+                hmd_continue: [0.72, 0.93, 0.96, 0.99],
+                numeric_header_penalty: 0.55,
+                keyword_rescue: 0.9,
+                duplicate_level_prob: 0.03,
+                vmd_base: [0.84, 0.92, 0.0],
+                vmd_blank_penalty: 0.25,
+                cmd_recall: 0.35,
+            },
+        }
+    }
+}
+
+/// Mechanism parameters (all probabilities).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlmProfile {
+    /// P(first header row recognized) before numeric penalties.
+    pub hmd1_base: f32,
+    /// P(header block extends to level k+1 | reached level k), k = 1..=4.
+    pub hmd_continue: [f32; 4],
+    /// Multiplier applied to recognition when the header row is
+    /// numeric-dominated ("decimals, floating numbers, or percentages" →
+    /// misclassified as Table Data).
+    pub numeric_header_penalty: f32,
+    /// P(a numeric header is rescued anyway) when parenthesized or carrying
+    /// 'total' / 'number of' / 'percentage' keywords.
+    pub keyword_rescue: f32,
+    /// P(the response duplicates a level line — the "same HMD label
+    /// duplicated" failure).
+    pub duplicate_level_prob: f32,
+    /// P(VMD level k recognized | level k exists and k−1 recognized).
+    pub vmd_base: [f32; 3],
+    /// Extra multiplier on VMD recognition when the column is blank-heavy
+    /// (spanning parents confuse the model).
+    pub vmd_blank_penalty: f32,
+    /// P(a CMD row is labeled at all) — "LLM struggles with accurately
+    /// identifying CMD".
+    pub cmd_recall: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt4_dominates_gpt35_on_every_mechanism() {
+        let a = LlmKind::Gpt35.profile();
+        let b = LlmKind::Gpt4.profile();
+        assert!(b.hmd1_base >= a.hmd1_base);
+        assert!(b.hmd_continue[0] > a.hmd_continue[0]);
+        assert!(b.numeric_header_penalty < a.numeric_header_penalty, "penalty is a loss");
+        for k in 0..3 {
+            assert!(b.vmd_base[k] >= a.vmd_base[k], "VMD level {}", k + 1);
+        }
+        assert!(b.cmd_recall > a.cmd_recall);
+    }
+
+    #[test]
+    fn vmd3_collapses_without_rag() {
+        assert_eq!(LlmKind::Gpt35.profile().vmd_base[2], 0.0);
+        assert_eq!(LlmKind::Gpt4.profile().vmd_base[2], 0.0);
+    }
+
+    #[test]
+    fn names_are_marked_simulated() {
+        assert!(LlmKind::Gpt35.name().contains("simulated"));
+        assert!(LlmKind::Gpt4.name().contains("simulated"));
+    }
+
+    #[test]
+    fn seed_salts_differ() {
+        assert_ne!(LlmKind::Gpt35.seed_salt(), LlmKind::Gpt4.seed_salt());
+    }
+}

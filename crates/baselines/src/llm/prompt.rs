@@ -1,0 +1,78 @@
+//! The prompt protocol of §IV-H.
+//!
+//! The paper drives GPT-3.5/4 through a fixed two-message protocol: a
+//! system message defining the assistant's role and the general table
+//! anatomy, then a user message carrying the table serialized as CSV with
+//! its dimensions. We reproduce both messages verbatim in structure so the
+//! harness path (table → CSV → prompt → response → parsed labels) is the
+//! real one; only the model answering is simulated.
+
+use tabmeta_tabular::{csv, Table};
+
+/// The system-level message from §IV-H, fixed for every request.
+pub const SYSTEM_MESSAGE: &str = "You are a helpful assistant who understands table data. \
+The general table structure is as follows: HMD generally includes the first row, but can \
+extend to multiple rows depending on the table structure; VMD consists of the vertical \
+headers, which may include one or more columns; any remaining rows/columns are classified \
+as Table Data";
+
+/// A fully rendered request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prompt {
+    /// The system message.
+    pub system: String,
+    /// The user message (instructions + dimensions + CSV payload).
+    pub user: String,
+}
+
+impl Prompt {
+    /// Build the request for one table, mirroring the paper's example
+    /// prompt ("I am giving you table data. … It has 9 rows and 6 columns
+    /// followed by the 'Table data' …").
+    pub fn for_table(table: &Table) -> Self {
+        let body = csv::to_csv(table);
+        let user = format!(
+            "I am giving you table data. Please provide labels for HMD, VMD, and Data, \
+i.e., what each row belongs to. Below are my rows for the table. It has {} rows and {} \
+columns followed by the 'Table data'\n{}",
+            table.n_rows(),
+            table.n_cols(),
+            body
+        );
+        Prompt { system: SYSTEM_MESSAGE.to_string(), user }
+    }
+
+    /// Total request size in characters (the cost proxy the paper cites
+    /// when explaining why only CKG was evaluated with GPT-4).
+    pub fn len_chars(&self) -> usize {
+        self.system.len() + self.user.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt_carries_dimensions_and_csv() {
+        let t = Table::from_strings(1, &[&["a", "b"], &["1", "2"], &["3", "4"]]);
+        let p = Prompt::for_table(&t);
+        assert!(p.user.contains("It has 3 rows and 2 columns"));
+        assert!(p.user.contains("a,b\n1,2\n3,4\n"));
+        assert_eq!(p.system, SYSTEM_MESSAGE);
+    }
+
+    #[test]
+    fn quoted_fields_survive_serialization() {
+        let t = Table::from_strings(2, &[&["x,y", "b"], &["1", "2"]]);
+        let p = Prompt::for_table(&t);
+        assert!(p.user.contains("\"x,y\",b"));
+    }
+
+    #[test]
+    fn len_counts_both_messages() {
+        let t = Table::from_strings(3, &[&["a"], &["1"]]);
+        let p = Prompt::for_table(&t);
+        assert_eq!(p.len_chars(), p.system.len() + p.user.len());
+    }
+}

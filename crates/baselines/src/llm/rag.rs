@@ -1,0 +1,179 @@
+//! Retrieval-Augmented Generation store (§IV-I).
+//!
+//! The paper's RAG pipeline queries PubMed for the article containing the
+//! submitted table and, when found, feeds the table's *HTML source* — whose
+//! `<thead>`/`<th>`/bold tags partially annotate the metadata — back into
+//! the LLM alongside the prompt. We reproduce that store over the corpus:
+//! tables that carry markup (the "published with HTML" fraction) are
+//! serialized to HTML-lite at build time; retrieval is by table identity,
+//! exactly like the paper's "fetches such table (if it exists) from our
+//! database". The retrieved document yields tag-derived *suggestions*
+//! (header-row run, VMD column run, bold section rows) that the simulated
+//! model can use to correct itself.
+
+use std::collections::HashMap;
+use tabmeta_tabular::{htmlite, Table};
+
+/// Tag-derived structure suggestions extracted from a retrieved document.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Retrieved {
+    /// Length of the `<thead>`/`<th>` leading row run.
+    pub header_run: usize,
+    /// Length of the bold/indent leading column run.
+    pub vmd_run: usize,
+    /// 0-based body rows whose leading cell is bold (section headers).
+    pub bold_rows: Vec<usize>,
+}
+
+/// The RAG document store: HTML-lite sources for the retrievable fraction
+/// of a corpus.
+#[derive(Debug, Default)]
+pub struct RagStore {
+    docs: HashMap<u64, String>,
+}
+
+/// Fraction threshold for counting a row as tagged-header.
+const ROW_TAG_THRESHOLD: f32 = 0.5;
+/// Fraction threshold for counting a column as bold-VMD.
+const COL_BOLD_THRESHOLD: f32 = 0.4;
+
+fn suggestions(table: &Table) -> Retrieved {
+    let n_rows = table.n_rows();
+    let n_cols = table.n_cols();
+    let mut header_run = 0;
+    for i in 0..n_rows {
+        let cells = table.row(i);
+        let non_blank = cells.iter().filter(|c| !c.is_blank()).count();
+        if non_blank == 0 {
+            break;
+        }
+        let tagged = cells
+            .iter()
+            .filter(|c| !c.is_blank() && (c.markup.th || c.markup.thead))
+            .count();
+        if tagged as f32 / non_blank as f32 >= ROW_TAG_THRESHOLD {
+            header_run += 1;
+        } else {
+            break;
+        }
+    }
+    let mut vmd_run = 0;
+    for j in 0..n_cols.min(3) {
+        let body: Vec<_> = (header_run..n_rows).map(|i| table.cell(i, j)).collect();
+        let non_blank = body.iter().filter(|c| !c.is_blank()).count();
+        if non_blank == 0 {
+            break;
+        }
+        let bold = body.iter().filter(|c| !c.is_blank() && c.markup.bold).count();
+        if bold as f32 / non_blank as f32 >= COL_BOLD_THRESHOLD {
+            vmd_run += 1;
+        } else {
+            break;
+        }
+    }
+    let bold_rows = (header_run..n_rows)
+        .filter(|&i| {
+            let lead = table.cell(i, 0);
+            !lead.is_blank()
+                && lead.markup.bold
+                && (1..n_cols).all(|c| table.cell(i, c).is_blank())
+        })
+        .collect();
+    Retrieved { header_run, vmd_run, bold_rows }
+}
+
+impl RagStore {
+    /// Build the store from a corpus: only tables whose source provided
+    /// markup are retrievable (the rest were never published as HTML).
+    pub fn build(tables: &[Table]) -> Self {
+        let docs = tables
+            .iter()
+            .filter(|t| t.has_markup)
+            .map(|t| (t.id, htmlite::to_htmlite(t)))
+            .collect();
+        Self { docs }
+    }
+
+    /// Number of retrievable documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Retrieve the document for `table` and extract tag suggestions;
+    /// `None` when the table was never published with markup.
+    pub fn retrieve(&self, table: &Table) -> Option<Retrieved> {
+        let html = self.docs.get(&table.id)?;
+        let parsed = htmlite::from_htmlite(table.id, html).ok()?;
+        Some(suggestions(&parsed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+    use tabmeta_tabular::cell::{Cell, Markup};
+
+    #[test]
+    fn store_holds_only_marked_up_tables() {
+        let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 80, seed: 3 });
+        let store = RagStore::build(&corpus.tables);
+        let marked = corpus.tables.iter().filter(|t| t.has_markup).count();
+        assert_eq!(store.len(), marked);
+        assert!(!store.is_empty());
+        for t in &corpus.tables {
+            assert_eq!(store.retrieve(t).is_some(), t.has_markup, "table {}", t.id);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_is_unretrievable() {
+        let corpus = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 20, seed: 1 });
+        // SAUS has no markup → nothing retrievable.
+        let store = RagStore::build(&corpus.tables);
+        assert!(store.is_empty());
+        assert_eq!(store.retrieve(&corpus.tables[0]), None);
+    }
+
+    #[test]
+    fn suggestions_read_tags() {
+        let mut grid = vec![
+            vec![Cell::text("h1"), Cell::text("h2")],
+            vec![Cell::text("a"), Cell::text("1")],
+            vec![Cell::text("b"), Cell::text("2")],
+        ];
+        for c in grid[0].iter_mut() {
+            c.markup = Markup::header();
+        }
+        grid[1][0].markup.bold = true;
+        grid[2][0].markup.bold = true;
+        let t = Table::new(9, "", grid).with_markup_flag(true);
+        let store = RagStore::build(std::slice::from_ref(&t));
+        let r = store.retrieve(&t).unwrap();
+        assert_eq!(r.header_run, 1);
+        assert_eq!(r.vmd_run, 1);
+        assert!(r.bold_rows.is_empty(), "bold VMD cells are not section rows");
+    }
+
+    #[test]
+    fn bold_section_rows_detected() {
+        let mut grid = vec![
+            vec![Cell::text("h1"), Cell::text("h2")],
+            vec![Cell::text("Section"), Cell::blank()],
+            vec![Cell::text("1"), Cell::text("2")],
+        ];
+        for c in grid[0].iter_mut() {
+            c.markup = Markup::header();
+        }
+        grid[1][0].markup.bold = true;
+        let t = Table::new(10, "", grid).with_markup_flag(true);
+        let store = RagStore::build(std::slice::from_ref(&t));
+        let r = store.retrieve(&t).unwrap();
+        assert_eq!(r.bold_rows, vec![1]);
+    }
+}

@@ -1,0 +1,197 @@
+//! The LLM response format and its parser.
+//!
+//! §IV-H: *"For a table with three columns and multiple rows, the system
+//! might output the following labels: HMD: 'Row 1: Column1, Column2,
+//! Column3' VMD: 'Column1, Column2' Table Data: All data entries from
+//! Row 2 onwards"*. We render responses in that shape and parse them back
+//! into per-level labels; the parser tolerates the malformations the
+//! paper documents (duplicated level lines, split attributes).
+
+use tabmeta_tabular::LevelLabel;
+
+/// A structured response before rendering (what the simulated model
+/// decides), 1-based indices as an LLM would write them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResponseSpec {
+    /// Rows claimed as HMD, in level order (may contain duplicates —
+    /// a documented LLM failure mode).
+    pub hmd_rows: Vec<usize>,
+    /// Columns claimed as VMD, in level order.
+    pub vmd_cols: Vec<usize>,
+    /// Rows claimed as mid-table headers.
+    pub cmd_rows: Vec<usize>,
+}
+
+impl ResponseSpec {
+    /// Render in the §IV-H output shape.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("HMD: ");
+        if self.hmd_rows.is_empty() {
+            out.push_str("none");
+        } else {
+            let parts: Vec<String> = self.hmd_rows.iter().map(|r| format!("Row {r}")).collect();
+            out.push_str(&parts.join(", "));
+        }
+        out.push_str("\nVMD: ");
+        if self.vmd_cols.is_empty() {
+            out.push_str("none");
+        } else {
+            let parts: Vec<String> =
+                self.vmd_cols.iter().map(|c| format!("Column {c}")).collect();
+            out.push_str(&parts.join(", "));
+        }
+        if !self.cmd_rows.is_empty() {
+            out.push_str("\nCMD: ");
+            let parts: Vec<String> = self.cmd_rows.iter().map(|r| format!("Row {r}")).collect();
+            out.push_str(&parts.join(", "));
+        }
+        out.push_str("\nTable Data: all remaining rows and columns\n");
+        out
+    }
+}
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The response lacked the `HMD:` section entirely.
+    MissingHmdSection,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHmdSection => write!(f, "response has no HMD section"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Extract all `Row N` / `Column N` ordinals from one section line.
+fn ordinals(line: &str, keyword: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let lower = line.to_lowercase();
+    let key = keyword.to_lowercase();
+    let mut rest = lower.as_str();
+    while let Some(pos) = rest.find(&key) {
+        rest = &rest[pos + key.len()..];
+        let digits: String =
+            rest.trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
+        if let Ok(n) = digits.parse::<usize>() {
+            if n >= 1 {
+                out.push(n);
+            }
+        }
+    }
+    out
+}
+
+/// Parsed labels from a rendered response, mapped onto a table shape.
+///
+/// Duplicate row claims keep their first (shallowest) level — the parser-
+/// side mitigation for the "same HMD label duplicated" failure §IV-H
+/// describes.
+pub fn parse_response(
+    text: &str,
+    n_rows: usize,
+    n_cols: usize,
+) -> Result<(Vec<LevelLabel>, Vec<LevelLabel>), ParseError> {
+    let mut rows = vec![LevelLabel::Data; n_rows];
+    let mut columns = vec![LevelLabel::Data; n_cols];
+    let mut saw_hmd = false;
+    for line in text.lines() {
+        let lower = line.trim_start().to_lowercase();
+        if lower.starts_with("hmd") {
+            saw_hmd = true;
+            let mut level = 0u8;
+            for r in ordinals(line, "row") {
+                if r <= n_rows && rows[r - 1] == LevelLabel::Data {
+                    level = level.saturating_add(1);
+                    rows[r - 1] = LevelLabel::Hmd(level);
+                }
+            }
+        } else if lower.starts_with("vmd") {
+            let mut level = 0u8;
+            for c in ordinals(line, "column") {
+                if c <= n_cols && columns[c - 1] == LevelLabel::Data {
+                    level = level.saturating_add(1);
+                    columns[c - 1] = LevelLabel::Vmd(level);
+                }
+            }
+        } else if lower.starts_with("cmd") {
+            for r in ordinals(line, "row") {
+                if r <= n_rows && rows[r - 1] == LevelLabel::Data {
+                    rows[r - 1] = LevelLabel::Cmd;
+                }
+            }
+        }
+    }
+    if !saw_hmd {
+        return Err(ParseError::MissingHmdSection);
+    }
+    Ok((rows, columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let spec = ResponseSpec {
+            hmd_rows: vec![1, 2],
+            vmd_cols: vec![1],
+            cmd_rows: vec![5],
+        };
+        let text = spec.render();
+        let (rows, cols) = parse_response(&text, 6, 3).unwrap();
+        assert_eq!(rows[0], LevelLabel::Hmd(1));
+        assert_eq!(rows[1], LevelLabel::Hmd(2));
+        assert_eq!(rows[4], LevelLabel::Cmd);
+        assert_eq!(rows[2], LevelLabel::Data);
+        assert_eq!(cols[0], LevelLabel::Vmd(1));
+        assert_eq!(cols[1], LevelLabel::Data);
+    }
+
+    #[test]
+    fn duplicated_rows_keep_first_level() {
+        let spec = ResponseSpec { hmd_rows: vec![1, 1, 2], ..Default::default() };
+        let (rows, _) = parse_response(&spec.render(), 4, 2).unwrap();
+        assert_eq!(rows[0], LevelLabel::Hmd(1));
+        assert_eq!(rows[1], LevelLabel::Hmd(2), "duplicate must not inflate the level");
+    }
+
+    #[test]
+    fn out_of_range_ordinals_ignored() {
+        let spec = ResponseSpec { hmd_rows: vec![9], vmd_cols: vec![7], ..Default::default() };
+        let (rows, cols) = parse_response(&spec.render(), 3, 2).unwrap();
+        assert!(rows.iter().all(|l| *l == LevelLabel::Data));
+        assert!(cols.iter().all(|l| *l == LevelLabel::Data));
+    }
+
+    #[test]
+    fn missing_hmd_section_errors() {
+        assert_eq!(
+            parse_response("VMD: Column 1\n", 2, 2).unwrap_err(),
+            ParseError::MissingHmdSection
+        );
+    }
+
+    #[test]
+    fn none_sections_parse_as_empty() {
+        let spec = ResponseSpec::default();
+        let text = spec.render();
+        assert!(text.contains("HMD: none"));
+        let (rows, cols) = parse_response(&text, 2, 2).unwrap();
+        assert!(rows.iter().all(|l| *l == LevelLabel::Data));
+        assert!(cols.iter().all(|l| *l == LevelLabel::Data));
+    }
+
+    #[test]
+    fn parser_is_case_insensitive() {
+        let (rows, _) = parse_response("hmd: ROW 1, row 2\n", 3, 1).unwrap();
+        assert_eq!(rows[0], LevelLabel::Hmd(1));
+        assert_eq!(rows[1], LevelLabel::Hmd(2));
+    }
+}

@@ -1,0 +1,116 @@
+//! The trivial positional baseline: first row is the header, first column
+//! is the row header, done.
+//!
+//! Every table-understanding paper measures against this floor implicitly
+//! (Fang et al. "use the first row and column as baseline headers"); we
+//! keep it explicit so Table V-style experiments can show how much any
+//! learned method adds over pure position.
+
+use crate::{Prediction, TableClassifier};
+use tabmeta_tabular::{Axis, LevelLabel, Table};
+use tabmeta_text::classify_numeric;
+
+/// Positional baseline configuration.
+#[derive(Debug, Clone)]
+pub struct PositionalConfig {
+    /// Claim the first column as VMD only when it is not numeric-dominated
+    /// (the small sanity check Fang et al.'s heuristic includes).
+    pub check_first_column: bool,
+}
+
+impl Default for PositionalConfig {
+    fn default() -> Self {
+        Self { check_first_column: true }
+    }
+}
+
+/// First-row/first-column classifier.
+#[derive(Debug, Clone, Default)]
+pub struct PositionalBaseline {
+    config: PositionalConfig,
+}
+
+impl PositionalBaseline {
+    /// New baseline with `config`.
+    pub fn new(config: PositionalConfig) -> Self {
+        Self { config }
+    }
+}
+
+fn numeric_dominated(table: &Table, axis: Axis, index: usize) -> bool {
+    let texts = table.level_texts(axis, index);
+    if texts.is_empty() {
+        return false;
+    }
+    let numeric = texts.iter().filter(|t| classify_numeric(t).is_some()).count();
+    numeric * 2 > texts.len()
+}
+
+impl TableClassifier for PositionalBaseline {
+    fn classify_table(&self, table: &Table) -> Prediction {
+        let mut p = Prediction::all_data(table);
+        p.rows[0] = LevelLabel::Hmd(1);
+        if table.n_cols() > 1
+            && (!self.config.check_first_column
+                || !numeric_dominated(table, Axis::Column, 0))
+        {
+            p.columns[0] = LevelLabel::Vmd(1);
+        }
+        p
+    }
+
+    fn name(&self) -> &str {
+        "Positional (first row/col)"
+    }
+
+    fn supports_vmd(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+
+    #[test]
+    fn always_claims_the_first_row() {
+        let b = PositionalBaseline::default();
+        let t = Table::from_strings(1, &[&["1", "2"], &["3", "4"]]);
+        let p = b.classify_table(&t);
+        assert_eq!(p.rows[0], LevelLabel::Hmd(1), "position is all it knows");
+        assert_eq!(p.hmd_depth(), 1);
+    }
+
+    #[test]
+    fn numeric_first_column_is_skipped() {
+        let b = PositionalBaseline::default();
+        let t = Table::from_strings(2, &[&["year", "count"], &["2001", "5"], &["2002", "7"]]);
+        let p = b.classify_table(&t);
+        assert_eq!(p.columns[0], LevelLabel::Data);
+        let unchecked =
+            PositionalBaseline::new(PositionalConfig { check_first_column: false });
+        assert_eq!(unchecked.classify_table(&t).columns[0], LevelLabel::Vmd(1));
+    }
+
+    #[test]
+    fn strong_floor_on_flat_corpora_weak_on_deep() {
+        let b = PositionalBaseline::default();
+        let wdc = CorpusKind::Wdc.generate(&GeneratorConfig { n_tables: 150, seed: 5 });
+        let hmd1 = wdc
+            .tables
+            .iter()
+            .filter(|t| {
+                b.classify_table(t).rows[0] == LevelLabel::Hmd(1)
+                    && t.truth.as_ref().unwrap().hmd_depth() >= 1
+            })
+            .count();
+        assert_eq!(hmd1, wdc.len(), "HMD1 is free on flat corpora");
+
+        // But it can never see level 2.
+        let ckg = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 100, seed: 5 });
+        for t in &ckg.tables {
+            assert_eq!(b.classify_table(t).hmd_depth(), 1);
+        }
+    }
+}

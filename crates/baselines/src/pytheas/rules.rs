@@ -1,0 +1,228 @@
+//! The fuzzy rule set.
+//!
+//! Each rule inspects one [`LineSignature`] (plus its position relative to
+//! the table) and optionally casts a vote for a line class with a base
+//! confidence in `(0, 1]`. The offline phase learns a *weight* per rule —
+//! its empirical precision on annotated lines — and the online phase fuses
+//! `weight × confidence` votes per class (§IV-D, Pytheas VLDB'20 design).
+
+use super::signature::LineSignature;
+
+/// The three line classes Pytheas distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LineClass {
+    /// Column-header line (HMD level 1 territory).
+    Header,
+    /// Ordinary data line.
+    Data,
+    /// Mid-table section header ("subheader" in Pytheas, CMD here).
+    Subheader,
+}
+
+impl LineClass {
+    /// All classes, fixed order (indexes the vote accumulators).
+    pub const ALL: [LineClass; 3] = [LineClass::Header, LineClass::Data, LineClass::Subheader];
+
+    /// Stable index into per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            LineClass::Header => 0,
+            LineClass::Data => 1,
+            LineClass::Subheader => 2,
+        }
+    }
+}
+
+/// A rule's optional vote.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vote {
+    /// The class voted for.
+    pub class: LineClass,
+    /// Base confidence in `(0, 1]`, scaled by the learned rule weight.
+    pub confidence: f32,
+}
+
+/// One fuzzy rule: a name (for reports) and a firing function.
+pub struct Rule {
+    /// Stable rule name.
+    pub name: &'static str,
+    fire: fn(&LineSignature, &RuleContext) -> Option<Vote>,
+}
+
+impl std::fmt::Debug for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rule").field("name", &self.name).finish()
+    }
+}
+
+/// Table-level context a rule may consult.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleContext {
+    /// Total number of lines in the table.
+    pub n_lines: usize,
+    /// Median mean-length over all lines (for the "much longer than usual"
+    /// cue).
+    pub median_mean_len: f32,
+}
+
+impl Rule {
+    /// Evaluate the rule on a line.
+    pub fn fire(&self, sig: &LineSignature, ctx: &RuleContext) -> Option<Vote> {
+        (self.fire)(sig, ctx)
+    }
+}
+
+/// The rule set, in a fixed order (weights are stored by position).
+pub fn rule_set() -> Vec<Rule> {
+    vec![
+        Rule {
+            name: "first_line_is_header",
+            fire: |s, _| (s.index == 0).then_some(Vote {
+                class: LineClass::Header,
+                confidence: 0.9,
+            }),
+        },
+        Rule {
+            name: "all_numeric_is_data",
+            fire: |s, _| (s.numeric_frac >= 0.99 && s.empty_frac < 0.5)
+                .then_some(Vote { class: LineClass::Data, confidence: 0.95 }),
+        },
+        Rule {
+            name: "mostly_numeric_is_data",
+            fire: |s, _| (s.numeric_frac >= 0.6).then_some(Vote {
+                class: LineClass::Data,
+                confidence: 0.7,
+            }),
+        },
+        Rule {
+            name: "all_text_near_top_is_header",
+            fire: |s, _| (s.all_text && s.index < 6)
+                .then_some(Vote { class: LineClass::Header, confidence: 0.75 }),
+        },
+        Rule {
+            name: "type_agreement_is_data",
+            fire: |s, _| (s.type_agreement >= 0.8 && s.index > 0 && s.empty_frac < 0.5)
+                .then_some(Vote { class: LineClass::Data, confidence: 0.6 }),
+        },
+        Rule {
+            name: "type_disagreement_near_top_is_header",
+            fire: |s, _| (s.type_agreement <= 0.3 && s.index < 6 && s.numeric_frac < 0.4)
+                .then_some(Vote { class: LineClass::Header, confidence: 0.65 }),
+        },
+        Rule {
+            name: "lone_leading_text_is_subheader",
+            fire: |s, ctx| (s.lone_leading_text && s.index > 0 && s.index + 1 < ctx.n_lines)
+                .then_some(Vote { class: LineClass::Subheader, confidence: 0.85 }),
+        },
+        Rule {
+            name: "agg_keyword_mid_table_is_subheader",
+            fire: |s, _| (s.has_agg_keyword && s.index > 1 && s.empty_frac >= 0.4)
+                .then_some(Vote { class: LineClass::Subheader, confidence: 0.5 }),
+        },
+        Rule {
+            name: "upper_start_near_top_is_header",
+            fire: |s, _| (s.upper_start_frac >= 0.8 && s.index < 4 && s.numeric_frac < 0.3)
+                .then_some(Vote { class: LineClass::Header, confidence: 0.45 }),
+        },
+        Rule {
+            name: "long_cells_is_header",
+            fire: |s, ctx| (s.mean_len > 1.8 * ctx.median_mean_len && s.numeric_frac < 0.3)
+                .then_some(Vote { class: LineClass::Header, confidence: 0.4 }),
+        },
+        Rule {
+            name: "deep_line_is_data",
+            fire: |s, ctx| ((s.index >= 6 || s.index * 3 > ctx.n_lines * 2)
+                && s.empty_frac < 0.5 && !s.lone_leading_text)
+                .then_some(Vote { class: LineClass::Data, confidence: 0.55 }),
+        },
+        Rule {
+            name: "sparse_textual_line_is_not_plain_data",
+            fire: |s, _| (s.empty_frac >= 0.6 && s.numeric_frac < 0.2 && s.index > 0)
+                .then_some(Vote { class: LineClass::Subheader, confidence: 0.35 }),
+        },
+        Rule {
+            name: "mixed_text_over_numeric_table_is_header",
+            fire: |s, _| (s.all_text && s.type_agreement <= 0.2 && s.index < 3)
+                .then_some(Vote { class: LineClass::Header, confidence: 0.6 }),
+        },
+        Rule {
+            name: "year_range_line_is_data",
+            fire: |s, _| (s.numeric_frac >= 0.4 && s.type_agreement >= 0.6)
+                .then_some(Vote { class: LineClass::Data, confidence: 0.5 }),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::signature::line_signatures;
+    use super::*;
+
+    fn ctx(n: usize) -> RuleContext {
+        RuleContext { n_lines: n, median_mean_len: 5.0 }
+    }
+
+    fn sigs(rows: &[&[&str]]) -> Vec<LineSignature> {
+        line_signatures(
+            &rows.iter().map(|r| r.iter().map(|s| s.to_string()).collect()).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn rule_names_are_unique() {
+        let rules = rule_set();
+        let mut names: Vec<&str> = rules.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), rules.len());
+    }
+
+    #[test]
+    fn first_line_rule_fires_only_on_first() {
+        let s = sigs(&[&["a", "b"], &["1", "2"]]);
+        let rules = rule_set();
+        let first = rules.iter().find(|r| r.name == "first_line_is_header").unwrap();
+        assert!(first.fire(&s[0], &ctx(2)).is_some());
+        assert!(first.fire(&s[1], &ctx(2)).is_none());
+    }
+
+    #[test]
+    fn numeric_line_votes_data() {
+        let s = sigs(&[&["h", "h"], &["14,373", "96.7%"]]);
+        let rules = rule_set();
+        let all_num = rules.iter().find(|r| r.name == "all_numeric_is_data").unwrap();
+        let v = all_num.fire(&s[1], &ctx(2)).unwrap();
+        assert_eq!(v.class, LineClass::Data);
+        assert!(all_num.fire(&s[0], &ctx(2)).is_none());
+    }
+
+    #[test]
+    fn lone_text_votes_subheader_inside_body_only() {
+        let s = sigs(&[&["a", "b"], &["Section", ""], &["1", "2"]]);
+        let rules = rule_set();
+        let lone = rules.iter().find(|r| r.name == "lone_leading_text_is_subheader").unwrap();
+        assert_eq!(lone.fire(&s[1], &ctx(3)).unwrap().class, LineClass::Subheader);
+        // Last line can't be a subheader (nothing below it to head).
+        let s2 = sigs(&[&["a", "b"], &["1", "2"], &["Section", ""]]);
+        assert!(lone.fire(&s2[2], &ctx(3)).is_none());
+    }
+
+    #[test]
+    fn every_rule_confidence_is_in_unit_interval() {
+        let s = sigs(&[
+            &["state", "count", "Total"],
+            &["New York", "14,373", "96.7%"],
+            &["Section header", "", ""],
+            &["Indiana", "20,030", "1.5%"],
+        ]);
+        let rules = rule_set();
+        let c = ctx(4);
+        for rule in &rules {
+            for sig in &s {
+                if let Some(v) = rule.fire(sig, &c) {
+                    assert!(v.confidence > 0.0 && v.confidence <= 1.0, "{}", rule.name);
+                }
+            }
+        }
+    }
+}

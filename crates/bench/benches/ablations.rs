@@ -1,0 +1,65 @@
+//! DESIGN.md §4 ablations: contrastive fine-tuning on/off (on the
+//! low-echo corpus where it is load-bearing), embedding dimensionality,
+//! markup availability, and hierarchy echo. Prints all four blocks, then
+//! benchmarks the fine-tuning pass itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tabmeta_core::{finetune, BootstrapLabeler, FinetuneConfig, WeakLabels};
+use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+use tabmeta_eval::experiments::ablation;
+use tabmeta_eval::ExperimentConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = ExperimentConfig { tables_per_corpus: 300, seed: 0xab1a };
+    println!(
+        "\n{}",
+        ablation::render(
+            "Ablation: contrastive fine-tuning (low-echo corpus)",
+            &ablation::finetune_ablation(&cfg)
+        )
+    );
+    println!(
+        "{}",
+        ablation::render(
+            "Ablation: embedding dimensionality",
+            &ablation::dimension_ablation(&cfg, &[16, 48, 96])
+        )
+    );
+    println!(
+        "{}",
+        ablation::render("Ablation: markup availability", &ablation::markup_ablation(&cfg))
+    );
+    println!(
+        "{}",
+        ablation::render("Ablation: hierarchy echo", &ablation::echo_ablation(&cfg))
+    );
+
+    // Kernel: one fine-tuning epoch over 60 weakly-labeled tables.
+    let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 60, seed: 3 });
+    let labeler = BootstrapLabeler::default();
+    let weak: Vec<WeakLabels> = corpus.tables.iter().map(|t| labeler.label(t)).collect();
+    let tokenizer = tabmeta_text::Tokenizer::default();
+    let (embedder, _) = tabmeta_embed::Word2Vec::train(
+        &tabmeta_embed::sentences_from_tables(
+            &corpus.tables,
+            &tokenizer,
+            &tabmeta_embed::SentenceConfig::default(),
+        ),
+        tabmeta_embed::SgnsConfig { dim: 48, epochs: 1, seed: 3, ..Default::default() },
+    );
+    let ft = FinetuneConfig { epochs: 1, ..Default::default() };
+    c.bench_function("ablations/finetune_epoch_60_tables", |b| {
+        b.iter(|| {
+            let mut e = embedder.clone();
+            black_box(finetune::run(&corpus.tables, &weak, &mut e, &tokenizer, &ft))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

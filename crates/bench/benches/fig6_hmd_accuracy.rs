@@ -1,0 +1,35 @@
+//! Paper Figure 6: HMD detection accuracy, levels 1–5, across corpora.
+//! Prints the regenerated chart, then benchmarks the row-axis walk.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tabmeta_bench::{bench_config, fixture};
+use tabmeta_corpora::CorpusKind;
+use tabmeta_eval::experiments::accuracy;
+
+fn bench(c: &mut Criterion) {
+    let results = accuracy::run(&CorpusKind::ALL, &bench_config());
+    let series = accuracy::fig6(&results);
+    println!(
+        "\n{}",
+        accuracy::render_figure("Fig. 6: Accuracy of HMD Detection, Levels 1-5", &series)
+    );
+
+    let f = fixture(CorpusKind::Ckg);
+    // Deepest table in the test split stresses the level walk hardest.
+    let t = f
+        .test
+        .iter()
+        .max_by_key(|t| t.truth.as_ref().unwrap().hmd_depth())
+        .unwrap();
+    c.bench_function("fig6/classify_deepest_table", |b| {
+        b.iter(|| black_box(f.pipeline.classify(black_box(t))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

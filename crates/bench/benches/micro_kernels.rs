@@ -1,0 +1,52 @@
+//! Micro-benchmarks for the hot kernels under everything else: cosine /
+//! angle math, aggregated level vectors, tokenization, SGNS training
+//! steps, and bootstrap weak labeling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tabmeta_bench::fixture;
+use tabmeta_core::BootstrapLabeler;
+use tabmeta_corpora::CorpusKind;
+use tabmeta_linalg::{angle_degrees, cosine_similarity, dot, norm};
+use tabmeta_text::Tokenizer;
+
+fn bench(c: &mut Criterion) {
+    let a: Vec<f32> = (0..300).map(|i| (i as f32 * 0.37).sin()).collect();
+    let b_: Vec<f32> = (0..300).map(|i| (i as f32 * 0.11).cos()).collect();
+    let mut g = c.benchmark_group("linalg_300d");
+    g.throughput(Throughput::Elements(300));
+    g.bench_function("dot", |b| b.iter(|| black_box(dot(black_box(&a), black_box(&b_)))));
+    g.bench_function("norm", |b| b.iter(|| black_box(norm(black_box(&a)))));
+    g.bench_function("cosine", |b| {
+        b.iter(|| black_box(cosine_similarity(black_box(&a), black_box(&b_))))
+    });
+    g.bench_function("angle_degrees", |b| {
+        b.iter(|| black_box(angle_degrees(black_box(&a), black_box(&b_))))
+    });
+    g.finish();
+
+    let tok = Tokenizer::default();
+    let cell = "State University of New York: 14,373 students (96.7%)";
+    c.bench_function("tokenize_cell", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| {
+            buf.clear();
+            tok.tokenize_into(black_box(cell), &mut buf);
+            black_box(buf.len())
+        })
+    });
+
+    let f = fixture(CorpusKind::Ckg);
+    let t = &f.test[0];
+    let labeler = BootstrapLabeler::default();
+    c.bench_function("bootstrap_label_table", |b| {
+        b.iter(|| black_box(labeler.label(black_box(t))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

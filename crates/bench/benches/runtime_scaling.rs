@@ -1,0 +1,41 @@
+//! §IV-G: training cost, per-table inference latency vs table size
+//! (linearity), and the hybrid routing measurement. Prints the regenerated
+//! report, then benchmarks per-size classification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tabmeta_bench::{bench_config, fixture};
+use tabmeta_corpora::CorpusKind;
+use tabmeta_eval::experiments::runtime;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    let cost = runtime::training_cost(CorpusKind::Ckg, &cfg);
+    let scaling = runtime::inference_scaling(&cfg);
+    println!("\n{}", runtime::render(&cost, &scaling));
+    let (hybrid, ours, frac) = runtime::hybrid_routing(&cfg);
+    println!(
+        "Hybrid routing: {:.3}ms/table vs ours-only {:.3}ms/table ({}% routed cheap)\n",
+        hybrid * 1e3,
+        ours * 1e3,
+        (frac * 100.0).round()
+    );
+
+    let f = fixture(CorpusKind::Ckg);
+    let mut by_size: Vec<&tabmeta_tabular::Table> = f.test.iter().collect();
+    by_size.sort_by_key(|t| t.n_cells());
+    let mut g = c.benchmark_group("runtime/classify_by_cells");
+    for t in [by_size[0], by_size[by_size.len() / 2], by_size[by_size.len() - 1]] {
+        g.bench_with_input(BenchmarkId::from_parameter(t.n_cells()), t, |b, t| {
+            b.iter(|| black_box(f.pipeline.classify(black_box(t))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

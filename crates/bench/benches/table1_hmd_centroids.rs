@@ -1,0 +1,39 @@
+//! Paper Table I: centroid ranges & transition angles for HMD levels 2–5
+//! (CKG, CORD-19, CIUS, SAUS). Prints the regenerated rows, then
+//! benchmarks the centroid-estimation kernel they come from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tabmeta_bench::bench_config;
+use tabmeta_corpora::CorpusKind;
+use tabmeta_eval::experiments::centroids;
+
+fn bench(c: &mut Criterion) {
+    let kinds =
+        [CorpusKind::Ckg, CorpusKind::Cord19, CorpusKind::Cius, CorpusKind::Saus];
+    let tables = centroids::run(&kinds, &bench_config());
+    println!(
+        "\n{}",
+        centroids::render(
+            "TABLE I: Centroid and Angles for Identifying Levels 2-5 of HMD",
+            &tables.table1,
+            true
+        )
+    );
+
+    let split = tabmeta_eval::split_corpus(CorpusKind::Ckg, &bench_config());
+    let methods = tabmeta_eval::train_all(&split, &bench_config());
+    c.bench_function("table1/centroid_model_read", |b| {
+        b.iter(|| {
+            let model = methods.ours.centroids();
+            black_box(centroids::centroid_rows(CorpusKind::Ckg, model, tabmeta_tabular::Axis::Row, 2..=5))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

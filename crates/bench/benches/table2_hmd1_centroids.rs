@@ -1,0 +1,33 @@
+//! Paper Table II: level-1 HMD centroids & Δ(MDE,DE) for all 6 corpora.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tabmeta_bench::{bench_config, fixture};
+use tabmeta_corpora::CorpusKind;
+use tabmeta_eval::experiments::centroids;
+
+fn bench(c: &mut Criterion) {
+    let tables = centroids::run(&CorpusKind::ALL, &bench_config());
+    println!(
+        "\n{}",
+        centroids::render(
+            "TABLE II: Centroid and Angles for Identifying Level 1 HMD",
+            &tables.table2,
+            false
+        )
+    );
+
+    // Kernel: aggregated level vectors + angle walk over one table's rows.
+    let f = fixture(CorpusKind::Ckg);
+    let t = &f.test[0];
+    c.bench_function("table2/classify_rows_one_table", |b| {
+        b.iter(|| black_box(f.pipeline.classify(black_box(t))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

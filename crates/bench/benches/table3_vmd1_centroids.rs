@@ -1,0 +1,49 @@
+//! Paper Table III: level-1 VMD centroids & Δ for the 5 VMD corpora.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tabmeta_bench::{bench_config, fixture};
+use tabmeta_corpora::CorpusKind;
+use tabmeta_eval::experiments::centroids;
+
+fn bench(c: &mut Criterion) {
+    let kinds = [
+        CorpusKind::Cord19,
+        CorpusKind::Ckg,
+        CorpusKind::Wdc,
+        CorpusKind::Cius,
+        CorpusKind::Saus,
+    ];
+    let tables = centroids::run(&kinds, &bench_config());
+    println!(
+        "\n{}",
+        centroids::render(
+            "TABLE III: Centroid and Angles for Identifying Level 1 VMD",
+            &tables.table3,
+            false
+        )
+    );
+
+    // Kernel: column-axis aggregation (the transpose walk of §III-D2).
+    let f = fixture(CorpusKind::Cius);
+    let t = &f.test[0];
+    let tok = f.pipeline.tokenizer().clone();
+    let emb = f.pipeline.embedder().clone();
+    c.bench_function("table3/column_axis_vectors", |b| {
+        b.iter(|| {
+            black_box(tabmeta_core::aggregate::axis_vectors(
+                black_box(t),
+                tabmeta_tabular::Axis::Column,
+                &emb,
+                &tok,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Paper Table IV: VMD levels 2–3 centroids & transition angles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tabmeta_bench::bench_config;
+use tabmeta_corpora::CorpusKind;
+use tabmeta_eval::experiments::centroids;
+use tabmeta_linalg::{angle_degrees, RangeEstimator};
+
+fn bench(c: &mut Criterion) {
+    let kinds =
+        [CorpusKind::Cord19, CorpusKind::Ckg, CorpusKind::Cius, CorpusKind::Saus];
+    let tables = centroids::run(&kinds, &bench_config());
+    println!(
+        "\n{}",
+        centroids::render(
+            "TABLE IV: Centroid and Angle Calculations for Identifying Levels 2-3 of VMD",
+            &tables.table4,
+            true
+        )
+    );
+
+    // Kernel: the range estimator the centroid tables are built from.
+    let angles: Vec<f32> = (0..4096)
+        .map(|i| {
+            let a = [1.0f32, (i as f32 * 0.37).sin()];
+            let b = [(i as f32 * 0.11).cos(), 1.0f32];
+            angle_degrees(&a, &b)
+        })
+        .collect();
+    c.bench_function("table4/range_estimation_4096_angles", |b| {
+        b.iter(|| {
+            let mut est = RangeEstimator::new();
+            for &a in &angles {
+                est.push(a);
+            }
+            black_box(est.robust())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

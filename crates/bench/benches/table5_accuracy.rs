@@ -1,0 +1,36 @@
+//! Paper Table V: per-corpus per-level accuracy, ours vs Pytheas vs Table
+//! Transformer, plus the Fang et al. RF combined comparison (§IV-F).
+//! Prints the regenerated table, then benchmarks corpus-level
+//! classification throughput (the "scalable" claim).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tabmeta_bench::{bench_config, fixture};
+use tabmeta_corpora::CorpusKind;
+use tabmeta_eval::experiments::accuracy;
+
+fn bench(c: &mut Criterion) {
+    let results = accuracy::run(&CorpusKind::ALL, &bench_config());
+    println!("\n{}", accuracy::render_table5(&results));
+
+    let f = fixture(CorpusKind::Ckg);
+    let mut g = c.benchmark_group("table5");
+    g.throughput(Throughput::Elements(f.test.len() as u64));
+    g.bench_function("classify_corpus_parallel", |b| {
+        b.iter(|| black_box(f.pipeline.classify_corpus(black_box(&f.test))))
+    });
+    g.bench_function("classify_corpus_sequential", |b| {
+        b.iter(|| {
+            let v: Vec<_> = f.test.iter().map(|t| f.pipeline.classify(t)).collect();
+            black_box(v)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

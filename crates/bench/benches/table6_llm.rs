@@ -1,0 +1,36 @@
+//! Paper Table VI: simulated GPT-3.5 / GPT-4 / RAG+GPT-4 on CKG. Prints
+//! the regenerated table, then benchmarks the full prompt→response→parse
+//! round-trip per table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tabmeta_baselines::{LlmKind, RagStore, SimulatedLlm, TableClassifier};
+use tabmeta_bench::bench_config;
+use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+use tabmeta_eval::experiments::llm;
+
+fn bench(c: &mut Criterion) {
+    let comparison = llm::run(&bench_config());
+    println!("\n{}", llm::render_table6(&comparison));
+
+    let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 64, seed: 5 });
+    let plain = SimulatedLlm::new(LlmKind::Gpt4, 1);
+    let rag = SimulatedLlm::with_rag(LlmKind::Gpt4, 1, RagStore::build(&corpus.tables));
+    let t = &corpus.tables[0];
+    c.bench_function("table6/llm_roundtrip", |b| {
+        b.iter(|| black_box(plain.classify_table(black_box(t))))
+    });
+    c.bench_function("table6/llm_rag_roundtrip", |b| {
+        b.iter(|| black_box(rag.classify_table(black_box(t))))
+    });
+    c.bench_function("table6/prompt_render", |b| {
+        b.iter(|| black_box(plain.prompt_for(black_box(t))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

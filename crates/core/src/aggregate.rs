@@ -1,0 +1,166 @@
+//! Aggregated level vectors (Def. 8): one vector per table row or column,
+//! the summation of its cells' term embeddings.
+
+use tabmeta_embed::TermEmbedder;
+use tabmeta_tabular::{Axis, Table};
+use tabmeta_text::Tokenizer;
+
+/// Compute the aggregated embedding of one level (row or column).
+///
+/// Blank cells contribute nothing; returns `None` when no term of the
+/// level embeds (fully blank or fully OOV level).
+pub fn level_vector<E: TermEmbedder + ?Sized>(
+    table: &Table,
+    axis: Axis,
+    index: usize,
+    embedder: &E,
+    tokenizer: &Tokenizer,
+) -> Option<Vec<f32>> {
+    let mut out = vec![0.0f32; embedder.dim()];
+    let mut any = false;
+    let mut buf = Vec::new();
+    for cell in table.level_cells(axis, index) {
+        if cell.is_blank() {
+            continue;
+        }
+        buf.clear();
+        tokenizer.tokenize_into(&cell.text, &mut buf);
+        for tok in &buf {
+            any |= embedder.accumulate(&tok.text, &mut out);
+        }
+    }
+    any.then_some(out)
+}
+
+/// Aggregated vectors for every level along `axis` (index-aligned; `None`
+/// entries are blank/OOV levels).
+pub fn axis_vectors<E: TermEmbedder + ?Sized>(
+    table: &Table,
+    axis: Axis,
+    embedder: &E,
+    tokenizer: &Tokenizer,
+) -> Vec<Option<Vec<f32>>> {
+    (0..table.n_levels(axis))
+        .map(|i| level_vector(table, axis, i, embedder, tokenizer))
+        .collect()
+}
+
+/// The terms of one level, post-tokenization — the constituency set that
+/// contrastive fine-tuning distributes gradients over.
+pub fn level_terms(table: &Table, axis: Axis, index: usize, tokenizer: &Tokenizer) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut buf = Vec::new();
+    for cell in table.level_cells(axis, index) {
+        if cell.is_blank() {
+            continue;
+        }
+        buf.clear();
+        tokenizer.tokenize_into(&cell.text, &mut buf);
+        out.extend(buf.drain(..).map(|t| t.text));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use tabmeta_embed::TunableEmbedder;
+
+    #[derive(Default)]
+    struct MapEmbedder {
+        dim: usize,
+        map: HashMap<String, Vec<f32>>,
+    }
+
+    impl TermEmbedder for MapEmbedder {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+        fn accumulate(&self, term: &str, out: &mut [f32]) -> bool {
+            if let Some(v) = self.map.get(term) {
+                tabmeta_linalg::add_assign(out, v);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    impl TunableEmbedder for MapEmbedder {
+        fn apply_gradient(&mut self, term: &str, grad: &[f32]) {
+            if let Some(v) = self.map.get_mut(term) {
+                tabmeta_linalg::add_assign(v, grad);
+            }
+        }
+    }
+
+    fn embedder() -> MapEmbedder {
+        let mut e = MapEmbedder { dim: 2, map: HashMap::new() };
+        e.map.insert("age".into(), vec![1.0, 0.0]);
+        e.map.insert("sex".into(), vec![0.5, 0.5]);
+        e.map.insert("<int>".into(), vec![0.0, 1.0]);
+        e
+    }
+
+    #[test]
+    fn row_vector_sums_embedded_terms() {
+        let t = Table::from_strings(1, &[&["age", "sex"], &["41", "42"]]);
+        let e = embedder();
+        let tok = Tokenizer::default();
+        let v = level_vector(&t, Axis::Row, 0, &e, &tok).unwrap();
+        assert_eq!(v, vec![1.5, 0.5]);
+        let d = level_vector(&t, Axis::Row, 1, &e, &tok).unwrap();
+        assert_eq!(d, vec![0.0, 2.0], "both numerics collapse to <int>");
+    }
+
+    #[test]
+    fn blank_or_oov_levels_are_none() {
+        let t = Table::from_strings(1, &[&["", "zzz"], &["", ""]]);
+        let e = embedder();
+        let tok = Tokenizer::default();
+        assert!(level_vector(&t, Axis::Row, 0, &e, &tok).is_none(), "zzz is OOV");
+        assert!(level_vector(&t, Axis::Row, 1, &e, &tok).is_none());
+        assert!(level_vector(&t, Axis::Column, 0, &e, &tok).is_none());
+    }
+
+    #[test]
+    fn axis_vectors_align_with_indices() {
+        let t = Table::from_strings(1, &[&["age", ""], &["41", ""]]);
+        let e = embedder();
+        let tok = Tokenizer::default();
+        let rows = axis_vectors(&t, Axis::Row, &e, &tok);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].is_some() && rows[1].is_some());
+        let cols = axis_vectors(&t, Axis::Column, &e, &tok);
+        assert!(cols[0].is_some());
+        assert!(cols[1].is_none(), "fully blank column");
+    }
+
+    #[test]
+    fn sum_vs_mean_aggregation_classifies_identically() {
+        // §III-C weighs summation against alternatives; for this angle-
+        // based method the sum-vs-mean choice is *analytically* neutral:
+        // the mean is the sum scaled by 1/n, and angles are scale-
+        // invariant — so every range test in Algorithm 1 sees the same
+        // geometry either way. (linalg property tests cover the scale
+        // invariance itself; this pins the consequence at the level API.)
+        let t = Table::from_strings(1, &[&["age", "sex"], &["41", "42"]]);
+        let e = embedder();
+        let tok = Tokenizer::default();
+        let sum = level_vector(&t, Axis::Row, 0, &e, &tok).unwrap();
+        let n = level_terms(&t, Axis::Row, 0, &tok).len() as f32;
+        let mean: Vec<f32> = sum.iter().map(|x| x / n).collect();
+        let other = level_vector(&t, Axis::Row, 1, &e, &tok).unwrap();
+        let a1 = tabmeta_linalg::angle_degrees(&sum, &other);
+        let a2 = tabmeta_linalg::angle_degrees(&mean, &other);
+        assert!((a1 - a2).abs() < 1e-4, "{a1} vs {a2}");
+    }
+
+    #[test]
+    fn level_terms_lists_tokens_in_order() {
+        let t = Table::from_strings(1, &[&["age group", "sex"]]);
+        let terms = level_terms(&t, Axis::Row, 0, &Tokenizer::default());
+        assert_eq!(terms, vec!["age", "group", "sex"]);
+    }
+}

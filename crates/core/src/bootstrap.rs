@@ -1,0 +1,423 @@
+//! Bootstrap weak labeling (§III-B).
+//!
+//! *"To calculate centroids in unsupervised manner, we used a subset of our
+//! datasets that has markup for metadata in the HTML tags. … The script
+//! labels HMD using tags like `<thead>`, `<th>`, `<tr>`, and labels data
+//! using `<td>`. For VMD labeling, it checks for bold tags/attributes or
+//! empty space characters in the first column. … In some datasets such
+//! partial HTML tag markup may not be available (e.g., in SAUS and CIUS).
+//! In that case, we used the first row/column instead."*
+//!
+//! Weak labels are per-level (row/column) booleans: metadata vs data vs
+//! unknown. They seed centroid estimation and contrastive pair mining;
+//! they never touch the classification phase.
+// Grid construction walks coordinates; index loops are the clear form here.
+#![allow(clippy::needless_range_loop)]
+
+
+use tabmeta_tabular::{Axis, Table};
+use tabmeta_text::classify_numeric;
+
+/// One level's weak label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeakLabel {
+    /// Level looks like metadata.
+    Metadata,
+    /// Level looks like data.
+    Data,
+    /// No evidence either way.
+    Unknown,
+}
+
+/// Weak labels for a whole table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeakLabels {
+    /// Per-row weak labels.
+    pub rows: Vec<WeakLabel>,
+    /// Per-column weak labels.
+    pub columns: Vec<WeakLabel>,
+    /// Whether markup (vs the positional fallback) produced the labels.
+    pub from_markup: bool,
+}
+
+impl WeakLabels {
+    /// Indices of weak-metadata levels along `axis`.
+    pub fn metadata_indices(&self, axis: Axis) -> Vec<usize> {
+        self.along(axis)
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == WeakLabel::Metadata)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of weak-data levels along `axis`.
+    pub fn data_indices(&self, axis: Axis) -> Vec<usize> {
+        self.along(axis)
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l == WeakLabel::Data)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn along(&self, axis: Axis) -> &[WeakLabel] {
+        match axis {
+            Axis::Row => &self.rows,
+            Axis::Column => &self.columns,
+        }
+    }
+}
+
+/// Deepest weak-metadata run the positional fallback may produce (matches
+/// the paper's deepest HMD level).
+const MAX_FALLBACK_HMD: usize = 5;
+
+/// Demote body rows with the section-header shape (one leading textual
+/// cell, rest blank) from `Data` to `Unknown`. CMD rows carry no reliable
+/// tags ("metadata may also exist in the middle of the table", Def. 4) —
+/// weak-labeling them as data would make contrastive fine-tuning pull
+/// section vocabulary into the data cluster and blind the classifier's
+/// CMD extension.
+fn demote_section_shaped_rows(table: &Table, rows: &mut [WeakLabel]) {
+    for (i, label) in rows.iter_mut().enumerate() {
+        if *label != WeakLabel::Data {
+            continue;
+        }
+        let cells = table.row(i);
+        let non_blank: Vec<_> = cells.iter().filter(|c| !c.is_blank()).collect();
+        let lone_text = non_blank.len() == 1
+            && !cells[0].is_blank()
+            && classify_numeric(&cells[0].text).is_none();
+        if lone_text && cells.len() >= 2 {
+            *label = WeakLabel::Unknown;
+        }
+    }
+}
+
+/// Configuration of the bootstrap labeler.
+#[derive(Debug, Clone)]
+pub struct BootstrapLabeler {
+    /// A row counts as markup-metadata when at least this fraction of its
+    /// non-blank cells carries `th`/`thead`.
+    pub row_tag_threshold: f32,
+    /// A column counts as markup-VMD when at least this fraction of its
+    /// body cells is bold, or its blank fraction exceeds
+    /// `column_blank_threshold` while its non-blank cells are textual.
+    pub column_bold_threshold: f32,
+    /// Blank-run threshold for the "empty space characters in the first
+    /// column" VMD cue.
+    pub column_blank_threshold: f32,
+    /// Only the leading `max_vmd_columns` columns are eligible for the
+    /// VMD cues (VMD is leftmost by definition).
+    pub max_vmd_columns: usize,
+}
+
+impl Default for BootstrapLabeler {
+    fn default() -> Self {
+        Self {
+            row_tag_threshold: 0.5,
+            column_bold_threshold: 0.4,
+            column_blank_threshold: 0.35,
+            max_vmd_columns: 3,
+        }
+    }
+}
+
+impl BootstrapLabeler {
+    /// Weak-label one table: markup rules when the table has markup, the
+    /// first-row/first-column fallback otherwise.
+    pub fn label(&self, table: &Table) -> WeakLabels {
+        if table.has_markup {
+            self.label_from_markup(table)
+        } else {
+            self.label_positional(table)
+        }
+    }
+
+    fn label_from_markup(&self, table: &Table) -> WeakLabels {
+        let mut rows = Vec::with_capacity(table.n_rows());
+        for i in 0..table.n_rows() {
+            let cells = table.row(i);
+            let non_blank = cells.iter().filter(|c| !c.is_blank()).count();
+            if non_blank == 0 {
+                rows.push(WeakLabel::Unknown);
+                continue;
+            }
+            let tagged = cells
+                .iter()
+                .filter(|c| !c.is_blank() && (c.markup.th || c.markup.thead))
+                .count();
+            if tagged as f32 / non_blank as f32 >= self.row_tag_threshold {
+                rows.push(WeakLabel::Metadata);
+            } else {
+                rows.push(WeakLabel::Data);
+            }
+        }
+        // Header rows must be a leading run; stray tagged rows deep in the
+        // body (tag noise) are demoted to Unknown so they cannot poison
+        // the metadata centroid.
+        let run_end = rows.iter().take_while(|l| **l == WeakLabel::Metadata).count();
+        for l in rows.iter_mut().skip(run_end) {
+            if *l == WeakLabel::Metadata {
+                *l = WeakLabel::Unknown;
+            }
+        }
+
+        let body_start = run_end;
+        let mut columns = Vec::with_capacity(table.n_cols());
+        for j in 0..table.n_cols() {
+            if j >= self.max_vmd_columns {
+                columns.push(WeakLabel::Data);
+                continue;
+            }
+            let body: Vec<&tabmeta_tabular::Cell> = (body_start..table.n_rows())
+                .map(|i| table.cell(i, j))
+                .collect();
+            if body.is_empty() {
+                columns.push(WeakLabel::Unknown);
+                continue;
+            }
+            let blanks = body.iter().filter(|c| c.is_blank()).count();
+            let non_blank = body.len() - blanks;
+            let bold = body.iter().filter(|c| !c.is_blank() && c.markup.bold).count();
+            let bold_frac = if non_blank > 0 { bold as f32 / non_blank as f32 } else { 0.0 };
+            let blank_frac = blanks as f32 / body.len() as f32;
+            let textual = body
+                .iter()
+                .filter(|c| !c.is_blank())
+                .filter(|c| tabmeta_text::classify_numeric(&c.text).is_none())
+                .count();
+            let textual_frac =
+                if non_blank > 0 { textual as f32 / non_blank as f32 } else { 0.0 };
+            let is_vmd = bold_frac >= self.column_bold_threshold
+                || (blank_frac >= self.column_blank_threshold && textual_frac >= 0.5);
+            columns.push(if is_vmd { WeakLabel::Metadata } else { WeakLabel::Data });
+        }
+        // VMD must be a leading run as well.
+        let col_run = columns.iter().take_while(|l| **l == WeakLabel::Metadata).count();
+        for l in columns.iter_mut().skip(col_run) {
+            if *l == WeakLabel::Metadata {
+                *l = WeakLabel::Unknown;
+            }
+        }
+        demote_section_shaped_rows(table, &mut rows);
+        WeakLabels { rows, columns, from_markup: true }
+    }
+
+    /// The markup-free fallback (SAUS, CIUS): the paper anchors on the
+    /// first row / first column; we extend that anchor structurally so the
+    /// weak metadata run covers *hierarchical* headers too. Scanning from
+    /// the top, a leading row stays weak-metadata while its non-blank cells
+    /// are overwhelmingly textual (data rows in these corpora are numeric-
+    /// dominated); symmetrically for leading columns. Still fully
+    /// unsupervised — only surface structure is consulted.
+    fn label_positional(&self, table: &Table) -> WeakLabels {
+        let numeric_frac = |cells: &[&tabmeta_tabular::Cell]| -> Option<f32> {
+            let non_blank: Vec<_> = cells.iter().filter(|c| !c.is_blank()).collect();
+            if non_blank.is_empty() {
+                return None;
+            }
+            let numeric = non_blank
+                .iter()
+                .filter(|c| tabmeta_text::classify_numeric(&c.text).is_some())
+                .count();
+            Some(numeric as f32 / non_blank.len() as f32)
+        };
+
+        let mut rows = vec![WeakLabel::Data; table.n_rows()];
+        for i in 0..table.n_rows().min(MAX_FALLBACK_HMD) {
+            let cells: Vec<&tabmeta_tabular::Cell> = table.row(i).iter().collect();
+            match numeric_frac(&cells) {
+                // First row is metadata by the paper's rule; deeper rows
+                // must earn it by being textual.
+                Some(f) if i == 0 || f <= 0.3 => rows[i] = WeakLabel::Metadata,
+                _ => break,
+            }
+        }
+        if rows[0] == WeakLabel::Data {
+            rows[0] = WeakLabel::Metadata;
+        }
+
+        let body_start = rows.iter().take_while(|l| **l == WeakLabel::Metadata).count();
+        let mut columns = vec![WeakLabel::Data; table.n_cols()];
+        for j in 0..table.n_cols().min(self.max_vmd_columns) {
+            let body: Vec<&tabmeta_tabular::Cell> =
+                (body_start..table.n_rows()).map(|i| table.cell(i, j)).collect();
+            let blanks = body.iter().filter(|c| c.is_blank()).count();
+            let blank_frac =
+                if body.is_empty() { 0.0 } else { blanks as f32 / body.len() as f32 };
+            match numeric_frac(&body) {
+                Some(f)
+                    if f <= 0.3 || (blank_frac >= self.column_blank_threshold && f <= 0.5) =>
+                {
+                    columns[j] = WeakLabel::Metadata
+                }
+                _ => break,
+            }
+        }
+        if columns[0] == WeakLabel::Data && table.n_cols() > 1 {
+            // Keep the paper's first-column anchor only when the column is
+            // not plainly numeric data.
+            let body: Vec<&tabmeta_tabular::Cell> =
+                (body_start..table.n_rows()).map(|i| table.cell(i, 0)).collect();
+            if numeric_frac(&body).is_none_or(|f| f <= 0.5) {
+                columns[0] = WeakLabel::Metadata;
+            }
+        }
+        demote_section_shaped_rows(table, &mut rows);
+        WeakLabels { rows, columns, from_markup: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabmeta_tabular::cell::{Cell, Markup};
+
+    fn marked_table() -> Table {
+        let mut grid: Vec<Vec<Cell>> = vec![
+            vec![Cell::text("state"), Cell::text("count"), Cell::text("rate")],
+            vec![Cell::text("new york"), Cell::text("61"), Cell::text("4.2")],
+            vec![Cell::blank(), Cell::text("27"), Cell::text("1.1")],
+            vec![Cell::text("indiana"), Cell::text("32"), Cell::text("2.0")],
+        ];
+        for c in grid[0].iter_mut() {
+            c.markup = Markup::header();
+        }
+        grid[1][0].markup.bold = true;
+        grid[3][0].markup.bold = true;
+        Table::new(1, "", grid).with_markup_flag(true)
+    }
+
+    #[test]
+    fn markup_rows_detected() {
+        let labels = BootstrapLabeler::default().label(&marked_table());
+        assert!(labels.from_markup);
+        assert_eq!(labels.rows[0], WeakLabel::Metadata);
+        assert!(labels.rows[1..].iter().all(|l| *l == WeakLabel::Data));
+        assert_eq!(labels.metadata_indices(Axis::Row), vec![0]);
+        assert_eq!(labels.data_indices(Axis::Row), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bold_and_blank_first_column_is_vmd() {
+        let labels = BootstrapLabeler::default().label(&marked_table());
+        assert_eq!(labels.columns[0], WeakLabel::Metadata);
+        assert_eq!(labels.columns[1], WeakLabel::Data);
+        assert_eq!(labels.columns[2], WeakLabel::Data);
+    }
+
+    #[test]
+    fn stray_tagged_body_row_is_demoted() {
+        let mut t = marked_table();
+        // Noise: a data row mistakenly tagged th.
+        for j in 0..3 {
+            t.cell_mut(2, j).markup.th = true;
+        }
+        let labels = BootstrapLabeler::default().label(&t);
+        assert_eq!(labels.rows[2], WeakLabel::Unknown, "stray tag must not become metadata");
+    }
+
+    #[test]
+    fn section_shaped_body_rows_are_unknown_not_data() {
+        // A mid-table section row must not be weak-labeled data — it would
+        // poison the contrastive data cluster with header vocabulary.
+        let t = Table::from_strings(
+            9,
+            &[
+                &["state", "count"],
+                &["york", "2"],
+                &["Offenses known", ""],
+                &["kent", "4"],
+            ],
+        );
+        let labels = BootstrapLabeler::default().label(&t);
+        assert_eq!(labels.rows[2], WeakLabel::Unknown, "section shape → Unknown");
+        assert_eq!(labels.rows[1], WeakLabel::Data);
+        // Numeric lone cells stay data (a sparse numeric row is data).
+        let t2 = Table::from_strings(
+            10,
+            &[&["a", "b"], &["42", ""], &["1", "2"]],
+        );
+        let l2 = BootstrapLabeler::default().label(&t2);
+        assert_eq!(l2.rows[1], WeakLabel::Data);
+    }
+
+    #[test]
+    fn positional_fallback_when_no_markup() {
+        let t = Table::from_strings(
+            2,
+            &[&["name", "count"], &["york", "2"], &["kent", "4"]],
+        );
+        let labels = BootstrapLabeler::default().label(&t);
+        assert!(!labels.from_markup);
+        assert_eq!(labels.rows[0], WeakLabel::Metadata);
+        assert_eq!(labels.rows[1], WeakLabel::Data);
+        assert_eq!(labels.columns[0], WeakLabel::Metadata, "textual first column anchors VMD");
+        assert_eq!(labels.columns[1], WeakLabel::Data);
+    }
+
+    #[test]
+    fn positional_fallback_extends_over_textual_header_rows() {
+        let t = Table::from_strings(
+            3,
+            &[
+                &["group a", "group b", "group c"],
+                &["count", "rate", "share"],
+                &["1", "2", "3"],
+                &["4", "5", "6"],
+            ],
+        );
+        let labels = BootstrapLabeler::default().label(&t);
+        assert_eq!(labels.rows[0], WeakLabel::Metadata);
+        assert_eq!(labels.rows[1], WeakLabel::Metadata, "second textual row joins the run");
+        assert_eq!(labels.rows[2], WeakLabel::Data);
+    }
+
+    #[test]
+    fn positional_fallback_skips_numeric_first_column() {
+        let t = Table::from_strings(4, &[&["year", "count"], &["2001", "5"], &["2002", "7"]]);
+        let labels = BootstrapLabeler::default().label(&t);
+        assert_eq!(
+            labels.columns[0],
+            WeakLabel::Data,
+            "an all-numeric first column must not seed the VMD centroid"
+        );
+    }
+
+    #[test]
+    fn numeric_blank_column_is_not_vmd() {
+        // A sparse numeric column must not trip the blank-run cue.
+        let mut grid: Vec<Vec<Cell>> = vec![
+            vec![Cell::text("h1"), Cell::text("h2")],
+            vec![Cell::text("5"), Cell::text("x")],
+            vec![Cell::blank(), Cell::text("y")],
+            vec![Cell::blank(), Cell::text("z")],
+        ];
+        for c in grid[0].iter_mut() {
+            c.markup = Markup::header();
+        }
+        let t = Table::new(3, "", grid).with_markup_flag(true);
+        let labels = BootstrapLabeler::default().label(&t);
+        assert_eq!(labels.columns[0], WeakLabel::Data, "numeric sparse column is data");
+    }
+
+    #[test]
+    fn far_right_columns_never_vmd() {
+        let mut grid: Vec<Vec<Cell>> =
+            vec![vec![Cell::text("a"), Cell::text("b"), Cell::text("c"), Cell::text("d"), Cell::text("e")]];
+        grid.push(
+            (0..5).map(|i| if i == 4 { Cell::blank() } else { Cell::text("v") }).collect(),
+        );
+        grid.push(
+            (0..5).map(|i| if i == 4 { Cell::blank() } else { Cell::text("w") }).collect(),
+        );
+        for c in grid[0].iter_mut() {
+            c.markup = Markup::header();
+        }
+        let t = Table::new(4, "", grid).with_markup_flag(true);
+        let labels = BootstrapLabeler::default().label(&t);
+        assert_eq!(labels.columns[4], WeakLabel::Data);
+    }
+}

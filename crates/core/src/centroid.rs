@@ -1,0 +1,468 @@
+//! Centroid angle ranges (Defs. 11–13) and the per-level transition
+//! statistics of paper Tables I–IV.
+//!
+//! During the training phase the weakly-labeled corpus yields, per axis
+//! (rows for HMD, columns for VMD):
+//!
+//! * `C_MDE` — observed angles between metadata aggregates (within-table
+//!   level pairs **and** sampled cross-table pairs; the latter is what lets
+//!   markup-free corpora, whose weak labels only cover level 1, still get
+//!   a usable metadata↔metadata range),
+//! * `C_DE` — angles between data aggregates,
+//! * `C_MDE-DE` — angles between metadata and data aggregates,
+//! * reference vectors `meta_ref` / `data_ref` (the `row_mref` / `row_dref`
+//!   the classifier compares the first level against),
+//! * per-level [`LevelPairStats`] — `Δ_{(k−1)MDE,kMDE}` and `Δ_{kMDE,DE}`,
+//!   the numbers the paper prints per corpus per level.
+
+use crate::aggregate::axis_vectors;
+use crate::bootstrap::WeakLabels;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tabmeta_embed::TermEmbedder;
+use tabmeta_linalg::{angle_degrees, AngleRange, RangeEstimator};
+use tabmeta_tabular::{Axis, Table};
+use tabmeta_text::Tokenizer;
+
+/// Per-level transition statistics (one paper table row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelPairStats {
+    /// The metadata level `k` (1-based).
+    pub level: u8,
+    /// Mean `Δ_{(k−1)MDE, kMDE}` — angle from the previous metadata level
+    /// (absent for level 1, which has no predecessor).
+    pub delta_prev_meta: Option<f32>,
+    /// Mean `Δ_{kMDE, DE}` — angle from this level to the first data level.
+    pub delta_to_data: Option<f32>,
+    /// Trimmed range of `Δ_{(k−1)MDE, kMDE}` — the level-specific
+    /// metadata-continuation range the classifier tests at depth `k`.
+    pub prev_range: AngleRange,
+    /// Trimmed range of `Δ_{kMDE, DE}` — the level-specific transition
+    /// range marking the metadata→data boundary after level `k`.
+    pub to_data_range: AngleRange,
+    /// Observed metadata↔metadata range among tables reaching this depth.
+    pub c_mde: AngleRange,
+    /// Observed metadata↔data range among tables reaching this depth.
+    pub c_mde_de: AngleRange,
+    /// Observed data↔data range among the same tables.
+    pub c_de: AngleRange,
+    /// Number of tables contributing.
+    pub support: usize,
+}
+
+/// Centroid state for one axis (rows or columns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxisCentroids {
+    /// Metadata↔metadata angle range (Def. 11).
+    pub c_mde: AngleRange,
+    /// Data↔data angle range (Def. 12).
+    pub c_de: AngleRange,
+    /// Metadata↔data angle range (Def. 13).
+    pub c_mde_de: AngleRange,
+    /// Centroid of metadata aggregates — the reference the first level is
+    /// compared against.
+    pub meta_ref: Vec<f32>,
+    /// Centroid of data aggregates.
+    pub data_ref: Vec<f32>,
+    /// Per-level statistics, `levels[k-1]` describing metadata level `k`.
+    pub levels: Vec<LevelPairStats>,
+}
+
+impl AxisCentroids {
+    /// Per-level stats for metadata level `k`, if observed during training.
+    pub fn level(&self, k: u8) -> Option<&LevelPairStats> {
+        self.levels.iter().find(|l| l.level == k)
+    }
+
+    /// Whether enough evidence was collected to classify along this axis.
+    pub fn is_usable(&self) -> bool {
+        !self.c_mde_de.is_empty()
+            && !self.c_de.is_empty()
+            && self.meta_ref.iter().any(|x| *x != 0.0)
+            && self.data_ref.iter().any(|x| *x != 0.0)
+    }
+}
+
+/// The trained centroid model: one [`AxisCentroids`] per axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CentroidModel {
+    /// Row-axis (HMD) centroids.
+    pub rows: AxisCentroids,
+    /// Column-axis (VMD) centroids.
+    pub columns: AxisCentroids,
+}
+
+impl CentroidModel {
+    /// The centroids for `axis`.
+    pub fn axis(&self, axis: Axis) -> &AxisCentroids {
+        match axis {
+            Axis::Row => &self.rows,
+            Axis::Column => &self.columns,
+        }
+    }
+}
+
+/// Estimation options.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CentroidOptions {
+    /// Percentile trim applied to every range (lo fraction).
+    pub trim_lo: f64,
+    /// Percentile trim (hi fraction).
+    pub trim_hi: f64,
+    /// Cross-table metadata reservoir size.
+    pub reservoir: usize,
+    /// Cross-table metadata pairs sampled from the reservoir.
+    pub cross_pairs: usize,
+    /// Max data↔data pairs recorded per table.
+    pub data_pairs_per_table: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl Default for CentroidOptions {
+    fn default() -> Self {
+        Self {
+            trim_lo: 0.05,
+            trim_hi: 0.95,
+            reservoir: 256,
+            cross_pairs: 512,
+            data_pairs_per_table: 6,
+            seed: 0xce17,
+        }
+    }
+}
+
+/// Accumulators for one axis during estimation.
+struct AxisAccumulator {
+    mde: RangeEstimator,
+    de: RangeEstimator,
+    mde_de: RangeEstimator,
+    meta_sum: Vec<f32>,
+    meta_n: usize,
+    data_sum: Vec<f32>,
+    data_n: usize,
+    reservoir: Vec<Vec<f32>>,
+    seen_meta: usize,
+    level_prev: Vec<RangeEstimator>,
+    level_to_data: Vec<RangeEstimator>,
+    level_support: Vec<usize>,
+}
+
+const MAX_LEVELS: usize = 5;
+
+impl AxisAccumulator {
+    fn new(dim: usize) -> Self {
+        Self {
+            mde: RangeEstimator::new(),
+            de: RangeEstimator::new(),
+            mde_de: RangeEstimator::new(),
+            meta_sum: vec![0.0; dim],
+            meta_n: 0,
+            data_sum: vec![0.0; dim],
+            data_n: 0,
+            reservoir: Vec::new(),
+            seen_meta: 0,
+            level_prev: (0..MAX_LEVELS).map(|_| RangeEstimator::new()).collect(),
+            level_to_data: (0..MAX_LEVELS).map(|_| RangeEstimator::new()).collect(),
+            level_support: vec![0; MAX_LEVELS],
+        }
+    }
+
+    fn observe_table(
+        &mut self,
+        vectors: &[Option<Vec<f32>>],
+        meta_idx: &[usize],
+        data_idx: &[usize],
+        options: &CentroidOptions,
+        rng: &mut StdRng,
+    ) {
+        let meta: Vec<&Vec<f32>> =
+            meta_idx.iter().filter_map(|&i| vectors[i].as_ref()).collect();
+        let data: Vec<&Vec<f32>> =
+            data_idx.iter().filter_map(|&i| vectors[i].as_ref()).collect();
+
+        for v in &meta {
+            tabmeta_linalg::add_assign(&mut self.meta_sum, v);
+            self.meta_n += 1;
+            // Reservoir sampling for cross-table metadata pairs.
+            self.seen_meta += 1;
+            if self.reservoir.len() < options.reservoir {
+                self.reservoir.push((*v).clone());
+            } else {
+                let j = rng.random_range(0..self.seen_meta);
+                if j < options.reservoir {
+                    self.reservoir[j] = (*v).clone();
+                }
+            }
+        }
+        for v in &data {
+            tabmeta_linalg::add_assign(&mut self.data_sum, v);
+            self.data_n += 1;
+        }
+
+        // Within-table metadata level pairs.
+        for w in meta.windows(2) {
+            self.mde.push(angle_degrees(w[0], w[1]));
+        }
+        // Data pairs: consecutive, capped.
+        for w in data.windows(2).take(options.data_pairs_per_table) {
+            self.de.push(angle_degrees(w[0], w[1]));
+        }
+        // Metadata ↔ data pairs: each metadata level against the first
+        // data level (the transition the classifier detects) plus one
+        // random data level for range coverage.
+        if let Some(first_data) = data.first() {
+            for m in &meta {
+                self.mde_de.push(angle_degrees(m, first_data));
+            }
+            if data.len() > 1 {
+                for m in &meta {
+                    let d = data[rng.random_range(0..data.len())];
+                    self.mde_de.push(angle_degrees(m, d));
+                }
+            }
+        }
+
+        // Per-level transitions. Weak metadata levels are a leading run, so
+        // the vector at meta position k-1 is "level k".
+        let depth = meta.len().min(MAX_LEVELS);
+        for k in 1..=depth {
+            self.level_support[k - 1] += 1;
+            if k >= 2 {
+                self.level_prev[k - 1].push(angle_degrees(meta[k - 2], meta[k - 1]));
+            }
+            if let Some(first_data) = data.first() {
+                self.level_to_data[k - 1].push(angle_degrees(meta[k - 1], first_data));
+            }
+        }
+    }
+
+    fn finish(mut self, options: &CentroidOptions, rng: &mut StdRng) -> AxisCentroids {
+        // Cross-table metadata pairs from the reservoir.
+        if self.reservoir.len() >= 2 {
+            for _ in 0..options.cross_pairs {
+                let i = rng.random_range(0..self.reservoir.len());
+                let mut j = rng.random_range(0..self.reservoir.len());
+                if i == j {
+                    j = (j + 1) % self.reservoir.len();
+                }
+                self.mde.push(angle_degrees(&self.reservoir[i], &self.reservoir[j]));
+            }
+        }
+        let trim = |e: &RangeEstimator| e.trimmed(options.trim_lo, options.trim_hi);
+        let mut meta_ref = self.meta_sum;
+        if self.meta_n > 0 {
+            tabmeta_linalg::scale(&mut meta_ref, 1.0 / self.meta_n as f32);
+        }
+        let mut data_ref = self.data_sum;
+        if self.data_n > 0 {
+            tabmeta_linalg::scale(&mut data_ref, 1.0 / self.data_n as f32);
+        }
+        let levels = (1..=MAX_LEVELS)
+            .filter(|&k| self.level_support[k - 1] > 0)
+            .map(|k| LevelPairStats {
+                level: k as u8,
+                delta_prev_meta: self.level_prev[k - 1].mean(),
+                delta_to_data: self.level_to_data[k - 1].mean(),
+                prev_range: trim(&self.level_prev[k - 1]),
+                to_data_range: trim(&self.level_to_data[k - 1]),
+                c_mde: trim(&self.mde),
+                c_mde_de: trim(&self.mde_de),
+                c_de: trim(&self.de),
+                support: self.level_support[k - 1],
+            })
+            .collect();
+        AxisCentroids {
+            c_mde: trim(&self.mde),
+            c_de: trim(&self.de),
+            c_mde_de: trim(&self.mde_de),
+            meta_ref,
+            data_ref,
+            levels,
+        }
+    }
+}
+
+/// Estimate a [`CentroidModel`] from weakly-labeled tables.
+///
+/// `tables` and `weak` must be index-aligned.
+pub fn estimate<E: TermEmbedder + ?Sized>(
+    tables: &[Table],
+    weak: &[WeakLabels],
+    embedder: &E,
+    tokenizer: &Tokenizer,
+    options: &CentroidOptions,
+) -> CentroidModel {
+    assert_eq!(tables.len(), weak.len(), "tables and weak labels must align");
+    let dim = embedder.dim();
+    let mut rows_acc = AxisAccumulator::new(dim);
+    let mut cols_acc = AxisAccumulator::new(dim);
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    for (table, labels) in tables.iter().zip(weak) {
+        let row_vecs = axis_vectors(table, Axis::Row, embedder, tokenizer);
+        rows_acc.observe_table(
+            &row_vecs,
+            &labels.metadata_indices(Axis::Row),
+            &labels.data_indices(Axis::Row),
+            options,
+            &mut rng,
+        );
+        let col_vecs = axis_vectors(table, Axis::Column, embedder, tokenizer);
+        cols_acc.observe_table(
+            &col_vecs,
+            &labels.metadata_indices(Axis::Column),
+            &labels.data_indices(Axis::Column),
+            options,
+            &mut rng,
+        );
+    }
+    CentroidModel {
+        rows: rows_acc.finish(options, &mut rng),
+        columns: cols_acc.finish(options, &mut rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bootstrap::BootstrapLabeler;
+    use std::collections::HashMap;
+
+    /// Embedder with two well-separated directions: header terms along x,
+    /// data terms along y (plus a slight spread per term).
+    struct TwoCluster {
+        map: HashMap<String, Vec<f32>>,
+    }
+
+    impl TwoCluster {
+        fn new() -> Self {
+            let mut map = HashMap::new();
+            for (i, t) in ["age", "sex", "rate", "count"].iter().enumerate() {
+                map.insert(t.to_string(), vec![1.0, 0.1 * i as f32, 0.0]);
+            }
+            for (i, t) in ["<int>", "<bigint>", "<dec>", "<pct>"].iter().enumerate() {
+                map.insert(t.to_string(), vec![0.0, 0.1 * i as f32, 1.0]);
+            }
+            // Entity names sit between but closer to data.
+            map.insert("york".to_string(), vec![0.2, 0.5, 0.8]);
+            map.insert("new".to_string(), vec![0.2, 0.4, 0.8]);
+            Self { map }
+        }
+    }
+
+    impl TermEmbedder for TwoCluster {
+        fn dim(&self) -> usize {
+            3
+        }
+        fn accumulate(&self, term: &str, out: &mut [f32]) -> bool {
+            if let Some(v) = self.map.get(term) {
+                tabmeta_linalg::add_assign(out, v);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    fn corpus() -> Vec<Table> {
+        (0..12u64)
+            .map(|id| {
+                Table::from_strings(
+                    id,
+                    &[
+                        &["age", "sex", "rate"],
+                        &["1", "2", "3"],
+                        &["14,373", "96.7%", "21.6"],
+                        &["4", "5", "6"],
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn estimate_separates_ranges() {
+        let tables = corpus();
+        let labeler = BootstrapLabeler::default();
+        let weak: Vec<WeakLabels> = tables.iter().map(|t| labeler.label(t)).collect();
+        let model = estimate(
+            &tables,
+            &weak,
+            &TwoCluster::new(),
+            &Tokenizer::default(),
+            &CentroidOptions::default(),
+        );
+        let rows = &model.rows;
+        assert!(rows.is_usable());
+        // Data rows are all numeric-class aggregates: tight range near 0.
+        assert!(rows.c_de.hi < 30.0, "C_DE too wide: {:?}", rows.c_de);
+        // Header vs data is nearly orthogonal in this embedder.
+        assert!(rows.c_mde_de.lo > 45.0, "C_MDE-DE too low: {:?}", rows.c_mde_de);
+        // Cross-table header pairs are tight (identical headers).
+        assert!(rows.c_mde.hi < 30.0, "C_MDE too wide: {:?}", rows.c_mde);
+        // Reference vectors point along the right axes.
+        assert!(rows.meta_ref[0] > rows.meta_ref[2]);
+        assert!(rows.data_ref[2] > rows.data_ref[0]);
+    }
+
+    #[test]
+    fn level_stats_cover_observed_depths() {
+        let tables = corpus();
+        let labeler = BootstrapLabeler::default();
+        let weak: Vec<WeakLabels> = tables.iter().map(|t| labeler.label(t)).collect();
+        let model = estimate(
+            &tables,
+            &weak,
+            &TwoCluster::new(),
+            &Tokenizer::default(),
+            &CentroidOptions::default(),
+        );
+        // Positional fallback gives exactly level-1 weak metadata.
+        assert_eq!(model.rows.levels.len(), 1);
+        let l1 = &model.rows.levels[0];
+        assert_eq!(l1.level, 1);
+        assert!(l1.delta_prev_meta.is_none());
+        assert!(l1.delta_to_data.unwrap() > 45.0);
+        assert_eq!(l1.support, 12);
+    }
+
+    #[test]
+    fn estimation_is_deterministic() {
+        let tables = corpus();
+        let labeler = BootstrapLabeler::default();
+        let weak: Vec<WeakLabels> = tables.iter().map(|t| labeler.label(t)).collect();
+        let e = TwoCluster::new();
+        let tok = Tokenizer::default();
+        let opts = CentroidOptions::default();
+        let a = estimate(&tables, &weak, &e, &tok, &opts);
+        let b = estimate(&tables, &weak, &e, &tok, &opts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn misaligned_inputs_panic() {
+        let tables = corpus();
+        let _ = estimate(
+            &tables,
+            &[],
+            &TwoCluster::new(),
+            &Tokenizer::default(),
+            &CentroidOptions::default(),
+        );
+    }
+
+    #[test]
+    fn empty_corpus_is_unusable_not_panicking() {
+        let model = estimate(
+            &[],
+            &[],
+            &TwoCluster::new(),
+            &Tokenizer::default(),
+            &CentroidOptions::default(),
+        );
+        assert!(!model.rows.is_usable());
+        assert!(!model.columns.is_usable());
+    }
+}

@@ -1,0 +1,591 @@
+//! Algorithm 1: metadata classification in Generally Structured Tables.
+//!
+//! The classifier walks a table's levels in order. The **first** level is
+//! labeled by its closest reference centroid (`row_mref` vs `row_dref` in
+//! §III-D1). Every **following** level is labeled by where the angle to
+//! its predecessor falls:
+//!
+//! * inside `C_MDE`   → still metadata, depth grows;
+//! * inside `C_MDE-DE` → the metadata→data transition — everything from
+//!   here on is data and the recorded depth is final;
+//! * in neither range → the nearer range (by distance to its closest edge)
+//!   decides, which is how tables whose angles drift slightly outside the
+//!   training ranges still classify.
+//!
+//! Rows are walked first (HMD), then columns (VMD) — "the analysis is
+//! transposed to consider columns rather than rows" (§III-D2). A CMD
+//! extension inspects post-boundary rows for the mid-table section-header
+//! signature (sparse row whose aggregate sits closer to the metadata
+//! reference).
+
+use crate::aggregate::axis_vectors;
+use crate::centroid::CentroidModel;
+use serde::{Deserialize, Serialize};
+use tabmeta_embed::TermEmbedder;
+use tabmeta_linalg::angle_degrees;
+use tabmeta_tabular::{Axis, LevelLabel, Table};
+use tabmeta_text::Tokenizer;
+
+/// How levels are labeled along an axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WalkStrategy {
+    /// Algorithm 1: sequential angle walk over consecutive level pairs,
+    /// with level-specific transition ranges (the paper's contribution).
+    #[default]
+    AngleWalk,
+    /// Naive baseline: label each level independently by its nearest
+    /// reference centroid. No pairwise angles, no transition ranges —
+    /// kept as the internal ablation showing what the walk buys.
+    ReferenceOnly,
+}
+
+/// Classifier knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassifierConfig {
+    /// Degrees of slack added to both ends of every centroid range.
+    pub margin_deg: f32,
+    /// Maximum HMD depth (the paper evaluates 1–5).
+    pub max_hmd_depth: u8,
+    /// Maximum VMD depth (deepest found in any corpus: 3).
+    pub max_vmd_depth: u8,
+    /// Enable the CMD extension.
+    pub detect_cmd: bool,
+    /// A CMD candidate row must have at least this blank fraction.
+    pub cmd_blank_threshold: f32,
+    /// Degrees of slack on the CMD reference test: a sparse row reads as a
+    /// section header while `∠(row, meta_ref) < ∠(row, data_ref) +
+    /// tolerance`. Section phrases sit between the header and data
+    /// clusters, so a strict `<` misses many of them.
+    pub cmd_ref_tolerance_deg: f32,
+    /// Reference-consistency tolerance (degrees): a level can only extend
+    /// the metadata run while `∠(level, meta_ref) ≤ ∠(level, data_ref) +
+    /// tolerance`. This guards the angle walk against consecutive *data*
+    /// levels that happen to sit `C_MDE`-close to each other — without it,
+    /// two near-identical data columns would read as metadata continuation.
+    pub ref_tolerance_deg: f32,
+    /// Which labeling strategy to use (the ablation knob; defaults to the
+    /// paper's angle walk).
+    pub strategy: WalkStrategy,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        Self {
+            margin_deg: 5.0,
+            max_hmd_depth: 5,
+            max_vmd_depth: 3,
+            detect_cmd: true,
+            cmd_blank_threshold: 0.5,
+            cmd_ref_tolerance_deg: 10.0,
+            ref_tolerance_deg: 12.0,
+            strategy: WalkStrategy::AngleWalk,
+        }
+    }
+}
+
+/// The classification result for one table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Predicted label per row.
+    pub rows: Vec<LevelLabel>,
+    /// Predicted label per column.
+    pub columns: Vec<LevelLabel>,
+    /// Predicted HMD depth.
+    pub hmd_depth: u8,
+    /// Predicted VMD depth.
+    pub vmd_depth: u8,
+}
+
+/// Which range an observed angle matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RangeKind {
+    /// Metadata↔metadata (`C_MDE`).
+    Mde,
+    /// Metadata↔data (`C_MDE-DE`).
+    MdeDe,
+    /// Data↔data (`C_DE`).
+    De,
+    /// No range matched; nearest-edge tie-break was used.
+    Nearest,
+    /// No angle available (blank/OOV level or first level).
+    Reference,
+}
+
+/// One step of the classification walk, for worked-example output (Fig. 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStep {
+    /// Axis walked.
+    pub axis: Axis,
+    /// Level index within the axis.
+    pub index: usize,
+    /// The observed angle (to the previous level, or to the references for
+    /// the first level).
+    pub angle: Option<f32>,
+    /// Which range decided.
+    pub matched: RangeKind,
+    /// The label assigned.
+    pub decision: LevelLabel,
+}
+
+/// The classifier: centroid model + config.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Classifier {
+    /// The trained centroid model.
+    pub centroids: CentroidModel,
+    /// Classification knobs.
+    pub config: ClassifierConfig,
+}
+
+impl Classifier {
+    /// Classify one table (rows, then columns).
+    pub fn classify<E: TermEmbedder + ?Sized>(
+        &self,
+        table: &Table,
+        embedder: &E,
+        tokenizer: &Tokenizer,
+    ) -> Verdict {
+        self.classify_inner(table, embedder, tokenizer, None)
+    }
+
+    /// Classify and record every angle decision (the Fig. 5 walk-through).
+    pub fn classify_with_trace<E: TermEmbedder + ?Sized>(
+        &self,
+        table: &Table,
+        embedder: &E,
+        tokenizer: &Tokenizer,
+    ) -> (Verdict, Vec<TraceStep>) {
+        let mut trace = Vec::new();
+        let verdict = self.classify_inner(table, embedder, tokenizer, Some(&mut trace));
+        (verdict, trace)
+    }
+
+    fn classify_inner<E: TermEmbedder + ?Sized>(
+        &self,
+        table: &Table,
+        embedder: &E,
+        tokenizer: &Tokenizer,
+        mut trace: Option<&mut Vec<TraceStep>>,
+    ) -> Verdict {
+        let (rows, hmd_depth) = self.classify_axis(
+            table,
+            Axis::Row,
+            self.config.max_hmd_depth,
+            embedder,
+            tokenizer,
+            trace.as_deref_mut(),
+        );
+        let (columns, vmd_depth) = self.classify_axis(
+            table,
+            Axis::Column,
+            self.config.max_vmd_depth,
+            embedder,
+            tokenizer,
+            trace,
+        );
+        Verdict { rows, columns, hmd_depth, vmd_depth }
+    }
+
+    fn classify_axis<E: TermEmbedder + ?Sized>(
+        &self,
+        table: &Table,
+        axis: Axis,
+        depth_cap: u8,
+        embedder: &E,
+        tokenizer: &Tokenizer,
+        mut trace: Option<&mut Vec<TraceStep>>,
+    ) -> (Vec<LevelLabel>, u8) {
+        let n = table.n_levels(axis);
+        let mut labels = vec![LevelLabel::Data; n];
+        let centroids = self.centroids.axis(axis);
+        if !centroids.is_usable() {
+            return (labels, 0);
+        }
+        let vectors = axis_vectors(table, axis, embedder, tokenizer);
+        let meta_label = |depth: u8| match axis {
+            Axis::Row => LevelLabel::Hmd(depth),
+            Axis::Column => LevelLabel::Vmd(depth),
+        };
+        if self.config.strategy == WalkStrategy::ReferenceOnly {
+            // Naive ablation baseline: each level independently nearest-
+            // reference; metadata depth = leading run of meta-leaning
+            // levels. No pairwise angles anywhere.
+            let mut depth: u8 = 0;
+            for maybe_v in vectors.iter() {
+                let Some(v) = maybe_v else { break };
+                let to_meta = angle_degrees(v, &centroids.meta_ref);
+                let to_data = angle_degrees(v, &centroids.data_ref);
+                if to_meta < to_data && depth < depth_cap {
+                    depth += 1;
+                    labels[depth as usize - 1] = meta_label(depth);
+                } else {
+                    break;
+                }
+            }
+            return (labels, depth);
+        }
+        let global_mde = centroids.c_mde.expanded(self.config.margin_deg);
+        let global_mde_de = centroids.c_mde_de.expanded(self.config.margin_deg);
+        // Level-specific ranges (paper Tables I & IV): at depth `d` the
+        // continuation test uses the observed Δ_{dMDE,(d+1)MDE} range and
+        // the transition test the observed Δ_{dMDE,DE} range; global
+        // ranges back them up when a level was unseen in training.
+        let min_support = 3usize;
+        let meta_range_at = |depth: u8| -> tabmeta_linalg::AngleRange {
+            centroids
+                .level(depth + 1)
+                .filter(|l| l.support >= min_support && !l.prev_range.is_empty())
+                .map(|l| l.prev_range.expanded(self.config.margin_deg))
+                .unwrap_or(global_mde)
+        };
+        let trans_range_at = |depth: u8| -> tabmeta_linalg::AngleRange {
+            centroids
+                .level(depth.max(1))
+                .filter(|l| l.support >= min_support && !l.to_data_range.is_empty())
+                .map(|l| l.to_data_range.expanded(self.config.margin_deg))
+                .unwrap_or(global_mde_de)
+        };
+
+        let mut depth: u8 = 0;
+        let mut boundary = 0usize; // first non-metadata level
+        for (i, maybe_v) in vectors.iter().enumerate() {
+            let Some(v) = maybe_v else {
+                // Blank/OOV level ends the metadata run.
+                boundary = i;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceStep {
+                        axis,
+                        index: i,
+                        angle: None,
+                        matched: RangeKind::Reference,
+                        decision: LevelLabel::Data,
+                    });
+                }
+                break;
+            };
+            if i == 0 {
+                // First level: closest reference centroid decides.
+                let to_meta = angle_degrees(v, &centroids.meta_ref);
+                let to_data = angle_degrees(v, &centroids.data_ref);
+                let is_meta = to_meta < to_data;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceStep {
+                        axis,
+                        index: 0,
+                        angle: Some(to_meta),
+                        matched: RangeKind::Reference,
+                        decision: if is_meta { meta_label(1) } else { LevelLabel::Data },
+                    });
+                }
+                if !is_meta {
+                    boundary = 0;
+                    break;
+                }
+                depth = 1;
+                labels[0] = meta_label(1);
+                boundary = 1;
+                continue;
+            }
+            let prev = vectors[i - 1].as_ref().expect("walk stops at first None");
+            let delta = angle_degrees(prev, v);
+            let mde = meta_range_at(depth);
+            let mde_de = trans_range_at(depth);
+            let in_mde = mde.contains(delta);
+            let in_mde_de = mde_de.contains(delta);
+            let (range_says_meta, matched) = if in_mde && !in_mde_de {
+                (true, RangeKind::Mde)
+            } else if in_mde_de && !in_mde {
+                (false, RangeKind::MdeDe)
+            } else if in_mde && in_mde_de {
+                // Overlapping ranges: the nearer midpoint decides.
+                (
+                    (delta - mde.midpoint()).abs() <= (delta - mde_de.midpoint()).abs(),
+                    RangeKind::Nearest,
+                )
+            } else {
+                (mde.distance_to(delta) <= mde_de.distance_to(delta), RangeKind::Nearest)
+            };
+            // Reference consistency: metadata continuation additionally
+            // requires the level itself to lean toward the metadata
+            // reference (guards against C_MDE-close *data* level pairs).
+            let still_meta = range_says_meta && {
+                let to_meta = angle_degrees(v, &centroids.meta_ref);
+                let to_data = angle_degrees(v, &centroids.data_ref);
+                to_meta <= to_data + self.config.ref_tolerance_deg
+            };
+            if still_meta && depth < depth_cap {
+                depth += 1;
+                labels[i] = meta_label(depth);
+                boundary = i + 1;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceStep {
+                        axis,
+                        index: i,
+                        angle: Some(delta),
+                        matched,
+                        decision: meta_label(depth),
+                    });
+                }
+            } else {
+                boundary = i;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceStep {
+                        axis,
+                        index: i,
+                        angle: Some(delta),
+                        matched,
+                        decision: LevelLabel::Data,
+                    });
+                }
+                break;
+            }
+        }
+
+        // CMD extension: rows past the boundary that look like section
+        // headers (sparse + metadata-flavoured aggregate).
+        if axis == Axis::Row && self.config.detect_cmd {
+            for i in boundary.max(1)..n {
+                let Some(v) = &vectors[i] else { continue };
+                if table.blank_fraction(axis, i) < self.config.cmd_blank_threshold {
+                    continue;
+                }
+                let to_meta = angle_degrees(v, &centroids.meta_ref);
+                let to_data = angle_degrees(v, &centroids.data_ref);
+                if to_meta < to_data + self.config.cmd_ref_tolerance_deg
+                    && labels[i] == LevelLabel::Data
+                {
+                    labels[i] = LevelLabel::Cmd;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(TraceStep {
+                            axis,
+                            index: i,
+                            angle: Some(to_meta),
+                            matched: RangeKind::Reference,
+                            decision: LevelLabel::Cmd,
+                        });
+                    }
+                }
+            }
+        }
+        (labels, depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::centroid::{AxisCentroids, LevelPairStats};
+    use std::collections::HashMap;
+    use tabmeta_linalg::AngleRange;
+
+    /// Hand-built embedder: "header" terms at 0°, "sub-header" terms at
+    /// ~30°, data terms at ~80° from headers.
+    struct Synthetic {
+        map: HashMap<String, Vec<f32>>,
+    }
+
+    impl Synthetic {
+        fn new() -> Self {
+            let deg = |d: f32| {
+                let r = d.to_radians();
+                vec![r.cos(), r.sin()]
+            };
+            let mut map = HashMap::new();
+            map.insert("header".to_string(), deg(0.0));
+            map.insert("subheader".to_string(), deg(30.0));
+            map.insert("subsub".to_string(), deg(55.0));
+            map.insert("<int>".to_string(), deg(80.0));
+            map.insert("<bigint>".to_string(), deg(82.0));
+            map.insert("section".to_string(), deg(5.0));
+            Self { map }
+        }
+    }
+
+    impl TermEmbedder for Synthetic {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn accumulate(&self, term: &str, out: &mut [f32]) -> bool {
+            if let Some(v) = self.map.get(term) {
+                tabmeta_linalg::add_assign(out, v);
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    fn axis_centroids() -> AxisCentroids {
+        let deg = |d: f32| {
+            let r = d.to_radians();
+            vec![r.cos(), r.sin()]
+        };
+        AxisCentroids {
+            c_mde: AngleRange::new(20.0, 40.0),
+            c_de: AngleRange::new(0.0, 10.0),
+            c_mde_de: AngleRange::new(45.0, 90.0),
+            meta_ref: deg(15.0),
+            data_ref: deg(81.0),
+            levels: vec![LevelPairStats {
+                level: 1,
+                delta_prev_meta: None,
+                delta_to_data: Some(70.0),
+                prev_range: AngleRange::empty(),
+                to_data_range: AngleRange::new(45.0, 90.0),
+                c_mde: AngleRange::new(20.0, 40.0),
+                c_mde_de: AngleRange::new(45.0, 90.0),
+                c_de: AngleRange::new(0.0, 10.0),
+                support: 1,
+            }],
+        }
+    }
+
+    fn classifier() -> Classifier {
+        Classifier {
+            centroids: CentroidModel { rows: axis_centroids(), columns: axis_centroids() },
+            config: ClassifierConfig { margin_deg: 2.0, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn two_level_header_then_data() {
+        // Row 0: header (0°), row 1: subheader (30° away → C_MDE),
+        // rows 2–3: data (~50°+ away → C_MDE-DE, then C_DE).
+        let t = Table::from_strings(
+            1,
+            &[
+                &["header", "header"],
+                &["subheader", "subheader"],
+                &["1", "14,373"],
+                &["2", "9,201"],
+            ],
+        );
+        let c = classifier();
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.hmd_depth, 2, "labels: {:?}", v.rows);
+        assert_eq!(v.rows[0], LevelLabel::Hmd(1));
+        assert_eq!(v.rows[1], LevelLabel::Hmd(2));
+        assert_eq!(v.rows[2], LevelLabel::Data);
+        assert_eq!(v.rows[3], LevelLabel::Data);
+    }
+
+    #[test]
+    fn single_header_table() {
+        let t = Table::from_strings(2, &[&["header", "header"], &["1", "2"], &["3", "4"]]);
+        let c = classifier();
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.hmd_depth, 1);
+        assert_eq!(v.rows, vec![LevelLabel::Hmd(1), LevelLabel::Data, LevelLabel::Data]);
+    }
+
+    #[test]
+    fn headerless_table_is_all_data() {
+        let t = Table::from_strings(3, &[&["1", "2"], &["3", "4"]]);
+        let c = classifier();
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.hmd_depth, 0);
+        assert!(v.rows.iter().all(|l| *l == LevelLabel::Data));
+    }
+
+    #[test]
+    fn depth_respects_cap() {
+        let t = Table::from_strings(
+            4,
+            &[
+                &["header", "header"],
+                &["subheader", "subheader"],
+                &["header", "header"],
+                &["subheader", "subheader"],
+                &["1", "2"],
+            ],
+        );
+        let mut c = classifier();
+        c.config.max_hmd_depth = 2;
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.hmd_depth, 2);
+        assert_eq!(v.rows[2], LevelLabel::Data, "cap stops the run");
+    }
+
+    #[test]
+    fn cmd_row_detected() {
+        let t = Table::from_strings(
+            5,
+            &[
+                &["header", "header", "header"],
+                &["1", "2", "3"],
+                &["section", "", ""],
+                &["4", "5", "6"],
+            ],
+        );
+        let c = classifier();
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.rows[2], LevelLabel::Cmd, "labels: {:?}", v.rows);
+        assert_eq!(v.hmd_depth, 1);
+    }
+
+    #[test]
+    fn cmd_detection_can_be_disabled() {
+        let t = Table::from_strings(
+            6,
+            &[&["header", "header"], &["1", "2"], &["section", ""], &["3", "4"]],
+        );
+        let mut c = classifier();
+        c.config.detect_cmd = false;
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.rows[2], LevelLabel::Data);
+    }
+
+    #[test]
+    fn columns_classify_transposed() {
+        // Column 0 = VMD (header-ish terms down the column), columns 1-2 data.
+        let t = Table::from_strings(
+            7,
+            &[
+                &["header", "header", "header"],
+                &["subheader", "1", "2"],
+                &["subheader", "3", "4"],
+                &["subsub", "5", "6"],
+            ],
+        );
+        let c = classifier();
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.vmd_depth, 1, "columns: {:?}", v.columns);
+        assert_eq!(v.columns[0], LevelLabel::Vmd(1));
+        assert_eq!(v.columns[1], LevelLabel::Data);
+    }
+
+    #[test]
+    fn unusable_centroids_yield_all_data() {
+        let mut c = classifier();
+        c.centroids.rows.meta_ref = vec![0.0, 0.0];
+        let t = Table::from_strings(8, &[&["header", "header"], &["1", "2"]]);
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.hmd_depth, 0);
+    }
+
+    #[test]
+    fn trace_records_the_walk() {
+        let t = Table::from_strings(
+            9,
+            &[&["header", "header"], &["subheader", "subheader"], &["1", "2"]],
+        );
+        let c = classifier();
+        let (v, trace) = c.classify_with_trace(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.hmd_depth, 2);
+        let row_steps: Vec<&TraceStep> =
+            trace.iter().filter(|s| s.axis == Axis::Row).collect();
+        assert!(row_steps.len() >= 3);
+        assert_eq!(row_steps[0].matched, RangeKind::Reference);
+        assert_eq!(row_steps[1].matched, RangeKind::Mde);
+        assert!(row_steps[1].angle.unwrap() > 20.0 && row_steps[1].angle.unwrap() < 42.0);
+        assert_eq!(row_steps[2].decision, LevelLabel::Data);
+    }
+
+    #[test]
+    fn blank_second_row_ends_the_header_run() {
+        let t = Table::from_strings(10, &[&["header", "header"], &["", ""], &["1", "2"]]);
+        let c = classifier();
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.hmd_depth, 1);
+        assert_eq!(v.rows[1], LevelLabel::Data);
+    }
+}

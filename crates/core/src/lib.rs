@@ -1,0 +1,44 @@
+//! The paper's contribution: unsupervised contrastive-learning
+//! classification of hierarchical tabular metadata.
+//!
+//! The method (§III, Algorithm 1) in four moves:
+//!
+//! 1. **Bootstrap** ([`bootstrap`]) — derive *weak* metadata/data labels
+//!    from imperfect HTML markup (`<thead>`/`<th>` for HMD; bold or
+//!    leading-blank patterns for VMD); fall back to the first-row /
+//!    first-column heuristic for markup-free corpora (SAUS, CIUS). No
+//!    human labeling anywhere.
+//! 2. **Centroid ranges** ([`centroid`]) — aggregate term embeddings per
+//!    table level (Def. 8), then record the observed angle ranges
+//!    `C_MDE`, `C_DE`, `C_MDE-DE` (Defs. 11–13) and the per-level-pair
+//!    transition angles reported in paper Tables I–IV, separately for the
+//!    row axis (HMD) and the column axis (VMD).
+//! 3. **Contrastive fine-tuning** ([`finetune`]) — Siamese-style updates
+//!    on aggregated level vectors: positive pairs (metadata↔metadata,
+//!    data↔data) are pulled together, negative pairs (metadata↔data)
+//!    pushed apart, with gradients distributed to the constituent term
+//!    vectors. This widens the `C_MDE-DE` gap the classifier keys on.
+//! 4. **Classification** ([`classifier`]) — walk the table row by row
+//!    (then column by column, transposed): the first level is labeled by
+//!    its closest reference centroid; each following level is labeled by
+//!    which range the angle to its predecessor falls into; the jump from
+//!    `C_MDE` into `C_MDE-DE` marks the metadata→data boundary and yields
+//!    the metadata **depth**. A CMD extension spots mid-table section
+//!    headers.
+//!
+//! [`pipeline::Pipeline`] ties the moves together behind one call.
+
+pub mod aggregate;
+pub mod bootstrap;
+pub mod centroid;
+pub mod classifier;
+pub mod config;
+pub mod finetune;
+pub mod pipeline;
+
+pub use bootstrap::{BootstrapLabeler, WeakLabel, WeakLabels};
+pub use centroid::{AxisCentroids, CentroidModel, LevelPairStats};
+pub use classifier::{ClassifierConfig, Verdict};
+pub use config::{EmbeddingChoice, PipelineConfig};
+pub use finetune::FinetuneConfig;
+pub use pipeline::{Pipeline, TrainError, TrainSummary};

@@ -1,0 +1,314 @@
+//! The end-to-end pipeline: embed → bootstrap → fine-tune → centroids →
+//! classify.
+//!
+//! ```text
+//!  tables ──► sentences ──► SGNS training ──► term embeddings
+//!     │                                            │
+//!     └──► bootstrap weak labels ──► contrastive fine-tuning (mutates embeddings)
+//!                      │                           │
+//!                      └──────► centroid ranges ◄──┘
+//!                                    │
+//!                            Algorithm-1 classifier
+//! ```
+//!
+//! Centroids are estimated **after** fine-tuning so the recorded ranges
+//! describe the tuned geometry the classifier will actually measure.
+
+use crate::bootstrap::WeakLabels;
+use crate::centroid::{self, CentroidModel};
+use crate::classifier::{Classifier, TraceStep, Verdict};
+use crate::config::{EmbeddingChoice, PipelineConfig};
+use crate::finetune::{self, FinetuneReport};
+use rayon::prelude::*;
+use tabmeta_embed::{
+    sentences_from_tables, CharGram, TermEmbedder, TunableEmbedder, Word2Vec,
+};
+use tabmeta_tabular::Table;
+use tabmeta_text::Tokenizer;
+
+/// Either embedding model behind one type (object-safety without dyn in
+/// the hot path).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum AnyEmbedder {
+    /// Word2Vec model.
+    Word2Vec(Word2Vec),
+    /// CharGram model.
+    CharGram(CharGram),
+}
+
+impl TermEmbedder for AnyEmbedder {
+    fn dim(&self) -> usize {
+        match self {
+            AnyEmbedder::Word2Vec(m) => m.dim(),
+            AnyEmbedder::CharGram(m) => m.dim(),
+        }
+    }
+
+    fn accumulate(&self, term: &str, out: &mut [f32]) -> bool {
+        match self {
+            AnyEmbedder::Word2Vec(m) => m.accumulate(term, out),
+            AnyEmbedder::CharGram(m) => m.accumulate(term, out),
+        }
+    }
+}
+
+impl TunableEmbedder for AnyEmbedder {
+    fn apply_gradient(&mut self, term: &str, grad: &[f32]) {
+        match self {
+            AnyEmbedder::Word2Vec(m) => m.apply_gradient(term, grad),
+            AnyEmbedder::CharGram(m) => m.apply_gradient(term, grad),
+        }
+    }
+}
+
+/// Training failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainError {
+    /// No tables were provided.
+    EmptyCorpus,
+    /// The corpus produced no usable centroid evidence along either axis.
+    NoCentroidEvidence,
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptyCorpus => write!(f, "cannot train a pipeline on an empty corpus"),
+            TrainError::NoCentroidEvidence => {
+                write!(f, "corpus yielded no usable centroid evidence on either axis")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// What training did, for logs and EXPERIMENTS.md.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct TrainSummary {
+    /// Training sentences extracted.
+    pub sentences: usize,
+    /// SGNS (center, context) pairs processed.
+    pub sgns_pairs: u64,
+    /// Fine-tuning report (if enabled).
+    pub finetune: Option<FinetuneReport>,
+    /// Tables whose weak labels came from markup (vs positional fallback).
+    pub markup_bootstrapped: usize,
+}
+
+/// A trained classification pipeline.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Pipeline {
+    embedder: AnyEmbedder,
+    tokenizer: Tokenizer,
+    classifier: Classifier,
+    summary: TrainSummary,
+}
+
+impl Pipeline {
+    /// Train the full pipeline on a corpus (unsupervised: only markup or
+    /// positional weak labels are consumed, never ground truth).
+    pub fn train(tables: &[Table], config: &PipelineConfig) -> Result<Self, TrainError> {
+        if tables.is_empty() {
+            return Err(TrainError::EmptyCorpus);
+        }
+        let tokenizer = Tokenizer::default();
+        let sentences = sentences_from_tables(tables, &tokenizer, &config.sentences);
+        let (mut embedder, sgns_pairs) = match &config.embedding {
+            EmbeddingChoice::Word2Vec(sgns) => {
+                let (model, report) = Word2Vec::train(&sentences, sgns.clone());
+                (AnyEmbedder::Word2Vec(model), report.pairs)
+            }
+            EmbeddingChoice::CharGram(cfg) => {
+                let (model, report) = CharGram::train(&sentences, cfg.clone());
+                (AnyEmbedder::CharGram(model), report.pairs)
+            }
+        };
+
+        let weak: Vec<WeakLabels> =
+            tables.iter().map(|t| config.bootstrap.label(t)).collect();
+        let markup_bootstrapped = weak.iter().filter(|w| w.from_markup).count();
+
+        let finetune_report = config.finetune.as_ref().map(|ft| {
+            finetune::run(tables, &weak, &mut embedder, &tokenizer, ft)
+        });
+
+        let centroids =
+            centroid::estimate(tables, &weak, &embedder, &tokenizer, &config.centroid);
+        if !centroids.rows.is_usable() && !centroids.columns.is_usable() {
+            return Err(TrainError::NoCentroidEvidence);
+        }
+
+        Ok(Self {
+            embedder,
+            tokenizer,
+            classifier: Classifier { centroids, config: config.classifier.clone() },
+            summary: TrainSummary {
+                sentences: sentences.len(),
+                sgns_pairs,
+                finetune: finetune_report,
+                markup_bootstrapped,
+            },
+        })
+    }
+
+    /// Classify one table.
+    pub fn classify(&self, table: &Table) -> Verdict {
+        self.classifier.classify(table, &self.embedder, &self.tokenizer)
+    }
+
+    /// Classify one table, recording the angle walk (Fig. 5).
+    pub fn classify_with_trace(&self, table: &Table) -> (Verdict, Vec<TraceStep>) {
+        self.classifier.classify_with_trace(table, &self.embedder, &self.tokenizer)
+    }
+
+    /// Classify a whole corpus in parallel (the "scalable" in the title:
+    /// per-table classification is embarrassingly parallel).
+    pub fn classify_corpus(&self, tables: &[Table]) -> Vec<Verdict> {
+        tables.par_iter().map(|t| self.classify(t)).collect()
+    }
+
+    /// The trained centroid model (paper Tables I–IV are views of this).
+    pub fn centroids(&self) -> &CentroidModel {
+        &self.classifier.centroids
+    }
+
+    /// Training summary.
+    pub fn summary(&self) -> &TrainSummary {
+        &self.summary
+    }
+
+    /// The embedder (read access, e.g. for nearest-neighbour inspection).
+    pub fn embedder(&self) -> &AnyEmbedder {
+        &self.embedder
+    }
+
+    /// The tokenizer the pipeline was trained with.
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// Mutable access to classification knobs (margins, depth caps, CMD).
+    pub fn classifier_config_mut(&mut self) -> &mut crate::classifier::ClassifierConfig {
+        &mut self.classifier.config
+    }
+
+    /// Serialize the trained pipeline (embeddings, centroids, tokenizer
+    /// and classifier knobs) to JSON — train once, classify anywhere.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("pipeline state is serializable")
+    }
+
+    /// Restore a pipeline saved with [`Pipeline::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+    use tabmeta_tabular::LevelLabel;
+
+    #[test]
+    fn empty_corpus_is_an_error() {
+        assert_eq!(
+            Pipeline::train(&[], &PipelineConfig::fast()).unwrap_err(),
+            TrainError::EmptyCorpus
+        );
+    }
+
+    #[test]
+    fn end_to_end_on_generated_corpus() {
+        let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 120, seed: 21 });
+        let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(21))
+            .expect("training succeeds");
+        assert!(pipeline.summary().sentences > 0);
+        assert!(pipeline.summary().sgns_pairs > 0);
+        assert!(pipeline.summary().markup_bootstrapped > 0);
+
+        // Level-1 HMD accuracy on the training corpus must be far above
+        // chance — the smoke test that the whole geometry works.
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for t in &corpus.tables {
+            let v = pipeline.classify(t);
+            let truth = t.truth.as_ref().unwrap();
+            total += 1;
+            if (v.hmd_depth >= 1) == (truth.hmd_depth() >= 1)
+                && v.rows.first() == truth.rows.first()
+            {
+                correct += 1;
+            }
+        }
+        let acc = correct as f32 / total as f32;
+        assert!(acc > 0.8, "HMD1 accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn corpus_classification_is_parallel_consistent() {
+        let corpus = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 60, seed: 4 });
+        let pipeline =
+            Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(4)).unwrap();
+        let seq: Vec<Verdict> = corpus.tables.iter().map(|t| pipeline.classify(t)).collect();
+        let par = pipeline.classify_corpus(&corpus.tables);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn verdict_shapes_match_tables() {
+        let corpus = CorpusKind::Wdc.generate(&GeneratorConfig { n_tables: 50, seed: 8 });
+        let pipeline =
+            Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(8)).unwrap();
+        for t in &corpus.tables {
+            let v = pipeline.classify(t);
+            assert_eq!(v.rows.len(), t.n_rows());
+            assert_eq!(v.columns.len(), t.n_cols());
+            // Depth is consistent with labels.
+            let max_hmd = v
+                .rows
+                .iter()
+                .filter_map(|l| match l {
+                    LevelLabel::Hmd(k) => Some(*k),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            assert_eq!(max_hmd, v.hmd_depth);
+        }
+    }
+
+    #[test]
+    fn chargram_pipeline_trains_too() {
+        let corpus = CorpusKind::Cord19.generate(&GeneratorConfig { n_tables: 60, seed: 13 });
+        let pipeline =
+            Pipeline::train(&corpus.tables, &PipelineConfig::fast_chargram(13)).unwrap();
+        let v = pipeline.classify(&corpus.tables[0]);
+        assert_eq!(v.rows.len(), corpus.tables[0].n_rows());
+    }
+
+    #[test]
+    fn pipeline_persistence_roundtrip() {
+        let corpus = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 80, seed: 19 });
+        let pipeline =
+            Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(19)).unwrap();
+        let json = pipeline.to_json();
+        let restored = Pipeline::from_json(&json).expect("round-trips");
+        for t in corpus.tables.iter().take(20) {
+            assert_eq!(pipeline.classify(t), restored.classify(t));
+        }
+        assert_eq!(restored.summary().sentences, pipeline.summary().sentences);
+    }
+
+    #[test]
+    fn trace_is_available_end_to_end() {
+        let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 60, seed: 5 });
+        let pipeline =
+            Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(5)).unwrap();
+        let (v, trace) = pipeline.classify_with_trace(&corpus.tables[3]);
+        assert!(!trace.is_empty());
+        assert_eq!(v.rows.len(), corpus.tables[3].n_rows());
+    }
+}

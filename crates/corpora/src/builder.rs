@@ -1,0 +1,534 @@
+//! Single-table construction from a [`CorpusProfile`].
+//!
+//! The generator reproduces the anatomy of Figure 1's tables: a block of
+//! hierarchical HMD rows on top (spanning parents with blank continuation
+//! cells, per-column attributes at the deepest level), nested VMD columns
+//! on the left (values at group starts, blanks below — the "New York"
+//! pattern of Fig. 1(a)), an optional CMD section row mid-body, and a
+//! numeric-dominated data region. Ground truth is attached to every table;
+//! markup is attached probabilistically with tag noise.
+// Grid construction walks coordinates; index loops are the clear form here.
+#![allow(clippy::needless_range_loop)]
+
+
+use crate::profiles::CorpusProfile;
+use crate::vocab::DomainVocab;
+use rand::{Rng, RngExt};
+use tabmeta_tabular::cell::{Cell, Markup};
+use tabmeta_tabular::table::{GroundTruth, Table};
+use tabmeta_tabular::LevelLabel;
+
+/// Builds tables for one corpus profile.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    profile: CorpusProfile,
+    vocab: DomainVocab,
+}
+
+/// Draw an index from unnormalized weights.
+fn weighted_index<R: Rng + ?Sized>(weights: &[f32], rng: &mut R) -> usize {
+    let total: f32 = weights.iter().sum();
+    assert!(total > 0.0, "weighted_index: all weights zero");
+    let mut x = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Pick a random element of a non-empty slice.
+fn pick<'a, T, R: Rng + ?Sized>(pool: &'a [T], rng: &mut R) -> &'a T {
+    &pool[rng.random_range(0..pool.len())]
+}
+
+/// Format an integer with thousands separators (`14,373`).
+fn group_thousands(mut n: u64) -> String {
+    let mut parts = Vec::new();
+    loop {
+        parts.push(n % 1000);
+        n /= 1000;
+        if n == 0 {
+            break;
+        }
+    }
+    let mut out = parts.pop().map(|p| p.to_string()).unwrap_or_default();
+    while let Some(p) = parts.pop() {
+        out.push_str(&format!(",{p:03}"));
+    }
+    out
+}
+
+/// Structural conventions of one *source* within a corpus (§I: schemas
+/// and formatting vary across the thousands of sources a large corpus is
+/// composed from). Styles are a pure function of (profile, source index),
+/// so corpora are reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceStyle {
+    /// Placeholder written into structural blanks ("" = leave blank).
+    pub placeholder: &'static str,
+    /// Whether hierarchical VMD parents repeat on every row of their
+    /// group instead of appearing only at the group start.
+    pub repeat_parent: bool,
+}
+
+impl SourceStyle {
+    /// Derive the style of source `index` under `profile`.
+    pub fn for_source(profile: &CorpusProfile, index: usize) -> SourceStyle {
+        let h = (index as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let draw = |shift: u32| ((h >> shift) % 10_000) as f32 / 10_000.0;
+        let placeholder = if draw(8) < profile.placeholder_source_frac {
+            ["-", "n/a", "."][(h % 3) as usize]
+        } else {
+            ""
+        };
+        let repeat_parent = draw(24) < profile.repeat_parent_frac;
+        SourceStyle { placeholder, repeat_parent }
+    }
+}
+
+impl TableBuilder {
+    /// New builder for a profile (vocabulary is materialized once).
+    pub fn new(profile: CorpusProfile) -> Self {
+        let vocab = profile.domain.vocab();
+        Self { profile, vocab }
+    }
+
+    /// The profile being generated.
+    pub fn profile(&self) -> &CorpusProfile {
+        &self.profile
+    }
+
+    /// Generate one numeric data-cell surface form.
+    fn numeric_cell<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        match weighted_index(&[0.3, 0.25, 0.2, 0.15, 0.1], rng) {
+            0 => group_thousands(rng.random_range(100..400_000u64)),
+            1 => rng.random_range(0..100u32).to_string(),
+            2 => format!("{:.1}%", rng.random_range(0.0..100.0f32)),
+            3 => format!("{:.1}", rng.random_range(0.0..400.0f32)),
+            _ => {
+                let lo = rng.random_range(1..40u32);
+                let hi = lo + rng.random_range(1..30u32);
+                if rng.random::<bool>() {
+                    format!("{lo}-{hi}")
+                } else {
+                    format!("{lo} to {hi}")
+                }
+            }
+        }
+    }
+
+    /// One data cell: numeric with `numeric_frac`, else a textual value.
+    fn data_cell<R: Rng + ?Sized>(&self, rng: &mut R) -> String {
+        if rng.random::<f32>() < self.profile.numeric_frac {
+            self.numeric_cell(rng)
+        } else {
+            pick(&self.vocab.values, rng).clone()
+        }
+    }
+
+    /// A header cell at HMD level `k` (1-based), possibly replaced by an
+    /// ambiguous token per `level_noise`.
+    fn header_cell<R: Rng + ?Sized>(&self, level: usize, rng: &mut R) -> String {
+        let noise = self.profile.level_noise[level - 1];
+        if rng.random::<f32>() < noise {
+            // Ambiguous: numeric or value-pool token — the cells that trip
+            // up every classifier at deep levels (§IV-H error analysis).
+            if rng.random::<bool>() {
+                self.numeric_cell(rng)
+            } else {
+                pick(&self.vocab.values, rng).clone()
+            }
+        } else {
+            pick(&self.vocab.hmd_pools[level - 1], rng).clone()
+        }
+    }
+
+    /// Build one table, deriving the source round-robin from the id.
+    pub fn build<R: Rng + ?Sized>(&mut self, id: u64, rng: &mut R) -> Table {
+        let source = (id as usize) % self.profile.n_sources.max(1);
+        self.build_for_source(id, source, rng)
+    }
+
+    /// Build one table belonging to source `source` (styles its
+    /// structural conventions; see [`SourceStyle`]).
+    pub fn build_for_source<R: Rng + ?Sized>(
+        &mut self,
+        id: u64,
+        source: usize,
+        rng: &mut R,
+    ) -> Table {
+        let p = &self.profile;
+        let style = SourceStyle::for_source(p, source);
+        let hmd_depth = weighted_index(&p.hmd_depth_weights, rng) + 1;
+        let vmd_depth = weighted_index(&p.vmd_depth_weights, rng);
+        let n_data_rows = rng.random_range(p.data_rows.0..=p.data_rows.1);
+        let n_data_cols = rng.random_range(p.data_cols.0..=p.data_cols.1);
+        let has_cmd = rng.random::<f32>() < p.cmd_prob && n_data_rows >= 6;
+
+        let n_cols = vmd_depth + n_data_cols;
+        let n_rows = hmd_depth + n_data_rows + usize::from(has_cmd);
+        let cmd_row = has_cmd.then(|| hmd_depth + n_data_rows / 2);
+
+        let mut grid: Vec<Vec<Cell>> = vec![vec![Cell::blank(); n_cols]; n_rows];
+        let mut row_labels: Vec<LevelLabel> = Vec::with_capacity(n_rows);
+        let mut col_labels: Vec<LevelLabel> = Vec::with_capacity(n_cols);
+
+        // --- HMD rows -----------------------------------------------------
+        for level in 1..=hmd_depth {
+            let row = level - 1;
+            if level < hmd_depth {
+                // Spanning parent level: a few group titles, blanks within
+                // each span (the "Gender" over "Female/Male" pattern).
+                let n_groups = rng.random_range(1..=3.min(n_data_cols));
+                let span = n_data_cols.div_ceil(n_groups);
+                for g in 0..n_groups {
+                    let col = vmd_depth + g * span;
+                    if col < n_cols {
+                        grid[row][col] = Cell::text(self.header_cell(level, rng));
+                    }
+                }
+            } else {
+                // Deepest level: one attribute per data column.
+                for c in 0..n_data_cols {
+                    grid[row][vmd_depth + c] = Cell::text(self.header_cell(level, rng));
+                }
+                // Corner: the deepest header row sometimes titles the VMD
+                // block ("Age categories" in Fig. 5).
+                for v in 0..vmd_depth {
+                    if rng.random::<f32>() < 0.3 {
+                        grid[row][v] = Cell::text(pick(&self.vocab.vmd_pools[0], rng).clone());
+                    }
+                }
+            }
+            row_labels.push(LevelLabel::Hmd(level as u8));
+        }
+
+        // --- body rows (data + optional CMD) -------------------------------
+        // Some data columns are fully textual entity columns — the cells
+        // that make VMD detection genuinely hard for surface methods.
+        let textual_col: Vec<bool> = (0..n_data_cols)
+            .map(|_| rng.random::<f32>() < p.textual_col_prob)
+            .collect();
+        for row in hmd_depth..n_rows {
+            if Some(row) == cmd_row {
+                grid[row][0] = Cell::text(pick(&self.vocab.sections, rng).clone());
+                row_labels.push(LevelLabel::Cmd);
+                continue;
+            }
+            for c in 0..n_data_cols {
+                grid[row][vmd_depth + c] = if textual_col[c] {
+                    Cell::text(pick(&self.vocab.values, rng).clone())
+                } else {
+                    Cell::text(self.data_cell(rng))
+                };
+            }
+            row_labels.push(LevelLabel::Data);
+        }
+
+        // --- VMD columns ----------------------------------------------------
+        // Nested grouping over the data rows: level 1 groups split into
+        // level-2 subgroups, and the deepest level carries a value per row.
+        let body_rows: Vec<usize> =
+            (hmd_depth..n_rows).filter(|r| Some(*r) != cmd_row).collect();
+        if vmd_depth > 0 {
+            // Each group carries the text of its hierarchy parent so child
+            // values can lexically echo it (Fig. 1(a): "State University of
+            // New York" under "New York"). The echo uses the parent's head
+            // tokens to keep cell lengths realistic.
+            let mut groups: Vec<(Vec<usize>, String)> =
+                vec![(body_rows.clone(), String::new())];
+            let echo_prob = p.vmd_hier_echo;
+            for level in 1..=vmd_depth {
+                let col = level - 1;
+                let deepest = level == vmd_depth;
+                let mut next_groups: Vec<(Vec<usize>, String)> = Vec::new();
+                let noise = p.vmd_noise[level - 1];
+                for (group, parent) in &groups {
+                    let vmd_value = |rng: &mut R| -> String {
+                        if rng.random::<f32>() < noise {
+                            // Ambiguous row header: numeric-flavoured value
+                            // ("12 to 15", a bare count) that reads as data.
+                            return self.numeric_cell(rng);
+                        }
+                        let base = pick(&self.vocab.vmd_pools[level - 1], rng).clone();
+                        if !parent.is_empty() && rng.random::<f32>() < echo_prob {
+                            let head: Vec<&str> =
+                                parent.split_whitespace().take(2).collect();
+                            format!("{base} {}", head.join(" "))
+                        } else {
+                            base
+                        }
+                    };
+                    if deepest {
+                        for &r in group {
+                            grid[r][col] = Cell::text(vmd_value(rng));
+                        }
+                        next_groups.push((group.clone(), parent.clone()));
+                    } else {
+                        // Value at the group start (or, in repeat-parent
+                        // sources, on every row); split the group for the
+                        // next level.
+                        let value = vmd_value(rng);
+                        if style.repeat_parent {
+                            for &r in group.iter() {
+                                grid[r][col] = Cell::text(value.clone());
+                            }
+                        } else if let Some(&first) = group.first() {
+                            grid[first][col] = Cell::text(value.clone());
+                        }
+                        let n_sub = rng.random_range(1..=3usize).min(group.len().max(1));
+                        let sub_len = group.len().div_ceil(n_sub.max(1)).max(1);
+                        for chunk in group.chunks(sub_len) {
+                            // Sub-group starts (below the first) get their
+                            // parent value run: mark starts at next level.
+                            next_groups.push((chunk.to_vec(), value.clone()));
+                        }
+                    }
+                }
+                groups = next_groups;
+                col_labels.push(LevelLabel::Vmd(level as u8));
+            }
+        }
+        for _ in 0..n_data_cols {
+            col_labels.push(LevelLabel::Data);
+        }
+
+        // --- source placeholder style ---------------------------------------
+        // Structural blanks in the header block and the VMD region get the
+        // source's placeholder string ("-", "n/a", …), never the data
+        // region or CMD rows.
+        if !style.placeholder.is_empty() {
+            for (row, label) in row_labels.iter().enumerate() {
+                match label {
+                    LevelLabel::Hmd(_) => {
+                        for col in vmd_depth..n_cols {
+                            if grid[row][col].is_blank() {
+                                grid[row][col] = Cell::text(style.placeholder);
+                            }
+                        }
+                    }
+                    LevelLabel::Data => {
+                        for col in 0..vmd_depth {
+                            if grid[row][col].is_blank() {
+                                grid[row][col] = Cell::text(style.placeholder);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // --- markup -----------------------------------------------------------
+        let has_markup = rng.random::<f32>() < p.markup_prob;
+        if has_markup {
+            let noise = p.markup_noise;
+            for (row, label) in row_labels.iter().enumerate() {
+                for col in 0..n_cols {
+                    let cell = &mut grid[row][col];
+                    match label {
+                        LevelLabel::Hmd(_) => {
+                            if rng.random::<f32>() >= noise {
+                                cell.markup = Markup::header();
+                            }
+                        }
+                        LevelLabel::Cmd => {
+                            if rng.random::<f32>() >= noise {
+                                cell.markup.bold = true;
+                            }
+                        }
+                        _ => {
+                            if col < vmd_depth && !cell.is_blank() {
+                                if rng.random::<f32>() >= noise {
+                                    cell.markup.bold = true;
+                                    cell.markup.indent = col as u8;
+                                }
+                            } else if rng.random::<f32>() < noise * 0.3 {
+                                // Stray false-positive header tag on data.
+                                cell.markup.th = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let caption = if rng.random::<f32>() < 0.8 {
+            pick(&self.vocab.captions, rng).clone()
+        } else {
+            String::new()
+        };
+
+        Table::new(id, caption, grid)
+            .with_truth(GroundTruth { rows: row_labels, columns: col_labels })
+            .with_markup_flag(has_markup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::CorpusKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tabmeta_tabular::Axis;
+
+    fn build_one(kind: CorpusKind, seed: u64) -> Table {
+        let mut b = TableBuilder::new(kind.profile());
+        let mut rng = StdRng::seed_from_u64(seed);
+        b.build(1, &mut rng)
+    }
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(group_thousands(0), "0");
+        assert_eq!(group_thousands(999), "999");
+        assert_eq!(group_thousands(1_000), "1,000");
+        assert_eq!(group_thousands(14_373), "14,373");
+        assert_eq!(group_thousands(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let i = weighted_index(&[0.0, 1.0, 0.0], &mut rng);
+            assert_eq!(i, 1);
+        }
+    }
+
+    #[test]
+    fn built_table_has_consistent_truth() {
+        for seed in 0..20 {
+            let t = build_one(CorpusKind::Ckg, seed);
+            let truth = t.truth.as_ref().unwrap();
+            assert_eq!(truth.rows.len(), t.n_rows());
+            assert_eq!(truth.columns.len(), t.n_cols());
+            let d = truth.hmd_depth() as usize;
+            assert!((1..=5).contains(&d));
+            // The deepest HMD row has a non-blank cell for every data col.
+            let vmd = truth.vmd_depth() as usize;
+            for c in vmd..t.n_cols() {
+                assert!(!t.cell(d - 1, c).is_blank(), "deepest header row must be full");
+            }
+        }
+    }
+
+    #[test]
+    fn vmd_columns_have_blank_runs_above_deepest() {
+        // Find a CKG table with VMD depth >= 2 and check the level-1
+        // column is mostly blank (spanning parent pattern).
+        let profile = CorpusKind::Ckg.profile();
+        let mut b = TableBuilder::new(profile.clone());
+        let mut rng = StdRng::seed_from_u64(77);
+        for id in 0..200 {
+            let style = SourceStyle::for_source(&profile, id as usize % profile.n_sources);
+            let t = b.build(id, &mut rng);
+            // Only plain-style sources leave literal blanks.
+            if !style.placeholder.is_empty() || style.repeat_parent {
+                continue;
+            }
+            let truth = t.truth.as_ref().unwrap();
+            if truth.vmd_depth() >= 2 {
+                let frac = t.blank_fraction(Axis::Column, 0);
+                assert!(frac > 0.2, "level-1 VMD column should have blanks, got {frac}");
+                // Deepest VMD column is value-dense over data rows.
+                let deepest = truth.vmd_depth() as usize - 1;
+                let hmd = truth.hmd_depth() as usize;
+                let mut filled = 0;
+                let mut total = 0;
+                for r in hmd..t.n_rows() {
+                    if truth.rows[r] == LevelLabel::Data {
+                        total += 1;
+                        if !t.cell(r, deepest).is_blank() {
+                            filled += 1;
+                        }
+                    }
+                }
+                assert_eq!(filled, total, "deepest VMD column must be fully valued");
+                return;
+            }
+        }
+        panic!("no VMD>=2 table in 200 draws");
+    }
+
+    #[test]
+    fn cmd_rows_occur_and_are_sparse() {
+        let mut b = TableBuilder::new(CorpusKind::Ckg.profile());
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut saw_cmd = false;
+        for id in 0..300 {
+            let t = b.build(id, &mut rng);
+            let truth = t.truth.as_ref().unwrap();
+            if let Some(pos) = truth.rows.iter().position(|l| *l == LevelLabel::Cmd) {
+                saw_cmd = true;
+                assert!(pos > truth.hmd_depth() as usize, "CMD sits in the body");
+                assert!(!t.cell(pos, 0).is_blank());
+                // All remaining cells of a CMD row are blank.
+                for c in 1..t.n_cols() {
+                    assert!(t.cell(pos, c).is_blank());
+                }
+            }
+        }
+        assert!(saw_cmd, "CKG should generate CMD rows");
+    }
+
+    #[test]
+    fn markup_cells_follow_truth_when_present() {
+        let mut b = TableBuilder::new(CorpusKind::PubTables.profile());
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut th = 0usize;
+        let mut total = 0usize;
+        for id in 0..50 {
+            let t = b.build(id, &mut rng);
+            if !t.has_markup {
+                continue;
+            }
+            let truth = t.truth.as_ref().unwrap();
+            let hmd = truth.hmd_depth() as usize;
+            for r in 0..hmd {
+                for c in 0..t.n_cols() {
+                    total += 1;
+                    if t.cell(r, c).markup.th {
+                        th += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0, "PubTables should generate marked-up tables");
+        // Tag noise is 6%; across 50 tables the th rate must be high.
+        assert!(
+            th as f32 / total as f32 > 0.8,
+            "most header cells should carry th: {th}/{total}"
+        );
+    }
+
+    #[test]
+    fn numeric_cells_dominate_data_region() {
+        let t = build_one(CorpusKind::Cius, 3);
+        let truth = t.truth.as_ref().unwrap();
+        let vmd = truth.vmd_depth() as usize;
+        let hmd = truth.hmd_depth() as usize;
+        let mut numeric = 0;
+        let mut total = 0;
+        for r in hmd..t.n_rows() {
+            if truth.rows[r] != LevelLabel::Data {
+                continue;
+            }
+            for c in vmd..t.n_cols() {
+                total += 1;
+                let txt = &t.cell(r, c).text;
+                if tabmeta_text::classify_numeric(txt).is_some() {
+                    numeric += 1;
+                }
+            }
+        }
+        assert!(
+            numeric as f32 / total as f32 > 0.6,
+            "CIUS data should be numeric-heavy: {numeric}/{total}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Synthetic stand-ins for the paper's six evaluation corpora.
+//!
+//! The originals (CORD-19, CKG, CIUS, SAUS, WDC, PubTables-1M) range from
+//! ~1K to 100M tables and are gated behind proprietary extraction
+//! pipelines; per DESIGN.md §2 we substitute seeded generators that
+//! reproduce the three properties the method actually consumes:
+//!
+//! 1. **Hierarchical structure** — per-corpus distributions over HMD depth
+//!    (1–5), VMD depth (0–3) and CMD occurrence, matching each corpus's
+//!    description in §IV-B (e.g. only CKG exhibits HMD level 5; WDC is
+//!    dominated by flat relational tables).
+//! 2. **Imperfect markup** — a fraction of tables carry HTML-lite markup
+//!    with configurable tag noise; SAUS and CIUS carry none at all, forcing
+//!    the bootstrap fallback, exactly as in §III-B.
+//! 3. **Heterogeneous vocabulary** — each corpus draws from its own domain
+//!    vocabulary (biomedical, crime, census, web/products), with per-table
+//!    naming-convention variation standing in for "thousands of sources".
+//!
+//! Everything is deterministic given the seed.
+
+pub mod builder;
+pub mod profiles;
+pub mod vocab;
+
+pub use builder::{SourceStyle, TableBuilder};
+pub use profiles::{CorpusKind, CorpusProfile};
+pub use vocab::{Domain, DomainVocab};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tabmeta_tabular::Corpus;
+
+/// How much corpus to generate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// Number of tables to generate.
+    pub n_tables: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GeneratorConfig {
+    /// Small corpus (fast tests / examples): 150 tables.
+    pub fn small(seed: u64) -> Self {
+        Self { n_tables: 150, seed }
+    }
+
+    /// Medium corpus (experiment defaults): 600 tables.
+    pub fn medium(seed: u64) -> Self {
+        Self { n_tables: 600, seed }
+    }
+
+    /// Large corpus (scaling benches): 3000 tables.
+    pub fn large(seed: u64) -> Self {
+        Self { n_tables: 3000, seed }
+    }
+}
+
+impl CorpusKind {
+    /// Generate a corpus of this kind.
+    pub fn generate(self, config: &GeneratorConfig) -> Corpus {
+        let profile = self.profile();
+        let mut rng = StdRng::seed_from_u64(config.seed ^ self.seed_salt());
+        let mut corpus = Corpus::new(self.name());
+        let n_sources = profile.n_sources.max(1);
+        let mut builder = TableBuilder::new(profile);
+        corpus.tables.reserve(config.n_tables);
+        for id in 0..config.n_tables as u64 {
+            // Contiguous source blocks: a positional 70/30 split holds out
+            // entire sources, testing cross-source generalization.
+            let source = (id as usize * n_sources) / config.n_tables.max(1);
+            corpus.tables.push(builder.build_for_source(id, source, &mut rng));
+        }
+        corpus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabmeta_tabular::LevelLabel;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig::small(5);
+        let a = CorpusKind::Ckg.generate(&cfg);
+        let b = CorpusKind::Ckg.generate(&cfg);
+        assert_eq!(a.tables.len(), b.tables.len());
+        assert_eq!(a.tables[0], b.tables[0]);
+        assert_eq!(a.tables[a.len() - 1], b.tables[b.len() - 1]);
+    }
+
+    #[test]
+    fn different_kinds_differ() {
+        let cfg = GeneratorConfig::small(5);
+        let ckg = CorpusKind::Ckg.generate(&cfg);
+        let wdc = CorpusKind::Wdc.generate(&cfg);
+        assert_ne!(ckg.tables[0], wdc.tables[0]);
+    }
+
+    #[test]
+    fn every_table_has_truth_and_valid_shape() {
+        for kind in CorpusKind::ALL {
+            let corpus = kind.generate(&GeneratorConfig { n_tables: 40, seed: 9 });
+            assert_eq!(corpus.len(), 40, "{kind:?}");
+            for t in &corpus.tables {
+                let truth = t.truth.as_ref().expect("generated tables carry truth");
+                assert_eq!(truth.rows.len(), t.n_rows());
+                assert_eq!(truth.columns.len(), t.n_cols());
+                assert!(truth.hmd_depth() >= 1, "{kind:?} table {} lacks HMD", t.id);
+                // HMD rows must be the leading rows in order.
+                for (i, label) in truth.rows.iter().enumerate() {
+                    if let LevelLabel::Hmd(k) = label {
+                        assert_eq!(*k as usize, i + 1, "HMD levels must be consecutive from row 0");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_distributions_match_profiles() {
+        // CKG must exhibit level-5 HMD and level-3 VMD; WDC must not go
+        // beyond level 1 HMD (per §IV-B it was excluded from deep-level
+        // experiments for sparsity).
+        let ckg = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 400, seed: 3 });
+        let stats = ckg.stats();
+        assert!(stats.hmd_at_least(5) > 0, "CKG should contain HMD level 5");
+        assert!(stats.vmd_at_least(3) > 0, "CKG should contain VMD level 3");
+
+        let wdc = CorpusKind::Wdc.generate(&GeneratorConfig { n_tables: 200, seed: 3 });
+        let wstats = wdc.stats();
+        assert_eq!(wstats.hmd_at_least(2), 0, "WDC is flat-relational dominated");
+    }
+
+    #[test]
+    fn saus_and_cius_carry_no_markup() {
+        for kind in [CorpusKind::Saus, CorpusKind::Cius] {
+            let corpus = kind.generate(&GeneratorConfig { n_tables: 30, seed: 1 });
+            assert!(corpus.tables.iter().all(|t| !t.has_markup), "{kind:?} must lack markup");
+        }
+        let ckg = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 60, seed: 1 });
+        assert!(ckg.tables.iter().any(|t| t.has_markup), "CKG should have markup");
+        assert!(ckg.tables.iter().any(|t| !t.has_markup), "CKG markup is partial");
+    }
+}

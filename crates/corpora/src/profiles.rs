@@ -1,0 +1,303 @@
+//! Per-corpus structure profiles.
+//!
+//! Each profile encodes what §IV-B says about its corpus: depth
+//! distributions, markup availability, table sizes, and how noisy deep
+//! metadata levels are. The `level_noise` knob is the difficulty dial —
+//! the probability that a header cell at level `k` is an ambiguous token
+//! (drawn from the value pool or numeric), which is what drives the
+//! paper-shaped accuracy decay with depth.
+
+use crate::vocab::Domain;
+use serde::{Deserialize, Serialize};
+
+/// The six corpora the paper evaluates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorpusKind {
+    /// COVID-19 Open Research Dataset — medical tables, rich in deep
+    /// HMD/VMD, JSON-extracted with partial markup.
+    Cord19,
+    /// COVID Knowledge Graph (PubMed tables) — deepest structures
+    /// (HMD to 5, VMD to 3), partial markup.
+    Ckg,
+    /// Crime In the US — government spreadsheets, **no HTML markup**.
+    Cius,
+    /// Statistical Abstract of the US — government, **no HTML markup**.
+    Saus,
+    /// Web Data Commons — dominated by flat relational tables.
+    Wdc,
+    /// PubTables-1M — scientific tables, header-focused annotations.
+    PubTables,
+}
+
+impl CorpusKind {
+    /// All kinds, in the paper's reporting order.
+    pub const ALL: [CorpusKind; 6] = [
+        CorpusKind::Cord19,
+        CorpusKind::Ckg,
+        CorpusKind::Cius,
+        CorpusKind::Saus,
+        CorpusKind::Wdc,
+        CorpusKind::PubTables,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CorpusKind::Cord19 => "CORD-19",
+            CorpusKind::Ckg => "CKG",
+            CorpusKind::Cius => "CIUS",
+            CorpusKind::Saus => "SAUS",
+            CorpusKind::Wdc => "WDC",
+            CorpusKind::PubTables => "PubTables",
+        }
+    }
+
+    /// Seed salt so the same user seed yields different corpora per kind.
+    pub(crate) fn seed_salt(self) -> u64 {
+        match self {
+            CorpusKind::Cord19 => 0x00c0_bd19,
+            CorpusKind::Ckg => 0x00c6_0001,
+            CorpusKind::Cius => 0x00c1_0505,
+            CorpusKind::Saus => 0x005a_0505,
+            CorpusKind::Wdc => 0x03dc_0707,
+            CorpusKind::PubTables => 0x009b_1111,
+        }
+    }
+
+    /// The structural profile of this corpus.
+    pub fn profile(self) -> CorpusProfile {
+        match self {
+            CorpusKind::Cord19 => CorpusProfile {
+                name: "CORD-19",
+                domain: Domain::Biomedical,
+                hmd_depth_weights: [0.38, 0.27, 0.20, 0.15, 0.0],
+                vmd_depth_weights: [0.15, 0.35, 0.30, 0.20],
+                cmd_prob: 0.10,
+                markup_prob: 0.55,
+                markup_noise: 0.08,
+                data_rows: (4, 18),
+                data_cols: (3, 7),
+                level_noise: [0.04, 0.05, 0.09, 0.11, 0.14],
+                numeric_frac: 0.85,
+                vmd_hier_echo: 0.55,
+                vmd_noise: [0.04, 0.10, 0.16],
+                textual_col_prob: 0.12,
+                n_sources: 14,
+                placeholder_source_frac: 0.3,
+                repeat_parent_frac: 0.2,
+            },
+            CorpusKind::Ckg => CorpusProfile {
+                name: "CKG",
+                domain: Domain::Biomedical,
+                hmd_depth_weights: [0.32, 0.26, 0.20, 0.14, 0.08],
+                vmd_depth_weights: [0.12, 0.33, 0.32, 0.23],
+                cmd_prob: 0.12,
+                markup_prob: 0.60,
+                markup_noise: 0.08,
+                data_rows: (4, 22),
+                data_cols: (3, 8),
+                level_noise: [0.04, 0.05, 0.08, 0.09, 0.11],
+                numeric_frac: 0.85,
+                vmd_hier_echo: 0.55,
+                vmd_noise: [0.03, 0.09, 0.15],
+                textual_col_prob: 0.12,
+                n_sources: 16,
+                placeholder_source_frac: 0.3,
+                repeat_parent_frac: 0.2,
+            },
+            CorpusKind::Cius => CorpusProfile {
+                name: "CIUS",
+                domain: Domain::Crime,
+                hmd_depth_weights: [0.55, 0.45, 0.0, 0.0, 0.0],
+                vmd_depth_weights: [0.10, 0.30, 0.35, 0.25],
+                cmd_prob: 0.08,
+                markup_prob: 0.0,
+                markup_noise: 0.0,
+                data_rows: (6, 25),
+                data_cols: (3, 7),
+                level_noise: [0.04, 0.08, 0.12, 0.2, 0.25],
+                numeric_frac: 0.9,
+                vmd_hier_echo: 0.65,
+                vmd_noise: [0.05, 0.10, 0.16],
+                textual_col_prob: 0.12,
+                n_sources: 8,
+                placeholder_source_frac: 0.35,
+                repeat_parent_frac: 0.25,
+            },
+            CorpusKind::Saus => CorpusProfile {
+                name: "SAUS",
+                domain: Domain::Census,
+                hmd_depth_weights: [0.45, 0.35, 0.20, 0.0, 0.0],
+                vmd_depth_weights: [0.18, 0.40, 0.42, 0.0],
+                cmd_prob: 0.10,
+                markup_prob: 0.0,
+                markup_noise: 0.0,
+                data_rows: (6, 25),
+                data_cols: (3, 8),
+                level_noise: [0.05, 0.08, 0.15, 0.2, 0.25],
+                numeric_frac: 0.9,
+                vmd_hier_echo: 0.6,
+                vmd_noise: [0.06, 0.11, 0.18],
+                textual_col_prob: 0.12,
+                n_sources: 10,
+                placeholder_source_frac: 0.35,
+                repeat_parent_frac: 0.25,
+            },
+            CorpusKind::Wdc => CorpusProfile {
+                name: "WDC",
+                domain: Domain::Web,
+                hmd_depth_weights: [1.0, 0.0, 0.0, 0.0, 0.0],
+                vmd_depth_weights: [0.45, 0.55, 0.0, 0.0],
+                cmd_prob: 0.02,
+                markup_prob: 0.75,
+                markup_noise: 0.12,
+                data_rows: (3, 15),
+                data_cols: (2, 6),
+                level_noise: [0.04, 0.1, 0.15, 0.2, 0.25],
+                numeric_frac: 0.55,
+                vmd_hier_echo: 0.35,
+                vmd_noise: [0.06, 0.12, 0.18],
+                textual_col_prob: 0.3,
+                n_sources: 24,
+                placeholder_source_frac: 0.25,
+                repeat_parent_frac: 0.15,
+            },
+            CorpusKind::PubTables => CorpusProfile {
+                name: "PubTables",
+                domain: Domain::Biomedical,
+                hmd_depth_weights: [0.60, 0.25, 0.15, 0.0, 0.0],
+                vmd_depth_weights: [0.40, 0.60, 0.0, 0.0],
+                cmd_prob: 0.06,
+                markup_prob: 0.70,
+                markup_noise: 0.06,
+                data_rows: (4, 16),
+                data_cols: (3, 7),
+                level_noise: [0.03, 0.06, 0.12, 0.18, 0.24],
+                numeric_frac: 0.8,
+                vmd_hier_echo: 0.5,
+                vmd_noise: [0.05, 0.10, 0.16],
+                textual_col_prob: 0.12,
+                n_sources: 14,
+                placeholder_source_frac: 0.3,
+                repeat_parent_frac: 0.2,
+            },
+        }
+    }
+}
+
+/// Structural parameters of one synthetic corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusProfile {
+    /// Corpus display name.
+    pub name: &'static str,
+    /// Vocabulary domain.
+    pub domain: Domain,
+    /// Probability weights for HMD depth 1..=5 (normalized internally).
+    pub hmd_depth_weights: [f32; 5],
+    /// Probability weights for VMD depth 0..=3.
+    pub vmd_depth_weights: [f32; 4],
+    /// Probability a table contains a CMD section row.
+    pub cmd_prob: f32,
+    /// Probability a table carries HTML markup at all.
+    pub markup_prob: f32,
+    /// Per-cell probability a markup tag is wrong or missing.
+    pub markup_noise: f32,
+    /// Inclusive range of data-row counts.
+    pub data_rows: (usize, usize),
+    /// Inclusive range of data-column counts.
+    pub data_cols: (usize, usize),
+    /// Per-HMD-level probability of an ambiguous header cell.
+    pub level_noise: [f32; 5],
+    /// Probability a data cell is numeric (vs a textual value).
+    pub numeric_frac: f32,
+    /// Probability a VMD value at level `k ≥ 2` lexically echoes its
+    /// hierarchy parent ("state university of **new york**" under "**new
+    /// york**", the Fig. 1(a) pattern). Real hierarchical row headers share
+    /// vocabulary across levels; this is what lets embedding-based methods
+    /// tie deep VMD levels together.
+    pub vmd_hier_echo: f32,
+    /// Per-VMD-level probability of an ambiguous value — numeric-flavoured
+    /// row headers like "12 to 15 years" or bare counts, which read as data
+    /// (the VMD analogue of `level_noise`; §IV-H notes these trip LLMs too).
+    pub vmd_noise: [f32; 3],
+    /// Probability a *data* column is fully textual (an entity column:
+    /// drug names, product names, counties). These columns are what caps
+    /// surface-feature methods on VMD — they look exactly like vertical
+    /// metadata unless you read the vocabulary.
+    pub textual_col_prob: f32,
+    /// Number of distinct *sources* the corpus is composed from. Each
+    /// source has its own structural conventions (see
+    /// [`crate::builder::SourceStyle`]); tables are assigned to sources in
+    /// contiguous id blocks so a 70/30 split holds out unseen sources —
+    /// the heterogeneity the paper's §I motivates ("an algorithm or model
+    /// that fits one source often does not perform that well on other
+    /// sources").
+    pub n_sources: usize,
+    /// Fraction of sources that fill structural blanks with placeholder
+    /// strings ("-", "n/a", ".") instead of empty cells.
+    pub placeholder_source_frac: f32,
+    /// Fraction of sources that repeat hierarchical VMD parents on every
+    /// row instead of only at group starts.
+    pub repeat_parent_frac: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(CorpusKind::Cord19.name(), "CORD-19");
+        assert_eq!(CorpusKind::PubTables.name(), "PubTables");
+        assert_eq!(CorpusKind::ALL.len(), 6);
+    }
+
+    #[test]
+    fn profile_weights_are_sane() {
+        for kind in CorpusKind::ALL {
+            let p = kind.profile();
+            let hsum: f32 = p.hmd_depth_weights.iter().sum();
+            assert!(hsum > 0.0, "{kind:?} HMD weights must not be all-zero");
+            assert!(p.hmd_depth_weights.iter().all(|w| *w >= 0.0));
+            assert!(p.vmd_depth_weights.iter().all(|w| *w >= 0.0));
+            assert!(p.data_rows.0 >= 2 && p.data_rows.0 <= p.data_rows.1);
+            assert!(p.data_cols.0 >= 2 && p.data_cols.0 <= p.data_cols.1);
+            assert!((0.0..=1.0).contains(&p.markup_prob));
+            assert!((0.0..=1.0).contains(&p.numeric_frac));
+        }
+    }
+
+    #[test]
+    fn ckg_is_the_deepest_corpus() {
+        let ckg = CorpusKind::Ckg.profile();
+        assert!(ckg.hmd_depth_weights[4] > 0.0, "CKG has HMD level 5");
+        assert!(ckg.vmd_depth_weights[3] > 0.0, "CKG has VMD level 3");
+        let wdc = CorpusKind::Wdc.profile();
+        assert_eq!(wdc.hmd_depth_weights[1..].iter().sum::<f32>(), 0.0);
+    }
+
+    #[test]
+    fn government_corpora_lack_markup() {
+        assert_eq!(CorpusKind::Saus.profile().markup_prob, 0.0);
+        assert_eq!(CorpusKind::Cius.profile().markup_prob, 0.0);
+        assert!(CorpusKind::Ckg.profile().markup_prob > 0.0);
+    }
+
+    #[test]
+    fn level_noise_is_monotone_nondecreasing() {
+        for kind in CorpusKind::ALL {
+            let noise = kind.profile().level_noise;
+            for w in noise.windows(2) {
+                assert!(w[0] <= w[1], "{kind:?} noise must grow with depth");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_salts_are_distinct() {
+        let mut salts: Vec<u64> = CorpusKind::ALL.iter().map(|k| k.seed_salt()).collect();
+        salts.sort_unstable();
+        salts.dedup();
+        assert_eq!(salts.len(), 6);
+    }
+}

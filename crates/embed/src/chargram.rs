@@ -1,0 +1,340 @@
+//! CharGram: the subword embedding model standing in for BioBERT.
+//!
+//! The paper fine-tunes BioBERT because biomedical corpora are full of
+//! rare, morphologically regular terminology that word-level models handle
+//! poorly. What the downstream method actually consumes is a term→vector
+//! map that stays meaningful for rare/OOV domain terms. CharGram provides
+//! that property the fastText way: a term's vector is the **mean of its
+//! word vector and its hashed character n-gram vectors**, trained with the
+//! same SGNS objective as [`crate::word2vec::Word2Vec`]. Out-of-vocabulary
+//! terms compose from grams alone, so `"thrombocytopenia"` lands near its
+//! morphological relatives even if unseen. See DESIGN.md §2 for the full
+//! substitution argument.
+// Grid construction walks coordinates; index loops are the clear form here.
+#![allow(clippy::needless_range_loop)]
+
+
+use crate::embedder::{TermEmbedder, TunableEmbedder};
+use crate::negative::NegativeTable;
+use crate::sgns::{SgnsConfig, SigmoidTable, TrainReport};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tabmeta_linalg::Matrix;
+use tabmeta_text::{ngram_ids, NgramConfig, NumericClass, Vocabulary};
+
+/// CharGram hyper-parameters: SGNS knobs plus the n-gram space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct CharGramConfig {
+    /// Shared SGNS hyper-parameters.
+    pub sgns: SgnsConfig,
+    /// Character n-gram extraction / hashing configuration.
+    pub ngrams: NgramConfig,
+}
+
+
+impl CharGramConfig {
+    /// Small, fast configuration for tests and examples.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            sgns: SgnsConfig::tiny(seed),
+            ngrams: NgramConfig { min_n: 3, max_n: 4, buckets: 1 << 12 },
+        }
+    }
+}
+
+/// A trained (or in-training) CharGram model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CharGram {
+    config: CharGramConfig,
+    vocab: Vocabulary,
+    /// Per-word input vectors.
+    words: Matrix,
+    /// Hashed n-gram bucket vectors.
+    grams: Matrix,
+    /// Word-level output (context) vectors.
+    output: Matrix,
+    /// Cached gram ids per vocabulary word (parallel to `vocab`).
+    word_grams: Vec<Vec<u32>>,
+}
+
+impl CharGram {
+    /// Train from term-string sentences.
+    pub fn train(sentences: &[Vec<String>], config: CharGramConfig) -> (Self, TrainReport) {
+        let mut counting = Vocabulary::new();
+        for s in sentences {
+            for t in s {
+                counting.add(t);
+            }
+        }
+        let (mut vocab, remap) = counting.filter_min_count(config.sgns.min_count.max(1));
+        for tok in NumericClass::all_tokens() {
+            vocab.intern(tok);
+        }
+        let encoded: Vec<Vec<u32>> = sentences
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .filter_map(|t| counting.id(t).and_then(|old| remap[old as usize]))
+                    .collect()
+            })
+            .filter(|s: &Vec<u32>| s.len() >= 2)
+            .collect();
+
+        let word_grams: Vec<Vec<u32>> = (0..vocab.len())
+            .map(|id| {
+                ngram_ids(vocab.term(id as u32), &config.ngrams)
+                    .into_iter()
+                    .map(|g| g as u32)
+                    .collect()
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(config.sgns.seed ^ 0xcafe);
+        let dim = config.sgns.dim;
+        let mut model = CharGram {
+            words: Matrix::uniform_init(vocab.len(), dim, &mut rng),
+            grams: Matrix::uniform_init(config.ngrams.buckets, dim, &mut rng),
+            output: Matrix::zeros(vocab.len(), dim),
+            word_grams,
+            vocab,
+            config,
+        };
+        let report = if encoded.is_empty() || model.vocab.total_count() == 0 {
+            TrainReport::default()
+        } else {
+            let negatives =
+                NegativeTable::build(&model.vocab, NegativeTable::DEFAULT_SIZE.min(1 << 18));
+            model.run_sgns(&encoded, &negatives)
+        };
+        (model, report)
+    }
+
+    /// SGNS over composed (word + grams) input vectors.
+    fn run_sgns(&mut self, sentences: &[Vec<u32>], negatives: &NegativeTable) -> TrainReport {
+        let config = self.config.sgns.clone();
+        let dim = config.dim;
+        let sigmoid = SigmoidTable::new();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let total_tokens: u64 = sentences.iter().map(|s| s.len() as u64).sum();
+        let total_work = (total_tokens * config.epochs as u64).max(1);
+        let mut processed = 0u64;
+        let mut pairs = 0u64;
+        let mut lr = config.learning_rate;
+        let mut v_in = vec![0.0f32; dim];
+        let mut grad = vec![0.0f32; dim];
+
+        for _epoch in 0..config.epochs {
+            for sentence in sentences {
+                for (pos, &center) in sentence.iter().enumerate() {
+                    processed += 1;
+                    lr = config.learning_rate
+                        * (1.0 - processed as f32 / total_work as f32).max(1e-4);
+                    let reduced = rng.random_range(1..=config.window);
+                    let lo = pos.saturating_sub(reduced);
+                    let hi = (pos + reduced).min(sentence.len() - 1);
+                    for ctx_pos in lo..=hi {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        pairs += 1;
+                        let context = sentence[ctx_pos];
+                        self.compose_into(center, &mut v_in);
+                        grad.fill(0.0);
+                        // Positive.
+                        {
+                            let v_out = self.output.row_mut(context as usize);
+                            let g = (1.0 - sigmoid.get(tabmeta_linalg::dot(&v_in, v_out))) * lr;
+                            tabmeta_linalg::axpy(g, v_out, &mut grad);
+                            tabmeta_linalg::axpy(g, &v_in, v_out);
+                        }
+                        // Negatives.
+                        for _ in 0..config.negative {
+                            let neg = negatives.sample(&mut rng);
+                            if neg == context {
+                                continue;
+                            }
+                            let v_out = self.output.row_mut(neg as usize);
+                            let g = (0.0 - sigmoid.get(tabmeta_linalg::dot(&v_in, v_out))) * lr;
+                            tabmeta_linalg::axpy(g, v_out, &mut grad);
+                            tabmeta_linalg::axpy(g, &v_in, v_out);
+                        }
+                        self.spread_gradient(center, &grad);
+                    }
+                }
+            }
+        }
+        TrainReport { pairs, final_lr: lr }
+    }
+
+    /// Compose the input vector of a vocabulary word: mean of word vector
+    /// and its gram vectors.
+    fn compose_into(&self, word: u32, out: &mut [f32]) {
+        out.copy_from_slice(self.words.row(word as usize));
+        let grams = &self.word_grams[word as usize];
+        for &g in grams {
+            tabmeta_linalg::add_assign(out, self.grams.row(g as usize));
+        }
+        tabmeta_linalg::scale(out, 1.0 / (1 + grams.len()) as f32);
+    }
+
+    /// Distribute a gradient across a word's constituents (mean composition
+    /// ⇒ each constituent receives `grad / (1+n)`).
+    fn spread_gradient(&mut self, word: u32, grad: &[f32]) {
+        let grams = std::mem::take(&mut self.word_grams[word as usize]);
+        let share = 1.0 / (1 + grams.len()) as f32;
+        let mut scaled = grad.to_vec();
+        tabmeta_linalg::scale(&mut scaled, share);
+        tabmeta_linalg::add_assign(self.words.row_mut(word as usize), &scaled);
+        for &g in &grams {
+            tabmeta_linalg::add_assign(self.grams.row_mut(g as usize), &scaled);
+        }
+        self.word_grams[word as usize] = grams;
+    }
+
+    /// The model's vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The training configuration used.
+    pub fn config(&self) -> &CharGramConfig {
+        &self.config
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("CharGram serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl TermEmbedder for CharGram {
+    fn dim(&self) -> usize {
+        self.config.sgns.dim
+    }
+
+    fn accumulate(&self, term: &str, out: &mut [f32]) -> bool {
+        if let Some(id) = self.vocab.id(term) {
+            let mut v = vec![0.0; self.dim()];
+            self.compose_into(id, &mut v);
+            tabmeta_linalg::add_assign(out, &v);
+            return true;
+        }
+        // OOV: compose from grams alone — the property BioBERT buys the
+        // paper on rare biomedical terms.
+        let grams = ngram_ids(term, &self.config.ngrams);
+        if grams.is_empty() {
+            return false;
+        }
+        let mut v = vec![0.0; self.dim()];
+        for g in &grams {
+            tabmeta_linalg::add_assign(&mut v, self.grams.row(*g));
+        }
+        tabmeta_linalg::scale(&mut v, 1.0 / grams.len() as f32);
+        tabmeta_linalg::add_assign(out, &v);
+        true
+    }
+}
+
+impl TunableEmbedder for CharGram {
+    fn apply_gradient(&mut self, term: &str, grad: &[f32]) {
+        if let Some(id) = self.vocab.id(term) {
+            self.spread_gradient(id, grad);
+        }
+        // OOV terms have no trainable word slot; grams alone could be
+        // nudged, but tuning unseen terms risks corrupting shared buckets,
+        // so fine-tuning is restricted to vocabulary terms.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topic_sentences() -> Vec<Vec<String>> {
+        let mk = |words: &[&str]| words.iter().map(|w| w.to_string()).collect::<Vec<_>>();
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            out.push(mk(&["headache", "migraine", "nausea", "symptom"]));
+            out.push(mk(&["enrollment", "tuition", "campus", "faculty"]));
+            out.push(mk(&["migraine", "headache", "symptom"]));
+            out.push(mk(&["campus", "tuition", "enrollment"]));
+        }
+        out
+    }
+
+    #[test]
+    fn training_separates_topics() {
+        let (model, report) = CharGram::train(&topic_sentences(), CharGramConfig::tiny(9));
+        assert!(report.pairs > 0);
+        let sim = |a: &str, b: &str| {
+            tabmeta_linalg::cosine_similarity(&model.embed(a).unwrap(), &model.embed(b).unwrap())
+        };
+        assert!(sim("headache", "migraine") > sim("headache", "tuition"));
+    }
+
+    #[test]
+    fn oov_terms_still_embed_via_grams() {
+        let (model, _) = CharGram::train(&topic_sentences(), CharGramConfig::tiny(9));
+        // Unseen morphological relative of "headache"/"migraine".
+        let v = model.embed("headaches");
+        assert!(v.is_some(), "OOV term must compose from grams");
+        let sim_in = tabmeta_linalg::cosine_similarity(
+            &v.clone().unwrap(),
+            &model.embed("headache").unwrap(),
+        );
+        let sim_out = tabmeta_linalg::cosine_similarity(
+            &v.unwrap(),
+            &model.embed("enrollment").unwrap(),
+        );
+        assert!(sim_in > sim_out, "morphological relative should be closer: {sim_in} vs {sim_out}");
+    }
+
+    #[test]
+    fn class_tokens_are_atomic_and_embeddable() {
+        let (model, _) = CharGram::train(&topic_sentences(), CharGramConfig::tiny(9));
+        assert!(model.embed("<pct>").is_some());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = CharGram::train(&topic_sentences(), CharGramConfig::tiny(10)).0;
+        let b = CharGram::train(&topic_sentences(), CharGramConfig::tiny(10)).0;
+        assert_eq!(a.embed("headache"), b.embed("headache"));
+    }
+
+    #[test]
+    fn gradient_tuning_moves_vocabulary_terms_only() {
+        let (mut model, _) = CharGram::train(&topic_sentences(), CharGramConfig::tiny(11));
+        let before = model.embed("headache").unwrap();
+        model.apply_gradient("headache", &vec![0.05; model.dim()]);
+        let after = model.embed("headache").unwrap();
+        assert!(before.iter().zip(&after).any(|(b, a)| (b - a).abs() > 1e-7));
+
+        let oov_before = model.embed("zzzxqj").unwrap();
+        model.apply_gradient("zzzxqj", &vec![0.5; model.dim()]);
+        let oov_after = model.embed("zzzxqj").unwrap();
+        assert_eq!(oov_before, oov_after, "OOV tuning must be a no-op");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let (model, _) = CharGram::train(&topic_sentences(), CharGramConfig::tiny(12));
+        let back = CharGram::from_json(&model.to_json()).unwrap();
+        assert_eq!(back.embed("campus"), model.embed("campus"));
+    }
+
+    #[test]
+    fn empty_training_is_graceful() {
+        let (model, report) = CharGram::train(&[], CharGramConfig::tiny(13));
+        assert_eq!(report.pairs, 0);
+        // Even with no data, gram composition yields *some* vector.
+        assert!(model.embed("anything").is_some());
+    }
+}

@@ -1,0 +1,113 @@
+//! The embedding interface the classifier consumes.
+//!
+//! The contrastive pipeline is embedding-model-agnostic: it needs to (a)
+//! accumulate a term's vector into a level aggregate and (b) nudge a term's
+//! vector during contrastive fine-tuning. Both Word2Vec and CharGram
+//! implement this pair of traits, so the whole downstream stack — centroid
+//! computation, fine-tuning, Algorithm 1 — is written once.
+
+/// Read access to term vectors.
+pub trait TermEmbedder {
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Add `term`'s vector into `out` (which must have length [`dim`]).
+    /// Returns `false` when the term has no representation (fully OOV),
+    /// leaving `out` untouched.
+    ///
+    /// [`dim`]: TermEmbedder::dim
+    fn accumulate(&self, term: &str, out: &mut [f32]) -> bool;
+
+    /// Convenience: the term's vector as an owned `Vec`, or `None` if OOV.
+    fn embed(&self, term: &str) -> Option<Vec<f32>> {
+        let mut out = vec![0.0; self.dim()];
+        self.accumulate(term, &mut out).then_some(out)
+    }
+
+    /// Aggregate a sequence of terms by summation (Def. 8). Returns `None`
+    /// when no term embedded.
+    fn aggregate<'t>(&self, terms: impl IntoIterator<Item = &'t str>) -> Option<Vec<f32>> {
+        let mut out = vec![0.0; self.dim()];
+        let mut any = false;
+        for term in terms {
+            any |= self.accumulate(term, &mut out);
+        }
+        any.then_some(out)
+    }
+}
+
+/// Write access used by contrastive fine-tuning.
+pub trait TunableEmbedder: TermEmbedder {
+    /// Apply `grad` (already scaled by the learning rate) to `term`'s
+    /// underlying parameters. No-op for OOV terms.
+    fn apply_gradient(&mut self, term: &str, grad: &[f32]);
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A fixed-dictionary embedder for unit tests of downstream crates.
+    #[derive(Debug, Clone, Default)]
+    pub struct FixedEmbedder {
+        pub dim: usize,
+        pub vectors: HashMap<String, Vec<f32>>,
+    }
+
+    impl TermEmbedder for FixedEmbedder {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+
+        fn accumulate(&self, term: &str, out: &mut [f32]) -> bool {
+            match self.vectors.get(term) {
+                Some(v) => {
+                    tabmeta_linalg::add_assign(out, v);
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+
+    impl TunableEmbedder for FixedEmbedder {
+        fn apply_gradient(&mut self, term: &str, grad: &[f32]) {
+            if let Some(v) = self.vectors.get_mut(term) {
+                tabmeta_linalg::add_assign(v, grad);
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_known_terms() {
+        let mut e = FixedEmbedder { dim: 2, ..Default::default() };
+        e.vectors.insert("a".into(), vec![1.0, 0.0]);
+        e.vectors.insert("b".into(), vec![0.0, 2.0]);
+        let agg = e.aggregate(["a", "b", "zzz"]).unwrap();
+        assert_eq!(agg, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn aggregate_of_all_oov_is_none() {
+        let e = FixedEmbedder { dim: 3, ..Default::default() };
+        assert!(e.aggregate(["x", "y"]).is_none());
+    }
+
+    #[test]
+    fn embed_returns_owned_copy() {
+        let mut e = FixedEmbedder { dim: 2, ..Default::default() };
+        e.vectors.insert("a".into(), vec![0.5, 0.5]);
+        assert_eq!(e.embed("a"), Some(vec![0.5, 0.5]));
+        assert_eq!(e.embed("q"), None);
+    }
+
+    #[test]
+    fn gradient_applies() {
+        let mut e = FixedEmbedder { dim: 2, ..Default::default() };
+        e.vectors.insert("a".into(), vec![1.0, 1.0]);
+        e.apply_gradient("a", &[0.5, -0.5]);
+        assert_eq!(e.embed("a"), Some(vec![1.5, 0.5]));
+        e.apply_gradient("missing", &[9.0, 9.0]); // no-op, no panic
+    }
+}

@@ -1,0 +1,38 @@
+//! Term-embedding training for tabmeta.
+//!
+//! The paper trains two embedding models over its corpora (§III-A, §IV-C):
+//!
+//! * **Word2Vec** — dimensionality 300, context window 3, `min_count` 1,
+//!   trained with skip-gram + negative sampling. Reproduced faithfully in
+//!   [`word2vec::Word2Vec`].
+//! * **BioBERT** — a transformer fine-tuned on biomedical text. Out of
+//!   scope for a CPU-only Rust reproduction; its *role* in the method
+//!   (robust vectors for rare domain terms) is filled by
+//!   [`chargram::CharGram`], a fastText-style subword model trained with
+//!   the same SGNS objective (see DESIGN.md §2 for the substitution
+//!   argument).
+//!
+//! Training sentences come from table levels: every row and every column of
+//! every table becomes one token sequence (the paper trains on "table
+//! tuples/rows" with `[CLS]`/`[SEP]` boundary tokens; we mark cell
+//! boundaries with a `[SEP]` token in the same spirit). Because header
+//! terms co-occur with header terms along their row *and* with their
+//! column's data terms, the learned geometry separates metadata-heavy
+//! directions from data-heavy directions — which is exactly the gap the
+//! classifier's angle ranges measure.
+//!
+//! Both models implement [`TermEmbedder`] (read access) and
+//! [`TunableEmbedder`] (gradient nudges used by contrastive fine-tuning).
+
+pub mod chargram;
+pub mod embedder;
+pub mod negative;
+pub mod sentences;
+pub mod sgns;
+pub mod word2vec;
+
+pub use chargram::{CharGram, CharGramConfig};
+pub use embedder::{TermEmbedder, TunableEmbedder};
+pub use sentences::{sentences_from_tables, SentenceConfig};
+pub use sgns::SgnsConfig;
+pub use word2vec::Word2Vec;

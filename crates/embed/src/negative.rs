@@ -1,0 +1,127 @@
+//! Negative-sampling distribution for SGNS.
+//!
+//! Standard word2vec construction: terms are drawn with probability
+//! proportional to `count^0.75`, flattening the head of the Zipf curve so
+//! frequent terms do not monopolize the negative samples. Implemented as
+//! the classic precomputed index table (O(1) draws).
+
+use rand::{Rng, RngExt};
+use tabmeta_text::Vocabulary;
+
+/// Precomputed unigram^0.75 sampling table.
+#[derive(Debug, Clone)]
+pub struct NegativeTable {
+    table: Vec<u32>,
+}
+
+impl NegativeTable {
+    /// Default table size — large enough that tail terms still appear.
+    pub const DEFAULT_SIZE: usize = 1 << 20;
+
+    /// Build from vocabulary counts with the 3/4 power distortion.
+    ///
+    /// Terms with zero count (interned but never observed) are excluded.
+    ///
+    /// # Panics
+    /// Panics if the vocabulary has no counted terms.
+    pub fn build(vocab: &Vocabulary, size: usize) -> Self {
+        let weights: Vec<f64> =
+            vocab.counts().iter().map(|&c| (c as f64).powf(0.75)).collect();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "NegativeTable::build: vocabulary has no counted terms");
+        let mut table = Vec::with_capacity(size);
+        let mut cum = 0.0f64;
+        let mut idx = 0usize;
+        // March a cursor through the cumulative distribution.
+        cum += weights[0] / total;
+        for i in 0..size {
+            let target = (i as f64 + 0.5) / size as f64;
+            while target > cum && idx + 1 < weights.len() {
+                idx += 1;
+                cum += weights[idx] / total;
+            }
+            table.push(idx as u32);
+        }
+        Self { table }
+    }
+
+    /// Draw one negative term id.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.table[rng.random_range(0..self.table.len())]
+    }
+
+    /// Table length (for tests).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty (never true after a successful build).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vocab_with_counts(counts: &[(&str, u64)]) -> Vocabulary {
+        let mut v = Vocabulary::new();
+        for (term, n) in counts {
+            for _ in 0..*n {
+                v.add(term);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn frequent_terms_sample_more_often() {
+        let v = vocab_with_counts(&[("common", 900), ("rare", 10)]);
+        let table = NegativeTable::build(&v, 10_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[1] * 3, "common={} rare={}", counts[0], counts[1]);
+        // But distortion keeps the rare term alive.
+        assert!(counts[1] > 50, "rare term starved: {}", counts[1]);
+    }
+
+    #[test]
+    fn distortion_flattens_relative_to_raw_frequency() {
+        let v = vocab_with_counts(&[("head", 10_000), ("tail", 100)]);
+        let table = NegativeTable::build(&v, 100_000);
+        let tail_share =
+            table.table.iter().filter(|&&id| id == 1).count() as f64 / table.len() as f64;
+        let raw_share = 100.0 / 10_100.0; // ≈ 0.0099
+        assert!(tail_share > raw_share * 2.0, "tail share {tail_share} not flattened");
+    }
+
+    #[test]
+    fn all_counted_terms_appear() {
+        let v = vocab_with_counts(&[("a", 5), ("b", 5), ("c", 5)]);
+        let table = NegativeTable::build(&v, 3_000);
+        for id in 0..3u32 {
+            assert!(table.table.contains(&id), "term {id} missing from table");
+        }
+    }
+
+    #[test]
+    fn zero_count_interned_terms_are_skipped() {
+        let mut v = vocab_with_counts(&[("real", 10)]);
+        v.intern("<pct>"); // zero count
+        let table = NegativeTable::build(&v, 1_000);
+        assert!(table.table.iter().all(|&id| id == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no counted terms")]
+    fn empty_vocab_panics() {
+        let _ = NegativeTable::build(&Vocabulary::new(), 100);
+    }
+}

@@ -1,0 +1,303 @@
+//! Skip-gram-with-negative-sampling training core, shared by both
+//! embedding models.
+//!
+//! Given sentences of term ids, one training step takes a `(center,
+//! context)` pair plus `k` negatives and performs the classic SGD update
+//! on the input/output matrices:
+//!
+//! ```text
+//!   g = (label − σ(v_in · v_out)) · lr
+//!   v_out += g · v_in;   accumulated_grad += g · v_out_old
+//! ```
+//!
+//! The sigmoid is looked up from a precomputed table (word2vec's standard
+//! trick); the learning rate decays linearly over the full training run.
+//! Training is single-threaded and fully deterministic given the seed —
+//! reproducibility matters more than hogwild throughput at our corpus
+//! sizes, and the Criterion benches measure the same code path the paper's
+//! runtime section describes.
+// Grid construction walks coordinates; index loops are the clear form here.
+#![allow(clippy::needless_range_loop)]
+
+
+use crate::negative::NegativeTable;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tabmeta_linalg::Matrix;
+
+/// Hyper-parameters of SGNS training.
+///
+/// Defaults follow §IV-C: window 3, `min_count` 1. The paper uses
+/// dimensionality 300 for Word2Vec; tests and small corpora use less (the
+/// paper itself reports no gain beyond 300, and below ~64 the angle ranges
+/// merely widen).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Context window radius (paper: 3 before and after the target).
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Initial learning rate (decays linearly to 1e-4 of itself).
+    pub learning_rate: f32,
+    /// Training epochs over the sentence set.
+    pub epochs: usize,
+    /// Minimum term count for vocabulary inclusion (paper: 1).
+    pub min_count: u64,
+    /// RNG seed — all sampling derives from it.
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self {
+            dim: 300,
+            window: 3,
+            negative: 5,
+            learning_rate: 0.025,
+            epochs: 5,
+            min_count: 1,
+            seed: 0x7ab_3e7a,
+        }
+    }
+}
+
+impl SgnsConfig {
+    /// A small, fast configuration for tests and examples.
+    pub fn tiny(seed: u64) -> Self {
+        Self { dim: 32, epochs: 3, seed, ..Self::default() }
+    }
+}
+
+/// Precomputed logistic sigmoid over `[-MAX_EXP, MAX_EXP]`.
+#[derive(Debug, Clone)]
+pub struct SigmoidTable {
+    table: Vec<f32>,
+}
+
+impl SigmoidTable {
+    const MAX_EXP: f32 = 6.0;
+    const SIZE: usize = 1024;
+
+    /// Build the lookup table.
+    pub fn new() -> Self {
+        let table = (0..Self::SIZE)
+            .map(|i| {
+                let x = (i as f32 / Self::SIZE as f32 * 2.0 - 1.0) * Self::MAX_EXP;
+                1.0 / (1.0 + (-x).exp())
+            })
+            .collect();
+        Self { table }
+    }
+
+    /// σ(x), saturating outside ±6.
+    #[inline]
+    pub fn get(&self, x: f32) -> f32 {
+        if x >= Self::MAX_EXP {
+            1.0
+        } else if x <= -Self::MAX_EXP {
+            0.0
+        } else {
+            let idx = ((x + Self::MAX_EXP) / (2.0 * Self::MAX_EXP) * Self::SIZE as f32) as usize;
+            self.table[idx.min(Self::SIZE - 1)]
+        }
+    }
+}
+
+impl Default for SigmoidTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The mutable state of one SGNS run over id-encoded sentences.
+pub struct SgnsTrainer<'a> {
+    config: &'a SgnsConfig,
+    sigmoid: SigmoidTable,
+    rng: StdRng,
+}
+
+/// Progress statistics reported by [`SgnsTrainer::train`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrainReport {
+    /// Total (center, context) pairs processed.
+    pub pairs: u64,
+    /// Final learning rate after decay.
+    pub final_lr: f32,
+}
+
+impl<'a> SgnsTrainer<'a> {
+    /// New trainer with the config's seed.
+    pub fn new(config: &'a SgnsConfig) -> Self {
+        Self { config, sigmoid: SigmoidTable::new(), rng: StdRng::seed_from_u64(config.seed) }
+    }
+
+    /// Run SGNS over `sentences` (term-id sequences), updating `input` and
+    /// `output` matrices in place. `negatives` must be built over the same
+    /// id space.
+    pub fn train(
+        &mut self,
+        sentences: &[Vec<u32>],
+        negatives: &NegativeTable,
+        input: &mut Matrix,
+        output: &mut Matrix,
+    ) -> TrainReport {
+        assert_eq!(input.dim(), output.dim(), "SGNS matrices must share dimensionality");
+        let dim = input.dim();
+        let total_tokens: u64 = sentences.iter().map(|s| s.len() as u64).sum();
+        let total_work = (total_tokens * self.config.epochs as u64).max(1);
+        let mut processed: u64 = 0;
+        let mut pairs: u64 = 0;
+        let mut grad = vec![0.0f32; dim];
+        let mut lr = self.config.learning_rate;
+
+        for _epoch in 0..self.config.epochs {
+            for sentence in sentences {
+                for (pos, &center) in sentence.iter().enumerate() {
+                    processed += 1;
+                    // Linear decay with the standard floor.
+                    lr = self.config.learning_rate
+                        * (1.0 - processed as f32 / total_work as f32).max(1e-4);
+                    // Dynamic window shrink, as in word2vec.
+                    let reduced = self.rng.random_range(1..=self.config.window);
+                    let lo = pos.saturating_sub(reduced);
+                    let hi = (pos + reduced).min(sentence.len() - 1);
+                    for ctx_pos in lo..=hi {
+                        if ctx_pos == pos {
+                            continue;
+                        }
+                        let context = sentence[ctx_pos];
+                        pairs += 1;
+                        self.step(center, context, negatives, input, output, lr, &mut grad);
+                    }
+                }
+            }
+        }
+        TrainReport { pairs, final_lr: lr }
+    }
+
+    /// One positive pair plus `k` negative updates.
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &mut self,
+        center: u32,
+        context: u32,
+        negatives: &NegativeTable,
+        input: &mut Matrix,
+        output: &mut Matrix,
+        lr: f32,
+        grad: &mut [f32],
+    ) {
+        grad.fill(0.0);
+        let v_in = input.row(center as usize).to_vec();
+        // Positive sample: label 1.
+        {
+            let v_out = output.row_mut(context as usize);
+            let score = self.sigmoid.get(tabmeta_linalg::dot(&v_in, v_out));
+            let g = (1.0 - score) * lr;
+            tabmeta_linalg::axpy(g, v_out, grad);
+            tabmeta_linalg::axpy(g, &v_in, v_out);
+        }
+        // Negative samples: label 0.
+        for _ in 0..self.config.negative {
+            let neg = negatives.sample(&mut self.rng);
+            if neg == context {
+                continue;
+            }
+            let v_out = output.row_mut(neg as usize);
+            let score = self.sigmoid.get(tabmeta_linalg::dot(&v_in, v_out));
+            let g = (0.0 - score) * lr;
+            tabmeta_linalg::axpy(g, v_out, grad);
+            tabmeta_linalg::axpy(g, &v_in, v_out);
+        }
+        tabmeta_linalg::add_assign(input.row_mut(center as usize), grad);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabmeta_text::Vocabulary;
+
+    #[test]
+    fn sigmoid_table_matches_exact() {
+        let s = SigmoidTable::new();
+        for &x in &[-5.9f32, -2.0, -0.5, 0.0, 0.5, 2.0, 5.9] {
+            let exact = 1.0 / (1.0 + (-x).exp());
+            assert!((s.get(x) - exact).abs() < 0.01, "x={x}");
+        }
+        assert_eq!(s.get(100.0), 1.0);
+        assert_eq!(s.get(-100.0), 0.0);
+    }
+
+    fn toy_setup() -> (Vec<Vec<u32>>, NegativeTable, Matrix, Matrix, SgnsConfig) {
+        // Two "topics": {0,1} co-occur, {2,3} co-occur.
+        let mut vocab = Vocabulary::new();
+        for t in ["a", "b", "c", "d"] {
+            vocab.add(t);
+        }
+        let mut sentences = Vec::new();
+        for _ in 0..200 {
+            sentences.push(vec![0u32, 1, 0, 1]);
+            sentences.push(vec![2u32, 3, 2, 3]);
+        }
+        let negatives = NegativeTable::build(&vocab, 4096);
+        let config = SgnsConfig { dim: 16, epochs: 3, window: 2, ..SgnsConfig::tiny(11) };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let input = Matrix::uniform_init(4, config.dim, &mut rng);
+        let output = Matrix::zeros(4, config.dim);
+        (sentences, negatives, input, output, config)
+    }
+
+    #[test]
+    fn training_separates_topics() {
+        let (sentences, negatives, mut input, mut output, config) = toy_setup();
+        let mut trainer = SgnsTrainer::new(&config);
+        let report = trainer.train(&sentences, &negatives, &mut input, &mut output);
+        assert!(report.pairs > 1_000, "too few pairs: {}", report.pairs);
+
+        let sim = |i: usize, j: usize| {
+            tabmeta_linalg::cosine_similarity(input.row(i), input.row(j))
+        };
+        // Within-topic similarity must dominate cross-topic.
+        assert!(sim(0, 1) > sim(0, 2), "a~b {} vs a~c {}", sim(0, 1), sim(0, 2));
+        assert!(sim(2, 3) > sim(1, 3), "c~d {} vs b~d {}", sim(2, 3), sim(1, 3));
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (sentences, negatives, input0, output0, config) = toy_setup();
+        let run = || {
+            let mut input = input0.clone();
+            let mut output = output0.clone();
+            SgnsTrainer::new(&config).train(&sentences, &negatives, &mut input, &mut output);
+            input
+        };
+        assert_eq!(run(), run(), "same seed must give identical embeddings");
+    }
+
+    #[test]
+    fn learning_rate_decays() {
+        let (sentences, negatives, mut input, mut output, config) = toy_setup();
+        let report =
+            SgnsTrainer::new(&config).train(&sentences, &negatives, &mut input, &mut output);
+        assert!(report.final_lr < config.learning_rate);
+        assert!(report.final_lr > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensionality")]
+    fn mismatched_matrices_panic() {
+        let config = SgnsConfig::tiny(0);
+        let negatives = {
+            let mut v = Vocabulary::new();
+            v.add("x");
+            NegativeTable::build(&v, 64)
+        };
+        let mut input = Matrix::zeros(1, 8);
+        let mut output = Matrix::zeros(1, 16);
+        SgnsTrainer::new(&config).train(&[vec![0]], &negatives, &mut input, &mut output);
+    }
+}

@@ -1,0 +1,225 @@
+//! The Word2Vec model: vocabulary + input/output matrices + SGNS training.
+//!
+//! Mirrors the paper's Gensim configuration (§IV-C): skip-gram with
+//! negative sampling, dimensionality 300, window 3, `min_count` 1. Term
+//! vectors are the **input** matrix rows, as is conventional.
+
+use crate::embedder::{TermEmbedder, TunableEmbedder};
+use crate::negative::NegativeTable;
+use crate::sgns::{SgnsConfig, SgnsTrainer, TrainReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tabmeta_linalg::Matrix;
+use tabmeta_text::{NumericClass, TermId, Vocabulary};
+
+/// A trained (or in-training) Word2Vec model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Word2Vec {
+    config: SgnsConfig,
+    vocab: Vocabulary,
+    input: Matrix,
+    output: Matrix,
+}
+
+impl Word2Vec {
+    /// Train a model from term-string sentences.
+    ///
+    /// Builds the vocabulary (applying `config.min_count`), encodes the
+    /// sentences, and runs [`SgnsTrainer`]. Numeric class tokens are
+    /// pre-interned so they always exist even in corpora without numerics.
+    pub fn train(sentences: &[Vec<String>], config: SgnsConfig) -> (Self, TrainReport) {
+        let mut counting = Vocabulary::new();
+        for s in sentences {
+            for t in s {
+                counting.add(t);
+            }
+        }
+        let (mut vocab, remap) = counting.filter_min_count(config.min_count.max(1));
+        for tok in NumericClass::all_tokens() {
+            vocab.intern(tok);
+        }
+        let encoded: Vec<Vec<u32>> = sentences
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .filter_map(|t| counting.id(t).and_then(|old| remap[old as usize]))
+                    .collect()
+            })
+            .filter(|s: &Vec<u32>| s.len() >= 2)
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
+        let mut input = Matrix::uniform_init(vocab.len(), config.dim, &mut rng);
+        let mut output = Matrix::zeros(vocab.len(), config.dim);
+        let report = if encoded.is_empty() || vocab.total_count() == 0 {
+            TrainReport::default()
+        } else {
+            let negatives = NegativeTable::build(&vocab, NegativeTable::DEFAULT_SIZE.min(1 << 18));
+            let mut trainer = SgnsTrainer::new(&config);
+            trainer.train(&encoded, &negatives, &mut input, &mut output)
+        };
+        (Self { config, vocab, input, output }, report)
+    }
+
+    /// The model's vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The training configuration used.
+    pub fn config(&self) -> &SgnsConfig {
+        &self.config
+    }
+
+    /// Term id lookup.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.vocab.id(term)
+    }
+
+    /// Raw vector of a term id.
+    pub fn vector(&self, id: TermId) -> &[f32] {
+        self.input.row(id as usize)
+    }
+
+    /// The `k` most-similar terms to `term` by cosine, excluding itself.
+    pub fn most_similar(&self, term: &str, k: usize) -> Vec<(String, f32)> {
+        let Some(id) = self.term_id(term) else {
+            return Vec::new();
+        };
+        let query = self.input.row(id as usize);
+        let mut scored: Vec<(String, f32)> = self
+            .vocab
+            .iter()
+            .filter(|(other, _, _)| *other != id)
+            .map(|(other, text, _)| {
+                (text.to_string(), tabmeta_linalg::cosine_similarity(query, self.input.row(other as usize)))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("cosine is finite"));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("Word2Vec serializes")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl TermEmbedder for Word2Vec {
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn accumulate(&self, term: &str, out: &mut [f32]) -> bool {
+        match self.vocab.id(term) {
+            Some(id) => {
+                tabmeta_linalg::add_assign(out, self.input.row(id as usize));
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl TunableEmbedder for Word2Vec {
+    fn apply_gradient(&mut self, term: &str, grad: &[f32]) {
+        if let Some(id) = self.vocab.id(term) {
+            tabmeta_linalg::add_assign(self.input.row_mut(id as usize), grad);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Sentences with two disjoint topics plus shared filler.
+    fn topic_sentences() -> Vec<Vec<String>> {
+        let mk = |words: &[&str]| words.iter().map(|w| w.to_string()).collect::<Vec<_>>();
+        let mut out = Vec::new();
+        for _ in 0..120 {
+            out.push(mk(&["age", "sex", "gender", "cohort"]));
+            out.push(mk(&["cornell", "ithaca", "albany", "buffalo"]));
+            out.push(mk(&["age", "cohort", "gender"]));
+            out.push(mk(&["albany", "buffalo", "cornell"]));
+        }
+        out
+    }
+
+    #[test]
+    fn train_separates_topics_and_is_queryable() {
+        let (model, report) = Word2Vec::train(&topic_sentences(), SgnsConfig::tiny(3));
+        assert!(report.pairs > 0);
+        let sim = |a: &str, b: &str| {
+            let va = model.embed(a).unwrap();
+            let vb = model.embed(b).unwrap();
+            tabmeta_linalg::cosine_similarity(&va, &vb)
+        };
+        assert!(sim("age", "gender") > sim("age", "cornell"));
+        let neighbours = model.most_similar("albany", 2);
+        assert_eq!(neighbours.len(), 2);
+        assert!(
+            neighbours.iter().any(|(t, _)| t == "buffalo" || t == "cornell" || t == "ithaca"),
+            "neighbours of albany: {neighbours:?}"
+        );
+    }
+
+    #[test]
+    fn oov_terms_are_none() {
+        let (model, _) = Word2Vec::train(&topic_sentences(), SgnsConfig::tiny(3));
+        assert!(model.embed("zzzunknown").is_none());
+        assert!(model.most_similar("zzzunknown", 3).is_empty());
+    }
+
+    #[test]
+    fn min_count_prunes_rare_terms() {
+        let mut sentences = topic_sentences();
+        sentences.push(vec!["hapax".to_string(), "age".to_string()]);
+        let config = SgnsConfig { min_count: 2, ..SgnsConfig::tiny(4) };
+        let (model, _) = Word2Vec::train(&sentences, config);
+        assert!(model.term_id("hapax").is_none());
+        assert!(model.term_id("age").is_some());
+    }
+
+    #[test]
+    fn numeric_class_tokens_always_interned() {
+        let (model, _) = Word2Vec::train(&topic_sentences(), SgnsConfig::tiny(5));
+        for tok in NumericClass::all_tokens() {
+            assert!(model.term_id(tok).is_some(), "{tok} missing");
+        }
+    }
+
+    #[test]
+    fn gradient_tuning_moves_vector() {
+        let (mut model, _) = Word2Vec::train(&topic_sentences(), SgnsConfig::tiny(6));
+        let before = model.embed("age").unwrap();
+        let grad = vec![0.1; model.dim()];
+        model.apply_gradient("age", &grad);
+        let after = model.embed("age").unwrap();
+        assert!(before.iter().zip(&after).any(|(b, a)| (b - a).abs() > 1e-6));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_vectors() {
+        let (model, _) = Word2Vec::train(&topic_sentences(), SgnsConfig::tiny(7));
+        let back = Word2Vec::from_json(&model.to_json()).unwrap();
+        assert_eq!(back.embed("age"), model.embed("age"));
+        assert_eq!(back.vocab().len(), model.vocab().len());
+    }
+
+    #[test]
+    fn empty_training_set_yields_usable_empty_model() {
+        let (model, report) = Word2Vec::train(&[], SgnsConfig::tiny(8));
+        assert_eq!(report.pairs, 0);
+        assert!(model.embed("anything").is_none());
+        // Class tokens exist but carry zero-count vectors.
+        assert!(model.term_id("<pct>").is_some());
+    }
+}

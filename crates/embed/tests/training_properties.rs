@@ -1,0 +1,136 @@
+//! Training-level properties of the embedding models: determinism,
+//! vector sanity, OOV behaviour, persistence, neighbourhood structure.
+
+use tabmeta_embed::{
+    sentences_from_tables, CharGram, CharGramConfig, SentenceConfig, SgnsConfig, TermEmbedder,
+    Word2Vec,
+};
+use tabmeta_text::Tokenizer;
+
+fn sentences() -> Vec<Vec<String>> {
+    // A tiny corpus with a clear co-occurrence structure: headers with
+    // headers, data-class tokens with data-class tokens.
+    let mut out = Vec::new();
+    for _ in 0..60 {
+        out.push(vec!["age".into(), "sex".into(), "count".into(), "rate".into()]);
+        out.push(vec!["<int>".into(), "<pct>".into(), "<bigint>".into(), "<dec>".into()]);
+        out.push(vec!["male".into(), "female".into(), "total".into()]);
+    }
+    out
+}
+
+fn cfg(seed: u64) -> SgnsConfig {
+    SgnsConfig { dim: 24, epochs: 6, seed, ..Default::default() }
+}
+
+#[test]
+fn training_is_deterministic() {
+    let s = sentences();
+    let (a, ra) = Word2Vec::train(&s, cfg(3));
+    let (b, rb) = Word2Vec::train(&s, cfg(3));
+    assert_eq!(ra.pairs, rb.pairs);
+    let mut va = vec![0.0; a.dim()];
+    let mut vb = vec![0.0; b.dim()];
+    assert!(a.accumulate("age", &mut va));
+    assert!(b.accumulate("age", &mut vb));
+    assert_eq!(va, vb);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let s = sentences();
+    let (a, _) = Word2Vec::train(&s, cfg(3));
+    let (b, _) = Word2Vec::train(&s, cfg(4));
+    let mut va = vec![0.0; a.dim()];
+    let mut vb = vec![0.0; b.dim()];
+    a.accumulate("age", &mut va);
+    b.accumulate("age", &mut vb);
+    assert_ne!(va, vb);
+}
+
+#[test]
+fn vectors_are_finite_and_nonzero() {
+    let s = sentences();
+    let (m, _) = Word2Vec::train(&s, cfg(9));
+    for term in ["age", "sex", "<int>", "male"] {
+        let mut v = vec![0.0; m.dim()];
+        assert!(m.accumulate(term, &mut v), "{term} must be in vocab");
+        assert!(v.iter().all(|x| x.is_finite()), "{term} has non-finite components");
+        assert!(v.iter().any(|x| *x != 0.0), "{term} is the zero vector");
+    }
+}
+
+#[test]
+fn cooccurrence_shapes_neighbourhoods() {
+    let s = sentences();
+    let (m, _) = Word2Vec::train(&s, cfg(11));
+    // "age" co-occurs with "sex"; its top neighbours should rank a fellow
+    // header above a numeric-class token.
+    let neighbours = m.most_similar("age", 5);
+    assert!(!neighbours.is_empty());
+    let rank = |t: &str| neighbours.iter().position(|(n, _)| n == t);
+    if let (Some(header), Some(numeric)) = (rank("sex"), rank("<int>")) {
+        assert!(header < numeric, "header should be nearer than numeric: {neighbours:?}");
+    } else {
+        assert!(rank("sex").is_some(), "co-occurring header must be a neighbour");
+    }
+}
+
+#[test]
+fn word2vec_oov_is_silent_but_chargram_covers_it() {
+    let s = sentences();
+    let (w2v, _) = Word2Vec::train(&s, cfg(5));
+    let (cg, _) = CharGram::train(
+        &s,
+        CharGramConfig { sgns: cfg(5), ..CharGramConfig::tiny(5) },
+    );
+    let mut v = vec![0.0; w2v.dim()];
+    assert!(!w2v.accumulate("unseenword", &mut v), "word model cannot embed OOV");
+    assert!(v.iter().all(|x| *x == 0.0));
+    let mut v = vec![0.0; cg.dim()];
+    assert!(cg.accumulate("unseenword", &mut v), "subword model embeds OOV");
+    assert!(v.iter().any(|x| *x != 0.0));
+}
+
+#[test]
+fn persistence_roundtrips_both_models() {
+    let s = sentences();
+    let (w2v, _) = Word2Vec::train(&s, cfg(6));
+    let back = Word2Vec::from_json(&w2v.to_json()).unwrap();
+    let mut a = vec![0.0; w2v.dim()];
+    let mut b = vec![0.0; back.dim()];
+    w2v.accumulate("count", &mut a);
+    back.accumulate("count", &mut b);
+    assert_eq!(a, b);
+
+    let (cg, _) =
+        CharGram::train(&s, CharGramConfig { sgns: cfg(6), ..CharGramConfig::tiny(6) });
+    let back = CharGram::from_json(&cg.to_json()).unwrap();
+    let mut a = vec![0.0; cg.dim()];
+    let mut b = vec![0.0; back.dim()];
+    cg.accumulate("novelterm", &mut a);
+    back.accumulate("novelterm", &mut b);
+    assert_eq!(a, b, "subword hashing must survive persistence");
+}
+
+#[test]
+fn sentences_extract_rows_and_columns() {
+    use tabmeta_tabular::Table;
+    let t = Table::from_strings(1, &[&["age", "sex"], &["61", "male"]]);
+    let sents = sentences_from_tables(
+        std::slice::from_ref(&t),
+        &Tokenizer::default(),
+        &SentenceConfig::default(),
+    );
+    // Row sentences and column sentences both appear.
+    assert!(sents.iter().any(|s| s.contains(&"age".to_string()) && s.contains(&"sex".to_string())));
+    assert!(sents.iter().any(|s| s.contains(&"age".to_string()) && s.contains(&"<int>".to_string())));
+}
+
+#[test]
+fn empty_sentence_set_trains_empty_model() {
+    let (m, report) = Word2Vec::train(&[], cfg(1));
+    assert_eq!(report.pairs, 0);
+    let mut v = vec![0.0; m.dim()];
+    assert!(!m.accumulate("anything", &mut v));
+}

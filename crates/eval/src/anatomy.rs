@@ -1,0 +1,226 @@
+//! Error anatomy: *how* a method fails, not just how often.
+//!
+//! Per-level accuracy (Table V) says who wins; this module decomposes the
+//! losses into the failure modes the paper's analysis sections talk about:
+//! boundary placed too early (depth underclaimed), too late (data rows
+//! swallowed into the header), level missed entirely, CMD confusion, and
+//! spurious metadata on plain-relational tables.
+
+use crate::scoring::Labels;
+use serde::{Deserialize, Serialize};
+use tabmeta_tabular::{LevelLabel, Table};
+
+/// One table's failure mode along one axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureMode {
+    /// Exact match — not a failure.
+    Correct,
+    /// Metadata depth underclaimed (boundary too early).
+    DepthUnder,
+    /// Metadata depth overclaimed (boundary too late).
+    DepthOver,
+    /// Depth right but a level's label sits on the wrong line.
+    Misaligned,
+    /// No metadata found although the table has some.
+    MissedEntirely,
+    /// Metadata claimed on an axis that has none.
+    Spurious,
+}
+
+impl FailureMode {
+    /// All modes, reporting order.
+    pub const ALL: [FailureMode; 6] = [
+        FailureMode::Correct,
+        FailureMode::DepthUnder,
+        FailureMode::DepthOver,
+        FailureMode::Misaligned,
+        FailureMode::MissedEntirely,
+        FailureMode::Spurious,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureMode::Correct => "correct",
+            FailureMode::DepthUnder => "depth under",
+            FailureMode::DepthOver => "depth over",
+            FailureMode::Misaligned => "misaligned",
+            FailureMode::MissedEntirely => "missed",
+            FailureMode::Spurious => "spurious",
+        }
+    }
+}
+
+fn axis_depth(labels: &[LevelLabel], vertical: bool) -> u8 {
+    labels
+        .iter()
+        .filter_map(|l| match (l, vertical) {
+            (LevelLabel::Hmd(k), false) | (LevelLabel::Vmd(k), true) => Some(*k),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Diagnose one axis of one (truth, prediction) pair.
+pub fn diagnose_axis(
+    truth: &[LevelLabel],
+    predicted: &[LevelLabel],
+    vertical: bool,
+) -> FailureMode {
+    let td = axis_depth(truth, vertical);
+    let pd = axis_depth(predicted, vertical);
+    if td == 0 {
+        return if pd == 0 { FailureMode::Correct } else { FailureMode::Spurious };
+    }
+    if pd == 0 {
+        return FailureMode::MissedEntirely;
+    }
+    match pd.cmp(&td) {
+        std::cmp::Ordering::Less => FailureMode::DepthUnder,
+        std::cmp::Ordering::Greater => FailureMode::DepthOver,
+        std::cmp::Ordering::Equal => {
+            // Depth right; do the per-level labels line up?
+            let aligned = truth.iter().zip(predicted).all(|(t, p)| {
+                let relevant = matches!(
+                    (t, vertical),
+                    (LevelLabel::Hmd(_), false) | (LevelLabel::Vmd(_), true)
+                );
+                !relevant || t == p
+            });
+            if aligned {
+                FailureMode::Correct
+            } else {
+                FailureMode::Misaligned
+            }
+        }
+    }
+}
+
+/// Failure-mode histogram over a test set, per axis.
+#[derive(Debug, Clone, Default)]
+pub struct Anatomy {
+    /// Row-axis (HMD) mode counts, index-aligned with [`FailureMode::ALL`].
+    pub rows: [usize; 6],
+    /// Column-axis (VMD) mode counts.
+    pub columns: [usize; 6],
+}
+
+impl Anatomy {
+    /// Diagnose a full test set.
+    pub fn diagnose<F: FnMut(&Table) -> Labels>(tables: &[Table], mut classify: F) -> Self {
+        let mut out = Anatomy::default();
+        for t in tables {
+            let truth = t.truth.as_ref().expect("anatomy requires ground truth");
+            let labels = classify(t);
+            let r = diagnose_axis(&truth.rows, &labels.rows, false);
+            let c = diagnose_axis(&truth.columns, &labels.columns, true);
+            out.rows[FailureMode::ALL.iter().position(|m| *m == r).expect("known mode")] += 1;
+            out.columns[FailureMode::ALL.iter().position(|m| *m == c).expect("known mode")] +=
+                1;
+        }
+        out
+    }
+
+    /// Count for one mode along one axis.
+    pub fn count(&self, mode: FailureMode, vertical: bool) -> usize {
+        let i = FailureMode::ALL.iter().position(|m| *m == mode).expect("known mode");
+        if vertical {
+            self.columns[i]
+        } else {
+            self.rows[i]
+        }
+    }
+
+    /// Total tables diagnosed.
+    pub fn total(&self) -> usize {
+        self.rows.iter().sum()
+    }
+
+    /// Render the histogram.
+    pub fn render(&self, method: &str) -> String {
+        let mut out = format!("Error anatomy — {method} (per-table axis diagnosis):\n");
+        out.push_str(&format!("{:<14} {:>8} {:>8}\n", "mode", "HMD", "VMD"));
+        for (i, mode) in FailureMode::ALL.iter().enumerate() {
+            out.push_str(&format!(
+                "{:<14} {:>8} {:>8}\n",
+                mode.name(),
+                self.rows[i],
+                self.columns[i]
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabmeta_tabular::table::GroundTruth;
+
+    fn labels(rows: Vec<LevelLabel>, columns: Vec<LevelLabel>) -> Labels {
+        Labels { rows, columns }
+    }
+
+    #[test]
+    fn diagnose_covers_every_mode() {
+        use LevelLabel::{Data as D, Hmd};
+        let truth = [Hmd(1), Hmd(2), D, D];
+        assert_eq!(diagnose_axis(&truth, &[Hmd(1), Hmd(2), D, D], false), FailureMode::Correct);
+        assert_eq!(diagnose_axis(&truth, &[Hmd(1), D, D, D], false), FailureMode::DepthUnder);
+        assert_eq!(
+            diagnose_axis(&truth, &[Hmd(1), Hmd(2), Hmd(3), D], false),
+            FailureMode::DepthOver
+        );
+        assert_eq!(diagnose_axis(&truth, &[D, D, D, D], false), FailureMode::MissedEntirely);
+        assert_eq!(
+            diagnose_axis(&[D, D], &[Hmd(1), D], false),
+            FailureMode::Spurious
+        );
+        assert_eq!(diagnose_axis(&[D, D], &[D, D], false), FailureMode::Correct);
+        // Same depth, shifted placement.
+        assert_eq!(
+            diagnose_axis(&[Hmd(1), D, D], &[D, Hmd(1), D], false),
+            FailureMode::Misaligned
+        );
+    }
+
+    #[test]
+    fn anatomy_accumulates_per_axis() {
+        let t = Table::from_strings(1, &[&["h", "h"], &["1", "2"]]).with_truth(GroundTruth {
+            rows: vec![LevelLabel::Hmd(1), LevelLabel::Data],
+            columns: vec![LevelLabel::Data, LevelLabel::Data],
+        });
+        let tables = vec![t.clone(), t];
+        let a = Anatomy::diagnose(&tables, |_| {
+            labels(
+                vec![LevelLabel::Data, LevelLabel::Data], // missed HMD
+                vec![LevelLabel::Vmd(1), LevelLabel::Data], // spurious VMD
+            )
+        });
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.count(FailureMode::MissedEntirely, false), 2);
+        assert_eq!(a.count(FailureMode::Spurious, true), 2);
+        assert_eq!(a.count(FailureMode::Correct, false), 0);
+        let text = a.render("test");
+        assert!(text.contains("missed"));
+        assert!(text.contains("spurious"));
+    }
+
+    #[test]
+    fn end_to_end_anatomy_is_mostly_correct() {
+        use crate::harness::{split_corpus, train_all, ExperimentConfig};
+        use tabmeta_corpora::CorpusKind;
+        let cfg = ExperimentConfig { tables_per_corpus: 200, seed: 61 };
+        let split = split_corpus(CorpusKind::Ckg, &cfg);
+        let methods = train_all(&split, &cfg);
+        let a = Anatomy::diagnose(&split.test, |t| methods.ours.classify(t).into());
+        let correct_frac = a.count(FailureMode::Correct, false) as f64 / a.total() as f64;
+        assert!(correct_frac > 0.7, "most HMD axes fully correct: {correct_frac}");
+        // When we do fail on depth, underclaiming dominates overclaiming
+        // (the walk stops at the first non-matching angle).
+        let under = a.count(FailureMode::DepthUnder, false);
+        let over = a.count(FailureMode::DepthOver, false);
+        assert!(under + over < a.total() / 2);
+    }
+}

@@ -1,0 +1,278 @@
+//! Ablations beyond the paper's tables, for the design choices DESIGN.md
+//! calls out:
+//!
+//! * **contrastive fine-tuning on/off** — the paper's central mechanism;
+//!   without it the deep-level geometry never forms,
+//! * **embedding dimensionality** — §IV-C reports "no notable performance
+//!   difference" above 300 dims but significant slowdown; we sweep
+//!   dimensions and record both accuracy and wall time,
+//! * **markup availability** — how much of the bootstrapping signal the
+//!   method needs before accuracy degrades (§III-B's "partial markup"),
+//! * **hierarchy echo** — how strongly deep-VMD accuracy depends on levels
+//!   sharing vocabulary (the Fig. 1(a) "State University of New York"
+//!   pattern the corpus generator reproduces).
+
+use crate::harness::ExperimentConfig;
+use crate::scoring::{standard_keys, LevelKey, LevelScores};
+use std::time::Instant;
+use tabmeta_core::{Pipeline, PipelineConfig};
+use tabmeta_corpora::{CorpusKind, TableBuilder};
+use tabmeta_tabular::Table;
+
+/// One ablation variant's outcome.
+#[derive(Debug, Clone)]
+pub struct AblationOutcome {
+    /// Variant label ("finetune=off", "dim=96", …).
+    pub variant: String,
+    /// Seconds spent training.
+    pub train_secs: f64,
+    /// Per-level scores on the shared test split.
+    pub scores: LevelScores,
+}
+
+impl AblationOutcome {
+    /// Convenience: accuracy at one level.
+    pub fn at(&self, key: LevelKey) -> Option<f64> {
+        self.scores.level_accuracy(key)
+    }
+}
+
+fn train_and_score(
+    label: impl Into<String>,
+    train: &[Table],
+    test: &[Table],
+    config: &PipelineConfig,
+) -> AblationOutcome {
+    let t0 = Instant::now();
+    let pipeline = Pipeline::train(train, config).expect("ablation training succeeds");
+    let train_secs = t0.elapsed().as_secs_f64();
+    let scores =
+        LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
+    AblationOutcome { variant: label.into(), train_secs, scores }
+}
+
+/// Fine-tuning on vs off.
+///
+/// Run on a *low-echo* CKG variant: when hierarchy levels share little
+/// vocabulary, raw SGNS geometry does not separate deep metadata from
+/// data, and the contrastive objective is what builds the gap — the
+/// regime where the paper's mechanism is load-bearing. (On the standard
+/// high-echo corpus the co-occurrence statistics alone nearly suffice;
+/// see [`echo_ablation`].)
+pub fn finetune_ablation(config: &ExperimentConfig) -> Vec<AblationOutcome> {
+    let tables = corpus_with(config.tables_per_corpus, config.seed, |p| {
+        p.vmd_hier_echo = 0.15;
+    });
+    let cut = tables.len() * 7 / 10;
+    vec![
+        train_and_score(
+            "finetune=on",
+            &tables[..cut],
+            &tables[cut..],
+            &PipelineConfig::fast_seeded(config.seed),
+        ),
+        train_and_score(
+            "finetune=off",
+            &tables[..cut],
+            &tables[cut..],
+            &PipelineConfig::fast_seeded(config.seed).without_finetune(),
+        ),
+    ]
+}
+
+/// Embedding dimensionality sweep (§IV-C).
+pub fn dimension_ablation(config: &ExperimentConfig, dims: &[usize]) -> Vec<AblationOutcome> {
+    let split = crate::harness::split_corpus(CorpusKind::Ckg, config);
+    dims.iter()
+        .map(|&dim| {
+            let mut cfg = PipelineConfig::fast_seeded(config.seed);
+            if let tabmeta_core::EmbeddingChoice::Word2Vec(s) = &mut cfg.embedding {
+                s.dim = dim;
+            }
+            train_and_score(format!("dim={dim}"), &split.train, &split.test, &cfg)
+        })
+        .collect()
+}
+
+/// Generate a CKG-flavoured corpus with one profile field overridden.
+fn corpus_with<F: FnOnce(&mut tabmeta_corpora::CorpusProfile)>(
+    n: usize,
+    seed: u64,
+    tweak: F,
+) -> Vec<Table> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut profile = CorpusKind::Ckg.profile();
+    tweak(&mut profile);
+    let mut builder = TableBuilder::new(profile);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n as u64).map(|id| builder.build(id, &mut rng)).collect()
+}
+
+/// Markup availability sweep: how much of the weak-label signal the
+/// bootstrap needs (markup_prob ∈ {0, 0.3, 0.6, 0.9}).
+pub fn markup_ablation(config: &ExperimentConfig) -> Vec<AblationOutcome> {
+    [0.0f32, 0.3, 0.6, 0.9]
+        .iter()
+        .map(|&prob| {
+            let tables = corpus_with(config.tables_per_corpus, config.seed, |p| {
+                p.markup_prob = prob;
+            });
+            let cut = tables.len() * 7 / 10;
+            train_and_score(
+                format!("markup_prob={prob}"),
+                &tables[..cut],
+                &tables[cut..],
+                &PipelineConfig::fast_seeded(config.seed),
+            )
+        })
+        .collect()
+}
+
+/// Hierarchy-echo sweep: deep-VMD accuracy as a function of cross-level
+/// vocabulary sharing.
+pub fn echo_ablation(config: &ExperimentConfig) -> Vec<AblationOutcome> {
+    [0.0f32, 0.3, 0.6]
+        .iter()
+        .map(|&echo| {
+            let tables = corpus_with(config.tables_per_corpus, config.seed, |p| {
+                p.vmd_hier_echo = echo;
+            });
+            let cut = tables.len() * 7 / 10;
+            train_and_score(
+                format!("vmd_hier_echo={echo}"),
+                &tables[..cut],
+                &tables[cut..],
+                &PipelineConfig::fast_seeded(config.seed),
+            )
+        })
+        .collect()
+}
+
+/// Algorithm-1 walk vs the naive reference-only labeler: what the
+/// pairwise angle walk (the paper's contribution) buys over classifying
+/// each level independently against the reference centroids.
+pub fn strategy_ablation(config: &ExperimentConfig) -> Vec<AblationOutcome> {
+    use tabmeta_core::classifier::WalkStrategy;
+    let split = crate::harness::split_corpus(CorpusKind::Ckg, config);
+    let mut walk_cfg = PipelineConfig::fast_seeded(config.seed);
+    walk_cfg.classifier.strategy = WalkStrategy::AngleWalk;
+    let mut ref_cfg = PipelineConfig::fast_seeded(config.seed);
+    ref_cfg.classifier.strategy = WalkStrategy::ReferenceOnly;
+    vec![
+        train_and_score("angle_walk (Alg. 1)", &split.train, &split.test, &walk_cfg),
+        train_and_score("reference_only", &split.train, &split.test, &ref_cfg),
+    ]
+}
+
+/// Render an ablation block.
+pub fn render(title: &str, outcomes: &[AblationOutcome]) -> String {
+    use crate::metrics::paper_pct;
+    let mut out = format!("{title}\n");
+    out.push_str(&format!(
+        "{:<22} {:>8} {:>6} {:>6} {:>6} {:>6} {:>6}\n",
+        "variant", "train_s", "HMD1", "HMD3", "VMD1", "VMD2", "VMD3"
+    ));
+    for o in outcomes {
+        let cell = |k: LevelKey| {
+            o.at(k).map(paper_pct).unwrap_or_else(|| "·".to_string())
+        };
+        out.push_str(&format!(
+            "{:<22} {:>8.2} {:>6} {:>6} {:>6} {:>6} {:>6}\n",
+            o.variant,
+            o.train_secs,
+            cell(LevelKey::Hmd(1)),
+            cell(LevelKey::Hmd(3)),
+            cell(LevelKey::Vmd(1)),
+            cell(LevelKey::Vmd(2)),
+            cell(LevelKey::Vmd(3)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExperimentConfig {
+        ExperimentConfig { tables_per_corpus: 200, seed: 11 }
+    }
+
+    #[test]
+    fn finetuning_carries_the_deep_levels() {
+        let outcomes = finetune_ablation(&cfg());
+        let on = &outcomes[0];
+        let off = &outcomes[1];
+        let v2_on = on.at(LevelKey::Vmd(2)).unwrap();
+        let v2_off = off.at(LevelKey::Vmd(2)).unwrap();
+        assert!(
+            v2_on > v2_off + 0.05,
+            "fine-tuning must lift deep VMD: on={v2_on} off={v2_off}"
+        );
+        // Level 1 is robust either way (the ranges alone carry it).
+        assert!(off.at(LevelKey::Hmd(1)).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn dimension_sweep_shows_diminishing_returns() {
+        let outcomes = dimension_ablation(&cfg(), &[16, 48, 96]);
+        assert_eq!(outcomes.len(), 3);
+        let h1 = |o: &AblationOutcome| o.at(LevelKey::Hmd(1)).unwrap();
+        // 48 → 96 must not change HMD1 materially (§IV-C's finding).
+        // (Wall-clock growth with dimension is real but too noisy to
+        // assert in CI; the rendered block reports it.)
+        assert!((h1(&outcomes[1]) - h1(&outcomes[2])).abs() < 0.05);
+    }
+
+    #[test]
+    fn markup_free_bootstrap_still_works() {
+        let outcomes = markup_ablation(&cfg());
+        // Even markup_prob = 0 (pure positional fallback) keeps level-1
+        // HMD strong — SAUS/CIUS in the paper prove exactly this.
+        let zero = &outcomes[0];
+        assert!(zero.at(LevelKey::Hmd(1)).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn echo_drives_deep_vmd() {
+        let outcomes = echo_ablation(&cfg());
+        let v3 = |o: &AblationOutcome| o.at(LevelKey::Vmd(3)).unwrap_or(0.0);
+        assert!(
+            v3(&outcomes[2]) > v3(&outcomes[0]),
+            "vocabulary sharing across levels should lift VMD3: {} vs {}",
+            v3(&outcomes[2]),
+            v3(&outcomes[0])
+        );
+    }
+
+    #[test]
+    fn angle_walk_holds_up_against_reference_only() {
+        // An honest finding of this reproduction: once contrastive
+        // fine-tuning has shaped the geometry, the naive reference-only
+        // labeler is competitive on within-corpus data — the walk's
+        // pairwise transition ranges buy robustness, not a large accuracy
+        // margin here. The assertion pins parity (±3%) so a regression in
+        // either path is caught.
+        let outcomes = strategy_ablation(&cfg());
+        let walk = &outcomes[0];
+        let naive = &outcomes[1];
+        assert!(naive.at(LevelKey::Hmd(1)).unwrap() > 0.85);
+        for key in [LevelKey::Hmd(3), LevelKey::Vmd(2)] {
+            let w = walk.at(key).unwrap();
+            let n = naive.at(key).unwrap();
+            assert!(
+                w >= n - 0.03,
+                "the angle walk must stay within 3% of reference-only at {key}: {w} vs {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_lists_variants() {
+        let outcomes = finetune_ablation(&cfg());
+        let s = render("Ablation: fine-tuning", &outcomes);
+        assert!(s.contains("finetune=on"));
+        assert!(s.contains("finetune=off"));
+    }
+}

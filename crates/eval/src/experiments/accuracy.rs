@@ -1,0 +1,329 @@
+//! Table V, Figure 6 and Figure 7: per-corpus, per-level accuracy of our
+//! method against Pytheas and Table Transformer, plus the Fang et al.
+//! Random-Forest comparison quoted in §IV-F ("up to 96% … compared to
+//! 90.4% maximum of SOTA" on VMD levels 1–2 combined).
+
+use crate::harness::{baseline_labels, split_corpus, train_all, ExperimentConfig};
+use crate::metrics::paper_pct;
+use crate::scoring::{combined_accuracy, standard_keys, Labels, LevelKey, LevelScores};
+use tabmeta_baselines::TableClassifier;
+use tabmeta_corpora::CorpusKind;
+
+/// One method's per-level accuracy on one corpus.
+#[derive(Debug, Clone)]
+pub struct MethodScores {
+    /// Display name.
+    pub method: String,
+    /// Whether the method separates hierarchy levels (Table V prints `-`
+    /// beyond level 1 otherwise).
+    pub distinguishes_levels: bool,
+    /// Whether the method supports VMD at all.
+    pub supports_vmd: bool,
+    /// Per-level scores.
+    pub scores: LevelScores,
+}
+
+/// Table V for one corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusAccuracy {
+    /// Which corpus.
+    pub kind: CorpusKind,
+    /// Ours, Pytheas, TableTransformer — in the paper's column order
+    /// (ours last, as printed).
+    pub methods: Vec<MethodScores>,
+    /// Fang et al. RF combined accuracies: (HMD levels 1–3, VMD levels
+    /// 1–2), the §IV-F comparison.
+    pub rf_combined: (Option<f64>, Option<f64>),
+    /// Our combined accuracies on the same definition.
+    pub ours_combined: (Option<f64>, Option<f64>),
+}
+
+/// Run the Table V experiment over `kinds`.
+pub fn run(kinds: &[CorpusKind], config: &ExperimentConfig) -> Vec<CorpusAccuracy> {
+    kinds
+        .iter()
+        .map(|&kind| {
+            let split = split_corpus(kind, config);
+            let methods = train_all(&split, config);
+            let keys = standard_keys();
+
+            let ours = LevelScores::evaluate(&split.test, keys.clone(), |t| {
+                methods.ours.classify(t).into()
+            });
+            let pytheas = LevelScores::evaluate(&split.test, keys.clone(), |t| {
+                baseline_labels(&methods.pytheas, t)
+            });
+            let layout = LevelScores::evaluate(&split.test, keys.clone(), |t| {
+                baseline_labels(&methods.layout, t)
+            });
+
+            let ours_labels: Vec<Labels> =
+                split.test.iter().map(|t| methods.ours.classify(t).into()).collect();
+            let rf_labels: Vec<Labels> =
+                split.test.iter().map(|t| baseline_labels(&methods.forest, t)).collect();
+            let rf_combined = (
+                combined_accuracy(&split.test, &rf_labels, false, 3),
+                combined_accuracy(&split.test, &rf_labels, true, 2),
+            );
+            let ours_combined = (
+                combined_accuracy(&split.test, &ours_labels, false, 3),
+                combined_accuracy(&split.test, &ours_labels, true, 2),
+            );
+
+            CorpusAccuracy {
+                kind,
+                methods: vec![
+                    MethodScores {
+                        method: methods.pytheas.name().to_string(),
+                        distinguishes_levels: false,
+                        supports_vmd: false,
+                        scores: pytheas,
+                    },
+                    MethodScores {
+                        method: methods.layout.name().to_string(),
+                        distinguishes_levels: false,
+                        supports_vmd: false,
+                        scores: layout,
+                    },
+                    MethodScores {
+                        method: "Our method".to_string(),
+                        distinguishes_levels: true,
+                        supports_vmd: true,
+                        scores: ours,
+                    },
+                ],
+                rf_combined,
+                ours_combined,
+            }
+        })
+        .collect()
+}
+
+/// Minimum test-set support below which a cell is suppressed (too few
+/// tables carry the level for the number to mean anything).
+const MIN_SUPPORT: usize = 5;
+
+fn cell(m: &MethodScores, key: LevelKey) -> String {
+    let shallow = matches!(key, LevelKey::Hmd(1) | LevelKey::Vmd(1));
+    let vmd = matches!(key, LevelKey::Vmd(_));
+    if (vmd && !m.supports_vmd) || (!shallow && !m.distinguishes_levels) {
+        return "-".to_string();
+    }
+    match (m.scores.level_accuracy(key), m.scores.support(key)) {
+        (Some(a), Some(s)) if s >= MIN_SUPPORT => paper_pct(a),
+        _ => "·".to_string(),
+    }
+}
+
+/// Render Table V in the paper's layout.
+pub fn render_table5(results: &[CorpusAccuracy]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "TABLE V: Accuracy in % for Identifying Levels 1-5 of HMD / Levels 1-3 of VMD\n",
+    );
+    out.push_str("('-' = method does not support it; '·' = too few test tables)\n\n");
+    out.push_str(&format!(
+        "{:<11} {:<12} {:>9} {:>9} {:>12}\n",
+        "Dataset", "Level", "Pytheas", "TT", "Our method"
+    ));
+    for r in results {
+        let rows: Vec<(LevelKey, Option<LevelKey>)> = vec![
+            (LevelKey::Hmd(1), Some(LevelKey::Vmd(1))),
+            (LevelKey::Hmd(2), Some(LevelKey::Vmd(2))),
+            (LevelKey::Hmd(3), Some(LevelKey::Vmd(3))),
+            (LevelKey::Hmd(4), None),
+            (LevelKey::Hmd(5), None),
+        ];
+        let mut first = true;
+        for (hk, vk) in rows {
+            let ours = &r.methods[2];
+            let h_sup = ours.scores.support(hk).unwrap_or(0);
+            let v_sup = vk.and_then(|k| ours.scores.support(k)).unwrap_or(0);
+            if h_sup < MIN_SUPPORT && v_sup < MIN_SUPPORT {
+                continue;
+            }
+            let level = match vk {
+                Some(vk) if v_sup >= MIN_SUPPORT && h_sup >= MIN_SUPPORT => {
+                    format!("{hk}/{vk}")
+                }
+                Some(vk) if v_sup >= MIN_SUPPORT => format!("{vk}"),
+                _ => format!("{hk}"),
+            };
+            let fuse = |m: &MethodScores| -> String {
+                match vk {
+                    Some(vk) if v_sup >= MIN_SUPPORT && h_sup >= MIN_SUPPORT => {
+                        format!("{}/{}", cell(m, hk), cell(m, vk))
+                    }
+                    Some(vk) if v_sup >= MIN_SUPPORT => cell(m, vk),
+                    _ => cell(m, hk),
+                }
+            };
+            out.push_str(&format!(
+                "{:<11} {:<12} {:>9} {:>9} {:>12}\n",
+                if first { r.kind.name() } else { "" },
+                level,
+                fuse(&r.methods[0]),
+                fuse(&r.methods[1]),
+                fuse(&r.methods[2]),
+            ));
+            first = false;
+        }
+    }
+    out.push_str("\nSOTA comparison (Fang et al. RF, combined levels):\n");
+    for r in results {
+        if let ((Some(rh), Some(rv)), (Some(oh), Some(ov))) =
+            (r.rf_combined, r.ours_combined)
+        {
+            out.push_str(&format!(
+                "  {:<11} RF HMD1-3 {}  VMD1-2 {}   | ours {} / {}\n",
+                r.kind.name(),
+                paper_pct(rh),
+                paper_pct(rv),
+                paper_pct(oh),
+                paper_pct(ov),
+            ));
+        }
+    }
+    out
+}
+
+/// One bar-chart series for Figures 6/7: per-level accuracy of our method
+/// on one corpus.
+#[derive(Debug, Clone)]
+pub struct FigureSeries {
+    /// Corpus name.
+    pub corpus: &'static str,
+    /// (level, accuracy) points; levels without support are omitted.
+    pub points: Vec<(u8, f64)>,
+}
+
+/// Figure 6: HMD detection accuracy, levels 1–5, across corpora.
+pub fn fig6(results: &[CorpusAccuracy]) -> Vec<FigureSeries> {
+    figure(results, false)
+}
+
+/// Figure 7: VMD identification accuracy, levels 1–3, across corpora.
+pub fn fig7(results: &[CorpusAccuracy]) -> Vec<FigureSeries> {
+    figure(results, true)
+}
+
+fn figure(results: &[CorpusAccuracy], vertical: bool) -> Vec<FigureSeries> {
+    results
+        .iter()
+        .map(|r| {
+            let ours = &r.methods[2];
+            let max = if vertical { 3 } else { 5 };
+            let points = (1..=max)
+                .filter_map(|k| {
+                    let key = if vertical { LevelKey::Vmd(k) } else { LevelKey::Hmd(k) };
+                    match (ours.scores.level_accuracy(key), ours.scores.support(key)) {
+                        (Some(a), Some(s)) if s >= MIN_SUPPORT => Some((k, a)),
+                        _ => None,
+                    }
+                })
+                .collect();
+            FigureSeries { corpus: r.kind.name(), points }
+        })
+        .collect()
+}
+
+/// Render a figure as an ASCII bar chart (one row per corpus × level).
+pub fn render_figure(title: &str, series: &[FigureSeries]) -> String {
+    let mut out = format!("{title}\n");
+    for s in series {
+        for (level, acc) in &s.points {
+            let bar_len = (acc * 40.0).round() as usize;
+            out.push_str(&format!(
+                "  {:<10} L{} {:>5} |{}\n",
+                s.corpus,
+                level,
+                paper_pct(*acc),
+                "#".repeat(bar_len)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_results() -> Vec<CorpusAccuracy> {
+        run(&[CorpusKind::Ckg], &ExperimentConfig { tables_per_corpus: 200, seed: 42 })
+    }
+
+    #[test]
+    fn shape_of_table5_holds_on_ckg() {
+        let results = quick_results();
+        let r = &results[0];
+        let ours = &r.methods[2];
+        let pytheas = &r.methods[0];
+
+        // Our VMD is strong at every level (the paper's headline claim).
+        for k in 1..=3 {
+            if ours.scores.support(LevelKey::Vmd(k)).unwrap_or(0) >= 5 {
+                let acc = ours.scores.level_accuracy(LevelKey::Vmd(k)).unwrap();
+                assert!(acc > 0.8, "VMD{k} accuracy {acc}");
+            }
+        }
+        // Baselines cannot do VMD or deep levels at all.
+        assert_eq!(pytheas.scores.level_accuracy(LevelKey::Vmd(1)), Some(0.0));
+
+        // Ours beats the deep-level void of both baselines trivially, but
+        // must also be strong in absolute terms at HMD2-3.
+        let h2 = ours.scores.level_accuracy(LevelKey::Hmd(2)).unwrap();
+        assert!(h2 > 0.85, "HMD2 {h2}");
+
+        // Pytheas is competitive on HMD1 (within a few % of ours, either
+        // side — the paper reports a ≈1-3% Pytheas edge).
+        let p1 = pytheas.scores.level_accuracy(LevelKey::Hmd(1)).unwrap();
+        let o1 = ours.scores.level_accuracy(LevelKey::Hmd(1)).unwrap();
+        assert!(p1 > 0.9, "Pytheas HMD1 {p1}");
+        assert!((p1 - o1).abs() < 0.1, "HMD1 gap should be small: {p1} vs {o1}");
+    }
+
+    #[test]
+    fn rf_combined_comparison_runs() {
+        // The paper compares against Fang et al.'s *published* numbers
+        // (92 / 90.4) — their code was never released, so no head-to-head
+        // exists there. Our head-to-head shows a supervised RF is strong
+        // on in-distribution synthetic data; the defensible claims are:
+        // (a) our unsupervised method stays within ~2% of the fully
+        // supervised RF on the combined metric, and (b) RF produces no
+        // hierarchy levels at all, which Table V scores per level.
+        let results = quick_results();
+        let r = &results[0];
+        let (rf_h, rf_v) = r.rf_combined;
+        let (ours_h, ours_v) = r.ours_combined;
+        assert!(rf_h.unwrap() > 0.85, "RF HMD combined {rf_h:?}");
+        assert!(rf_v.unwrap() > 0.8, "RF VMD combined {rf_v:?}");
+        assert!(
+            ours_v.unwrap() > rf_v.unwrap() - 0.02,
+            "unsupervised within 2% of supervised RF: {ours_v:?} vs {rf_v:?}"
+        );
+        assert!(ours_h.unwrap() > rf_h.unwrap() - 0.02, "{ours_h:?} vs {rf_h:?}");
+    }
+
+    #[test]
+    fn renders_without_panicking() {
+        let results = quick_results();
+        let table = render_table5(&results);
+        assert!(table.contains("CKG"));
+        assert!(table.contains("Our method"));
+        let f6 = fig6(&results);
+        let f7 = fig7(&results);
+        assert!(!f6[0].points.is_empty());
+        assert!(!f7[0].points.is_empty());
+        let chart = render_figure("Fig 6", &f6);
+        assert!(chart.contains("L1"));
+    }
+
+    #[test]
+    fn figure7_has_no_levels_beyond_three() {
+        let results = quick_results();
+        for s in fig7(&results) {
+            assert!(s.points.iter().all(|(k, _)| *k <= 3));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Table VI: simulated GPT-3.5 / GPT-4 / RAG+GPT-4 accuracy on CKG,
+//! per HMD level 1–5 and VMD level 1–3 (§IV-H, §IV-I).
+//!
+//! The paper evaluates LLMs on CKG only ("due to the very high cost …
+//! we had to pick a good representative example"); we follow suit. LLMs
+//! are not trained — every table goes straight through the prompt
+//! protocol — so the whole generated corpus serves as the test set.
+
+use crate::harness::{split_corpus, train_all, ExperimentConfig};
+use crate::metrics::paper_pct;
+use crate::scoring::{standard_keys, LevelKey, LevelScores};
+use tabmeta_baselines::{LlmKind, RagStore, SimulatedLlm, TableClassifier};
+use tabmeta_corpora::CorpusKind;
+
+/// Table VI: one scored column per model, plus ours for the delta claims.
+#[derive(Debug, Clone)]
+pub struct LlmComparison {
+    /// GPT-3.5 (simulated) scores.
+    pub gpt35: LevelScores,
+    /// GPT-4 (simulated) scores.
+    pub gpt4: LevelScores,
+    /// RAG+GPT-4 (simulated) scores.
+    pub rag_gpt4: LevelScores,
+    /// Our pipeline on the same test set (for the §IV-H delta claims).
+    pub ours: LevelScores,
+}
+
+/// Run the Table VI experiment (CKG sample, like the paper).
+pub fn run(config: &ExperimentConfig) -> LlmComparison {
+    let split = split_corpus(CorpusKind::Ckg, config);
+    let methods = train_all(&split, config);
+    let keys = standard_keys();
+
+    let gpt35 = SimulatedLlm::new(LlmKind::Gpt35, config.seed);
+    let gpt4 = SimulatedLlm::new(LlmKind::Gpt4, config.seed);
+    // The RAG database indexes the whole corpus — PubMed holds the
+    // articles regardless of our train/test split.
+    let all: Vec<_> =
+        split.train.iter().chain(&split.test).cloned().collect();
+    let rag = SimulatedLlm::with_rag(LlmKind::Gpt4, config.seed, RagStore::build(&all));
+
+    let score = |m: &SimulatedLlm| {
+        LevelScores::evaluate(&split.test, keys.clone(), |t| m.classify_table(t).into())
+    };
+    LlmComparison {
+        gpt35: score(&gpt35),
+        gpt4: score(&gpt4),
+        rag_gpt4: score(&rag),
+        ours: LevelScores::evaluate(&split.test, keys.clone(), |t| {
+            methods.ours.classify(t).into()
+        }),
+    }
+}
+
+/// Minimum support for a printable cell.
+const MIN_SUPPORT: usize = 5;
+
+fn cell(scores: &LevelScores, key: LevelKey) -> String {
+    match (scores.level_accuracy(key), scores.support(key)) {
+        (Some(a), Some(s)) if s >= MIN_SUPPORT => paper_pct(a),
+        _ => "·".to_string(),
+    }
+}
+
+/// Render Table VI in the paper's layout (plus our column).
+pub fn render_table6(c: &LlmComparison) -> String {
+    let mut out = String::from(
+        "TABLE VI: Accuracy in % for identifying HMD/VMD on CKG dataset (simulated LLMs)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<14} {:>8} {:>8} {:>10} {:>12}\n",
+        "Level", "GPT3.5", "GPT4", "RAG+GPT4", "Our method"
+    ));
+    let rows: Vec<(String, Vec<LevelKey>)> = vec![
+        ("HMD1/VMD1".into(), vec![LevelKey::Hmd(1), LevelKey::Vmd(1)]),
+        ("HMD2/VMD2".into(), vec![LevelKey::Hmd(2), LevelKey::Vmd(2)]),
+        ("HMD3/VMD3".into(), vec![LevelKey::Hmd(3), LevelKey::Vmd(3)]),
+        ("HMD4".into(), vec![LevelKey::Hmd(4)]),
+        ("HMD5".into(), vec![LevelKey::Hmd(5)]),
+    ];
+    for (label, keys) in rows {
+        let fuse = |s: &LevelScores| {
+            keys.iter().map(|k| cell(s, *k)).collect::<Vec<_>>().join("/")
+        };
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>8} {:>10} {:>12}\n",
+            label,
+            fuse(&c.gpt35),
+            fuse(&c.gpt4),
+            fuse(&c.rag_gpt4),
+            fuse(&c.ours),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comparison() -> LlmComparison {
+        run(&ExperimentConfig { tables_per_corpus: 300, seed: 21 })
+    }
+
+    #[test]
+    fn table6_shape_holds() {
+        let c = comparison();
+        let h1 = |s: &LevelScores| s.level_accuracy(LevelKey::Hmd(1)).unwrap();
+        let v3 = |s: &LevelScores| s.level_accuracy(LevelKey::Vmd(3)).unwrap();
+
+        // LLMs slightly outperform us on HMD1 (paper: 4-5% delta; we
+        // require "at least as good").
+        assert!(h1(&c.gpt4) >= h1(&c.ours) - 0.02, "{} vs {}", h1(&c.gpt4), h1(&c.ours));
+        assert!(h1(&c.gpt35) > 0.9);
+
+        // VMD3 collapses at 0 without RAG, lifts with RAG, and we beat
+        // both by a wide margin.
+        assert_eq!(v3(&c.gpt35), 0.0);
+        assert_eq!(v3(&c.gpt4), 0.0);
+        assert!(v3(&c.rag_gpt4) > 0.02);
+        assert!(v3(&c.ours) > v3(&c.rag_gpt4) + 0.3);
+
+        // Deep HMD: we outperform plain LLMs by a wide margin.
+        let h3 = |s: &LevelScores| s.level_accuracy(LevelKey::Hmd(3)).unwrap();
+        assert!(h3(&c.ours) > h3(&c.gpt35) + 0.1);
+
+        // RAG lifts every level it can retrieve for.
+        let h2 = |s: &LevelScores| s.level_accuracy(LevelKey::Hmd(2)).unwrap();
+        assert!(h2(&c.rag_gpt4) > h2(&c.gpt4));
+    }
+
+    #[test]
+    fn render_contains_all_models() {
+        let c = comparison();
+        let s = render_table6(&c);
+        assert!(s.contains("GPT3.5"));
+        assert!(s.contains("RAG+GPT4"));
+        assert!(s.contains("HMD5"));
+        assert!(s.contains("simulated"), "LLM results must be marked simulated");
+    }
+}

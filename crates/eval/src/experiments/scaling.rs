@@ -1,0 +1,132 @@
+//! Corpus-size scaling of training — the "scalable" in the title.
+//!
+//! §IV-G measures inference scaling per table; this experiment sweeps the
+//! *training* corpus size and checks that wall time grows (near-)linearly
+//! in the number of tables while held-out accuracy saturates — the
+//! behaviour that lets the method run at the paper's 200K-table scale by
+//! extrapolation.
+
+use crate::harness::ExperimentConfig;
+use crate::scoring::{standard_keys, LevelKey, LevelScores};
+use std::time::Instant;
+use tabmeta_core::{Pipeline, PipelineConfig};
+use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+use tabmeta_linalg::{linear_fit, LinearFit};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Training tables.
+    pub n_tables: usize,
+    /// Training seconds.
+    pub train_secs: f64,
+    /// Held-out HMD1 accuracy.
+    pub hmd1: f64,
+    /// Held-out VMD1 accuracy.
+    pub vmd1: Option<f64>,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone)]
+pub struct TrainingScaling {
+    /// Sweep points, ascending size.
+    pub points: Vec<ScalePoint>,
+    /// Linear fit of seconds vs tables.
+    pub fit: LinearFit,
+}
+
+impl TrainingScaling {
+    /// Whether training time is (near-)linear in corpus size.
+    pub fn is_linear(&self) -> bool {
+        self.fit.r_squared > 0.9
+    }
+}
+
+/// Run the sweep on CKG with a fixed held-out set.
+pub fn run(sizes: &[usize], config: &ExperimentConfig) -> TrainingScaling {
+    let max = sizes.iter().copied().max().unwrap_or(200);
+    // One corpus large enough for the biggest point plus a fixed test set.
+    let test_n = 150usize;
+    let corpus = CorpusKind::Ckg.generate(&GeneratorConfig {
+        n_tables: max + test_n,
+        seed: config.seed,
+    });
+    let (pool, test) = corpus.tables.split_at(max);
+    let mut points = Vec::new();
+    for &n in sizes {
+        let t0 = Instant::now();
+        let pipeline = Pipeline::train(&pool[..n], &PipelineConfig::fast_seeded(config.seed))
+            .expect("trains");
+        let train_secs = t0.elapsed().as_secs_f64();
+        let scores =
+            LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
+        points.push(ScalePoint {
+            n_tables: n,
+            train_secs,
+            hmd1: scores.level_accuracy(LevelKey::Hmd(1)).unwrap_or(0.0),
+            vmd1: scores.level_accuracy(LevelKey::Vmd(1)),
+        });
+    }
+    let pairs: Vec<(f64, f64)> =
+        points.iter().map(|p| (p.n_tables as f64, p.train_secs)).collect();
+    let fit = linear_fit(&pairs).expect("distinct sizes");
+    TrainingScaling { points, fit }
+}
+
+/// Render the sweep.
+pub fn render(s: &TrainingScaling) -> String {
+    use crate::metrics::paper_pct;
+    let mut out = String::from("Training-size scaling on CKG (fixed held-out set):\n");
+    out.push_str(&format!(
+        "{:>8} {:>10} {:>8} {:>8}\n",
+        "tables", "train_s", "HMD1", "VMD1"
+    ));
+    for p in &s.points {
+        out.push_str(&format!(
+            "{:>8} {:>10.2} {:>8} {:>8}\n",
+            p.n_tables,
+            p.train_secs,
+            paper_pct(p.hmd1),
+            p.vmd1.map(paper_pct).unwrap_or_else(|| "·".into())
+        ));
+    }
+    out.push_str(&format!(
+        "seconds ≈ {:.2e}·tables + {:.2}  (R²={:.3}{})\n",
+        s.fit.slope,
+        s.fit.intercept,
+        s.fit.r_squared,
+        if s.is_linear() { ", linear" } else { "" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_scales_linearly_and_accuracy_saturates() {
+        let s = run(&[100, 200, 400], &ExperimentConfig { tables_per_corpus: 0, seed: 81 });
+        assert_eq!(s.points.len(), 3);
+        assert!(
+            s.is_linear(),
+            "training time must be near-linear in corpus size: R²={} {:?}",
+            s.fit.r_squared,
+            s.points
+        );
+        // Accuracy at the largest size is at least as good as the smallest
+        // minus noise.
+        let first = s.points.first().unwrap().hmd1;
+        let last = s.points.last().unwrap().hmd1;
+        assert!(last >= first - 0.05, "{first} → {last}");
+        assert!(last > 0.9);
+    }
+
+    #[test]
+    fn render_shows_fit() {
+        let s = run(&[80, 160], &ExperimentConfig { tables_per_corpus: 0, seed: 3 });
+        let text = render(&s);
+        assert!(text.contains("R²="));
+        assert!(text.contains("tables"));
+    }
+}

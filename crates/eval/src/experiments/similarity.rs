@@ -1,0 +1,230 @@
+//! Similarity-metric justification (§III-C): *why angles?*
+//!
+//! The paper argues for angular distance over Euclidean distance (magnitude
+//! sensitivity: "two rows with very similar content can still exhibit a
+//! significant difference in their vectors magnitude") and over Jaccard
+//! (set overlap, not semantics). This experiment measures the argument:
+//! for each metric, collect the distributions of metadata↔metadata and
+//! metadata↔data level-pair distances over a weakly-labeled corpus and
+//! report their **separation** — how cleanly a single threshold splits
+//! them, which is exactly what Algorithm 1's range test needs.
+
+use crate::harness::{split_corpus, ExperimentConfig};
+use tabmeta_core::aggregate::{level_terms, level_vector};
+use tabmeta_core::{BootstrapLabeler, Pipeline, PipelineConfig};
+use tabmeta_corpora::CorpusKind;
+use tabmeta_linalg::{angle_degrees, euclidean};
+use tabmeta_tabular::Axis;
+use tabmeta_text::Tokenizer;
+
+/// The metrics under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Angle between aggregated level vectors (the paper's choice).
+    Angle,
+    /// Euclidean distance between (un-normalized) aggregates.
+    Euclidean,
+    /// One minus Jaccard similarity of the levels' term sets.
+    Jaccard,
+}
+
+impl Metric {
+    /// All metrics, reporting order.
+    pub const ALL: [Metric; 3] = [Metric::Angle, Metric::Euclidean, Metric::Jaccard];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Angle => "angle (ours)",
+            Metric::Euclidean => "euclidean",
+            Metric::Jaccard => "jaccard",
+        }
+    }
+}
+
+/// Distance distributions and their separation for one metric.
+#[derive(Debug, Clone)]
+pub struct Separation {
+    /// Which metric.
+    pub metric: Metric,
+    /// Metadata↔metadata pair distances.
+    pub meta_meta: Vec<f32>,
+    /// Metadata↔data pair distances.
+    pub meta_data: Vec<f32>,
+    /// Best single-threshold classification accuracy separating the two
+    /// distributions (0.5 = inseparable, 1.0 = perfectly separable).
+    pub threshold_accuracy: f64,
+}
+
+/// Best single-threshold accuracy for "meta_data above, meta_meta below".
+fn best_threshold_accuracy(meta_meta: &[f32], meta_data: &[f32]) -> f64 {
+    let mut labeled: Vec<(f32, bool)> = meta_meta
+        .iter()
+        .map(|&d| (d, false))
+        .chain(meta_data.iter().map(|&d| (d, true)))
+        .collect();
+    if labeled.is_empty() {
+        return 0.5;
+    }
+    labeled.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+    let total = labeled.len() as f64;
+    let total_pos = meta_data.len();
+    // Sweep thresholds between consecutive points: below → meta-meta.
+    let mut below_pos = 0usize;
+    let mut below_neg = 0usize;
+    let mut best: f64 = 0.0;
+    for (i, (value, is_meta_data)) in labeled.iter().enumerate() {
+        if *is_meta_data {
+            below_pos += 1;
+        } else {
+            below_neg += 1;
+        }
+        // A threshold exists after element i only when the next value is
+        // strictly larger (ties cannot be split).
+        if labeled.get(i + 1).is_some_and(|(next, _)| next <= value) {
+            continue;
+        }
+        let correct = below_neg + (total_pos - below_pos);
+        best = best.max(correct as f64 / total);
+    }
+    // Degenerate thresholds (everything on one side).
+    best = best.max(total_pos as f64 / total);
+    best = best.max((labeled.len() - total_pos) as f64 / total);
+    best
+}
+
+fn jaccard_distance(a: &[String], b: &[String]) -> f32 {
+    let sa: std::collections::HashSet<&String> = a.iter().collect();
+    let sb: std::collections::HashSet<&String> = b.iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count() as f32;
+    let union = sa.union(&sb).count() as f32;
+    1.0 - inter / union
+}
+
+/// Measure separability of all three metrics on one corpus.
+pub fn run(kind: CorpusKind, config: &ExperimentConfig) -> Vec<Separation> {
+    let split = split_corpus(kind, config);
+    let pipeline = Pipeline::train(&split.train, &PipelineConfig::fast_seeded(config.seed))
+        .expect("trains");
+    let tokenizer: &Tokenizer = pipeline.tokenizer();
+    let labeler = BootstrapLabeler::default();
+
+    let mut out: Vec<Separation> = Metric::ALL
+        .iter()
+        .map(|&metric| Separation {
+            metric,
+            meta_meta: Vec::new(),
+            meta_data: Vec::new(),
+            threshold_accuracy: 0.5,
+        })
+        .collect();
+
+    for table in split.test.iter().take(150) {
+        let weak = labeler.label(table);
+        for axis in [Axis::Row, Axis::Column] {
+            let meta = weak.metadata_indices(axis);
+            let data = weak.data_indices(axis);
+            let vec_of = |i: usize| level_vector(table, axis, i, pipeline.embedder(), tokenizer);
+            let terms_of = |i: usize| level_terms(table, axis, i, tokenizer);
+            // Metadata↔metadata pairs.
+            for w in meta.windows(2) {
+                if let (Some(a), Some(b)) = (vec_of(w[0]), vec_of(w[1])) {
+                    out[0].meta_meta.push(angle_degrees(&a, &b));
+                    out[1].meta_meta.push(euclidean(&a, &b));
+                }
+                out[2].meta_meta.push(jaccard_distance(&terms_of(w[0]), &terms_of(w[1])));
+            }
+            // Metadata↔data pairs (first data level after the run).
+            if let (Some(&m), Some(&d)) = (meta.last(), data.first()) {
+                if let (Some(a), Some(b)) = (vec_of(m), vec_of(d)) {
+                    out[0].meta_data.push(angle_degrees(&a, &b));
+                    out[1].meta_data.push(euclidean(&a, &b));
+                }
+                out[2].meta_data.push(jaccard_distance(&terms_of(m), &terms_of(d)));
+            }
+        }
+    }
+    for s in &mut out {
+        s.threshold_accuracy = best_threshold_accuracy(&s.meta_meta, &s.meta_data);
+    }
+    out
+}
+
+/// Render the separability block.
+pub fn render(kind: CorpusKind, results: &[Separation]) -> String {
+    use crate::metrics::paper_pct;
+    let mut out = format!(
+        "Similarity-metric separability on {} (meta↔meta vs meta↔data pairs):\n",
+        kind.name()
+    );
+    out.push_str(&format!(
+        "{:<14} {:>8} {:>8} {:>20}\n",
+        "metric", "mm pairs", "md pairs", "threshold accuracy"
+    ));
+    for s in results {
+        out.push_str(&format!(
+            "{:<14} {:>8} {:>8} {:>20}\n",
+            s.metric.name(),
+            s.meta_meta.len(),
+            s.meta_data.len(),
+            paper_pct(s.threshold_accuracy)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn angle_separates_best_or_close() {
+        let results =
+            run(CorpusKind::Ckg, &ExperimentConfig { tables_per_corpus: 250, seed: 23 });
+        let by = |m: Metric| results.iter().find(|s| s.metric == m).unwrap();
+        let angle = by(Metric::Angle).threshold_accuracy;
+        let euclid = by(Metric::Euclidean).threshold_accuracy;
+        assert!(angle > 0.8, "angles must separate the pair classes: {angle}");
+        // §III-C's argument: magnitude sensitivity makes Euclidean worse.
+        assert!(
+            angle >= euclid - 0.01,
+            "angle should not lose to euclidean: {angle} vs {euclid}"
+        );
+        assert!(!by(Metric::Jaccard).meta_meta.is_empty());
+    }
+
+    #[test]
+    fn threshold_accuracy_bounds() {
+        // Perfectly separated.
+        assert_eq!(best_threshold_accuracy(&[1.0, 2.0], &[10.0, 11.0]), 1.0);
+        // Fully interleaved identical values: best is majority class (0.5
+        // here).
+        let acc = best_threshold_accuracy(&[5.0, 5.0], &[5.0, 5.0]);
+        assert!((0.5..=0.75).contains(&acc), "{acc}");
+        // Empty inputs degrade gracefully.
+        assert_eq!(best_threshold_accuracy(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn jaccard_distance_basics() {
+        let a = vec!["x".to_string(), "y".to_string()];
+        let b = vec!["y".to_string(), "z".to_string()];
+        let d = jaccard_distance(&a, &b);
+        assert!((d - (1.0 - 1.0 / 3.0)).abs() < 1e-6);
+        assert_eq!(jaccard_distance(&a, &a), 0.0);
+        assert_eq!(jaccard_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn render_lists_metrics() {
+        let results =
+            run(CorpusKind::Wdc, &ExperimentConfig { tables_per_corpus: 120, seed: 3 });
+        let s = render(CorpusKind::Wdc, &results);
+        assert!(s.contains("angle (ours)"));
+        assert!(s.contains("euclidean"));
+        assert!(s.contains("jaccard"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared experiment scaffolding: corpus splits and method training.
+//!
+//! Every accuracy experiment follows the same protocol: generate a seeded
+//! corpus, split it train/test, train each method on the training split
+//! (the contrastive pipeline unsupervised, the baselines on annotations),
+//! then score the test split. This module owns that protocol so Tables
+//! V–VI, Figures 6–7 and the ablations cannot drift apart.
+
+use tabmeta_baselines::{
+    ForestConfig, LayoutDetector, LayoutDetectorConfig, Pytheas, PytheasConfig,
+    RandomForestDetector, TableClassifier,
+};
+use tabmeta_core::{Pipeline, PipelineConfig};
+use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+use tabmeta_tabular::Table;
+
+/// How big an experiment run is.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Tables generated per corpus.
+    pub tables_per_corpus: usize,
+    /// Master seed (corpora, model training and simulated draws derive
+    /// from it deterministically).
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Quick runs for tests and examples (~200 tables per corpus).
+    pub fn quick(seed: u64) -> Self {
+        Self { tables_per_corpus: 200, seed }
+    }
+
+    /// Full runs for EXPERIMENTS.md (~600 tables per corpus).
+    pub fn full(seed: u64) -> Self {
+        Self { tables_per_corpus: 600, seed }
+    }
+}
+
+/// A train/test split of one generated corpus.
+#[derive(Debug, Clone)]
+pub struct SplitCorpus {
+    /// Which corpus.
+    pub kind: CorpusKind,
+    /// Training tables (70%).
+    pub train: Vec<Table>,
+    /// Held-out test tables (30%).
+    pub test: Vec<Table>,
+}
+
+/// Generate and split one corpus (70/30, deterministic).
+pub fn split_corpus(kind: CorpusKind, config: &ExperimentConfig) -> SplitCorpus {
+    let corpus = kind.generate(&GeneratorConfig {
+        n_tables: config.tables_per_corpus,
+        seed: config.seed,
+    });
+    let cut = corpus.tables.len() * 7 / 10;
+    let mut tables = corpus.tables;
+    let test = tables.split_off(cut);
+    SplitCorpus { kind, train: tables, test }
+}
+
+/// All trained methods for one corpus.
+pub struct TrainedMethods {
+    /// The contrastive pipeline (ours).
+    pub ours: Pipeline,
+    /// Pytheas fuzzy-rule line classifier.
+    pub pytheas: Pytheas,
+    /// Table-Transformer-style layout detector.
+    pub layout: LayoutDetector,
+    /// Fang et al. Random-Forest header detector.
+    pub forest: RandomForestDetector,
+}
+
+/// Train every method on the same training split.
+///
+/// Our pipeline never touches `truth`; the baselines train on it (they
+/// are supervised by design, which is the annotation cost §IV-G notes).
+pub fn train_all(split: &SplitCorpus, config: &ExperimentConfig) -> TrainedMethods {
+    let ours = Pipeline::train(&split.train, &PipelineConfig::fast_seeded(config.seed))
+        .expect("pipeline training on a generated corpus succeeds");
+    let pytheas = Pytheas::train(&split.train, PytheasConfig::default());
+    let layout = LayoutDetector::train(&split.train, LayoutDetectorConfig::default());
+    let forest = RandomForestDetector::train(
+        &split.train,
+        ForestConfig { seed: config.seed ^ 0xf0, ..ForestConfig::default() },
+    );
+    TrainedMethods { ours, pytheas, layout, forest }
+}
+
+/// Classify with any baseline into the scoring shape.
+pub fn baseline_labels<C: TableClassifier + ?Sized>(
+    method: &C,
+    table: &Table,
+) -> crate::scoring::Labels {
+    method.classify_table(table).into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_seventy_thirty_and_deterministic() {
+        let cfg = ExperimentConfig::quick(5);
+        let a = split_corpus(CorpusKind::Wdc, &cfg);
+        let b = split_corpus(CorpusKind::Wdc, &cfg);
+        assert_eq!(a.train.len(), 140);
+        assert_eq!(a.test.len(), 60);
+        assert_eq!(a.train[0], b.train[0]);
+        assert_eq!(a.test.last(), b.test.last());
+    }
+
+    #[test]
+    fn splits_do_not_overlap() {
+        let cfg = ExperimentConfig::quick(9);
+        let s = split_corpus(CorpusKind::Ckg, &cfg);
+        let train_ids: Vec<u64> = s.train.iter().map(|t| t.id).collect();
+        assert!(s.test.iter().all(|t| !train_ids.contains(&t.id)));
+    }
+
+    #[test]
+    fn all_methods_train_on_one_split() {
+        let cfg = ExperimentConfig { tables_per_corpus: 120, seed: 3 };
+        let split = split_corpus(CorpusKind::Saus, &cfg);
+        let methods = train_all(&split, &cfg);
+        let t = &split.test[0];
+        let ours: crate::scoring::Labels = methods.ours.classify(t).into();
+        assert_eq!(ours.rows.len(), t.n_rows());
+        let p = baseline_labels(&methods.pytheas, t);
+        assert_eq!(p.rows.len(), t.n_rows());
+        let l = baseline_labels(&methods.layout, t);
+        assert_eq!(l.columns.len(), t.n_cols());
+        let f = baseline_labels(&methods.forest, t);
+        assert_eq!(f.rows.len(), t.n_rows());
+    }
+}

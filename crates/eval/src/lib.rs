@@ -1,0 +1,23 @@
+//! Evaluation harness: the accuracy metric (Eq. 9), per-level scoring,
+//! and one experiment runner per paper table and figure.
+//!
+//! The paper's evaluation section defines eight artifacts — Tables I–VI
+//! and Figures 6–7 — plus the §IV-G runtime study. Each has a runner in
+//! [`experiments`] that returns structured results and renders the same
+//! rows the paper prints, so `examples/reproduce_all.rs` and the
+//! Criterion benches regenerate everything from one code path.
+//!
+//! Scores are **conditional per-level accuracies** (among tables truly
+//! carrying level `k`, is level `k` placed correctly?) with Eq. 9
+//! accuracy also available; see [`metrics`] for the distinction.
+
+pub mod anatomy;
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod scoring;
+
+pub use harness::{split_corpus, train_all, ExperimentConfig, SplitCorpus, TrainedMethods};
+pub use metrics::{paper_pct, BinaryCounts};
+pub use anatomy::{Anatomy, FailureMode};
+pub use scoring::{combined_accuracy, standard_keys, Labels, LevelKey, LevelScores};

@@ -1,0 +1,122 @@
+//! The evaluation metric (Eq. 9) and its building blocks.
+//!
+//! `Accuracy = (TP + TN) / (TP + TN + FP + FN)` over binary per-table
+//! decisions. For "identifying metadata level k" the binary decision is
+//! *"does this table carry level `k`, and did the method put it in the
+//! right place?"* — we expose both that unconditional form and the
+//! conditional form (accuracy among tables that truly have level `k`),
+//! which is the per-level reading consistent with the paper's deep-level
+//! numbers (HMD₅ exists in a sliver of tables, yet the paper reports 85%,
+//! not ~99% of trivially-true negatives).
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryCounts {
+    /// True positives.
+    pub tp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl BinaryCounts {
+    /// Record one (truth, prediction) pair.
+    pub fn record(&mut self, truth: bool, predicted: bool) {
+        match (truth, predicted) {
+            (true, true) => self.tp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Eq. 9 accuracy; `None` when nothing was recorded.
+    pub fn accuracy(&self) -> Option<f64> {
+        let total = self.total();
+        (total > 0).then(|| (self.tp + self.tn) as f64 / total as f64)
+    }
+
+    /// Conditional accuracy among positives (TP / (TP + FN)); the
+    /// per-level reading used for Tables V–VI.
+    pub fn recall(&self) -> Option<f64> {
+        let pos = self.tp + self.fn_;
+        (pos > 0).then(|| self.tp as f64 / pos as f64)
+    }
+
+    /// Precision (TP / (TP + FP)).
+    pub fn precision(&self) -> Option<f64> {
+        let claimed = self.tp + self.fp;
+        (claimed > 0).then(|| self.tp as f64 / claimed as f64)
+    }
+
+    /// Merge another count set into this one.
+    pub fn merge(&mut self, other: &BinaryCounts) {
+        self.tp += other.tp;
+        self.tn += other.tn;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+/// A percentage formatted the way the paper prints it (one decimal,
+/// trailing `.0` dropped: `95`, `86.8`).
+pub fn paper_pct(x: f64) -> String {
+    let v = (x * 1000.0).round() / 10.0;
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_matches_eq9() {
+        let mut c = BinaryCounts::default();
+        c.record(true, true); // TP
+        c.record(true, true);
+        c.record(false, false); // TN
+        c.record(false, true); // FP
+        c.record(true, false); // FN
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.accuracy(), Some(3.0 / 5.0));
+        assert_eq!(c.recall(), Some(2.0 / 3.0));
+        assert_eq!(c.precision(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn empty_counts_have_no_metrics() {
+        let c = BinaryCounts::default();
+        assert_eq!(c.accuracy(), None);
+        assert_eq!(c.recall(), None);
+        assert_eq!(c.precision(), None);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = BinaryCounts { tp: 1, tn: 2, fp: 3, fn_: 4 };
+        a.merge(&BinaryCounts { tp: 10, tn: 20, fp: 30, fn_: 40 });
+        assert_eq!(a, BinaryCounts { tp: 11, tn: 22, fp: 33, fn_: 44 });
+    }
+
+    #[test]
+    fn paper_formatting() {
+        assert_eq!(paper_pct(0.95), "95");
+        assert_eq!(paper_pct(0.868), "86.8");
+        assert_eq!(paper_pct(1.0), "100");
+        assert_eq!(paper_pct(0.904), "90.4");
+    }
+}

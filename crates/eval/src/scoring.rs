@@ -1,0 +1,359 @@
+//! Per-level scoring of predictions against ground truth.
+//!
+//! Every method under evaluation — the contrastive pipeline and all four
+//! baselines — reduces to the same shape: one [`LevelLabel`] per row and
+//! per column. [`Labels`] is that common shape; scoring walks a test set
+//! and accumulates [`BinaryCounts`] per metadata level.
+
+use crate::metrics::BinaryCounts;
+use tabmeta_baselines::Prediction;
+use tabmeta_core::Verdict;
+use tabmeta_tabular::{LevelLabel, Table};
+
+/// Method output in the common per-level shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labels {
+    /// One label per row.
+    pub rows: Vec<LevelLabel>,
+    /// One label per column.
+    pub columns: Vec<LevelLabel>,
+}
+
+impl From<Verdict> for Labels {
+    fn from(v: Verdict) -> Self {
+        Labels { rows: v.rows, columns: v.columns }
+    }
+}
+
+impl From<Prediction> for Labels {
+    fn from(p: Prediction) -> Self {
+        Labels { rows: p.rows, columns: p.columns }
+    }
+}
+
+/// Which metadata axis/level a score refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LevelKey {
+    /// HMD at depth `k` (1–5).
+    Hmd(u8),
+    /// VMD at depth `k` (1–3).
+    Vmd(u8),
+    /// CMD rows.
+    Cmd,
+}
+
+impl std::fmt::Display for LevelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LevelKey::Hmd(k) => write!(f, "HMD{k}"),
+            LevelKey::Vmd(k) => write!(f, "VMD{k}"),
+            LevelKey::Cmd => write!(f, "CMD"),
+        }
+    }
+}
+
+/// Whether `labels` place metadata level `key` where the table's truth
+/// does. For `Hmd(k)`/`Vmd(k)` that is label `k` at position `k−1`; for
+/// CMD, that every true CMD row is labeled CMD.
+fn level_correct(labels: &Labels, truth: &tabmeta_tabular::table::GroundTruth, key: LevelKey) -> bool {
+    match key {
+        LevelKey::Hmd(k) => {
+            labels.rows.get(k as usize - 1) == Some(&LevelLabel::Hmd(k))
+        }
+        LevelKey::Vmd(k) => {
+            labels.columns.get(k as usize - 1) == Some(&LevelLabel::Vmd(k))
+        }
+        LevelKey::Cmd => truth
+            .rows
+            .iter()
+            .zip(&labels.rows)
+            .filter(|(t, _)| **t == LevelLabel::Cmd)
+            .all(|(_, p)| *p == LevelLabel::Cmd),
+    }
+}
+
+/// Whether the table truly carries `key`.
+fn level_present(truth: &tabmeta_tabular::table::GroundTruth, key: LevelKey) -> bool {
+    match key {
+        LevelKey::Hmd(k) => truth.hmd_depth() >= k,
+        LevelKey::Vmd(k) => truth.vmd_depth() >= k,
+        LevelKey::Cmd => truth.has_cmd(),
+    }
+}
+
+/// Whether the method *claims* `key` (used for FP accounting on tables
+/// that lack the level).
+fn level_claimed(labels: &Labels, key: LevelKey) -> bool {
+    match key {
+        LevelKey::Hmd(k) => labels.rows.contains(&LevelLabel::Hmd(k)),
+        LevelKey::Vmd(k) => labels.columns.contains(&LevelLabel::Vmd(k)),
+        LevelKey::Cmd => labels.rows.contains(&LevelLabel::Cmd),
+    }
+}
+
+/// Score one (table, prediction) pair into per-level counts.
+pub fn score_table(
+    table: &Table,
+    labels: &Labels,
+    keys: &[LevelKey],
+    counts: &mut [BinaryCounts],
+) {
+    assert_eq!(keys.len(), counts.len());
+    let truth = table.truth.as_ref().expect("scoring requires ground truth");
+    for (key, count) in keys.iter().zip(counts.iter_mut()) {
+        let present = level_present(truth, *key);
+        let predicted = if present {
+            level_correct(labels, truth, *key)
+        } else {
+            level_claimed(labels, *key)
+        };
+        count.record(present, predicted);
+    }
+}
+
+/// The standard level keys the paper reports: HMD 1–5, VMD 1–3.
+pub fn standard_keys() -> Vec<LevelKey> {
+    let mut keys: Vec<LevelKey> = (1..=5).map(LevelKey::Hmd).collect();
+    keys.extend((1..=3).map(LevelKey::Vmd));
+    keys
+}
+
+/// Per-level scores over a test set for one method.
+#[derive(Debug, Clone)]
+pub struct LevelScores {
+    /// The keys scored, index-aligned with `counts`.
+    pub keys: Vec<LevelKey>,
+    /// Accumulated counts per key.
+    pub counts: Vec<BinaryCounts>,
+}
+
+impl LevelScores {
+    /// Score a full test set given a per-table classify function.
+    pub fn evaluate<F>(tables: &[Table], keys: Vec<LevelKey>, mut classify: F) -> Self
+    where
+        F: FnMut(&Table) -> Labels,
+    {
+        let mut counts = vec![BinaryCounts::default(); keys.len()];
+        for table in tables {
+            let labels = classify(table);
+            score_table(table, &labels, &keys, &mut counts);
+        }
+        LevelScores { keys, counts }
+    }
+
+    /// Conditional accuracy (recall) for `key` — the Table V/VI reading.
+    pub fn level_accuracy(&self, key: LevelKey) -> Option<f64> {
+        let i = self.keys.iter().position(|k| *k == key)?;
+        self.counts[i].recall()
+    }
+
+    /// Eq. 9 accuracy for `key` (includes true negatives).
+    pub fn eq9_accuracy(&self, key: LevelKey) -> Option<f64> {
+        let i = self.keys.iter().position(|k| *k == key)?;
+        self.counts[i].accuracy()
+    }
+
+    /// Number of test tables truly carrying `key`.
+    pub fn support(&self, key: LevelKey) -> Option<usize> {
+        let i = self.keys.iter().position(|k| *k == key)?;
+        Some(self.counts[i].tp + self.counts[i].fn_)
+    }
+}
+
+/// Monolithic (coarse) metadata accuracy: over the leading `max_level`
+/// metadata levels along one axis, the fraction of levels whose
+/// metadata/data distinction is right — the number Fang et al. report
+/// ("92% for HMD level 1-3 combined", "90.4% for VMD level 1-2 combined").
+pub fn combined_accuracy(
+    tables: &[Table],
+    labels: &[Labels],
+    vertical: bool,
+    max_level: u8,
+) -> Option<f64> {
+    assert_eq!(tables.len(), labels.len());
+    let mut ok = 0usize;
+    let mut n = 0usize;
+    for (table, l) in tables.iter().zip(labels) {
+        let truth = table.truth.as_ref().expect("scoring requires ground truth");
+        let (truth_axis, pred_axis) = if vertical {
+            (&truth.columns, &l.columns)
+        } else {
+            (&truth.rows, &l.rows)
+        };
+        // Score the boundary region only — the leading `max_level + 1`
+        // levels where header detection actually happens (the original
+        // evaluates header candidates, not every column of a wide table).
+        for (t, p) in truth_axis.iter().zip(pred_axis).take(max_level as usize + 1) {
+            let in_scope = match t.level() {
+                Some(k) => k <= max_level,
+                None => true,
+            };
+            if !in_scope {
+                continue;
+            }
+            n += 1;
+            if t.is_metadata() == p.is_metadata() {
+                ok += 1;
+            }
+        }
+    }
+    (n > 0).then(|| ok as f64 / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tabmeta_tabular::table::GroundTruth;
+
+    fn table_2h_1v() -> Table {
+        Table::from_strings(
+            1,
+            &[
+                &["a", "b", "c"],
+                &["d", "e", "f"],
+                &["x", "1", "2"],
+                &["y", "3", "4"],
+            ],
+        )
+        .with_truth(GroundTruth {
+            rows: vec![
+                LevelLabel::Hmd(1),
+                LevelLabel::Hmd(2),
+                LevelLabel::Data,
+                LevelLabel::Data,
+            ],
+            columns: vec![LevelLabel::Vmd(1), LevelLabel::Data, LevelLabel::Data],
+        })
+    }
+
+    fn perfect_labels(t: &Table) -> Labels {
+        let truth = t.truth.as_ref().unwrap();
+        Labels { rows: truth.rows.clone(), columns: truth.columns.clone() }
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one_everywhere_present() {
+        let t = table_2h_1v();
+        let scores = LevelScores::evaluate(
+            std::slice::from_ref(&t),
+            standard_keys(),
+            perfect_labels,
+        );
+        assert_eq!(scores.level_accuracy(LevelKey::Hmd(1)), Some(1.0));
+        assert_eq!(scores.level_accuracy(LevelKey::Hmd(2)), Some(1.0));
+        assert_eq!(scores.level_accuracy(LevelKey::Vmd(1)), Some(1.0));
+        // No table carries HMD3 → no conditional accuracy, but Eq. 9 gives
+        // a true negative.
+        assert_eq!(scores.level_accuracy(LevelKey::Hmd(3)), None);
+        assert_eq!(scores.eq9_accuracy(LevelKey::Hmd(3)), Some(1.0));
+        assert_eq!(scores.support(LevelKey::Hmd(2)), Some(1));
+    }
+
+    #[test]
+    fn shifted_header_fails_level_two() {
+        let t = table_2h_1v();
+        let labels = Labels {
+            rows: vec![
+                LevelLabel::Hmd(1),
+                LevelLabel::Data,
+                LevelLabel::Data,
+                LevelLabel::Data,
+            ],
+            columns: vec![LevelLabel::Vmd(1), LevelLabel::Data, LevelLabel::Data],
+        };
+        let mut counts = vec![BinaryCounts::default(); 2];
+        score_table(&t, &labels, &[LevelKey::Hmd(1), LevelKey::Hmd(2)], &mut counts);
+        assert_eq!(counts[0].tp, 1);
+        assert_eq!(counts[1].fn_, 1, "missing level 2 is a false negative");
+    }
+
+    #[test]
+    fn false_positive_on_absent_level() {
+        let t = table_2h_1v();
+        let labels = Labels {
+            rows: vec![
+                LevelLabel::Hmd(1),
+                LevelLabel::Hmd(2),
+                LevelLabel::Hmd(3),
+                LevelLabel::Data,
+            ],
+            columns: vec![LevelLabel::Vmd(1), LevelLabel::Data, LevelLabel::Data],
+        };
+        let mut counts = vec![BinaryCounts::default()];
+        score_table(&t, &labels, &[LevelKey::Hmd(3)], &mut counts);
+        assert_eq!(counts[0].fp, 1, "claiming a non-existent level is an FP");
+    }
+
+    #[test]
+    fn cmd_scoring_requires_all_cmd_rows() {
+        let t = Table::from_strings(2, &[&["a", "b"], &["s", ""], &["1", "2"]]).with_truth(
+            GroundTruth {
+                rows: vec![LevelLabel::Hmd(1), LevelLabel::Cmd, LevelLabel::Data],
+                columns: vec![LevelLabel::Data, LevelLabel::Data],
+            },
+        );
+        let good = perfect_labels(&t);
+        let mut counts = vec![BinaryCounts::default()];
+        score_table(&t, &good, &[LevelKey::Cmd], &mut counts);
+        assert_eq!(counts[0].tp, 1);
+        let bad = Labels {
+            rows: vec![LevelLabel::Hmd(1), LevelLabel::Data, LevelLabel::Data],
+            columns: vec![LevelLabel::Data, LevelLabel::Data],
+        };
+        let mut counts = vec![BinaryCounts::default()];
+        score_table(&t, &bad, &[LevelKey::Cmd], &mut counts);
+        assert_eq!(counts[0].fn_, 1);
+    }
+
+    #[test]
+    fn combined_accuracy_is_coarse() {
+        let t = table_2h_1v();
+        // Monolithic header detection: both HMD rows flagged as metadata
+        // but at the wrong level still counts for the combined metric.
+        let labels = Labels {
+            rows: vec![
+                LevelLabel::Hmd(1),
+                LevelLabel::Hmd(1),
+                LevelLabel::Data,
+                LevelLabel::Data,
+            ],
+            columns: vec![LevelLabel::Vmd(1), LevelLabel::Data, LevelLabel::Data],
+        };
+        let acc = combined_accuracy(
+            std::slice::from_ref(&t),
+            std::slice::from_ref(&labels),
+            false,
+            3,
+        );
+        assert_eq!(acc, Some(1.0));
+        let vacc = combined_accuracy(
+            std::slice::from_ref(&t),
+            std::slice::from_ref(&labels),
+            true,
+            2,
+        );
+        assert_eq!(vacc, Some(1.0));
+    }
+
+    #[test]
+    fn labels_convert_from_both_methods() {
+        let v = Verdict {
+            rows: vec![LevelLabel::Hmd(1)],
+            columns: vec![LevelLabel::Data],
+            hmd_depth: 1,
+            vmd_depth: 0,
+        };
+        let l: Labels = v.into();
+        assert_eq!(l.rows, vec![LevelLabel::Hmd(1)]);
+        let p = Prediction { rows: vec![LevelLabel::Cmd], columns: vec![] };
+        let l2: Labels = p.into();
+        assert_eq!(l2.rows, vec![LevelLabel::Cmd]);
+    }
+
+    #[test]
+    fn display_of_level_keys() {
+        assert_eq!(LevelKey::Hmd(4).to_string(), "HMD4");
+        assert_eq!(LevelKey::Vmd(2).to_string(), "VMD2");
+        assert_eq!(LevelKey::Cmd.to_string(), "CMD");
+    }
+}

@@ -1,0 +1,90 @@
+//! Cosine similarity (paper Eq. 5) and angular distance in degrees
+//! (Eqs. 6–8).
+//!
+//! The paper reports every centroid range and transition threshold in
+//! degrees (e.g. `C_MDE-DE = 60° to 75°` for CORD-19), so degrees are the
+//! canonical unit throughout tabmeta. Floating-point noise can push a raw
+//! cosine fractionally outside `[-1, 1]`; we clamp before `acos` so angles
+//! are always finite.
+
+use crate::vector::{dot, norm};
+
+/// Cosine similarity between two vectors (paper Eq. 5).
+///
+/// Returns `0.0` when either vector has zero norm: a level with no embedded
+/// terms carries no directional information, and treating it as orthogonal
+/// to everything keeps it out of every centroid range.
+#[inline]
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Angle between two vectors in **degrees**, in `[0, 180]`.
+///
+/// This is the `Δ` of Definitions 14–16: `Δ = arccos(cos θ)` converted to
+/// degrees. Zero-norm vectors yield 90° (orthogonal), consistent with
+/// [`cosine_similarity`] returning zero.
+#[inline]
+pub fn angle_degrees(a: &[f32], b: &[f32]) -> f32 {
+    cosine_similarity(a, b).acos().to_degrees()
+}
+
+/// Convert a cosine value to degrees, clamping into the valid domain.
+#[inline]
+pub fn cosine_to_degrees(cos: f32) -> f32 {
+    cos.clamp(-1.0, 1.0).acos().to_degrees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_zero_angle() {
+        let v = vec![0.2, 0.4, 0.4];
+        assert!(angle_degrees(&v, &v) < 1e-3);
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_vectors_are_ninety_degrees() {
+        assert!((angle_degrees(&[1.0, 0.0], &[0.0, 1.0]) - 90.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn opposite_vectors_are_one_eighty() {
+        assert!((angle_degrees(&[1.0, 0.0], &[-1.0, 0.0]) - 180.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn zero_vector_is_treated_as_orthogonal() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert!((angle_degrees(&[0.0, 0.0], &[1.0, 2.0]) - 90.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scaling_does_not_change_angle() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![0.5, -1.0, 2.0];
+        let a10: Vec<f32> = a.iter().map(|x| x * 10.0).collect();
+        assert!((angle_degrees(&a, &b) - angle_degrees(&a10, &b)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn forty_five_degrees() {
+        let a = vec![1.0, 0.0];
+        let b = vec![1.0, 1.0];
+        assert!((angle_degrees(&a, &b) - 45.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cosine_to_degrees_clamps_out_of_domain() {
+        assert!((cosine_to_degrees(1.0000001) - 0.0).abs() < 1e-4);
+        assert!((cosine_to_degrees(-1.0000001) - 180.0).abs() < 1e-3);
+    }
+}

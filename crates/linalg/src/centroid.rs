@@ -1,0 +1,130 @@
+//! Centroids (Def. 6) and aggregated level vectors (Def. 8).
+//!
+//! The paper aggregates the term embeddings of one table level (a metadata
+//! row, a data row, a metadata column, …) by **summation**, and builds
+//! corpus-wide reference points as arithmetic-mean **centroids** over many
+//! such aggregates. §III-C motivates summation over concatenation
+//! (dimensionality preserved, cheap, empirically as good); the aggregation
+//! ablation in `tabmeta-eval` exercises the alternatives, so mean
+//! aggregation lives here too.
+
+/// Sum a set of equal-length vectors into a fresh vector (Def. 8).
+///
+/// Returns `None` when `vectors` yields nothing — a level whose terms all
+/// fell out of the vocabulary has no aggregate.
+pub fn aggregate_sum<'a, I>(vectors: I) -> Option<Vec<f32>>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    let mut iter = vectors.into_iter();
+    let first = iter.next()?;
+    let mut acc = first.to_vec();
+    for v in iter {
+        assert_eq!(acc.len(), v.len(), "aggregate_sum: dimension mismatch");
+        crate::vector::add_assign(&mut acc, v);
+    }
+    Some(acc)
+}
+
+/// Arithmetic-mean aggregate, the ablation alternative to [`aggregate_sum`].
+///
+/// Note that mean and sum aggregates point in the **same direction**, so the
+/// angle-based classifier is invariant between them; the ablation exists to
+/// demonstrate exactly that.
+pub fn aggregate_mean<'a, I>(vectors: I) -> Option<Vec<f32>>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    let mut iter = vectors.into_iter();
+    let first = iter.next()?;
+    let mut acc = first.to_vec();
+    let mut n = 1usize;
+    for v in iter {
+        assert_eq!(acc.len(), v.len(), "aggregate_mean: dimension mismatch");
+        crate::vector::add_assign(&mut acc, v);
+        n += 1;
+    }
+    crate::vector::scale(&mut acc, 1.0 / n as f32);
+    Some(acc)
+}
+
+/// Centroid (arithmetic mean) of a set of vectors (Def. 6).
+///
+/// Functionally identical to [`aggregate_mean`]; kept as a separate name
+/// because the paper distinguishes corpus-level *centroids* from per-table
+/// *aggregated level vectors* and the call sites read better this way.
+pub fn centroid<'a, I>(vectors: I) -> Option<Vec<f32>>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    aggregate_mean(vectors)
+}
+
+/// Concatenation aggregate for the ablation of §III-C: preserves every
+/// feature at the cost of `n × dim` dimensionality. Only comparable between
+/// levels with the same cell count, which is precisely the practical
+/// objection the paper raises against it.
+pub fn aggregate_concat<'a, I>(vectors: I) -> Option<Vec<f32>>
+where
+    I: IntoIterator<Item = &'a [f32]>,
+{
+    let mut out: Vec<f32> = Vec::new();
+    let mut any = false;
+    for v in vectors {
+        out.extend_from_slice(v);
+        any = true;
+    }
+    any.then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angle::angle_degrees;
+
+    #[test]
+    fn sum_of_two() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, -1.0];
+        let s = aggregate_sum([a.as_slice(), b.as_slice()]).unwrap();
+        assert_eq!(s, vec![4.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(aggregate_sum(std::iter::empty::<&[f32]>()).is_none());
+        assert!(aggregate_mean(std::iter::empty::<&[f32]>()).is_none());
+        assert!(aggregate_concat(std::iter::empty::<&[f32]>()).is_none());
+    }
+
+    #[test]
+    fn centroid_of_symmetric_points_is_origin() {
+        let a = [1.0f32, 0.0];
+        let b = [-1.0f32, 0.0];
+        let c = centroid([a.as_slice(), b.as_slice()]).unwrap();
+        assert_eq!(c, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_and_sum_share_direction() {
+        let vs = [[1.0f32, 2.0, 0.5], [0.0, 1.0, 1.0], [2.0, 0.0, 0.0]];
+        let sum = aggregate_sum(vs.iter().map(|v| v.as_slice())).unwrap();
+        let mean = aggregate_mean(vs.iter().map(|v| v.as_slice())).unwrap();
+        assert!(angle_degrees(&sum, &mean) < 1e-3);
+    }
+
+    #[test]
+    fn concat_preserves_all_features() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let c = aggregate_concat([a.as_slice(), b.as_slice()]).unwrap();
+        assert_eq!(c, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn single_vector_aggregates_to_itself() {
+        let a = [1.5f32, -2.5];
+        assert_eq!(aggregate_sum([a.as_slice()]).unwrap(), a.to_vec());
+        assert_eq!(aggregate_mean([a.as_slice()]).unwrap(), a.to_vec());
+    }
+}

@@ -1,0 +1,30 @@
+//! Dense vector math underlying the tabmeta pipeline.
+//!
+//! Everything in the paper's methodology reduces to a small set of geometric
+//! primitives over `f32` vectors:
+//!
+//! * dot products, Euclidean norms and **cosine similarity** (paper Eq. 5),
+//! * **angles in degrees** between aggregated level vectors (Eqs. 6–8),
+//! * **centroids** (arithmetic means, Def. 6) and **aggregated level
+//!   vectors** (summations, Def. 8),
+//! * **angle ranges** `[min, max]` — the centroid ranges `C_MDE`, `C_DE`
+//!   and `C_MDE-DE` of Defs. 11–13 — with percentile trimming so a handful
+//!   of outlier tables cannot blow the range open,
+//! * online summary statistics used by the evaluation harness.
+//!
+//! The crate is deliberately free of any table- or embedding-specific types
+//! so it can be property-tested in isolation.
+
+pub mod angle;
+pub mod centroid;
+pub mod matrix;
+pub mod range;
+pub mod stats;
+pub mod vector;
+
+pub use angle::{angle_degrees, cosine_similarity, cosine_to_degrees};
+pub use centroid::{aggregate_concat, aggregate_mean, aggregate_sum, centroid};
+pub use matrix::Matrix;
+pub use range::{AngleRange, RangeEstimator};
+pub use stats::{linear_fit, LinearFit, OnlineStats};
+pub use vector::{add_assign, axpy, dot, euclidean, euclidean_sq, norm, normalize, scale, sub_assign};

@@ -1,0 +1,181 @@
+//! Primitive slice operations.
+//!
+//! All functions operate on `&[f32]` / `&mut [f32]` so callers can keep
+//! their vectors wherever they like (flat matrices, `Vec`s, arena slices)
+//! without copies. Lengths must match; mismatches are programming errors and
+//! panic with a clear message rather than silently truncating.
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: dimension mismatch {} vs {}", a.len(), b.len());
+    // Chunked accumulation: 4 independent partial sums let LLVM vectorize
+    // without `-ffast-math`-style reassociation assumptions.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for j in chunks * 4..a.len() {
+        sum += a[j] * b[j];
+    }
+    sum
+}
+
+/// Euclidean (L2) norm of a vector.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// `a += b` element-wise.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "add_assign: dimension mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// `a -= b` element-wise.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn sub_assign(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "sub_assign: dimension mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x -= y;
+    }
+}
+
+/// `a += alpha * b` (the BLAS `axpy` kernel); the workhorse of SGNS updates.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f32, b: &[f32], a: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "axpy: dimension mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// `a *= alpha` element-wise.
+#[inline]
+pub fn scale(a: &mut [f32], alpha: f32) {
+    for x in a.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Normalize `a` to unit length in place.
+///
+/// A zero vector is left untouched (there is no direction to normalize to);
+/// callers that care distinguish this via [`norm`] being zero.
+#[inline]
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        scale(a, 1.0 / n);
+    }
+}
+
+/// Squared Euclidean distance, used by the ablation comparing angular
+/// classification against raw Euclidean distance (paper §III-C discussion).
+#[inline]
+pub fn euclidean_sq(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "euclidean_sq: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two vectors.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    euclidean_sq(a, b).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..37).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..37).map(|i| (36 - i) as f32 * 0.25).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm_of_unit_axes() {
+        assert!((norm(&[1.0, 0.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        let b = vec![0.5, -1.0, 2.0];
+        add_assign(&mut a, &b);
+        assert_eq!(a, vec![1.5, 1.0, 5.0]);
+        sub_assign(&mut a, &b);
+        assert_eq!(a, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut a);
+        assert_eq!(a, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut a = vec![3.0, 4.0];
+        normalize(&mut a);
+        assert!((norm(&a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut a = vec![0.0, 0.0, 0.0];
+        normalize(&mut a);
+        assert_eq!(a, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn euclidean_basics() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(euclidean_sq(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn scale_by_zero_clears() {
+        let mut a = vec![5.0, -2.0];
+        scale(&mut a, 0.0);
+        assert_eq!(a, vec![0.0, 0.0]);
+    }
+}

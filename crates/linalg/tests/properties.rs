@@ -1,0 +1,137 @@
+//! Property-based tests for the geometric primitives: the classifier's
+//! correctness rests on these invariants holding for *any* input, not just
+//! the handful of fixtures in unit tests.
+
+use proptest::prelude::*;
+use tabmeta_linalg::{
+    aggregate_mean, aggregate_sum, angle_degrees, cosine_similarity, AngleRange, Matrix,
+    OnlineStats, RangeEstimator,
+};
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, len..=len)
+}
+
+proptest! {
+    #[test]
+    fn cosine_is_bounded(a in finite_vec(16), b in finite_vec(16)) {
+        let c = cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&c), "cosine out of range: {c}");
+    }
+
+    #[test]
+    fn cosine_is_symmetric(a in finite_vec(12), b in finite_vec(12)) {
+        let ab = cosine_similarity(&a, &b);
+        let ba = cosine_similarity(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+    }
+
+    #[test]
+    fn angle_is_finite_and_in_degrees(a in finite_vec(8), b in finite_vec(8)) {
+        let d = angle_degrees(&a, &b);
+        prop_assert!(d.is_finite());
+        prop_assert!((0.0..=180.0).contains(&d), "angle out of range: {d}");
+    }
+
+    #[test]
+    fn angle_is_scale_invariant(a in finite_vec(8), b in finite_vec(8), s in 0.01f32..50.0) {
+        prop_assume!(tabmeta_linalg::norm(&a) > 1e-3 && tabmeta_linalg::norm(&b) > 1e-3);
+        let scaled: Vec<f32> = a.iter().map(|x| x * s).collect();
+        let d1 = angle_degrees(&a, &b);
+        let d2 = angle_degrees(&scaled, &b);
+        prop_assert!((d1 - d2).abs() < 0.1, "{d1} vs {d2}");
+    }
+
+    #[test]
+    fn self_angle_is_zero(a in finite_vec(10)) {
+        prop_assume!(tabmeta_linalg::norm(&a) > 1e-3);
+        prop_assert!(angle_degrees(&a, &a) < 0.5);
+    }
+
+    #[test]
+    fn sum_and_mean_aggregates_are_parallel(
+        vs in proptest::collection::vec(finite_vec(6), 1..8)
+    ) {
+        let slices: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let sum = aggregate_sum(slices.iter().copied()).unwrap();
+        let mean = aggregate_mean(slices.iter().copied()).unwrap();
+        prop_assume!(tabmeta_linalg::norm(&sum) > 1e-3);
+        prop_assert!(angle_degrees(&sum, &mean) < 0.5);
+    }
+
+    #[test]
+    fn estimator_trimmed_is_within_raw(angles in proptest::collection::vec(0.0f32..180.0, 3..200)) {
+        let mut e = RangeEstimator::new();
+        e.extend(angles.iter().copied());
+        let raw = e.raw();
+        let robust = e.robust();
+        prop_assert!(robust.lo >= raw.lo - 1e-6);
+        prop_assert!(robust.hi <= raw.hi + 1e-6);
+        prop_assert!(robust.lo <= robust.hi);
+    }
+
+    #[test]
+    fn estimator_mean_is_within_raw_range(angles in proptest::collection::vec(0.0f32..180.0, 1..100)) {
+        let mut e = RangeEstimator::new();
+        e.extend(angles.iter().copied());
+        let raw = e.raw();
+        let m = e.mean().unwrap();
+        prop_assert!(m >= raw.lo - 1e-3 && m <= raw.hi + 1e-3);
+    }
+
+    #[test]
+    fn range_union_contains_both(lo1 in 0.0f32..90.0, w1 in 0.0f32..90.0,
+                                 lo2 in 0.0f32..90.0, w2 in 0.0f32..90.0,
+                                 probe in 0.0f32..180.0) {
+        let r1 = AngleRange::new(lo1, lo1 + w1);
+        let r2 = AngleRange::new(lo2, lo2 + w2);
+        let u = r1.union(&r2);
+        if r1.contains(probe) || r2.contains(probe) {
+            prop_assert!(u.contains(probe));
+        }
+    }
+
+    #[test]
+    fn range_expanded_is_superset(lo in 0.0f32..90.0, w in 0.0f32..60.0,
+                                  margin in 0.0f32..30.0, probe in 0.0f32..180.0) {
+        let r = AngleRange::new(lo, lo + w);
+        if r.contains(probe) {
+            prop_assert!(r.expanded(margin).contains(probe));
+        }
+    }
+
+    #[test]
+    fn online_stats_mean_within_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = OnlineStats::new();
+        for &x in &xs { s.push(x); }
+        let m = s.mean().unwrap();
+        prop_assert!(m >= s.min().unwrap() - 1e-6);
+        prop_assert!(m <= s.max().unwrap() + 1e-6);
+    }
+
+    #[test]
+    fn online_stats_merge_is_order_independent(
+        xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        split in 1usize..99
+    ) {
+        let split = split.min(xs.len() - 1);
+        let (l, r) = xs.split_at(split);
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in l { a.push(x); }
+        for &x in r { b.push(x); }
+        let mut ab = a; ab.merge(&b);
+        let mut ba = b; ba.merge(&a);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert!((ab.mean().unwrap() - ba.mean().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_rows_roundtrip(rows in 1usize..10, dim in 1usize..16, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::uniform_init(rows, dim, &mut rng);
+        let collected: Vec<f32> = m.iter_rows().flatten().copied().collect();
+        prop_assert_eq!(collected.as_slice(), m.as_flat());
+    }
+}

@@ -1,0 +1,141 @@
+//! Table cells and their markup cues.
+//!
+//! §III-B of the paper bootstraps weak labels from HTML markup: rows inside
+//! `<thead>` / cells tagged `<th>` suggest HMD; **bold** text or leading
+//! blank runs in the first column suggest VMD. Markup is *optional and
+//! imperfect* — per the paper it is "not 100% accurate and also absent for
+//! the majority of tables" — so every cue lives in an `Option`-like
+//! [`Markup`] struct with an explicit [`Markup::none`].
+
+use serde::{Deserialize, Serialize};
+
+/// HTML-derived layout cues attached to one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Markup {
+    /// Cell was tagged `<th>` (vs `<td>`).
+    pub th: bool,
+    /// Cell's row was inside a `<thead>` block.
+    pub thead: bool,
+    /// Cell text was bold (`<b>`/`<strong>` or a bold style attribute).
+    pub bold: bool,
+    /// Leading indentation depth (spaces/nbsp runs), a VMD hierarchy cue.
+    pub indent: u8,
+}
+
+impl Markup {
+    /// No markup information at all.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Header-flavoured markup (`<thead><th>`).
+    pub fn header() -> Self {
+        Self { th: true, thead: true, bold: false, indent: 0 }
+    }
+
+    /// Plain body markup (`<td>` inside `<tbody>`).
+    pub fn body() -> Self {
+        Self::default()
+    }
+
+    /// Whether any cue is set.
+    pub fn is_any(&self) -> bool {
+        self.th || self.thead || self.bold || self.indent > 0
+    }
+}
+
+/// Placeholder strings conventionally meaning "no value". Deliberately
+/// conservative: bare "na" is excluded (sodium!), as are "0" and "none",
+/// which carry real semantics in statistical tables.
+const NULL_MARKERS: [&str; 7] = ["-", "--", "—", "n/a", "n.a.", ".", "·"];
+
+/// Whether `text` (pre-trimmed) is a conventional missing-value marker.
+pub fn is_null_marker(text: &str) -> bool {
+    NULL_MARKERS.iter().any(|m| text.eq_ignore_ascii_case(m))
+}
+
+/// One table cell: its text content and optional markup cues.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Cell {
+    /// Raw cell text; empty string for blank cells (which are semantically
+    /// meaningful — hierarchical VMD leaves blanks under spanning parents).
+    pub text: String,
+    /// HTML-derived cues; [`Markup::none`] when the source had no markup.
+    pub markup: Markup,
+}
+
+impl Cell {
+    /// A cell with text and no markup.
+    pub fn text(text: impl Into<String>) -> Self {
+        Cell { text: text.into(), markup: Markup::none() }
+    }
+
+    /// A cell with text and markup.
+    pub fn with_markup(text: impl Into<String>, markup: Markup) -> Self {
+        Cell { text: text.into(), markup }
+    }
+
+    /// A blank cell.
+    pub fn blank() -> Self {
+        Cell::default()
+    }
+
+    /// Whether the cell holds no semantic content: empty text or one of
+    /// the universal missing-value placeholders real sources write into
+    /// structural blanks ("-", "n/a", "."). The paper's preprocessing
+    /// likewise strips "corrupt or unreadable data" before classification;
+    /// recognizing placeholders here keeps the blank-run cues (hierarchical
+    /// VMD detection, bootstrap labeling) working across source styles.
+    pub fn is_blank(&self) -> bool {
+        let t = self.text.trim();
+        t.is_empty() || is_null_marker(t)
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::text(s)
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::text(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blank_detection_ignores_whitespace() {
+        assert!(Cell::blank().is_blank());
+        assert!(Cell::text("   ").is_blank());
+        assert!(!Cell::text("x").is_blank());
+    }
+
+    #[test]
+    fn markup_constructors() {
+        assert!(Markup::header().is_any());
+        assert!(!Markup::none().is_any());
+        assert!(Markup { indent: 2, ..Markup::none() }.is_any());
+        assert_eq!(Markup::body(), Markup::none());
+    }
+
+    #[test]
+    fn from_conversions() {
+        let c: Cell = "hello".into();
+        assert_eq!(c.text, "hello");
+        let c: Cell = String::from("world").into();
+        assert_eq!(c.text, "world");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Cell::with_markup("Age", Markup::header());
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Cell = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

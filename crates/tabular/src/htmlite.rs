@@ -1,0 +1,309 @@
+//! "HTML-lite": the simplified HTML table dialect used for bootstrapping.
+//!
+//! §III-B: *"The script labels HMD using tags like `<thead>`, `<th>`,
+//! `<tr>`, and labels data using `<td>`. For VMD labeling, it checks for
+//! bold tags/attributes or empty space characters in the first column."*
+//!
+//! We emit and parse exactly that subset: `<table>`, `<caption>`,
+//! `<thead>`, `<tbody>`, `<tr>`, `<th>`, `<td>`, `<b>`, and `&nbsp;`
+//! indentation. The parser is a small hand-rolled tag scanner — enough for
+//! the dialect, with entity escaping so arbitrary cell text round-trips.
+
+use crate::cell::{Cell, Markup};
+use crate::table::Table;
+
+/// Escape text for embedding in HTML-lite.
+fn escape(text: &str, out: &mut String) {
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Unescape HTML-lite entities.
+fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let (entity, consumed) = if rest.starts_with("&amp;") {
+            ("&", 5)
+        } else if rest.starts_with("&lt;") {
+            ("<", 4)
+        } else if rest.starts_with("&gt;") {
+            (">", 4)
+        } else if rest.starts_with("&nbsp;") {
+            (" ", 6)
+        } else {
+            ("&", 1)
+        };
+        out.push_str(entity);
+        rest = &rest[consumed..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Serialize a table to HTML-lite, using each cell's [`Markup`] to choose
+/// tags. Rows whose cells are all `thead`-flagged are grouped into one
+/// `<thead>`; everything else goes in `<tbody>`.
+pub fn to_htmlite(table: &Table) -> String {
+    let mut out = String::with_capacity(table.n_cells() * 16);
+    out.push_str("<table>\n");
+    if !table.caption.is_empty() {
+        out.push_str("<caption>");
+        escape(&table.caption, &mut out);
+        out.push_str("</caption>\n");
+    }
+    let is_head_row =
+        |i: usize| table.row(i).iter().all(|c| c.markup.thead) && !table.row(i).is_empty();
+    // Leading run of thead rows forms the <thead> block.
+    let mut head_end = 0;
+    while head_end < table.n_rows() && is_head_row(head_end) {
+        head_end += 1;
+    }
+    let write_row = |out: &mut String, cells: &[Cell]| {
+        out.push_str("<tr>");
+        for cell in cells {
+            let tag = if cell.markup.th { "th" } else { "td" };
+            out.push('<');
+            out.push_str(tag);
+            out.push('>');
+            for _ in 0..cell.markup.indent {
+                out.push_str("&nbsp;");
+            }
+            if cell.markup.bold {
+                out.push_str("<b>");
+            }
+            escape(&cell.text, out);
+            if cell.markup.bold {
+                out.push_str("</b>");
+            }
+            out.push_str("</");
+            out.push_str(tag);
+            out.push('>');
+        }
+        out.push_str("</tr>\n");
+    };
+    if head_end > 0 {
+        out.push_str("<thead>\n");
+        for i in 0..head_end {
+            write_row(&mut out, table.row(i));
+        }
+        out.push_str("</thead>\n");
+    }
+    out.push_str("<tbody>\n");
+    for i in head_end..table.n_rows() {
+        write_row(&mut out, table.row(i));
+    }
+    out.push_str("</tbody>\n</table>\n");
+    out
+}
+
+/// Error from HTML-lite parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtmlError {
+    /// No `<tr>` rows were found.
+    NoRows,
+    /// A cell tag was not closed.
+    UnclosedTag(&'static str),
+}
+
+impl std::fmt::Display for HtmlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HtmlError::NoRows => write!(f, "no <tr> rows in HTML-lite input"),
+            HtmlError::UnclosedTag(t) => write!(f, "unclosed <{t}> in HTML-lite input"),
+        }
+    }
+}
+
+impl std::error::Error for HtmlError {}
+
+/// Extract the inner text of the next `tag`-delimited region after `from`,
+/// returning `(inner, end_index)`.
+fn find_region<'a>(
+    input: &'a str,
+    from: usize,
+    open: &str,
+    close: &'static str,
+) -> Result<Option<(&'a str, usize)>, HtmlError> {
+    let Some(start) = input[from..].find(open) else {
+        return Ok(None);
+    };
+    let content_start = from + start + open.len();
+    let Some(end) = input[content_start..].find(close) else {
+        // Strip the angle brackets for the error message.
+        let name: &'static str = match close {
+            "</tr>" => "tr",
+            "</th>" => "th",
+            "</td>" => "td",
+            "</caption>" => "caption",
+            _ => "tag",
+        };
+        return Err(HtmlError::UnclosedTag(name));
+    };
+    Ok(Some((&input[content_start..content_start + end], content_start + end + close.len())))
+}
+
+/// Parse HTML-lite into a [`Table`] with markup cues populated.
+///
+/// Ragged rows are padded with blank cells; the table's `has_markup` flag
+/// is set.
+pub fn from_htmlite(id: u64, input: &str) -> Result<Table, HtmlError> {
+    let caption = match find_region(input, 0, "<caption>", "</caption>")? {
+        Some((inner, _)) => unescape(inner.trim()),
+        None => String::new(),
+    };
+    let thead_region = find_region(input, 0, "<thead>", "</thead>")?;
+    let thead_span = thead_region.map(|(inner, end)| {
+        let start = end - inner.len() - "</thead>".len();
+        (start, end)
+    });
+
+    let mut rows: Vec<Vec<Cell>> = Vec::new();
+    let mut cursor = 0usize;
+    while let Some((row_inner, row_end)) = find_region(input, cursor, "<tr>", "</tr>")? {
+        let row_start = row_end - row_inner.len() - "</tr>".len();
+        let in_thead = thead_span.is_some_and(|(s, e)| row_start >= s && row_end <= e);
+        let mut cells = Vec::new();
+        let mut c = 0usize;
+        loop {
+            let next_th = row_inner[c..].find("<th>").map(|p| (p, true));
+            let next_td = row_inner[c..].find("<td>").map(|p| (p, false));
+            let (pos, is_th) = match (next_th, next_td) {
+                (Some((a, _)), Some((b, _))) if a < b => (a, true),
+                (Some(_), Some((b, _))) => (b, false),
+                (Some((a, _)), None) => (a, true),
+                (None, Some((b, _))) => (b, false),
+                (None, None) => break,
+            };
+            let open = if is_th { "<th>" } else { "<td>" };
+            let close: &'static str = if is_th { "</th>" } else { "</td>" };
+            let Some((inner, end)) = find_region(row_inner, c + pos, open, close)? else {
+                break;
+            };
+            let mut body = inner;
+            let mut indent = 0u8;
+            while let Some(stripped) = body.strip_prefix("&nbsp;") {
+                indent = indent.saturating_add(1);
+                body = stripped;
+            }
+            let bold = body.starts_with("<b>") && body.ends_with("</b>");
+            if bold {
+                body = &body[3..body.len() - 4];
+            }
+            cells.push(Cell {
+                text: unescape(body.trim()),
+                markup: Markup { th: is_th, thead: in_thead, bold, indent },
+            });
+            c = end;
+        }
+        if !cells.is_empty() {
+            rows.push(cells);
+        }
+        cursor = row_end;
+    }
+    if rows.is_empty() {
+        return Err(HtmlError::NoRows);
+    }
+    let width = rows.iter().map(Vec::len).max().unwrap_or(0);
+    for r in &mut rows {
+        r.resize(width, Cell::blank());
+    }
+    Ok(Table::new(id, caption, rows).with_markup_flag(true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Axis;
+
+    fn marked_table() -> Table {
+        let mut t = Table::from_strings(
+            7,
+            &[
+                &["State", "Enrollment"],
+                &["New York", "19,639"],
+                &["Indiana", "20,030"],
+            ],
+        );
+        for j in 0..2 {
+            t.cell_mut(0, j).markup = Markup::header();
+        }
+        t.cell_mut(1, 0).markup = Markup { bold: true, ..Markup::none() };
+        t.cell_mut(2, 0).markup = Markup { bold: true, indent: 1, ..Markup::none() };
+        t.with_markup_flag(true)
+    }
+
+    #[test]
+    fn serialize_shape() {
+        let html = to_htmlite(&marked_table());
+        assert!(html.contains("<thead>"));
+        assert!(html.contains("<th>State</th>"));
+        assert!(html.contains("<td><b>New York</b></td>"));
+        assert!(html.contains("&nbsp;<b>Indiana</b>"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_text_and_markup() {
+        let t = marked_table();
+        let back = from_htmlite(7, &to_htmlite(&t)).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        assert_eq!(back.cell(0, 0).text, "State");
+        assert!(back.cell(0, 0).markup.th);
+        assert!(back.cell(0, 0).markup.thead);
+        assert!(back.cell(1, 0).markup.bold);
+        assert_eq!(back.cell(2, 0).markup.indent, 1);
+        assert!(!back.cell(1, 1).markup.th);
+        assert!(back.has_markup);
+    }
+
+    #[test]
+    fn caption_roundtrip() {
+        let mut t = marked_table();
+        t.caption = "Crime <in> the U.S. & more".to_string();
+        let back = from_htmlite(7, &to_htmlite(&t)).unwrap();
+        assert_eq!(back.caption, "Crime <in> the U.S. & more");
+    }
+
+    #[test]
+    fn entity_escaping_roundtrip() {
+        let t = Table::from_strings(1, &[&["a<b>&c", "x"]]);
+        let back = from_htmlite(1, &to_htmlite(&t)).unwrap();
+        assert_eq!(back.cell(0, 0).text, "a<b>&c");
+    }
+
+    #[test]
+    fn no_rows_is_an_error() {
+        assert_eq!(from_htmlite(0, "<table></table>"), Err(HtmlError::NoRows));
+    }
+
+    #[test]
+    fn unclosed_cell_is_an_error() {
+        let res = from_htmlite(0, "<table><tbody><tr><td>oops</tr></tbody></table>");
+        assert_eq!(res, Err(HtmlError::UnclosedTag("td")));
+    }
+
+    #[test]
+    fn ragged_rows_pad_with_blanks() {
+        let html = "<table><tbody><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></tbody></table>";
+        let t = from_htmlite(0, html).unwrap();
+        assert_eq!(t.n_cols(), 2);
+        assert!(t.cell(1, 1).is_blank());
+    }
+
+    #[test]
+    fn thead_membership_only_inside_thead() {
+        let html = "<table><thead><tr><th>h</th></tr></thead><tbody><tr><td>d</td></tr></tbody></table>";
+        let t = from_htmlite(0, html).unwrap();
+        assert!(t.cell(0, 0).markup.thead);
+        assert!(!t.cell(1, 0).markup.thead);
+        assert_eq!(t.level_texts(Axis::Column, 0), vec!["h", "d"]);
+    }
+}

@@ -1,0 +1,107 @@
+//! The classification target: what each table *level* (row or column) is.
+//!
+//! The paper learns `f : T → {HMD, VMD, D}` per level (Eq. 1), where HMD
+//! and VMD additionally carry their hierarchy depth (level 1 is the
+//! outermost). CMD (central horizontal metadata, Def. 4) appears in the
+//! problem statement and the LLM error analysis; we carry it as a first-
+//! class label so the CMD extension of the classifier can be scored.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Label of one table level (a row for HMD/CMD, a column for VMD).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LevelLabel {
+    /// Horizontal metadata at hierarchy depth `level` (1-based).
+    Hmd(u8),
+    /// Vertical metadata at hierarchy depth `level` (1-based).
+    Vmd(u8),
+    /// Central (mid-table) horizontal metadata.
+    Cmd,
+    /// Ordinary data.
+    Data,
+}
+
+impl LevelLabel {
+    /// Whether the label is any flavour of metadata.
+    pub fn is_metadata(&self) -> bool {
+        !matches!(self, LevelLabel::Data)
+    }
+
+    /// The hierarchy level, if this is HMD or VMD.
+    pub fn level(&self) -> Option<u8> {
+        match self {
+            LevelLabel::Hmd(l) | LevelLabel::Vmd(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// Collapse to the coarse 3-way target of Eq. 1 (HMD/VMD/D), mapping
+    /// CMD onto HMD as the paper's baselines do ("subheader").
+    pub fn coarse(&self) -> CoarseLabel {
+        match self {
+            LevelLabel::Hmd(_) | LevelLabel::Cmd => CoarseLabel::Hmd,
+            LevelLabel::Vmd(_) => CoarseLabel::Vmd,
+            LevelLabel::Data => CoarseLabel::Data,
+        }
+    }
+}
+
+impl fmt::Display for LevelLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LevelLabel::Hmd(l) => write!(f, "HMD{l}"),
+            LevelLabel::Vmd(l) => write!(f, "VMD{l}"),
+            LevelLabel::Cmd => write!(f, "CMD"),
+            LevelLabel::Data => write!(f, "Data"),
+        }
+    }
+}
+
+/// The coarse 3-way label of Eq. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoarseLabel {
+    /// Horizontal metadata (including CMD).
+    Hmd,
+    /// Vertical metadata.
+    Vmd,
+    /// Data.
+    Data,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_predicate() {
+        assert!(LevelLabel::Hmd(1).is_metadata());
+        assert!(LevelLabel::Vmd(3).is_metadata());
+        assert!(LevelLabel::Cmd.is_metadata());
+        assert!(!LevelLabel::Data.is_metadata());
+    }
+
+    #[test]
+    fn level_extraction() {
+        assert_eq!(LevelLabel::Hmd(2).level(), Some(2));
+        assert_eq!(LevelLabel::Vmd(1).level(), Some(1));
+        assert_eq!(LevelLabel::Cmd.level(), None);
+        assert_eq!(LevelLabel::Data.level(), None);
+    }
+
+    #[test]
+    fn coarse_projection() {
+        assert_eq!(LevelLabel::Hmd(5).coarse(), CoarseLabel::Hmd);
+        assert_eq!(LevelLabel::Cmd.coarse(), CoarseLabel::Hmd);
+        assert_eq!(LevelLabel::Vmd(2).coarse(), CoarseLabel::Vmd);
+        assert_eq!(LevelLabel::Data.coarse(), CoarseLabel::Data);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(LevelLabel::Hmd(3).to_string(), "HMD3");
+        assert_eq!(LevelLabel::Vmd(1).to_string(), "VMD1");
+        assert_eq!(LevelLabel::Cmd.to_string(), "CMD");
+        assert_eq!(LevelLabel::Data.to_string(), "Data");
+    }
+}

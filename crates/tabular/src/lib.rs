@@ -1,0 +1,34 @@
+//! The **Generally Structured Table** (GST) data model — Definition 4 of
+//! the paper — plus the formats the pipeline speaks.
+//!
+//! A GST generalizes a relational table: metadata may occupy several top
+//! rows (**HMD**, horizontal metadata, hierarchical up to level 5), one or
+//! more leading columns (**VMD**, vertical metadata, up to level 3), and
+//! occasionally rows in the middle of the body (**CMD**). Everything else
+//! is data. This crate provides:
+//!
+//! * [`cell::Cell`] — text plus the HTML-derived markup cues (`<th>` vs
+//!   `<td>`, `<thead>` membership, bold, indentation) the bootstrap phase
+//!   feeds on,
+//! * [`label::LevelLabel`] — the classification target `{HMD(k), VMD(k),
+//!   CMD, Data}`,
+//! * [`table::Table`] — a rectangular grid with optional ground-truth
+//!   row/column labels and level views along either [`table::Axis`],
+//! * [`csv`] — the CSV serialization used by the Pytheas baseline and the
+//!   LLM prompt protocol,
+//! * [`htmlite`] — a simplified HTML table dialect (`<table><thead><tr>
+//!   <th>…`) used by the bootstrap labeler and the RAG store,
+//! * [`corpus::Corpus`] — a named collection of tables with JSONL
+//!   persistence and structure statistics.
+
+pub mod cell;
+pub mod corpus;
+pub mod csv;
+pub mod htmlite;
+pub mod label;
+pub mod table;
+
+pub use cell::{Cell, Markup};
+pub use corpus::{Corpus, CorpusStats};
+pub use label::LevelLabel;
+pub use table::{Axis, Table};

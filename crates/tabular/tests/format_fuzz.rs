@@ -1,0 +1,56 @@
+//! Parser totality under hostile input: the CSV and HTML-lite parsers
+//! must never panic, whatever bytes arrive — they either produce a table
+//! or return a structured error.
+
+use proptest::prelude::*;
+use tabmeta_tabular::{csv, htmlite};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text through the CSV parser: no panics, and any success
+    /// yields a rectangular grid.
+    #[test]
+    fn csv_parser_is_total(input in "\\PC{0,200}") {
+        if let Ok(rows) = csv::parse_csv(&input) {
+            prop_assert!(!rows.is_empty());
+            let width = rows[0].len();
+            prop_assert!(rows.iter().all(|r| r.len() == width), "ragged output");
+        }
+    }
+
+    /// Arbitrary text through the HTML-lite parser: no panics.
+    #[test]
+    fn htmlite_parser_is_total(input in "\\PC{0,200}") {
+        let _ = htmlite::from_htmlite(1, &input);
+    }
+
+    /// Tag-soup variants: random nestings of the dialect's own tags must
+    /// also never panic.
+    #[test]
+    fn htmlite_tag_soup_is_total(parts in proptest::collection::vec(0usize..10, 0..40)) {
+        let frag = ["<table>", "</table>", "<thead>", "</thead>", "<tr>", "</tr>",
+                    "<th>", "</th>", "<td>x</td>", "<b>y</b>"];
+        let soup: String = parts.iter().map(|&i| frag[i]).collect();
+        let _ = htmlite::from_htmlite(2, &soup);
+    }
+
+    /// CSV quoting round-trip at the field level: any field content
+    /// survives one serialize/parse cycle inside a guaranteed-nonempty row.
+    #[test]
+    fn csv_field_roundtrip(field in "\\PC{0,40}") {
+        let table = tabmeta_tabular::Table::from_strings(1, &[&[field.as_str(), "anchor"]]);
+        let text = csv::to_csv(&table);
+        let rows = csv::parse_csv(&text).expect("anchored row parses");
+        prop_assert_eq!(rows[0][0].as_str(), field.as_str());
+    }
+}
+
+#[test]
+fn structured_errors_not_panics() {
+    assert!(csv::parse_csv("").is_err());
+    assert!(csv::parse_csv("\"never closed").is_err());
+    assert!(htmlite::from_htmlite(1, "").is_err());
+    assert!(htmlite::from_htmlite(1, "<table></table>").is_err(), "no rows");
+    assert!(htmlite::from_htmlite(1, "<table><tr><td>unclosed").is_err());
+}

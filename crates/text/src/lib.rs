@@ -1,0 +1,27 @@
+//! Text primitives for tabmeta: tokenization, normalization, vocabulary
+//! management and character n-gram extraction.
+//!
+//! Table cells are noisy: `"14,373"`, `"96.7%"`, `"12 to 15 years"`,
+//! `"Number Needed to Harm"`. The embedding models (and therefore the whole
+//! angle geometry the classifier depends on) need a *stable* mapping from
+//! that surface noise to terms:
+//!
+//! * words are case-folded and stripped of punctuation,
+//! * numeric content is mapped onto a small set of **class tokens**
+//!   (`<num>`, `<pct>`, `<range>`, `<year>`, …) so every data row shares
+//!   vocabulary mass instead of exploding into millions of one-off numbers —
+//!   this mirrors how the paper's data-row aggregates cluster tightly
+//!   (`C_DE ≈ 25°–35°` in every corpus),
+//! * the CharGram model (our BioBERT substitute) additionally decomposes
+//!   each word into hashed character n-grams so rare biomedical terms still
+//!   receive meaningful vectors.
+
+pub mod ngram;
+pub mod token;
+pub mod tokenizer;
+pub mod vocab;
+
+pub use ngram::{hash_ngram, ngram_ids, NgramConfig};
+pub use token::{classify_numeric, normalize_word, NumericClass, Token, TokenKind};
+pub use tokenizer::{Tokenizer, TokenizerConfig};
+pub use vocab::{TermId, Vocabulary};

@@ -1,0 +1,139 @@
+//! Character n-gram extraction and hashing for the CharGram model (the
+//! BioBERT substitute — see DESIGN.md §2).
+//!
+//! Following the fastText construction: a word `brook` with n=3..5 yields
+//! grams over the boundary-marked form `<brook>` (`<br`, `bro`, `roo`,
+//! `ook`, `ok>`, `<bro`, …). Each gram hashes (FNV-1a) into a fixed bucket
+//! space shared across the vocabulary, so out-of-vocabulary biomedical
+//! terms still decompose into trained sub-vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the n-gram extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NgramConfig {
+    /// Minimum gram length (inclusive).
+    pub min_n: usize,
+    /// Maximum gram length (inclusive).
+    pub max_n: usize,
+    /// Number of hash buckets grams map into.
+    pub buckets: usize,
+}
+
+impl Default for NgramConfig {
+    fn default() -> Self {
+        Self { min_n: 3, max_n: 5, buckets: 1 << 16 }
+    }
+}
+
+/// 64-bit FNV-1a over the gram bytes, reduced into the bucket space.
+pub fn hash_ngram(gram: &str, buckets: usize) -> usize {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for b in gram.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    (h % buckets as u64) as usize
+}
+
+/// Extract the hashed n-gram ids for a word.
+///
+/// Class tokens (anything already wrapped in `<…>`, e.g. `<pct>`) are
+/// treated as atomic: they get exactly one gram — themselves — so numeric
+/// classes do not dissolve into meaningless character soup.
+pub fn ngram_ids(word: &str, config: &NgramConfig) -> Vec<usize> {
+    assert!(config.min_n >= 1 && config.min_n <= config.max_n, "invalid n-gram bounds");
+    if word.is_empty() {
+        return Vec::new();
+    }
+    if word.starts_with('<') && word.ends_with('>') {
+        return vec![hash_ngram(word, config.buckets)];
+    }
+    let marked: Vec<char> = std::iter::once('<')
+        .chain(word.chars())
+        .chain(std::iter::once('>'))
+        .collect();
+    let mut ids = Vec::new();
+    for n in config.min_n..=config.max_n {
+        if n > marked.len() {
+            break;
+        }
+        for start in 0..=(marked.len() - n) {
+            let gram: String = marked[start..start + n].iter().collect();
+            ids.push(hash_ngram(&gram, config.buckets));
+        }
+    }
+    // Very short words can produce no grams of min_n; fall back to the
+    // whole marked form so every word has at least one sub-vector.
+    if ids.is_empty() {
+        let whole: String = marked.iter().collect();
+        ids.push(hash_ngram(&whole, config.buckets));
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic_and_bounded() {
+        let a = hash_ngram("bro", 1024);
+        let b = hash_ngram("bro", 1024);
+        assert_eq!(a, b);
+        assert!(a < 1024);
+        assert_ne!(hash_ngram("bro", 1 << 20), hash_ngram("orb", 1 << 20));
+    }
+
+    #[test]
+    fn gram_count_matches_formula() {
+        // "<brook>" has 7 chars; for n in 3..=5: (7-3+1)+(7-4+1)+(7-5+1)=5+4+3.
+        let cfg = NgramConfig { min_n: 3, max_n: 5, buckets: 1 << 16 };
+        assert_eq!(ngram_ids("brook", &cfg).len(), 12);
+    }
+
+    #[test]
+    fn class_tokens_are_atomic() {
+        let cfg = NgramConfig::default();
+        let ids = ngram_ids("<pct>", &cfg);
+        assert_eq!(ids.len(), 1);
+        assert_eq!(ids[0], hash_ngram("<pct>", cfg.buckets));
+    }
+
+    #[test]
+    fn short_words_still_get_a_gram() {
+        let cfg = NgramConfig { min_n: 4, max_n: 6, buckets: 256 };
+        let ids = ngram_ids("ny", &cfg);
+        assert_eq!(ids, vec![hash_ngram("<ny>", 256)]);
+    }
+
+    #[test]
+    fn empty_word_yields_nothing() {
+        assert!(ngram_ids("", &NgramConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn overlapping_words_share_grams() {
+        let cfg = NgramConfig { min_n: 3, max_n: 3, buckets: 1 << 20 };
+        let a = ngram_ids("enrollment", &cfg);
+        let b = ngram_ids("enrollments", &cfg);
+        let shared = a.iter().filter(|id| b.contains(id)).count();
+        assert!(shared >= a.len() - 1, "morphological variants share most grams");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid n-gram bounds")]
+    fn invalid_bounds_panic() {
+        let _ = ngram_ids("x", &NgramConfig { min_n: 5, max_n: 3, buckets: 16 });
+    }
+
+    #[test]
+    fn unicode_words_are_handled_per_char() {
+        let cfg = NgramConfig { min_n: 3, max_n: 3, buckets: 1 << 16 };
+        // Must not panic on multi-byte chars (char-based windows).
+        let ids = ngram_ids("naïve", &cfg);
+        assert!(!ids.is_empty());
+    }
+}

@@ -1,0 +1,266 @@
+//! Token kinds and numeric classification.
+//!
+//! The LLM experiments in the paper (§IV-H) observe that headers containing
+//! numbers ("decimals, floating numbers, or percentages") are systematically
+//! misread. Our tokenizer makes numeric content *first-class*: every numeric
+//! surface form collapses onto one of a handful of [`NumericClass`] tokens,
+//! which both concentrates embedding mass and lets downstream feature
+//! extractors (baselines) reason about "how numeric is this row".
+
+use serde::{Deserialize, Serialize};
+
+/// The lexical category of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// An alphabetic word (post-normalization).
+    Word,
+    /// A numeric token, further refined by [`NumericClass`].
+    Numeric(NumericClass),
+    /// Mixed alphanumeric identifier (`covid19`, `b12`).
+    Mixed,
+}
+
+/// Refinement of numeric tokens onto a small closed vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NumericClass {
+    /// Small integer (|v| < 100) — counts, ages, levels.
+    SmallInt,
+    /// Large integer (≥ 100), including thousands-separated (`14,373`).
+    LargeInt,
+    /// Decimal number (`21.6`).
+    Decimal,
+    /// Percentage (`96.7%`).
+    Percent,
+    /// Four-digit year (`2020`).
+    Year,
+    /// Numeric range (`12-15`, `12 to 15`, `<2`, `≥30`).
+    Range,
+    /// Currency amount (`$1,200`).
+    Currency,
+}
+
+impl NumericClass {
+    /// The class token interned into the embedding vocabulary.
+    pub fn as_token(self) -> &'static str {
+        match self {
+            NumericClass::SmallInt => "<int>",
+            NumericClass::LargeInt => "<bigint>",
+            NumericClass::Decimal => "<dec>",
+            NumericClass::Percent => "<pct>",
+            NumericClass::Year => "<year>",
+            NumericClass::Range => "<range>",
+            NumericClass::Currency => "<cur>",
+        }
+    }
+
+    /// All class tokens, for pre-seeding vocabularies.
+    pub fn all_tokens() -> [&'static str; 7] {
+        ["<int>", "<bigint>", "<dec>", "<pct>", "<year>", "<range>", "<cur>"]
+    }
+}
+
+/// A single normalized token with its kind and surface text.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Token {
+    /// The normalized text; for numerics this is the class token.
+    pub text: String,
+    /// Lexical category.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Construct a word token.
+    pub fn word(text: impl Into<String>) -> Self {
+        Token { text: text.into(), kind: TokenKind::Word }
+    }
+
+    /// Construct a numeric token from its class.
+    pub fn numeric(class: NumericClass) -> Self {
+        Token { text: class.as_token().to_string(), kind: TokenKind::Numeric(class) }
+    }
+
+    /// Construct a mixed alphanumeric token.
+    pub fn mixed(text: impl Into<String>) -> Self {
+        Token { text: text.into(), kind: TokenKind::Mixed }
+    }
+
+    /// Whether this token is numeric (any class).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self.kind, TokenKind::Numeric(_))
+    }
+}
+
+/// Lowercase a word and strip leading/trailing non-alphanumerics.
+///
+/// Interior punctuation that commonly glues words (`'`, `’`, `-`) is
+/// dropped; anything else splits in the tokenizer before this is called.
+pub fn normalize_word(raw: &str) -> String {
+    raw.trim_matches(|c: char| !c.is_alphanumeric())
+        .chars()
+        .filter(|c| *c != '\'' && *c != '’' && *c != '-')
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+/// Classify a numeric-looking string; `None` when it is not numeric.
+///
+/// Handles the surface forms that occur in the paper's example tables:
+/// thousands separators (`14,373`), percentages (`96.7%`), decimals,
+/// years, ranges (`12-15`, `<2`, `≥30`, `4-24`), and currency.
+pub fn classify_numeric(raw: &str) -> Option<NumericClass> {
+    let s = raw.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let has_digit = s.chars().any(|c| c.is_ascii_digit());
+    if !has_digit {
+        return None;
+    }
+    // Currency: leading symbol then numeric body.
+    if let Some(rest) = s.strip_prefix(['$', '€', '£']) {
+        if classify_numeric(rest).is_some() {
+            return Some(NumericClass::Currency);
+        }
+    }
+    // Percent: numeric body then '%'.
+    if let Some(body) = s.strip_suffix('%') {
+        if body.trim().chars().all(|c| c.is_ascii_digit() || c == '.' || c == ',') {
+            return Some(NumericClass::Percent);
+        }
+    }
+    // Range markers: comparison prefixes or an interior dash/en-dash between digits.
+    if s.starts_with(['<', '>', '≤', '≥']) || s.starts_with("<=") || s.starts_with(">=") {
+        let body = s.trim_start_matches(['<', '>', '≤', '≥', '=']);
+        if classify_numeric(body).is_some() {
+            return Some(NumericClass::Range);
+        }
+    }
+    // Worded range: "12 to 15".
+    if let Some((l, r)) = s.split_once(" to ") {
+        if classify_numeric(l).is_some() && classify_numeric(r).is_some() {
+            return Some(NumericClass::Range);
+        }
+    }
+    let bytes: Vec<char> = s.chars().collect();
+    for (i, &c) in bytes.iter().enumerate() {
+        if (c == '-' || c == '–' || c == '—') && i > 0 && i + 1 < bytes.len() {
+            let (l, r) = (&s[..s.char_indices().nth(i).unwrap().0], &bytes[i + 1..]);
+            let r: String = r.iter().collect();
+            if l.chars().any(|c| c.is_ascii_digit())
+                && r.chars().any(|c| c.is_ascii_digit())
+                && classify_numeric(l).is_some()
+                && classify_numeric(&r).is_some()
+            {
+                return Some(NumericClass::Range);
+            }
+        }
+    }
+    // Pure numeric body with optional separators.
+    let cleaned: String = s.chars().filter(|c| *c != ',').collect();
+    if cleaned.chars().all(|c| c.is_ascii_digit()) {
+        // All-digit: year vs integer by magnitude and width.
+        if cleaned.len() == 4 {
+            if let Ok(v) = cleaned.parse::<u32>() {
+                if (1400..=2199).contains(&v) {
+                    return Some(NumericClass::Year);
+                }
+            }
+        }
+        return match cleaned.parse::<i64>() {
+            Ok(v) if v.abs() < 100 => Some(NumericClass::SmallInt),
+            Ok(_) => Some(NumericClass::LargeInt),
+            Err(_) => Some(NumericClass::LargeInt), // overflow: enormous count
+        };
+    }
+    let mut dots = 0;
+    if cleaned.chars().all(|c| {
+        if c == '.' {
+            dots += 1;
+            true
+        } else {
+            c.is_ascii_digit()
+        }
+    }) && dots == 1
+        && cleaned.len() > 1
+    {
+        return Some(NumericClass::Decimal);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_strips_and_folds() {
+        assert_eq!(normalize_word("Enrollment,"), "enrollment");
+        assert_eq!(normalize_word("(Plaza)"), "plaza");
+        assert_eq!(normalize_word("DOESN'T"), "doesnt");
+        assert_eq!(normalize_word("co-morbid"), "comorbid");
+        assert_eq!(normalize_word("***"), "");
+    }
+
+    #[test]
+    fn classify_integers() {
+        assert_eq!(classify_numeric("61"), Some(NumericClass::SmallInt));
+        assert_eq!(classify_numeric("14,373"), Some(NumericClass::LargeInt));
+        assert_eq!(classify_numeric("199"), Some(NumericClass::LargeInt));
+        assert_eq!(classify_numeric("0"), Some(NumericClass::SmallInt));
+    }
+
+    #[test]
+    fn classify_years() {
+        assert_eq!(classify_numeric("2020"), Some(NumericClass::Year));
+        assert_eq!(classify_numeric("1987"), Some(NumericClass::Year));
+        // Four digits out of the plausible year window is a count.
+        assert_eq!(classify_numeric("9999"), Some(NumericClass::LargeInt));
+    }
+
+    #[test]
+    fn classify_decimals_and_percent() {
+        assert_eq!(classify_numeric("21.6"), Some(NumericClass::Decimal));
+        assert_eq!(classify_numeric("96.7%"), Some(NumericClass::Percent));
+        assert_eq!(classify_numeric("100.0%"), Some(NumericClass::Percent));
+    }
+
+    #[test]
+    fn classify_ranges() {
+        assert_eq!(classify_numeric("12-15"), Some(NumericClass::Range));
+        assert_eq!(classify_numeric("4-24"), Some(NumericClass::Range));
+        assert_eq!(classify_numeric("<2"), Some(NumericClass::Range));
+        assert_eq!(classify_numeric("≥30"), Some(NumericClass::Range));
+        assert_eq!(classify_numeric("7.2-53.8"), Some(NumericClass::Range));
+    }
+
+    #[test]
+    fn classify_currency() {
+        assert_eq!(classify_numeric("$1,200"), Some(NumericClass::Currency));
+        assert_eq!(classify_numeric("€45"), Some(NumericClass::Currency));
+    }
+
+    #[test]
+    fn non_numeric_is_none() {
+        assert_eq!(classify_numeric("enrollment"), None);
+        assert_eq!(classify_numeric(""), None);
+        assert_eq!(classify_numeric("-"), None);
+        assert_eq!(classify_numeric("n/a"), None);
+        assert_eq!(classify_numeric("b12"), None, "mixed alnum is not numeric");
+    }
+
+    #[test]
+    fn class_tokens_are_distinct() {
+        let all = NumericClass::all_tokens();
+        let mut set: Vec<&str> = all.to_vec();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn token_constructors() {
+        assert!(Token::numeric(NumericClass::Percent).is_numeric());
+        assert!(!Token::word("age").is_numeric());
+        assert_eq!(Token::numeric(NumericClass::Year).text, "<year>");
+    }
+}

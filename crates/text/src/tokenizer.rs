@@ -1,0 +1,173 @@
+//! Cell-to-token segmentation.
+//!
+//! A cell like `"Age, median (IQR), months 21.6 (7.2-53.8)"` becomes
+//! `[age, median, iqr, months, <dec>, <range>]`. Splitting happens on
+//! whitespace and separator punctuation, numeric classification happens per
+//! fragment, and empty fragments vanish.
+
+use crate::token::{classify_numeric, normalize_word, Token};
+use serde::{Deserialize, Serialize};
+
+/// Tokenizer behaviour knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TokenizerConfig {
+    /// Replace numeric tokens with their class tokens (`<pct>`, `<int>`, …).
+    /// When `false`, the raw numeral survives as its own term — used by the
+    /// numeric-collapse ablation.
+    pub collapse_numerics: bool,
+    /// Drop tokens shorter than this many characters (after normalization).
+    pub min_token_len: usize,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        Self { collapse_numerics: true, min_token_len: 1 }
+    }
+}
+
+/// Splits cell text into normalized [`Token`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Tokenizer with the given configuration.
+    pub fn new(config: TokenizerConfig) -> Self {
+        Self { config }
+    }
+
+    /// Access the active configuration.
+    pub fn config(&self) -> &TokenizerConfig {
+        &self.config
+    }
+
+    /// Tokenize one cell's text.
+    pub fn tokenize(&self, cell: &str) -> Vec<Token> {
+        let mut out = Vec::new();
+        self.tokenize_into(cell, &mut out);
+        out
+    }
+
+    /// Tokenize into a reusable buffer (hot path for corpus-scale training).
+    pub fn tokenize_into(&self, cell: &str, out: &mut Vec<Token>) {
+        for fragment in cell.split(|c: char| {
+            c.is_whitespace() || matches!(c, '(' | ')' | '[' | ']' | '/' | ';' | ':' | '|' | '"')
+        }) {
+            if fragment.is_empty() {
+                continue;
+            }
+            // Trailing commas attach to numbers as thousands separators only
+            // when interior; a pure trailing comma is stripped.
+            let fragment = fragment.trim_matches(',');
+            if fragment.is_empty() {
+                continue;
+            }
+            if let Some(class) = classify_numeric(fragment) {
+                if self.config.collapse_numerics {
+                    out.push(Token::numeric(class));
+                } else {
+                    out.push(Token::mixed(fragment.to_ascii_lowercase()));
+                }
+                continue;
+            }
+            let norm = normalize_word(fragment);
+            if norm.len() < self.config.min_token_len || norm.is_empty() {
+                continue;
+            }
+            if norm.chars().any(|c| c.is_ascii_digit()) {
+                out.push(Token::mixed(norm));
+            } else {
+                out.push(Token::word(norm));
+            }
+        }
+    }
+
+    /// Tokenize and return only the term strings (what vocabularies consume).
+    pub fn terms(&self, cell: &str) -> Vec<String> {
+        self.tokenize(cell).into_iter().map(|t| t.text).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::{NumericClass, TokenKind};
+
+    fn texts(toks: &[Token]) -> Vec<&str> {
+        toks.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn words_are_normalized() {
+        let t = Tokenizer::default();
+        assert_eq!(texts(&t.tokenize("Student Enrollment")), vec!["student", "enrollment"]);
+    }
+
+    #[test]
+    fn parens_and_slashes_split() {
+        let t = Tokenizer::default();
+        assert_eq!(
+            texts(&t.tokenize("Age, median (IQR), months")),
+            vec!["age", "median", "iqr", "months"]
+        );
+        assert_eq!(texts(&t.tokenize("male/female")), vec!["male", "female"]);
+    }
+
+    #[test]
+    fn numerics_collapse_to_class_tokens() {
+        let t = Tokenizer::default();
+        assert_eq!(texts(&t.tokenize("14,373")), vec!["<bigint>"]);
+        assert_eq!(texts(&t.tokenize("96.7%")), vec!["<pct>"]);
+        assert_eq!(texts(&t.tokenize("21.6 (7.2-53.8)")), vec!["<dec>", "<range>"]);
+    }
+
+    #[test]
+    fn numerics_survive_when_collapse_disabled() {
+        let t = Tokenizer::new(TokenizerConfig { collapse_numerics: false, min_token_len: 1 });
+        assert_eq!(texts(&t.tokenize("96.7%")), vec!["96.7%"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only_cells_yield_nothing() {
+        let t = Tokenizer::default();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("   ").is_empty());
+        assert!(t.tokenize("—").is_empty());
+        assert!(t.tokenize("()").is_empty());
+    }
+
+    #[test]
+    fn mixed_alnum_tokens_are_marked_mixed() {
+        let t = Tokenizer::default();
+        let toks = t.tokenize("COVID19 study");
+        assert_eq!(toks[0].kind, TokenKind::Mixed);
+        assert_eq!(toks[0].text, "covid19");
+        assert_eq!(toks[1].kind, TokenKind::Word);
+    }
+
+    #[test]
+    fn min_token_len_filters_words_not_numbers() {
+        let t = Tokenizer::new(TokenizerConfig { collapse_numerics: true, min_token_len: 3 });
+        let toks = t.tokenize("no of 7 days");
+        // "no"/"of" dropped (len<3), 7 collapses, "days" kept.
+        assert_eq!(texts(&toks), vec!["<int>", "days"]);
+    }
+
+    #[test]
+    fn realistic_paper_row() {
+        let t = Tokenizer::default();
+        let toks = t.tokenize("Stony Brook 138 58 80");
+        assert_eq!(texts(&toks), vec!["stony", "brook", "<bigint>", "<int>", "<int>"]);
+        assert!(matches!(toks[2].kind, TokenKind::Numeric(NumericClass::LargeInt)));
+    }
+
+    #[test]
+    fn reusable_buffer_appends() {
+        let t = Tokenizer::default();
+        let mut buf = Vec::new();
+        t.tokenize_into("alpha", &mut buf);
+        t.tokenize_into("beta", &mut buf);
+        assert_eq!(texts(&buf), vec!["alpha", "beta"]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Term vocabulary: interning, frequency counting, min-count filtering.
+//!
+//! The Word2Vec configuration in the paper uses `min_count = 1` (§IV-C); we
+//! keep that the default but support higher thresholds for the large
+//! synthetic corpora. Term ids are dense `u32`s indexing straight into the
+//! embedding matrices.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense identifier of an interned term.
+pub type TermId = u32;
+
+/// An interned term vocabulary with frequency counts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    counts: Vec<u64>,
+    index: HashMap<String, TermId>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Total token occurrences recorded (sum of counts).
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Record one occurrence of `term`, interning it if new.
+    pub fn add(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.index.get(term) {
+            self.counts[id as usize] += 1;
+            return id;
+        }
+        let id = self.terms.len() as TermId;
+        self.terms.push(term.to_string());
+        self.counts.push(1);
+        self.index.insert(term.to_string(), id);
+        id
+    }
+
+    /// Intern `term` without counting an occurrence (used to pre-seed the
+    /// numeric class tokens so they always exist).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.index.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as TermId;
+        self.terms.push(term.to_string());
+        self.counts.push(0);
+        self.index.insert(term.to_string(), id);
+        id
+    }
+
+    /// Look up a term's id.
+    pub fn id(&self, term: &str) -> Option<TermId> {
+        self.index.get(term).copied()
+    }
+
+    /// Look up a term by id.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id as usize]
+    }
+
+    /// Occurrence count of a term id.
+    pub fn count(&self, id: TermId) -> u64 {
+        self.counts[id as usize]
+    }
+
+    /// Iterate `(id, term, count)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str, u64)> {
+        self.terms
+            .iter()
+            .zip(&self.counts)
+            .enumerate()
+            .map(|(i, (t, &c))| (i as TermId, t.as_str(), c))
+    }
+
+    /// Build a new vocabulary keeping only terms with `count >= min_count`,
+    /// preserving relative order. Returns the filtered vocabulary and a
+    /// remapping `old_id -> Option<new_id>`.
+    pub fn filter_min_count(&self, min_count: u64) -> (Vocabulary, Vec<Option<TermId>>) {
+        let mut out = Vocabulary::new();
+        let mut remap = vec![None; self.terms.len()];
+        for (id, term, count) in self.iter() {
+            if count >= min_count {
+                let new_id = out.terms.len() as TermId;
+                out.terms.push(term.to_string());
+                out.counts.push(count);
+                out.index.insert(term.to_string(), new_id);
+                remap[id as usize] = Some(new_id);
+            }
+        }
+        (out, remap)
+    }
+
+    /// Counts as a slice (for building negative-sampling tables).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_counts_and_interns() {
+        let mut v = Vocabulary::new();
+        let a = v.add("age");
+        let b = v.add("sex");
+        let a2 = v.add("age");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.count(a), 2);
+        assert_eq!(v.count(b), 1);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.total_count(), 3);
+    }
+
+    #[test]
+    fn intern_does_not_count() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("<pct>");
+        assert_eq!(v.count(id), 0);
+        v.add("<pct>");
+        assert_eq!(v.count(id), 1);
+    }
+
+    #[test]
+    fn term_and_id_roundtrip() {
+        let mut v = Vocabulary::new();
+        let id = v.add("enrollment");
+        assert_eq!(v.term(id), "enrollment");
+        assert_eq!(v.id("enrollment"), Some(id));
+        assert_eq!(v.id("missing"), None);
+    }
+
+    #[test]
+    fn min_count_filter_remaps() {
+        let mut v = Vocabulary::new();
+        let a = v.add("common");
+        v.add("common");
+        v.add("common");
+        let r = v.add("rare");
+        let (filtered, remap) = v.filter_min_count(2);
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered.term(0), "common");
+        assert_eq!(remap[a as usize], Some(0));
+        assert_eq!(remap[r as usize], None);
+        assert_eq!(filtered.count(0), 3, "counts survive filtering");
+    }
+
+    #[test]
+    fn filter_with_min_count_one_is_identity_shaped() {
+        let mut v = Vocabulary::new();
+        v.add("x");
+        v.add("y");
+        let (f, remap) = v.filter_min_count(1);
+        assert_eq!(f.len(), 2);
+        assert!(remap.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut v = Vocabulary::new();
+        v.add("a");
+        v.add("b");
+        v.add("a");
+        let rows: Vec<_> = v.iter().map(|(id, t, c)| (id, t.to_string(), c)).collect();
+        assert_eq!(rows, vec![(0, "a".to_string(), 2), (1, "b".to_string(), 1)]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut v = Vocabulary::new();
+        v.add("alpha");
+        v.add("beta");
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Vocabulary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id("alpha"), v.id("alpha"));
+        assert_eq!(back.len(), v.len());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the text layer: tokenization totality, normalization
+//! idempotence, numeric classification stability.
+
+use proptest::prelude::*;
+use tabmeta_text::{classify_numeric, normalize_word, NumericClass, Tokenizer, TokenizerConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tokenizer never panics and never emits empty tokens, for any
+    /// input string.
+    #[test]
+    fn tokenizer_total_and_nonempty(s in "\\PC{0,64}") {
+        let tok = Tokenizer::default();
+        for t in tok.tokenize(&s) {
+            prop_assert!(!t.text.is_empty(), "empty token from {s:?}");
+        }
+    }
+
+    /// Normalization is idempotent: normalizing twice equals once.
+    #[test]
+    fn normalize_is_idempotent(s in "\\PC{0,32}") {
+        let once = normalize_word(&s);
+        let twice = normalize_word(&once);
+        prop_assert_eq!(&once, &twice);
+    }
+
+    /// Normalized words carry no uppercase and no non-alphanumeric edges
+    /// (interior punctuation is the tokenizer's splitting job, not
+    /// normalization's).
+    #[test]
+    fn normalized_words_are_clean(s in "\\PC{0,32}") {
+        let n = normalize_word(&s);
+        // Characters with no Unicode lowercase mapping (e.g. mathematical
+        // capitals) stay as-is; every mappable character must be lowered.
+        prop_assert!(
+            !n.chars().any(|c| c.to_lowercase().next() != Some(c)),
+            "{n:?}"
+        );
+        if let (Some(first), Some(last)) = (n.chars().next(), n.chars().last()) {
+            prop_assert!(first.is_alphanumeric() && last.is_alphanumeric(), "{n:?}");
+        }
+    }
+
+    /// classify_numeric never panics and classifies every pure-digit
+    /// string as numeric.
+    #[test]
+    fn digits_are_numeric(n in 0u64..1_000_000_000) {
+        let s = n.to_string();
+        prop_assert!(classify_numeric(&s).is_some(), "{s}");
+    }
+
+    /// Thousands grouping never changes the class away from numeric.
+    #[test]
+    fn grouped_integers_are_numeric(n in 1000u64..100_000_000) {
+        let plain = n.to_string();
+        // Insert separators every 3 digits from the right.
+        let bytes: Vec<char> = plain.chars().collect();
+        let mut grouped = String::new();
+        for (i, c) in bytes.iter().enumerate() {
+            if i > 0 && (bytes.len() - i).is_multiple_of(3) {
+                grouped.push(',');
+            }
+            grouped.push(*c);
+        }
+        prop_assert!(classify_numeric(&grouped).is_some(), "{grouped}");
+    }
+
+    /// Numeric collapse means every numeric surface form of the same class
+    /// maps to the same token text.
+    #[test]
+    fn class_tokens_unify_numerics(a in 100u32..99_999, b in 100u32..99_999) {
+        let tok = Tokenizer::default();
+        let ta = tok.tokenize(&a.to_string());
+        let tb = tok.tokenize(&b.to_string());
+        prop_assert_eq!(ta.len(), 1);
+        prop_assert_eq!(tb.len(), 1);
+        if classify_numeric(&a.to_string()) == classify_numeric(&b.to_string()) {
+            prop_assert_eq!(&ta[0].text, &tb[0].text);
+        }
+    }
+}
+
+#[test]
+fn collapse_can_be_disabled() {
+    let raw = Tokenizer::new(TokenizerConfig { collapse_numerics: false, min_token_len: 1 });
+    let toks = raw.tokenize("14,373 patients");
+    assert_eq!(toks[0].text, "14,373", "raw numeral survives when collapse is off");
+    let collapsing = Tokenizer::default();
+    assert_eq!(collapsing.tokenize("14,373 patients")[0].text, "<bigint>");
+}
+
+#[test]
+fn paper_example_cells_tokenize_as_documented() {
+    let tok = Tokenizer::default();
+    let texts: Vec<String> = tok
+        .tokenize("Age, median (IQR), months 21.6 (7.2-53.8)")
+        .into_iter()
+        .map(|t| t.text)
+        .collect();
+    assert!(texts.contains(&"age".to_string()));
+    assert!(texts.contains(&"median".to_string()));
+    assert!(texts.contains(&"<dec>".to_string()));
+    assert!(texts.contains(&"<range>".to_string()));
+}
+
+#[test]
+fn numeric_classes_cover_paper_surfaces() {
+    assert_eq!(classify_numeric("96.7%"), Some(NumericClass::Percent));
+    assert_eq!(classify_numeric("14,373"), Some(NumericClass::LargeInt));
+    assert_eq!(classify_numeric("12 to 15"), Some(NumericClass::Range));
+    assert_eq!(classify_numeric("≥30"), Some(NumericClass::Range));
+    assert_eq!(classify_numeric("2020"), Some(NumericClass::Year));
+    assert_eq!(classify_numeric("$1,200"), Some(NumericClass::Currency));
+    assert_eq!(classify_numeric("21.6"), Some(NumericClass::Decimal));
+    assert_eq!(classify_numeric("61"), Some(NumericClass::SmallInt));
+    assert_eq!(classify_numeric("New York"), None);
+}

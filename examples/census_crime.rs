@@ -1,0 +1,76 @@
+//! Domain scenario 2 — government statistics (SAUS & CIUS): these corpora
+//! ship **no HTML markup at all**, so the bootstrap phase must fall back
+//! to the first-row/first-column positional heuristic (§III-B). This
+//! example shows the weak labels that fallback produces, then the final
+//! classification accuracy it still achieves — plus a comparison against
+//! the Pytheas baseline trained on annotated tables.
+//!
+//! ```sh
+//! cargo run --release --example census_crime
+//! ```
+
+use tabmeta::baselines::{Pytheas, PytheasConfig, TableClassifier};
+use tabmeta::contrastive::{BootstrapLabeler, Pipeline, PipelineConfig};
+use tabmeta::corpora::{CorpusKind, GeneratorConfig};
+use tabmeta::eval::{standard_keys, LevelKey, LevelScores};
+use tabmeta::tabular::Axis;
+
+fn main() {
+    for kind in [CorpusKind::Saus, CorpusKind::Cius] {
+        let corpus = kind.generate(&GeneratorConfig { n_tables: 400, seed: 11 });
+        assert!(
+            corpus.tables.iter().all(|t| !t.has_markup),
+            "government corpora carry no markup"
+        );
+        let cut = corpus.len() * 7 / 10;
+        let (train, test) = corpus.tables.split_at(cut);
+        println!("=== {} ({} tables, zero markup) ===", kind.name(), corpus.len());
+
+        // What the positional fallback sees on one table.
+        let labeler = BootstrapLabeler::default();
+        let sample = &train[0];
+        let weak = labeler.label(sample);
+        assert!(!weak.from_markup);
+        println!(
+            "  fallback weak labels on table {}: {} metadata rows, {} metadata columns",
+            sample.id,
+            weak.metadata_indices(Axis::Row).len(),
+            weak.metadata_indices(Axis::Column).len()
+        );
+
+        // Unsupervised training on those weak labels alone.
+        let pipeline =
+            Pipeline::train(train, &PipelineConfig::fast_seeded(11)).expect("trains");
+        let ours =
+            LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
+
+        // Pytheas needs the annotations the paper charges it for.
+        let pytheas = Pytheas::train(train, PytheasConfig::default());
+        let base = LevelScores::evaluate(test, standard_keys(), |t| {
+            pytheas.classify_table(t).into()
+        });
+
+        println!("  held-out accuracy (ours | Pytheas):");
+        for k in 1..=3u8 {
+            let key = LevelKey::Hmd(k);
+            if ours.support(key).unwrap_or(0) < 5 {
+                continue;
+            }
+            let o = ours.level_accuracy(key).unwrap() * 100.0;
+            let p = base
+                .level_accuracy(key)
+                .map(|a| format!("{:5.1}%", a * 100.0))
+                .unwrap_or_else(|| "    -".into());
+            println!("    HMD{k}: {o:5.1}% | {p}   (Pytheas reports one level only)");
+        }
+        for k in 1..=3u8 {
+            let key = LevelKey::Vmd(k);
+            if ours.support(key).unwrap_or(0) < 5 {
+                continue;
+            }
+            let o = ours.level_accuracy(key).unwrap() * 100.0;
+            println!("    VMD{k}: {o:5.1}% |     -   (Pytheas has no VMD support)");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: train the unsupervised pipeline on a small corpus and
+//! classify a table with hierarchical metadata.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tabmeta::contrastive::{Pipeline, PipelineConfig};
+use tabmeta::corpora::{CorpusKind, GeneratorConfig};
+
+fn main() {
+    // 1. A corpus. Here: the synthetic stand-in for CKG (PubMed tables,
+    //    the paper's deepest-structured corpus). Swap in your own
+    //    `Vec<Table>` — no labels required.
+    let corpus = CorpusKind::Ckg.generate(&GeneratorConfig::small(42));
+    println!("corpus: {} tables from {}", corpus.len(), corpus.name);
+
+    // 2. Train. Fully unsupervised: term embeddings + bootstrap weak
+    //    labels from markup (or positional fallback) + contrastive
+    //    fine-tuning + centroid angle ranges.
+    let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(42))
+        .expect("training succeeds on a non-empty corpus");
+    let s = pipeline.summary();
+    println!(
+        "trained: {} sentences, {} SGNS pairs, {} tables bootstrapped from markup",
+        s.sentences, s.sgns_pairs, s.markup_bootstrapped
+    );
+
+    // 3. Classify. Each row and column gets an HMD/VMD/CMD/Data label and
+    //    the hierarchical metadata depth falls out of the angle walk.
+    let table = corpus
+        .tables
+        .iter()
+        .find(|t| {
+            let truth = t.truth.as_ref().unwrap();
+            truth.hmd_depth() >= 2 && truth.vmd_depth() >= 2
+        })
+        .expect("CKG contains deep tables");
+    let verdict = pipeline.classify(table);
+    println!(
+        "\ntable {}: predicted HMD depth {} / VMD depth {}",
+        table.id, verdict.hmd_depth, verdict.vmd_depth
+    );
+    for (i, label) in verdict.rows.iter().enumerate().take(6) {
+        let texts = table.level_texts(tabmeta::tabular::Axis::Row, i);
+        let preview: Vec<&str> = texts.into_iter().take(4).collect();
+        println!("  row {i}: {label:<5} | {}", preview.join(" · "));
+    }
+    for (j, label) in verdict.columns.iter().enumerate().take(5) {
+        println!("  col {j}: {label}");
+    }
+
+    // 4. The trained geometry (paper Tables I-IV are views of this).
+    let c = pipeline.centroids();
+    println!(
+        "\ncentroid ranges (rows): C_MDE={:.0}-{:.0}°  C_DE={:.0}-{:.0}°  C_MDE-DE={:.0}-{:.0}°",
+        c.rows.c_mde.lo,
+        c.rows.c_mde.hi,
+        c.rows.c_de.lo,
+        c.rows.c_de.hi,
+        c.rows.c_mde_de.lo,
+        c.rows.c_mde_de.hi
+    );
+}

@@ -1,0 +1,357 @@
+//! `tabmeta` — command-line front end for the pipeline.
+//!
+//! ```sh
+//! tabmeta generate --corpus ckg --tables 500 --seed 42 --out corpus.jsonl
+//! tabmeta train    --corpus corpus.jsonl --seed 42 --out model.json
+//! tabmeta train    --csv-dir ./tables/ --out model.json
+//! tabmeta classify --model model.json --csv table.csv
+//! tabmeta classify --model model.json --corpus corpus.jsonl --score
+//! tabmeta inspect  --model model.json
+//! tabmeta stats    --corpus corpus.jsonl
+//! tabmeta reproduce --artifact table5 [--tables N] [--seed S]
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--flag value` pairs) to stay inside
+//! the workspace's dependency budget.
+
+use std::fs;
+use std::process::ExitCode;
+use tabmeta::contrastive::{Pipeline, PipelineConfig};
+use tabmeta::corpora::{CorpusKind, GeneratorConfig};
+use tabmeta::eval::{standard_keys, LevelKey, LevelScores};
+use tabmeta::tabular::{csv, Corpus};
+
+/// Minimal `--key value` argument map.
+struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = raw.iter();
+        while let Some(key) = it.next() {
+            let Some(name) = key.strip_prefix("--") else {
+                return Err(format!("expected --flag, got '{key}'"));
+            };
+            match name {
+                // Boolean flags.
+                "score" => pairs.push((name.to_string(), "true".to_string())),
+                _ => {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    pairs.push((name.to_string(), value.clone()));
+                }
+            }
+        }
+        Ok(Args { pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    fn u64_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} must be an integer")),
+        }
+    }
+}
+
+fn corpus_kind(name: &str) -> Result<CorpusKind, String> {
+    CorpusKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let names: Vec<&str> = CorpusKind::ALL.iter().map(|k| k.name()).collect();
+            format!("unknown corpus '{name}' (expected one of {})", names.join(", "))
+        })
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let kind = corpus_kind(args.require("corpus")?)?;
+    let n_tables = args.u64_or("tables", 500)? as usize;
+    let seed = args.u64_or("seed", 42)?;
+    let out = args.require("out")?;
+    let corpus = kind.generate(&GeneratorConfig { n_tables, seed });
+    let file = fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
+    corpus.write_jsonl(file).map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {} tables of {} to {out}", corpus.len(), kind.name());
+    Ok(())
+}
+
+fn load_corpus(path: &str) -> Result<Corpus, String> {
+    let file = fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    Corpus::read_jsonl(path, std::io::BufReader::new(file))
+        .map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let corpus = if let Some(dir) = args.get("csv-dir") {
+        let (corpus, failures) =
+            Corpus::from_csv_dir(dir, std::path::Path::new(dir))
+                .map_err(|e| format!("read {dir}: {e}"))?;
+        for (path, err) in &failures {
+            eprintln!("skipped {}: {err}", path.display());
+        }
+        if corpus.is_empty() {
+            return Err(format!("no parseable CSV files in {dir}"));
+        }
+        corpus
+    } else {
+        load_corpus(args.require("corpus")?)?
+    };
+    let seed = args.u64_or("seed", 42)?;
+    let out = args.require("out")?;
+    let config = match args.get("config").unwrap_or("fast") {
+        "fast" => PipelineConfig::fast_seeded(seed),
+        "paper" => PipelineConfig::paper(seed),
+        other => return Err(format!("unknown --config '{other}' (fast|paper)")),
+    };
+    let t0 = std::time::Instant::now();
+    let pipeline =
+        Pipeline::train(&corpus.tables, &config).map_err(|e| e.to_string())?;
+    let s = pipeline.summary();
+    println!(
+        "trained in {:.1}s: {} sentences, {} SGNS pairs, {} markup-bootstrapped tables",
+        t0.elapsed().as_secs_f64(),
+        s.sentences,
+        s.sgns_pairs,
+        s.markup_bootstrapped
+    );
+    fs::write(out, pipeline.to_json()).map_err(|e| format!("write {out}: {e}"))?;
+    println!("model saved to {out}");
+    Ok(())
+}
+
+fn cmd_classify(args: &Args) -> Result<(), String> {
+    let model_path = args.require("model")?;
+    let json = fs::read_to_string(model_path)
+        .map_err(|e| format!("read {model_path}: {e}"))?;
+    let pipeline = Pipeline::from_json(&json).map_err(|e| format!("parse model: {e}"))?;
+
+    if let Some(path) = args.get("csv") {
+        let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let table = csv::table_from_csv(0, path, &text).map_err(|e| e.to_string())?;
+        let v = pipeline.classify(&table);
+        println!("HMD depth {}, VMD depth {}", v.hmd_depth, v.vmd_depth);
+        for (i, label) in v.rows.iter().enumerate() {
+            println!("row {i}: {label}");
+        }
+        for (j, label) in v.columns.iter().enumerate() {
+            println!("col {j}: {label}");
+        }
+        return Ok(());
+    }
+
+    let corpus = load_corpus(args.require("corpus")?)?;
+    let verdicts = pipeline.classify_corpus(&corpus.tables);
+    if args.get("score").is_some() {
+        let scores = LevelScores::evaluate(&corpus.tables, standard_keys(), |t| {
+            let i = corpus.tables.iter().position(|x| std::ptr::eq(x, t)).unwrap();
+            verdicts[i].clone().into()
+        });
+        println!("per-level accuracy over {} tables:", corpus.len());
+        for k in 1..=5u8 {
+            report_level(&scores, LevelKey::Hmd(k));
+        }
+        for k in 1..=3u8 {
+            report_level(&scores, LevelKey::Vmd(k));
+        }
+    } else {
+        for (t, v) in corpus.tables.iter().zip(&verdicts) {
+            println!("table {}: HMD depth {}, VMD depth {}", t.id, v.hmd_depth, v.vmd_depth);
+        }
+    }
+    Ok(())
+}
+
+fn report_level(scores: &LevelScores, key: LevelKey) {
+    if let (Some(acc), Some(n)) = (scores.level_accuracy(key), scores.support(key)) {
+        if n >= 5 {
+            println!("  {key}: {:5.1}%  (n={n})", acc * 100.0);
+        }
+    }
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let corpus = load_corpus(args.require("corpus")?)?;
+    let s = corpus.stats();
+    println!("{}: {} tables, {} cells", corpus.name, s.tables, s.cells);
+    println!("  with markup: {}", s.with_markup);
+    for k in 1..=5u8 {
+        let n = s.hmd_at_least(k);
+        if n > 0 {
+            println!("  HMD depth ≥ {k}: {n}");
+        }
+    }
+    for k in 1..=3u8 {
+        let n = s.vmd_at_least(k);
+        if n > 0 {
+            println!("  VMD depth ≥ {k}: {n}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_reproduce(args: &Args) -> Result<(), String> {
+    use tabmeta::corpora::CorpusKind;
+    use tabmeta::eval::experiments::{accuracy, centroids, cmd as cmd_exp, llm, runtime};
+    use tabmeta::eval::ExperimentConfig;
+    let config = ExperimentConfig {
+        tables_per_corpus: args.u64_or("tables", 400)? as usize,
+        seed: args.u64_or("seed", 2025)?,
+    };
+    let artifact = args.get("artifact").unwrap_or("table5");
+    let deep = [CorpusKind::Ckg, CorpusKind::Cord19, CorpusKind::Cius, CorpusKind::Saus];
+    match artifact {
+        "table1" => {
+            let c = centroids::run(&deep, &config);
+            println!("{}", centroids::render("TABLE I", &c.table1, true));
+        }
+        "table2" => {
+            let c = centroids::run(&CorpusKind::ALL, &config);
+            println!("{}", centroids::render("TABLE II", &c.table2, false));
+        }
+        "table3" => {
+            let c = centroids::run(&CorpusKind::ALL, &config);
+            println!("{}", centroids::render("TABLE III", &c.table3, false));
+        }
+        "table4" => {
+            let c = centroids::run(&deep, &config);
+            println!("{}", centroids::render("TABLE IV", &c.table4, true));
+        }
+        "table5" => {
+            let r = accuracy::run(&CorpusKind::ALL, &config);
+            println!("{}", accuracy::render_table5(&r));
+        }
+        "table6" => println!("{}", llm::render_table6(&llm::run(&config))),
+        "fig6" => {
+            let r = accuracy::run(&CorpusKind::ALL, &config);
+            println!("{}", accuracy::render_figure("Fig. 6", &accuracy::fig6(&r)));
+        }
+        "fig7" => {
+            let r = accuracy::run(&CorpusKind::ALL, &config);
+            println!("{}", accuracy::render_figure("Fig. 7", &accuracy::fig7(&r)));
+        }
+        "runtime" => {
+            let cost = runtime::training_cost(CorpusKind::Ckg, &config);
+            let scaling = runtime::inference_scaling(&config);
+            println!("{}", runtime::render(&cost, &scaling));
+        }
+        "cmd" => {
+            let scores = cmd_exp::run(CorpusKind::Ckg, &config);
+            println!("{}", cmd_exp::render(CorpusKind::Ckg, &scores));
+        }
+        other => {
+            return Err(format!(
+                "unknown --artifact '{other}' (table1-6, fig6, fig7, runtime, cmd); for everything, run `cargo run --release --example reproduce_all`"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args) -> Result<(), String> {
+    let model_path = args.require("model")?;
+    let json = fs::read_to_string(model_path)
+        .map_err(|e| format!("read {model_path}: {e}"))?;
+    let pipeline = Pipeline::from_json(&json).map_err(|e| format!("parse model: {e}"))?;
+    let c = pipeline.centroids();
+    for (name, ax) in [("rows (HMD)", &c.rows), ("columns (VMD)", &c.columns)] {
+        println!("{name}:");
+        println!("  C_MDE    = {:.1}° – {:.1}°", ax.c_mde.lo, ax.c_mde.hi);
+        println!("  C_DE     = {:.1}° – {:.1}°", ax.c_de.lo, ax.c_de.hi);
+        println!("  C_MDE-DE = {:.1}° – {:.1}°", ax.c_mde_de.lo, ax.c_mde_de.hi);
+        for l in &ax.levels {
+            println!(
+                "  level {}: Δprev={}  Δ→data={}  (support {})",
+                l.level,
+                l.delta_prev_meta.map(|x| format!("{x:.0}°")).unwrap_or_else(|| "-".into()),
+                l.delta_to_data.map(|x| format!("{x:.0}°")).unwrap_or_else(|| "-".into()),
+                l.support
+            );
+        }
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage:
+  tabmeta generate --corpus <name> [--tables N] [--seed S] --out corpus.jsonl
+  tabmeta train    (--corpus corpus.jsonl | --csv-dir DIR) [--seed S] [--config fast|paper] --out model.json
+  tabmeta classify --model model.json (--csv table.csv | --corpus corpus.jsonl [--score])
+  tabmeta inspect  --model model.json
+  tabmeta stats    --corpus corpus.jsonl
+  tabmeta reproduce [--artifact table1|…|table6|fig6|fig7|runtime|cmd] [--tables N] [--seed S]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest).and_then(|args| match command.as_str() {
+        "generate" => cmd_generate(&args),
+        "train" => cmd_train(&args),
+        "classify" => cmd_classify(&args),
+        "inspect" => cmd_inspect(&args),
+        "stats" => cmd_stats(&args),
+        "reproduce" => cmd_reproduce(&args),
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn args_parse_flag_value_pairs() {
+        let a = Args::parse(&strs(&["--corpus", "x.jsonl", "--seed", "7"])).unwrap();
+        assert_eq!(a.require("corpus").unwrap(), "x.jsonl");
+        assert_eq!(a.u64_or("seed", 1).unwrap(), 7);
+        assert_eq!(a.u64_or("tables", 500).unwrap(), 500, "default applies");
+    }
+
+    #[test]
+    fn boolean_score_flag_needs_no_value() {
+        let a = Args::parse(&strs(&["--score", "--model", "m.json"])).unwrap();
+        assert!(a.get("score").is_some());
+        assert_eq!(a.require("model").unwrap(), "m.json");
+    }
+
+    #[test]
+    fn bad_args_are_errors() {
+        assert!(Args::parse(&strs(&["corpus"])).is_err(), "missing --");
+        assert!(Args::parse(&strs(&["--seed"])).is_err(), "missing value");
+        let a = Args::parse(&strs(&["--seed", "x"])).unwrap();
+        assert!(a.u64_or("seed", 1).is_err(), "non-integer");
+        assert!(a.require("absent").is_err());
+    }
+
+    #[test]
+    fn corpus_names_resolve_case_insensitively() {
+        assert!(corpus_kind("ckg").is_ok());
+        assert!(corpus_kind("CORD-19").is_ok());
+        assert!(corpus_kind("PUBTABLES").is_ok());
+        let err = corpus_kind("nope").unwrap_err();
+        assert!(err.contains("WDC"), "error lists valid names: {err}");
+    }
+}

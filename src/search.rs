@@ -1,0 +1,288 @@
+//! Metadata-aware structural search over a classified corpus.
+//!
+//! The related-work section motivates the whole problem with table
+//! discovery: *"Structural search in data lakes could make table search
+//! and discovery more precise and accurate compared to just
+//! keyword-search … that usually blindly treats all table sections as
+//! data."* This module is that payoff: classify once, index terms by the
+//! **structural role** they play (HMD level, VMD level, CMD, data), and
+//! answer role-scoped queries.
+
+use crate::contrastive::Verdict;
+use crate::tabular::{LevelLabel, Table};
+use crate::text::Tokenizer;
+use std::collections::HashMap;
+
+/// The structural role a term occurrence plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Column-header term at any HMD level.
+    Hmd,
+    /// Row-header term at any VMD level.
+    Vmd,
+    /// Section-header term.
+    Cmd,
+    /// Ordinary data value.
+    Data,
+}
+
+/// One search hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hit {
+    /// Table identifier.
+    pub table_id: u64,
+    /// Role the matched term plays there.
+    pub role: Role,
+    /// Number of matching occurrences in that role.
+    pub occurrences: usize,
+}
+
+/// Inverted index from terms to (table, role) postings.
+#[derive(Debug, Default)]
+pub struct MetadataIndex {
+    postings: HashMap<String, HashMap<(u64, Role), usize>>,
+    tables: usize,
+}
+
+impl MetadataIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed tables.
+    pub fn len(&self) -> usize {
+        self.tables
+    }
+
+    /// Whether nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tables == 0
+    }
+
+    /// Number of distinct indexed terms.
+    pub fn n_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Index one classified table.
+    pub fn add(&mut self, table: &Table, verdict: &Verdict, tokenizer: &Tokenizer) {
+        assert_eq!(verdict.rows.len(), table.n_rows(), "verdict shape mismatch");
+        assert_eq!(verdict.columns.len(), table.n_cols(), "verdict shape mismatch");
+        let mut buf = Vec::new();
+        for r in 0..table.n_rows() {
+            for c in 0..table.n_cols() {
+                let cell = table.cell(r, c);
+                if cell.is_blank() {
+                    continue;
+                }
+                // Row labels take precedence (a VMD cell inside an HMD row
+                // is the corner; header wins), then column labels.
+                let role = match (verdict.rows[r], verdict.columns[c]) {
+                    (LevelLabel::Hmd(_), _) => Role::Hmd,
+                    (LevelLabel::Cmd, _) => Role::Cmd,
+                    (_, LevelLabel::Vmd(_)) => Role::Vmd,
+                    _ => Role::Data,
+                };
+                buf.clear();
+                tokenizer.tokenize_into(&cell.text, &mut buf);
+                for tok in &buf {
+                    *self
+                        .postings
+                        .entry(tok.text.clone())
+                        .or_default()
+                        .entry((table.id, role))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+        self.tables += 1;
+    }
+
+    /// Build an index for a whole classified corpus.
+    pub fn build(
+        tables: &[Table],
+        verdicts: &[Verdict],
+        tokenizer: &Tokenizer,
+    ) -> MetadataIndex {
+        assert_eq!(tables.len(), verdicts.len());
+        let mut index = MetadataIndex::new();
+        for (t, v) in tables.iter().zip(verdicts) {
+            index.add(t, v, tokenizer);
+        }
+        index
+    }
+
+    /// Tables where `term` occurs in `role` (`None` = any role), sorted by
+    /// occurrence count descending then table id.
+    pub fn search(&self, term: &str, role: Option<Role>, tokenizer: &Tokenizer) -> Vec<Hit> {
+        let mut buf = Vec::new();
+        tokenizer.tokenize_into(term, &mut buf);
+        let mut merged: HashMap<(u64, Role), usize> = HashMap::new();
+        for tok in &buf {
+            if let Some(post) = self.postings.get(&tok.text) {
+                for (&key, &n) in post {
+                    if role.is_none_or(|r| r == key.1) {
+                        *merged.entry(key).or_insert(0) += n;
+                    }
+                }
+            }
+        }
+        let mut hits: Vec<Hit> = merged
+            .into_iter()
+            .map(|((table_id, role), occurrences)| Hit { table_id, role, occurrences })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.occurrences.cmp(&a.occurrences).then(a.table_id.cmp(&b.table_id))
+        });
+        hits
+    }
+
+    /// Convenience: ids of tables whose *metadata* (HMD/VMD/CMD) mentions
+    /// `term` — the precision win over blind keyword search.
+    pub fn tables_with_metadata_term(&self, term: &str, tokenizer: &Tokenizer) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .search(term, None, tokenizer)
+            .into_iter()
+            .filter(|h| h.role != Role::Data)
+            .map(|h| h.table_id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tabular::table::GroundTruth;
+
+    fn tokenizer() -> Tokenizer {
+        Tokenizer::default()
+    }
+
+    fn classified() -> (Vec<Table>, Vec<Verdict>) {
+        // Table 1: "enrollment" is a header; table 2: it is a data value.
+        let t1 = Table::from_strings(
+            1,
+            &[&["state", "enrollment"], &["ohio", "19,639"], &["utah", "9,201"]],
+        );
+        let v1 = Verdict {
+            rows: vec![LevelLabel::Hmd(1), LevelLabel::Data, LevelLabel::Data],
+            columns: vec![LevelLabel::Vmd(1), LevelLabel::Data],
+            hmd_depth: 1,
+            vmd_depth: 1,
+        };
+        let t2 = Table::from_strings(
+            2,
+            &[&["topic", "count"], &["enrollment", "5"], &["budget", "7"]],
+        );
+        let v2 = Verdict {
+            rows: vec![LevelLabel::Hmd(1), LevelLabel::Data, LevelLabel::Data],
+            columns: vec![LevelLabel::Data, LevelLabel::Data],
+            hmd_depth: 1,
+            vmd_depth: 0,
+        };
+        (vec![t1, t2], vec![v1, v2])
+    }
+
+    #[test]
+    fn role_scoped_search_separates_metadata_from_data() {
+        let (tables, verdicts) = classified();
+        let tok = tokenizer();
+        let index = MetadataIndex::build(&tables, &verdicts, &tok);
+        assert_eq!(index.len(), 2);
+        assert!(index.n_terms() > 4);
+
+        let all = index.search("enrollment", None, &tok);
+        assert_eq!(all.len(), 2, "both tables mention the term: {all:?}");
+        let meta_only = index.search("enrollment", Some(Role::Hmd), &tok);
+        assert_eq!(meta_only.len(), 1);
+        assert_eq!(meta_only[0].table_id, 1);
+
+        assert_eq!(index.tables_with_metadata_term("enrollment", &tok), vec![1]);
+    }
+
+    #[test]
+    fn vmd_terms_are_row_header_role() {
+        let (tables, verdicts) = classified();
+        let tok = tokenizer();
+        let index = MetadataIndex::build(&tables, &verdicts, &tok);
+        let hits = index.search("ohio", Some(Role::Vmd), &tok);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].table_id, 1);
+        assert!(index.search("ohio", Some(Role::Data), &tok).is_empty());
+    }
+
+    #[test]
+    fn corner_cells_count_as_header() {
+        // "state" sits in the HMD row above the VMD column — header wins.
+        let (tables, verdicts) = classified();
+        let tok = tokenizer();
+        let index = MetadataIndex::build(&tables, &verdicts, &tok);
+        let hits = index.search("state", None, &tok);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].role, Role::Hmd);
+    }
+
+    #[test]
+    fn occurrence_counts_rank_hits() {
+        let t = Table::from_strings(
+            7,
+            &[&["x", "x"], &["x", "1"]],
+        )
+        .with_truth(GroundTruth {
+            rows: vec![LevelLabel::Hmd(1), LevelLabel::Data],
+            columns: vec![LevelLabel::Data, LevelLabel::Data],
+        });
+        let v = Verdict {
+            rows: vec![LevelLabel::Hmd(1), LevelLabel::Data],
+            columns: vec![LevelLabel::Data, LevelLabel::Data],
+            hmd_depth: 1,
+            vmd_depth: 0,
+        };
+        let (mut tables, mut verdicts) = classified();
+        tables.push(t);
+        verdicts.push(v);
+        let tok = tokenizer();
+        let index = MetadataIndex::build(&tables, &verdicts, &tok);
+        let hits = index.search("x", Some(Role::Hmd), &tok);
+        assert_eq!(hits[0].table_id, 7);
+        assert_eq!(hits[0].occurrences, 2);
+    }
+
+    #[test]
+    fn end_to_end_with_trained_pipeline() {
+        use crate::contrastive::{Pipeline, PipelineConfig};
+        use crate::corpora::{CorpusKind, GeneratorConfig};
+        let corpus = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 80, seed: 21 });
+        let pipeline =
+            Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(21)).unwrap();
+        let verdicts = pipeline.classify_corpus(&corpus.tables);
+        let index =
+            MetadataIndex::build(&corpus.tables, &verdicts, pipeline.tokenizer());
+        assert_eq!(index.len(), corpus.len());
+        // Census headers mention "population"; role-scoped search finds a
+        // strict subset of blind search.
+        let tok = pipeline.tokenizer();
+        let meta = index.tables_with_metadata_term("population", tok).len();
+        let any = index.search("population", None, tok).len();
+        assert!(meta > 0, "census corpora talk about population");
+        assert!(meta <= any);
+    }
+
+    #[test]
+    #[should_panic(expected = "verdict shape mismatch")]
+    fn shape_mismatch_panics() {
+        let (tables, _) = classified();
+        let bad = Verdict {
+            rows: vec![LevelLabel::Data],
+            columns: vec![LevelLabel::Data],
+            hmd_depth: 0,
+            vmd_depth: 0,
+        };
+        let mut index = MetadataIndex::new();
+        index.add(&tables[0], &bad, &tokenizer());
+    }
+}

@@ -1,0 +1,75 @@
+//! Cross-crate integration of the baselines against the pipeline: the
+//! comparative claims of Table V / Table VI must hold when everything is
+//! wired through the real evaluation harness.
+
+use tabmeta::baselines::{LlmKind, RagStore, SimulatedLlm, TableClassifier};
+use tabmeta::corpora::CorpusKind;
+use tabmeta::eval::experiments::accuracy;
+use tabmeta::eval::ExperimentConfig;
+use tabmeta::eval::{split_corpus, train_all, LevelKey, LevelScores};
+
+#[test]
+fn table5_comparative_claims_hold() {
+    let results = accuracy::run(
+        &[CorpusKind::Ckg],
+        &ExperimentConfig { tables_per_corpus: 250, seed: 404 },
+    );
+    let r = &results[0];
+    let pytheas = &r.methods[0];
+    let tt = &r.methods[1];
+    let ours = &r.methods[2];
+
+    // Claim set from §IV-F:
+    // 1. Everyone is strong on HMD1; TT is the weakest of the three.
+    let h1 = |m: &accuracy::MethodScores| m.scores.level_accuracy(LevelKey::Hmd(1)).unwrap();
+    assert!(h1(pytheas) > 0.9);
+    assert!(h1(ours) > 0.9);
+    assert!(h1(tt) < h1(pytheas), "TT below Pytheas on HMD1");
+
+    // 2. Only our method produces any deep-level or VMD numbers at all.
+    for m in [pytheas, tt] {
+        assert_eq!(m.scores.level_accuracy(LevelKey::Vmd(1)), Some(0.0), "{}", m.method);
+    }
+    assert!(ours.scores.level_accuracy(LevelKey::Vmd(1)).unwrap() > 0.9);
+    assert!(ours.scores.level_accuracy(LevelKey::Hmd(3)).unwrap() > 0.8);
+}
+
+#[test]
+fn llms_lose_on_structure_but_win_on_flat_headers() {
+    let split = split_corpus(
+        CorpusKind::Ckg,
+        &ExperimentConfig { tables_per_corpus: 250, seed: 505 },
+    );
+    let methods = train_all(&split, &ExperimentConfig { tables_per_corpus: 250, seed: 505 });
+    let gpt4 = SimulatedLlm::new(LlmKind::Gpt4, 505);
+    let keys = tabmeta::eval::standard_keys();
+    let llm_scores = LevelScores::evaluate(&split.test, keys.clone(), |t| {
+        gpt4.classify_table(t).into()
+    });
+    let ours = LevelScores::evaluate(&split.test, keys, |t| methods.ours.classify(t).into());
+
+    let h1_llm = llm_scores.level_accuracy(LevelKey::Hmd(1)).unwrap();
+    let h1_ours = ours.level_accuracy(LevelKey::Hmd(1)).unwrap();
+    assert!(h1_llm >= h1_ours - 0.03, "LLM competitive on HMD1: {h1_llm} vs {h1_ours}");
+
+    let v2_llm = llm_scores.level_accuracy(LevelKey::Vmd(2)).unwrap();
+    let v2_ours = ours.level_accuracy(LevelKey::Vmd(2)).unwrap();
+    assert!(
+        v2_ours > v2_llm + 0.2,
+        "we dominate deep VMD: {v2_ours} vs {v2_llm}"
+    );
+}
+
+#[test]
+fn rag_store_covers_exactly_the_markup_fraction() {
+    let split = split_corpus(
+        CorpusKind::Ckg,
+        &ExperimentConfig { tables_per_corpus: 200, seed: 606 },
+    );
+    let all: Vec<_> = split.train.iter().chain(&split.test).cloned().collect();
+    let store = RagStore::build(&all);
+    let marked = all.iter().filter(|t| t.has_markup).count();
+    assert_eq!(store.len(), marked);
+    assert!(marked > all.len() / 3, "CKG has substantial markup coverage");
+    assert!(marked < all.len(), "…but not full coverage");
+}

@@ -1,0 +1,122 @@
+//! End-to-end integration: corpus generation → unsupervised training →
+//! classification → scoring, across every corpus kind — the full path a
+//! downstream user runs.
+
+use tabmeta::contrastive::{Pipeline, PipelineConfig, TrainError};
+use tabmeta::corpora::{CorpusKind, GeneratorConfig};
+use tabmeta::eval::{standard_keys, LevelKey, LevelScores};
+use tabmeta::tabular::LevelLabel;
+
+/// A pipeline trained on 70% of a corpus must classify the held-out 30%
+/// with high level-1 accuracy — on all six corpora.
+#[test]
+fn every_corpus_trains_and_classifies() {
+    for kind in CorpusKind::ALL {
+        let corpus = kind.generate(&GeneratorConfig { n_tables: 150, seed: 31 });
+        let cut = corpus.len() * 7 / 10;
+        let (train, test) = corpus.tables.split_at(cut);
+        let pipeline =
+            Pipeline::train(train, &PipelineConfig::fast_seeded(31)).expect("trains");
+        let scores =
+            LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
+        let hmd1 = scores.level_accuracy(LevelKey::Hmd(1)).expect("HMD1 exists everywhere");
+        assert!(hmd1 > 0.85, "{kind:?} HMD1 accuracy too low: {hmd1}");
+        if scores.support(LevelKey::Vmd(1)).unwrap_or(0) >= 10 {
+            let vmd1 = scores.level_accuracy(LevelKey::Vmd(1)).unwrap();
+            assert!(vmd1 > 0.8, "{kind:?} VMD1 accuracy too low: {vmd1}");
+        }
+    }
+}
+
+/// The paper's headline: deep hierarchy levels remain classifiable. On
+/// CKG (the deepest corpus) HMD3 and VMD2 must stay strong out of sample.
+#[test]
+fn deep_levels_hold_up_on_ckg() {
+    let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 400, seed: 77 });
+    let cut = corpus.len() * 7 / 10;
+    let (train, test) = corpus.tables.split_at(cut);
+    let pipeline = Pipeline::train(train, &PipelineConfig::fast_seeded(77)).unwrap();
+    let scores =
+        LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
+    let h3 = scores.level_accuracy(LevelKey::Hmd(3)).unwrap();
+    let v2 = scores.level_accuracy(LevelKey::Vmd(2)).unwrap();
+    let v3 = scores.level_accuracy(LevelKey::Vmd(3)).unwrap();
+    assert!(h3 > 0.8, "HMD3: {h3}");
+    assert!(v2 > 0.8, "VMD2: {v2}");
+    assert!(v3 > 0.7, "VMD3: {v3}");
+}
+
+/// Training never reads ground truth: stripping `truth` from the training
+/// tables must leave the trained model unchanged.
+#[test]
+fn training_is_truly_unsupervised() {
+    let corpus = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 120, seed: 5 });
+    let stripped: Vec<_> = corpus
+        .tables
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            t.truth = None;
+            t
+        })
+        .collect();
+    let with = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(5)).unwrap();
+    let without = Pipeline::train(&stripped, &PipelineConfig::fast_seeded(5)).unwrap();
+    for t in corpus.tables.iter().take(20) {
+        assert_eq!(with.classify(t), without.classify(t), "truth must not leak");
+    }
+}
+
+/// Determinism: same corpus + same seed ⇒ identical verdicts.
+#[test]
+fn training_is_deterministic() {
+    let corpus = CorpusKind::Wdc.generate(&GeneratorConfig { n_tables: 100, seed: 13 });
+    let a = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(13)).unwrap();
+    let b = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(13)).unwrap();
+    for t in corpus.tables.iter().take(25) {
+        assert_eq!(a.classify(t), b.classify(t));
+    }
+}
+
+/// Error paths: empty corpus fails cleanly.
+#[test]
+fn empty_corpus_is_a_clean_error() {
+    assert_eq!(
+        Pipeline::train(&[], &PipelineConfig::fast()).unwrap_err(),
+        TrainError::EmptyCorpus
+    );
+}
+
+/// Verdicts are structurally valid on arbitrary corpus tables: label
+/// shapes match, depths match the labels, metadata is a leading run.
+#[test]
+fn verdicts_are_structurally_consistent() {
+    let corpus = CorpusKind::Cord19.generate(&GeneratorConfig { n_tables: 150, seed: 3 });
+    let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(3)).unwrap();
+    for t in &corpus.tables {
+        let v = pipeline.classify(t);
+        assert_eq!(v.rows.len(), t.n_rows());
+        assert_eq!(v.columns.len(), t.n_cols());
+        // HMD labels form a leading run with consecutive levels.
+        let mut expected = 1u8;
+        for label in &v.rows {
+            match label {
+                LevelLabel::Hmd(k) => {
+                    assert_eq!(*k, expected, "HMD levels must be consecutive");
+                    expected += 1;
+                }
+                _ => break,
+            }
+        }
+        assert_eq!(v.hmd_depth, expected - 1);
+        // No HMD labels after the run (CMD is allowed in the body).
+        let boundary = (expected - 1) as usize;
+        for label in v.rows.iter().skip(boundary) {
+            assert!(
+                !matches!(label, LevelLabel::Hmd(_)),
+                "stray HMD label after the boundary in {:?}",
+                v.rows
+            );
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Integration of the interchange formats with generated corpora: CSV,
+//! HTML-lite and JSONL must round-trip real generated tables, including
+//! the markup the bootstrap phase depends on.
+
+use tabmeta::corpora::{CorpusKind, GeneratorConfig};
+use tabmeta::tabular::{csv, htmlite, Corpus};
+
+#[test]
+fn csv_roundtrips_every_generated_table() {
+    for kind in CorpusKind::ALL {
+        let corpus = kind.generate(&GeneratorConfig { n_tables: 40, seed: 8 });
+        for t in &corpus.tables {
+            let text = csv::to_csv(t);
+            let parsed = csv::table_from_csv(t.id, &t.caption, &text).expect("parses");
+            assert_eq!(parsed.n_rows(), t.n_rows(), "{kind:?} table {}", t.id);
+            assert_eq!(parsed.n_cols(), t.n_cols());
+            for i in 0..t.n_rows() {
+                for j in 0..t.n_cols() {
+                    assert_eq!(parsed.cell(i, j).text, t.cell(i, j).text);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn htmlite_roundtrips_markup() {
+    let corpus = CorpusKind::PubTables.generate(&GeneratorConfig { n_tables: 60, seed: 4 });
+    let mut checked = 0;
+    for t in corpus.tables.iter().filter(|t| t.has_markup) {
+        let html = htmlite::to_htmlite(t);
+        let parsed = htmlite::from_htmlite(t.id, &html).expect("parses");
+        assert_eq!(parsed.n_rows(), t.n_rows());
+        assert_eq!(parsed.n_cols(), t.n_cols());
+        for i in 0..t.n_rows() {
+            for j in 0..t.n_cols() {
+                let (a, b) = (t.cell(i, j), parsed.cell(i, j));
+                assert_eq!(a.text, b.text);
+                assert_eq!(a.markup.th, b.markup.th, "th at ({i},{j})");
+                assert_eq!(a.markup.bold, b.markup.bold, "bold at ({i},{j})");
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked > 10, "PubTables must produce marked-up tables");
+}
+
+#[test]
+fn jsonl_roundtrips_corpus_with_truth() {
+    let corpus = CorpusKind::Cius.generate(&GeneratorConfig { n_tables: 50, seed: 2 });
+    let mut buf = Vec::new();
+    corpus.write_jsonl(&mut buf).expect("serializes");
+    let back = Corpus::read_jsonl(corpus.name.clone(), buf.as_slice()).expect("parses");
+    assert_eq!(back.len(), corpus.len());
+    for (a, b) in corpus.tables.iter().zip(&back.tables) {
+        assert_eq!(a, b, "JSONL must preserve tables exactly (incl. truth)");
+    }
+}
+
+#[test]
+fn placeholder_styles_survive_the_formats() {
+    // Source styles write "-"/"n/a" placeholders; they are real cell text
+    // and must survive CSV and HTML round-trips.
+    let corpus = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 80, seed: 6 });
+    let styled = corpus
+        .tables
+        .iter()
+        .find(|t| t.all_texts().any(|x| x == "-" || x == "n/a" || x == "."))
+        .expect("some SAUS sources use placeholders");
+    let text = csv::to_csv(styled);
+    let parsed = csv::table_from_csv(styled.id, "", &text).unwrap();
+    assert!(parsed.all_texts().any(|x| x == "-" || x == "n/a" || x == "."));
+}

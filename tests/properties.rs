@@ -1,0 +1,117 @@
+//! Workspace-level property tests: invariants that must hold for *any*
+//! table, not just generated ones.
+
+use proptest::prelude::*;
+use tabmeta::baselines::{Prediction, TableClassifier};
+use tabmeta::contrastive::BootstrapLabeler;
+use tabmeta::tabular::{csv, Axis, Cell, LevelLabel, Table};
+
+/// Strategy: arbitrary rectangular tables of printable cell text.
+fn arb_table() -> impl Strategy<Value = Table> {
+    (1usize..8, 1usize..8).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            proptest::collection::vec("[ -~]{0,18}", cols..=cols),
+            rows..=rows,
+        )
+        .prop_map(|grid| {
+            let cells: Vec<Vec<Cell>> = grid
+                .into_iter()
+                .map(|r| r.into_iter().map(Cell::text).collect())
+                .collect();
+            Table::new(1, "prop", cells)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSV serialization round-trips any cell content (quoting, commas,
+    /// embedded quotes).
+    #[test]
+    fn csv_roundtrip_any_table(t in arb_table()) {
+        // CSV cannot represent fully-empty trailing rows (they are
+        // indistinguishable from trailing newlines, which the parser
+        // intentionally drops) — exclude that inherent ambiguity.
+        let last_nonempty = (0..t.n_cols())
+            .any(|j| !t.cell(t.n_rows() - 1, j).text.trim().is_empty());
+        prop_assume!(last_nonempty);
+        let text = csv::to_csv(&t);
+        let parsed = csv::table_from_csv(t.id, "", &text).expect("round-trip parses");
+        prop_assert_eq!(parsed.n_rows(), t.n_rows());
+        prop_assert_eq!(parsed.n_cols(), t.n_cols());
+        for i in 0..t.n_rows() {
+            for j in 0..t.n_cols() {
+                prop_assert_eq!(&parsed.cell(i, j).text, &t.cell(i, j).text);
+            }
+        }
+    }
+
+    /// The bootstrap labeler never panics and always produces labels of
+    /// the right shape, with HMD weak labels forming a leading run.
+    #[test]
+    fn bootstrap_is_total_and_shaped(t in arb_table()) {
+        let labels = BootstrapLabeler::default().label(&t);
+        prop_assert_eq!(labels.rows.len(), t.n_rows());
+        prop_assert_eq!(labels.columns.len(), t.n_cols());
+        let meta = labels.metadata_indices(Axis::Row);
+        for (k, idx) in meta.iter().enumerate() {
+            prop_assert_eq!(*idx, k, "weak HMD must be a leading run: {:?}", meta);
+        }
+    }
+
+    /// Transposition is an involution and swaps the axes' level counts.
+    #[test]
+    fn transpose_involution(t in arb_table()) {
+        let tt = t.transposed();
+        prop_assert_eq!(tt.n_rows(), t.n_cols());
+        prop_assert_eq!(tt.n_cols(), t.n_rows());
+        prop_assert_eq!(tt.transposed(), t);
+    }
+
+    /// Prediction depth accessors agree with the labels for any label mix.
+    #[test]
+    fn prediction_depths_consistent(
+        hmd in 0u8..6,
+        vmd in 0u8..4,
+        rows in 1usize..10,
+        cols in 1usize..10,
+    ) {
+        let hmd = hmd.min(rows as u8);
+        let vmd = vmd.min(cols as u8);
+        let mut p = Prediction {
+            rows: vec![LevelLabel::Data; rows],
+            columns: vec![LevelLabel::Data; cols],
+        };
+        for k in 0..hmd {
+            p.rows[k as usize] = LevelLabel::Hmd(k + 1);
+        }
+        for k in 0..vmd {
+            p.columns[k as usize] = LevelLabel::Vmd(k + 1);
+        }
+        prop_assert_eq!(p.hmd_depth(), hmd);
+        prop_assert_eq!(p.vmd_depth(), vmd);
+    }
+}
+
+/// A trained Pytheas model classifies arbitrary tables without panicking
+/// (totality under adversarial input, not accuracy).
+#[test]
+fn pytheas_is_total_on_weird_tables() {
+    use tabmeta::baselines::{Pytheas, PytheasConfig};
+    use tabmeta::corpora::{CorpusKind, GeneratorConfig};
+    let corpus = CorpusKind::Wdc.generate(&GeneratorConfig { n_tables: 60, seed: 1 });
+    let model = Pytheas::train(&corpus.tables, PytheasConfig::default());
+    let weird = [
+        Table::from_strings(1, &[&[""]]),
+        Table::from_strings(2, &[&["", "", ""], &["", "", ""]]),
+        Table::from_strings(3, &[&["a"]]),
+        Table::from_strings(4, &[&["1", "2", "3"]]),
+        Table::from_strings(5, &[&["🦀", "∑", "ß"], &["1", "2", "3"]]),
+    ];
+    for t in &weird {
+        let p = model.classify_table(t);
+        assert_eq!(p.rows.len(), t.n_rows());
+        assert_eq!(p.columns.len(), t.n_cols());
+    }
+}
