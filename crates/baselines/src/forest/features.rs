@@ -84,18 +84,14 @@ pub fn level_features(table: &Table, ctx: &FeatureContext, index: usize) -> [f32
     let agree = non_blank
         .iter()
         .filter(|(j, t)| {
-            ctx.majority_numeric.get(*j).copied().unwrap_or(false)
-                == classify_numeric(t).is_some()
+            ctx.majority_numeric.get(*j).copied().unwrap_or(false) == classify_numeric(t).is_some()
         })
         .count();
     let upper = non_blank
         .iter()
         .filter(|(_, t)| t.trim().chars().next().is_some_and(|c| c.is_uppercase()))
         .count();
-    let alpha = non_blank
-        .iter()
-        .filter(|(_, t)| t.chars().any(|c| c.is_alphabetic()))
-        .count();
+    let alpha = non_blank.iter().filter(|(_, t)| t.chars().any(|c| c.is_alphabetic())).count();
     let total_len: usize = non_blank.iter().map(|(_, t)| t.trim().len()).sum();
     let mut distinct: Vec<&str> = non_blank.iter().map(|(_, t)| *t).collect();
     distinct.sort_unstable();

@@ -69,9 +69,8 @@ fn best_split<const D: usize>(
     let mut best: Option<(usize, f32, f32)> = None; // (feature, threshold, gain)
     let mut order: Vec<usize> = (0..total).collect();
     for &f in candidates {
-        order.sort_by(|&a, &b| {
-            samples[a].features[f].partial_cmp(&samples[b].features[f]).unwrap()
-        });
+        order
+            .sort_by(|&a, &b| samples[a].features[f].partial_cmp(&samples[b].features[f]).unwrap());
         let mut left_pos = 0usize;
         for (k, &i) in order.iter().enumerate().take(total - 1) {
             if samples[i].label {
@@ -244,9 +243,8 @@ mod tests {
 
     #[test]
     fn constant_features_yield_leaf() {
-        let data: Vec<Sample<1>> = (0..20)
-            .map(|i| Sample { features: [1.0], label: i % 2 == 0 })
-            .collect();
+        let data: Vec<Sample<1>> =
+            (0..20).map(|i| Sample { features: [1.0], label: i % 2 == 0 }).collect();
         let refs: Vec<&Sample<1>> = data.iter().collect();
         let tree = DecisionTree::fit(&refs, &TreeConfig::default(), &mut rng());
         assert_eq!(tree.n_splits(), 0, "no boundary exists between equal values");

@@ -145,12 +145,12 @@ fn boundary_features(table: &Table, k: usize) -> [f32; N_BOUNDARY_FEATURES] {
         marked as f32 / total as f32
     };
     [
-        numeric_mass(k..n_rows),          // body should be numeric-heavy
-        1.0 - numeric_mass(0..k.max(1)),  // header should be numeric-light
-        blank_mass(0..k.max(1)),          // spanning headers leave blanks
-        markup_mass(0..k.max(1)),         // emphasis in the header region
+        numeric_mass(k..n_rows),             // body should be numeric-heavy
+        1.0 - numeric_mass(0..k.max(1)),     // header should be numeric-light
+        blank_mass(0..k.max(1)),             // spanning headers leave blanks
+        markup_mass(0..k.max(1)),            // emphasis in the header region
         (k as f32) / (n_rows.max(1) as f32), // relative boundary position
-        if k == 1 { 1.0 } else { 0.0 },   // single-row headers dominate
+        if k == 1 { 1.0 } else { 0.0 },      // single-row headers dominate
     ]
 }
 
@@ -191,9 +191,7 @@ impl LayoutDetector {
 
     fn boundary_score(&self, table: &Table, k: usize) -> f32 {
         let feats = boundary_features(table, k);
-        sigmoid(
-            self.weights.iter().zip(&feats).map(|(w, f)| w * f).sum::<f32>() + self.bias,
-        )
+        sigmoid(self.weights.iter().zip(&feats).map(|(w, f)| w * f).sum::<f32>() + self.bias)
     }
 
     /// Deterministic per-table blur: rendered-page alignment error flips
@@ -262,8 +260,8 @@ impl LayoutDetector {
         // Crop miss: the page-level table detector clipped the top row, so
         // the header region starts one row late (deterministic per table).
         let h2 = table.id.wrapping_mul(0xd6e8_feb8_6659_fd93).rotate_left(29);
-        let cropped = ((h2 % 10_000) as f32 / 10_000.0) < self.config.crop_miss
-            && table.n_rows() > k;
+        let cropped =
+            ((h2 % 10_000) as f32 / 10_000.0) < self.config.crop_miss && table.n_rows() > k;
         let row_start = usize::from(cropped);
         out.push(Detection {
             class: LayoutClass::TableColumnHeader,
@@ -351,8 +349,7 @@ mod tests {
     fn trained(kind: CorpusKind, n: usize, seed: u64) -> (LayoutDetector, Vec<Table>) {
         let corpus = kind.generate(&GeneratorConfig { n_tables: n, seed });
         let split = n * 7 / 10;
-        let model =
-            LayoutDetector::train(&corpus.tables[..split], LayoutDetectorConfig::default());
+        let model = LayoutDetector::train(&corpus.tables[..split], LayoutDetectorConfig::default());
         (model, corpus.tables[split..].to_vec())
     }
 
@@ -380,10 +377,7 @@ mod tests {
         assert!(classes.contains(&LayoutClass::TableRow));
         assert!(classes.contains(&LayoutClass::TableColumn));
         assert!(classes.contains(&LayoutClass::TableColumnHeader));
-        assert_eq!(
-            dets.iter().filter(|d| d.class == LayoutClass::TableRow).count(),
-            t.n_rows()
-        );
+        assert_eq!(dets.iter().filter(|d| d.class == LayoutClass::TableRow).count(), t.n_rows());
     }
 
     #[test]
@@ -417,17 +411,15 @@ mod tests {
         };
         let dets = model.detect(&t);
         assert!(
-            dets.iter().any(|d| d.class == LayoutClass::TableSpanningCell && d.col_end > d.col_start),
+            dets.iter()
+                .any(|d| d.class == LayoutClass::TableSpanningCell && d.col_end > d.col_start),
             "the Gender cell spans blanks: {dets:?}"
         );
     }
 
     #[test]
     fn projected_row_header_is_cmd() {
-        let t = Table::from_strings(
-            8,
-            &[&["a", "b"], &["1", "2"], &["Section", ""], &["3", "4"]],
-        );
+        let t = Table::from_strings(8, &[&["a", "b"], &["1", "2"], &["Section", ""], &["3", "4"]]);
         let model = LayoutDetector {
             weights: [1.0, 1.0, 0.5, 0.5, -0.5, 0.2],
             bias: -1.0,

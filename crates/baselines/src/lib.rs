@@ -101,9 +101,9 @@ pub trait TableClassifier {
 }
 
 pub use forest::{ForestConfig, RandomForestDetector};
-pub use positional::{PositionalBaseline, PositionalConfig};
 pub use layout::{LayoutClass, LayoutDetector, LayoutDetectorConfig};
 pub use llm::{LlmKind, RagStore, SimulatedLlm};
+pub use positional::{PositionalBaseline, PositionalConfig};
 pub use pytheas::{Pytheas, PytheasConfig};
 
 #[cfg(test)]

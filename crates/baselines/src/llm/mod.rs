@@ -172,11 +172,7 @@ impl SimulatedLlm {
         let mut hmd_rows: Vec<usize> = Vec::new();
         for level in 1..=hmd_depth.min(5) {
             let row = level - 1;
-            let mut accept = if level == 1 {
-                p.hmd1_base
-            } else {
-                p.hmd_continue[level - 2]
-            };
+            let mut accept = if level == 1 { p.hmd1_base } else { p.hmd_continue[level - 2] };
             if numeric_dominated(table, Axis::Row, row) {
                 if has_rescue_cue(table, Axis::Row, row) {
                     if rng.random::<f32>() >= p.keyword_rescue {
@@ -217,18 +213,13 @@ impl SimulatedLlm {
         }
 
         // --- CMD ----------------------------------------------------------
-        let mut cmd: Vec<usize> = cmd_rows
-            .iter()
-            .filter(|_| rng.random::<f32>() < p.cmd_recall)
-            .map(|r| r + 1)
-            .collect();
+        let mut cmd: Vec<usize> =
+            cmd_rows.iter().filter(|_| rng.random::<f32>() < p.cmd_recall).map(|r| r + 1).collect();
 
         // --- RAG corrections ----------------------------------------------
         if let Some(store) = &self.rag {
             if let Some(doc) = store.retrieve(table) {
-                if doc.header_run > hmd_rows.len()
-                    && rng.random::<f32>() < self.trust.hmd
-                {
+                if doc.header_run > hmd_rows.len() && rng.random::<f32>() < self.trust.hmd {
                     hmd_rows = (1..=doc.header_run).collect();
                 }
                 for level in vmd_cols.len() + 1..=doc.vmd_run.min(3) {
@@ -314,12 +305,8 @@ mod tests {
     fn hmd1_is_near_perfect_but_deep_levels_collapse() {
         let tables = corpus(300, 9);
         let m = SimulatedLlm::new(LlmKind::Gpt35, 2);
-        let acc1 = level_acc(
-            &m,
-            &tables,
-            |_| true,
-            |p, _| p.rows.first() == Some(&LevelLabel::Hmd(1)),
-        );
+        let acc1 =
+            level_acc(&m, &tables, |_| true, |p, _| p.rows.first() == Some(&LevelLabel::Hmd(1)));
         assert!(acc1 > 0.9, "HMD1: {acc1}");
         let acc3 = level_acc(
             &m,

@@ -47,10 +47,8 @@ fn suggestions(table: &Table) -> Retrieved {
         if non_blank == 0 {
             break;
         }
-        let tagged = cells
-            .iter()
-            .filter(|c| !c.is_blank() && (c.markup.th || c.markup.thead))
-            .count();
+        let tagged =
+            cells.iter().filter(|c| !c.is_blank() && (c.markup.th || c.markup.thead)).count();
         if tagged as f32 / non_blank as f32 >= ROW_TAG_THRESHOLD {
             header_run += 1;
         } else {
@@ -74,9 +72,7 @@ fn suggestions(table: &Table) -> Retrieved {
     let bold_rows = (header_run..n_rows)
         .filter(|&i| {
             let lead = table.cell(i, 0);
-            !lead.is_blank()
-                && lead.markup.bold
-                && (1..n_cols).all(|c| table.cell(i, c).is_blank())
+            !lead.is_blank() && lead.markup.bold && (1..n_cols).all(|c| table.cell(i, c).is_blank())
         })
         .collect();
     Retrieved { header_run, vmd_run, bold_rows }

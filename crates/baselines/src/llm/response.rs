@@ -37,8 +37,7 @@ impl ResponseSpec {
         if self.vmd_cols.is_empty() {
             out.push_str("none");
         } else {
-            let parts: Vec<String> =
-                self.vmd_cols.iter().map(|c| format!("Column {c}")).collect();
+            let parts: Vec<String> = self.vmd_cols.iter().map(|c| format!("Column {c}")).collect();
             out.push_str(&parts.join(", "));
         }
         if !self.cmd_rows.is_empty() {
@@ -76,8 +75,7 @@ fn ordinals(line: &str, keyword: &str) -> Vec<usize> {
     let mut rest = lower.as_str();
     while let Some(pos) = rest.find(&key) {
         rest = &rest[pos + key.len()..];
-        let digits: String =
-            rest.trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
+        let digits: String = rest.trim_start().chars().take_while(|c| c.is_ascii_digit()).collect();
         if let Ok(n) = digits.parse::<usize>() {
             if n >= 1 {
                 out.push(n);
@@ -139,11 +137,7 @@ mod tests {
 
     #[test]
     fn roundtrip_simple() {
-        let spec = ResponseSpec {
-            hmd_rows: vec![1, 2],
-            vmd_cols: vec![1],
-            cmd_rows: vec![5],
-        };
+        let spec = ResponseSpec { hmd_rows: vec![1, 2], vmd_cols: vec![1], cmd_rows: vec![5] };
         let text = spec.render();
         let (rows, cols) = parse_response(&text, 6, 3).unwrap();
         assert_eq!(rows[0], LevelLabel::Hmd(1));

@@ -51,8 +51,7 @@ impl TableClassifier for PositionalBaseline {
         let mut p = Prediction::all_data(table);
         p.rows[0] = LevelLabel::Hmd(1);
         if table.n_cols() > 1
-            && (!self.config.check_first_column
-                || !numeric_dominated(table, Axis::Column, 0))
+            && (!self.config.check_first_column || !numeric_dominated(table, Axis::Column, 0))
         {
             p.columns[0] = LevelLabel::Vmd(1);
         }
@@ -88,8 +87,7 @@ mod tests {
         let t = Table::from_strings(2, &[&["year", "count"], &["2001", "5"], &["2002", "7"]]);
         let p = b.classify_table(&t);
         assert_eq!(p.columns[0], LevelLabel::Data);
-        let unchecked =
-            PositionalBaseline::new(PositionalConfig { check_first_column: false });
+        let unchecked = PositionalBaseline::new(PositionalConfig { check_first_column: false });
         assert_eq!(unchecked.classify_table(&t).columns[0], LevelLabel::Vmd(1));
     }
 

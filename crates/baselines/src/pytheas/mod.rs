@@ -109,20 +109,13 @@ impl Pytheas {
             }
         }
         let s = config.smoothing;
-        let weights = fired
-            .iter()
-            .zip(&correct)
-            .map(|(f, c)| (c + s) / (f + 2.0 * s))
-            .collect();
+        let weights = fired.iter().zip(&correct).map(|(f, c)| (c + s) / (f + 2.0 * s)).collect();
         Pytheas { rules, weights, config }
     }
 
     /// Learned weight of the rule named `name` (for inspection/tests).
     pub fn rule_weight(&self, name: &str) -> Option<f32> {
-        self.rules
-            .iter()
-            .position(|r| r.name == name)
-            .map(|i| self.weights[i])
+        self.rules.iter().position(|r| r.name == name).map(|i| self.weights[i])
     }
 
     /// Classify the lines of one table: fused per-class confidences →

@@ -77,78 +77,101 @@ pub fn rule_set() -> Vec<Rule> {
     vec![
         Rule {
             name: "first_line_is_header",
-            fire: |s, _| (s.index == 0).then_some(Vote {
-                class: LineClass::Header,
-                confidence: 0.9,
-            }),
+            fire: |s, _| {
+                (s.index == 0).then_some(Vote { class: LineClass::Header, confidence: 0.9 })
+            },
         },
         Rule {
             name: "all_numeric_is_data",
-            fire: |s, _| (s.numeric_frac >= 0.99 && s.empty_frac < 0.5)
-                .then_some(Vote { class: LineClass::Data, confidence: 0.95 }),
+            fire: |s, _| {
+                (s.numeric_frac >= 0.99 && s.empty_frac < 0.5)
+                    .then_some(Vote { class: LineClass::Data, confidence: 0.95 })
+            },
         },
         Rule {
             name: "mostly_numeric_is_data",
-            fire: |s, _| (s.numeric_frac >= 0.6).then_some(Vote {
-                class: LineClass::Data,
-                confidence: 0.7,
-            }),
+            fire: |s, _| {
+                (s.numeric_frac >= 0.6).then_some(Vote { class: LineClass::Data, confidence: 0.7 })
+            },
         },
         Rule {
             name: "all_text_near_top_is_header",
-            fire: |s, _| (s.all_text && s.index < 6)
-                .then_some(Vote { class: LineClass::Header, confidence: 0.75 }),
+            fire: |s, _| {
+                (s.all_text && s.index < 6)
+                    .then_some(Vote { class: LineClass::Header, confidence: 0.75 })
+            },
         },
         Rule {
             name: "type_agreement_is_data",
-            fire: |s, _| (s.type_agreement >= 0.8 && s.index > 0 && s.empty_frac < 0.5)
-                .then_some(Vote { class: LineClass::Data, confidence: 0.6 }),
+            fire: |s, _| {
+                (s.type_agreement >= 0.8 && s.index > 0 && s.empty_frac < 0.5)
+                    .then_some(Vote { class: LineClass::Data, confidence: 0.6 })
+            },
         },
         Rule {
             name: "type_disagreement_near_top_is_header",
-            fire: |s, _| (s.type_agreement <= 0.3 && s.index < 6 && s.numeric_frac < 0.4)
-                .then_some(Vote { class: LineClass::Header, confidence: 0.65 }),
+            fire: |s, _| {
+                (s.type_agreement <= 0.3 && s.index < 6 && s.numeric_frac < 0.4)
+                    .then_some(Vote { class: LineClass::Header, confidence: 0.65 })
+            },
         },
         Rule {
             name: "lone_leading_text_is_subheader",
-            fire: |s, ctx| (s.lone_leading_text && s.index > 0 && s.index + 1 < ctx.n_lines)
-                .then_some(Vote { class: LineClass::Subheader, confidence: 0.85 }),
+            fire: |s, ctx| {
+                (s.lone_leading_text && s.index > 0 && s.index + 1 < ctx.n_lines)
+                    .then_some(Vote { class: LineClass::Subheader, confidence: 0.85 })
+            },
         },
         Rule {
             name: "agg_keyword_mid_table_is_subheader",
-            fire: |s, _| (s.has_agg_keyword && s.index > 1 && s.empty_frac >= 0.4)
-                .then_some(Vote { class: LineClass::Subheader, confidence: 0.5 }),
+            fire: |s, _| {
+                (s.has_agg_keyword && s.index > 1 && s.empty_frac >= 0.4)
+                    .then_some(Vote { class: LineClass::Subheader, confidence: 0.5 })
+            },
         },
         Rule {
             name: "upper_start_near_top_is_header",
-            fire: |s, _| (s.upper_start_frac >= 0.8 && s.index < 4 && s.numeric_frac < 0.3)
-                .then_some(Vote { class: LineClass::Header, confidence: 0.45 }),
+            fire: |s, _| {
+                (s.upper_start_frac >= 0.8 && s.index < 4 && s.numeric_frac < 0.3)
+                    .then_some(Vote { class: LineClass::Header, confidence: 0.45 })
+            },
         },
         Rule {
             name: "long_cells_is_header",
-            fire: |s, ctx| (s.mean_len > 1.8 * ctx.median_mean_len && s.numeric_frac < 0.3)
-                .then_some(Vote { class: LineClass::Header, confidence: 0.4 }),
+            fire: |s, ctx| {
+                (s.mean_len > 1.8 * ctx.median_mean_len && s.numeric_frac < 0.3)
+                    .then_some(Vote { class: LineClass::Header, confidence: 0.4 })
+            },
         },
         Rule {
             name: "deep_line_is_data",
-            fire: |s, ctx| ((s.index >= 6 || s.index * 3 > ctx.n_lines * 2)
-                && s.empty_frac < 0.5 && !s.lone_leading_text)
-                .then_some(Vote { class: LineClass::Data, confidence: 0.55 }),
+            fire: |s, ctx| {
+                ((s.index >= 6 || s.index * 3 > ctx.n_lines * 2)
+                    && s.empty_frac < 0.5
+                    && !s.lone_leading_text)
+                    .then_some(Vote { class: LineClass::Data, confidence: 0.55 })
+            },
         },
         Rule {
             name: "sparse_textual_line_is_not_plain_data",
-            fire: |s, _| (s.empty_frac >= 0.6 && s.numeric_frac < 0.2 && s.index > 0)
-                .then_some(Vote { class: LineClass::Subheader, confidence: 0.35 }),
+            fire: |s, _| {
+                (s.empty_frac >= 0.6 && s.numeric_frac < 0.2 && s.index > 0)
+                    .then_some(Vote { class: LineClass::Subheader, confidence: 0.35 })
+            },
         },
         Rule {
             name: "mixed_text_over_numeric_table_is_header",
-            fire: |s, _| (s.all_text && s.type_agreement <= 0.2 && s.index < 3)
-                .then_some(Vote { class: LineClass::Header, confidence: 0.6 }),
+            fire: |s, _| {
+                (s.all_text && s.type_agreement <= 0.2 && s.index < 3)
+                    .then_some(Vote { class: LineClass::Header, confidence: 0.6 })
+            },
         },
         Rule {
             name: "year_range_line_is_data",
-            fire: |s, _| (s.numeric_frac >= 0.4 && s.type_agreement >= 0.6)
-                .then_some(Vote { class: LineClass::Data, confidence: 0.5 }),
+            fire: |s, _| {
+                (s.numeric_frac >= 0.4 && s.type_agreement >= 0.6)
+                    .then_some(Vote { class: LineClass::Data, confidence: 0.5 })
+            },
         },
     ]
 }

@@ -102,12 +102,8 @@ pub fn line_signatures(lines: &[Vec<String>]) -> Vec<LineSignature> {
         .enumerate()
         .map(|(index, line)| {
             let types: Vec<FieldType> = line.iter().map(|f| field_type(f)).collect();
-            let non_empty: Vec<(usize, FieldType)> = types
-                .iter()
-                .copied()
-                .enumerate()
-                .filter(|(_, t)| *t != FieldType::Empty)
-                .collect();
+            let non_empty: Vec<(usize, FieldType)> =
+                types.iter().copied().enumerate().filter(|(_, t)| *t != FieldType::Empty).collect();
             let n = non_empty.len().max(1) as f32;
             let numeric = non_empty
                 .iter()
@@ -118,22 +114,15 @@ pub fn line_signatures(lines: &[Vec<String>]) -> Vec<LineSignature> {
                     )
                 })
                 .count();
-            let agree = non_empty
-                .iter()
-                .filter(|(c, t)| majority.get(*c).is_some_and(|m| m == t))
-                .count();
+            let agree =
+                non_empty.iter().filter(|(c, t)| majority.get(*c).is_some_and(|m| m == t)).count();
             let upper = non_empty
                 .iter()
-                .filter(|(c, _)| {
-                    line[*c].trim().chars().next().is_some_and(|ch| ch.is_uppercase())
-                })
+                .filter(|(c, _)| line[*c].trim().chars().next().is_some_and(|ch| ch.is_uppercase()))
                 .count();
             let total_len: usize = non_empty.iter().map(|(c, _)| line[*c].trim().len()).sum();
-            let lowered: Vec<String> =
-                line.iter().map(|f| f.trim().to_lowercase()).collect();
-            let has_agg = lowered
-                .iter()
-                .any(|f| AGG_KEYWORDS.iter().any(|k| f.contains(k)));
+            let lowered: Vec<String> = line.iter().map(|f| f.trim().to_lowercase()).collect();
+            let has_agg = lowered.iter().any(|f| AGG_KEYWORDS.iter().any(|k| f.contains(k)));
             let lone_leading_text = types.first() == Some(&FieldType::Text)
                 && types.len() >= 2
                 && types[1..].iter().all(|t| *t == FieldType::Empty);

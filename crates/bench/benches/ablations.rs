@@ -30,10 +30,7 @@ fn bench(c: &mut Criterion) {
         "{}",
         ablation::render("Ablation: markup availability", &ablation::markup_ablation(&cfg))
     );
-    println!(
-        "{}",
-        ablation::render("Ablation: hierarchy echo", &ablation::echo_ablation(&cfg))
-    );
+    println!("{}", ablation::render("Ablation: hierarchy echo", &ablation::echo_ablation(&cfg)));
 
     // Kernel: one fine-tuning epoch over 60 weakly-labeled tables.
     let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 60, seed: 3 });

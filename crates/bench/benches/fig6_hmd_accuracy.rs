@@ -17,11 +17,7 @@ fn bench(c: &mut Criterion) {
 
     let f = fixture(CorpusKind::Ckg);
     // Deepest table in the test split stresses the level walk hardest.
-    let t = f
-        .test
-        .iter()
-        .max_by_key(|t| t.truth.as_ref().unwrap().hmd_depth())
-        .unwrap();
+    let t = f.test.iter().max_by_key(|t| t.truth.as_ref().unwrap().hmd_depth()).unwrap();
     c.bench_function("fig6/classify_deepest_table", |b| {
         b.iter(|| black_box(f.pipeline.classify(black_box(t))))
     });

@@ -9,29 +9,17 @@ use tabmeta_corpora::CorpusKind;
 use tabmeta_eval::experiments::accuracy;
 
 fn bench(c: &mut Criterion) {
-    let kinds = [
-        CorpusKind::Cord19,
-        CorpusKind::Ckg,
-        CorpusKind::Wdc,
-        CorpusKind::Cius,
-        CorpusKind::Saus,
-    ];
+    let kinds =
+        [CorpusKind::Cord19, CorpusKind::Ckg, CorpusKind::Wdc, CorpusKind::Cius, CorpusKind::Saus];
     let results = accuracy::run(&kinds, &bench_config());
     let series = accuracy::fig7(&results);
     println!(
         "\n{}",
-        accuracy::render_figure(
-            "Fig. 7: Accuracy of VMD Identification, Levels 1-3",
-            &series
-        )
+        accuracy::render_figure("Fig. 7: Accuracy of VMD Identification, Levels 1-3", &series)
     );
 
     let f = fixture(CorpusKind::Cius);
-    let t = f
-        .test
-        .iter()
-        .max_by_key(|t| t.truth.as_ref().unwrap().vmd_depth())
-        .unwrap();
+    let t = f.test.iter().max_by_key(|t| t.truth.as_ref().unwrap().vmd_depth()).unwrap();
     c.bench_function("fig7/classify_with_trace", |b| {
         b.iter(|| black_box(f.pipeline.classify_with_trace(black_box(t))))
     });

@@ -9,8 +9,7 @@ use tabmeta_corpora::CorpusKind;
 use tabmeta_eval::experiments::centroids;
 
 fn bench(c: &mut Criterion) {
-    let kinds =
-        [CorpusKind::Ckg, CorpusKind::Cord19, CorpusKind::Cius, CorpusKind::Saus];
+    let kinds = [CorpusKind::Ckg, CorpusKind::Cord19, CorpusKind::Cius, CorpusKind::Saus];
     let tables = centroids::run(&kinds, &bench_config());
     println!(
         "\n{}",
@@ -26,7 +25,12 @@ fn bench(c: &mut Criterion) {
     c.bench_function("table1/centroid_model_read", |b| {
         b.iter(|| {
             let model = methods.ours.centroids();
-            black_box(centroids::centroid_rows(CorpusKind::Ckg, model, tabmeta_tabular::Axis::Row, 2..=5))
+            black_box(centroids::centroid_rows(
+                CorpusKind::Ckg,
+                model,
+                tabmeta_tabular::Axis::Row,
+                2..=5,
+            ))
         })
     });
 }

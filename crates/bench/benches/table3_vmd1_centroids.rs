@@ -7,13 +7,8 @@ use tabmeta_corpora::CorpusKind;
 use tabmeta_eval::experiments::centroids;
 
 fn bench(c: &mut Criterion) {
-    let kinds = [
-        CorpusKind::Cord19,
-        CorpusKind::Ckg,
-        CorpusKind::Wdc,
-        CorpusKind::Cius,
-        CorpusKind::Saus,
-    ];
+    let kinds =
+        [CorpusKind::Cord19, CorpusKind::Ckg, CorpusKind::Wdc, CorpusKind::Cius, CorpusKind::Saus];
     let tables = centroids::run(&kinds, &bench_config());
     println!(
         "\n{}",

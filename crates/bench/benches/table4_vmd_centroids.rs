@@ -8,8 +8,7 @@ use tabmeta_eval::experiments::centroids;
 use tabmeta_linalg::{angle_degrees, RangeEstimator};
 
 fn bench(c: &mut Criterion) {
-    let kinds =
-        [CorpusKind::Cord19, CorpusKind::Ckg, CorpusKind::Cius, CorpusKind::Saus];
+    let kinds = [CorpusKind::Cord19, CorpusKind::Ckg, CorpusKind::Cius, CorpusKind::Saus];
     let tables = centroids::run(&kinds, &bench_config());
     println!(
         "\n{}",

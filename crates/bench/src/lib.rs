@@ -29,7 +29,6 @@ pub struct BenchFixture {
 pub fn fixture(kind: CorpusKind) -> BenchFixture {
     let corpus = kind.generate(&GeneratorConfig { n_tables: 240, seed: 7 });
     let cut = corpus.tables.len() * 7 / 10;
-    let pipeline =
-        Pipeline::train(&corpus.tables[..cut], &PipelineConfig::fast_seeded(7)).unwrap();
+    let pipeline = Pipeline::train(&corpus.tables[..cut], &PipelineConfig::fast_seeded(7)).unwrap();
     BenchFixture { pipeline, test: corpus.tables[cut..].to_vec() }
 }

@@ -40,9 +40,7 @@ pub fn axis_vectors<E: TermEmbedder + ?Sized>(
     embedder: &E,
     tokenizer: &Tokenizer,
 ) -> Vec<Option<Vec<f32>>> {
-    (0..table.n_levels(axis))
-        .map(|i| level_vector(table, axis, i, embedder, tokenizer))
-        .collect()
+    (0..table.n_levels(axis)).map(|i| level_vector(table, axis, i, embedder, tokenizer)).collect()
 }
 
 /// The terms of one level, post-tokenization — the constituency set that

@@ -14,7 +14,6 @@
 // Grid construction walks coordinates; index loops are the clear form here.
 #![allow(clippy::needless_range_loop)]
 
-
 use tabmeta_tabular::{Axis, Table};
 use tabmeta_text::classify_numeric;
 
@@ -144,10 +143,8 @@ impl BootstrapLabeler {
                 rows.push(WeakLabel::Unknown);
                 continue;
             }
-            let tagged = cells
-                .iter()
-                .filter(|c| !c.is_blank() && (c.markup.th || c.markup.thead))
-                .count();
+            let tagged =
+                cells.iter().filter(|c| !c.is_blank() && (c.markup.th || c.markup.thead)).count();
             if tagged as f32 / non_blank as f32 >= self.row_tag_threshold {
                 rows.push(WeakLabel::Metadata);
             } else {
@@ -171,9 +168,8 @@ impl BootstrapLabeler {
                 columns.push(WeakLabel::Data);
                 continue;
             }
-            let body: Vec<&tabmeta_tabular::Cell> = (body_start..table.n_rows())
-                .map(|i| table.cell(i, j))
-                .collect();
+            let body: Vec<&tabmeta_tabular::Cell> =
+                (body_start..table.n_rows()).map(|i| table.cell(i, j)).collect();
             if body.is_empty() {
                 columns.push(WeakLabel::Unknown);
                 continue;
@@ -188,8 +184,7 @@ impl BootstrapLabeler {
                 .filter(|c| !c.is_blank())
                 .filter(|c| tabmeta_text::classify_numeric(&c.text).is_none())
                 .count();
-            let textual_frac =
-                if non_blank > 0 { textual as f32 / non_blank as f32 } else { 0.0 };
+            let textual_frac = if non_blank > 0 { textual as f32 / non_blank as f32 } else { 0.0 };
             let is_vmd = bold_frac >= self.column_bold_threshold
                 || (blank_frac >= self.column_blank_threshold && textual_frac >= 0.5);
             columns.push(if is_vmd { WeakLabel::Metadata } else { WeakLabel::Data });
@@ -245,12 +240,9 @@ impl BootstrapLabeler {
             let body: Vec<&tabmeta_tabular::Cell> =
                 (body_start..table.n_rows()).map(|i| table.cell(i, j)).collect();
             let blanks = body.iter().filter(|c| c.is_blank()).count();
-            let blank_frac =
-                if body.is_empty() { 0.0 } else { blanks as f32 / body.len() as f32 };
+            let blank_frac = if body.is_empty() { 0.0 } else { blanks as f32 / body.len() as f32 };
             match numeric_frac(&body) {
-                Some(f)
-                    if f <= 0.3 || (blank_frac >= self.column_blank_threshold && f <= 0.5) =>
-                {
+                Some(f) if f <= 0.3 || (blank_frac >= self.column_blank_threshold && f <= 0.5) => {
                     columns[j] = WeakLabel::Metadata
                 }
                 _ => break,
@@ -325,31 +317,20 @@ mod tests {
         // poison the contrastive data cluster with header vocabulary.
         let t = Table::from_strings(
             9,
-            &[
-                &["state", "count"],
-                &["york", "2"],
-                &["Offenses known", ""],
-                &["kent", "4"],
-            ],
+            &[&["state", "count"], &["york", "2"], &["Offenses known", ""], &["kent", "4"]],
         );
         let labels = BootstrapLabeler::default().label(&t);
         assert_eq!(labels.rows[2], WeakLabel::Unknown, "section shape → Unknown");
         assert_eq!(labels.rows[1], WeakLabel::Data);
         // Numeric lone cells stay data (a sparse numeric row is data).
-        let t2 = Table::from_strings(
-            10,
-            &[&["a", "b"], &["42", ""], &["1", "2"]],
-        );
+        let t2 = Table::from_strings(10, &[&["a", "b"], &["42", ""], &["1", "2"]]);
         let l2 = BootstrapLabeler::default().label(&t2);
         assert_eq!(l2.rows[1], WeakLabel::Data);
     }
 
     #[test]
     fn positional_fallback_when_no_markup() {
-        let t = Table::from_strings(
-            2,
-            &[&["name", "count"], &["york", "2"], &["kent", "4"]],
-        );
+        let t = Table::from_strings(2, &[&["name", "count"], &["york", "2"], &["kent", "4"]]);
         let labels = BootstrapLabeler::default().label(&t);
         assert!(!labels.from_markup);
         assert_eq!(labels.rows[0], WeakLabel::Metadata);
@@ -405,14 +386,15 @@ mod tests {
 
     #[test]
     fn far_right_columns_never_vmd() {
-        let mut grid: Vec<Vec<Cell>> =
-            vec![vec![Cell::text("a"), Cell::text("b"), Cell::text("c"), Cell::text("d"), Cell::text("e")]];
-        grid.push(
-            (0..5).map(|i| if i == 4 { Cell::blank() } else { Cell::text("v") }).collect(),
-        );
-        grid.push(
-            (0..5).map(|i| if i == 4 { Cell::blank() } else { Cell::text("w") }).collect(),
-        );
+        let mut grid: Vec<Vec<Cell>> = vec![vec![
+            Cell::text("a"),
+            Cell::text("b"),
+            Cell::text("c"),
+            Cell::text("d"),
+            Cell::text("e"),
+        ]];
+        grid.push((0..5).map(|i| if i == 4 { Cell::blank() } else { Cell::text("v") }).collect());
+        grid.push((0..5).map(|i| if i == 4 { Cell::blank() } else { Cell::text("w") }).collect());
         for c in grid[0].iter_mut() {
             c.markup = Markup::header();
         }

@@ -177,10 +177,8 @@ impl AxisAccumulator {
         options: &CentroidOptions,
         rng: &mut StdRng,
     ) {
-        let meta: Vec<&Vec<f32>> =
-            meta_idx.iter().filter_map(|&i| vectors[i].as_ref()).collect();
-        let data: Vec<&Vec<f32>> =
-            data_idx.iter().filter_map(|&i| vectors[i].as_ref()).collect();
+        let meta: Vec<&Vec<f32>> = meta_idx.iter().filter_map(|&i| vectors[i].as_ref()).collect();
+        let data: Vec<&Vec<f32>> = data_idx.iter().filter_map(|&i| vectors[i].as_ref()).collect();
 
         for v in &meta {
             tabmeta_linalg::add_assign(&mut self.meta_sum, v);

@@ -21,10 +21,34 @@
 use crate::aggregate::axis_vectors;
 use crate::centroid::CentroidModel;
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, OnceLock};
 use tabmeta_embed::TermEmbedder;
 use tabmeta_linalg::angle_degrees;
 use tabmeta_tabular::{Axis, LevelLabel, Table};
 use tabmeta_text::Tokenizer;
+
+/// Cached handles into the global registry: classification runs per table
+/// from rayon workers, so the registry lookup happens once per process and
+/// every record after that is a relaxed atomic.
+struct ObsHandles {
+    tables: Arc<tabmeta_obs::Counter>,
+    angle_tests: Arc<tabmeta_obs::Counter>,
+    /// Metadata boundary depth per classified axis; depth 0 (headerless)
+    /// lands in the underflow bucket, which the snapshot reports.
+    boundary_depth: Arc<tabmeta_obs::Histogram>,
+}
+
+fn obs_handles() -> &'static ObsHandles {
+    static HANDLES: OnceLock<ObsHandles> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let reg = tabmeta_obs::global();
+        ObsHandles {
+            tables: reg.counter("classifier.tables"),
+            angle_tests: reg.counter("classifier.angle_tests"),
+            boundary_depth: reg.histogram_with("classifier.boundary_depth", 1, 16),
+        }
+    })
+}
 
 /// How levels are labeled along an axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -182,6 +206,10 @@ impl Classifier {
             tokenizer,
             trace,
         );
+        let obs = obs_handles();
+        obs.tables.inc();
+        obs.boundary_depth.record(hmd_depth as u64);
+        obs.boundary_depth.record(vmd_depth as u64);
         Verdict { rows, columns, hmd_depth, vmd_depth }
     }
 
@@ -200,6 +228,7 @@ impl Classifier {
         if !centroids.is_usable() {
             return (labels, 0);
         }
+        let angle_tests = &obs_handles().angle_tests;
         let vectors = axis_vectors(table, axis, embedder, tokenizer);
         let meta_label = |depth: u8| match axis {
             Axis::Row => LevelLabel::Hmd(depth),
@@ -212,6 +241,7 @@ impl Classifier {
             let mut depth: u8 = 0;
             for maybe_v in vectors.iter() {
                 let Some(v) = maybe_v else { break };
+                angle_tests.inc();
                 let to_meta = angle_degrees(v, &centroids.meta_ref);
                 let to_data = angle_degrees(v, &centroids.data_ref);
                 if to_meta < to_data && depth < depth_cap {
@@ -264,6 +294,7 @@ impl Classifier {
             };
             if i == 0 {
                 // First level: closest reference centroid decides.
+                angle_tests.inc();
                 let to_meta = angle_degrees(v, &centroids.meta_ref);
                 let to_data = angle_degrees(v, &centroids.data_ref);
                 let is_meta = to_meta < to_data;
@@ -286,6 +317,7 @@ impl Classifier {
                 continue;
             }
             let prev = vectors[i - 1].as_ref().expect("walk stops at first None");
+            angle_tests.inc();
             let delta = angle_degrees(prev, v);
             let mde = meta_range_at(depth);
             let mde_de = trans_range_at(depth);
@@ -571,8 +603,7 @@ mod tests {
         let c = classifier();
         let (v, trace) = c.classify_with_trace(&t, &Synthetic::new(), &Tokenizer::default());
         assert_eq!(v.hmd_depth, 2);
-        let row_steps: Vec<&TraceStep> =
-            trace.iter().filter(|s| s.axis == Axis::Row).collect();
+        let row_steps: Vec<&TraceStep> = trace.iter().filter(|s| s.axis == Axis::Row).collect();
         assert!(row_steps.len() >= 3);
         assert_eq!(row_steps[0].matched, RangeKind::Reference);
         assert_eq!(row_steps[1].matched, RangeKind::Mde);

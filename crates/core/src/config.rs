@@ -123,9 +123,6 @@ mod tests {
 
     #[test]
     fn chargram_variant_selects_chargram() {
-        assert!(matches!(
-            PipelineConfig::fast_chargram(2).embedding,
-            EmbeddingChoice::CharGram(_)
-        ));
+        assert!(matches!(PipelineConfig::fast_chargram(2).embedding, EmbeddingChoice::CharGram(_)));
     }
 }

@@ -83,7 +83,9 @@ fn cosine_grad_wrt_a(a: &[f32], b: &[f32], cos: f32) -> Vec<f32> {
 }
 
 /// One pair update: move the aggregates' constituent terms so the pair's
-/// cosine moves toward its target side of the margin.
+/// cosine moves toward its target side of the margin. The pair's hinge
+/// loss (degrees past the margin; zero when satisfied) accumulates into
+/// `epoch_loss` so callers can report a loss trajectory.
 #[allow(clippy::too_many_arguments)]
 fn update_pair<E: TunableEmbedder + ?Sized>(
     table: &Table,
@@ -95,6 +97,7 @@ fn update_pair<E: TunableEmbedder + ?Sized>(
     embedder: &mut E,
     tokenizer: &Tokenizer,
     report: &mut FinetuneReport,
+    epoch_loss: &mut f64,
 ) {
     let (Some(a), Some(b)) = (
         level_vector(table, axis, i, embedder, tokenizer),
@@ -104,6 +107,12 @@ fn update_pair<E: TunableEmbedder + ?Sized>(
     };
     let cos = cosine_similarity(&a, &b);
     let angle = cos.acos().to_degrees();
+    let hinge = if positive {
+        (angle - config.positive_margin_deg).max(0.0)
+    } else {
+        (config.negative_margin_deg - angle).max(0.0)
+    };
+    *epoch_loss += hinge as f64;
     let sign = if positive {
         if angle <= config.positive_margin_deg {
             report.satisfied += 1;
@@ -148,9 +157,17 @@ pub fn run<E: TunableEmbedder + ?Sized>(
     config: &FinetuneConfig,
 ) -> FinetuneReport {
     assert_eq!(tables.len(), weak.len(), "tables and weak labels must align");
+    let obs = tabmeta_obs::global();
+    let pair_counter = obs.counter("finetune.pairs");
+    let loss_gauge = obs.gauge("finetune.loss");
+    let rate_gauge = obs.gauge("finetune.pairs_per_sec");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut report = FinetuneReport::default();
     for _epoch in 0..config.epochs {
+        let _epoch_span = obs.span("epoch");
+        let epoch_start = std::time::Instant::now();
+        let pairs_before = report.positive_updates + report.negative_updates + report.satisfied;
+        let mut epoch_loss = 0.0f64;
         for (table, labels) in tables.iter().zip(weak) {
             for axis in [Axis::Row, Axis::Column] {
                 let meta = labels.metadata_indices(axis);
@@ -162,16 +179,32 @@ pub fn run<E: TunableEmbedder + ?Sized>(
                 for a in 0..meta.len() {
                     for b in a + 1..meta.len() {
                         update_pair(
-                            table, axis, meta[a], meta[b], true, config, embedder,
-                            tokenizer, &mut report,
+                            table,
+                            axis,
+                            meta[a],
+                            meta[b],
+                            true,
+                            config,
+                            embedder,
+                            tokenizer,
+                            &mut report,
+                            &mut epoch_loss,
                         );
                     }
                 }
                 // Positive: consecutive data levels (capped).
                 for w in data.windows(2).take(config.max_data_pairs) {
                     update_pair(
-                        table, axis, w[0], w[1], true, config, embedder, tokenizer,
+                        table,
+                        axis,
+                        w[0],
+                        w[1],
+                        true,
+                        config,
+                        embedder,
+                        tokenizer,
                         &mut report,
+                        &mut epoch_loss,
                     );
                 }
                 // Negative: metadata vs random data levels (capped).
@@ -183,12 +216,30 @@ pub fn run<E: TunableEmbedder + ?Sized>(
                         }
                         let d = data[rng.random_range(0..data.len())];
                         update_pair(
-                            table, axis, m, d, false, config, embedder, tokenizer,
+                            table,
+                            axis,
+                            m,
+                            d,
+                            false,
+                            config,
+                            embedder,
+                            tokenizer,
                             &mut report,
+                            &mut epoch_loss,
                         );
                         budget -= 1;
                     }
                 }
+            }
+        }
+        let epoch_pairs =
+            report.positive_updates + report.negative_updates + report.satisfied - pairs_before;
+        pair_counter.add(epoch_pairs);
+        if epoch_pairs > 0 {
+            loss_gauge.set(epoch_loss / epoch_pairs as f64);
+            let secs = epoch_start.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                rate_gauge.set(epoch_pairs as f64 / secs);
             }
         }
     }

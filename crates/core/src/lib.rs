@@ -38,7 +38,7 @@ pub mod pipeline;
 
 pub use bootstrap::{BootstrapLabeler, WeakLabel, WeakLabels};
 pub use centroid::{AxisCentroids, CentroidModel, LevelPairStats};
-pub use classifier::{ClassifierConfig, Verdict};
+pub use classifier::{Classifier, ClassifierConfig, RangeKind, TraceStep, Verdict, WalkStrategy};
 pub use config::{EmbeddingChoice, PipelineConfig};
 pub use finetune::FinetuneConfig;
 pub use pipeline::{Pipeline, TrainError, TrainSummary};

@@ -20,9 +20,7 @@ use crate::classifier::{Classifier, TraceStep, Verdict};
 use crate::config::{EmbeddingChoice, PipelineConfig};
 use crate::finetune::{self, FinetuneReport};
 use rayon::prelude::*;
-use tabmeta_embed::{
-    sentences_from_tables, CharGram, TermEmbedder, TunableEmbedder, Word2Vec,
-};
+use tabmeta_embed::{sentences_from_tables, CharGram, TermEmbedder, TunableEmbedder, Word2Vec};
 use tabmeta_tabular::Table;
 use tabmeta_text::Tokenizer;
 
@@ -112,7 +110,11 @@ impl Pipeline {
         if tables.is_empty() {
             return Err(TrainError::EmptyCorpus);
         }
+        let obs = tabmeta_obs::global();
+        let _train_span = obs.span("train");
         let tokenizer = Tokenizer::default();
+
+        let embed_span = obs.span("embed");
         let sentences = sentences_from_tables(tables, &tokenizer, &config.sentences);
         let (mut embedder, sgns_pairs) = match &config.embedding {
             EmbeddingChoice::Word2Vec(sgns) => {
@@ -124,17 +126,23 @@ impl Pipeline {
                 (AnyEmbedder::CharGram(model), report.pairs)
             }
         };
+        drop(embed_span);
 
-        let weak: Vec<WeakLabels> =
-            tables.iter().map(|t| config.bootstrap.label(t)).collect();
+        let bootstrap_span = obs.span("bootstrap");
+        let weak: Vec<WeakLabels> = tables.iter().map(|t| config.bootstrap.label(t)).collect();
         let markup_bootstrapped = weak.iter().filter(|w| w.from_markup).count();
+        obs.counter("bootstrap.tables").add(weak.len() as u64);
+        obs.counter("bootstrap.markup_tables").add(markup_bootstrapped as u64);
+        drop(bootstrap_span);
 
         let finetune_report = config.finetune.as_ref().map(|ft| {
+            let _finetune_span = obs.span("finetune");
             finetune::run(tables, &weak, &mut embedder, &tokenizer, ft)
         });
 
-        let centroids =
-            centroid::estimate(tables, &weak, &embedder, &tokenizer, &config.centroid);
+        let centroid_span = obs.span("centroid");
+        let centroids = centroid::estimate(tables, &weak, &embedder, &tokenizer, &config.centroid);
+        drop(centroid_span);
         if !centroids.rows.is_usable() && !centroids.columns.is_usable() {
             return Err(TrainError::NoCentroidEvidence);
         }
@@ -165,7 +173,15 @@ impl Pipeline {
     /// Classify a whole corpus in parallel (the "scalable" in the title:
     /// per-table classification is embarrassingly parallel).
     pub fn classify_corpus(&self, tables: &[Table]) -> Vec<Verdict> {
-        tables.par_iter().map(|t| self.classify(t)).collect()
+        let obs = tabmeta_obs::global();
+        let _span = obs.span("classify");
+        let start = std::time::Instant::now();
+        let verdicts: Vec<Verdict> = tables.par_iter().map(|t| self.classify(t)).collect();
+        let secs = start.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            obs.gauge("classify.tables_per_sec").set(tables.len() as f64 / secs);
+        }
+        verdicts
     }
 
     /// The trained centroid model (paper Tables I–IV are views of this).
@@ -250,8 +266,7 @@ mod tests {
     #[test]
     fn corpus_classification_is_parallel_consistent() {
         let corpus = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 60, seed: 4 });
-        let pipeline =
-            Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(4)).unwrap();
+        let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(4)).unwrap();
         let seq: Vec<Verdict> = corpus.tables.iter().map(|t| pipeline.classify(t)).collect();
         let par = pipeline.classify_corpus(&corpus.tables);
         assert_eq!(seq, par);
@@ -260,8 +275,7 @@ mod tests {
     #[test]
     fn verdict_shapes_match_tables() {
         let corpus = CorpusKind::Wdc.generate(&GeneratorConfig { n_tables: 50, seed: 8 });
-        let pipeline =
-            Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(8)).unwrap();
+        let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(8)).unwrap();
         for t in &corpus.tables {
             let v = pipeline.classify(t);
             assert_eq!(v.rows.len(), t.n_rows());
@@ -283,8 +297,7 @@ mod tests {
     #[test]
     fn chargram_pipeline_trains_too() {
         let corpus = CorpusKind::Cord19.generate(&GeneratorConfig { n_tables: 60, seed: 13 });
-        let pipeline =
-            Pipeline::train(&corpus.tables, &PipelineConfig::fast_chargram(13)).unwrap();
+        let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_chargram(13)).unwrap();
         let v = pipeline.classify(&corpus.tables[0]);
         assert_eq!(v.rows.len(), corpus.tables[0].n_rows());
     }
@@ -292,8 +305,7 @@ mod tests {
     #[test]
     fn pipeline_persistence_roundtrip() {
         let corpus = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 80, seed: 19 });
-        let pipeline =
-            Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(19)).unwrap();
+        let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(19)).unwrap();
         let json = pipeline.to_json();
         let restored = Pipeline::from_json(&json).expect("round-trips");
         for t in corpus.tables.iter().take(20) {
@@ -305,8 +317,7 @@ mod tests {
     #[test]
     fn trace_is_available_end_to_end() {
         let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 60, seed: 5 });
-        let pipeline =
-            Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(5)).unwrap();
+        let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(5)).unwrap();
         let (v, trace) = pipeline.classify_with_trace(&corpus.tables[3]);
         assert!(!trace.is_empty());
         assert_eq!(v.rows.len(), corpus.tables[3].n_rows());

@@ -10,10 +10,9 @@
 // Grid construction walks coordinates; index loops are the clear form here.
 #![allow(clippy::needless_range_loop)]
 
-
 use crate::profiles::CorpusProfile;
 use crate::vocab::DomainVocab;
-use rand::{Rng, RngExt};
+use rand::Rng;
 use tabmeta_tabular::cell::{Cell, Markup};
 use tabmeta_tabular::table::{GroundTruth, Table};
 use tabmeta_tabular::LevelLabel;
@@ -209,9 +208,8 @@ impl TableBuilder {
         // --- body rows (data + optional CMD) -------------------------------
         // Some data columns are fully textual entity columns — the cells
         // that make VMD detection genuinely hard for surface methods.
-        let textual_col: Vec<bool> = (0..n_data_cols)
-            .map(|_| rng.random::<f32>() < p.textual_col_prob)
-            .collect();
+        let textual_col: Vec<bool> =
+            (0..n_data_cols).map(|_| rng.random::<f32>() < p.textual_col_prob).collect();
         for row in hmd_depth..n_rows {
             if Some(row) == cmd_row {
                 grid[row][0] = Cell::text(pick(&self.vocab.sections, rng).clone());
@@ -231,15 +229,13 @@ impl TableBuilder {
         // --- VMD columns ----------------------------------------------------
         // Nested grouping over the data rows: level 1 groups split into
         // level-2 subgroups, and the deepest level carries a value per row.
-        let body_rows: Vec<usize> =
-            (hmd_depth..n_rows).filter(|r| Some(*r) != cmd_row).collect();
+        let body_rows: Vec<usize> = (hmd_depth..n_rows).filter(|r| Some(*r) != cmd_row).collect();
         if vmd_depth > 0 {
             // Each group carries the text of its hierarchy parent so child
             // values can lexically echo it (Fig. 1(a): "State University of
             // New York" under "New York"). The echo uses the parent's head
             // tokens to keep cell lengths realistic.
-            let mut groups: Vec<(Vec<usize>, String)> =
-                vec![(body_rows.clone(), String::new())];
+            let mut groups: Vec<(Vec<usize>, String)> = vec![(body_rows.clone(), String::new())];
             let echo_prob = p.vmd_hier_echo;
             for level in 1..=vmd_depth {
                 let col = level - 1;
@@ -255,8 +251,7 @@ impl TableBuilder {
                         }
                         let base = pick(&self.vocab.vmd_pools[level - 1], rng).clone();
                         if !parent.is_empty() && rng.random::<f32>() < echo_prob {
-                            let head: Vec<&str> =
-                                parent.split_whitespace().take(2).collect();
+                            let head: Vec<&str> = parent.split_whitespace().take(2).collect();
                             format!("{base} {}", head.join(" "))
                         } else {
                             base
@@ -500,10 +495,7 @@ mod tests {
         }
         assert!(total > 0, "PubTables should generate marked-up tables");
         // Tag noise is 6%; across 50 tables the th rate must be high.
-        assert!(
-            th as f32 / total as f32 > 0.8,
-            "most header cells should carry th: {th}/{total}"
-        );
+        assert!(th as f32 / total as f32 > 0.8, "most header cells should carry th: {th}/{total}");
     }
 
     #[test]

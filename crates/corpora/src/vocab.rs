@@ -93,59 +93,133 @@ impl Domain {
 fn biomedical() -> DomainVocab {
     let hmd1 = expand(
         &[
-            "patient characteristics", "clinical outcomes", "hospitalized patients",
-            "outpatient cohort", "vaccine recipients", "study population",
-            "control group", "treatment group", "all patients", "clinical syndrome",
-            "laboratory findings", "demographic profile", "gender", "exposure history",
+            "patient characteristics",
+            "clinical outcomes",
+            "hospitalized patients",
+            "outpatient cohort",
+            "vaccine recipients",
+            "study population",
+            "control group",
+            "treatment group",
+            "all patients",
+            "clinical syndrome",
+            "laboratory findings",
+            "demographic profile",
+            "gender",
+            "exposure history",
         ],
         &["overall", "stratified", "adjusted", "baseline"],
     );
     let hmd2 = expand(
         &[
-            "male", "female", "number of patients", "percentage", "median iqr",
-            "95 ci", "p value", "mis-c", "respiratory syndrome", "odds ratio",
-            "hazard ratio", "severe cases", "mild cases", "icu admission",
+            "male",
+            "female",
+            "number of patients",
+            "percentage",
+            "median iqr",
+            "95 ci",
+            "p value",
+            "mis-c",
+            "respiratory syndrome",
+            "odds ratio",
+            "hazard ratio",
+            "severe cases",
+            "mild cases",
+            "icu admission",
         ],
         &["crude", "weighted"],
     );
     let hmd3 = expand(
         &[
-            "number needed to harm", "number needed to treat", "age categories",
-            "count", "rate", "mean sd", "frequency", "proportion", "cases per 1000",
-            "relative risk", "confidence interval",
+            "number needed to harm",
+            "number needed to treat",
+            "age categories",
+            "count",
+            "rate",
+            "mean sd",
+            "frequency",
+            "proportion",
+            "cases per 1000",
+            "relative risk",
+            "confidence interval",
         ],
         &["lower", "upper"],
     );
     let hmd4 = to_strings(&[
-        "no", "yes", "total", "baseline", "followup", "missing", "unknown",
-        "positive", "negative", "n pct", "subgroup",
+        "no", "yes", "total", "baseline", "followup", "missing", "unknown", "positive", "negative",
+        "n pct", "subgroup",
     ]);
     let hmd5 = to_strings(&["n", "pct", "subtotal", "no pct", "yes pct", "row total", "col total"]);
     let vmd1 = expand(
         &[
-            "age distribution", "nature of headache", "onset of symptoms",
-            "duration of illness", "comorbidities", "vaccination status",
-            "severity grade", "pattern of headache", "site of pain",
-            "clinical presentation", "days of symptoms",
+            "age distribution",
+            "nature of headache",
+            "onset of symptoms",
+            "duration of illness",
+            "comorbidities",
+            "vaccination status",
+            "severity grade",
+            "pattern of headache",
+            "site of pain",
+            "clinical presentation",
+            "days of symptoms",
         ],
         &["reported", "recorded"],
     );
     let vmd2 = to_strings(&[
-        "suddenly", "gradually", "varies time to time", "mild", "moderate", "severe",
-        "less than 2 years", "2 to 5 years", "5 to 10 years", "over 10 years",
-        "not applicable", "minutes", "hours", "days", "not specific",
-        "more during day time", "more at the end of day",
+        "suddenly",
+        "gradually",
+        "varies time to time",
+        "mild",
+        "moderate",
+        "severe",
+        "less than 2 years",
+        "2 to 5 years",
+        "5 to 10 years",
+        "over 10 years",
+        "not applicable",
+        "minutes",
+        "hours",
+        "days",
+        "not specific",
+        "more during day time",
+        "more at the end of day",
     ]);
     let vmd3 = to_strings(&[
-        "left side", "right side", "both sides", "frontal", "occipital", "temporal",
-        "first episode", "recurrent", "persistent",
+        "left side",
+        "right side",
+        "both sides",
+        "frontal",
+        "occipital",
+        "temporal",
+        "first episode",
+        "recurrent",
+        "persistent",
     ]);
     let values = {
         let mut v = to_strings(&[
-            "remdesivir", "tocilizumab", "dexamethasone", "azithromycin", "favipiravir",
-            "oseltamivir", "lopinavir", "ritonavir", "hydroxychloroquine", "ivermectin",
-            "pneumonia", "bronchitis", "myocarditis", "anosmia", "fatigue", "dyspnea",
-            "fever", "cough", "nausea", "vomiting", "diarrhea", "headache",
+            "remdesivir",
+            "tocilizumab",
+            "dexamethasone",
+            "azithromycin",
+            "favipiravir",
+            "oseltamivir",
+            "lopinavir",
+            "ritonavir",
+            "hydroxychloroquine",
+            "ivermectin",
+            "pneumonia",
+            "bronchitis",
+            "myocarditis",
+            "anosmia",
+            "fatigue",
+            "dyspnea",
+            "fever",
+            "cough",
+            "nausea",
+            "vomiting",
+            "diarrhea",
+            "headache",
         ]);
         v.extend(synth_names(
             &["medi", "bio", "vira", "cardi", "neuro", "hemo"],
@@ -155,8 +229,12 @@ fn biomedical() -> DomainVocab {
         v
     };
     let sections = to_strings(&[
-        "laboratory findings", "imaging results", "adverse events", "secondary outcomes",
-        "sensitivity analysis", "subgroup analysis",
+        "laboratory findings",
+        "imaging results",
+        "adverse events",
+        "secondary outcomes",
+        "sensitivity analysis",
+        "subgroup analysis",
     ]);
     let captions = to_strings(&[
         "clinical characteristics of enrolled patients",
@@ -165,36 +243,81 @@ fn biomedical() -> DomainVocab {
         "symptom prevalence among cohorts",
         "laboratory parameters at admission",
     ]);
-    DomainVocab { hmd_pools: [hmd1, hmd2, hmd3, hmd4, hmd5], vmd_pools: [vmd1, vmd2, vmd3], values, sections, captions }
+    DomainVocab {
+        hmd_pools: [hmd1, hmd2, hmd3, hmd4, hmd5],
+        vmd_pools: [vmd1, vmd2, vmd3],
+        values,
+        sections,
+        captions,
+    }
 }
 
 fn crime() -> DomainVocab {
     let hmd1 = expand(
         &[
-            "violent crime", "property crime", "murder and manslaughter", "robbery",
-            "burglary", "larceny theft", "motor vehicle theft", "aggravated assault",
-            "arson", "population", "law enforcement employees", "total officers",
+            "violent crime",
+            "property crime",
+            "murder and manslaughter",
+            "robbery",
+            "burglary",
+            "larceny theft",
+            "motor vehicle theft",
+            "aggravated assault",
+            "arson",
+            "population",
+            "law enforcement employees",
+            "total officers",
         ],
         &["reported", "estimated", "cleared"],
     );
     let hmd2 = expand(
-        &["rate per 100000", "number of offenses", "percent change", "agencies reporting",
-          "total civilians", "male officers", "female officers"],
+        &[
+            "rate per 100000",
+            "number of offenses",
+            "percent change",
+            "agencies reporting",
+            "total civilians",
+            "male officers",
+            "female officers",
+        ],
         &["annual", "quarterly"],
     );
     let hmd3 = to_strings(&[
-        "count", "rate", "percent", "prior year", "current year", "per capita",
-        "weapons involved", "firearms", "knives",
+        "count",
+        "rate",
+        "percent",
+        "prior year",
+        "current year",
+        "per capita",
+        "weapons involved",
+        "firearms",
+        "knives",
     ]);
     let hmd4 = to_strings(&["no", "yes", "total", "urban", "rural", "metro", "nonmetro"]);
     let hmd5 = to_strings(&["n", "pct", "subtotal", "row total"]);
     let vmd1 = to_strings(&[
-        "new york", "indiana", "california", "texas", "florida", "ohio", "georgia",
-        "michigan", "virginia", "washington", "arizona", "colorado",
+        "new york",
+        "indiana",
+        "california",
+        "texas",
+        "florida",
+        "ohio",
+        "georgia",
+        "michigan",
+        "virginia",
+        "washington",
+        "arizona",
+        "colorado",
     ]);
     let vmd2 = expand(
-        &["state university", "metropolitan police", "county sheriff", "city police",
-          "university system", "transit authority"],
+        &[
+            "state university",
+            "metropolitan police",
+            "county sheriff",
+            "city police",
+            "university system",
+            "transit authority",
+        ],
         &["northern", "southern", "eastern", "western"],
     );
     let vmd3 = synth_names(
@@ -212,7 +335,9 @@ fn crime() -> DomainVocab {
         v
     };
     let sections = to_strings(&[
-        "offenses known to law enforcement", "arrests by age", "clearances",
+        "offenses known to law enforcement",
+        "arrests by age",
+        "clearances",
         "employee counts",
     ]);
     let captions = to_strings(&[
@@ -221,36 +346,78 @@ fn crime() -> DomainVocab {
         "law enforcement employee statistics",
         "arrest trends by offense",
     ]);
-    DomainVocab { hmd_pools: [hmd1, hmd2, hmd3, hmd4, hmd5], vmd_pools: [vmd1, vmd2, vmd3], values, sections, captions }
+    DomainVocab {
+        hmd_pools: [hmd1, hmd2, hmd3, hmd4, hmd5],
+        vmd_pools: [vmd1, vmd2, vmd3],
+        values,
+        sections,
+        captions,
+    }
 }
 
 fn census() -> DomainVocab {
     let hmd1 = expand(
         &[
-            "resident population", "median household income", "housing units",
-            "employment status", "educational attainment", "health insurance coverage",
-            "poverty rate", "student enrollment", "labor force", "per capita income",
+            "resident population",
+            "median household income",
+            "housing units",
+            "employment status",
+            "educational attainment",
+            "health insurance coverage",
+            "poverty rate",
+            "student enrollment",
+            "labor force",
+            "per capita income",
         ],
         &["total", "civilian", "estimated"],
     );
     let hmd2 = expand(
-        &["male", "female", "under 18 years", "18 to 64 years", "65 years and over",
-          "percent of total", "margin of error", "number"],
+        &[
+            "male",
+            "female",
+            "under 18 years",
+            "18 to 64 years",
+            "65 years and over",
+            "percent of total",
+            "margin of error",
+            "number",
+        ],
         &["weighted"],
     );
     let hmd3 = to_strings(&[
-        "count", "percent", "rank", "change", "annual average", "per 1000 population",
-        "dollars", "index",
+        "count",
+        "percent",
+        "rank",
+        "change",
+        "annual average",
+        "per 1000 population",
+        "dollars",
+        "index",
     ]);
     let hmd4 = to_strings(&["no", "yes", "total", "urban", "rural", "owner", "renter"]);
     let hmd5 = to_strings(&["n", "pct", "subtotal"]);
     let vmd1 = to_strings(&[
-        "northeast region", "midwest region", "south region", "west region",
-        "new england division", "pacific division", "mountain division",
+        "northeast region",
+        "midwest region",
+        "south region",
+        "west region",
+        "new england division",
+        "pacific division",
+        "mountain division",
     ]);
     let vmd2 = to_strings(&[
-        "new york", "indiana", "california", "texas", "florida", "maine", "vermont",
-        "oregon", "nevada", "utah", "kansas", "iowa",
+        "new york",
+        "indiana",
+        "california",
+        "texas",
+        "florida",
+        "maine",
+        "vermont",
+        "oregon",
+        "nevada",
+        "utah",
+        "kansas",
+        "iowa",
     ]);
     let vmd3 = synth_names(
         &["North", "South", "East", "West", "Lake", "River"],
@@ -260,13 +427,20 @@ fn census() -> DomainVocab {
     let values = {
         let mut v = vmd3.clone();
         v.extend(to_strings(&[
-            "agriculture", "manufacturing", "retail trade", "construction",
-            "finance and insurance", "public administration", "transportation",
+            "agriculture",
+            "manufacturing",
+            "retail trade",
+            "construction",
+            "finance and insurance",
+            "public administration",
+            "transportation",
         ]));
         v
     };
     let sections = to_strings(&[
-        "population estimates", "income and poverty", "housing characteristics",
+        "population estimates",
+        "income and poverty",
+        "housing characteristics",
         "labor force status",
     ]);
     let captions = to_strings(&[
@@ -275,15 +449,36 @@ fn census() -> DomainVocab {
         "income distribution by household",
         "enrollment in public institutions",
     ]);
-    DomainVocab { hmd_pools: [hmd1, hmd2, hmd3, hmd4, hmd5], vmd_pools: [vmd1, vmd2, vmd3], values, sections, captions }
+    DomainVocab {
+        hmd_pools: [hmd1, hmd2, hmd3, hmd4, hmd5],
+        vmd_pools: [vmd1, vmd2, vmd3],
+        values,
+        sections,
+        captions,
+    }
 }
 
 fn web() -> DomainVocab {
     let hmd1 = expand(
         &[
-            "product name", "price", "rating", "artist", "album", "release year",
-            "genre", "manufacturer", "model", "title", "director", "runtime",
-            "author", "publisher", "isbn", "team", "wins", "losses",
+            "product name",
+            "price",
+            "rating",
+            "artist",
+            "album",
+            "release year",
+            "genre",
+            "manufacturer",
+            "model",
+            "title",
+            "director",
+            "runtime",
+            "author",
+            "publisher",
+            "isbn",
+            "team",
+            "wins",
+            "losses",
         ],
         &["listed", "average"],
     );
@@ -293,8 +488,16 @@ fn web() -> DomainVocab {
     let hmd4 = to_strings(&["total", "subtotal"]);
     let hmd5 = to_strings(&["n"]);
     let vmd1 = to_strings(&[
-        "electronics", "books", "music", "movies", "sports", "garden", "automotive",
-        "toys", "grocery", "apparel",
+        "electronics",
+        "books",
+        "music",
+        "movies",
+        "sports",
+        "garden",
+        "automotive",
+        "toys",
+        "grocery",
+        "apparel",
     ]);
     let vmd2 = to_strings(&["bestsellers", "new releases", "clearance", "featured"]);
     let vmd3 = to_strings(&["in stock", "preorder", "backorder"]);
@@ -310,7 +513,13 @@ fn web() -> DomainVocab {
         "team standings",
         "price comparison across retailers",
     ]);
-    DomainVocab { hmd_pools: [hmd1, hmd2, hmd3, hmd4, hmd5], vmd_pools: [vmd1, vmd2, vmd3], values, sections, captions }
+    DomainVocab {
+        hmd_pools: [hmd1, hmd2, hmd3, hmd4, hmd5],
+        vmd_pools: [vmd1, vmd2, vmd3],
+        values,
+        sections,
+        captions,
+    }
 }
 
 #[cfg(test)]

@@ -125,9 +125,6 @@ fn contiguous_source_blocks_hold_out_unseen_styles() {
     let test_sources: std::collections::HashSet<usize> =
         corpus.tables[cut..].iter().map(|t| source_of(t.id)).collect();
     let overlap: Vec<_> = train_sources.intersection(&test_sources).collect();
-    assert!(
-        overlap.len() <= 1,
-        "at most the boundary source may straddle the split: {overlap:?}"
-    );
+    assert!(overlap.len() <= 1, "at most the boundary source may straddle the split: {overlap:?}");
     assert!(test_sources.len() >= 2, "test must cover multiple sources");
 }

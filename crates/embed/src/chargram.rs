@@ -13,7 +13,6 @@
 // Grid construction walks coordinates; index loops are the clear form here.
 #![allow(clippy::needless_range_loop)]
 
-
 use crate::embedder::{TermEmbedder, TunableEmbedder};
 use crate::negative::NegativeTable;
 use crate::sgns::{SgnsConfig, SigmoidTable, TrainReport};
@@ -24,15 +23,13 @@ use tabmeta_linalg::Matrix;
 use tabmeta_text::{ngram_ids, NgramConfig, NumericClass, Vocabulary};
 
 /// CharGram hyper-parameters: SGNS knobs plus the n-gram space.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub struct CharGramConfig {
     /// Shared SGNS hyper-parameters.
     pub sgns: SgnsConfig,
     /// Character n-gram extraction / hashing configuration.
     pub ngrams: NgramConfig,
 }
-
 
 impl CharGramConfig {
     /// Small, fast configuration for tests and examples.
@@ -289,10 +286,8 @@ mod tests {
             &v.clone().unwrap(),
             &model.embed("headache").unwrap(),
         );
-        let sim_out = tabmeta_linalg::cosine_similarity(
-            &v.unwrap(),
-            &model.embed("enrollment").unwrap(),
-        );
+        let sim_out =
+            tabmeta_linalg::cosine_similarity(&v.unwrap(), &model.embed("enrollment").unwrap());
         assert!(sim_in > sim_out, "morphological relative should be closer: {sim_in} vs {sim_out}");
     }
 

@@ -5,7 +5,7 @@
 //! frequent terms do not monopolize the negative samples. Implemented as
 //! the classic precomputed index table (O(1) draws).
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use tabmeta_text::Vocabulary;
 
 /// Precomputed unigram^0.75 sampling table.
@@ -25,8 +25,7 @@ impl NegativeTable {
     /// # Panics
     /// Panics if the vocabulary has no counted terms.
     pub fn build(vocab: &Vocabulary, size: usize) -> Self {
-        let weights: Vec<f64> =
-            vocab.counts().iter().map(|&c| (c as f64).powf(0.75)).collect();
+        let weights: Vec<f64> = vocab.counts().iter().map(|&c| (c as f64).powf(0.75)).collect();
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "NegativeTable::build: vocabulary has no counted terms");
         let mut table = Vec::with_capacity(size);

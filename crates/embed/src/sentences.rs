@@ -38,6 +38,7 @@ pub fn sentences_from_tables(
     tokenizer: &Tokenizer,
     config: &SentenceConfig,
 ) -> Vec<Vec<String>> {
+    tabmeta_obs::span!("sentences");
     let mut out = Vec::new();
     let mut buf = Vec::new();
     for table in tables {
@@ -78,6 +79,12 @@ pub fn sentences_from_tables(
             }
         }
     }
+    let obs = tabmeta_obs::global();
+    obs.counter("embed.sentences").add(out.len() as u64);
+    let lens = obs.histogram_with("embed.sentence_len", 1, 256);
+    for sentence in &out {
+        lens.record(sentence.len() as u64);
+    }
     out
 }
 
@@ -97,15 +104,15 @@ mod tests {
     #[test]
     fn rows_and_columns_and_caption() {
         let t = sample();
-        let sents =
-            sentences_from_tables(&[t], &Tokenizer::default(), &SentenceConfig::default());
+        let sents = sentences_from_tables(&[t], &Tokenizer::default(), &SentenceConfig::default());
         // caption + 3 rows (one is single-cell) + 2 columns.
         assert!(sents.iter().any(|s| s == &["vaccine", "outcomes"]));
         assert!(sents.iter().any(|s| s.contains(&SEP.to_string())));
         // Column 0 sentence skips the blank cell.
         assert!(sents
             .iter()
-            .any(|s| s.first().map(String::as_str) == Some("age") && s.contains(&"years".to_string())));
+            .any(|s| s.first().map(String::as_str) == Some("age")
+                && s.contains(&"years".to_string())));
     }
 
     #[test]
@@ -126,8 +133,7 @@ mod tests {
     #[test]
     fn empty_tables_produce_nothing() {
         let t = Table::from_strings(9, &[&["", ""], &["", ""]]);
-        let sents =
-            sentences_from_tables(&[t], &Tokenizer::default(), &SentenceConfig::default());
+        let sents = sentences_from_tables(&[t], &Tokenizer::default(), &SentenceConfig::default());
         assert!(sents.is_empty());
     }
 }

@@ -19,7 +19,6 @@
 // Grid construction walks coordinates; index loops are the clear form here.
 #![allow(clippy::needless_range_loop)]
 
-
 use crate::negative::NegativeTable;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -145,6 +144,10 @@ impl<'a> SgnsTrainer<'a> {
         output: &mut Matrix,
     ) -> TrainReport {
         assert_eq!(input.dim(), output.dim(), "SGNS matrices must share dimensionality");
+        tabmeta_obs::span!("sgns");
+        let obs = tabmeta_obs::global();
+        let pair_counter = obs.counter("sgns.pairs");
+        let lr_gauge = obs.gauge("sgns.lr");
         let dim = input.dim();
         let total_tokens: u64 = sentences.iter().map(|s| s.len() as u64).sum();
         let total_work = (total_tokens * self.config.epochs as u64).max(1);
@@ -154,6 +157,8 @@ impl<'a> SgnsTrainer<'a> {
         let mut lr = self.config.learning_rate;
 
         for _epoch in 0..self.config.epochs {
+            let _epoch_span = obs.span("epoch");
+            let pairs_at_epoch_start = pairs;
             for sentence in sentences {
                 for (pos, &center) in sentence.iter().enumerate() {
                     processed += 1;
@@ -174,6 +179,8 @@ impl<'a> SgnsTrainer<'a> {
                     }
                 }
             }
+            pair_counter.add(pairs - pairs_at_epoch_start);
+            lr_gauge.set(lr as f64);
         }
         TrainReport { pairs, final_lr: lr }
     }
@@ -258,9 +265,8 @@ mod tests {
         let report = trainer.train(&sentences, &negatives, &mut input, &mut output);
         assert!(report.pairs > 1_000, "too few pairs: {}", report.pairs);
 
-        let sim = |i: usize, j: usize| {
-            tabmeta_linalg::cosine_similarity(input.row(i), input.row(j))
-        };
+        let sim =
+            |i: usize, j: usize| tabmeta_linalg::cosine_similarity(input.row(i), input.row(j));
         // Within-topic similarity must dominate cross-topic.
         assert!(sim(0, 1) > sim(0, 2), "a~b {} vs a~c {}", sim(0, 1), sim(0, 2));
         assert!(sim(2, 3) > sim(1, 3), "c~d {} vs b~d {}", sim(2, 3), sim(1, 3));

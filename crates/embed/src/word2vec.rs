@@ -93,7 +93,10 @@ impl Word2Vec {
             .iter()
             .filter(|(other, _, _)| *other != id)
             .map(|(other, text, _)| {
-                (text.to_string(), tabmeta_linalg::cosine_similarity(query, self.input.row(other as usize)))
+                (
+                    text.to_string(),
+                    tabmeta_linalg::cosine_similarity(query, self.input.row(other as usize)),
+                )
             })
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("cosine is finite"));

@@ -80,10 +80,7 @@ fn cooccurrence_shapes_neighbourhoods() {
 fn word2vec_oov_is_silent_but_chargram_covers_it() {
     let s = sentences();
     let (w2v, _) = Word2Vec::train(&s, cfg(5));
-    let (cg, _) = CharGram::train(
-        &s,
-        CharGramConfig { sgns: cfg(5), ..CharGramConfig::tiny(5) },
-    );
+    let (cg, _) = CharGram::train(&s, CharGramConfig { sgns: cfg(5), ..CharGramConfig::tiny(5) });
     let mut v = vec![0.0; w2v.dim()];
     assert!(!w2v.accumulate("unseenword", &mut v), "word model cannot embed OOV");
     assert!(v.iter().all(|x| *x == 0.0));
@@ -103,8 +100,7 @@ fn persistence_roundtrips_both_models() {
     back.accumulate("count", &mut b);
     assert_eq!(a, b);
 
-    let (cg, _) =
-        CharGram::train(&s, CharGramConfig { sgns: cfg(6), ..CharGramConfig::tiny(6) });
+    let (cg, _) = CharGram::train(&s, CharGramConfig { sgns: cfg(6), ..CharGramConfig::tiny(6) });
     let back = CharGram::from_json(&cg.to_json()).unwrap();
     let mut a = vec![0.0; cg.dim()];
     let mut b = vec![0.0; back.dim()];
@@ -124,7 +120,9 @@ fn sentences_extract_rows_and_columns() {
     );
     // Row sentences and column sentences both appear.
     assert!(sents.iter().any(|s| s.contains(&"age".to_string()) && s.contains(&"sex".to_string())));
-    assert!(sents.iter().any(|s| s.contains(&"age".to_string()) && s.contains(&"<int>".to_string())));
+    assert!(sents
+        .iter()
+        .any(|s| s.contains(&"age".to_string()) && s.contains(&"<int>".to_string())));
 }
 
 #[test]

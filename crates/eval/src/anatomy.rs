@@ -116,8 +116,7 @@ impl Anatomy {
             let r = diagnose_axis(&truth.rows, &labels.rows, false);
             let c = diagnose_axis(&truth.columns, &labels.columns, true);
             out.rows[FailureMode::ALL.iter().position(|m| *m == r).expect("known mode")] += 1;
-            out.columns[FailureMode::ALL.iter().position(|m| *m == c).expect("known mode")] +=
-                1;
+            out.columns[FailureMode::ALL.iter().position(|m| *m == c).expect("known mode")] += 1;
         }
         out
     }
@@ -173,16 +172,10 @@ mod tests {
             FailureMode::DepthOver
         );
         assert_eq!(diagnose_axis(&truth, &[D, D, D, D], false), FailureMode::MissedEntirely);
-        assert_eq!(
-            diagnose_axis(&[D, D], &[Hmd(1), D], false),
-            FailureMode::Spurious
-        );
+        assert_eq!(diagnose_axis(&[D, D], &[Hmd(1), D], false), FailureMode::Spurious);
         assert_eq!(diagnose_axis(&[D, D], &[D, D], false), FailureMode::Correct);
         // Same depth, shifted placement.
-        assert_eq!(
-            diagnose_axis(&[Hmd(1), D, D], &[D, Hmd(1), D], false),
-            FailureMode::Misaligned
-        );
+        assert_eq!(diagnose_axis(&[Hmd(1), D, D], &[D, Hmd(1), D], false), FailureMode::Misaligned);
     }
 
     #[test]
@@ -194,7 +187,7 @@ mod tests {
         let tables = vec![t.clone(), t];
         let a = Anatomy::diagnose(&tables, |_| {
             labels(
-                vec![LevelLabel::Data, LevelLabel::Data], // missed HMD
+                vec![LevelLabel::Data, LevelLabel::Data],   // missed HMD
                 vec![LevelLabel::Vmd(1), LevelLabel::Data], // spurious VMD
             )
         });

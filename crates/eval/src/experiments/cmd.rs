@@ -54,9 +54,7 @@ pub fn run(kind: CorpusKind, config: &ExperimentConfig) -> Vec<CmdScore> {
     let gpt4 = SimulatedLlm::new(LlmKind::Gpt4, config.seed);
     vec![
         score_method("Our method", &split.test, |t| methods.ours.classify(t).into()),
-        score_method("Pytheas (subheader)", &split.test, |t| {
-            baseline_labels(&methods.pytheas, t)
-        }),
+        score_method("Pytheas (subheader)", &split.test, |t| baseline_labels(&methods.pytheas, t)),
         score_method("TT (projected row header)", &split.test, |t| {
             baseline_labels(&methods.layout, t)
         }),
@@ -86,8 +84,7 @@ mod tests {
 
     #[test]
     fn cmd_comparison_shape() {
-        let scores =
-            run(CorpusKind::Ckg, &ExperimentConfig { tables_per_corpus: 300, seed: 33 });
+        let scores = run(CorpusKind::Ckg, &ExperimentConfig { tables_per_corpus: 300, seed: 33 });
         assert_eq!(scores.len(), 4);
         let by = |name: &str| {
             scores
@@ -106,8 +103,7 @@ mod tests {
 
     #[test]
     fn render_lists_all_methods() {
-        let scores =
-            run(CorpusKind::Saus, &ExperimentConfig { tables_per_corpus: 200, seed: 3 });
+        let scores = run(CorpusKind::Saus, &ExperimentConfig { tables_per_corpus: 200, seed: 3 });
         let text = render(CorpusKind::Saus, &scores);
         assert!(text.contains("Our method"));
         assert!(text.contains("Pytheas"));

@@ -11,7 +11,6 @@
 
 use crate::harness::{split_corpus, ExperimentConfig};
 use crate::scoring::{standard_keys, LevelKey, LevelScores};
-use std::time::Instant;
 use tabmeta_core::{Pipeline, PipelineConfig};
 use tabmeta_corpora::CorpusKind;
 use tabmeta_tabular::Table;
@@ -46,8 +45,7 @@ fn stress_tables(tables: &[Table], frac: f32) -> Vec<Table> {
                         .wrapping_mul(0x9e37_79b9_7f4a_7c15);
                     if ((h >> 16) % 1000) as f32 / 1000.0 < frac {
                         let cell = t.cell_mut(r, c);
-                        if !cell.is_blank() && !cell.text.chars().any(|ch| ch.is_ascii_digit())
-                        {
+                        if !cell.is_blank() && !cell.text.chars().any(|ch| ch.is_ascii_digit()) {
                             cell.text = format!("{}z", cell.text);
                         }
                     }
@@ -67,15 +65,14 @@ pub fn run(config: &ExperimentConfig) -> Vec<EmbeddingOutcome> {
         ("word2vec", PipelineConfig::fast_seeded(config.seed)),
         ("chargram", PipelineConfig::fast_chargram(config.seed)),
     ] {
-        let t0 = Instant::now();
-        let pipeline = Pipeline::train(&split.train, &cfg).expect("trains");
-        let train_secs = t0.elapsed().as_secs_f64();
-        let clean = LevelScores::evaluate(&split.test, standard_keys(), |t| {
-            pipeline.classify(t).into()
+        let (pipeline, elapsed) = tabmeta_obs::timed("eval.embeddings.train", || {
+            Pipeline::train(&split.train, &cfg).expect("trains")
         });
-        let stressed_scores = LevelScores::evaluate(&stressed, standard_keys(), |t| {
-            pipeline.classify(t).into()
-        });
+        let train_secs = elapsed.as_secs_f64();
+        let clean =
+            LevelScores::evaluate(&split.test, standard_keys(), |t| pipeline.classify(t).into());
+        let stressed_scores =
+            LevelScores::evaluate(&stressed, standard_keys(), |t| pipeline.classify(t).into());
         out.push(EmbeddingOutcome { model, train_secs, clean, stressed: stressed_scores });
     }
     out
@@ -84,9 +81,7 @@ pub fn run(config: &ExperimentConfig) -> Vec<EmbeddingOutcome> {
 /// Render the comparison.
 pub fn render(outcomes: &[EmbeddingOutcome]) -> String {
     use crate::metrics::paper_pct;
-    let mut out = String::from(
-        "Embedding models on CORD-19 (clean → OOV-stressed headers):\n",
-    );
+    let mut out = String::from("Embedding models on CORD-19 (clean → OOV-stressed headers):\n");
     out.push_str(&format!(
         "{:<10} {:>8} {:>16} {:>16} {:>16}\n",
         "model", "train_s", "HMD1", "HMD2", "VMD1"
@@ -94,8 +89,7 @@ pub fn render(outcomes: &[EmbeddingOutcome]) -> String {
     for o in outcomes {
         let pair = |k: LevelKey| {
             let a = o.clean.level_accuracy(k).map(paper_pct).unwrap_or_else(|| "·".into());
-            let b =
-                o.stressed.level_accuracy(k).map(paper_pct).unwrap_or_else(|| "·".into());
+            let b = o.stressed.level_accuracy(k).map(paper_pct).unwrap_or_else(|| "·".into());
             format!("{a} → {b}")
         };
         out.push_str(&format!(
@@ -138,10 +132,8 @@ mod tests {
 
     #[test]
     fn stress_replaces_header_terms_only() {
-        let split = split_corpus(
-            CorpusKind::Cord19,
-            &ExperimentConfig { tables_per_corpus: 60, seed: 2 },
-        );
+        let split =
+            split_corpus(CorpusKind::Cord19, &ExperimentConfig { tables_per_corpus: 60, seed: 2 });
         let stressed = stress_tables(&split.test, 1.0);
         let mut changed = 0;
         for (a, b) in split.test.iter().zip(&stressed) {

@@ -35,8 +35,7 @@ pub fn run(config: &ExperimentConfig) -> LlmComparison {
     let gpt4 = SimulatedLlm::new(LlmKind::Gpt4, config.seed);
     // The RAG database indexes the whole corpus — PubMed holds the
     // articles regardless of our train/test split.
-    let all: Vec<_> =
-        split.train.iter().chain(&split.test).cloned().collect();
+    let all: Vec<_> = split.train.iter().chain(&split.test).cloned().collect();
     let rag = SimulatedLlm::with_rag(LlmKind::Gpt4, config.seed, RagStore::build(&all));
 
     let score = |m: &SimulatedLlm| {
@@ -46,9 +45,7 @@ pub fn run(config: &ExperimentConfig) -> LlmComparison {
         gpt35: score(&gpt35),
         gpt4: score(&gpt4),
         rag_gpt4: score(&rag),
-        ours: LevelScores::evaluate(&split.test, keys.clone(), |t| {
-            methods.ours.classify(t).into()
-        }),
+        ours: LevelScores::evaluate(&split.test, keys.clone(), |t| methods.ours.classify(t).into()),
     }
 }
 
@@ -79,9 +76,7 @@ pub fn render_table6(c: &LlmComparison) -> String {
         ("HMD5".into(), vec![LevelKey::Hmd(5)]),
     ];
     for (label, keys) in rows {
-        let fuse = |s: &LevelScores| {
-            keys.iter().map(|k| cell(s, *k)).collect::<Vec<_>>().join("/")
-        };
+        let fuse = |s: &LevelScores| keys.iter().map(|k| cell(s, *k)).collect::<Vec<_>>().join("/");
         out.push_str(&format!(
             "{:<14} {:>8} {:>8} {:>10} {:>12}\n",
             label,

@@ -9,10 +9,10 @@
 //! complex tables → ours) is measured as well.
 
 use crate::harness::{split_corpus, train_all, ExperimentConfig, TrainedMethods};
-use std::time::Instant;
 use tabmeta_baselines::TableClassifier;
 use tabmeta_corpora::{CorpusKind, GeneratorConfig};
 use tabmeta_linalg::{linear_fit, LinearFit};
+use tabmeta_obs::timed;
 use tabmeta_tabular::Table;
 
 /// Wall-clock training cost per method.
@@ -33,21 +33,24 @@ pub fn training_cost(kind: CorpusKind, config: &ExperimentConfig) -> TrainingCos
     let split = split_corpus(kind, config);
     let mut entries = Vec::new();
 
-    let t0 = Instant::now();
-    let _ = Pipeline::train(&split.train, &PipelineConfig::fast_seeded(config.seed)).unwrap();
-    entries.push(("Our method".to_string(), t0.elapsed().as_secs_f64(), false));
+    let (_, elapsed) = timed("eval.train.ours", || {
+        Pipeline::train(&split.train, &PipelineConfig::fast_seeded(config.seed)).unwrap()
+    });
+    entries.push(("Our method".to_string(), elapsed.as_secs_f64(), false));
 
-    let t0 = Instant::now();
-    let _ = Pytheas::train(&split.train, PytheasConfig::default());
-    entries.push(("Pytheas".to_string(), t0.elapsed().as_secs_f64(), true));
+    let (_, elapsed) =
+        timed("eval.train.pytheas", || Pytheas::train(&split.train, PytheasConfig::default()));
+    entries.push(("Pytheas".to_string(), elapsed.as_secs_f64(), true));
 
-    let t0 = Instant::now();
-    let _ = LayoutDetector::train(&split.train, LayoutDetectorConfig::default());
-    entries.push(("TableTransformer(layout)".to_string(), t0.elapsed().as_secs_f64(), true));
+    let (_, elapsed) = timed("eval.train.layout", || {
+        LayoutDetector::train(&split.train, LayoutDetectorConfig::default())
+    });
+    entries.push(("TableTransformer(layout)".to_string(), elapsed.as_secs_f64(), true));
 
-    let t0 = Instant::now();
-    let _ = RandomForestDetector::train(&split.train, ForestConfig::default());
-    entries.push(("RandomForest".to_string(), t0.elapsed().as_secs_f64(), true));
+    let (_, elapsed) = timed("eval.train.rf", || {
+        RandomForestDetector::train(&split.train, ForestConfig::default())
+    });
+    entries.push(("RandomForest".to_string(), elapsed.as_secs_f64(), true));
 
     TrainingCost { entries }
 }
@@ -73,9 +76,9 @@ impl ScalingResult {
 
 /// Build size-sweep tables: same corpus flavour, growing data regions.
 fn sweep_tables(sizes: &[(usize, usize)], seed: u64) -> Vec<Vec<Table>> {
-    use tabmeta_corpora::TableBuilder;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use tabmeta_corpora::TableBuilder;
     sizes
         .iter()
         .enumerate()
@@ -95,11 +98,12 @@ fn sweep_tables(sizes: &[(usize, usize)], seed: u64) -> Vec<Vec<Table>> {
 fn time_per_table<F: FnMut(&Table)>(tables: &[Table], mut f: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..3 {
-        let t0 = Instant::now();
-        for t in tables {
-            f(t);
-        }
-        best = best.min(t0.elapsed().as_secs_f64());
+        let (_, elapsed) = timed("eval.inference_pass", || {
+            for t in tables {
+                f(t);
+            }
+        });
+        best = best.min(elapsed.as_secs_f64());
     }
     best / tables.len() as f64
 }
@@ -119,8 +123,7 @@ pub fn inference_scaling(config: &ExperimentConfig) -> Vec<ScalingResult> {
             let cells = tables[0].n_cells();
             points.push((cells, time_per_table(tables, &mut *f)));
         }
-        let pairs: Vec<(f64, f64)> =
-            points.iter().map(|(c, s)| (*c as f64, *s)).collect();
+        let pairs: Vec<(f64, f64)> = points.iter().map(|(c, s)| (*c as f64, *s)).collect();
         let fit = linear_fit(&pairs).expect("sweep has distinct sizes");
         out.push(ScalingResult { method: name.to_string(), points, fit });
     };
@@ -144,10 +147,8 @@ pub fn inference_scaling(config: &ExperimentConfig) -> Vec<ScalingResult> {
 pub fn hybrid_routing(config: &ExperimentConfig) -> (f64, f64, f64) {
     let split = split_corpus(CorpusKind::Wdc, config);
     let methods = train_all(&split, config);
-    let corpus = CorpusKind::Wdc.generate(&GeneratorConfig {
-        n_tables: 200,
-        seed: config.seed ^ 0x42,
-    });
+    let corpus =
+        CorpusKind::Wdc.generate(&GeneratorConfig { n_tables: 200, seed: config.seed ^ 0x42 });
 
     // The router consults surface structure only: multi-row headers or a
     // blank-heavy leading column mean "complex".

@@ -8,7 +8,6 @@
 
 use crate::harness::ExperimentConfig;
 use crate::scoring::{standard_keys, LevelKey, LevelScores};
-use std::time::Instant;
 use tabmeta_core::{Pipeline, PipelineConfig};
 use tabmeta_corpora::{CorpusKind, GeneratorConfig};
 use tabmeta_linalg::{linear_fit, LinearFit};
@@ -47,19 +46,16 @@ pub fn run(sizes: &[usize], config: &ExperimentConfig) -> TrainingScaling {
     let max = sizes.iter().copied().max().unwrap_or(200);
     // One corpus large enough for the biggest point plus a fixed test set.
     let test_n = 150usize;
-    let corpus = CorpusKind::Ckg.generate(&GeneratorConfig {
-        n_tables: max + test_n,
-        seed: config.seed,
-    });
+    let corpus =
+        CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: max + test_n, seed: config.seed });
     let (pool, test) = corpus.tables.split_at(max);
     let mut points = Vec::new();
     for &n in sizes {
-        let t0 = Instant::now();
-        let pipeline = Pipeline::train(&pool[..n], &PipelineConfig::fast_seeded(config.seed))
-            .expect("trains");
-        let train_secs = t0.elapsed().as_secs_f64();
-        let scores =
-            LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
+        let (pipeline, elapsed) = tabmeta_obs::timed("eval.scaling.train", || {
+            Pipeline::train(&pool[..n], &PipelineConfig::fast_seeded(config.seed)).expect("trains")
+        });
+        let train_secs = elapsed.as_secs_f64();
+        let scores = LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
         points.push(ScalePoint {
             n_tables: n,
             train_secs,
@@ -67,8 +63,7 @@ pub fn run(sizes: &[usize], config: &ExperimentConfig) -> TrainingScaling {
             vmd1: scores.level_accuracy(LevelKey::Vmd(1)),
         });
     }
-    let pairs: Vec<(f64, f64)> =
-        points.iter().map(|p| (p.n_tables as f64, p.train_secs)).collect();
+    let pairs: Vec<(f64, f64)> = points.iter().map(|p| (p.n_tables as f64, p.train_secs)).collect();
     let fit = linear_fit(&pairs).expect("distinct sizes");
     TrainingScaling { points, fit }
 }
@@ -77,10 +72,7 @@ pub fn run(sizes: &[usize], config: &ExperimentConfig) -> TrainingScaling {
 pub fn render(s: &TrainingScaling) -> String {
     use crate::metrics::paper_pct;
     let mut out = String::from("Training-size scaling on CKG (fixed held-out set):\n");
-    out.push_str(&format!(
-        "{:>8} {:>10} {:>8} {:>8}\n",
-        "tables", "train_s", "HMD1", "VMD1"
-    ));
+    out.push_str(&format!("{:>8} {:>10} {:>8} {:>8}\n", "tables", "train_s", "HMD1", "VMD1"));
     for p in &s.points {
         out.push_str(&format!(
             "{:>8} {:>10.2} {:>8} {:>8}\n",

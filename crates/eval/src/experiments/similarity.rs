@@ -58,11 +58,8 @@ pub struct Separation {
 
 /// Best single-threshold accuracy for "meta_data above, meta_meta below".
 fn best_threshold_accuracy(meta_meta: &[f32], meta_data: &[f32]) -> f64 {
-    let mut labeled: Vec<(f32, bool)> = meta_meta
-        .iter()
-        .map(|&d| (d, false))
-        .chain(meta_data.iter().map(|&d| (d, true)))
-        .collect();
+    let mut labeled: Vec<(f32, bool)> =
+        meta_meta.iter().map(|&d| (d, false)).chain(meta_data.iter().map(|&d| (d, true))).collect();
     if labeled.is_empty() {
         return 0.5;
     }
@@ -107,8 +104,8 @@ fn jaccard_distance(a: &[String], b: &[String]) -> f32 {
 /// Measure separability of all three metrics on one corpus.
 pub fn run(kind: CorpusKind, config: &ExperimentConfig) -> Vec<Separation> {
     let split = split_corpus(kind, config);
-    let pipeline = Pipeline::train(&split.train, &PipelineConfig::fast_seeded(config.seed))
-        .expect("trains");
+    let pipeline =
+        Pipeline::train(&split.train, &PipelineConfig::fast_seeded(config.seed)).expect("trains");
     let tokenizer: &Tokenizer = pipeline.tokenizer();
     let labeler = BootstrapLabeler::default();
 
@@ -182,17 +179,13 @@ mod tests {
 
     #[test]
     fn angle_separates_best_or_close() {
-        let results =
-            run(CorpusKind::Ckg, &ExperimentConfig { tables_per_corpus: 250, seed: 23 });
+        let results = run(CorpusKind::Ckg, &ExperimentConfig { tables_per_corpus: 250, seed: 23 });
         let by = |m: Metric| results.iter().find(|s| s.metric == m).unwrap();
         let angle = by(Metric::Angle).threshold_accuracy;
         let euclid = by(Metric::Euclidean).threshold_accuracy;
         assert!(angle > 0.8, "angles must separate the pair classes: {angle}");
         // §III-C's argument: magnitude sensitivity makes Euclidean worse.
-        assert!(
-            angle >= euclid - 0.01,
-            "angle should not lose to euclidean: {angle} vs {euclid}"
-        );
+        assert!(angle >= euclid - 0.01, "angle should not lose to euclidean: {angle} vs {euclid}");
         assert!(!by(Metric::Jaccard).meta_meta.is_empty());
     }
 
@@ -220,8 +213,7 @@ mod tests {
 
     #[test]
     fn render_lists_metrics() {
-        let results =
-            run(CorpusKind::Wdc, &ExperimentConfig { tables_per_corpus: 120, seed: 3 });
+        let results = run(CorpusKind::Wdc, &ExperimentConfig { tables_per_corpus: 120, seed: 3 });
         let s = render(CorpusKind::Wdc, &results);
         assert!(s.contains("angle (ours)"));
         assert!(s.contains("euclidean"));

@@ -40,11 +40,9 @@ pub fn run(kinds: &[CorpusKind], config: &ExperimentConfig) -> Vec<TransferCell>
         let word2vec =
             Pipeline::train(&train_split.train, &PipelineConfig::fast_seeded(config.seed))
                 .expect("trains");
-        let chargram = Pipeline::train(
-            &train_split.train,
-            &PipelineConfig::fast_chargram(config.seed),
-        )
-        .expect("trains");
+        let chargram =
+            Pipeline::train(&train_split.train, &PipelineConfig::fast_chargram(config.seed))
+                .expect("trains");
         let forest = RandomForestDetector::train(
             &train_split.train,
             ForestConfig { seed: config.seed, ..ForestConfig::default() },
@@ -75,9 +73,8 @@ pub fn run(kinds: &[CorpusKind], config: &ExperimentConfig) -> Vec<TransferCell>
 /// Render the transfer matrix (HMD1 and VMD1 per cell).
 pub fn render(cells: &[TransferCell]) -> String {
     use crate::metrics::paper_pct;
-    let mut out = String::from(
-        "Cross-corpus transfer (train → test, held-out domains; HMD1/VMD1):\n",
-    );
+    let mut out =
+        String::from("Cross-corpus transfer (train → test, held-out domains; HMD1/VMD1):\n");
     out.push_str(&format!(
         "{:<22} {:>16} {:>16} {:>14}\n",
         "train → test", "ours (word2vec)", "ours (chargram)", "RandomForest"

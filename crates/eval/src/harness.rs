@@ -49,10 +49,8 @@ pub struct SplitCorpus {
 
 /// Generate and split one corpus (70/30, deterministic).
 pub fn split_corpus(kind: CorpusKind, config: &ExperimentConfig) -> SplitCorpus {
-    let corpus = kind.generate(&GeneratorConfig {
-        n_tables: config.tables_per_corpus,
-        seed: config.seed,
-    });
+    let corpus =
+        kind.generate(&GeneratorConfig { n_tables: config.tables_per_corpus, seed: config.seed });
     let cut = corpus.tables.len() * 7 / 10;
     let mut tables = corpus.tables;
     let test = tables.split_off(cut);

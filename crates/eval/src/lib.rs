@@ -17,7 +17,7 @@ pub mod harness;
 pub mod metrics;
 pub mod scoring;
 
+pub use anatomy::{Anatomy, FailureMode};
 pub use harness::{split_corpus, train_all, ExperimentConfig, SplitCorpus, TrainedMethods};
 pub use metrics::{paper_pct, BinaryCounts};
-pub use anatomy::{Anatomy, FailureMode};
 pub use scoring::{combined_accuracy, standard_keys, Labels, LevelKey, LevelScores};

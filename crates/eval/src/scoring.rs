@@ -55,14 +55,14 @@ impl std::fmt::Display for LevelKey {
 /// Whether `labels` place metadata level `key` where the table's truth
 /// does. For `Hmd(k)`/`Vmd(k)` that is label `k` at position `k−1`; for
 /// CMD, that every true CMD row is labeled CMD.
-fn level_correct(labels: &Labels, truth: &tabmeta_tabular::table::GroundTruth, key: LevelKey) -> bool {
+fn level_correct(
+    labels: &Labels,
+    truth: &tabmeta_tabular::table::GroundTruth,
+    key: LevelKey,
+) -> bool {
     match key {
-        LevelKey::Hmd(k) => {
-            labels.rows.get(k as usize - 1) == Some(&LevelLabel::Hmd(k))
-        }
-        LevelKey::Vmd(k) => {
-            labels.columns.get(k as usize - 1) == Some(&LevelLabel::Vmd(k))
-        }
+        LevelKey::Hmd(k) => labels.rows.get(k as usize - 1) == Some(&LevelLabel::Hmd(k)),
+        LevelKey::Vmd(k) => labels.columns.get(k as usize - 1) == Some(&LevelLabel::Vmd(k)),
         LevelKey::Cmd => truth
             .rows
             .iter()
@@ -92,21 +92,13 @@ fn level_claimed(labels: &Labels, key: LevelKey) -> bool {
 }
 
 /// Score one (table, prediction) pair into per-level counts.
-pub fn score_table(
-    table: &Table,
-    labels: &Labels,
-    keys: &[LevelKey],
-    counts: &mut [BinaryCounts],
-) {
+pub fn score_table(table: &Table, labels: &Labels, keys: &[LevelKey], counts: &mut [BinaryCounts]) {
     assert_eq!(keys.len(), counts.len());
     let truth = table.truth.as_ref().expect("scoring requires ground truth");
     for (key, count) in keys.iter().zip(counts.iter_mut()) {
         let present = level_present(truth, *key);
-        let predicted = if present {
-            level_correct(labels, truth, *key)
-        } else {
-            level_claimed(labels, *key)
-        };
+        let predicted =
+            if present { level_correct(labels, truth, *key) } else { level_claimed(labels, *key) };
         count.record(present, predicted);
     }
 }
@@ -175,11 +167,8 @@ pub fn combined_accuracy(
     let mut n = 0usize;
     for (table, l) in tables.iter().zip(labels) {
         let truth = table.truth.as_ref().expect("scoring requires ground truth");
-        let (truth_axis, pred_axis) = if vertical {
-            (&truth.columns, &l.columns)
-        } else {
-            (&truth.rows, &l.rows)
-        };
+        let (truth_axis, pred_axis) =
+            if vertical { (&truth.columns, &l.columns) } else { (&truth.rows, &l.rows) };
         // Score the boundary region only — the leading `max_level + 1`
         // levels where header detection actually happens (the original
         // evaluates header candidates, not every column of a wide table).
@@ -208,20 +197,10 @@ mod tests {
     fn table_2h_1v() -> Table {
         Table::from_strings(
             1,
-            &[
-                &["a", "b", "c"],
-                &["d", "e", "f"],
-                &["x", "1", "2"],
-                &["y", "3", "4"],
-            ],
+            &[&["a", "b", "c"], &["d", "e", "f"], &["x", "1", "2"], &["y", "3", "4"]],
         )
         .with_truth(GroundTruth {
-            rows: vec![
-                LevelLabel::Hmd(1),
-                LevelLabel::Hmd(2),
-                LevelLabel::Data,
-                LevelLabel::Data,
-            ],
+            rows: vec![LevelLabel::Hmd(1), LevelLabel::Hmd(2), LevelLabel::Data, LevelLabel::Data],
             columns: vec![LevelLabel::Vmd(1), LevelLabel::Data, LevelLabel::Data],
         })
     }
@@ -234,11 +213,8 @@ mod tests {
     #[test]
     fn perfect_prediction_scores_one_everywhere_present() {
         let t = table_2h_1v();
-        let scores = LevelScores::evaluate(
-            std::slice::from_ref(&t),
-            standard_keys(),
-            perfect_labels,
-        );
+        let scores =
+            LevelScores::evaluate(std::slice::from_ref(&t), standard_keys(), perfect_labels);
         assert_eq!(scores.level_accuracy(LevelKey::Hmd(1)), Some(1.0));
         assert_eq!(scores.level_accuracy(LevelKey::Hmd(2)), Some(1.0));
         assert_eq!(scores.level_accuracy(LevelKey::Vmd(1)), Some(1.0));
@@ -253,12 +229,7 @@ mod tests {
     fn shifted_header_fails_level_two() {
         let t = table_2h_1v();
         let labels = Labels {
-            rows: vec![
-                LevelLabel::Hmd(1),
-                LevelLabel::Data,
-                LevelLabel::Data,
-                LevelLabel::Data,
-            ],
+            rows: vec![LevelLabel::Hmd(1), LevelLabel::Data, LevelLabel::Data, LevelLabel::Data],
             columns: vec![LevelLabel::Vmd(1), LevelLabel::Data, LevelLabel::Data],
         };
         let mut counts = vec![BinaryCounts::default(); 2];
@@ -311,27 +282,14 @@ mod tests {
         // Monolithic header detection: both HMD rows flagged as metadata
         // but at the wrong level still counts for the combined metric.
         let labels = Labels {
-            rows: vec![
-                LevelLabel::Hmd(1),
-                LevelLabel::Hmd(1),
-                LevelLabel::Data,
-                LevelLabel::Data,
-            ],
+            rows: vec![LevelLabel::Hmd(1), LevelLabel::Hmd(1), LevelLabel::Data, LevelLabel::Data],
             columns: vec![LevelLabel::Vmd(1), LevelLabel::Data, LevelLabel::Data],
         };
-        let acc = combined_accuracy(
-            std::slice::from_ref(&t),
-            std::slice::from_ref(&labels),
-            false,
-            3,
-        );
+        let acc =
+            combined_accuracy(std::slice::from_ref(&t), std::slice::from_ref(&labels), false, 3);
         assert_eq!(acc, Some(1.0));
-        let vacc = combined_accuracy(
-            std::slice::from_ref(&t),
-            std::slice::from_ref(&labels),
-            true,
-            2,
-        );
+        let vacc =
+            combined_accuracy(std::slice::from_ref(&t), std::slice::from_ref(&labels), true, 2);
         assert_eq!(vacc, Some(1.0));
     }
 

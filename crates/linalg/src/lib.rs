@@ -27,4 +27,6 @@ pub use centroid::{aggregate_concat, aggregate_mean, aggregate_sum, centroid};
 pub use matrix::Matrix;
 pub use range::{AngleRange, RangeEstimator};
 pub use stats::{linear_fit, LinearFit, OnlineStats};
-pub use vector::{add_assign, axpy, dot, euclidean, euclidean_sq, norm, normalize, scale, sub_assign};
+pub use vector::{
+    add_assign, axpy, dot, euclidean, euclidean_sq, norm, normalize, scale, sub_assign,
+};

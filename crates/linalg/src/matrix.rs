@@ -5,7 +5,7 @@
 //! is the standard SGNS layout: row access is a bounds-checked slice, cache
 //! behaviour is predictable, and the whole table serializes in one shot.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A dense `rows × dim` matrix stored row-major in one `Vec<f32>`.

@@ -92,10 +92,7 @@ impl AngleRange {
         if self.is_empty() {
             return *self;
         }
-        AngleRange {
-            lo: (self.lo - margin).max(0.0),
-            hi: (self.hi + margin).min(180.0),
-        }
+        AngleRange { lo: (self.lo - margin).max(0.0), hi: (self.hi + margin).min(180.0) }
     }
 
     /// Midpoint of the interval; used when reporting a single representative

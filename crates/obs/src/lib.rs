@@ -1,0 +1,391 @@
+//! `tabmeta-obs`: observability for the train/classify pipeline.
+//!
+//! Three pieces, one registry:
+//!
+//! * **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) — relaxed-atomic
+//!   record paths (no locks, no allocation) safe to hit from rayon hot
+//!   loops. Callers fetch a handle once ([`Registry::counter`] & co.,
+//!   which take a short registry lock) and then hammer the handle.
+//! * **Spans** ([`SpanGuard`], the [`span!`] macro) — RAII wall-time
+//!   scopes that nest per thread into `/`-joined paths
+//!   (`train/embed/epoch`), aggregated per path.
+//! * **Export** ([`Snapshot`]) — one serializable view of everything,
+//!   renderable as aligned text or JSON (via `serde_json`).
+//!
+//! The [`global()`] registry serves the pipeline; tests that need exact
+//! counts build private [`Registry`] instances instead.
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{Counter, Gauge, Histogram, SUB_BUCKETS};
+pub use span::{SpanGuard, SpanRecorder, SpanStat};
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A named home for metrics and spans.
+///
+/// `counter`/`gauge`/`histogram` are get-or-create: the first call for a
+/// name allocates the instrument under a write lock, later calls clone
+/// the `Arc` under a read lock. Hot paths should cache the returned
+/// handle rather than re-looking-up per event.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    spans: SpanRecorder,
+}
+
+macro_rules! get_or_create {
+    ($map:expr, $name:expr, $make:expr) => {{
+        if let Some(found) = $map.read().get($name) {
+            return Arc::clone(found);
+        }
+        let mut map = $map.write();
+        Arc::clone(map.entry($name.to_string()).or_insert_with(|| Arc::new($make)))
+    }};
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Handle to the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create!(self.counters, name, Counter::new())
+    }
+
+    /// Handle to the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create!(self.gauges, name, Gauge::new())
+    }
+
+    /// Handle to the histogram named `name` (microsecond-range buckets).
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create!(self.histograms, name, Histogram::for_micros())
+    }
+
+    /// Handle to the histogram named `name` with bounds `[lo, hi)`
+    /// (powers of two). Bounds apply on first creation only.
+    pub fn histogram_with(&self, name: &str, lo: u64, hi: u64) -> Arc<Histogram> {
+        get_or_create!(self.histograms, name, Histogram::new(lo, hi))
+    }
+
+    /// Open a span named `name` recording into this registry.
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        SpanGuard::enter(&self.spans, name)
+    }
+
+    /// This registry's span aggregates.
+    pub fn spans(&self) -> &SpanRecorder {
+        &self.spans
+    }
+
+    /// Point-in-time copy of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(name, c)| CounterSnapshot { name: name.clone(), value: c.get() })
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(name, g)| GaugeSnapshot { name: name.clone(), value: g.get() })
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(name, h)| HistogramSnapshot {
+                    name: name.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    underflow: h.underflow(),
+                    overflow: h.overflow(),
+                    p50: h.quantile(0.5),
+                    p99: h.quantile(0.99),
+                    buckets: h
+                        .nonzero_buckets()
+                        .into_iter()
+                        .map(|(lo, hi, count)| BucketSnapshot { lo, hi, count })
+                        .collect(),
+                })
+                .collect(),
+            spans: self
+                .spans
+                .snapshot()
+                .into_iter()
+                .map(|(path, s)| SpanSnapshot {
+                    path,
+                    count: s.count,
+                    total_micros: s.total_micros,
+                    min_micros: s.min_micros,
+                    max_micros: s.max_micros,
+                })
+                .collect(),
+        }
+    }
+
+    /// Reset everything (test isolation). Existing handles stay valid and
+    /// keep recording into the same instruments, which are zeroed here by
+    /// replacement — callers caching handles across a reset keep writing
+    /// into instruments no longer reachable from the registry.
+    pub fn reset(&self) {
+        self.counters.write().clear();
+        self.gauges.write().clear();
+        self.histograms.write().clear();
+        self.spans.clear();
+    }
+}
+
+/// The process-wide registry the pipeline records into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Open a span on the [`global()`] registry.
+pub fn span_enter(name: &str) -> SpanGuard<'static> {
+    global().span(name)
+}
+
+/// Run `f` inside a global span, returning its result and elapsed wall
+/// time (for callers that need the duration as a value, e.g. reported
+/// experiment timings).
+pub fn timed<R>(name: &str, f: impl FnOnce() -> R) -> (R, Duration) {
+    let _guard = span_enter(name);
+    let start = Instant::now();
+    let result = f();
+    (result, start.elapsed())
+}
+
+/// Open a span on the global registry for the rest of the enclosing
+/// scope: `span!("finetune.epoch");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _obs_span_guard = $crate::span_enter($name);
+    };
+}
+
+// ---------------------------------------------------------------------
+// Snapshot: the serializable export surface.
+// ---------------------------------------------------------------------
+
+/// One counter's value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Total count.
+    pub value: u64,
+}
+
+/// One gauge's level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// One occupied histogram bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketSnapshot {
+    /// Inclusive low bound.
+    pub lo: u64,
+    /// Exclusive high bound.
+    pub hi: u64,
+    /// Values recorded in `[lo, hi)`.
+    pub count: u64,
+}
+
+/// One histogram's distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Values below the low bound.
+    pub underflow: u64,
+    /// Values at or above the high bound.
+    pub overflow: u64,
+    /// Approximate median.
+    pub p50: Option<u64>,
+    /// Approximate 99th percentile.
+    pub p99: Option<u64>,
+    /// Occupied buckets only.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+/// One span path's aggregate timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// `/`-joined nesting path.
+    pub path: String,
+    /// Completed invocations.
+    pub count: u64,
+    /// Summed wall time, microseconds.
+    pub total_micros: u64,
+    /// Fastest invocation, microseconds.
+    pub min_micros: u64,
+    /// Slowest invocation, microseconds.
+    pub max_micros: u64,
+}
+
+/// Point-in-time view of a whole [`Registry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All span paths, sorted.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+fn fmt_micros(micros: u64) -> String {
+    if micros >= 1_000_000 {
+        format!("{:.2}s", micros as f64 / 1e6)
+    } else if micros >= 1_000 {
+        format!("{:.2}ms", micros as f64 / 1e3)
+    } else {
+        format!("{micros}µs")
+    }
+}
+
+impl Snapshot {
+    /// Aligned human-readable report of every instrument.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for s in &self.spans {
+                let depth = s.path.matches('/').count();
+                let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+                let mean = s.total_micros.checked_div(s.count).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {:indent$}{name:<28} n={:<7} total={:<10} mean={:<10} min={:<10} max={}",
+                    "",
+                    s.count,
+                    fmt_micros(s.total_micros),
+                    fmt_micros(mean),
+                    fmt_micros(s.min_micros),
+                    fmt_micros(s.max_micros),
+                    indent = depth * 2,
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for c in &self.counters {
+                let _ = writeln!(out, "  {:<44} {}", c.name, c.value);
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for g in &self.gauges {
+                let _ = writeln!(out, "  {:<44} {}", g.name, g.value);
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for h in &self.histograms {
+                let mean = h.sum.checked_div(h.count).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {:<44} n={} mean={} p50={} p99={} under={} over={}",
+                    h.name,
+                    h.count,
+                    mean,
+                    h.p50.map_or_else(|| "-".to_string(), |v| v.to_string()),
+                    h.p99.map_or_else(|| "-".to_string(), |v| v.to_string()),
+                    h.underflow,
+                    h.overflow,
+                );
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no instruments recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let reg = Registry::new();
+        let a = reg.counter("events");
+        let b = reg.counter("events");
+        a.add(2);
+        b.inc();
+        assert_eq!(reg.counter("events").get(), 3);
+        reg.gauge("level").set(1.5);
+        assert_eq!(reg.gauge("level").get(), 1.5);
+    }
+
+    #[test]
+    fn snapshot_collects_everything() {
+        let reg = Registry::new();
+        reg.counter("c").add(7);
+        reg.gauge("g").set(0.25);
+        reg.histogram("h").record(100);
+        {
+            let _outer = reg.span("stage");
+            let _inner = reg.span("step");
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].value, 7);
+        assert_eq!(snap.gauges[0].value, 0.25);
+        assert_eq!(snap.histograms[0].count, 1);
+        let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, ["stage", "stage/step"]);
+        let text = snap.render_text();
+        for needle in ["spans:", "counters:", "gauges:", "histograms:", "stage/", "c", "g", "h"] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn timed_returns_result_and_duration() {
+        let (value, elapsed) = timed("obs.test.timed", || 41 + 1);
+        assert_eq!(value, 42);
+        assert!(elapsed.as_nanos() > 0 || elapsed.is_zero()); // total, not panicking
+        let paths: Vec<String> = global().spans().snapshot().into_iter().map(|(p, _)| p).collect();
+        assert!(paths.iter().any(|p| p.ends_with("obs.test.timed")));
+    }
+
+    #[test]
+    fn reset_clears_instruments() {
+        let reg = Registry::new();
+        reg.counter("x").inc();
+        drop(reg.span("s"));
+        reg.reset();
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty() && snap.spans.is_empty());
+    }
+}

@@ -1,0 +1,291 @@
+//! Lock-free metric primitives: counters, gauges, and log-linear
+//! histograms.
+//!
+//! The record path of every primitive is a single relaxed atomic RMW (two
+//! for histograms' count/sum bookkeeping) — no locks, no allocation — so
+//! handles can be hammered from rayon hot loops. Cross-thread visibility
+//! is only needed at snapshot time, and a snapshot that races with
+//! recording may be off by in-flight increments, which is the usual
+//! monitoring contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two major bucket.
+pub const SUB_BUCKETS: usize = 4;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point level (loss, learning rate, rates).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// New gauge at 0.0.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Where a recorded value lands in a histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    Under,
+    At(usize),
+    Over,
+}
+
+/// A log-linear histogram over `u64` values.
+///
+/// Major buckets are powers of two between `lo` and `hi` (both powers of
+/// two); each major is split into [`SUB_BUCKETS`] linear sub-buckets, so
+/// relative error is bounded by `1/SUB_BUCKETS` everywhere. Values below
+/// `lo` and at-or-above `hi` land in dedicated underflow/overflow buckets
+/// rather than being clamped silently.
+#[derive(Debug)]
+pub struct Histogram {
+    lo: u64,
+    hi: u64,
+    count: AtomicU64,
+    sum: AtomicU64,
+    under: AtomicU64,
+    over: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Histogram {
+    /// Histogram covering `[lo, hi)`; both bounds must be powers of two
+    /// with `lo < hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        assert!(
+            lo.is_power_of_two() && hi.is_power_of_two() && lo < hi,
+            "bounds must be powers of two with lo < hi"
+        );
+        let majors = (hi.trailing_zeros() - lo.trailing_zeros()) as usize;
+        let buckets = (0..majors * SUB_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            lo,
+            hi,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            under: AtomicU64::new(0),
+            over: AtomicU64::new(0),
+            buckets,
+        }
+    }
+
+    /// Default range for microsecond durations: 1µs up to ~72 minutes.
+    pub fn for_micros() -> Self {
+        Histogram::new(1, 1 << 32)
+    }
+
+    fn slot(&self, v: u64) -> Slot {
+        if v < self.lo {
+            return Slot::Under;
+        }
+        if v >= self.hi {
+            return Slot::Over;
+        }
+        let major = 63 - v.leading_zeros();
+        let base = 1u64 << major;
+        let sub = ((v - base) * SUB_BUCKETS as u64 / base) as usize;
+        Slot::At((major - self.lo.trailing_zeros()) as usize * SUB_BUCKETS + sub)
+    }
+
+    /// Record one value (relaxed atomics only; no locks, no allocation).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        match self.slot(v) {
+            Slot::Under => self.under.fetch_add(1, Ordering::Relaxed),
+            Slot::Over => self.over.fetch_add(1, Ordering::Relaxed),
+            Slot::At(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values (wraps on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Values recorded below the low bound.
+    pub fn underflow(&self) -> u64 {
+        self.under.load(Ordering::Relaxed)
+    }
+
+    /// Values recorded at or above the high bound.
+    pub fn overflow(&self) -> u64 {
+        self.over.load(Ordering::Relaxed)
+    }
+
+    /// Inclusive-low/exclusive-high value bounds of in-range bucket `i`.
+    pub fn bucket_bounds(&self, i: usize) -> (u64, u64) {
+        let major = self.lo.trailing_zeros() as usize + i / SUB_BUCKETS;
+        let sub = (i % SUB_BUCKETS) as u64;
+        let base = 1u64 << major;
+        (base + base * sub / SUB_BUCKETS as u64, base + base * (sub + 1) / SUB_BUCKETS as u64)
+    }
+
+    /// Occupied in-range buckets as `(low, high, count)` triples.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                if n == 0 {
+                    return None;
+                }
+                let (lo, hi) = self.bucket_bounds(i);
+                Some((lo, hi, n))
+            })
+            .collect()
+    }
+
+    /// Approximate quantile: the upper bound of the bucket where the
+    /// cumulative count crosses `q` (0.0–1.0). `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = self.underflow();
+        if seen >= target {
+            return Some(self.lo);
+        }
+        for i in 0..self.buckets.len() {
+            seen += self.buckets[i].load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(self.bucket_bounds(i).1);
+            }
+        }
+        Some(self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn power_of_two_edges_split_buckets() {
+        let h = Histogram::new(1, 1 << 16);
+        for k in 4..16u32 {
+            let edge = 1u64 << k;
+            assert_ne!(h.slot(edge - 1), h.slot(edge), "2^{k} must start a new major bucket");
+            let (lo, _) = match h.slot(edge) {
+                Slot::At(i) => h.bucket_bounds(i),
+                s => panic!("edge 2^{k} out of range: {s:?}"),
+            };
+            assert_eq!(lo, edge, "2^{k} must be its bucket's low bound");
+        }
+    }
+
+    #[test]
+    fn sub_buckets_are_linear_within_major() {
+        let h = Histogram::new(1, 1 << 16);
+        // Major [256, 512) has 4 sub-buckets of width 64.
+        for (v, sub) in [(256u64, 0usize), (319, 0), (320, 1), (447, 2), (448, 3), (511, 3)] {
+            match h.slot(v) {
+                Slot::At(i) => assert_eq!(i % SUB_BUCKETS, sub, "value {v}"),
+                s => panic!("{v} out of range: {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn under_and_overflow_are_tracked() {
+        let h = Histogram::new(8, 64);
+        h.record(0);
+        h.record(7);
+        h.record(64);
+        h.record(u64::MAX);
+        h.record(8);
+        h.record(63);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 6);
+        let in_range: u64 = h.nonzero_buckets().iter().map(|(_, _, n)| n).sum();
+        assert_eq!(in_range, 2);
+    }
+
+    #[test]
+    fn bounds_tile_the_range() {
+        let h = Histogram::new(4, 1 << 10);
+        let mut expected_lo = 4;
+        for i in 0..(8 * SUB_BUCKETS) {
+            let (lo, hi) = h.bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(lo, expected_lo, "bucket {i} must start where the previous ended");
+            expected_lo = hi;
+        }
+        assert_eq!(expected_lo, 1 << 10);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded() {
+        let h = Histogram::for_micros();
+        for v in 1..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!((256..=1024).contains(&p50), "p50 {p50} implausible for 1..1000");
+        assert!(h.quantile(1.0).unwrap() >= 999);
+    }
+}

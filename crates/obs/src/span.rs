@@ -1,0 +1,165 @@
+//! Hierarchical wall-time spans with RAII guards.
+//!
+//! A span guard notes the moment it is created and, on drop, records its
+//! elapsed wall time under a `/`-joined path built from the spans active
+//! *on the same thread*: entering `"train"` and then `"epoch"` inside it
+//! records `"train/epoch"`. Each thread keeps its own stack, so rayon
+//! workers nest independently of (and never corrupt) the caller's stack;
+//! a worker's spans simply root at the worker's own outermost span.
+//!
+//! Aggregation (count / total / min / max per path) happens only at guard
+//! drop, under a short mutex — spans are for stage-level timing, not
+//! per-element hot loops; use [`crate::metrics::Histogram`] for those.
+
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+thread_local! {
+    /// Full paths of the spans currently open on this thread, outermost
+    /// first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated timings for one span path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed invocations.
+    pub count: u64,
+    /// Summed wall time, microseconds.
+    pub total_micros: u64,
+    /// Fastest invocation, microseconds.
+    pub min_micros: u64,
+    /// Slowest invocation, microseconds.
+    pub max_micros: u64,
+}
+
+/// Path-keyed span aggregates; one per [`crate::Registry`].
+#[derive(Debug, Default)]
+pub struct SpanRecorder {
+    stats: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl SpanRecorder {
+    /// Fold one completed invocation into the aggregate for `path`.
+    pub fn record(&self, path: &str, micros: u64) {
+        let mut stats = self.stats.lock();
+        let s = stats.entry(path.to_string()).or_default();
+        if s.count == 0 {
+            s.min_micros = micros;
+            s.max_micros = micros;
+        } else {
+            s.min_micros = s.min_micros.min(micros);
+            s.max_micros = s.max_micros.max(micros);
+        }
+        s.count += 1;
+        s.total_micros += micros;
+    }
+
+    /// Copy of all aggregates, sorted by path.
+    pub fn snapshot(&self) -> Vec<(String, SpanStat)> {
+        self.stats.lock().iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Drop all aggregates (test isolation).
+    pub fn clear(&self) {
+        self.stats.lock().clear();
+    }
+}
+
+/// RAII guard for one span invocation; records on drop.
+#[must_use = "a span guard must be held for the duration it measures"]
+pub struct SpanGuard<'r> {
+    recorder: &'r SpanRecorder,
+    path: String,
+    start: Instant,
+}
+
+impl<'r> SpanGuard<'r> {
+    /// Open a span named `name`, nested under this thread's innermost
+    /// open span (if any).
+    pub fn enter(recorder: &'r SpanRecorder, name: &str) -> Self {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        SpanGuard { recorder, path, start: Instant::now() }
+    }
+
+    /// This span's full `/`-joined path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let micros = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards normally drop LIFO; tolerate out-of-order drops by
+            // removing this guard's own entry wherever it sits.
+            if let Some(pos) = stack.iter().rposition(|p| *p == self.path) {
+                stack.remove(pos);
+            }
+        });
+        self.recorder.record(&self.path, micros);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_nest_and_unwind() {
+        let rec = SpanRecorder::default();
+        {
+            let outer = SpanGuard::enter(&rec, "outer");
+            assert_eq!(outer.path(), "outer");
+            {
+                let inner = SpanGuard::enter(&rec, "inner");
+                assert_eq!(inner.path(), "outer/inner");
+            }
+            let sibling = SpanGuard::enter(&rec, "sibling");
+            assert_eq!(sibling.path(), "outer/sibling");
+        }
+        let paths: Vec<String> = rec.snapshot().into_iter().map(|(p, _)| p).collect();
+        assert_eq!(paths, ["outer", "outer/inner", "outer/sibling"]);
+        // The stack fully unwound: a fresh span roots again.
+        let fresh = SpanGuard::enter(&rec, "fresh");
+        assert_eq!(fresh.path(), "fresh");
+    }
+
+    #[test]
+    fn stats_aggregate_counts_and_extremes() {
+        let rec = SpanRecorder::default();
+        rec.record("s", 10);
+        rec.record("s", 30);
+        rec.record("s", 20);
+        let stats = rec.snapshot();
+        assert_eq!(stats.len(), 1);
+        let (_, s) = &stats[0];
+        assert_eq!((s.count, s.total_micros, s.min_micros, s.max_micros), (3, 60, 10, 30));
+    }
+
+    #[test]
+    fn out_of_order_drop_keeps_stack_sane() {
+        let rec = SpanRecorder::default();
+        let a = SpanGuard::enter(&rec, "a");
+        let b = SpanGuard::enter(&rec, "b");
+        drop(a); // wrong order on purpose
+        let c = SpanGuard::enter(&rec, "c");
+        assert_eq!(c.path(), "a/b/c");
+        drop(c);
+        drop(b);
+        let fresh = SpanGuard::enter(&rec, "fresh");
+        assert_eq!(fresh.path(), "fresh");
+    }
+}

@@ -1,0 +1,100 @@
+//! Concurrency and serialization tests for the obs layer: recording from
+//! rayon-style parallel loops must lose nothing, span stacks must stay
+//! per-thread, and snapshots must round-trip through JSON.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use std::sync::Arc;
+use tabmeta_obs::{Registry, Snapshot};
+
+#[test]
+fn parallel_counter_increments_are_all_counted() {
+    let reg = Registry::new();
+    let counter = reg.counter("par.events");
+    let hist = reg.histogram("par.values");
+    let items: Vec<u64> = (0..50_000).collect();
+    let _: Vec<()> = items
+        .par_iter()
+        .map(|v| {
+            counter.inc();
+            hist.record(*v % 1024 + 1);
+        })
+        .collect();
+    assert_eq!(counter.get(), 50_000, "no increment may be lost under contention");
+    assert_eq!(hist.count(), 50_000);
+    let binned: u64 = hist.underflow()
+        + hist.overflow()
+        + hist.nonzero_buckets().iter().map(|(_, _, n)| n).sum::<u64>();
+    assert_eq!(binned, 50_000, "every value lands in exactly one bucket");
+}
+
+#[test]
+fn spans_nest_per_thread_under_parallelism() {
+    let reg = Arc::new(Registry::new());
+    let items: Vec<u32> = (0..256).collect();
+    let _outer = reg.span("driver");
+    let reg_ref = &reg;
+    let _: Vec<()> = items
+        .par_iter()
+        .map(|_| {
+            let _work = reg_ref.span("work");
+            let _step = reg_ref.span("step");
+        })
+        .collect();
+    drop(_outer);
+    let stats = reg.spans().snapshot();
+    let get = |path: &str| stats.iter().find(|(p, _)| p == path).map(|(_, s)| s.count).unwrap_or(0);
+    // Worker threads have their own stacks; their spans root at "work"
+    // (or nest under "driver" when the calling thread executes a chunk
+    // itself). Either way every invocation is recorded exactly once and
+    // "step" always sits directly inside "work".
+    assert_eq!(get("work") + get("driver/work"), 256);
+    assert_eq!(get("work/step") + get("driver/work/step"), 256);
+    assert_eq!(get("driver"), 1);
+}
+
+#[test]
+fn snapshot_roundtrips_through_json() {
+    let reg = Registry::new();
+    reg.counter("tables").add(17);
+    reg.gauge("loss").set(0.125);
+    reg.gauge("rate").set(-3.5);
+    let h = reg.histogram_with("depth", 1, 64);
+    for v in [0, 1, 2, 3, 5, 8, 13, 21, 34, 55, 64, 99] {
+        h.record(v);
+    }
+    {
+        let _train = reg.span("train");
+        let _epoch = reg.span("epoch");
+    }
+    let snap = reg.snapshot();
+    let json = serde_json::to_string_pretty(&snap).expect("serialize");
+    let back: Snapshot = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back, snap, "snapshot must survive a JSON round-trip");
+    assert!(json.contains("\"train/epoch\""));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Splitting increments across threads and merging via the shared
+    /// counter equals the plain sum: concurrent relaxed adds are exact.
+    #[test]
+    fn merged_counter_equals_sum_of_parts(parts in prop::collection::vec(0u64..500, 1..8)) {
+        let reg = Registry::new();
+        let counter = reg.counter("merge.test");
+        std::thread::scope(|scope| {
+            for &n in &parts {
+                let handle = reg.counter("merge.test");
+                scope.spawn(move || {
+                    for _ in 0..n {
+                        handle.inc();
+                    }
+                });
+            }
+        });
+        let expected: u64 = parts.iter().sum();
+        prop_assert_eq!(counter.get(), expected);
+        prop_assert_eq!(reg.snapshot().counters[0].value, expected);
+    }
+}

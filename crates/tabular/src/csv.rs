@@ -136,10 +136,7 @@ pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
 /// Parse CSV text directly into a [`Table`] (no markup, no truth).
 pub fn table_from_csv(id: u64, caption: &str, input: &str) -> Result<Table, CsvError> {
     let rows = parse_csv(input)?;
-    let cells = rows
-        .into_iter()
-        .map(|r| r.into_iter().map(Cell::text).collect())
-        .collect();
+    let cells = rows.into_iter().map(|r| r.into_iter().map(Cell::text).collect()).collect();
     Ok(Table::new(id, caption, cells))
 }
 
@@ -208,7 +205,8 @@ mod tests {
 
     #[test]
     fn blank_cells_survive_roundtrip() {
-        let t = Table::from_strings(3, &[&["new york", "cornell", "19,639"], &["", "ithaca", "6,409"]]);
+        let t =
+            Table::from_strings(3, &[&["new york", "cornell", "19,639"], &["", "ithaca", "6,409"]]);
         let back = table_from_csv(3, "", &to_csv(&t)).unwrap();
         assert!(back.cell(1, 0).is_blank());
         assert_eq!(back.cell(0, 2).text, "19,639");

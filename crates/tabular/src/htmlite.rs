@@ -227,11 +227,7 @@ mod tests {
     fn marked_table() -> Table {
         let mut t = Table::from_strings(
             7,
-            &[
-                &["State", "Enrollment"],
-                &["New York", "19,639"],
-                &["Indiana", "20,030"],
-            ],
+            &[&["State", "Enrollment"], &["New York", "19,639"], &["Indiana", "20,030"]],
         );
         for j in 0..2 {
             t.cell_mut(0, j).markup = Markup::header();
@@ -300,7 +296,8 @@ mod tests {
 
     #[test]
     fn thead_membership_only_inside_thead() {
-        let html = "<table><thead><tr><th>h</th></tr></thead><tbody><tr><td>d</td></tr></tbody></table>";
+        let html =
+            "<table><thead><tr><th>h</th></tr></thead><tbody><tr><td>d</td></tr></tbody></table>";
         let t = from_htmlite(0, html).unwrap();
         assert!(t.cell(0, 0).markup.thead);
         assert!(!t.cell(1, 0).markup.thead);

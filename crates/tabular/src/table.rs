@@ -41,18 +41,26 @@ pub struct GroundTruth {
 impl GroundTruth {
     /// HMD depth: the largest `k` with a row labeled `Hmd(k)`.
     pub fn hmd_depth(&self) -> u8 {
-        self.rows.iter().filter_map(|l| match l {
-            LevelLabel::Hmd(k) => Some(*k),
-            _ => None,
-        }).max().unwrap_or(0)
+        self.rows
+            .iter()
+            .filter_map(|l| match l {
+                LevelLabel::Hmd(k) => Some(*k),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// VMD depth: the largest `k` with a column labeled `Vmd(k)`.
     pub fn vmd_depth(&self) -> u8 {
-        self.columns.iter().filter_map(|l| match l {
-            LevelLabel::Vmd(k) => Some(*k),
-            _ => None,
-        }).max().unwrap_or(0)
+        self.columns
+            .iter()
+            .filter_map(|l| match l {
+                LevelLabel::Vmd(k) => Some(*k),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// Whether any row is CMD.
@@ -95,10 +103,7 @@ impl Table {
 
     /// Build from plain strings (no markup), convenient in tests.
     pub fn from_strings(id: u64, rows: &[&[&str]]) -> Self {
-        let cells = rows
-            .iter()
-            .map(|r| r.iter().map(|s| Cell::text(*s)).collect())
-            .collect();
+        let cells = rows.iter().map(|r| r.iter().map(|s| Cell::text(*s)).collect()).collect();
         Table::new(id, "", cells)
     }
 
@@ -200,10 +205,10 @@ impl Table {
                 cells[j][i] = cell.clone();
             }
         }
-        let truth = self.truth.as_ref().map(|t| GroundTruth {
-            rows: t.columns.clone(),
-            columns: t.rows.clone(),
-        });
+        let truth = self
+            .truth
+            .as_ref()
+            .map(|t| GroundTruth { rows: t.columns.clone(), columns: t.rows.clone() });
         Table {
             id: self.id,
             caption: self.caption.clone(),

@@ -51,10 +51,8 @@ pub fn ngram_ids(word: &str, config: &NgramConfig) -> Vec<usize> {
     if word.starts_with('<') && word.ends_with('>') {
         return vec![hash_ngram(word, config.buckets)];
     }
-    let marked: Vec<char> = std::iter::once('<')
-        .chain(word.chars())
-        .chain(std::iter::once('>'))
-        .collect();
+    let marked: Vec<char> =
+        std::iter::once('<').chain(word.chars()).chain(std::iter::once('>')).collect();
     let mut ids = Vec::new();
     for n in config.min_n..=config.max_n {
         if n > marked.len() {

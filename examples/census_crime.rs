@@ -18,10 +18,7 @@ use tabmeta::tabular::Axis;
 fn main() {
     for kind in [CorpusKind::Saus, CorpusKind::Cius] {
         let corpus = kind.generate(&GeneratorConfig { n_tables: 400, seed: 11 });
-        assert!(
-            corpus.tables.iter().all(|t| !t.has_markup),
-            "government corpora carry no markup"
-        );
+        assert!(corpus.tables.iter().all(|t| !t.has_markup), "government corpora carry no markup");
         let cut = corpus.len() * 7 / 10;
         let (train, test) = corpus.tables.split_at(cut);
         println!("=== {} ({} tables, zero markup) ===", kind.name(), corpus.len());
@@ -39,16 +36,13 @@ fn main() {
         );
 
         // Unsupervised training on those weak labels alone.
-        let pipeline =
-            Pipeline::train(train, &PipelineConfig::fast_seeded(11)).expect("trains");
-        let ours =
-            LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
+        let pipeline = Pipeline::train(train, &PipelineConfig::fast_seeded(11)).expect("trains");
+        let ours = LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
 
         // Pytheas needs the annotations the paper charges it for.
         let pytheas = Pytheas::train(train, PytheasConfig::default());
-        let base = LevelScores::evaluate(test, standard_keys(), |t| {
-            pytheas.classify_table(t).into()
-        });
+        let base =
+            LevelScores::evaluate(test, standard_keys(), |t| pytheas.classify_table(t).into());
 
         println!("  held-out accuracy (ours | Pytheas):");
         for k in 1..=3u8 {

@@ -19,11 +19,7 @@ use tabmeta::eval::ExperimentConfig;
 fn main() {
     // One concrete round-trip, so the protocol is visible.
     let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 50, seed: 3 });
-    let table = corpus
-        .tables
-        .iter()
-        .find(|t| t.truth.as_ref().unwrap().hmd_depth() >= 2)
-        .unwrap();
+    let table = corpus.tables.iter().find(|t| t.truth.as_ref().unwrap().hmd_depth() >= 2).unwrap();
     let model = SimulatedLlm::new(LlmKind::Gpt4, 3);
     let prompt = model.prompt_for(table);
     println!("=== system message ===\n{}\n", prompt.system);

@@ -16,7 +16,13 @@ use tabmeta::tabular::{Axis, LevelLabel, Table};
 /// The full semantic context of one data cell, assembled from the
 /// predicted hierarchical metadata — the downstream task misclassification
 /// destroys (§I).
-fn cell_context(table: &Table, rows: &[LevelLabel], cols: &[LevelLabel], r: usize, c: usize) -> String {
+fn cell_context(
+    table: &Table,
+    rows: &[LevelLabel],
+    cols: &[LevelLabel],
+    r: usize,
+    c: usize,
+) -> String {
     let mut path: Vec<String> = Vec::new();
     // HMD path: the header cells above this column, outermost first.
     for (i, label) in rows.iter().enumerate() {
@@ -79,8 +85,7 @@ fn main() {
         pipeline.summary().markup_bootstrapped
     );
 
-    let scores =
-        LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
+    let scores = LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
     println!("held-out accuracy (unseen sources):");
     for k in 1..=5u8 {
         if let (Some(acc), Some(n)) =
@@ -112,19 +117,14 @@ fn main() {
     let v = pipeline.classify(table);
     println!("\nsemantic paths recovered for table {} data cells:", table.id);
     let first_data_row = v.rows.iter().position(|l| *l == LevelLabel::Data).unwrap_or(1);
-    let first_data_col =
-        v.columns.iter().position(|l| *l == LevelLabel::Data).unwrap_or(1);
+    let first_data_col = v.columns.iter().position(|l| *l == LevelLabel::Data).unwrap_or(1);
     for r in first_data_row..(first_data_row + 2).min(table.n_rows()) {
         for c in first_data_col..(first_data_col + 2).min(table.n_cols()) {
             let value = &table.cell(r, c).text;
             if value.trim().is_empty() {
                 continue;
             }
-            println!(
-                "  \"{}\" ⟵ {}",
-                value,
-                cell_context(table, &v.rows, &v.columns, r, c)
-            );
+            println!("  \"{}\" ⟵ {}", value, cell_context(table, &v.rows, &v.columns, r, c));
         }
     }
     // Without VMD/HMD recognition every one of those cells would be an

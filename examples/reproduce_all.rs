@@ -4,23 +4,37 @@
 //! ```sh
 //! cargo run --release --example reproduce_all            # full scale
 //! cargo run --release --example reproduce_all -- quick   # smaller corpora
+//! cargo run --release --example reproduce_all -- quick --telemetry /tmp/telemetry.json
 //! ```
+//!
+//! `--telemetry <path>` dumps the run's full observability snapshot
+//! (stage span timings, counters, gauges, histograms) plus a sample
+//! classification trace as JSON, and prints the human-readable report.
 
+use tabmeta::contrastive::TraceStep;
 use tabmeta::corpora::CorpusKind;
 use tabmeta::eval::experiments::{
-    ablation, accuracy, centroids, cmd, embeddings, llm, runtime, scaling, similarity,
-    transfer,
+    ablation, accuracy, centroids, cmd, embeddings, llm, runtime, scaling, similarity, transfer,
 };
 use tabmeta::eval::Anatomy;
 use tabmeta::eval::ExperimentConfig;
 
+/// Everything `--telemetry` exports: one obs snapshot plus the angle-walk
+/// trace of one test table, under a single JSON roof.
+#[derive(serde::Serialize)]
+struct Telemetry {
+    snapshot: tabmeta::obs::Snapshot,
+    trace_sample: Vec<TraceStep>,
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "quick");
-    let config = if quick {
-        ExperimentConfig::quick(2025)
-    } else {
-        ExperimentConfig::full(2025)
-    };
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let telemetry_path = args
+        .iter()
+        .position(|a| a == "--telemetry")
+        .map(|i| args.get(i + 1).expect("--telemetry requires a path").clone());
+    let config = if quick { ExperimentConfig::quick(2025) } else { ExperimentConfig::full(2025) };
     println!(
         "reproduce_all: {} tables per corpus, seed {}\n",
         config.tables_per_corpus, config.seed
@@ -103,10 +117,7 @@ fn main() {
     let cmd_scores = cmd::run(CorpusKind::Ckg, &config);
     println!("{}", cmd::render(CorpusKind::Ckg, &cmd_scores));
     println!("\n{}", embeddings::render(&embeddings::run(&config)));
-    println!(
-        "{}",
-        similarity::render(CorpusKind::Ckg, &similarity::run(CorpusKind::Ckg, &config))
-    );
+    println!("{}", similarity::render(CorpusKind::Ckg, &similarity::run(CorpusKind::Ckg, &config)));
 
     // Cross-corpus transfer + training-size scaling + error anatomy.
     println!(
@@ -117,12 +128,16 @@ fn main() {
         ))
     );
     println!("\n{}", scaling::render(&scaling::run(&[150, 300, 600], &config)));
-    {
+    let trace_sample = {
         let split = tabmeta::eval::split_corpus(CorpusKind::Ckg, &config);
         let methods = tabmeta::eval::train_all(&split, &config);
         let anatomy = Anatomy::diagnose(&split.test, |t| methods.ours.classify(t).into());
         println!("\n{}", anatomy.render("Our method (CKG)"));
-    }
+        // Exercise the parallel corpus path (the "classify" span) and keep
+        // one angle-walk trace for the telemetry export.
+        let _ = methods.ours.classify_corpus(&split.test);
+        methods.ours.classify_with_trace(&split.test[0]).1
+    };
 
     // Ablations (DESIGN.md §4).
     println!(
@@ -143,10 +158,7 @@ fn main() {
         "{}",
         ablation::render("Ablation: markup availability", &ablation::markup_ablation(&config))
     );
-    println!(
-        "{}",
-        ablation::render("Ablation: hierarchy echo", &ablation::echo_ablation(&config))
-    );
+    println!("{}", ablation::render("Ablation: hierarchy echo", &ablation::echo_ablation(&config)));
     println!(
         "{}",
         ablation::render(
@@ -154,4 +166,13 @@ fn main() {
             &ablation::strategy_ablation(&config)
         )
     );
+
+    if let Some(path) = telemetry_path {
+        let snapshot = tabmeta::obs::global().snapshot();
+        println!("\nTelemetry:\n{}", snapshot.render_text());
+        let report = Telemetry { snapshot, trace_sample };
+        let json = serde_json::to_string_pretty(&report).expect("telemetry serializes");
+        std::fs::write(&path, json).expect("telemetry path is writable");
+        println!("telemetry written to {path}");
+    }
 }

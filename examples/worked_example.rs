@@ -60,14 +60,9 @@ fn main() {
                 RangeKind::Nearest => "nearest range  ",
                 RangeKind::Reference => "reference test ",
             };
-            let angle = step
-                .angle
-                .map(|a| format!("{a:5.1}°"))
-                .unwrap_or_else(|| "  (blank)".to_string());
-            println!(
-                "  level {:>2}: {} {} → {}",
-                step.index, angle, matched, step.decision
-            );
+            let angle =
+                step.angle.map(|a| format!("{a:5.1}°")).unwrap_or_else(|| "  (blank)".to_string());
+            println!("  level {:>2}: {} {} → {}", step.index, angle, matched, step.decision);
         }
         println!();
     }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merge. The build
+# environment is offline — all dependencies are vendored path crates —
+# so every cargo invocation pins --offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo clippy --workspace"
+cargo clippy --workspace --offline -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "All checks passed."

@@ -38,9 +38,7 @@ impl Args {
                 // Boolean flags.
                 "score" => pairs.push((name.to_string(), "true".to_string())),
                 _ => {
-                    let value = it
-                        .next()
-                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     pairs.push((name.to_string(), value.clone()));
                 }
             }
@@ -65,13 +63,10 @@ impl Args {
 }
 
 fn corpus_kind(name: &str) -> Result<CorpusKind, String> {
-    CorpusKind::ALL
-        .into_iter()
-        .find(|k| k.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            let names: Vec<&str> = CorpusKind::ALL.iter().map(|k| k.name()).collect();
-            format!("unknown corpus '{name}' (expected one of {})", names.join(", "))
-        })
+    CorpusKind::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(name)).ok_or_else(|| {
+        let names: Vec<&str> = CorpusKind::ALL.iter().map(|k| k.name()).collect();
+        format!("unknown corpus '{name}' (expected one of {})", names.join(", "))
+    })
 }
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
@@ -94,9 +89,8 @@ fn load_corpus(path: &str) -> Result<Corpus, String> {
 
 fn cmd_train(args: &Args) -> Result<(), String> {
     let corpus = if let Some(dir) = args.get("csv-dir") {
-        let (corpus, failures) =
-            Corpus::from_csv_dir(dir, std::path::Path::new(dir))
-                .map_err(|e| format!("read {dir}: {e}"))?;
+        let (corpus, failures) = Corpus::from_csv_dir(dir, std::path::Path::new(dir))
+            .map_err(|e| format!("read {dir}: {e}"))?;
         for (path, err) in &failures {
             eprintln!("skipped {}: {err}", path.display());
         }
@@ -115,8 +109,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown --config '{other}' (fast|paper)")),
     };
     let t0 = std::time::Instant::now();
-    let pipeline =
-        Pipeline::train(&corpus.tables, &config).map_err(|e| e.to_string())?;
+    let pipeline = Pipeline::train(&corpus.tables, &config).map_err(|e| e.to_string())?;
     let s = pipeline.summary();
     println!(
         "trained in {:.1}s: {} sentences, {} SGNS pairs, {} markup-bootstrapped tables",
@@ -132,8 +125,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
 
 fn cmd_classify(args: &Args) -> Result<(), String> {
     let model_path = args.require("model")?;
-    let json = fs::read_to_string(model_path)
-        .map_err(|e| format!("read {model_path}: {e}"))?;
+    let json = fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
     let pipeline = Pipeline::from_json(&json).map_err(|e| format!("parse model: {e}"))?;
 
     if let Some(path) = args.get("csv") {
@@ -260,8 +252,7 @@ fn cmd_reproduce(args: &Args) -> Result<(), String> {
 
 fn cmd_inspect(args: &Args) -> Result<(), String> {
     let model_path = args.require("model")?;
-    let json = fs::read_to_string(model_path)
-        .map_err(|e| format!("read {model_path}: {e}"))?;
+    let json = fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
     let pipeline = Pipeline::from_json(&json).map_err(|e| format!("parse model: {e}"))?;
     let c = pipeline.centroids();
     for (name, ax) in [("rows (HMD)", &c.rows), ("columns (VMD)", &c.columns)] {

@@ -55,9 +55,7 @@ impl RouterConfig {
         if self.textual_second_row && table.n_rows() >= 3 {
             let texts = table.level_texts(Axis::Row, 1);
             let textual = !texts.is_empty()
-                && texts
-                    .iter()
-                    .all(|t| tabmeta_text::classify_numeric(t).is_none());
+                && texts.iter().all(|t| tabmeta_text::classify_numeric(t).is_none());
             if textual {
                 return true;
             }
@@ -88,15 +86,9 @@ impl HybridClassifier {
             (self.pipeline.classify(table), Route::Deep)
         } else {
             let p = self.cheap.classify_table(table);
-            let hmd_depth = p
-                .rows
-                .iter()
-                .take_while(|l| matches!(l, LevelLabel::Hmd(_)))
-                .count() as u8;
-            (
-                Verdict { rows: p.rows, columns: p.columns, hmd_depth, vmd_depth: 0 },
-                Route::Cheap,
-            )
+            let hmd_depth =
+                p.rows.iter().take_while(|l| matches!(l, LevelLabel::Hmd(_))).count() as u8;
+            (Verdict { rows: p.rows, columns: p.columns, hmd_depth, vmd_depth: 0 }, Route::Cheap)
         }
     }
 
@@ -128,8 +120,7 @@ mod tests {
         let corpus = kind.generate(&GeneratorConfig { n_tables: n, seed });
         let cut = n * 7 / 10;
         let pipeline =
-            Pipeline::train(&corpus.tables[..cut], &PipelineConfig::fast_seeded(seed))
-                .unwrap();
+            Pipeline::train(&corpus.tables[..cut], &PipelineConfig::fast_seeded(seed)).unwrap();
         let cheap = Pytheas::train(&corpus.tables[..cut], PytheasConfig::default());
         (HybridClassifier::new(pipeline, cheap), corpus.tables[cut..].to_vec())
     }

@@ -19,6 +19,7 @@
 //! | [`contrastive`] | `tabmeta-core` | bootstrap, centroid ranges, contrastive fine-tuning, Algorithm-1 classifier |
 //! | [`baselines`] | `tabmeta-baselines` | Pytheas, Random-Forest, layout detector, simulated LLM (+RAG) |
 //! | [`eval`] | `tabmeta-eval` | experiment harness regenerating every paper table and figure |
+//! | [`obs`] | `tabmeta-obs` | spans, metrics, and snapshot export for pipeline telemetry |
 //! | [`hybrid`] | (this crate) | §IV-G hybrid router: cheap path for simple tables, pipeline for complex ones |
 //! | [`search`] | (this crate) | metadata-aware structural search over classified corpora |
 //!
@@ -45,5 +46,6 @@ pub use tabmeta_corpora as corpora;
 pub use tabmeta_embed as embed;
 pub use tabmeta_eval as eval;
 pub use tabmeta_linalg as linalg;
+pub use tabmeta_obs as obs;
 pub use tabmeta_tabular as tabular;
 pub use tabmeta_text as text;

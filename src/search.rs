@@ -100,11 +100,7 @@ impl MetadataIndex {
     }
 
     /// Build an index for a whole classified corpus.
-    pub fn build(
-        tables: &[Table],
-        verdicts: &[Verdict],
-        tokenizer: &Tokenizer,
-    ) -> MetadataIndex {
+    pub fn build(tables: &[Table], verdicts: &[Verdict], tokenizer: &Tokenizer) -> MetadataIndex {
         assert_eq!(tables.len(), verdicts.len());
         let mut index = MetadataIndex::new();
         for (t, v) in tables.iter().zip(verdicts) {
@@ -132,9 +128,7 @@ impl MetadataIndex {
             .into_iter()
             .map(|((table_id, role), occurrences)| Hit { table_id, role, occurrences })
             .collect();
-        hits.sort_by(|a, b| {
-            b.occurrences.cmp(&a.occurrences).then(a.table_id.cmp(&b.table_id))
-        });
+        hits.sort_by(|a, b| b.occurrences.cmp(&a.occurrences).then(a.table_id.cmp(&b.table_id)));
         hits
     }
 
@@ -174,10 +168,8 @@ mod tests {
             hmd_depth: 1,
             vmd_depth: 1,
         };
-        let t2 = Table::from_strings(
-            2,
-            &[&["topic", "count"], &["enrollment", "5"], &["budget", "7"]],
-        );
+        let t2 =
+            Table::from_strings(2, &[&["topic", "count"], &["enrollment", "5"], &["budget", "7"]]);
         let v2 = Verdict {
             rows: vec![LevelLabel::Hmd(1), LevelLabel::Data, LevelLabel::Data],
             columns: vec![LevelLabel::Data, LevelLabel::Data],
@@ -228,11 +220,7 @@ mod tests {
 
     #[test]
     fn occurrence_counts_rank_hits() {
-        let t = Table::from_strings(
-            7,
-            &[&["x", "x"], &["x", "1"]],
-        )
-        .with_truth(GroundTruth {
+        let t = Table::from_strings(7, &[&["x", "x"], &["x", "1"]]).with_truth(GroundTruth {
             rows: vec![LevelLabel::Hmd(1), LevelLabel::Data],
             columns: vec![LevelLabel::Data, LevelLabel::Data],
         });
@@ -257,11 +245,9 @@ mod tests {
         use crate::contrastive::{Pipeline, PipelineConfig};
         use crate::corpora::{CorpusKind, GeneratorConfig};
         let corpus = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 80, seed: 21 });
-        let pipeline =
-            Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(21)).unwrap();
+        let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(21)).unwrap();
         let verdicts = pipeline.classify_corpus(&corpus.tables);
-        let index =
-            MetadataIndex::build(&corpus.tables, &verdicts, pipeline.tokenizer());
+        let index = MetadataIndex::build(&corpus.tables, &verdicts, pipeline.tokenizer());
         assert_eq!(index.len(), corpus.len());
         // Census headers mention "population"; role-scoped search finds a
         // strict subset of blind search.

@@ -81,10 +81,8 @@ fn llm_handles_truthless_tables_via_heuristic_anchor() {
     // The simulated LLM anchors on annotations when present; without them
     // it must still answer through the surface heuristic.
     let llm = SimulatedLlm::new(LlmKind::Gpt35, 7);
-    let t = Table::from_strings(
-        42,
-        &[&["name", "price"], &["widget", "9.99"], &["gadget", "19.99"]],
-    );
+    let t =
+        Table::from_strings(42, &[&["name", "price"], &["widget", "9.99"], &["gadget", "19.99"]]);
     assert!(t.truth.is_none());
     let p = llm.classify_table(&t);
     assert_eq!(p.rows.len(), 3);

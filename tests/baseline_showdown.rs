@@ -10,10 +10,8 @@ use tabmeta::eval::{split_corpus, train_all, LevelKey, LevelScores};
 
 #[test]
 fn table5_comparative_claims_hold() {
-    let results = accuracy::run(
-        &[CorpusKind::Ckg],
-        &ExperimentConfig { tables_per_corpus: 250, seed: 404 },
-    );
+    let results =
+        accuracy::run(&[CorpusKind::Ckg], &ExperimentConfig { tables_per_corpus: 250, seed: 404 });
     let r = &results[0];
     let pytheas = &r.methods[0];
     let tt = &r.methods[1];
@@ -36,16 +34,13 @@ fn table5_comparative_claims_hold() {
 
 #[test]
 fn llms_lose_on_structure_but_win_on_flat_headers() {
-    let split = split_corpus(
-        CorpusKind::Ckg,
-        &ExperimentConfig { tables_per_corpus: 250, seed: 505 },
-    );
+    let split =
+        split_corpus(CorpusKind::Ckg, &ExperimentConfig { tables_per_corpus: 250, seed: 505 });
     let methods = train_all(&split, &ExperimentConfig { tables_per_corpus: 250, seed: 505 });
     let gpt4 = SimulatedLlm::new(LlmKind::Gpt4, 505);
     let keys = tabmeta::eval::standard_keys();
-    let llm_scores = LevelScores::evaluate(&split.test, keys.clone(), |t| {
-        gpt4.classify_table(t).into()
-    });
+    let llm_scores =
+        LevelScores::evaluate(&split.test, keys.clone(), |t| gpt4.classify_table(t).into());
     let ours = LevelScores::evaluate(&split.test, keys, |t| methods.ours.classify(t).into());
 
     let h1_llm = llm_scores.level_accuracy(LevelKey::Hmd(1)).unwrap();
@@ -54,18 +49,13 @@ fn llms_lose_on_structure_but_win_on_flat_headers() {
 
     let v2_llm = llm_scores.level_accuracy(LevelKey::Vmd(2)).unwrap();
     let v2_ours = ours.level_accuracy(LevelKey::Vmd(2)).unwrap();
-    assert!(
-        v2_ours > v2_llm + 0.2,
-        "we dominate deep VMD: {v2_ours} vs {v2_llm}"
-    );
+    assert!(v2_ours > v2_llm + 0.2, "we dominate deep VMD: {v2_ours} vs {v2_llm}");
 }
 
 #[test]
 fn rag_store_covers_exactly_the_markup_fraction() {
-    let split = split_corpus(
-        CorpusKind::Ckg,
-        &ExperimentConfig { tables_per_corpus: 200, seed: 606 },
-    );
+    let split =
+        split_corpus(CorpusKind::Ckg, &ExperimentConfig { tables_per_corpus: 200, seed: 606 });
     let all: Vec<_> = split.train.iter().chain(&split.test).cloned().collect();
     let store = RagStore::build(&all);
     let marked = all.iter().filter(|t| t.has_markup).count();

@@ -15,10 +15,8 @@ fn every_corpus_trains_and_classifies() {
         let corpus = kind.generate(&GeneratorConfig { n_tables: 150, seed: 31 });
         let cut = corpus.len() * 7 / 10;
         let (train, test) = corpus.tables.split_at(cut);
-        let pipeline =
-            Pipeline::train(train, &PipelineConfig::fast_seeded(31)).expect("trains");
-        let scores =
-            LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
+        let pipeline = Pipeline::train(train, &PipelineConfig::fast_seeded(31)).expect("trains");
+        let scores = LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
         let hmd1 = scores.level_accuracy(LevelKey::Hmd(1)).expect("HMD1 exists everywhere");
         assert!(hmd1 > 0.85, "{kind:?} HMD1 accuracy too low: {hmd1}");
         if scores.support(LevelKey::Vmd(1)).unwrap_or(0) >= 10 {
@@ -36,8 +34,7 @@ fn deep_levels_hold_up_on_ckg() {
     let cut = corpus.len() * 7 / 10;
     let (train, test) = corpus.tables.split_at(cut);
     let pipeline = Pipeline::train(train, &PipelineConfig::fast_seeded(77)).unwrap();
-    let scores =
-        LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
+    let scores = LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
     let h3 = scores.level_accuracy(LevelKey::Hmd(3)).unwrap();
     let v2 = scores.level_accuracy(LevelKey::Vmd(2)).unwrap();
     let v3 = scores.level_accuracy(LevelKey::Vmd(3)).unwrap();
@@ -81,10 +78,7 @@ fn training_is_deterministic() {
 /// Error paths: empty corpus fails cleanly.
 #[test]
 fn empty_corpus_is_a_clean_error() {
-    assert_eq!(
-        Pipeline::train(&[], &PipelineConfig::fast()).unwrap_err(),
-        TrainError::EmptyCorpus
-    );
+    assert_eq!(Pipeline::train(&[], &PipelineConfig::fast()).unwrap_err(), TrainError::EmptyCorpus);
 }
 
 /// Verdicts are structurally valid on arbitrary corpus tables: label

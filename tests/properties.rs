@@ -14,10 +14,8 @@ fn arb_table() -> impl Strategy<Value = Table> {
             rows..=rows,
         )
         .prop_map(|grid| {
-            let cells: Vec<Vec<Cell>> = grid
-                .into_iter()
-                .map(|r| r.into_iter().map(Cell::text).collect())
-                .collect();
+            let cells: Vec<Vec<Cell>> =
+                grid.into_iter().map(|r| r.into_iter().map(Cell::text).collect()).collect();
             Table::new(1, "prop", cells)
         })
     })

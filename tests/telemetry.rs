@@ -1,0 +1,78 @@
+//! Acceptance test for the observability layer: one end-to-end train +
+//! classify run must leave every pipeline stage visible in the global
+//! registry, and the snapshot must survive a JSON round-trip.
+
+use tabmeta::contrastive::{Pipeline, PipelineConfig};
+use tabmeta::corpora::{CorpusKind, GeneratorConfig};
+use tabmeta::obs::{self, Snapshot};
+
+#[test]
+fn pipeline_run_populates_every_stage() {
+    let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 80, seed: 77 });
+    let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(77))
+        .expect("training succeeds");
+    let verdicts = pipeline.classify_corpus(&corpus.tables);
+    assert_eq!(verdicts.len(), corpus.tables.len());
+
+    let snap = obs::global().snapshot();
+
+    // Every stage of the train/classify path shows up as a span. The
+    // training stages nest under "train"; "classify" is its own root.
+    let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+    for stage in
+        ["train", "train/embed", "train/bootstrap", "train/finetune", "train/centroid", "classify"]
+    {
+        assert!(paths.iter().any(|p| *p == stage), "span {stage:?} missing from {paths:?}");
+    }
+    // Per-epoch spans nest under their stage.
+    assert!(paths.iter().any(|p| p.ends_with("sgns/epoch")));
+    assert!(paths.iter().any(|p| *p == "train/finetune/epoch"));
+    // Span timings are real: the whole-train span dominates its children.
+    let total =
+        |path: &str| snap.spans.iter().find(|s| s.path == path).map(|s| s.total_micros).unwrap();
+    assert!(total("train") >= total("train/embed"));
+
+    // Counters from embed, bootstrap, fine-tuning and classification.
+    let counter = |name: &str| snap.counters.iter().find(|c| c.name == name).map(|c| c.value);
+    for name in [
+        "embed.sentences",
+        "sgns.pairs",
+        "bootstrap.tables",
+        "finetune.pairs",
+        "classifier.tables",
+        "classifier.angle_tests",
+    ] {
+        assert!(counter(name).unwrap_or(0) > 0, "counter {name:?} never incremented");
+    }
+    assert_eq!(counter("bootstrap.tables"), Some(80));
+    // classify() ran once per table via classify_corpus.
+    assert!(counter("classifier.tables").unwrap() >= 80);
+
+    // Gauges carry the training trajectory.
+    let gauge_names: Vec<&str> = snap.gauges.iter().map(|g| g.name.as_str()).collect();
+    for name in ["sgns.lr", "finetune.loss", "classify.tables_per_sec"] {
+        assert!(gauge_names.contains(&name), "gauge {name:?} missing: {gauge_names:?}");
+    }
+
+    // At least two histograms with recorded values.
+    let populated = snap.histograms.iter().filter(|h| h.count > 0).count();
+    assert!(populated >= 2, "expected ≥2 populated histograms: {:?}", snap.histograms);
+    let depth = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "classifier.boundary_depth")
+        .expect("boundary depth histogram");
+    // Two records (HMD + VMD) per classified table, across classify() and
+    // classify_corpus(); depth-0 axes land in the underflow bucket.
+    assert!(depth.count >= 160);
+
+    // The snapshot round-trips through JSON losslessly.
+    let json = serde_json::to_string_pretty(&snap).expect("serializes");
+    let back: Snapshot = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back, snap);
+    // And renders as text with all sections present.
+    let text = snap.render_text();
+    for section in ["spans:", "counters:", "gauges:", "histograms:"] {
+        assert!(text.contains(section), "missing {section:?}:\n{text}");
+    }
+}

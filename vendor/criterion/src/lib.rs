@@ -1,0 +1,210 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the bench targets compiling and runnable without the real
+//! statistics engine: each `bench_function` runs the closure for a small
+//! number of timed iterations and prints a mean per-iteration time. Run
+//! under `cargo test` (which passes `--test` to harness-free bench
+//! binaries) the generated `main` exits immediately, like real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time `f` and print one summary line.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// Per-iteration work driver passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of iterations, timing the total.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark name.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Name the benchmark after its parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Name the benchmark `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work per iteration for throughput lines.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Time `f` under this group's name.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let per_iter = run_bench(&full, self.criterion.sample_size, f);
+        self.report_throughput(per_iter);
+        self
+    }
+
+    /// Time `f` with `input`, named by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let per_iter = run_bench(&full, self.criterion.sample_size, |b| f(b, input));
+        self.report_throughput(per_iter);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+
+    fn report_throughput(&self, per_iter: Duration) {
+        let secs = per_iter.as_secs_f64();
+        if secs <= 0.0 {
+            return;
+        }
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                println!("    thrpt: {:.0} elem/s", n as f64 / secs);
+            }
+            Some(Throughput::Bytes(n)) => {
+                println!("    thrpt: {:.0} B/s", n as f64 / secs);
+            }
+            None => {}
+        }
+    }
+}
+
+/// Execute one benchmark: a warm-up call plus `samples` timed iterations.
+/// Returns the mean per-iteration time.
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) -> Duration {
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b); // warm-up (also covers closures that never call iter)
+    b.iters = samples as u64;
+    f(&mut b);
+    let per_iter = b.elapsed.checked_div(b.iters as u32).unwrap_or(Duration::ZERO);
+    println!("bench: {name:<50} {per_iter:>12.2?}/iter ({samples} iters)");
+    per_iter
+}
+
+/// Bundle bench fns into a named runner with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut __criterion = $config;
+            $($target(&mut __criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running the given groups. Exits immediately when cargo
+/// invokes the binary in test mode (`--test`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count >= 3, "timed iterations must actually run");
+    }
+
+    #[test]
+    fn group_with_input_runs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        let data = vec![1u32, 2, 3, 4];
+        g.bench_with_input(BenchmarkId::from_parameter(data.len()), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u32>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,514 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Deterministic random-input testing with the API surface this workspace
+//! uses: the `proptest!` / `prop_assert*` / `prop_assume!` macros,
+//! `Strategy` with `prop_map`/`prop_flat_map`, numeric-range and
+//! regex-lite string strategies, `collection::vec`, `sample::select`, and
+//! `any::<T>()`. Sampling is purely random (no shrinking); seeds derive
+//! from the test's module path, so failures reproduce exactly across runs.
+
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Build the deterministic RNG for one test fn.
+pub fn new_rng(seed: u64) -> TestRng {
+    TestRng::seed_from_u64(seed)
+}
+
+/// Stable 64-bit seed from a test's fully-qualified name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` filtered this input out; try another.
+    Reject,
+    /// An assertion failed; the test fails with this message.
+    Fail(String),
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform every generated value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds on it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+
+/// A character class from a regex-lite pattern.
+enum CharClass {
+    /// `\PC`: any non-control character (sampled from printable ASCII plus
+    /// a curated non-ASCII set — accents, CJK, symbols, emoji, wide forms).
+    NonControl,
+    /// `[a-z...]`: explicit inclusive ranges.
+    Ranges(Vec<(char, char)>),
+}
+
+/// Non-ASCII, non-control sample pool for `\PC`.
+const EXOTIC: &[char] = &[
+    'é', 'È', 'ß', 'ñ', 'Ω', 'π', 'Σ', 'Д', 'ж', '中', '文', '日', '本', '🦀', '🚀', '∑', '√', '≥',
+    '±', 'µ', '°', '€', '£', '…', '—', '“', '”', '½', '²', 'Ａ', 'ｱ', '　', '×', '÷', 'ı', 'İ',
+];
+
+impl CharClass {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharClass::NonControl => {
+                if rng.random_range(0u32..100) < 75 {
+                    rng.random_range(0x20u32..=0x7E).try_into().unwrap()
+                } else {
+                    EXOTIC[rng.random_range(0..EXOTIC.len())]
+                }
+            }
+            CharClass::Ranges(ranges) => {
+                let (lo, hi) = ranges[rng.random_range(0..ranges.len())];
+                char::from_u32(rng.random_range(lo as u32..=hi as u32))
+                    .expect("char range crosses surrogates")
+            }
+        }
+    }
+}
+
+/// Parse the regex-lite subset used as string strategies:
+/// `\PC{m,n}` and `[<ranges>]{m,n}`.
+fn parse_pattern(pattern: &str) -> (CharClass, usize, usize) {
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix("\\PC") {
+        (CharClass::NonControl, rest)
+    } else if let Some(body) = pattern.strip_prefix('[') {
+        let close = body.find(']').expect("unterminated char class");
+        let chars: Vec<char> = body[..close].chars().collect();
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                ranges.push((chars[i], chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((chars[i], chars[i]));
+                i += 1;
+            }
+        }
+        (CharClass::Ranges(ranges), &body[close + 1..])
+    } else {
+        panic!("unsupported string-strategy pattern: {pattern:?}");
+    };
+    let counts = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("pattern {pattern:?} must end with {{m,n}}"));
+    let (m, n) = counts.split_once(',').expect("need {m,n} repetition");
+    (class, m.trim().parse().expect("bad min repeat"), n.trim().parse().expect("bad max repeat"))
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, min, max) = parse_pattern(self);
+        let len = rng.random_range(min..=max);
+        (0..len).map(|_| class.sample(rng)).collect()
+    }
+}
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uniform {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random()
+            }
+        }
+    )+};
+}
+
+arbitrary_uniform!(u8, u32, u64, usize, i64, bool, f32, f64);
+
+/// The `any::<T>()` strategy.
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// Unconstrained values of `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// `Vec`s of `element`-generated values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling from fixed option sets.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniformly pick one of `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+
+    /// See [`select`].
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.random_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+/// Runner configuration.
+pub mod test_runner {
+    /// How many passing cases each property must accumulate.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// The glob import every property-test file starts with.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Arbitrary, Strategy, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced strategy modules (`prop::sample::select`, ...).
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `fn name(pat in strategy, ...) { body }` items (attributes and doc
+/// comments pass through).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::new_rng($crate::seed_for(::core::concat!(
+                ::core::module_path!(), "::", ::core::stringify!($name)
+            )));
+            let mut __cases: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __cases < __config.cases {
+                __attempts += 1;
+                if __attempts > __config.cases.saturating_mul(100) {
+                    // Overwhelmingly rejected by prop_assume; accept the
+                    // cases that did run rather than spinning forever.
+                    break;
+                }
+                let __outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __cases += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        ::core::panic!("proptest case failed: {}", __msg);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a property body; failure reports the generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: `{:?}` == `{:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "{} (`{:?}` vs `{:?}`)",
+                ::std::format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Discard the current case (retried with fresh input, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_hold(x in 3usize..9, f in -1.0f32..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn strings_match_class(s in "[ -~]{0,18}", t in "\\PC{1,10}") {
+            prop_assert!(s.len() <= 18);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            prop_assert!(!t.is_empty());
+            prop_assert!(t.chars().all(|c| !c.is_control()));
+        }
+
+        #[test]
+        fn vec_and_select(v in prop::collection::vec(0u32..5, 2..6),
+                          pick in prop::sample::select(vec![10, 20, 30])) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assume!(!v.is_empty());
+            prop_assert!([10, 20, 30].contains(&pick));
+        }
+
+        #[test]
+        fn mapped(len in (1usize..4).prop_flat_map(|n| {
+            prop::collection::vec(0u8..3, n..=n).prop_map(|v| v.len())
+        })) {
+            prop_assert!((1..4).contains(&len));
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable() {
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+}

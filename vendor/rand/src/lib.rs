@@ -1,0 +1,256 @@
+//! Offline stand-in for `rand`.
+//!
+//! Deterministic, seedable pseudo-randomness with the API surface this
+//! workspace uses: `StdRng::seed_from_u64`, `Rng::random::<T>()`,
+//! `Rng::random_range(..)`, `Rng::random_bool(..)`, and the `RngExt`
+//! extension alias. The generator is xoshiro256++ seeded via SplitMix64 —
+//! statistically strong enough for embedding initialization and sampling,
+//! and fully reproducible given the seed (which is all the workspace's
+//! tests rely on).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+/// Also exported under its rand-0.10 name [`RngExt`]; both names refer to
+/// the same trait, so importing either (or both) works.
+pub trait Rng: RngCore {
+    /// A uniform value of a [`Random`]-implementing type (`f32` in `[0,1)`,
+    /// full-range integers, fair `bool`).
+    fn random<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// A uniform value in `range` (half-open or inclusive, integer or float).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub use Rng as RngExt;
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from raw bits.
+pub trait Random {
+    /// Draw one value.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for u64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Random for u8 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Random for usize {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Random for i64 {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Random for bool {
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let f: $t = Random::random(rng);
+                self.start + f * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let f: $t = Random::random(rng);
+                lo + f * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range!(f32, f64);
+
+/// The standard RNG: xoshiro256++.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    fn from_seed_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the reference seeding procedure.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self::from_seed_u64(seed)
+    }
+}
+
+/// Named RNG types.
+pub mod rngs {
+    /// The deterministic standard RNG.
+    pub type StdRng = super::Xoshiro256PlusPlus;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let f = rng.random_range(-2.0..3.0f32);
+            assert!((-2.0..3.0).contains(&f));
+            let i = rng.random_range(5..=8usize);
+            assert!((5..=8).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_half_open() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f: f32 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

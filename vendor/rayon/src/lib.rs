@@ -1,0 +1,135 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Covers the surface this workspace uses: `slice.par_iter().map(f).collect()`
+//! (plus `for_each`). Work is split into contiguous chunks — one per available
+//! core — executed under `std::thread::scope`, and results are re-assembled in
+//! input order, so `collect::<Vec<_>>()` is order-identical to the sequential
+//! iterator.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Everything callers need in scope.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// `&self -> par_iter()` entry point, mirroring rayon's trait of the same name.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator borrowing this collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Apply `f` to every element in parallel.
+    pub fn map<F, R>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by `collect` or `for_each`.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    fn run<R>(self) -> Vec<R>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n);
+        if workers <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        let mut per_chunk: Vec<Vec<R>> = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|items| scope.spawn(move || items.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for part in per_chunk.iter_mut() {
+            out.append(part);
+        }
+        out
+    }
+
+    /// Collect mapped results, preserving input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        self.run().into_iter().collect()
+    }
+
+    /// Run `f` for its side effects on every element.
+    pub fn for_each<R>(self)
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        let _ = self.run();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let squared: Vec<u64> = input.par_iter().map(|x| x * x).collect();
+        assert_eq!(squared.len(), input.len());
+        for (i, v) in squared.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

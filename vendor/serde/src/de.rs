@@ -1,0 +1,284 @@
+//! Deserialization half: `Deserialize`, `Deserializer`, and the
+//! [`Content`]-backed helpers the derive macros lean on.
+
+use crate::Content;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+
+/// Error constraint every `Deserializer::Error` must satisfy; mirrors
+/// `serde::de::Error` at the one constructor the workspace needs.
+pub trait Error: Sized + Display {
+    /// Build an error from any displayable message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A source of one [`Content`] tree. Mirrors `serde::Deserializer` with a
+/// single required method.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Surrender the whole input as a content tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A type constructible from a [`Content`] tree via any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// `Deserialize` in every lifetime — the standard owned-data alias.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// The error of [`ContentDeserializer`]: a plain message.
+#[derive(Debug, Clone)]
+pub struct ContentError(pub String);
+
+impl Display for ContentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl Error for ContentError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// A deserializer over an already-built content tree.
+pub struct ContentDeserializer(pub Content);
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = ContentError;
+
+    fn deserialize_content(self) -> Result<Content, ContentError> {
+        Ok(self.0)
+    }
+}
+
+/// Deserialize a `T` straight from a content tree.
+pub fn from_content<'de, T: Deserialize<'de>>(content: Content) -> Result<T, ContentError> {
+    T::deserialize(ContentDeserializer(content))
+}
+
+/// Remove `key` from a map's entries and deserialize it; a missing key
+/// reads as `null` (so `Option` fields tolerate absence). Derive-generated
+/// struct impls call this once per field.
+pub fn take_field<'de, T: Deserialize<'de>>(
+    entries: &mut Vec<(String, Content)>,
+    key: &str,
+) -> Result<T, ContentError> {
+    let content = entries
+        .iter()
+        .position(|(k, _)| k == key)
+        .map(|i| entries.swap_remove(i).1)
+        .unwrap_or(Content::Null);
+    from_content(content).map_err(|e| ContentError(format!("field `{key}`: {}", e.0)))
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.deserialize_content()?;
+                let out = match c {
+                    Content::U64(v) => <$t>::try_from(v).ok(),
+                    Content::I64(v) => <$t>::try_from(v).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| Error::custom(format!(
+                    concat!("expected ", stringify!($t), ", found {}"), c_desc(&c)
+                )))
+            }
+        }
+    )*};
+}
+
+// A short description for error messages without threading Content through.
+fn c_desc(c: &Content) -> &'static str {
+    match c {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::I64(_) | Content::U64(_) => "integer",
+        Content::F32(_) | Content::F64(_) => "float",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "array",
+        Content::Map(_) => "object",
+    }
+}
+
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Bool(b) => Ok(b),
+            c => Err(Error::custom(format!("expected bool, found {}", c_desc(&c)))),
+        }
+    }
+}
+
+fn content_f64(c: &Content) -> Option<f64> {
+    match c {
+        Content::F64(v) => Some(*v),
+        Content::F32(v) => Some(*v as f64),
+        Content::U64(v) => Some(*v as f64),
+        Content::I64(v) => Some(*v as f64),
+        // serde_json writes non-finite floats as null; read them back as NaN.
+        Content::Null => Some(f64::NAN),
+        _ => None,
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.deserialize_content()?;
+        content_f64(&c).ok_or_else(|| Error::custom(format!("expected f64, found {}", c_desc(&c))))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.deserialize_content()?;
+        match c {
+            Content::F32(v) => Ok(v),
+            _ => content_f64(&c)
+                .map(|v| v as f32)
+                .ok_or_else(|| Error::custom(format!("expected f32, found {}", c_desc(&c)))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Str(s) => Ok(s),
+            c => Err(Error::custom(format!("expected string, found {}", c_desc(&c)))),
+        }
+    }
+}
+
+/// Supports derives on config structs holding `&'static str` display
+/// names. The decoded string is leaked to obtain the `'static` lifetime —
+/// acceptable for small, rarely-deserialized configuration values, which
+/// is the only way the workspace uses this.
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        String::deserialize(d).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            c => Err(Error::custom(format!("expected single-char string, found {}", c_desc(&c)))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Null => Ok(None),
+            c => from_content(c).map(Some).map_err(Error::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Seq(items) => {
+                items.into_iter().map(|c| from_content(c).map_err(Error::custom)).collect()
+            }
+            c => Err(Error::custom(format!("expected array, found {}", c_desc(&c)))),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Seq(items) if items.len() == N => {
+                let v: Vec<T> = items
+                    .into_iter()
+                    .map(|c| from_content(c).map_err(Error::custom))
+                    .collect::<Result<_, _>>()?;
+                v.try_into().map_err(|_| Error::custom("array length mismatch"))
+            }
+            c => Err(Error::custom(format!("expected {}-element array, found {}", N, c_desc(&c)))),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal, $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.deserialize_content()? {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $n;
+                            from_content::<$t>(it.next().unwrap()).map_err(Error::custom)?
+                        },)+))
+                    }
+                    c => Err(Error::custom(format!(
+                        "expected {}-element array, found {}", $len, c_desc(&c)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+de_tuple! {
+    (1, 0 A)
+    (2, 0 A, 1 B)
+    (3, 0 A, 1 B, 2 C)
+    (4, 0 A, 1 B, 2 C, 3 Z)
+}
+
+impl<'de, V: Deserialize<'de>, S: ::std::hash::BuildHasher + Default> Deserialize<'de>
+    for HashMap<String, V, S>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, from_content(v).map_err(Error::custom)?)))
+                .collect(),
+            c => Err(Error::custom(format!("expected object, found {}", c_desc(&c)))),
+        }
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, from_content(v).map_err(Error::custom)?)))
+                .collect(),
+            c => Err(Error::custom(format!("expected object, found {}", c_desc(&c)))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_content()
+    }
+}

@@ -1,0 +1,51 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the subset of serde's API surface the workspace actually uses, backed
+//! by a JSON-shaped [`Content`] tree instead of serde's full data model:
+//!
+//! * `Serialize` / `Deserialize` traits with the real signatures, so
+//!   hand-written impls (e.g. `AngleRange`) compile unchanged;
+//! * `#[derive(Serialize, Deserialize)]` via the sibling `serde_derive`
+//!   proc-macro crate (re-exported here like the real `derive` feature);
+//! * impls for the std types the workspace serializes: primitives,
+//!   `String`, `Option`, `Vec`, slices, arrays, tuples, string-keyed maps.
+//!
+//! A `Serializer` reduces to one required method, [`Serializer::serialize_content`];
+//! everything else has provided defaults that build [`Content`] values. A
+//! `Deserializer` likewise exposes the whole input as one `Content`. This is
+//! exactly as expressive as JSON, which is the only format the workspace
+//! (and the real `serde_json`) uses.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{to_content, Serialize, Serializer};
+
+// The derive macros, like `serde`'s own `derive` feature re-export.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the data model every `Serialize` impl renders
+/// into and every `Deserialize` impl reads from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` (also the encoding of `None` and non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integer.
+    I64(i64),
+    /// Non-negative integer.
+    U64(u64),
+    /// Single-precision float, kept distinct so it prints at `f32` precision.
+    F32(f32),
+    /// Double-precision float.
+    F64(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Content>),
+    /// JSON object as an ordered key list (duplicates never produced).
+    Map(Vec<(String, Content)>),
+}

@@ -1,0 +1,231 @@
+//! Serialization half: `Serialize`, `Serializer`, and `to_content`.
+
+use crate::Content;
+use std::collections::{BTreeMap, HashMap};
+
+/// A type that can render itself into a [`Content`] tree through any
+/// [`Serializer`]. Same signature as the real trait.
+pub trait Serialize {
+    /// Serialize `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for one value. One required method; the `serialize_*` family the
+/// real trait exposes is provided on top of it.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error;
+
+    /// Consume a fully-built content tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+
+    /// Serialize `Some(value)` — transparently, as the inner value.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(to_content(value))
+    }
+
+    /// Serialize a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Bool(v))
+    }
+
+    /// Serialize a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(if v < 0 { Content::I64(v) } else { Content::U64(v as u64) })
+    }
+
+    /// Serialize an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::U64(v))
+    }
+
+    /// Serialize a single-precision float.
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::F32(v))
+    }
+
+    /// Serialize a double-precision float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::F64(v))
+    }
+
+    /// Serialize a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Str(v.to_string()))
+    }
+}
+
+/// The error type of [`ContentSerializer`]: building a content tree cannot
+/// fail, so this is uninhabited.
+#[derive(Debug)]
+pub enum Impossible {}
+
+/// The canonical serializer: produces the [`Content`] tree itself.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = Impossible;
+
+    fn serialize_content(self, content: Content) -> Result<Content, Impossible> {
+        Ok(content)
+    }
+}
+
+/// Render any serializable value into a [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    match value.serialize(ContentSerializer) {
+        Ok(c) => c,
+        Err(e) => match e {},
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64, isize);
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f32(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn seq_content<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Content {
+    Content::Seq(items.map(|v| to_content(v)).collect())
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(seq_content(self.iter()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(seq_content(self.iter()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(seq_content(self.iter()))
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_content(Content::Seq(vec![$(to_content(&self.$n)),+]))
+            }
+        }
+    )*};
+}
+
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// String-keyed maps serialize as JSON objects; `HashMap` keys are sorted
+/// so output is deterministic across runs.
+impl<V: Serialize, S2: ::std::hash::BuildHasher> Serialize for HashMap<String, V, S2> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.clone(), to_content(v))).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        serializer.serialize_content(Content::Map(entries))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let entries = self.iter().map(|(k, v)| (k.clone(), to_content(v))).collect();
+        serializer.serialize_content(Content::Map(entries))
+    }
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.clone())
+    }
+}

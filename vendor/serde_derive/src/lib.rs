@@ -1,0 +1,456 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses — non-generic structs (named, tuple, unit)
+//! and enums whose variants are unit, tuple, or struct-like — without any
+//! dependency on `syn`/`quote`: the item is parsed directly off the
+//! `proc_macro` token stream and the impl is emitted as source text.
+//!
+//! Encoding matches the `serde`-stub data model (JSON-shaped):
+//! named struct → object; newtype struct → inner value; tuple struct →
+//! array; unit variant → `"Name"`; newtype variant → `{"Name": value}`;
+//! tuple variant → `{"Name": [..]}`; struct variant → `{"Name": {..}}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip any number of outer attributes (`#[...]`), including the
+    /// `#[doc = "..."]` forms doc comments lower to.
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            if let Some(TokenTree::Punct(bang)) = self.peek() {
+                if bang.as_char() == '!' {
+                    self.pos += 1;
+                }
+            }
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Skip tokens until a top-level comma (angle-bracket depth 0) or the
+    /// end; consumes the comma. Groups are single trees, so commas inside
+    /// parens/brackets/braces are naturally invisible here.
+    fn skip_past_top_level_comma(&mut self) {
+        let mut angle_depth: i32 = 0;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let keyword = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("item name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Fields::Unit),
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        kw => panic!("serde_derive: expected struct or enum, found `{kw}`"),
+    };
+    Item { name, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        c.skip_past_top_level_comma();
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        if c.at_end() {
+            break;
+        }
+        count += 1;
+        c.skip_past_top_level_comma();
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        c.skip_past_top_level_comma();
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let mut s = format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                 ::std::vec::Vec::with_capacity({});\n",
+                fields.len()
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::to_content(&self.{f})));\n"
+                ));
+            }
+            s.push_str("__serializer.serialize_content(::serde::Content::Map(__fields))");
+            s
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            "__serializer.serialize_content(::serde::to_content(&self.0))".to_string()
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::to_content(&self.{i})")).collect();
+            format!(
+                "__serializer.serialize_content(::serde::Content::Seq(vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Unit) => {
+            "__serializer.serialize_content(::serde::Content::Null)".to_string()
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_content(\
+                         ::serde::Content::Str(::std::string::String::from(\"{vname}\"))),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => __serializer.serialize_content(\
+                         ::serde::Content::Map(vec![(::std::string::String::from(\"{vname}\"), \
+                         ::serde::to_content(__f0))])),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> =
+                            binds.iter().map(|b| format!("::serde::to_content({b})")).collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => __serializer.serialize_content(\
+                             ::serde::Content::Map(vec![(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Content::Seq(vec![{}]))])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: __{f}")).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::to_content(__{f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => __serializer.serialize_content(\
+                             ::serde::Content::Map(vec![(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Content::Map(vec![{}]))])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let err = "<__D::Error as ::serde::de::Error>::custom".to_string();
+    let body = match &item.kind {
+        Kind::Struct(Fields::Named(fields)) => {
+            let mut s = format!(
+                "let mut __entries = match __content {{\n\
+                 ::serde::Content::Map(__m) => __m,\n\
+                 _ => return ::core::result::Result::Err({err}(\"{name}: expected object\")),\n\
+                 }};\nlet _ = &mut __entries;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::de::take_field(&mut __entries, \"{f}\").map_err({err})?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("::serde::de::from_content(__content).map({name}).map_err({err})")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items = "::serde::de::from_content(__it.next().unwrap()).map_err(".to_string()
+                + &err
+                + ")?,\n";
+            format!(
+                "match __content {{\n\
+                 ::serde::Content::Seq(__items) if __items.len() == {n} => {{\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::core::result::Result::Ok({name}({}))\n\
+                 }}\n\
+                 _ => ::core::result::Result::Err({err}(\"{name}: expected {n}-element array\")),\n\
+                 }}",
+                items.repeat(*n)
+            )
+        }
+        Kind::Struct(Fields::Unit) => format!(
+            "match __content {{\n\
+             ::serde::Content::Null => ::core::result::Result::Ok({name}),\n\
+             _ => ::core::result::Result::Err({err}(\"{name}: expected null\")),\n\
+             }}"
+        ),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    Fields::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vname}\" => ::serde::de::from_content(__v).map({name}::{vname})\
+                         .map_err({err}),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items = "::serde::de::from_content(__it.next().unwrap()).map_err("
+                            .to_string()
+                            + &err
+                            + ")?,\n";
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => match __v {{\n\
+                             ::serde::Content::Seq(__items) if __items.len() == {n} => {{\n\
+                             let mut __it = __items.into_iter();\n\
+                             ::core::result::Result::Ok({name}::{vname}({}))\n\
+                             }}\n\
+                             _ => ::core::result::Result::Err({err}(\
+                             \"{name}::{vname}: expected {n}-element array\")),\n\
+                             }},\n",
+                            items.repeat(*n)
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let mut field_code = String::new();
+                        for f in fields {
+                            field_code.push_str(&format!(
+                                "{f}: ::serde::de::take_field(&mut __entries, \"{f}\")\
+                                 .map_err({err})?,\n"
+                            ));
+                        }
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => match __v {{\n\
+                             ::serde::Content::Map(mut __entries) => {{\n\
+                             let _ = &mut __entries;\n\
+                             ::core::result::Result::Ok({name}::{vname} {{\n{field_code}}})\n\
+                             }}\n\
+                             _ => ::core::result::Result::Err({err}(\
+                             \"{name}::{vname}: expected object\")),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __content {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err({err}(\
+                 format!(\"{name}: unknown unit variant `{{__other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Content::Map(mut __m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = __m.pop().unwrap();\n\
+                 let _ = &__v;\n\
+                 match __k.as_str() {{\n\
+                 {payload_arms}\
+                 __other => ::core::result::Result::Err({err}(\
+                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                 }}\n\
+                 }}\n\
+                 _ => ::core::result::Result::Err({err}(\"{name}: expected variant\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         let __content = __deserializer.deserialize_content()?;\n\
+         let _ = &__content;\n\
+         {body}\n}}\n}}"
+    )
+}
