@@ -20,6 +20,8 @@ fn bench(c: &mut Criterion) {
         ours * 1e3,
         (frac * 100.0).round()
     );
+    let sweep = runtime::training_threads_sweep(CorpusKind::Ckg, &[1, 2, 4, 8], &cfg);
+    println!("{}", runtime::render_threads(&sweep));
 
     let f = fixture(CorpusKind::Ckg);
     let mut by_size: Vec<&tabmeta_tabular::Table> = f.test.iter().collect();

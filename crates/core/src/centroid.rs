@@ -19,6 +19,7 @@ use crate::aggregate::axis_vectors;
 use crate::bootstrap::WeakLabels;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use tabmeta_embed::TermEmbedder;
 use tabmeta_linalg::{angle_degrees, AngleRange, RangeEstimator};
@@ -236,6 +237,60 @@ impl AxisAccumulator {
         }
     }
 
+    /// Fold another shard's accumulator into this one — the reduce step of
+    /// map-reduce estimation. Range estimators concatenate samples (order
+    /// never affects their estimates), sums and counts add, and the two
+    /// reservoirs merge by weighted draws so every metadata vector seen by
+    /// either shard keeps an equal chance of surviving — the standard
+    /// distributed-reservoir argument: an item survives shard sampling
+    /// with probability `cap/seen_s` and the merge draw with probability
+    /// proportional to `seen_s`, which cancels to `cap/(seen_a+seen_b)`.
+    fn merge(&mut self, mut other: AxisAccumulator, options: &CentroidOptions, rng: &mut StdRng) {
+        self.mde.merge(&other.mde);
+        self.de.merge(&other.de);
+        self.mde_de.merge(&other.mde_de);
+        tabmeta_linalg::add_assign(&mut self.meta_sum, &other.meta_sum);
+        self.meta_n += other.meta_n;
+        tabmeta_linalg::add_assign(&mut self.data_sum, &other.data_sum);
+        self.data_n += other.data_n;
+        for k in 0..MAX_LEVELS {
+            self.level_prev[k].merge(&other.level_prev[k]);
+            self.level_to_data[k].merge(&other.level_to_data[k]);
+            self.level_support[k] += other.level_support[k];
+        }
+        let (seen_a, seen_b) = (self.seen_meta, other.seen_meta);
+        if self.reservoir.len() + other.reservoir.len() <= options.reservoir {
+            self.reservoir.append(&mut other.reservoir);
+        } else {
+            let mut a = std::mem::take(&mut self.reservoir);
+            let mut b = std::mem::take(&mut other.reservoir);
+            // Both shards saw at least as many vectors as they retained,
+            // so `wa >= a.len()` / `wb >= b.len()` hold throughout.
+            let (mut wa, mut wb) = (seen_a, seen_b);
+            let mut merged = Vec::with_capacity(options.reservoir);
+            while merged.len() < options.reservoir && (!a.is_empty() || !b.is_empty()) {
+                let pick_a = if a.is_empty() {
+                    false
+                } else if b.is_empty() {
+                    true
+                } else {
+                    rng.random_range(0..wa + wb) < wa
+                };
+                if pick_a {
+                    let i = rng.random_range(0..a.len());
+                    merged.push(a.swap_remove(i));
+                    wa -= 1;
+                } else {
+                    let i = rng.random_range(0..b.len());
+                    merged.push(b.swap_remove(i));
+                    wb -= 1;
+                }
+            }
+            self.reservoir = merged;
+        }
+        self.seen_meta = seen_a + seen_b;
+    }
+
     fn finish(mut self, options: &CentroidOptions, rng: &mut StdRng) -> AxisCentroids {
         // Cross-table metadata pairs from the reservoir.
         if self.reservoir.len() >= 2 {
@@ -314,6 +369,73 @@ pub fn estimate<E: TermEmbedder + ?Sized>(
             options,
             &mut rng,
         );
+    }
+    CentroidModel {
+        rows: rows_acc.finish(options, &mut rng),
+        columns: cols_acc.finish(options, &mut rng),
+    }
+}
+
+/// [`estimate`] with map-reduce sharding: tables are split into one
+/// contiguous shard per worker, each shard accumulates independently with
+/// its own RNG stream (`seed ⊕ (shard+1)`), and the per-shard accumulators
+/// fold together in shard order before `finish` draws cross-table pairs
+/// with the base seed. Deterministic for a fixed `(seed, threads)` pair;
+/// only `threads = 1` reproduces the sequential stream exactly.
+pub fn estimate_par<E: TermEmbedder + Sync + ?Sized>(
+    tables: &[Table],
+    weak: &[WeakLabels],
+    embedder: &E,
+    tokenizer: &Tokenizer,
+    options: &CentroidOptions,
+    threads: usize,
+) -> CentroidModel {
+    assert_eq!(tables.len(), weak.len(), "tables and weak labels must align");
+    if threads <= 1 || tables.len() < 2 {
+        return estimate(tables, weak, embedder, tokenizer, options);
+    }
+    let dim = embedder.dim();
+    let chunk = tables.len().div_ceil(threads).max(1);
+    let shards: Vec<(u64, &[Table], &[WeakLabels])> = tables
+        .chunks(chunk)
+        .zip(weak.chunks(chunk))
+        .enumerate()
+        .map(|(s, (t, w))| (s as u64, t, w))
+        .collect();
+    let per_shard: Vec<(AxisAccumulator, AxisAccumulator)> = shards
+        .par_iter()
+        .map(|&(shard, shard_tables, shard_weak)| {
+            let mut rows_acc = AxisAccumulator::new(dim);
+            let mut cols_acc = AxisAccumulator::new(dim);
+            let mut rng = StdRng::seed_from_u64(options.seed ^ (shard + 1));
+            for (table, labels) in shard_tables.iter().zip(shard_weak) {
+                let row_vecs = axis_vectors(table, Axis::Row, embedder, tokenizer);
+                rows_acc.observe_table(
+                    &row_vecs,
+                    &labels.metadata_indices(Axis::Row),
+                    &labels.data_indices(Axis::Row),
+                    options,
+                    &mut rng,
+                );
+                let col_vecs = axis_vectors(table, Axis::Column, embedder, tokenizer);
+                cols_acc.observe_table(
+                    &col_vecs,
+                    &labels.metadata_indices(Axis::Column),
+                    &labels.data_indices(Axis::Column),
+                    options,
+                    &mut rng,
+                );
+            }
+            (rows_acc, cols_acc)
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut folded = per_shard.into_iter();
+    let (mut rows_acc, mut cols_acc) =
+        folded.next().expect("non-empty corpus yields at least one shard");
+    for (rows, cols) in folded {
+        rows_acc.merge(rows, options, &mut rng);
+        cols_acc.merge(cols, options, &mut rng);
     }
     CentroidModel {
         rows: rows_acc.finish(options, &mut rng),
@@ -436,6 +558,63 @@ mod tests {
         let a = estimate(&tables, &weak, &e, &tok, &opts);
         let b = estimate(&tables, &weak, &e, &tok, &opts);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sharded_estimation_matches_sequential_geometry() {
+        let tables = corpus();
+        let labeler = BootstrapLabeler::default();
+        let weak: Vec<WeakLabels> = tables.iter().map(|t| labeler.label(t)).collect();
+        let e = TwoCluster::new();
+        let tok = Tokenizer::default();
+        let opts = CentroidOptions::default();
+        let seq = estimate(&tables, &weak, &e, &tok, &opts);
+        let par = estimate_par(&tables, &weak, &e, &tok, &opts, 3);
+        assert!(par.rows.is_usable());
+        // Shard RNG streams differ from the sequential stream, so ranges
+        // are statistically — not bitwise — equal. On this synthetic
+        // corpus (identical tables) the geometry must agree tightly.
+        let close =
+            |a: AngleRange, b: AngleRange| (a.lo - b.lo).abs() < 3.0 && (a.hi - b.hi).abs() < 3.0;
+        assert!(close(par.rows.c_mde_de, seq.rows.c_mde_de));
+        assert!(close(par.rows.c_de, seq.rows.c_de));
+        // Reference vectors are exact sums reordered: near-identical.
+        for (a, b) in par.rows.meta_ref.iter().zip(&seq.rows.meta_ref) {
+            assert!((a - b).abs() < 1e-4, "meta_ref drifted: {a} vs {b}");
+        }
+        assert_eq!(par.rows.levels.len(), seq.rows.levels.len());
+        assert_eq!(par.rows.levels[0].support, seq.rows.levels[0].support);
+    }
+
+    #[test]
+    fn sharded_estimation_is_deterministic_per_thread_count() {
+        let tables = corpus();
+        let labeler = BootstrapLabeler::default();
+        let weak: Vec<WeakLabels> = tables.iter().map(|t| labeler.label(t)).collect();
+        let e = TwoCluster::new();
+        let tok = Tokenizer::default();
+        let opts = CentroidOptions::default();
+        let a = estimate_par(&tables, &weak, &e, &tok, &opts, 3);
+        let b = estimate_par(&tables, &weak, &e, &tok, &opts, 3);
+        assert_eq!(a, b, "fixed (seed, threads) must reproduce the model");
+        let single = estimate_par(&tables, &weak, &e, &tok, &opts, 1);
+        assert_eq!(single, estimate(&tables, &weak, &e, &tok, &opts));
+    }
+
+    #[test]
+    fn reservoir_merge_respects_capacity() {
+        // Many tables, tiny reservoir: the merged reservoir must not
+        // exceed the cap and seen-counts must add up.
+        let tables: Vec<Table> = (0..40u64)
+            .map(|id| Table::from_strings(id, &[&["age", "sex", "rate"], &["1", "2", "3"]]))
+            .collect();
+        let labeler = BootstrapLabeler::default();
+        let weak: Vec<WeakLabels> = tables.iter().map(|t| labeler.label(t)).collect();
+        let opts = CentroidOptions { reservoir: 8, ..CentroidOptions::default() };
+        let model =
+            estimate_par(&tables, &weak, &TwoCluster::new(), &Tokenizer::default(), &opts, 4);
+        // c_mde comes from reservoir cross-pairs; it must still be usable.
+        assert!(!model.rows.c_mde.is_empty());
     }
 
     #[test]

@@ -239,12 +239,33 @@ impl Classifier {
             // reference; metadata depth = leading run of meta-leaning
             // levels. No pairwise angles anywhere.
             let mut depth: u8 = 0;
-            for maybe_v in vectors.iter() {
-                let Some(v) = maybe_v else { break };
+            for (i, maybe_v) in vectors.iter().enumerate() {
+                let Some(v) = maybe_v else {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(TraceStep {
+                            axis,
+                            index: i,
+                            angle: None,
+                            matched: RangeKind::Reference,
+                            decision: LevelLabel::Data,
+                        });
+                    }
+                    break;
+                };
                 angle_tests.inc();
                 let to_meta = angle_degrees(v, &centroids.meta_ref);
                 let to_data = angle_degrees(v, &centroids.data_ref);
-                if to_meta < to_data && depth < depth_cap {
+                let is_meta = to_meta < to_data && depth < depth_cap;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.push(TraceStep {
+                        axis,
+                        index: i,
+                        angle: Some(to_meta),
+                        matched: RangeKind::Reference,
+                        decision: if is_meta { meta_label(depth + 1) } else { LevelLabel::Data },
+                    });
+                }
+                if is_meta {
                     depth += 1;
                     labels[depth as usize - 1] = meta_label(depth);
                 } else {
@@ -535,6 +556,30 @@ mod tests {
         let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
         assert_eq!(v.hmd_depth, 2);
         assert_eq!(v.rows[2], LevelLabel::Data, "cap stops the run");
+    }
+
+    #[test]
+    fn reference_only_trace_is_populated() {
+        // Regression: the ReferenceOnly ablation returned an empty trace,
+        // so Fig.-5-style walk-throughs silently vanished for the baseline.
+        let t = Table::from_strings(
+            7,
+            &[&["header", "header"], &["subheader", "subheader"], &["1", "14,373"]],
+        );
+        let mut c = classifier();
+        c.config.strategy = WalkStrategy::ReferenceOnly;
+        let (v, trace) = c.classify_with_trace(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.hmd_depth, 2, "labels: {:?}", v.rows);
+        let row_steps: Vec<&TraceStep> = trace.iter().filter(|s| s.axis == Axis::Row).collect();
+        // One step per examined level, including the breaking data level.
+        assert_eq!(row_steps.len(), 3, "trace: {row_steps:?}");
+        assert!(row_steps.iter().all(|s| s.matched == RangeKind::Reference));
+        assert!(row_steps.iter().all(|s| s.angle.is_some()));
+        assert_eq!(row_steps[0].decision, LevelLabel::Hmd(1));
+        assert_eq!(row_steps[1].decision, LevelLabel::Hmd(2));
+        assert_eq!(row_steps[2].decision, LevelLabel::Data);
+        // Column walk traces too.
+        assert!(trace.iter().any(|s| s.axis == Axis::Column));
     }
 
     #[test]

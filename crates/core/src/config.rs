@@ -33,6 +33,12 @@ pub struct PipelineConfig {
     pub finetune: Option<FinetuneConfig>,
     /// Classification-phase knobs.
     pub classifier: ClassifierConfig,
+    /// Worker threads for the training path (sentence extraction, SGNS,
+    /// bootstrap labeling, centroid estimation). `1` — the default, and
+    /// what every determinism test pins — keeps the bit-identical seeded
+    /// sequential stream; `>1` trains with Hogwild SGNS and map-reduce
+    /// centroids, which are only statistically reproducible.
+    pub threads: usize,
 }
 
 impl PipelineConfig {
@@ -46,6 +52,7 @@ impl PipelineConfig {
             centroid: CentroidOptions { seed: seed ^ 0xce, ..CentroidOptions::default() },
             finetune: Some(FinetuneConfig { seed: seed ^ 0xf7, ..FinetuneConfig::default() }),
             classifier: ClassifierConfig::default(),
+            threads: 1,
         }
     }
 
@@ -69,6 +76,7 @@ impl PipelineConfig {
             centroid: CentroidOptions { seed: seed ^ 0xce, ..CentroidOptions::default() },
             finetune: Some(FinetuneConfig { seed: seed ^ 0xf7, ..FinetuneConfig::default() }),
             classifier: ClassifierConfig::default(),
+            threads: 1,
         }
     }
 
@@ -86,6 +94,13 @@ impl PipelineConfig {
     /// Disable contrastive fine-tuning (ablation).
     pub fn without_finetune(mut self) -> Self {
         self.finetune = None;
+        self
+    }
+
+    /// Set the training worker count (clamped to at least 1). See
+    /// [`PipelineConfig::threads`] for the determinism trade-off.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 }
@@ -124,5 +139,13 @@ mod tests {
     #[test]
     fn chargram_variant_selects_chargram() {
         assert!(matches!(PipelineConfig::fast_chargram(2).embedding, EmbeddingChoice::CharGram(_)));
+    }
+
+    #[test]
+    fn threads_default_to_sequential_and_clamp() {
+        assert_eq!(PipelineConfig::fast().threads, 1);
+        assert_eq!(PipelineConfig::paper(1).threads, 1);
+        assert_eq!(PipelineConfig::fast().with_threads(4).threads, 4);
+        assert_eq!(PipelineConfig::fast().with_threads(0).threads, 1);
     }
 }

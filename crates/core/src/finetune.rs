@@ -86,6 +86,10 @@ fn cosine_grad_wrt_a(a: &[f32], b: &[f32], cos: f32) -> Vec<f32> {
 /// cosine moves toward its target side of the margin. The pair's hinge
 /// loss (degrees past the margin; zero when satisfied) accumulates into
 /// `epoch_loss` so callers can report a loss trajectory.
+///
+/// Returns whether the pair was actually evaluated (updated or found
+/// satisfied). Blank/OOV levels yield no aggregate vector and return
+/// `false` — callers budgeting pairs must not spend budget on those.
 #[allow(clippy::too_many_arguments)]
 fn update_pair<E: TunableEmbedder + ?Sized>(
     table: &Table,
@@ -98,12 +102,12 @@ fn update_pair<E: TunableEmbedder + ?Sized>(
     tokenizer: &Tokenizer,
     report: &mut FinetuneReport,
     epoch_loss: &mut f64,
-) {
+) -> bool {
     let (Some(a), Some(b)) = (
         level_vector(table, axis, i, embedder, tokenizer),
         level_vector(table, axis, j, embedder, tokenizer),
     ) else {
-        return;
+        return false;
     };
     let cos = cosine_similarity(&a, &b);
     let angle = cos.acos().to_degrees();
@@ -116,13 +120,13 @@ fn update_pair<E: TunableEmbedder + ?Sized>(
     let sign = if positive {
         if angle <= config.positive_margin_deg {
             report.satisfied += 1;
-            return;
+            return true;
         }
         1.0
     } else {
         if angle >= config.negative_margin_deg {
             report.satisfied += 1;
-            return;
+            return true;
         }
         -1.0
     };
@@ -145,6 +149,7 @@ fn update_pair<E: TunableEmbedder + ?Sized>(
     } else {
         report.negative_updates += 1;
     }
+    true
 }
 
 /// Run contrastive fine-tuning over weakly-labeled tables, mutating the
@@ -163,7 +168,7 @@ pub fn run<E: TunableEmbedder + ?Sized>(
     let rate_gauge = obs.gauge("finetune.pairs_per_sec");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut report = FinetuneReport::default();
-    for _epoch in 0..config.epochs {
+    for epoch in 0..config.epochs {
         let _epoch_span = obs.span("epoch");
         let epoch_start = std::time::Instant::now();
         let pairs_before = report.positive_updates + report.negative_updates + report.satisfied;
@@ -207,15 +212,20 @@ pub fn run<E: TunableEmbedder + ?Sized>(
                         &mut epoch_loss,
                     );
                 }
-                // Negative: metadata vs random data levels (capped).
-                if !data.is_empty() {
+                // Negative: metadata vs random data levels (capped). The
+                // starting metadata level rotates each epoch so a run
+                // deeper than the budget still gets negative pressure on
+                // its tail levels, and budget is only spent on pairs that
+                // actually evaluate (blank/OOV levels no-op for free).
+                if !data.is_empty() && !meta.is_empty() {
                     let mut budget = config.max_neg_pairs;
-                    for &m in &meta {
+                    for k in 0..meta.len() {
                         if budget == 0 {
                             break;
                         }
+                        let m = meta[(k + epoch) % meta.len()];
                         let d = data[rng.random_range(0..data.len())];
-                        update_pair(
+                        if update_pair(
                             table,
                             axis,
                             m,
@@ -226,8 +236,9 @@ pub fn run<E: TunableEmbedder + ?Sized>(
                             tokenizer,
                             &mut report,
                             &mut epoch_loss,
-                        );
-                        budget -= 1;
+                        ) {
+                            budget -= 1;
+                        }
                     }
                 }
             }
@@ -344,6 +355,56 @@ mod tests {
         assert_eq!(report.positive_updates + report.negative_updates, 0);
         assert!(report.satisfied > 0);
         assert_eq!(e.map.get("age"), before.map.get("age"), "no update may occur");
+    }
+
+    #[test]
+    fn oov_metadata_levels_do_not_consume_negative_budget() {
+        use crate::bootstrap::WeakLabel;
+        // First metadata row is entirely OOV: its level vector is None and
+        // `update_pair` no-ops. The budget must survive for the second,
+        // in-vocab metadata level (this regressed: budget was spent on the
+        // no-op and negatives never fired).
+        let table = Table::from_strings(0, &[&["zzz", "qqq"], &["age", "sex"], &["1", "14,373"]]);
+        let weak = WeakLabels {
+            rows: vec![WeakLabel::Metadata, WeakLabel::Metadata, WeakLabel::Data],
+            columns: vec![WeakLabel::Unknown, WeakLabel::Unknown],
+            from_markup: true,
+        };
+        let mut e = weakly_separated();
+        let config = FinetuneConfig { epochs: 1, max_neg_pairs: 1, ..Default::default() };
+        let report = run(&[table], &[weak], &mut e, &Tokenizer::default(), &config);
+        assert!(
+            report.negative_updates > 0,
+            "in-vocab metadata level must still get negative pressure: {report:?}"
+        );
+    }
+
+    #[test]
+    fn negative_mining_rotates_across_epochs() {
+        use crate::bootstrap::WeakLabel;
+        // Two metadata levels, budget of one negative pair per epoch.
+        // Rotation must give each level an update across two epochs; the
+        // old code always spent the budget on level 0.
+        let table = Table::from_strings(0, &[&["age"], &["sex"], &["1"]]);
+        let weak = WeakLabels {
+            rows: vec![WeakLabel::Metadata, WeakLabel::Metadata, WeakLabel::Data],
+            columns: vec![WeakLabel::Unknown],
+            from_markup: true,
+        };
+        let mut e = weakly_separated();
+        let before = e.clone();
+        let config = FinetuneConfig {
+            epochs: 2,
+            max_neg_pairs: 1,
+            // Positives never fire, negatives always do.
+            positive_margin_deg: 180.0,
+            negative_margin_deg: 180.0,
+            ..Default::default()
+        };
+        let report = run(&[table], &[weak], &mut e, &Tokenizer::default(), &config);
+        assert_eq!(report.negative_updates, 2, "{report:?}");
+        assert_ne!(e.map.get("age"), before.map.get("age"), "epoch 0 updates level 1");
+        assert_ne!(e.map.get("sex"), before.map.get("sex"), "epoch 1 rotates to level 2");
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::classifier::{Classifier, TraceStep, Verdict};
 use crate::config::{EmbeddingChoice, PipelineConfig};
 use crate::finetune::{self, FinetuneReport};
 use rayon::prelude::*;
-use tabmeta_embed::{sentences_from_tables, CharGram, TermEmbedder, TunableEmbedder, Word2Vec};
+use tabmeta_embed::{sentences_from_tables_par, CharGram, TermEmbedder, TunableEmbedder, Word2Vec};
 use tabmeta_tabular::Table;
 use tabmeta_text::Tokenizer;
 
@@ -112,24 +112,38 @@ impl Pipeline {
         }
         let obs = tabmeta_obs::global();
         let _train_span = obs.span("train");
+        let threads = config.threads.max(1);
+        obs.gauge("train.threads").set(threads as f64);
         let tokenizer = Tokenizer::default();
 
         let embed_span = obs.span("embed");
-        let sentences = sentences_from_tables(tables, &tokenizer, &config.sentences);
+        let sentences = sentences_from_tables_par(tables, &tokenizer, &config.sentences, threads);
+        // The `threads` knob propagates into SGNS so one pipeline setting
+        // governs the whole training path.
         let (mut embedder, sgns_pairs) = match &config.embedding {
             EmbeddingChoice::Word2Vec(sgns) => {
-                let (model, report) = Word2Vec::train(&sentences, sgns.clone());
+                let mut sgns = sgns.clone();
+                sgns.threads = threads;
+                let (model, report) = Word2Vec::train(&sentences, sgns);
                 (AnyEmbedder::Word2Vec(model), report.pairs)
             }
             EmbeddingChoice::CharGram(cfg) => {
-                let (model, report) = CharGram::train(&sentences, cfg.clone());
+                let mut cfg = cfg.clone();
+                cfg.sgns.threads = threads;
+                let (model, report) = CharGram::train(&sentences, cfg);
                 (AnyEmbedder::CharGram(model), report.pairs)
             }
         };
         drop(embed_span);
 
         let bootstrap_span = obs.span("bootstrap");
-        let weak: Vec<WeakLabels> = tables.iter().map(|t| config.bootstrap.label(t)).collect();
+        // `BootstrapLabeler::label` is pure per table; parallel labeling
+        // preserves order, so weak labels are identical at any count.
+        let weak: Vec<WeakLabels> = if threads > 1 {
+            tables.par_iter().map(|t| config.bootstrap.label(t)).collect()
+        } else {
+            tables.iter().map(|t| config.bootstrap.label(t)).collect()
+        };
         let markup_bootstrapped = weak.iter().filter(|w| w.from_markup).count();
         obs.counter("bootstrap.tables").add(weak.len() as u64);
         obs.counter("bootstrap.markup_tables").add(markup_bootstrapped as u64);
@@ -141,7 +155,8 @@ impl Pipeline {
         });
 
         let centroid_span = obs.span("centroid");
-        let centroids = centroid::estimate(tables, &weak, &embedder, &tokenizer, &config.centroid);
+        let centroids =
+            centroid::estimate_par(tables, &weak, &embedder, &tokenizer, &config.centroid, threads);
         drop(centroid_span);
         if !centroids.rows.is_usable() && !centroids.columns.is_usable() {
             return Err(TrainError::NoCentroidEvidence);
@@ -173,13 +188,14 @@ impl Pipeline {
     /// Classify a whole corpus in parallel (the "scalable" in the title:
     /// per-table classification is embarrassingly parallel).
     pub fn classify_corpus(&self, tables: &[Table]) -> Vec<Verdict> {
-        let obs = tabmeta_obs::global();
-        let _span = obs.span("classify");
-        let start = std::time::Instant::now();
-        let verdicts: Vec<Verdict> = tables.par_iter().map(|t| self.classify(t)).collect();
-        let secs = start.elapsed().as_secs_f64();
+        // Timed through the span registry so `classify.tables_per_sec`
+        // and the `classify` span report the same wall-clock interval.
+        let (verdicts, elapsed) = tabmeta_obs::timed("classify", || -> Vec<Verdict> {
+            tables.par_iter().map(|t| self.classify(t)).collect()
+        });
+        let secs = elapsed.as_secs_f64();
         if secs > 0.0 {
-            obs.gauge("classify.tables_per_sec").set(tables.len() as f64 / secs);
+            tabmeta_obs::global().gauge("classify.tables_per_sec").set(tables.len() as f64 / secs);
         }
         verdicts
     }

@@ -18,6 +18,7 @@ use crate::negative::NegativeTable;
 use crate::sgns::{SgnsConfig, SigmoidTable, TrainReport};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use tabmeta_linalg::Matrix;
 use tabmeta_text::{ngram_ids, NgramConfig, NumericClass, Vocabulary};
@@ -110,6 +111,9 @@ impl CharGram {
 
     /// SGNS over composed (word + grams) input vectors.
     fn run_sgns(&mut self, sentences: &[Vec<u32>], negatives: &NegativeTable) -> TrainReport {
+        if self.config.sgns.threads > 1 {
+            return self.run_sgns_hogwild(sentences, negatives);
+        }
         let config = self.config.sgns.clone();
         let dim = config.dim;
         let sigmoid = SigmoidTable::new();
@@ -163,6 +167,100 @@ impl CharGram {
             }
         }
         TrainReport { pairs, final_lr: lr }
+    }
+
+    /// Hogwild variant of [`Self::run_sgns`]: sentence shards train
+    /// concurrently, sharing the word / gram / output matrices through
+    /// relaxed-atomic views. Composition (`compose_into`) and gradient
+    /// spreading (`spread_gradient`) are inlined against the views since
+    /// both need only shared access. Same trade-off as the word-level
+    /// Hogwild path: racing updates may drop a write, never corrupt one.
+    fn run_sgns_hogwild(
+        &mut self,
+        sentences: &[Vec<u32>],
+        negatives: &NegativeTable,
+    ) -> TrainReport {
+        let config = self.config.sgns.clone();
+        let dim = config.dim;
+        let sigmoid = SigmoidTable::new();
+        let chunk = sentences.len().div_ceil(config.threads).max(1);
+        let shards: Vec<(u64, &[Vec<u32>])> =
+            sentences.chunks(chunk).enumerate().map(|(w, s)| (w as u64, s)).collect();
+        let Self { words, grams, output, word_grams, .. } = self;
+        let words_view = words.hogwild();
+        let grams_view = grams.hogwild();
+        let out_view = output.hogwild();
+        let word_grams: &[Vec<u32>] = word_grams;
+        let reports: Vec<TrainReport> = shards
+            .par_iter()
+            .map(|&(worker, shard)| {
+                let mut rng = StdRng::seed_from_u64(config.seed ^ worker);
+                let shard_tokens: u64 = shard.iter().map(|s| s.len() as u64).sum();
+                let total_work = (shard_tokens * config.epochs as u64).max(1);
+                let mut processed = 0u64;
+                let mut pairs = 0u64;
+                let mut lr = config.learning_rate;
+                let mut v_in = vec![0.0f32; dim];
+                let mut v_out = vec![0.0f32; dim];
+                let mut grad = vec![0.0f32; dim];
+                for _epoch in 0..config.epochs {
+                    for sentence in shard {
+                        for (pos, &center) in sentence.iter().enumerate() {
+                            processed += 1;
+                            lr = config.learning_rate
+                                * (1.0 - processed as f32 / total_work as f32).max(1e-4);
+                            let reduced = rng.random_range(1..=config.window);
+                            let lo = pos.saturating_sub(reduced);
+                            let hi = (pos + reduced).min(sentence.len() - 1);
+                            for ctx_pos in lo..=hi {
+                                if ctx_pos == pos {
+                                    continue;
+                                }
+                                pairs += 1;
+                                let context = sentence[ctx_pos] as usize;
+                                // Compose: mean of word vector and grams.
+                                let cg = &word_grams[center as usize];
+                                words_view.read_row(center as usize, &mut v_in);
+                                for &g in cg {
+                                    grams_view.accumulate_row(g as usize, &mut v_in);
+                                }
+                                let share = 1.0 / (1 + cg.len()) as f32;
+                                tabmeta_linalg::scale(&mut v_in, share);
+                                grad.fill(0.0);
+                                // Positive.
+                                out_view.read_row(context, &mut v_out);
+                                let g =
+                                    (1.0 - sigmoid.get(tabmeta_linalg::dot(&v_in, &v_out))) * lr;
+                                tabmeta_linalg::axpy(g, &v_out, &mut grad);
+                                out_view.update_row(context, g, &v_in);
+                                // Negatives.
+                                for _ in 0..config.negative {
+                                    let neg = negatives.sample(&mut rng) as usize;
+                                    if neg == context {
+                                        continue;
+                                    }
+                                    out_view.read_row(neg, &mut v_out);
+                                    let g = (0.0 - sigmoid.get(tabmeta_linalg::dot(&v_in, &v_out)))
+                                        * lr;
+                                    tabmeta_linalg::axpy(g, &v_out, &mut grad);
+                                    out_view.update_row(neg, g, &v_in);
+                                }
+                                // Spread: each constituent gets grad/(1+n).
+                                tabmeta_linalg::scale(&mut grad, share);
+                                words_view.update_row(center as usize, 1.0, &grad);
+                                for &g in cg {
+                                    grams_view.update_row(g as usize, 1.0, &grad);
+                                }
+                            }
+                        }
+                    }
+                }
+                TrainReport { pairs, final_lr: lr }
+            })
+            .collect();
+        let pairs = reports.iter().map(|r| r.pairs).sum();
+        let final_lr = reports.iter().map(|r| r.final_lr).fold(config.learning_rate, f32::min);
+        TrainReport { pairs, final_lr }
     }
 
     /// Compose the input vector of a vocabulary word: mean of word vector
@@ -269,6 +367,18 @@ mod tests {
     #[test]
     fn training_separates_topics() {
         let (model, report) = CharGram::train(&topic_sentences(), CharGramConfig::tiny(9));
+        assert!(report.pairs > 0);
+        let sim = |a: &str, b: &str| {
+            tabmeta_linalg::cosine_similarity(&model.embed(a).unwrap(), &model.embed(b).unwrap())
+        };
+        assert!(sim("headache", "migraine") > sim("headache", "tuition"));
+    }
+
+    #[test]
+    fn hogwild_training_separates_topics() {
+        let mut config = CharGramConfig::tiny(9);
+        config.sgns.threads = 4;
+        let (model, report) = CharGram::train(&topic_sentences(), config);
         assert!(report.pairs > 0);
         let sim = |a: &str, b: &str| {
             tabmeta_linalg::cosine_similarity(&model.embed(a).unwrap(), &model.embed(b).unwrap())

@@ -33,6 +33,6 @@ pub mod word2vec;
 
 pub use chargram::{CharGram, CharGramConfig};
 pub use embedder::{TermEmbedder, TunableEmbedder};
-pub use sentences::{sentences_from_tables, SentenceConfig};
+pub use sentences::{sentences_from_tables, sentences_from_tables_par, SentenceConfig};
 pub use sgns::SgnsConfig;
 pub use word2vec::Word2Vec;

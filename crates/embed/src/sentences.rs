@@ -6,6 +6,7 @@
 //! (with the `[SEP]` cell boundary token) and additionally emit column
 //! sentences, since VMD classification consumes columnar co-occurrence.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use tabmeta_tabular::{Axis, Table};
 use tabmeta_text::Tokenizer;
@@ -38,47 +39,38 @@ pub fn sentences_from_tables(
     tokenizer: &Tokenizer,
     config: &SentenceConfig,
 ) -> Vec<Vec<String>> {
+    sentences_from_tables_par(tables, tokenizer, config, 1)
+}
+
+/// [`sentences_from_tables`] with explicit parallelism: `threads > 1`
+/// extracts per-table sentence blocks on rayon workers and flattens them
+/// in table order, so the output is identical to the sequential path —
+/// extraction is pure per table, making this the easy half of the
+/// parallel training pipeline.
+pub fn sentences_from_tables_par(
+    tables: &[Table],
+    tokenizer: &Tokenizer,
+    config: &SentenceConfig,
+    threads: usize,
+) -> Vec<Vec<String>> {
     tabmeta_obs::span!("sentences");
-    let mut out = Vec::new();
-    let mut buf = Vec::new();
-    for table in tables {
-        if config.captions && !table.caption.is_empty() {
-            let terms = tokenizer.terms(&table.caption);
-            if !terms.is_empty() {
-                out.push(terms);
-            }
+    let out: Vec<Vec<String>> = if threads > 1 {
+        let blocks: Vec<Vec<Vec<String>>> = tables
+            .par_iter()
+            .map(|t| {
+                let mut block = Vec::new();
+                sentences_from_table(t, tokenizer, config, &mut block);
+                block
+            })
+            .collect();
+        blocks.into_iter().flatten().collect()
+    } else {
+        let mut out = Vec::new();
+        for table in tables {
+            sentences_from_table(table, tokenizer, config, &mut out);
         }
-        let mut push_level = |axis: Axis, index: usize, out: &mut Vec<Vec<String>>| {
-            let mut sentence: Vec<String> = Vec::new();
-            for cell in table.level_cells(axis, index) {
-                if cell.is_blank() {
-                    continue;
-                }
-                buf.clear();
-                tokenizer.tokenize_into(&cell.text, &mut buf);
-                if buf.is_empty() {
-                    continue;
-                }
-                if config.cell_separators && !sentence.is_empty() {
-                    sentence.push(SEP.to_string());
-                }
-                sentence.extend(buf.drain(..).map(|t| t.text));
-            }
-            if sentence.len() > 1 || (sentence.len() == 1 && sentence[0] != SEP) {
-                out.push(sentence);
-            }
-        };
-        if config.rows {
-            for i in 0..table.n_rows() {
-                push_level(Axis::Row, i, &mut out);
-            }
-        }
-        if config.columns {
-            for j in 0..table.n_cols() {
-                push_level(Axis::Column, j, &mut out);
-            }
-        }
-    }
+        out
+    };
     let obs = tabmeta_obs::global();
     obs.counter("embed.sentences").add(out.len() as u64);
     let lens = obs.histogram_with("embed.sentence_len", 1, 256);
@@ -86,6 +78,52 @@ pub fn sentences_from_tables(
         lens.record(sentence.len() as u64);
     }
     out
+}
+
+/// Append one table's sentences to `out`.
+fn sentences_from_table(
+    table: &Table,
+    tokenizer: &Tokenizer,
+    config: &SentenceConfig,
+    out: &mut Vec<Vec<String>>,
+) {
+    let mut buf = Vec::new();
+    if config.captions && !table.caption.is_empty() {
+        let terms = tokenizer.terms(&table.caption);
+        if !terms.is_empty() {
+            out.push(terms);
+        }
+    }
+    let mut push_level = |axis: Axis, index: usize, out: &mut Vec<Vec<String>>| {
+        let mut sentence: Vec<String> = Vec::new();
+        for cell in table.level_cells(axis, index) {
+            if cell.is_blank() {
+                continue;
+            }
+            buf.clear();
+            tokenizer.tokenize_into(&cell.text, &mut buf);
+            if buf.is_empty() {
+                continue;
+            }
+            if config.cell_separators && !sentence.is_empty() {
+                sentence.push(SEP.to_string());
+            }
+            sentence.extend(buf.drain(..).map(|t| t.text));
+        }
+        if sentence.len() > 1 || (sentence.len() == 1 && sentence[0] != SEP) {
+            out.push(sentence);
+        }
+    };
+    if config.rows {
+        for i in 0..table.n_rows() {
+            push_level(Axis::Row, i, out);
+        }
+    }
+    if config.columns {
+        for j in 0..table.n_cols() {
+            push_level(Axis::Column, j, out);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +166,19 @@ mod tests {
         let sents = sentences_from_tables(&[sample()], &Tokenizer::default(), &cfg);
         // 3 rows; the last row has one numeric token only -> kept (single real token).
         assert_eq!(sents.len(), 3);
+    }
+
+    #[test]
+    fn parallel_extraction_matches_sequential() {
+        let tables: Vec<Table> = (0..8).map(|_| sample()).collect();
+        let seq = sentences_from_tables(&tables, &Tokenizer::default(), &SentenceConfig::default());
+        let par = sentences_from_tables_par(
+            &tables,
+            &Tokenizer::default(),
+            &SentenceConfig::default(),
+            4,
+        );
+        assert_eq!(seq, par, "per-table extraction is pure; order must match");
     }
 
     #[test]

@@ -12,16 +12,27 @@
 //!
 //! The sigmoid is looked up from a precomputed table (word2vec's standard
 //! trick); the learning rate decays linearly over the full training run.
-//! Training is single-threaded and fully deterministic given the seed —
-//! reproducibility matters more than hogwild throughput at our corpus
-//! sizes, and the Criterion benches measure the same code path the paper's
-//! runtime section describes.
+//!
+//! Training parallelism is governed by [`SgnsConfig::threads`]:
+//!
+//! * `threads = 1` (the default) runs the fully deterministic sequential
+//!   path — one RNG stream, bit-identical embeddings for a given seed,
+//!   which is what every determinism test pins.
+//! * `threads > 1` runs lock-free **Hogwild** SGD (Recht et al.; the
+//!   word2vec.c threading model): sentences are sharded across workers,
+//!   each worker draws from its own RNG stream (`seed ⊕ worker_id`) and
+//!   decays its learning rate over its own shard, and all workers update
+//!   the shared input/output matrices through relaxed-atomic rows
+//!   ([`tabmeta_linalg::HogwildView`]). Updates may race and occasionally
+//!   lose a write — the Hogwild trade-off that buys near-linear scaling
+//!   at a small, bounded accuracy cost (see DESIGN.md).
 // Grid construction walks coordinates; index loops are the clear form here.
 #![allow(clippy::needless_range_loop)]
 
 use crate::negative::NegativeTable;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use tabmeta_linalg::Matrix;
 
@@ -47,6 +58,11 @@ pub struct SgnsConfig {
     pub min_count: u64,
     /// RNG seed — all sampling derives from it.
     pub seed: u64,
+    /// Worker threads for training. `1` (default) is the sequential,
+    /// bit-deterministic path; `>1` enables Hogwild sharding, where the
+    /// result depends on update interleaving and is only statistically
+    /// reproducible.
+    pub threads: usize,
 }
 
 impl Default for SgnsConfig {
@@ -59,6 +75,7 @@ impl Default for SgnsConfig {
             epochs: 5,
             min_count: 1,
             seed: 0x7ab_3e7a,
+            threads: 1,
         }
     }
 }
@@ -148,6 +165,13 @@ impl<'a> SgnsTrainer<'a> {
         let obs = tabmeta_obs::global();
         let pair_counter = obs.counter("sgns.pairs");
         let lr_gauge = obs.gauge("sgns.lr");
+        if self.config.threads > 1 {
+            let report = self.train_hogwild(sentences, negatives, input, output);
+            // Metrics are aggregated across workers and recorded once.
+            pair_counter.add(report.pairs);
+            lr_gauge.set(report.final_lr as f64);
+            return report;
+        }
         let dim = input.dim();
         let total_tokens: u64 = sentences.iter().map(|s| s.len() as u64).sum();
         let total_work = (total_tokens * self.config.epochs as u64).max(1);
@@ -221,6 +245,89 @@ impl<'a> SgnsTrainer<'a> {
         }
         tabmeta_linalg::add_assign(input.row_mut(center as usize), grad);
     }
+
+    /// Hogwild data-parallel training: sentences are split into one
+    /// contiguous shard per worker; each worker runs the same SGD loop as
+    /// the sequential path with its own RNG stream (`seed ⊕ worker_id`,
+    /// so worker 0 of a one-shard run reproduces the sequential stream)
+    /// and its own linear learning-rate decay over shard-local work,
+    /// while all workers write to the shared matrices through relaxed
+    /// atomics ([`tabmeta_linalg::HogwildView`]).
+    fn train_hogwild(
+        &self,
+        sentences: &[Vec<u32>],
+        negatives: &NegativeTable,
+        input: &mut Matrix,
+        output: &mut Matrix,
+    ) -> TrainReport {
+        let config = self.config;
+        let sigmoid = &self.sigmoid;
+        let dim = input.dim();
+        let chunk = sentences.len().div_ceil(config.threads).max(1);
+        let shards: Vec<(u64, &[Vec<u32>])> =
+            sentences.chunks(chunk).enumerate().map(|(w, s)| (w as u64, s)).collect();
+        let in_view = input.hogwild();
+        let out_view = output.hogwild();
+        let reports: Vec<TrainReport> = shards
+            .par_iter()
+            .map(|&(worker, shard)| {
+                let mut rng = StdRng::seed_from_u64(config.seed ^ worker);
+                let shard_tokens: u64 = shard.iter().map(|s| s.len() as u64).sum();
+                let total_work = (shard_tokens * config.epochs as u64).max(1);
+                let mut processed: u64 = 0;
+                let mut pairs: u64 = 0;
+                let mut lr = config.learning_rate;
+                let mut v_in = vec![0.0f32; dim];
+                let mut v_out = vec![0.0f32; dim];
+                let mut grad = vec![0.0f32; dim];
+                for _epoch in 0..config.epochs {
+                    for sentence in shard {
+                        for (pos, &center) in sentence.iter().enumerate() {
+                            processed += 1;
+                            lr = config.learning_rate
+                                * (1.0 - processed as f32 / total_work as f32).max(1e-4);
+                            let reduced = rng.random_range(1..=config.window);
+                            let lo = pos.saturating_sub(reduced);
+                            let hi = (pos + reduced).min(sentence.len() - 1);
+                            for ctx_pos in lo..=hi {
+                                if ctx_pos == pos {
+                                    continue;
+                                }
+                                let context = sentence[ctx_pos] as usize;
+                                pairs += 1;
+                                grad.fill(0.0);
+                                in_view.read_row(center as usize, &mut v_in);
+                                // Positive sample: label 1.
+                                out_view.read_row(context, &mut v_out);
+                                let score = sigmoid.get(tabmeta_linalg::dot(&v_in, &v_out));
+                                let g = (1.0 - score) * lr;
+                                tabmeta_linalg::axpy(g, &v_out, &mut grad);
+                                out_view.update_row(context, g, &v_in);
+                                // Negative samples: label 0.
+                                for _ in 0..config.negative {
+                                    let neg = negatives.sample(&mut rng) as usize;
+                                    if neg == context {
+                                        continue;
+                                    }
+                                    out_view.read_row(neg, &mut v_out);
+                                    let score = sigmoid.get(tabmeta_linalg::dot(&v_in, &v_out));
+                                    let g = (0.0 - score) * lr;
+                                    tabmeta_linalg::axpy(g, &v_out, &mut grad);
+                                    out_view.update_row(neg, g, &v_in);
+                                }
+                                in_view.update_row(center as usize, 1.0, &grad);
+                            }
+                        }
+                    }
+                }
+                TrainReport { pairs, final_lr: lr }
+            })
+            .collect();
+        let pairs = reports.iter().map(|r| r.pairs).sum();
+        // Workers decay independently; report the deepest decay reached.
+        let final_lr = reports.iter().map(|r| r.final_lr).fold(config.learning_rate, f32::min);
+        TrainReport { pairs, final_lr }
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +389,34 @@ mod tests {
             input
         };
         assert_eq!(run(), run(), "same seed must give identical embeddings");
+    }
+
+    #[test]
+    fn hogwild_training_separates_topics() {
+        let (sentences, negatives, mut input, mut output, config) = toy_setup();
+        let config = SgnsConfig { threads: 4, ..config };
+        let mut trainer = SgnsTrainer::new(&config);
+        let report = trainer.train(&sentences, &negatives, &mut input, &mut output);
+        assert!(report.pairs > 1_000, "too few pairs: {}", report.pairs);
+        assert!(report.final_lr < config.learning_rate);
+
+        let sim =
+            |i: usize, j: usize| tabmeta_linalg::cosine_similarity(input.row(i), input.row(j));
+        assert!(sim(0, 1) > sim(0, 2), "a~b {} vs a~c {}", sim(0, 1), sim(0, 2));
+        assert!(sim(2, 3) > sim(1, 3), "c~d {} vs b~d {}", sim(2, 3), sim(1, 3));
+    }
+
+    #[test]
+    fn explicit_single_thread_matches_default_stream() {
+        let (sentences, negatives, input0, output0, config) = toy_setup();
+        let run = |cfg: &SgnsConfig| {
+            let mut input = input0.clone();
+            let mut output = output0.clone();
+            SgnsTrainer::new(cfg).train(&sentences, &negatives, &mut input, &mut output);
+            input
+        };
+        let explicit = SgnsConfig { threads: 1, ..config.clone() };
+        assert_eq!(run(&config), run(&explicit), "threads=1 must stay the sequential stream");
     }
 
     #[test]

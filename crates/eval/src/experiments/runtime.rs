@@ -55,6 +55,71 @@ pub fn training_cost(kind: CorpusKind, config: &ExperimentConfig) -> TrainingCos
     TrainingCost { entries }
 }
 
+/// Training wall time per worker count — the Hogwild scaling experiment.
+#[derive(Debug, Clone)]
+pub struct ThreadsSweep {
+    /// Corpus the sweep trained on.
+    pub corpus: CorpusKind,
+    /// (threads, seconds) per training run.
+    pub entries: Vec<(usize, f64)>,
+}
+
+impl ThreadsSweep {
+    /// Speedup of the fastest multi-threaded run over the sequential run
+    /// (1.0 when only one entry exists).
+    pub fn best_speedup(&self) -> f64 {
+        let Some(&(_, base)) = self.entries.iter().find(|(t, _)| *t == 1) else {
+            return 1.0;
+        };
+        self.entries
+            .iter()
+            .filter(|(t, _)| *t > 1)
+            .map(|&(_, secs)| base / secs)
+            .fold(1.0, f64::max)
+    }
+}
+
+/// Train the pipeline once per worker count and record wall time. Each
+/// run's seconds also land in a `train.threads_sweep.t{n}_secs` gauge so
+/// telemetry snapshots carry the sweep.
+pub fn training_threads_sweep(
+    kind: CorpusKind,
+    threads: &[usize],
+    config: &ExperimentConfig,
+) -> ThreadsSweep {
+    use tabmeta_core::{Pipeline, PipelineConfig};
+    let split = split_corpus(kind, config);
+    let obs = tabmeta_obs::global();
+    let entries = threads
+        .iter()
+        .map(|&n| {
+            let cfg = PipelineConfig::fast_seeded(config.seed).with_threads(n);
+            let (_, elapsed) =
+                timed("eval.train.threads_sweep", || Pipeline::train(&split.train, &cfg).unwrap());
+            let secs = elapsed.as_secs_f64();
+            obs.gauge(&format!("train.threads_sweep.t{n}_secs")).set(secs);
+            (n, secs)
+        })
+        .collect();
+    ThreadsSweep { corpus: kind, entries }
+}
+
+/// Render the threads sweep.
+pub fn render_threads(sweep: &ThreadsSweep) -> String {
+    let mut out = format!("Training threads sweep ({:?}, Hogwild SGNS):\n", sweep.corpus);
+    let base = sweep.entries.iter().find(|(t, _)| *t == 1).map(|&(_, s)| s);
+    for &(threads, secs) in &sweep.entries {
+        match base {
+            Some(b) if b > 0.0 => out.push_str(&format!(
+                "  threads={threads:<3} {secs:>8.2}s  ({:.2}x vs sequential)\n",
+                b / secs
+            )),
+            _ => out.push_str(&format!("  threads={threads:<3} {secs:>8.2}s\n")),
+        }
+    }
+    out
+}
+
 /// Per-method inference latency over a size sweep.
 #[derive(Debug, Clone)]
 pub struct ScalingResult {
@@ -263,6 +328,21 @@ mod tests {
             hybrid < ours_only * 1.15,
             "hybrid {hybrid} must not be materially slower than ours-only {ours_only}"
         );
+    }
+
+    #[test]
+    fn threads_sweep_trains_at_every_count() {
+        let sweep = training_threads_sweep(
+            CorpusKind::Ckg,
+            &[1, 2, 4],
+            &ExperimentConfig { tables_per_corpus: 60, seed: 9 },
+        );
+        assert_eq!(sweep.entries.len(), 3);
+        assert!(sweep.entries.iter().all(|(_, secs)| *secs > 0.0));
+        assert!(sweep.best_speedup() > 0.0);
+        let rendered = render_threads(&sweep);
+        assert!(rendered.contains("threads=1"));
+        assert!(rendered.contains("threads=4"));
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod vector;
 
 pub use angle::{angle_degrees, cosine_similarity, cosine_to_degrees};
 pub use centroid::{aggregate_concat, aggregate_mean, aggregate_sum, centroid};
-pub use matrix::Matrix;
+pub use matrix::{HogwildView, Matrix};
 pub use range::{AngleRange, RangeEstimator};
 pub use stats::{linear_fit, LinearFit, OnlineStats};
 pub use vector::{

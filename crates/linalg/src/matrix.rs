@@ -7,6 +7,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A dense `rows × dim` matrix stored row-major in one `Vec<f32>`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,6 +105,91 @@ impl Matrix {
             crate::vector::normalize(r);
         }
     }
+
+    /// Reinterpret the storage as a [`HogwildView`] of relaxed atomic
+    /// cells, enabling lock-free data-parallel (Hogwild-style) updates
+    /// from multiple threads.
+    ///
+    /// The exclusive borrow guarantees no plain `&[f32]` access can alias
+    /// the view for its lifetime, and every element access through the
+    /// view is a relaxed atomic load/store on the `f32` bit pattern — so
+    /// concurrent updates are free of data races in the language sense.
+    /// Lost updates between racing read-modify-write cycles are accepted,
+    /// exactly as in word2vec.c / Hogwild! SGD.
+    pub fn hogwild(&mut self) -> HogwildView<'_> {
+        let len = self.data.len();
+        let ptr = self.data.as_mut_ptr().cast::<AtomicU32>();
+        // SAFETY: `AtomicU32` has the same size and alignment as `f32`,
+        // and the `&mut self` borrow makes this the only access path to
+        // the buffer for the view's lifetime.
+        let cells = unsafe { std::slice::from_raw_parts(ptr, len) };
+        HogwildView { cells, dim: self.dim }
+    }
+}
+
+/// A `Sync` view over a [`Matrix`] whose elements are accessed as relaxed
+/// atomics — the storage layer of Hogwild SGNS training.
+///
+/// All operations use `Ordering::Relaxed`: per-element atomicity without
+/// cross-element consistency, which is the Hogwild contract (sparse,
+/// mostly-disjoint updates tolerate occasional lost writes).
+pub struct HogwildView<'a> {
+    cells: &'a [AtomicU32],
+    dim: usize,
+}
+
+impl HogwildView<'_> {
+    /// Row dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.cells.len() / self.dim
+    }
+
+    #[inline]
+    fn row_cells(&self, i: usize) -> &[AtomicU32] {
+        &self.cells[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Copy row `i` into `out`.
+    #[inline]
+    pub fn read_row(&self, i: usize, out: &mut [f32]) {
+        for (o, c) in out.iter_mut().zip(self.row_cells(i)) {
+            *o = f32::from_bits(c.load(Ordering::Relaxed));
+        }
+    }
+
+    /// `out += row_i` (element-wise, relaxed loads).
+    #[inline]
+    pub fn accumulate_row(&self, i: usize, out: &mut [f32]) {
+        for (o, c) in out.iter_mut().zip(self.row_cells(i)) {
+            *o += f32::from_bits(c.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Dot product of row `i` with a thread-local vector.
+    #[inline]
+    pub fn dot_row(&self, i: usize, x: &[f32]) -> f32 {
+        let mut acc = 0.0f32;
+        for (xv, c) in x.iter().zip(self.row_cells(i)) {
+            acc += xv * f32::from_bits(c.load(Ordering::Relaxed));
+        }
+        acc
+    }
+
+    /// `row_i += scale · x` — the Hogwild axpy. Each element is an
+    /// independent relaxed load-add-store; racing writers may lose
+    /// updates, never corrupt them.
+    #[inline]
+    pub fn update_row(&self, i: usize, scale: f32, x: &[f32]) {
+        for (xv, c) in x.iter().zip(self.row_cells(i)) {
+            let cur = f32::from_bits(c.load(Ordering::Relaxed));
+            c.store((cur + scale * xv).to_bits(), Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -183,5 +269,46 @@ mod tests {
     #[should_panic]
     fn from_flat_length_mismatch_panics() {
         let _ = Matrix::from_flat(2, 3, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn hogwild_view_reads_and_updates_rows() {
+        let mut m = Matrix::from_flat(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        {
+            let view = m.hogwild();
+            assert_eq!(view.rows(), 2);
+            assert_eq!(view.dim(), 3);
+            let mut buf = vec![0.0; 3];
+            view.read_row(1, &mut buf);
+            assert_eq!(buf, vec![4.0, 5.0, 6.0]);
+            assert_eq!(view.dot_row(0, &[1.0, 1.0, 1.0]), 6.0);
+            view.update_row(0, 2.0, &[1.0, 0.0, 1.0]);
+            view.accumulate_row(0, &mut buf);
+        }
+        assert_eq!(m.row(0), &[3.0, 2.0, 5.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn hogwild_view_is_safe_across_threads() {
+        // 4 threads × 1000 disjoint-row updates must all land (no races on
+        // distinct rows); same-row totals stay plausible under Hogwild.
+        let mut m = Matrix::zeros(4, 8);
+        {
+            let view = m.hogwild();
+            std::thread::scope(|s| {
+                for t in 0..4usize {
+                    let view = &view;
+                    s.spawn(move || {
+                        for _ in 0..1000 {
+                            view.update_row(t, 1.0, &[1.0; 8]);
+                        }
+                    });
+                }
+            });
+        }
+        for t in 0..4 {
+            assert!(m.row(t).iter().all(|&x| x == 1000.0), "row {t}: {:?}", m.row(t));
+        }
     }
 }

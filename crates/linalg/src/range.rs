@@ -149,6 +149,15 @@ impl RangeEstimator {
         }
     }
 
+    /// Merge another estimator's samples into this one (the reduce step of
+    /// map-reduce centroid estimation). Sample order does not affect any
+    /// estimate — `trimmed` sorts and `mean`/`raw` are order-free — so
+    /// merging per-shard estimators in any order matches the sequential
+    /// stream exactly.
+    pub fn merge(&mut self, other: &RangeEstimator) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
     /// Number of recorded samples.
     pub fn len(&self) -> usize {
         self.samples.len()
@@ -302,6 +311,22 @@ mod tests {
         let mut e = RangeEstimator::new();
         e.extend([10.0, 80.0]);
         assert_eq!(e.robust(), e.raw());
+    }
+
+    #[test]
+    fn merged_estimators_match_sequential_stream() {
+        let angles: Vec<f32> = (0..50).map(|i| 20.0 + i as f32).collect();
+        let mut all = RangeEstimator::new();
+        all.extend(angles.iter().copied());
+        let mut left = RangeEstimator::new();
+        left.extend(angles[..20].iter().copied());
+        let mut right = RangeEstimator::new();
+        right.extend(angles[20..].iter().copied());
+        left.merge(&right);
+        assert_eq!(left.len(), all.len());
+        assert_eq!(left.raw(), all.raw());
+        assert_eq!(left.robust(), all.robust());
+        assert_eq!(left.mean(), all.mean());
     }
 
     #[test]

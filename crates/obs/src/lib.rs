@@ -365,7 +365,9 @@ mod tests {
         let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
         assert_eq!(paths, ["stage", "stage/step"]);
         let text = snap.render_text();
-        for needle in ["spans:", "counters:", "gauges:", "histograms:", "stage/", "c", "g", "h"] {
+        // Spans render as an indented tree (leaf names, two spaces per
+        // depth level), not flat slash paths.
+        for needle in ["spans:", "counters:", "gauges:", "histograms:", "  stage", "    step"] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
     }

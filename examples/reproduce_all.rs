@@ -112,6 +112,8 @@ fn main() {
         ours * 1e3,
         frac * 100.0
     );
+    let sweep = runtime::training_threads_sweep(CorpusKind::Ckg, &[1, 2, 4, 8], &config);
+    println!("{}", runtime::render_threads(&sweep));
 
     // CMD detection (Def. 4 capability) and the embedding-model pairing.
     let cmd_scores = cmd::run(CorpusKind::Ckg, &config);

@@ -8,8 +8,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --offline
 
-echo "==> cargo test -q"
-cargo test -q --offline
+# The vendored rayon honours RAYON_NUM_THREADS (oversubscription allowed),
+# so the suite runs twice: once sequential, once with the concurrent code
+# paths (Hogwild SGNS, parallel bootstrap/centroid) actually exercised.
+echo "==> cargo test -q (RAYON_NUM_THREADS=1)"
+RAYON_NUM_THREADS=1 cargo test -q --offline
+
+echo "==> cargo test -q (RAYON_NUM_THREADS=4)"
+RAYON_NUM_THREADS=4 cargo test -q --offline
 
 echo "==> cargo clippy --workspace"
 cargo clippy --workspace --offline -- -D warnings

@@ -1,0 +1,70 @@
+//! Parallel-training consistency: the `threads` knob must leave
+//! `threads = 1` bit-identical to the historical sequential stream, and
+//! Hogwild training (`threads > 1`) must land within a tight accuracy
+//! band of the sequential result — the Hogwild contract (racy updates,
+//! statistically equivalent geometry).
+
+use tabmeta::contrastive::{Pipeline, PipelineConfig};
+use tabmeta::corpora::{CorpusKind, GeneratorConfig};
+use tabmeta::eval::{standard_keys, LevelKey, LevelScores};
+
+fn level_accuracy(pipeline: &Pipeline, tables: &[tabmeta::tabular::Table], key: LevelKey) -> f64 {
+    let scores = LevelScores::evaluate(tables, standard_keys(), |t| pipeline.classify(t).into());
+    scores.level_accuracy(key).unwrap_or(0.0)
+}
+
+/// `threads = 1` is the default and must reproduce the exact serialized
+/// pipeline of an untouched config — bit-for-bit, embeddings included.
+#[test]
+fn single_thread_is_bit_identical_to_default() {
+    let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 80, seed: 11 });
+    let default_cfg = PipelineConfig::fast_seeded(11);
+    let explicit_cfg = PipelineConfig::fast_seeded(11).with_threads(1);
+    let a = Pipeline::train(&corpus.tables, &default_cfg).unwrap();
+    let b = Pipeline::train(&corpus.tables, &explicit_cfg).unwrap();
+    assert_eq!(a.to_json(), b.to_json(), "threads=1 must be the sequential seeded stream");
+    // And repeated runs of the same config stay deterministic.
+    let c = Pipeline::train(&corpus.tables, &default_cfg).unwrap();
+    assert_eq!(a.to_json(), c.to_json(), "sequential training must be reproducible");
+}
+
+/// Hogwild training at `threads = 4` must stay within ±0.03 of the
+/// sequential HMD/VMD level-1 accuracy on CKG and SAUS.
+#[test]
+fn hogwild_accuracy_tracks_sequential() {
+    for (kind, seed) in [(CorpusKind::Ckg, 23u64), (CorpusKind::Saus, 29u64)] {
+        let corpus = kind.generate(&GeneratorConfig { n_tables: 150, seed });
+        let cut = corpus.len() * 7 / 10;
+        let (train, test) = corpus.tables.split_at(cut);
+        let seq = Pipeline::train(train, &PipelineConfig::fast_seeded(seed)).unwrap();
+        let par =
+            Pipeline::train(train, &PipelineConfig::fast_seeded(seed).with_threads(4)).unwrap();
+        assert_eq!(seq.summary().sentences, par.summary().sentences);
+        for key in [LevelKey::Hmd(1), LevelKey::Vmd(1)] {
+            let a_seq = level_accuracy(&seq, test, key);
+            let a_par = level_accuracy(&par, test, key);
+            assert!(
+                (a_seq - a_par).abs() <= 0.03,
+                "{kind:?} {key:?}: sequential {a_seq:.3} vs hogwild {a_par:.3} drifted past 0.03"
+            );
+        }
+    }
+}
+
+/// A Hogwild-trained pipeline still classifies every table with the right
+/// verdict shape, and its corpus classification matches its own
+/// sequential per-table classification (inference is unaffected by the
+/// training thread count).
+#[test]
+fn hogwild_pipeline_classifies_consistently() {
+    let corpus = CorpusKind::Wdc.generate(&GeneratorConfig { n_tables: 60, seed: 37 });
+    let pipeline =
+        Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(37).with_threads(4)).unwrap();
+    let seq: Vec<_> = corpus.tables.iter().map(|t| pipeline.classify(t)).collect();
+    let par = pipeline.classify_corpus(&corpus.tables);
+    assert_eq!(seq, par);
+    for (t, v) in corpus.tables.iter().zip(&par) {
+        assert_eq!(v.rows.len(), t.n_rows());
+        assert_eq!(v.columns.len(), t.n_cols());
+    }
+}

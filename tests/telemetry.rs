@@ -22,11 +22,11 @@ fn pipeline_run_populates_every_stage() {
     for stage in
         ["train", "train/embed", "train/bootstrap", "train/finetune", "train/centroid", "classify"]
     {
-        assert!(paths.iter().any(|p| *p == stage), "span {stage:?} missing from {paths:?}");
+        assert!(paths.contains(&stage), "span {stage:?} missing from {paths:?}");
     }
     // Per-epoch spans nest under their stage.
     assert!(paths.iter().any(|p| p.ends_with("sgns/epoch")));
-    assert!(paths.iter().any(|p| *p == "train/finetune/epoch"));
+    assert!(paths.contains(&"train/finetune/epoch"));
     // Span timings are real: the whole-train span dominates its children.
     let total =
         |path: &str| snap.spans.iter().find(|s| s.path == path).map(|s| s.total_micros).unwrap();

@@ -1,13 +1,33 @@
 //! Offline stand-in for `rayon`.
 //!
 //! Covers the surface this workspace uses: `slice.par_iter().map(f).collect()`
-//! (plus `for_each`). Work is split into contiguous chunks — one per available
-//! core — executed under `std::thread::scope`, and results are re-assembled in
+//! (plus `for_each`). Work is split into contiguous chunks — one per worker —
+//! executed under `std::thread::scope`, and results are re-assembled in
 //! input order, so `collect::<Vec<_>>()` is order-identical to the sequential
 //! iterator.
+//!
+//! Like real rayon, the worker count honours `RAYON_NUM_THREADS` (read once
+//! per process); otherwise it defaults to the available core count. Values
+//! above the core count are respected — oversubscription is how a
+//! single-core CI host still exercises the concurrent code paths.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 use std::thread;
+
+/// Worker count: `RAYON_NUM_THREADS` if set to a positive integer,
+/// otherwise the number of available cores. Cached for the process
+/// lifetime, matching rayon's pool-initialization semantics.
+pub fn current_num_threads() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1))
+    })
+}
 
 /// Everything callers need in scope.
 pub mod prelude {
@@ -71,7 +91,7 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         if n == 0 {
             return Vec::new();
         }
-        let workers = thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n);
+        let workers = current_num_threads().min(n);
         if workers <= 1 {
             return self.items.iter().map(&self.f).collect();
         }
