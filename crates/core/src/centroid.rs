@@ -432,7 +432,7 @@ pub fn estimate_par<E: TermEmbedder + Sync + ?Sized>(
     let mut rng = StdRng::seed_from_u64(options.seed);
     let mut folded = per_shard.into_iter();
     let (mut rows_acc, mut cols_acc) =
-        folded.next().expect("non-empty corpus yields at least one shard");
+        folded.next().unwrap_or_else(|| (AxisAccumulator::new(dim), AxisAccumulator::new(dim)));
     for (rows, cols) in folded {
         rows_acc.merge(rows, options, &mut rng);
         cols_acc.merge(cols, options, &mut rng);

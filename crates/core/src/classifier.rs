@@ -33,6 +33,8 @@ use tabmeta_text::Tokenizer;
 struct ObsHandles {
     tables: Arc<tabmeta_obs::Counter>,
     angle_tests: Arc<tabmeta_obs::Counter>,
+    /// Axes that routed to the positional fallback instead of the walk.
+    degraded: Arc<tabmeta_obs::Counter>,
     /// Metadata boundary depth per classified axis; depth 0 (headerless)
     /// lands in the underflow bucket, which the snapshot reports.
     boundary_depth: Arc<tabmeta_obs::Histogram>,
@@ -45,6 +47,7 @@ fn obs_handles() -> &'static ObsHandles {
         ObsHandles {
             tables: reg.counter("classifier.tables"),
             angle_tests: reg.counter("classifier.angle_tests"),
+            degraded: reg.counter("classifier.degraded"),
             boundary_depth: reg.histogram_with("classifier.boundary_depth", 1, 16),
         }
     })
@@ -107,6 +110,95 @@ impl Default for ClassifierConfig {
     }
 }
 
+/// Why an axis could not be walked and fell back to position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DegradeReason {
+    /// The trained centroid model carries no evidence for this axis.
+    UnusableCentroids,
+    /// The axis has a single level — no consecutive pair to measure.
+    SingleLevel,
+    /// Every level aggregate was blank or fully out-of-vocabulary.
+    NoSignal,
+    /// An aggregate vector contained NaN/∞ components and was discarded,
+    /// leaving no finite signal on the axis.
+    NonFinite,
+    /// The embedder's dimension does not match the centroid model's.
+    ModelMismatch,
+}
+
+impl DegradeReason {
+    /// Stable lowercase token used in metric names and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradeReason::UnusableCentroids => "unusable_centroids",
+            DegradeReason::SingleLevel => "single_level",
+            DegradeReason::NoSignal => "no_signal",
+            DegradeReason::NonFinite => "non_finite",
+            DegradeReason::ModelMismatch => "model_mismatch",
+        }
+    }
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How an axis's labels were produced: a confident angle walk, or the
+/// positional fallback with the reason the walk was impossible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Provenance {
+    /// Labels came from the trained walk (Algorithm 1 or the
+    /// reference-only ablation).
+    #[default]
+    Walk,
+    /// Labels came from the first-row/first-column positional fallback.
+    Degraded(DegradeReason),
+}
+
+impl Provenance {
+    /// Whether this axis fell back.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, Provenance::Degraded(_))
+    }
+
+    /// The degrade reason, when degraded.
+    pub fn degrade_reason(&self) -> Option<DegradeReason> {
+        match self {
+            Provenance::Walk => None,
+            Provenance::Degraded(r) => Some(*r),
+        }
+    }
+}
+
+/// A typed classification failure, for callers that want strict semantics
+/// ([`Classifier::try_classify`]) instead of silent degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassifyError {
+    /// The embedder and centroid model disagree on vector width — the
+    /// model was trained with a different embedder.
+    DimensionMismatch {
+        /// The embedder's output dimension.
+        embedder_dim: usize,
+        /// The centroid model's vector dimension.
+        model_dim: usize,
+    },
+}
+
+impl std::fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassifyError::DimensionMismatch { embedder_dim, model_dim } => write!(
+                f,
+                "embedder dimension {embedder_dim} does not match centroid model dimension {model_dim}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClassifyError {}
+
 /// The classification result for one table.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Verdict {
@@ -118,6 +210,25 @@ pub struct Verdict {
     pub hmd_depth: u8,
     /// Predicted VMD depth.
     pub vmd_depth: u8,
+    /// How the row labels were produced.
+    pub row_provenance: Provenance,
+    /// How the column labels were produced.
+    pub col_provenance: Provenance,
+}
+
+impl Verdict {
+    /// Whether either axis fell back to positional labeling.
+    pub fn is_degraded(&self) -> bool {
+        self.row_provenance.is_degraded() || self.col_provenance.is_degraded()
+    }
+
+    /// Provenance along `axis`.
+    pub fn provenance(&self, axis: Axis) -> Provenance {
+        match axis {
+            Axis::Row => self.row_provenance,
+            Axis::Column => self.col_provenance,
+        }
+    }
 }
 
 /// Which range an observed angle matched.
@@ -161,14 +272,35 @@ pub struct Classifier {
 }
 
 impl Classifier {
-    /// Classify one table (rows, then columns).
+    /// Classify one table (rows, then columns). Never panics and never
+    /// fails: degenerate tables and model/embedder mismatches route to the
+    /// positional fallback, with the reason recorded on the verdict's
+    /// provenance fields.
     pub fn classify<E: TermEmbedder + ?Sized>(
         &self,
         table: &Table,
         embedder: &E,
         tokenizer: &Tokenizer,
     ) -> Verdict {
+        if self.check_dims(embedder).is_err() {
+            return self.degraded_verdict(table, DegradeReason::ModelMismatch);
+        }
         self.classify_inner(table, embedder, tokenizer, None)
+    }
+
+    /// Strict variant of [`Classifier::classify`]: a model/embedder
+    /// mismatch is a typed [`ClassifyError`] instead of a degraded
+    /// verdict. Per-table degeneracy (blank, single-level, non-finite)
+    /// still degrades — those are properties of one input record, not of
+    /// the caller's setup.
+    pub fn try_classify<E: TermEmbedder + ?Sized>(
+        &self,
+        table: &Table,
+        embedder: &E,
+        tokenizer: &Tokenizer,
+    ) -> Result<Verdict, ClassifyError> {
+        self.check_dims(embedder)?;
+        Ok(self.classify_inner(table, embedder, tokenizer, None))
     }
 
     /// Classify and record every angle decision (the Fig. 5 walk-through).
@@ -178,9 +310,38 @@ impl Classifier {
         embedder: &E,
         tokenizer: &Tokenizer,
     ) -> (Verdict, Vec<TraceStep>) {
+        if self.check_dims(embedder).is_err() {
+            return (self.degraded_verdict(table, DegradeReason::ModelMismatch), Vec::new());
+        }
         let mut trace = Vec::new();
         let verdict = self.classify_inner(table, embedder, tokenizer, Some(&mut trace));
         (verdict, trace)
+    }
+
+    /// The embedder must produce vectors of the model's width on every
+    /// usable axis; otherwise every angle test would be meaningless.
+    fn check_dims<E: TermEmbedder + ?Sized>(&self, embedder: &E) -> Result<(), ClassifyError> {
+        for axis in [Axis::Row, Axis::Column] {
+            let c = self.centroids.axis(axis);
+            if c.is_usable() && c.meta_ref.len() != embedder.dim() {
+                return Err(ClassifyError::DimensionMismatch {
+                    embedder_dim: embedder.dim(),
+                    model_dim: c.meta_ref.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fully degraded verdict: positional fallback on both axes.
+    fn degraded_verdict(&self, table: &Table, reason: DegradeReason) -> Verdict {
+        let (rows, hmd_depth, row_provenance) = positional_axis(table, Axis::Row, reason);
+        let (columns, vmd_depth, col_provenance) = positional_axis(table, Axis::Column, reason);
+        let obs = obs_handles();
+        obs.tables.inc();
+        obs.boundary_depth.record(hmd_depth as u64);
+        obs.boundary_depth.record(vmd_depth as u64);
+        Verdict { rows, columns, hmd_depth, vmd_depth, row_provenance, col_provenance }
     }
 
     fn classify_inner<E: TermEmbedder + ?Sized>(
@@ -190,7 +351,7 @@ impl Classifier {
         tokenizer: &Tokenizer,
         mut trace: Option<&mut Vec<TraceStep>>,
     ) -> Verdict {
-        let (rows, hmd_depth) = self.classify_axis(
+        let (rows, hmd_depth, row_provenance) = self.classify_axis(
             table,
             Axis::Row,
             self.config.max_hmd_depth,
@@ -198,7 +359,7 @@ impl Classifier {
             tokenizer,
             trace.as_deref_mut(),
         );
-        let (columns, vmd_depth) = self.classify_axis(
+        let (columns, vmd_depth, col_provenance) = self.classify_axis(
             table,
             Axis::Column,
             self.config.max_vmd_depth,
@@ -210,7 +371,7 @@ impl Classifier {
         obs.tables.inc();
         obs.boundary_depth.record(hmd_depth as u64);
         obs.boundary_depth.record(vmd_depth as u64);
-        Verdict { rows, columns, hmd_depth, vmd_depth }
+        Verdict { rows, columns, hmd_depth, vmd_depth, row_provenance, col_provenance }
     }
 
     fn classify_axis<E: TermEmbedder + ?Sized>(
@@ -221,15 +382,38 @@ impl Classifier {
         embedder: &E,
         tokenizer: &Tokenizer,
         mut trace: Option<&mut Vec<TraceStep>>,
-    ) -> (Vec<LevelLabel>, u8) {
+    ) -> (Vec<LevelLabel>, u8, Provenance) {
         let n = table.n_levels(axis);
         let mut labels = vec![LevelLabel::Data; n];
         let centroids = self.centroids.axis(axis);
         if !centroids.is_usable() {
-            return (labels, 0);
+            return positional_axis(table, axis, DegradeReason::UnusableCentroids);
+        }
+        if n < 2 {
+            // No consecutive pair to measure an angle over.
+            return positional_axis(table, axis, DegradeReason::SingleLevel);
         }
         let angle_tests = &obs_handles().angle_tests;
-        let vectors = axis_vectors(table, axis, embedder, tokenizer);
+        // Sanitize aggregates: a vector with NaN/∞ components (numeric
+        // overflow upstream) would poison every angle test downstream, so
+        // it is demoted to a blank level here.
+        let mut non_finite = false;
+        let vectors: Vec<Option<Vec<f32>>> = axis_vectors(table, axis, embedder, tokenizer)
+            .into_iter()
+            .map(|v| match v {
+                Some(vec) if vec.iter().all(|x| x.is_finite()) => Some(vec),
+                Some(_) => {
+                    non_finite = true;
+                    None
+                }
+                None => None,
+            })
+            .collect();
+        if vectors.iter().all(Option::is_none) {
+            let reason =
+                if non_finite { DegradeReason::NonFinite } else { DegradeReason::NoSignal };
+            return positional_axis(table, axis, reason);
+        }
         let meta_label = |depth: u8| match axis {
             Axis::Row => LevelLabel::Hmd(depth),
             Axis::Column => LevelLabel::Vmd(depth),
@@ -272,7 +456,7 @@ impl Classifier {
                     break;
                 }
             }
-            return (labels, depth);
+            return (labels, depth, Provenance::Walk);
         }
         let global_mde = centroids.c_mde.expanded(self.config.margin_deg);
         let global_mde_de = centroids.c_mde_de.expanded(self.config.margin_deg);
@@ -337,7 +521,13 @@ impl Classifier {
                 boundary = 1;
                 continue;
             }
-            let prev = vectors[i - 1].as_ref().expect("walk stops at first None");
+            let Some(prev) = vectors[i - 1].as_ref() else {
+                // Unreachable in practice (the walk breaks at the first
+                // None), but a missing predecessor must end the run, not
+                // the process.
+                boundary = i;
+                break;
+            };
             angle_tests.inc();
             let delta = angle_degrees(prev, v);
             let mde = meta_range_at(depth);
@@ -419,8 +609,53 @@ impl Classifier {
                 }
             }
         }
-        (labels, depth)
+        (labels, depth, Provenance::Walk)
     }
+}
+
+/// First-row/first-column positional fallback, mirroring the
+/// `PositionalBaseline` heuristic: the first row is HMD(1); the first
+/// column is VMD(1) only when there is more than one column and it is not
+/// numeric-dominated. Used whenever the angle walk has nothing to stand
+/// on, with the reason recorded as [`Provenance::Degraded`].
+fn positional_axis(
+    table: &Table,
+    axis: Axis,
+    reason: DegradeReason,
+) -> (Vec<LevelLabel>, u8, Provenance) {
+    let n = table.n_levels(axis);
+    let mut labels = vec![LevelLabel::Data; n];
+    let mut depth = 0u8;
+    match axis {
+        Axis::Row => {
+            if let Some(first) = labels.first_mut() {
+                *first = LevelLabel::Hmd(1);
+                depth = 1;
+            }
+        }
+        Axis::Column => {
+            if n > 1 && !numeric_dominated(table, Axis::Column, 0) {
+                labels[0] = LevelLabel::Vmd(1);
+                depth = 1;
+            }
+        }
+    }
+    let obs = obs_handles();
+    obs.degraded.inc();
+    tabmeta_obs::global().counter(&format!("classifier.degraded.{}", reason.as_str())).inc();
+    (labels, depth, Provenance::Degraded(reason))
+}
+
+/// Whether more than half of a level's non-empty cells read as numeric —
+/// the sanity check that stops the positional fallback from claiming a
+/// numeric first column as VMD.
+fn numeric_dominated(table: &Table, axis: Axis, index: usize) -> bool {
+    let texts = table.level_texts(axis, index);
+    if texts.is_empty() {
+        return false;
+    }
+    let numeric = texts.iter().filter(|t| tabmeta_text::classify_numeric(t).is_some()).count();
+    numeric * 2 > texts.len()
 }
 
 #[cfg(test)]
@@ -631,12 +866,117 @@ mod tests {
     }
 
     #[test]
-    fn unusable_centroids_yield_all_data() {
+    fn unusable_centroids_fall_back_to_positional() {
         let mut c = classifier();
         c.centroids.rows.meta_ref = vec![0.0, 0.0];
         let t = Table::from_strings(8, &[&["header", "header"], &["1", "2"]]);
         let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
-        assert_eq!(v.hmd_depth, 0);
+        assert_eq!(v.hmd_depth, 1, "positional fallback claims the first row");
+        assert_eq!(v.rows[0], LevelLabel::Hmd(1));
+        assert_eq!(v.row_provenance, Provenance::Degraded(DegradeReason::UnusableCentroids));
+        assert_eq!(v.col_provenance, Provenance::Walk, "column axis still walks");
+        assert!(v.is_degraded());
+    }
+
+    #[test]
+    fn healthy_walk_has_walk_provenance() {
+        let t = Table::from_strings(20, &[&["header", "header"], &["1", "2"]]);
+        let c = classifier();
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.row_provenance, Provenance::Walk);
+        assert!(!v.is_degraded());
+    }
+
+    #[test]
+    fn single_row_table_degrades_to_single_level() {
+        let t = Table::from_strings(21, &[&["header", "header", "header"]]);
+        let c = classifier();
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.row_provenance, Provenance::Degraded(DegradeReason::SingleLevel));
+        assert_eq!(v.hmd_depth, 1);
+        assert_eq!(v.rows[0], LevelLabel::Hmd(1));
+    }
+
+    #[test]
+    fn all_blank_table_degrades_with_no_signal() {
+        let t = Table::from_strings(22, &[&["", ""], &["", ""]]);
+        let c = classifier();
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.row_provenance, Provenance::Degraded(DegradeReason::NoSignal));
+        assert_eq!(v.col_provenance, Provenance::Degraded(DegradeReason::NoSignal));
+        assert_eq!(v.rows[0], LevelLabel::Hmd(1), "positional fallback still labels");
+    }
+
+    #[test]
+    fn all_oov_table_degrades_with_no_signal() {
+        let t = Table::from_strings(23, &[&["zzz", "qqq"], &["xxx", "www"]]);
+        let c = classifier();
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(v.row_provenance, Provenance::Degraded(DegradeReason::NoSignal));
+    }
+
+    #[test]
+    fn non_finite_aggregates_degrade_with_reason() {
+        struct Poisoned;
+        impl TermEmbedder for Poisoned {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn accumulate(&self, _term: &str, out: &mut [f32]) -> bool {
+                out[0] = f32::NAN;
+                out[1] = f32::INFINITY;
+                true
+            }
+        }
+        let t = Table::from_strings(24, &[&["header", "header"], &["1", "2"]]);
+        let c = classifier();
+        let v = c.classify(&t, &Poisoned, &Tokenizer::default());
+        assert_eq!(v.row_provenance, Provenance::Degraded(DegradeReason::NonFinite));
+        assert_eq!(v.hmd_depth, 1, "fallback, not a panic or a NaN-driven walk");
+    }
+
+    #[test]
+    fn dimension_mismatch_is_typed_for_try_classify_and_degraded_for_classify() {
+        struct Wide;
+        impl TermEmbedder for Wide {
+            fn dim(&self) -> usize {
+                7
+            }
+            fn accumulate(&self, _term: &str, out: &mut [f32]) -> bool {
+                out[0] = 1.0;
+                true
+            }
+        }
+        let t = Table::from_strings(25, &[&["header", "header"], &["1", "2"]]);
+        let c = classifier();
+        let err = c.try_classify(&t, &Wide, &Tokenizer::default()).unwrap_err();
+        assert_eq!(err, ClassifyError::DimensionMismatch { embedder_dim: 7, model_dim: 2 });
+        assert!(err.to_string().contains('7'), "{err}");
+        let v = c.classify(&t, &Wide, &Tokenizer::default());
+        assert_eq!(v.row_provenance, Provenance::Degraded(DegradeReason::ModelMismatch));
+        assert_eq!(v.col_provenance, Provenance::Degraded(DegradeReason::ModelMismatch));
+    }
+
+    #[test]
+    fn try_classify_matches_classify_on_healthy_input() {
+        let t = Table::from_strings(26, &[&["header", "header"], &["1", "2"]]);
+        let c = classifier();
+        let strict = c.try_classify(&t, &Synthetic::new(), &Tokenizer::default()).unwrap();
+        let lenient = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert_eq!(strict, lenient);
+    }
+
+    #[test]
+    fn numeric_first_column_not_claimed_by_fallback() {
+        // All-OOV on the column axis is impossible while numerics embed,
+        // so poison the centroids instead to force the fallback.
+        let mut c = classifier();
+        c.centroids.columns.meta_ref = vec![0.0, 0.0];
+        let t = Table::from_strings(27, &[&["1", "a"], &["2", "b"], &["3", "c"]]);
+        let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
+        assert!(v.col_provenance.is_degraded());
+        assert_eq!(v.vmd_depth, 0, "numeric-dominated first column stays data");
+        assert_eq!(v.columns[0], LevelLabel::Data);
     }
 
     #[test]

@@ -27,6 +27,19 @@
 //!    headers.
 //!
 //! [`pipeline::Pipeline`] ties the moves together behind one call.
+//!
+//! **Resilience:** [`classifier::Classifier::classify`] never panics —
+//! degenerate tables (blank, all-OOV, single-level, non-finite
+//! aggregates) and model/embedder mismatches route to a positional
+//! fallback tagged with [`classifier::Provenance::Degraded`];
+//! [`classifier::Classifier::try_classify`] surfaces setup errors as
+//! typed [`classifier::ClassifyError`]s instead.
+
+// The data path must be panic-free on input-derived values: unwrap/
+// expect are denied outside tests (promoted from warn by the clippy
+// `-D warnings` gate in scripts/check.sh).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod aggregate;
 pub mod bootstrap;
@@ -38,7 +51,10 @@ pub mod pipeline;
 
 pub use bootstrap::{BootstrapLabeler, WeakLabel, WeakLabels};
 pub use centroid::{AxisCentroids, CentroidModel, LevelPairStats};
-pub use classifier::{Classifier, ClassifierConfig, RangeKind, TraceStep, Verdict, WalkStrategy};
+pub use classifier::{
+    Classifier, ClassifierConfig, ClassifyError, DegradeReason, Provenance, RangeKind, TraceStep,
+    Verdict, WalkStrategy,
+};
 pub use config::{EmbeddingChoice, PipelineConfig};
 pub use finetune::FinetuneConfig;
 pub use pipeline::{Pipeline, TrainError, TrainSummary};

@@ -227,6 +227,9 @@ impl Pipeline {
 
     /// Serialize the trained pipeline (embeddings, centroids, tokenizer
     /// and classifier knobs) to JSON — train once, classify anywhere.
+    // Serializing the pipeline's own state (plain structs, no maps with
+    // non-string keys) cannot fail; this is not input-derived.
+    #[allow(clippy::expect_used)]
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("pipeline state is serializable")
     }

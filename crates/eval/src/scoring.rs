@@ -300,6 +300,8 @@ mod tests {
             columns: vec![LevelLabel::Data],
             hmd_depth: 1,
             vmd_depth: 0,
+            row_provenance: Default::default(),
+            col_provenance: Default::default(),
         };
         let l: Labels = v.into();
         assert_eq!(l.rows, vec![LevelLabel::Hmd(1)]);

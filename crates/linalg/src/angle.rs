@@ -13,15 +13,21 @@ use crate::vector::{dot, norm};
 ///
 /// Returns `0.0` when either vector has zero norm: a level with no embedded
 /// terms carries no directional information, and treating it as orthogonal
-/// to everything keeps it out of every centroid range.
+/// to everything keeps it out of every centroid range. Non-finite inputs
+/// (NaN/∞ components, norm overflow) are treated the same way — a poisoned
+/// vector must not leak NaN into every downstream range test.
 #[inline]
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
     let na = norm(a);
     let nb = norm(b);
-    if na == 0.0 || nb == 0.0 {
+    if !na.is_finite() || !nb.is_finite() || na == 0.0 || nb == 0.0 {
         return 0.0;
     }
-    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    let cos = dot(a, b) / (na * nb);
+    if !cos.is_finite() {
+        return 0.0;
+    }
+    cos.clamp(-1.0, 1.0)
 }
 
 /// Angle between two vectors in **degrees**, in `[0, 180]`.
@@ -35,8 +41,12 @@ pub fn angle_degrees(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Convert a cosine value to degrees, clamping into the valid domain.
+/// Non-finite input reads as orthogonal (90°).
 #[inline]
 pub fn cosine_to_degrees(cos: f32) -> f32 {
+    if !cos.is_finite() {
+        return 90.0;
+    }
     cos.clamp(-1.0, 1.0).acos().to_degrees()
 }
 
@@ -59,6 +69,15 @@ mod tests {
     #[test]
     fn opposite_vectors_are_one_eighty() {
         assert!((angle_degrees(&[1.0, 0.0], &[-1.0, 0.0]) - 180.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn non_finite_vectors_are_treated_as_orthogonal() {
+        assert_eq!(cosine_similarity(&[f32::NAN, 1.0], &[1.0, 0.0]), 0.0);
+        assert_eq!(cosine_similarity(&[f32::INFINITY, 1.0], &[1.0, 0.0]), 0.0);
+        assert!((angle_degrees(&[f32::NAN, 1.0], &[1.0, 0.0]) - 90.0).abs() < 1e-4);
+        assert!((cosine_to_degrees(f32::NAN) - 90.0).abs() < 1e-4);
+        assert!(angle_degrees(&[f32::MAX, f32::MAX], &[1.0, 1.0]).is_finite());
     }
 
     #[test]

@@ -6,10 +6,31 @@
 //! from PDF and stored in JSON format", §IV-B). JSONL streams, appends and
 //! splits cheaply, which is what corpus-scale experiments need.
 
+use crate::ingest::{snippet_of, IngestError, QuarantineReport, QuarantinedRecord, RejectReason};
 use crate::label::LevelLabel;
 use crate::table::Table;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Error from [`Corpus::split`]: the modulus must leave both sides
+/// non-degenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitError {
+    /// The rejected modulus.
+    pub test_every: u64,
+}
+
+impl std::fmt::Display for SplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "split: test_every must be >= 2 (got {}): 0 divides nothing and 1 puts every table in the test half",
+            self.test_every
+        )
+    }
+}
+
+impl std::error::Error for SplitError {}
 
 /// A named collection of tables.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -38,8 +59,15 @@ impl Corpus {
 
     /// Split into `(train, test)` by a deterministic modulus on table ids —
     /// stable across runs and independent of table order.
-    pub fn split(&self, test_every: u64) -> (Corpus, Corpus) {
-        assert!(test_every >= 2, "split: test_every must be >= 2");
+    ///
+    /// `test_every < 2` is a typed [`SplitError`] (a modulus of 0 would
+    /// divide by zero; 1 would put *every* table in the test half), not a
+    /// panic — the modulus frequently arrives from CLI flags and config
+    /// files, i.e. from input.
+    pub fn split(&self, test_every: u64) -> Result<(Corpus, Corpus), SplitError> {
+        if test_every < 2 {
+            return Err(SplitError { test_every });
+        }
         let mut train = Corpus::new(format!("{}-train", self.name));
         let mut test = Corpus::new(format!("{}-test", self.name));
         for t in &self.tables {
@@ -49,34 +77,72 @@ impl Corpus {
                 train.tables.push(t.clone());
             }
         }
-        (train, test)
+        Ok((train, test))
     }
 
     /// Ingest every `*.csv` file in a directory (non-recursive), sorted by
-    /// file name for determinism; table ids are assigned sequentially and
-    /// captions carry the file stem. Files that fail to parse are skipped
-    /// and reported back — real directories always contain a few broken
-    /// exports.
+    /// file name for determinism; table ids are assigned sequentially over
+    /// the *accepted* tables and captions carry the file stem. This is a
+    /// lossy surface: files that fail to read or parse are quarantined into
+    /// the returned [`QuarantineReport`] (record number = 1-based position
+    /// in the sorted file list) — real directories always contain a few
+    /// broken exports. Only the directory listing itself aborts the load.
     pub fn from_csv_dir(
         name: impl Into<String>,
         dir: &std::path::Path,
-    ) -> std::io::Result<(Corpus, Vec<(std::path::PathBuf, crate::csv::CsvError)>)> {
+    ) -> std::io::Result<(Corpus, QuarantineReport)> {
         let mut corpus = Corpus::new(name);
-        let mut failures = Vec::new();
+        let mut report = QuarantineReport::new(dir.display().to_string());
         let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
             .filter_map(|e| e.ok().map(|e| e.path()))
             .filter(|p| p.extension().is_some_and(|x| x.eq_ignore_ascii_case("csv")))
             .collect();
         paths.sort();
-        for (id, path) in paths.into_iter().enumerate() {
-            let text = std::fs::read_to_string(&path)?;
+        for (idx, path) in paths.into_iter().enumerate() {
+            let file_name = path.file_name().and_then(|s| s.to_str()).unwrap_or("?").to_string();
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    report.reject(QuarantinedRecord {
+                        line: idx + 1,
+                        reason: RejectReason::Io,
+                        detail: e.to_string(),
+                        snippet: file_name,
+                    });
+                    continue;
+                }
+            };
+            let text = match std::str::from_utf8(&bytes) {
+                Ok(t) => t,
+                Err(e) => {
+                    report.reject(QuarantinedRecord {
+                        line: idx + 1,
+                        reason: RejectReason::InvalidUtf8,
+                        detail: e.to_string(),
+                        snippet: file_name,
+                    });
+                    continue;
+                }
+            };
             let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
-            match crate::csv::table_from_csv(id as u64, stem, &text) {
-                Ok(t) => corpus.tables.push(t),
-                Err(e) => failures.push((path, e)),
+            let id = corpus.tables.len() as u64;
+            match crate::csv::table_from_csv(id, stem, text) {
+                Ok(t) => {
+                    corpus.tables.push(t);
+                    report.accept();
+                }
+                Err(e) => {
+                    report.reject(QuarantinedRecord {
+                        line: idx + 1,
+                        reason: RejectReason::MalformedCsv,
+                        detail: e.to_string(),
+                        snippet: file_name,
+                    });
+                }
             }
         }
-        Ok((corpus, failures))
+        report.publish_metrics();
+        Ok((corpus, report))
     }
 
     /// Write as JSONL: one JSON-encoded table per line.
@@ -89,23 +155,87 @@ impl Corpus {
         w.flush()
     }
 
-    /// Read JSONL back into a corpus.
-    pub fn read_jsonl<R: Read>(name: impl Into<String>, reader: R) -> std::io::Result<Corpus> {
-        let mut corpus = Corpus::new(name);
-        let mut line = String::new();
+    /// Read JSONL back into a corpus, strictly: the first malformed record
+    /// aborts with an [`IngestError`] carrying the 1-based line number, a
+    /// [`RejectReason`], and a truncated payload snippet. Blank lines are
+    /// skipped (trailing newlines are not records).
+    pub fn read_jsonl<R: Read>(name: impl Into<String>, reader: R) -> Result<Corpus, IngestError> {
+        let name = name.into();
+        let mut corpus = Corpus::new(name.clone());
         let mut r = BufReader::new(reader);
+        let mut buf = Vec::new();
+        let mut line_no = 0usize;
         loop {
-            line.clear();
-            if r.read_line(&mut line)? == 0 {
+            buf.clear();
+            let n = r.read_until(b'\n', &mut buf).map_err(|e| IngestError {
+                source: name.clone(),
+                line: Some(line_no + 1),
+                reason: RejectReason::Io,
+                detail: e.to_string(),
+                snippet: String::new(),
+            })?;
+            if n == 0 {
                 break;
             }
-            if line.trim().is_empty() {
-                continue;
+            line_no += 1;
+            match parse_jsonl_record(&buf) {
+                Ok(None) => {}
+                Ok(Some(table)) => corpus.tables.push(table),
+                Err((reason, detail, snippet)) => {
+                    return Err(IngestError {
+                        source: name,
+                        line: Some(line_no),
+                        reason,
+                        detail,
+                        snippet,
+                    });
+                }
             }
-            let table: Table = serde_json::from_str(&line)?;
-            corpus.tables.push(table);
         }
         Ok(corpus)
+    }
+
+    /// Read JSONL back into a corpus, lossily: malformed records are
+    /// skipped into the returned [`QuarantineReport`] and the load
+    /// continues. Only an IO failure of the underlying reader aborts —
+    /// a stream that stops yielding bytes cannot be resumed. Tallies are
+    /// mirrored into `tabmeta-obs` before returning.
+    pub fn read_jsonl_lossy<R: Read>(
+        name: impl Into<String>,
+        reader: R,
+    ) -> Result<(Corpus, QuarantineReport), IngestError> {
+        let name = name.into();
+        let mut corpus = Corpus::new(name.clone());
+        let mut report = QuarantineReport::new(name.clone());
+        let mut r = BufReader::new(reader);
+        let mut buf = Vec::new();
+        let mut line_no = 0usize;
+        loop {
+            buf.clear();
+            let n = r.read_until(b'\n', &mut buf).map_err(|e| IngestError {
+                source: name.clone(),
+                line: Some(line_no + 1),
+                reason: RejectReason::Io,
+                detail: e.to_string(),
+                snippet: String::new(),
+            })?;
+            if n == 0 {
+                break;
+            }
+            line_no += 1;
+            match parse_jsonl_record(&buf) {
+                Ok(None) => {}
+                Ok(Some(table)) => {
+                    corpus.tables.push(table);
+                    report.accept();
+                }
+                Err((reason, detail, snippet)) => {
+                    report.reject(QuarantinedRecord { line: line_no, reason, detail, snippet });
+                }
+            }
+        }
+        report.publish_metrics();
+        Ok((corpus, report))
     }
 
     /// Aggregate structure statistics over the corpus.
@@ -148,6 +278,36 @@ impl Corpus {
         self.tables
             .iter()
             .filter(move |t| t.truth.as_ref().is_some_and(|tr| tr.vmd_depth() >= level))
+    }
+}
+
+/// Parse one raw JSONL line. `Ok(None)` means a blank line (not a
+/// record); errors come back as `(reason, detail, snippet)` for the
+/// caller to wrap into strict or lossy handling.
+fn parse_jsonl_record(bytes: &[u8]) -> Result<Option<Table>, (RejectReason, String, String)> {
+    let line = match std::str::from_utf8(bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            let lossy = String::from_utf8_lossy(bytes);
+            return Err((RejectReason::InvalidUtf8, e.to_string(), snippet_of(&lossy)));
+        }
+    };
+    if line.trim().is_empty() {
+        return Ok(None);
+    }
+    match serde_json::from_str::<Table>(line) {
+        Ok(table) => Ok(Some(table)),
+        Err(e) => {
+            // Distinguish broken JSON from well-formed JSON that fails
+            // table validation: if the line re-parses as a bare value, the
+            // syntax was fine and the shape was not.
+            let reason = if serde_json::from_str::<serde_json::Value>(line).is_ok() {
+                RejectReason::InvalidShape
+            } else {
+                RejectReason::MalformedJson
+            };
+            Err((reason, e.to_string(), snippet_of(line)))
+        }
     }
 }
 
@@ -239,19 +399,22 @@ mod tests {
         for id in 0..100 {
             c.tables.push(table_with_depths(id, 1, 0));
         }
-        let (train, test) = c.split(5);
+        let (train, test) = c.split(5).unwrap();
         assert_eq!(train.len() + test.len(), 100);
         assert_eq!(test.len(), 20);
         assert!(test.tables.iter().all(|t| t.id % 5 == 0));
-        let (train2, test2) = c.split(5);
+        let (train2, test2) = c.split(5).unwrap();
         assert_eq!(train.len(), train2.len());
         assert_eq!(test.len(), test2.len());
     }
 
     #[test]
-    #[should_panic(expected = "test_every must be >= 2")]
-    fn split_validates_modulus() {
-        let _ = Corpus::new("t").split(1);
+    fn split_rejects_degenerate_modulus_with_typed_error() {
+        let err = Corpus::new("t").split(1).unwrap_err();
+        assert_eq!(err.test_every, 1);
+        assert!(err.to_string().contains("test_every must be >= 2"));
+        assert!(Corpus::new("t").split(0).is_err());
+        assert!(Corpus::new("t").split(2).is_ok());
     }
 
     #[test]
@@ -286,13 +449,67 @@ mod tests {
         std::fs::write(dir.join("a_first.csv"), "h1,h2\n1,2\n").unwrap();
         std::fs::write(dir.join("broken.csv"), "\"unterminated,1\n").unwrap();
         std::fs::write(dir.join("ignored.txt"), "not,a,csv\n").unwrap();
-        let (corpus, failures) = Corpus::from_csv_dir("dir", &dir).unwrap();
+        let (corpus, report) = Corpus::from_csv_dir("dir", &dir).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
         assert_eq!(corpus.len(), 2);
         assert_eq!(corpus.tables[0].caption, "a_first", "sorted by file name");
         assert_eq!(corpus.tables[0].id, 0);
+        assert_eq!(corpus.tables[1].id, 1, "ids dense over accepted tables");
         assert_eq!(corpus.tables[1].cell(1, 0).text, "3");
-        assert_eq!(failures.len(), 1);
-        assert!(failures[0].0.ends_with("broken.csv"));
+        assert_eq!(report.total, 3, "ignored.txt is not a record");
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.count_for(RejectReason::MalformedCsv), 1);
+        assert!(report.conservation_holds());
+        assert_eq!(report.samples.len(), 1);
+        assert_eq!(report.samples[0].snippet, "broken.csv");
+        assert_eq!(report.samples[0].line, 3, "broken.csv sorts third");
+    }
+
+    #[test]
+    fn strict_jsonl_reports_line_and_snippet() {
+        let mut c = Corpus::new("s");
+        c.tables.push(table_with_depths(1, 1, 0));
+        let mut buf = Vec::new();
+        c.write_jsonl(&mut buf).unwrap();
+        buf.extend_from_slice(b"{\"id\": this is not json\n");
+        let err = Corpus::read_jsonl("s.jsonl", buf.as_slice()).unwrap_err();
+        assert_eq!(err.line, Some(2));
+        assert_eq!(err.reason, RejectReason::MalformedJson);
+        assert!(err.snippet.starts_with("{\"id\": this"), "{}", err.snippet);
+        assert!(err.to_string().contains("s.jsonl line 2"), "{err}");
+    }
+
+    #[test]
+    fn strict_jsonl_distinguishes_shape_from_syntax() {
+        let line = b"{\"valid\": \"json, wrong shape\"}\n";
+        let err = Corpus::read_jsonl("s", &line[..]).unwrap_err();
+        assert_eq!(err.reason, RejectReason::InvalidShape);
+    }
+
+    #[test]
+    fn lossy_jsonl_quarantines_and_continues() {
+        let mut c = Corpus::new("l");
+        c.tables.push(table_with_depths(1, 1, 0));
+        c.tables.push(table_with_depths(2, 2, 1));
+        let mut buf = Vec::new();
+        c.tables[..1].iter().for_each(|t| {
+            serde_json::to_writer(&mut buf, t).unwrap();
+            buf.push(b'\n');
+        });
+        buf.extend_from_slice(b"{\"id\": 9, truncated\n");
+        buf.extend_from_slice(b"\xff\xfe mojibake\n");
+        buf.extend_from_slice(b"\n");
+        serde_json::to_writer(&mut buf, &c.tables[1]).unwrap();
+        buf.push(b'\n');
+        let (back, report) = Corpus::read_jsonl_lossy("l", buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2, "good records survive corruption around them");
+        assert_eq!(back.tables[1].id, 2);
+        assert_eq!(report.total, 4, "blank line is not a record");
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.count_for(RejectReason::MalformedJson), 1);
+        assert_eq!(report.count_for(RejectReason::InvalidUtf8), 1);
+        assert!(report.conservation_holds());
+        assert_eq!(report.samples[0].line, 2);
+        assert_eq!(report.samples[1].line, 3);
     }
 }

@@ -19,16 +19,27 @@
 //! * [`htmlite`] — a simplified HTML table dialect (`<table><thead><tr>
 //!   <th>…`) used by the bootstrap labeler and the RAG store,
 //! * [`corpus::Corpus`] — a named collection of tables with JSONL
-//!   persistence and structure statistics.
+//!   persistence and structure statistics,
+//! * [`ingest`] — the typed ingestion-error taxonomy
+//!   ([`ingest::IngestError`] / [`ingest::RejectReason`]) and the
+//!   [`ingest::QuarantineReport`] produced by lossy loading.
+
+// The data path must be panic-free on input-derived values: unwrap/
+// expect are denied outside tests (promoted from warn by the clippy
+// `-D warnings` gate in scripts/check.sh).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cell;
 pub mod corpus;
 pub mod csv;
 pub mod htmlite;
+pub mod ingest;
 pub mod label;
 pub mod table;
 
 pub use cell::{Cell, Markup};
-pub use corpus::{Corpus, CorpusStats};
+pub use corpus::{Corpus, CorpusStats, SplitError};
+pub use ingest::{IngestError, QuarantineReport, QuarantinedRecord, RejectReason};
 pub use label::LevelLabel;
 pub use table::{Axis, Table};

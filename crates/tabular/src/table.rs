@@ -70,7 +70,7 @@ impl GroundTruth {
 }
 
 /// A generally structured table.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Table {
     /// Stable identifier within its corpus.
     pub id: u64,
@@ -84,6 +84,64 @@ pub struct Table {
     /// `false`, the bootstrap phase must fall back to positional
     /// heuristics, as for SAUS/CIUS).
     pub has_markup: bool,
+}
+
+/// Wire shape for deserialization: field-for-field identical to
+/// [`Table`], but unvalidated. [`Table`]'s `Deserialize` goes through
+/// this so a hand-crafted or corrupted JSON record can never smuggle an
+/// empty or ragged grid (or mis-shaped ground truth) past the
+/// constructor invariants — malformed shapes become deserialization
+/// errors the ingest layer can quarantine, not latent panics in
+/// `n_cols`/`with_truth`.
+#[derive(Deserialize)]
+struct TableWire {
+    id: u64,
+    caption: String,
+    cells: Vec<Vec<Cell>>,
+    truth: Option<GroundTruth>,
+    has_markup: bool,
+}
+
+impl TryFrom<TableWire> for Table {
+    type Error = String;
+
+    fn try_from(w: TableWire) -> Result<Self, String> {
+        if w.cells.is_empty() || w.cells[0].is_empty() {
+            return Err("table grid is empty".to_string());
+        }
+        let width = w.cells[0].len();
+        if let Some(bad) = w.cells.iter().position(|r| r.len() != width) {
+            return Err(format!(
+                "ragged grid: row {bad} has {} cells, expected {width}",
+                w.cells[bad].len()
+            ));
+        }
+        if let Some(truth) = &w.truth {
+            if truth.rows.len() != w.cells.len() || truth.columns.len() != width {
+                return Err(format!(
+                    "ground truth shape {}x{} does not match grid {}x{}",
+                    truth.rows.len(),
+                    truth.columns.len(),
+                    w.cells.len(),
+                    width
+                ));
+            }
+        }
+        Ok(Table {
+            id: w.id,
+            caption: w.caption,
+            cells: w.cells,
+            truth: w.truth,
+            has_markup: w.has_markup,
+        })
+    }
+}
+
+impl<'de> Deserialize<'de> for Table {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let wire = TableWire::deserialize(deserializer)?;
+        Table::try_from(wire).map_err(serde::de::Error::custom)
+    }
 }
 
 impl Table {
@@ -129,9 +187,11 @@ impl Table {
         self.cells.len()
     }
 
-    /// Number of columns.
+    /// Number of columns (0 for a grid that lost its rows — impossible
+    /// through the validated constructors, but kept total so no caller
+    /// can panic on an index).
     pub fn n_cols(&self) -> usize {
-        self.cells[0].len()
+        self.cells.first().map_or(0, Vec::len)
     }
 
     /// Total cell count (`C*R`, Def. 2).
@@ -345,5 +405,34 @@ mod tests {
     fn axis_transposed() {
         assert_eq!(Axis::Row.transposed(), Axis::Column);
         assert_eq!(Axis::Column.transposed(), Axis::Row);
+    }
+
+    #[test]
+    fn deserialize_rejects_empty_grid() {
+        let json = r#"{"id":1,"caption":"","cells":[],"truth":null,"has_markup":false}"#;
+        let err = serde_json::from_str::<Table>(json).unwrap_err().to_string();
+        assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_rejects_ragged_grid() {
+        let json = concat!(
+            r#"{"id":1,"caption":"","cells":"#,
+            r#"[[{"text":"a","markup":{"th":false,"thead":false,"bold":false,"indent":0}}],[]],"#,
+            r#""truth":null,"has_markup":false}"#
+        );
+        let err = serde_json::from_str::<Table>(json).unwrap_err().to_string();
+        assert!(err.contains("ragged"), "{err}");
+    }
+
+    #[test]
+    fn deserialize_rejects_mis_shaped_truth() {
+        let mut t = sample();
+        t.truth.as_mut().unwrap().rows.pop();
+        // Serialize bypasses validation (struct fields are written as-is),
+        // so this produces a wire form with a short truth vector.
+        let json = serde_json::to_string(&t).unwrap();
+        let err = serde_json::from_str::<Table>(&json).unwrap_err().to_string();
+        assert!(err.contains("truth shape"), "{err}");
     }
 }

@@ -44,6 +44,70 @@ proptest! {
         let rows = csv::parse_csv(&text).expect("anchored row parses");
         prop_assert_eq!(rows[0][0].as_str(), field.as_str());
     }
+
+    /// Fields stuffed with embedded quotes, delimiters, and newlines still
+    /// round-trip exactly — the quoting layer must contain them all.
+    #[test]
+    fn csv_hostile_field_roundtrip(field in "[\"',\\n a-z]{0,24}") {
+        let table = tabmeta_tabular::Table::from_strings(3, &[&[field.as_str(), "anchor"]]);
+        let rows = csv::parse_csv(&csv::to_csv(&table)).expect("anchored row parses");
+        prop_assert_eq!(rows[0][0].as_str(), field.as_str());
+    }
+
+    /// Adversarial markup — unclosed row/header tags, nested `<b>`, stray
+    /// `&nbsp;`, embedded quotes — yields `Err` or a *valid* table (never
+    /// a panic, never a degenerate grid).
+    #[test]
+    fn htmlite_adversarial_markup_is_err_or_valid(
+        parts in proptest::collection::vec(0usize..12, 0..30),
+    ) {
+        let frag = [
+            "<table>", "<tr>", "<th>Region", "<td>4,2\"1\"</td>", "</tr>",
+            "<b><b>deep</b>", "&nbsp;&nbsp;", "<th></th>", "</table>",
+            "<tr><td>", "\"quoted\"", "<thead><tr><th>H</th></tr>",
+        ];
+        let soup: String = parts.iter().map(|&i| frag[i]).collect();
+        if let Ok(table) = htmlite::from_htmlite(7, &soup) {
+            prop_assert!(table.n_rows() >= 1, "valid table has rows");
+            prop_assert!(table.n_cols() >= 1, "valid table has columns");
+            prop_assert!(table.has_markup, "htmlite output carries markup");
+        }
+    }
+
+    /// Well-formed tables survive a serialize → parse cycle: same shape,
+    /// same (trimmed) cell texts, even when the texts contain characters
+    /// the markup layer must escape.
+    #[test]
+    fn htmlite_roundtrip_preserves_valid_tables(
+        texts in proptest::collection::vec("[a-zA-Z0-9&<> ]{0,10}", 1..12),
+        width in 1usize..4,
+    ) {
+        let n_rows = texts.len().div_ceil(width);
+        let cells: Vec<Vec<tabmeta_tabular::Cell>> = (0..n_rows)
+            .map(|r| {
+                (0..width)
+                    .map(|c| {
+                        let text = texts.get(r * width + c).map(String::as_str).unwrap_or("");
+                        tabmeta_tabular::Cell::text(text)
+                    })
+                    .collect()
+            })
+            .collect();
+        let table = tabmeta_tabular::Table::new(9, "", cells);
+        let parsed = htmlite::from_htmlite(9, &htmlite::to_htmlite(&table))
+            .expect("serializer output parses");
+        prop_assert_eq!(parsed.n_rows(), table.n_rows());
+        prop_assert_eq!(parsed.n_cols(), table.n_cols());
+        for r in 0..table.n_rows() {
+            for c in 0..table.n_cols() {
+                prop_assert_eq!(
+                    parsed.cell(r, c).text.as_str(),
+                    table.cell(r, c).text.trim(),
+                    "cell ({}, {})", r, c
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -16,6 +16,12 @@
 //!   each word into hashed character n-grams so rare biomedical terms still
 //!   receive meaningful vectors.
 
+// The data path must be panic-free on input-derived values: unwrap/
+// expect are denied outside tests (promoted from warn by the clippy
+// `-D warnings` gate in scripts/check.sh).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ngram;
 pub mod token;
 pub mod tokenizer;

@@ -94,12 +94,18 @@ impl Token {
 ///
 /// Interior punctuation that commonly glues words (`'`, `’`, `-`) is
 /// dropped; anything else splits in the tokenizer before this is called.
+///
+/// Lowercasing happens *before* the edge trim: some lowercasings expand
+/// to letter + combining mark (`'İ'` → `i` + U+0307), and trimming first
+/// would leave a bare combining mark on the edge that a second pass then
+/// strips — breaking idempotence.
 pub fn normalize_word(raw: &str) -> String {
-    raw.trim_matches(|c: char| !c.is_alphanumeric())
+    let lowered: String = raw
         .chars()
         .filter(|c| *c != '\'' && *c != '’' && *c != '-')
         .flat_map(char::to_lowercase)
-        .collect()
+        .collect();
+    lowered.trim_matches(|c: char| !c.is_alphanumeric()).to_string()
 }
 
 /// Classify a numeric-looking string; `None` when it is not numeric.
@@ -141,11 +147,11 @@ pub fn classify_numeric(raw: &str) -> Option<NumericClass> {
             return Some(NumericClass::Range);
         }
     }
-    let bytes: Vec<char> = s.chars().collect();
-    for (i, &c) in bytes.iter().enumerate() {
-        if (c == '-' || c == '–' || c == '—') && i > 0 && i + 1 < bytes.len() {
-            let (l, r) = (&s[..s.char_indices().nth(i).unwrap().0], &bytes[i + 1..]);
-            let r: String = r.iter().collect();
+    let chars: Vec<(usize, char)> = s.char_indices().collect();
+    for (i, &(byte_idx, c)) in chars.iter().enumerate() {
+        if (c == '-' || c == '–' || c == '—') && i > 0 && i + 1 < chars.len() {
+            let l = &s[..byte_idx];
+            let r: String = chars[i + 1..].iter().map(|&(_, ch)| ch).collect();
             if l.chars().any(|c| c.is_ascii_digit())
                 && r.chars().any(|c| c.is_ascii_digit())
                 && classify_numeric(l).is_some()
@@ -199,6 +205,17 @@ mod tests {
         assert_eq!(normalize_word("DOESN'T"), "doesnt");
         assert_eq!(normalize_word("co-morbid"), "comorbid");
         assert_eq!(normalize_word("***"), "");
+    }
+
+    #[test]
+    fn normalize_is_idempotent_on_expanding_lowercase() {
+        // 'İ' lowercases to `i` + combining dot (U+0307); a trim-first
+        // implementation left the bare mark on the edge, so a second
+        // normalize pass produced a different string.
+        let once = normalize_word("İ");
+        assert_eq!(normalize_word(&once), once);
+        let once = normalize_word("wİ");
+        assert_eq!(normalize_word(&once), once);
     }
 
     #[test]

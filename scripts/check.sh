@@ -17,6 +17,18 @@ RAYON_NUM_THREADS=1 cargo test -q --offline
 echo "==> cargo test -q (RAYON_NUM_THREADS=4)"
 RAYON_NUM_THREADS=4 cargo test -q --offline
 
+# Resilience gate: the seeded fault-injection chaos suite (tests/chaos.rs,
+# also part of the root runs above) plus the unit suites of the crates that
+# implement the panic-free data path — quarantine ingestion, degraded-mode
+# classification, and the injector itself.
+echo "==> cargo test -q (resilience: chaos + data-path crates)"
+RAYON_NUM_THREADS=4 cargo test -q --offline --test chaos
+cargo test -q --offline -p tabmeta-resilience -p tabmeta-tabular -p tabmeta-core -p tabmeta-text
+
+# tabular/core/text/resilience carry crate-level
+# `#![warn(clippy::unwrap_used, clippy::expect_used)]` (tests exempt via
+# cfg_attr), so `-D warnings` below denies any unwrap/expect that sneaks
+# back into the data path.
 echo "==> cargo clippy --workspace"
 cargo clippy --workspace --offline -- -D warnings
 

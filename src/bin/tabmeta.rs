@@ -36,7 +36,7 @@ impl Args {
             };
             match name {
                 // Boolean flags.
-                "score" => pairs.push((name.to_string(), "true".to_string())),
+                "score" | "lossy" => pairs.push((name.to_string(), "true".to_string())),
                 _ => {
                     let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     pairs.push((name.to_string(), value.clone()));
@@ -81,25 +81,39 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_corpus(path: &str) -> Result<Corpus, String> {
+/// Load a JSONL corpus. Strict by default: the first malformed line is a
+/// contextual error (file, line, reason, payload snippet). With `--lossy`,
+/// bad lines are quarantined, the report goes to stderr, and the load
+/// continues.
+fn load_corpus(path: &str, lossy: bool) -> Result<Corpus, String> {
     let file = fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-    Corpus::read_jsonl(path, std::io::BufReader::new(file))
-        .map_err(|e| format!("parse {path}: {e}"))
+    let reader = std::io::BufReader::new(file);
+    if lossy {
+        let (corpus, report) =
+            Corpus::read_jsonl_lossy(path, reader).map_err(|e| format!("read {path}: {e}"))?;
+        if !report.is_clean() {
+            eprint!("{}", report.render_text());
+        }
+        Ok(corpus)
+    } else {
+        Corpus::read_jsonl(path, reader).map_err(|e| format!("{e}"))
+    }
 }
 
 fn cmd_train(args: &Args) -> Result<(), String> {
+    let lossy = args.get("lossy").is_some();
     let corpus = if let Some(dir) = args.get("csv-dir") {
-        let (corpus, failures) = Corpus::from_csv_dir(dir, std::path::Path::new(dir))
+        let (corpus, report) = Corpus::from_csv_dir(dir, std::path::Path::new(dir))
             .map_err(|e| format!("read {dir}: {e}"))?;
-        for (path, err) in &failures {
-            eprintln!("skipped {}: {err}", path.display());
+        if !report.is_clean() {
+            eprint!("{}", report.render_text());
         }
         if corpus.is_empty() {
             return Err(format!("no parseable CSV files in {dir}"));
         }
         corpus
     } else {
-        load_corpus(args.require("corpus")?)?
+        load_corpus(args.require("corpus")?, lossy)?
     };
     let seed = args.u64_or("seed", 42)?;
     let out = args.require("out")?;
@@ -132,7 +146,7 @@ fn cmd_classify(args: &Args) -> Result<(), String> {
         let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
         let table = csv::table_from_csv(0, path, &text).map_err(|e| e.to_string())?;
         let v = pipeline.classify(&table);
-        println!("HMD depth {}, VMD depth {}", v.hmd_depth, v.vmd_depth);
+        println!("HMD depth {}, VMD depth {}{}", v.hmd_depth, v.vmd_depth, degraded_suffix(&v));
         for (i, label) in v.rows.iter().enumerate() {
             println!("row {i}: {label}");
         }
@@ -142,12 +156,16 @@ fn cmd_classify(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let corpus = load_corpus(args.require("corpus")?)?;
+    let corpus = load_corpus(args.require("corpus")?, args.get("lossy").is_some())?;
     let verdicts = pipeline.classify_corpus(&corpus.tables);
     if args.get("score").is_some() {
+        // `evaluate` visits tables in order, so the verdicts zip by
+        // position — no per-table O(n) pointer hunt. The fallback arm is
+        // unreachable while `classify_corpus` returns one verdict per
+        // table, and reclassifies rather than panicking if that drifts.
+        let mut remaining = verdicts.iter();
         let scores = LevelScores::evaluate(&corpus.tables, standard_keys(), |t| {
-            let i = corpus.tables.iter().position(|x| std::ptr::eq(x, t)).unwrap();
-            verdicts[i].clone().into()
+            remaining.next().cloned().unwrap_or_else(|| pipeline.classify(t)).into()
         });
         println!("per-level accuracy over {} tables:", corpus.len());
         for k in 1..=5u8 {
@@ -158,10 +176,30 @@ fn cmd_classify(args: &Args) -> Result<(), String> {
         }
     } else {
         for (t, v) in corpus.tables.iter().zip(&verdicts) {
-            println!("table {}: HMD depth {}, VMD depth {}", t.id, v.hmd_depth, v.vmd_depth);
+            println!(
+                "table {}: HMD depth {}, VMD depth {}{}",
+                t.id,
+                v.hmd_depth,
+                v.vmd_depth,
+                degraded_suffix(v)
+            );
         }
     }
     Ok(())
+}
+
+/// Human-readable marker for verdicts that fell back to position.
+fn degraded_suffix(v: &tabmeta::contrastive::Verdict) -> String {
+    let mut reasons: Vec<&str> = [v.row_provenance, v.col_provenance]
+        .iter()
+        .filter_map(|p| p.degrade_reason().map(|r| r.as_str()))
+        .collect();
+    reasons.dedup();
+    if reasons.is_empty() {
+        String::new()
+    } else {
+        format!("  [degraded: {}]", reasons.join(", "))
+    }
 }
 
 fn report_level(scores: &LevelScores, key: LevelKey) {
@@ -173,7 +211,7 @@ fn report_level(scores: &LevelScores, key: LevelKey) {
 }
 
 fn cmd_stats(args: &Args) -> Result<(), String> {
-    let corpus = load_corpus(args.require("corpus")?)?;
+    let corpus = load_corpus(args.require("corpus")?, args.get("lossy").is_some())?;
     let s = corpus.stats();
     println!("{}: {} tables, {} cells", corpus.name, s.tables, s.cells);
     println!("  with markup: {}", s.with_markup);
@@ -275,11 +313,14 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
 
 const USAGE: &str = "usage:
   tabmeta generate --corpus <name> [--tables N] [--seed S] --out corpus.jsonl
-  tabmeta train    (--corpus corpus.jsonl | --csv-dir DIR) [--seed S] [--config fast|paper] --out model.json
-  tabmeta classify --model model.json (--csv table.csv | --corpus corpus.jsonl [--score])
+  tabmeta train    (--corpus corpus.jsonl [--lossy] | --csv-dir DIR) [--seed S] [--config fast|paper] --out model.json
+  tabmeta classify --model model.json (--csv table.csv | --corpus corpus.jsonl [--lossy] [--score])
   tabmeta inspect  --model model.json
-  tabmeta stats    --corpus corpus.jsonl
-  tabmeta reproduce [--artifact table1|…|table6|fig6|fig7|runtime|cmd] [--tables N] [--seed S]";
+  tabmeta stats    --corpus corpus.jsonl [--lossy]
+  tabmeta reproduce [--artifact table1|…|table6|fig6|fig7|runtime|cmd] [--tables N] [--seed S]
+
+  --lossy: quarantine malformed JSONL records (report on stderr) instead of
+  aborting on the first bad line.";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

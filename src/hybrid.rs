@@ -12,7 +12,7 @@
 //! answer it is routing toward.
 
 use crate::baselines::{Pytheas, TableClassifier};
-use crate::contrastive::{Pipeline, Verdict};
+use crate::contrastive::{Pipeline, Provenance, Verdict};
 use crate::tabular::{Axis, LevelLabel, Table};
 
 /// Which path classified a table.
@@ -88,7 +88,17 @@ impl HybridClassifier {
             let p = self.cheap.classify_table(table);
             let hmd_depth =
                 p.rows.iter().take_while(|l| matches!(l, LevelLabel::Hmd(_))).count() as u8;
-            (Verdict { rows: p.rows, columns: p.columns, hmd_depth, vmd_depth: 0 }, Route::Cheap)
+            (
+                Verdict {
+                    rows: p.rows,
+                    columns: p.columns,
+                    hmd_depth,
+                    vmd_depth: 0,
+                    row_provenance: Provenance::Walk,
+                    col_provenance: Provenance::Walk,
+                },
+                Route::Cheap,
+            )
         }
     }
 

@@ -47,5 +47,6 @@ pub use tabmeta_embed as embed;
 pub use tabmeta_eval as eval;
 pub use tabmeta_linalg as linalg;
 pub use tabmeta_obs as obs;
+pub use tabmeta_resilience as resilience;
 pub use tabmeta_tabular as tabular;
 pub use tabmeta_text as text;

@@ -167,6 +167,8 @@ mod tests {
             columns: vec![LevelLabel::Vmd(1), LevelLabel::Data],
             hmd_depth: 1,
             vmd_depth: 1,
+            row_provenance: Default::default(),
+            col_provenance: Default::default(),
         };
         let t2 =
             Table::from_strings(2, &[&["topic", "count"], &["enrollment", "5"], &["budget", "7"]]);
@@ -175,6 +177,8 @@ mod tests {
             columns: vec![LevelLabel::Data, LevelLabel::Data],
             hmd_depth: 1,
             vmd_depth: 0,
+            row_provenance: Default::default(),
+            col_provenance: Default::default(),
         };
         (vec![t1, t2], vec![v1, v2])
     }
@@ -229,6 +233,8 @@ mod tests {
             columns: vec![LevelLabel::Data, LevelLabel::Data],
             hmd_depth: 1,
             vmd_depth: 0,
+            row_provenance: Default::default(),
+            col_provenance: Default::default(),
         };
         let (mut tables, mut verdicts) = classified();
         tables.push(t);
@@ -267,6 +273,8 @@ mod tests {
             columns: vec![LevelLabel::Data],
             hmd_depth: 0,
             vmd_depth: 0,
+            row_provenance: Default::default(),
+            col_provenance: Default::default(),
         };
         let mut index = MetadataIndex::new();
         index.add(&tables[0], &bad, &tokenizer());

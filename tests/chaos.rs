@@ -1,0 +1,151 @@
+//! Chaos gate: the full ingest → train → classify path under seeded fault
+//! injection.
+//!
+//! Two guarantees are enforced across many deterministic [`FaultPlan`]s at
+//! ≥10% per-record corruption on two corpora:
+//!
+//! 1. **Accounting is exact and nothing panics.** Lossy ingestion
+//!    quarantines *exactly* the lethally corrupted records
+//!    (`quarantined == log.lethal()`), conservation
+//!    (`accepted + quarantined == total`) holds to the record, and every
+//!    accepted table — including benignly mutated ones — classifies
+//!    without panicking. Blanked tables must come back *degraded with a
+//!    provenance reason*, not silently mislabeled.
+//! 2. **Corruption does not poison the survivors.** A pipeline trained on
+//!    a corrupted stream must score within 0.03 level-1 accuracy of the
+//!    clean-trained pipeline on the untouched subset of the test split.
+
+use tabmeta::contrastive::{DegradeReason, Pipeline, PipelineConfig};
+use tabmeta::corpora::{CorpusKind, GeneratorConfig};
+use tabmeta::eval::{standard_keys, LevelKey, LevelScores};
+use tabmeta::resilience::{FaultInjector, FaultLog, FaultPlan};
+use tabmeta::tabular::{Corpus, Table};
+
+/// Per-record corruption probability — the gate floor is 10%.
+const RATE: f64 = 0.15;
+
+/// The two corpora the gate runs against: the deepest hierarchy (CKG) and
+/// a markup-free statistical abstract (SAUS).
+const KINDS: [CorpusKind; 2] = [CorpusKind::Ckg, CorpusKind::Saus];
+
+fn jsonl_bytes(tables: &[Table], name: &str) -> Vec<u8> {
+    let mut c = Corpus::new(name);
+    c.tables = tables.to_vec();
+    let mut buf = Vec::new();
+    c.write_jsonl(&mut buf).expect("in-memory serialize");
+    buf
+}
+
+/// Clean-stream indices of records that survive lossy ingestion, in
+/// accepted order (lethal faults kill a record; benign ones do not).
+fn accepted_indices(log: &FaultLog) -> Vec<usize> {
+    (0..log.total).filter(|i| !log.fault_at(*i).is_some_and(|k| k.is_lethal())).collect()
+}
+
+/// 50 seeded fault plans (25 per corpus): exact quarantine accounting and
+/// panic-free, provenance-tagged classification of every survivor.
+#[test]
+fn fifty_fault_plans_never_panic_and_account_exactly() {
+    for kind in KINDS {
+        let corpus = kind.generate(&GeneratorConfig { n_tables: 80, seed: 1009 });
+        let clean = jsonl_bytes(&corpus.tables, "chaos");
+        let pipeline =
+            Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(1009)).expect("trains");
+
+        for seed in 0..25u64 {
+            let plan = FaultPlan::jsonl(seed, RATE);
+            let (dirty, log) = FaultInjector::new(plan).corrupt_jsonl(&clean);
+            let (got, report) =
+                Corpus::read_jsonl_lossy("chaos", dirty.as_slice()).expect("reader io");
+
+            // Exact accounting: conservation to the record, and the
+            // quarantine set is precisely the lethal set.
+            assert!(report.conservation_holds(), "{kind:?}/{seed}: {report:?}");
+            assert_eq!(report.total, log.total, "{kind:?}/{seed}");
+            assert_eq!(report.quarantined(), log.lethal(), "{kind:?}/{seed}");
+            assert_eq!(got.len(), log.total - log.lethal(), "{kind:?}/{seed}");
+
+            // Every survivor classifies; blanked tables degrade loudly.
+            let survivors = accepted_indices(&log);
+            assert_eq!(survivors.len(), got.len(), "{kind:?}/{seed}");
+            for (table, &clean_idx) in got.tables.iter().zip(&survivors) {
+                let verdict = pipeline.classify(table);
+                if log.fault_at(clean_idx) == Some(tabmeta::resilience::FaultKind::BlankTable) {
+                    assert!(verdict.is_degraded(), "{kind:?}/{seed}: blank table {clean_idx}");
+                    let reasons: Vec<_> = [verdict.row_provenance, verdict.col_provenance]
+                        .iter()
+                        .filter_map(|p| p.degrade_reason())
+                        .collect();
+                    assert!(
+                        reasons.contains(&DegradeReason::NoSignal),
+                        "{kind:?}/{seed}: blank table {clean_idx} degraded for {reasons:?}"
+                    );
+                }
+                // Every degraded verdict must carry a machine-readable
+                // reason on the axis that degraded.
+                if verdict.is_degraded() {
+                    assert!(
+                        verdict.row_provenance.degrade_reason().is_some()
+                            || verdict.col_provenance.degrade_reason().is_some(),
+                        "{kind:?}/{seed}: degraded verdict without a reason"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Training on a corrupted stream must not poison accuracy on the clean
+/// survivors: level-1 HMD accuracy on the untouched test subset stays
+/// within 0.03 of the clean-trained pipeline.
+#[test]
+fn corrupted_training_keeps_clean_subset_accuracy() {
+    for kind in KINDS {
+        let corpus = kind.generate(&GeneratorConfig { n_tables: 150, seed: 2003 });
+        let cut = corpus.len() * 7 / 10;
+        let clean_stream = jsonl_bytes(&corpus.tables, "chaos");
+        let baseline = Pipeline::train(&corpus.tables[..cut], &PipelineConfig::fast_seeded(2003))
+            .expect("clean train");
+
+        for seed in [101u64, 202, 303] {
+            let plan = FaultPlan::jsonl(seed, RATE);
+            let (dirty, log) = FaultInjector::new(plan).corrupt_jsonl(&clean_stream);
+            let (got, report) =
+                Corpus::read_jsonl_lossy("chaos", dirty.as_slice()).expect("reader io");
+            assert!(report.conservation_holds());
+
+            // Train on the corrupted stream's survivors from the train
+            // side of the split (benign mutations included — a resilient
+            // pipeline must shrug them off).
+            let survivors = accepted_indices(&log);
+            let corrupted_train: Vec<Table> = got
+                .tables
+                .iter()
+                .zip(&survivors)
+                .filter(|(_, &idx)| idx < cut)
+                .map(|(t, _)| t.clone())
+                .collect();
+            let corrupted = Pipeline::train(&corrupted_train, &PipelineConfig::fast_seeded(2003))
+                .expect("corrupted train");
+
+            // Score both pipelines on the *same* untouched test tables.
+            let clean_test: Vec<Table> = (cut..corpus.len())
+                .filter(|i| !log.touched(*i))
+                .map(|i| corpus.tables[i].clone())
+                .collect();
+            assert!(clean_test.len() >= 20, "{kind:?}/{seed}: test subset too small");
+            let base_scores = LevelScores::evaluate(&clean_test, standard_keys(), |t| {
+                baseline.classify(t).into()
+            });
+            let corr_scores = LevelScores::evaluate(&clean_test, standard_keys(), |t| {
+                corrupted.classify(t).into()
+            });
+            let base_h1 = base_scores.level_accuracy(LevelKey::Hmd(1)).expect("hmd1");
+            let corr_h1 = corr_scores.level_accuracy(LevelKey::Hmd(1)).expect("hmd1");
+            assert!(
+                (base_h1 - corr_h1).abs() <= 0.03,
+                "{kind:?}/{seed}: clean-subset HMD1 drifted {base_h1} -> {corr_h1}"
+            );
+        }
+    }
+}
