@@ -28,6 +28,8 @@
 //! the evaluation harness scores them and the contrastive pipeline
 //! identically.
 
+#![forbid(unsafe_code)]
+
 pub mod forest;
 pub mod layout;
 pub mod llm;

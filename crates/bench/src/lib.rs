@@ -7,6 +7,8 @@
 //! kernel that dominates that artifact's cost, so `cargo bench` both
 //! reproduces the numbers and tracks performance.
 
+#![forbid(unsafe_code)]
+
 use tabmeta_core::{Pipeline, PipelineConfig};
 use tabmeta_corpora::{CorpusKind, GeneratorConfig};
 use tabmeta_eval::ExperimentConfig;

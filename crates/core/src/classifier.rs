@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::{Arc, OnceLock};
 use tabmeta_embed::TermEmbedder;
 use tabmeta_linalg::angle_degrees;
+use tabmeta_obs::names;
 use tabmeta_tabular::{Axis, LevelLabel, Table};
 use tabmeta_text::Tokenizer;
 
@@ -45,10 +46,10 @@ fn obs_handles() -> &'static ObsHandles {
     HANDLES.get_or_init(|| {
         let reg = tabmeta_obs::global();
         ObsHandles {
-            tables: reg.counter("classifier.tables"),
-            angle_tests: reg.counter("classifier.angle_tests"),
-            degraded: reg.counter("classifier.degraded"),
-            boundary_depth: reg.histogram_with("classifier.boundary_depth", 1, 16),
+            tables: reg.counter(names::CLASSIFIER_TABLES),
+            angle_tests: reg.counter(names::CLASSIFIER_ANGLE_TESTS),
+            degraded: reg.counter(names::CLASSIFIER_DEGRADED),
+            boundary_depth: reg.histogram_with(names::CLASSIFIER_BOUNDARY_DEPTH, 1, 16),
         }
     })
 }
@@ -642,7 +643,9 @@ fn positional_axis(
     }
     let obs = obs_handles();
     obs.degraded.inc();
-    tabmeta_obs::global().counter(&format!("classifier.degraded.{}", reason.as_str())).inc();
+    tabmeta_obs::global()
+        .counter(&format!("{}{}", names::CLASSIFIER_DEGRADED_PREFIX, reason.as_str()))
+        .inc();
     (labels, depth, Provenance::Degraded(reason))
 }
 

@@ -162,32 +162,49 @@ pub fn run<E: TunableEmbedder + ?Sized>(
     config: &FinetuneConfig,
 ) -> FinetuneReport {
     assert_eq!(tables.len(), weak.len(), "tables and weak labels must align");
+    use tabmeta_obs::names;
     let obs = tabmeta_obs::global();
-    let pair_counter = obs.counter("finetune.pairs");
-    let loss_gauge = obs.gauge("finetune.loss");
-    let rate_gauge = obs.gauge("finetune.pairs_per_sec");
+    let pair_counter = obs.counter(names::FINETUNE_PAIRS);
+    let loss_gauge = obs.gauge(names::FINETUNE_LOSS);
+    let rate_gauge = obs.gauge(names::FINETUNE_PAIRS_PER_SEC);
+    let epoch_secs_gauge = obs.gauge(names::FINETUNE_EPOCH_SECS);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut report = FinetuneReport::default();
     for epoch in 0..config.epochs {
-        let _epoch_span = obs.span("epoch");
-        let epoch_start = std::time::Instant::now();
         let pairs_before = report.positive_updates + report.negative_updates + report.satisfied;
-        let mut epoch_loss = 0.0f64;
-        for (table, labels) in tables.iter().zip(weak) {
-            for axis in [Axis::Row, Axis::Column] {
-                let meta = labels.metadata_indices(axis);
-                let data = labels.data_indices(axis);
-                // Positive: every metadata level pair (runs are ≤5 levels,
-                // so this is at most 10 pairs). All-pairs rather than
-                // consecutive-only matters for deep hierarchies: level 1
-                // and level 3 must also read as "both metadata".
-                for a in 0..meta.len() {
-                    for b in a + 1..meta.len() {
+        let (epoch_loss, elapsed) = obs.timed(names::SPAN_EPOCH, || {
+            let mut epoch_loss = 0.0f64;
+            for (table, labels) in tables.iter().zip(weak) {
+                for axis in [Axis::Row, Axis::Column] {
+                    let meta = labels.metadata_indices(axis);
+                    let data = labels.data_indices(axis);
+                    // Positive: every metadata level pair (runs are ≤5 levels,
+                    // so this is at most 10 pairs). All-pairs rather than
+                    // consecutive-only matters for deep hierarchies: level 1
+                    // and level 3 must also read as "both metadata".
+                    for a in 0..meta.len() {
+                        for b in a + 1..meta.len() {
+                            update_pair(
+                                table,
+                                axis,
+                                meta[a],
+                                meta[b],
+                                true,
+                                config,
+                                embedder,
+                                tokenizer,
+                                &mut report,
+                                &mut epoch_loss,
+                            );
+                        }
+                    }
+                    // Positive: consecutive data levels (capped).
+                    for w in data.windows(2).take(config.max_data_pairs) {
                         update_pair(
                             table,
                             axis,
-                            meta[a],
-                            meta[b],
+                            w[0],
+                            w[1],
                             true,
                             config,
                             embedder,
@@ -196,59 +213,46 @@ pub fn run<E: TunableEmbedder + ?Sized>(
                             &mut epoch_loss,
                         );
                     }
-                }
-                // Positive: consecutive data levels (capped).
-                for w in data.windows(2).take(config.max_data_pairs) {
-                    update_pair(
-                        table,
-                        axis,
-                        w[0],
-                        w[1],
-                        true,
-                        config,
-                        embedder,
-                        tokenizer,
-                        &mut report,
-                        &mut epoch_loss,
-                    );
-                }
-                // Negative: metadata vs random data levels (capped). The
-                // starting metadata level rotates each epoch so a run
-                // deeper than the budget still gets negative pressure on
-                // its tail levels, and budget is only spent on pairs that
-                // actually evaluate (blank/OOV levels no-op for free).
-                if !data.is_empty() && !meta.is_empty() {
-                    let mut budget = config.max_neg_pairs;
-                    for k in 0..meta.len() {
-                        if budget == 0 {
-                            break;
-                        }
-                        let m = meta[(k + epoch) % meta.len()];
-                        let d = data[rng.random_range(0..data.len())];
-                        if update_pair(
-                            table,
-                            axis,
-                            m,
-                            d,
-                            false,
-                            config,
-                            embedder,
-                            tokenizer,
-                            &mut report,
-                            &mut epoch_loss,
-                        ) {
-                            budget -= 1;
+                    // Negative: metadata vs random data levels (capped). The
+                    // starting metadata level rotates each epoch so a run
+                    // deeper than the budget still gets negative pressure on
+                    // its tail levels, and budget is only spent on pairs that
+                    // actually evaluate (blank/OOV levels no-op for free).
+                    if !data.is_empty() && !meta.is_empty() {
+                        let mut budget = config.max_neg_pairs;
+                        for k in 0..meta.len() {
+                            if budget == 0 {
+                                break;
+                            }
+                            let m = meta[(k + epoch) % meta.len()];
+                            let d = data[rng.random_range(0..data.len())];
+                            if update_pair(
+                                table,
+                                axis,
+                                m,
+                                d,
+                                false,
+                                config,
+                                embedder,
+                                tokenizer,
+                                &mut report,
+                                &mut epoch_loss,
+                            ) {
+                                budget -= 1;
+                            }
                         }
                     }
                 }
             }
-        }
+            epoch_loss
+        });
         let epoch_pairs =
             report.positive_updates + report.negative_updates + report.satisfied - pairs_before;
         pair_counter.add(epoch_pairs);
+        let secs = elapsed.as_secs_f64();
+        epoch_secs_gauge.set(secs);
         if epoch_pairs > 0 {
             loss_gauge.set(epoch_loss / epoch_pairs as f64);
-            let secs = epoch_start.elapsed().as_secs_f64();
             if secs > 0.0 {
                 rate_gauge.set(epoch_pairs as f64 / secs);
             }

@@ -35,6 +35,7 @@
 //! [`classifier::Classifier::try_classify`] surfaces setup errors as
 //! typed [`classifier::ClassifyError`]s instead.
 
+#![forbid(unsafe_code)]
 // The data path must be panic-free on input-derived values: unwrap/
 // expect are denied outside tests (promoted from warn by the clippy
 // `-D warnings` gate in scripts/check.sh).

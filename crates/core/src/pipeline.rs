@@ -21,6 +21,7 @@ use crate::config::{EmbeddingChoice, PipelineConfig};
 use crate::finetune::{self, FinetuneReport};
 use rayon::prelude::*;
 use tabmeta_embed::{sentences_from_tables_par, CharGram, TermEmbedder, TunableEmbedder, Word2Vec};
+use tabmeta_obs::names;
 use tabmeta_tabular::Table;
 use tabmeta_text::Tokenizer;
 
@@ -111,12 +112,12 @@ impl Pipeline {
             return Err(TrainError::EmptyCorpus);
         }
         let obs = tabmeta_obs::global();
-        let _train_span = obs.span("train");
+        let _train_span = obs.span(names::SPAN_TRAIN);
         let threads = config.threads.max(1);
-        obs.gauge("train.threads").set(threads as f64);
+        obs.gauge(names::TRAIN_THREADS).set(threads as f64);
         let tokenizer = Tokenizer::default();
 
-        let embed_span = obs.span("embed");
+        let embed_span = obs.span(names::SPAN_EMBED);
         let sentences = sentences_from_tables_par(tables, &tokenizer, &config.sentences, threads);
         // The `threads` knob propagates into SGNS so one pipeline setting
         // governs the whole training path.
@@ -136,7 +137,7 @@ impl Pipeline {
         };
         drop(embed_span);
 
-        let bootstrap_span = obs.span("bootstrap");
+        let bootstrap_span = obs.span(names::SPAN_BOOTSTRAP);
         // `BootstrapLabeler::label` is pure per table; parallel labeling
         // preserves order, so weak labels are identical at any count.
         let weak: Vec<WeakLabels> = if threads > 1 {
@@ -145,16 +146,16 @@ impl Pipeline {
             tables.iter().map(|t| config.bootstrap.label(t)).collect()
         };
         let markup_bootstrapped = weak.iter().filter(|w| w.from_markup).count();
-        obs.counter("bootstrap.tables").add(weak.len() as u64);
-        obs.counter("bootstrap.markup_tables").add(markup_bootstrapped as u64);
+        obs.counter(names::BOOTSTRAP_TABLES).add(weak.len() as u64);
+        obs.counter(names::BOOTSTRAP_MARKUP_TABLES).add(markup_bootstrapped as u64);
         drop(bootstrap_span);
 
         let finetune_report = config.finetune.as_ref().map(|ft| {
-            let _finetune_span = obs.span("finetune");
+            let _finetune_span = obs.span(names::SPAN_FINETUNE);
             finetune::run(tables, &weak, &mut embedder, &tokenizer, ft)
         });
 
-        let centroid_span = obs.span("centroid");
+        let centroid_span = obs.span(names::SPAN_CENTROID);
         let centroids =
             centroid::estimate_par(tables, &weak, &embedder, &tokenizer, &config.centroid, threads);
         drop(centroid_span);
@@ -190,12 +191,14 @@ impl Pipeline {
     pub fn classify_corpus(&self, tables: &[Table]) -> Vec<Verdict> {
         // Timed through the span registry so `classify.tables_per_sec`
         // and the `classify` span report the same wall-clock interval.
-        let (verdicts, elapsed) = tabmeta_obs::timed("classify", || -> Vec<Verdict> {
+        let (verdicts, elapsed) = tabmeta_obs::timed(names::SPAN_CLASSIFY, || -> Vec<Verdict> {
             tables.par_iter().map(|t| self.classify(t)).collect()
         });
         let secs = elapsed.as_secs_f64();
         if secs > 0.0 {
-            tabmeta_obs::global().gauge("classify.tables_per_sec").set(tables.len() as f64 / secs);
+            tabmeta_obs::global()
+                .gauge(names::CLASSIFY_TABLES_PER_SEC)
+                .set(tables.len() as f64 / secs);
         }
         verdicts
     }

@@ -18,6 +18,8 @@
 //!
 //! Everything is deterministic given the seed.
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod profiles;
 pub mod vocab;

@@ -24,6 +24,8 @@
 //! Both models implement [`TermEmbedder`] (read access) and
 //! [`TunableEmbedder`] (gradient nudges used by contrastive fine-tuning).
 
+#![forbid(unsafe_code)]
+
 pub mod chargram;
 pub mod embedder;
 pub mod negative;

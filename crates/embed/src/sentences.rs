@@ -53,7 +53,7 @@ pub fn sentences_from_tables_par(
     config: &SentenceConfig,
     threads: usize,
 ) -> Vec<Vec<String>> {
-    tabmeta_obs::span!("sentences");
+    tabmeta_obs::span!(tabmeta_obs::names::SPAN_SENTENCES);
     let out: Vec<Vec<String>> = if threads > 1 {
         let blocks: Vec<Vec<Vec<String>>> = tables
             .par_iter()
@@ -71,9 +71,10 @@ pub fn sentences_from_tables_par(
         }
         out
     };
+    use tabmeta_obs::names;
     let obs = tabmeta_obs::global();
-    obs.counter("embed.sentences").add(out.len() as u64);
-    let lens = obs.histogram_with("embed.sentence_len", 1, 256);
+    obs.counter(names::EMBED_SENTENCES).add(out.len() as u64);
+    let lens = obs.histogram_with(names::EMBED_SENTENCE_LEN, 1, 256);
     for sentence in &out {
         lens.record(sentence.len() as u64);
     }

@@ -161,10 +161,11 @@ impl<'a> SgnsTrainer<'a> {
         output: &mut Matrix,
     ) -> TrainReport {
         assert_eq!(input.dim(), output.dim(), "SGNS matrices must share dimensionality");
-        tabmeta_obs::span!("sgns");
+        use tabmeta_obs::names;
+        tabmeta_obs::span!(names::SPAN_SGNS);
         let obs = tabmeta_obs::global();
-        let pair_counter = obs.counter("sgns.pairs");
-        let lr_gauge = obs.gauge("sgns.lr");
+        let pair_counter = obs.counter(names::SGNS_PAIRS);
+        let lr_gauge = obs.gauge(names::SGNS_LR);
         if self.config.threads > 1 {
             let report = self.train_hogwild(sentences, negatives, input, output);
             // Metrics are aggregated across workers and recorded once.
@@ -181,7 +182,7 @@ impl<'a> SgnsTrainer<'a> {
         let mut lr = self.config.learning_rate;
 
         for _epoch in 0..self.config.epochs {
-            let _epoch_span = obs.span("epoch");
+            let _epoch_span = obs.span(tabmeta_obs::names::SPAN_EPOCH);
             let pairs_at_epoch_start = pairs;
             for sentence in sentences {
                 for (pos, &center) in sentence.iter().enumerate() {

@@ -42,9 +42,10 @@ fn train_and_score(
     test: &[Table],
     config: &PipelineConfig,
 ) -> AblationOutcome {
-    let (pipeline, elapsed) = tabmeta_obs::timed("eval.ablation.train", || {
-        Pipeline::train(train, config).expect("ablation training succeeds")
-    });
+    let (pipeline, elapsed) =
+        tabmeta_obs::timed(tabmeta_obs::names::SPAN_EVAL_ABLATION_TRAIN, || {
+            Pipeline::train(train, config).expect("ablation training succeeds")
+        });
     let train_secs = elapsed.as_secs_f64();
     let scores = LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
     AblationOutcome { variant: label.into(), train_secs, scores }

@@ -65,9 +65,10 @@ pub fn run(config: &ExperimentConfig) -> Vec<EmbeddingOutcome> {
         ("word2vec", PipelineConfig::fast_seeded(config.seed)),
         ("chargram", PipelineConfig::fast_chargram(config.seed)),
     ] {
-        let (pipeline, elapsed) = tabmeta_obs::timed("eval.embeddings.train", || {
-            Pipeline::train(&split.train, &cfg).expect("trains")
-        });
+        let (pipeline, elapsed) =
+            tabmeta_obs::timed(tabmeta_obs::names::SPAN_EVAL_EMBEDDINGS_TRAIN, || {
+                Pipeline::train(&split.train, &cfg).expect("trains")
+            });
         let train_secs = elapsed.as_secs_f64();
         let clean =
             LevelScores::evaluate(&split.test, standard_keys(), |t| pipeline.classify(t).into());

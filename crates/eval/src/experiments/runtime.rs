@@ -12,7 +12,7 @@ use crate::harness::{split_corpus, train_all, ExperimentConfig, TrainedMethods};
 use tabmeta_baselines::TableClassifier;
 use tabmeta_corpora::{CorpusKind, GeneratorConfig};
 use tabmeta_linalg::{linear_fit, LinearFit};
-use tabmeta_obs::timed;
+use tabmeta_obs::{names, timed};
 use tabmeta_tabular::Table;
 
 /// Wall-clock training cost per method.
@@ -33,21 +33,22 @@ pub fn training_cost(kind: CorpusKind, config: &ExperimentConfig) -> TrainingCos
     let split = split_corpus(kind, config);
     let mut entries = Vec::new();
 
-    let (_, elapsed) = timed("eval.train.ours", || {
+    let (_, elapsed) = timed(names::SPAN_EVAL_TRAIN_OURS, || {
         Pipeline::train(&split.train, &PipelineConfig::fast_seeded(config.seed)).unwrap()
     });
     entries.push(("Our method".to_string(), elapsed.as_secs_f64(), false));
 
-    let (_, elapsed) =
-        timed("eval.train.pytheas", || Pytheas::train(&split.train, PytheasConfig::default()));
+    let (_, elapsed) = timed(names::SPAN_EVAL_TRAIN_PYTHEAS, || {
+        Pytheas::train(&split.train, PytheasConfig::default())
+    });
     entries.push(("Pytheas".to_string(), elapsed.as_secs_f64(), true));
 
-    let (_, elapsed) = timed("eval.train.layout", || {
+    let (_, elapsed) = timed(names::SPAN_EVAL_TRAIN_LAYOUT, || {
         LayoutDetector::train(&split.train, LayoutDetectorConfig::default())
     });
     entries.push(("TableTransformer(layout)".to_string(), elapsed.as_secs_f64(), true));
 
-    let (_, elapsed) = timed("eval.train.rf", || {
+    let (_, elapsed) = timed(names::SPAN_EVAL_TRAIN_RF, || {
         RandomForestDetector::train(&split.train, ForestConfig::default())
     });
     entries.push(("RandomForest".to_string(), elapsed.as_secs_f64(), true));
@@ -94,10 +95,11 @@ pub fn training_threads_sweep(
         .iter()
         .map(|&n| {
             let cfg = PipelineConfig::fast_seeded(config.seed).with_threads(n);
-            let (_, elapsed) =
-                timed("eval.train.threads_sweep", || Pipeline::train(&split.train, &cfg).unwrap());
+            let (_, elapsed) = timed(names::SPAN_EVAL_TRAIN_THREADS_SWEEP, || {
+                Pipeline::train(&split.train, &cfg).unwrap()
+            });
             let secs = elapsed.as_secs_f64();
-            obs.gauge(&format!("train.threads_sweep.t{n}_secs")).set(secs);
+            obs.gauge(&format!("{}t{n}_secs", names::TRAIN_THREADS_SWEEP_PREFIX)).set(secs);
             (n, secs)
         })
         .collect();
@@ -163,7 +165,7 @@ fn sweep_tables(sizes: &[(usize, usize)], seed: u64) -> Vec<Vec<Table>> {
 fn time_per_table<F: FnMut(&Table)>(tables: &[Table], mut f: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..3 {
-        let (_, elapsed) = timed("eval.inference_pass", || {
+        let (_, elapsed) = timed(names::SPAN_EVAL_INFERENCE_PASS, || {
             for t in tables {
                 f(t);
             }

@@ -51,9 +51,11 @@ pub fn run(sizes: &[usize], config: &ExperimentConfig) -> TrainingScaling {
     let (pool, test) = corpus.tables.split_at(max);
     let mut points = Vec::new();
     for &n in sizes {
-        let (pipeline, elapsed) = tabmeta_obs::timed("eval.scaling.train", || {
-            Pipeline::train(&pool[..n], &PipelineConfig::fast_seeded(config.seed)).expect("trains")
-        });
+        let (pipeline, elapsed) =
+            tabmeta_obs::timed(tabmeta_obs::names::SPAN_EVAL_SCALING_TRAIN, || {
+                Pipeline::train(&pool[..n], &PipelineConfig::fast_seeded(config.seed))
+                    .expect("trains")
+            });
         let train_secs = elapsed.as_secs_f64();
         let scores = LevelScores::evaluate(test, standard_keys(), |t| pipeline.classify(t).into());
         points.push(ScalePoint {

@@ -11,6 +11,8 @@
 //! carrying level `k`, is level `k` placed correctly?) with Eq. 9
 //! accuracy also available; see [`metrics`] for the distinction.
 
+#![forbid(unsafe_code)]
+
 pub mod anatomy;
 pub mod experiments;
 pub mod harness;

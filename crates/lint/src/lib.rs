@@ -1,0 +1,210 @@
+//! `tabmeta-lint`: workspace-invariant static analysis for the tabmeta
+//! tree.
+//!
+//! The paper's claims are reproducible only because every stage is
+//! seeded and deterministic; this crate makes those invariants
+//! *machine-checked* instead of reviewer-enforced. It scans every
+//! non-vendored `.rs` file with a comment/string/char-literal-aware
+//! scanner ([`scanner`]) and runs the rule engine ([`rules`]): unseeded
+//! RNG, raw timing outside the obs layer, `unsafe` without a SAFETY
+//! comment, metric names that bypass the `tabmeta_obs::names` registry
+//! ([`registry`]), and stdout printing in library crates.
+//!
+//! The binary (`cargo run -p tabmeta-lint -- --workspace`) exits nonzero
+//! on any violation and is a permanent tier-1 stage in
+//! `scripts/check.sh`.
+
+#![forbid(unsafe_code)]
+
+pub mod registry;
+pub mod rules;
+pub mod scanner;
+
+pub use registry::Names;
+pub use rules::{SuppressedHit, UsageTracker, Violation};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Workspace-relative location of the metric-name registry module.
+pub const NAMES_RS: &str = "crates/obs/src/names.rs";
+
+/// Directory names never descended into: vendored dependencies, build
+/// output, VCS metadata, and lint test fixtures (which contain deliberate
+/// violations).
+const SKIP_DIRS: [&str; 5] = ["vendor", "target", ".git", "fixtures", "node_modules"];
+
+/// The outcome of linting a tree.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All violations, sorted by (file, line, col, rule).
+    pub violations: Vec<Violation>,
+    /// Violations silenced by reasoned `lint:allow` directives.
+    pub suppressed: Vec<SuppressedHit>,
+}
+
+impl Report {
+    /// Whether the tree passed.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable `file:line:col: RULE-ID message` diagnostics with
+    /// the offending line underneath each.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!("{}:{}:{}: {} {}\n", v.file, v.line, v.col, v.rule, v.message));
+            if !v.snippet.is_empty() {
+                out.push_str(&format!("    {}\n", v.snippet));
+            }
+        }
+        if self.clean() {
+            out.push_str(&format!(
+                "tabmeta-lint: clean ({} files scanned, {} suppressed)\n",
+                self.files_scanned,
+                self.suppressed.len()
+            ));
+        } else {
+            out.push_str(&format!(
+                "tabmeta-lint: {} violation(s) in {} files scanned ({} suppressed)\n",
+                self.violations.len(),
+                self.files_scanned,
+                self.suppressed.len()
+            ));
+        }
+        out
+    }
+
+    /// Deterministic JSON: stable key order, arrays sorted the same way
+    /// as the text output.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"clean\": {},\n", self.clean()));
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{ \"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}, \"snippet\": {} }}",
+                json_str(&v.file),
+                v.line,
+                v.col,
+                json_str(v.rule),
+                json_str(&v.message),
+                json_str(&v.snippet)
+            ));
+        }
+        out.push_str(if self.violations.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"suppressed\": [");
+        for (i, s) in self.suppressed.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{ \"file\": {}, \"line\": {}, \"rule\": {}, \"reason\": {} }}",
+                json_str(&s.file),
+                s.line,
+                json_str(s.rule),
+                json_str(&s.reason)
+            ));
+        }
+        out.push_str(if self.suppressed.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Collect every lintable `.rs` file under `root`, as sorted
+/// workspace-relative `/`-separated paths.
+pub fn collect_rs_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| format!("strip_prefix: {e}"))?
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint the tree rooted at `root` (a workspace checkout or a fixture
+/// mirroring its layout).
+pub fn lint_tree(root: &Path) -> Result<Report, String> {
+    let files = collect_rs_files(root)?;
+    let names = match fs::read_to_string(root.join(NAMES_RS)) {
+        Ok(src) => Names::parse(NAMES_RS, &src),
+        Err(_) => Names::default(),
+    };
+    let mut usage = UsageTracker::default();
+    let mut report = Report::default();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("read {}: {e}", root.join(rel).display()))?;
+        let (mut v, mut s) = rules::lint_file(rel, &source, &names, &mut usage);
+        report.violations.append(&mut v);
+        report.suppressed.append(&mut s);
+        report.files_scanned += 1;
+    }
+    rules::check_registry(&names, &usage, &mut report.violations);
+    report.violations.sort();
+    report.suppressed.sort();
+    Ok(report)
+}
+
+/// Ascend from `start` to the first directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(format!(
+                "no workspace Cargo.toml found above {} (pass --root <path>)",
+                start.display()
+            ));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! `tabmeta-lint` CLI.
+//!
+//! ```sh
+//! tabmeta-lint --workspace            # lint the enclosing workspace
+//! tabmeta-lint --workspace --json     # deterministic JSON diagnostics
+//! tabmeta-lint --root path/to/tree    # lint an explicit tree (fixtures)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: tabmeta-lint [--workspace] [--root <path>] [--json]";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let _ = workspace; // `--workspace` is the default mode; kept for clarity.
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("current_dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match tabmeta_lint::find_workspace_root(&cwd) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match tabmeta_lint::lint_tree(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("tabmeta-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

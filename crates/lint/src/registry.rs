@@ -1,0 +1,129 @@
+//! Parser for the checked-in metric-name registry
+//! (`crates/obs/src/names.rs`).
+//!
+//! The registry module declares one `pub const IDENT: &str = "value";`
+//! per instrument name. A value ending in `.` declares a *prefix*: a
+//! documented family of dynamically-suffixed names
+//! (`classifier.degraded.<reason>`). TM-L004 cross-checks every metric
+//! call site in the workspace against this set.
+
+use crate::scanner;
+
+/// One registered name (or prefix) from `tabmeta_obs::names`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameDef {
+    /// The `pub const` identifier (`INGEST_ACCEPTED`).
+    pub ident: String,
+    /// The declared string value (`"ingest.accepted"`).
+    pub value: String,
+    /// 1-based declaration line in the registry file.
+    pub line: u32,
+    /// Whether the value declares a dynamic-name prefix (trailing `.`).
+    pub prefix: bool,
+}
+
+/// The parsed registry: every declared name, in declaration order.
+#[derive(Debug, Clone, Default)]
+pub struct Names {
+    /// All declared names and prefixes.
+    pub entries: Vec<NameDef>,
+    /// Workspace-relative path the registry was parsed from.
+    pub file: String,
+}
+
+impl Names {
+    /// Parse the registry from the source of `names.rs`. Only
+    /// `pub const IDENT: &str = "…";` items declare names; everything
+    /// else in the file (the `MetricDef` table, helper fns) is ignored.
+    pub fn parse(file: &str, source: &str) -> Names {
+        let scan = scanner::scan(source);
+        let mut entries = Vec::new();
+        for lit in &scan.literals {
+            let text = scan.line_text(source, lit.line).trim_start();
+            let Some(rest) = text.strip_prefix("pub const ") else { continue };
+            let Some((ident, tail)) = rest.split_once(':') else { continue };
+            if !tail.contains("&str") || !tail.contains('=') {
+                continue;
+            }
+            let ident = ident.trim().to_string();
+            if ident.is_empty() || !ident.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+                continue;
+            }
+            let prefix = lit.value.ends_with('.');
+            entries.push(NameDef { ident, value: lit.value.clone(), line: lit.line, prefix });
+        }
+        Names { entries, file: file.to_string() }
+    }
+
+    /// The exact (non-prefix) entry matching `value`, if any.
+    pub fn exact(&self, value: &str) -> Option<&NameDef> {
+        self.entries.iter().find(|e| !e.prefix && e.value == value)
+    }
+
+    /// The prefix entry whose value `name` starts with, if any.
+    pub fn matching_prefix(&self, name: &str) -> Option<&NameDef> {
+        self.entries.iter().find(|e| e.prefix && name.starts_with(&e.value))
+    }
+
+    /// The prefix entry declared exactly as `value`, if any.
+    pub fn prefix_exact(&self, value: &str) -> Option<&NameDef> {
+        self.entries.iter().find(|e| e.prefix && e.value == value)
+    }
+
+    /// The registered exact name closest to `value` within edit distance
+    /// 1, if any (typo detection).
+    pub fn near_duplicate(&self, value: &str) -> Option<&NameDef> {
+        self.entries.iter().filter(|e| !e.prefix).find(|e| edit_distance_le_1(&e.value, value))
+    }
+}
+
+/// Whether two strings are within Levenshtein distance 1 (but not equal).
+pub fn edit_distance_le_1(a: &str, b: &str) -> bool {
+    if a == b {
+        return false;
+    }
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    match long.len() - short.len() {
+        0 => short.iter().zip(long.iter()).filter(|(x, y)| x != y).count() == 1,
+        1 => {
+            // One insertion: skip the first mismatch in the longer string
+            // and require the tails to align exactly.
+            let mut i = 0;
+            while i < short.len() && short[i] == long[i] {
+                i += 1;
+            }
+            short[i..] == long[i + 1..]
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_consts_and_prefixes() {
+        let src = r#"
+/// counter - accepted records.
+pub const INGEST_ACCEPTED: &str = "ingest.accepted";
+/// counter family.
+pub const INGEST_REJECTED_PREFIX: &str = "ingest.rejected.";
+pub static TABLE: &[&str] = &["not.a.decl"];
+"#;
+        let names = Names::parse("crates/obs/src/names.rs", src);
+        assert_eq!(names.entries.len(), 2);
+        assert!(names.exact("ingest.accepted").is_some());
+        assert!(names.entries[1].prefix);
+        assert!(names.matching_prefix("ingest.rejected.io").is_some());
+    }
+
+    #[test]
+    fn edit_distance() {
+        assert!(edit_distance_le_1("sgns.pairs", "sgns.pair"));
+        assert!(edit_distance_le_1("sgns.pairs", "sgns.pairz"));
+        assert!(!edit_distance_le_1("sgns.pairs", "sgns.pairs"), "equal is not a near-dup");
+        assert!(!edit_distance_le_1("sgns.pairs", "finetune.pairs"));
+    }
+}

@@ -1,0 +1,485 @@
+//! A hand-rolled, lossless token scanner for Rust source.
+//!
+//! The lint rules must never fire on text that only *looks* like code —
+//! `Instant::now` inside a doc comment, `unsafe` inside a raw string, a
+//! metric name inside a `'"'` char literal. Instead of regexing raw
+//! source, [`scan`] walks the file once and produces:
+//!
+//! * `masked` — the source with every comment, string literal, and char
+//!   literal blanked to spaces (newlines and byte offsets preserved), so
+//!   code-pattern searches can use plain substring matching;
+//! * `literals` — every string literal with its position and *unescaped*
+//!   value (metric-name checks read these);
+//! * `comments` — every comment with its position and raw text
+//!   (`// SAFETY:` and `lint:allow` live here).
+//!
+//! Handled syntax: `//` line comments, nested `/* /* */ */` block
+//! comments, `"…"` strings with escapes, `r"…"` / `r#"…"#` raw strings at
+//! any hash depth, `b"…"` / `br#"…"#` byte strings, `'x'` / `'\''` /
+//! `'\u{…}'` char literals, and `'lifetime` marks (which are *not* char
+//! literals and stay in the masked code).
+
+/// One string literal (normal, raw, or byte) found in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// Byte offset of the literal's first character (including any
+    /// `r#`/`b` prefix).
+    pub offset: usize,
+    /// 1-based line of the literal start.
+    pub line: u32,
+    /// 1-based character column of the literal start.
+    pub col: u32,
+    /// Unescaped contents (raw strings verbatim).
+    pub value: String,
+}
+
+/// One comment (line or block) found in the source, delimiters included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// 1-based line where the comment ends (same as `line` for `//`).
+    pub end_line: u32,
+    /// 1-based character column of the comment start.
+    pub col: u32,
+    /// Raw text including the `//` or `/* */` markers.
+    pub text: String,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    /// Source with comments and literals blanked; identical byte length
+    /// and line structure to the input.
+    pub masked: String,
+    /// All string literals, in source order.
+    pub literals: Vec<StrLit>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// Byte offset of the start of each line (line N starts at
+    /// `line_starts[N - 1]`).
+    pub line_starts: Vec<usize>,
+}
+
+impl Scan {
+    /// Map a byte offset to a 1-based (line, character-column) pair.
+    pub fn line_col(&self, source: &str, offset: usize) -> (u32, u32) {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        let start = self.line_starts[line_idx];
+        let col = source[start..offset].chars().count() as u32 + 1;
+        (line_idx as u32 + 1, col)
+    }
+
+    /// The full text of a 1-based line, trailing whitespace trimmed.
+    pub fn line_text<'a>(&self, source: &'a str, line: u32) -> &'a str {
+        let idx = line.saturating_sub(1) as usize;
+        let start = match self.line_starts.get(idx) {
+            Some(&s) => s,
+            None => return "",
+        };
+        let end = self.line_starts.get(idx + 1).copied().unwrap_or(source.len());
+        source[start..end].trim_end_matches(['\n', '\r'])
+    }
+
+    /// Whether a 1-based line contains no code in the masked view (only
+    /// whitespace — i.e. blank, comment-only, or literal-continuation).
+    pub fn line_is_codeless(&self, line: u32) -> bool {
+        let idx = line.saturating_sub(1) as usize;
+        let start = match self.line_starts.get(idx) {
+            Some(&s) => s,
+            None => return true,
+        };
+        let end = self.line_starts.get(idx + 1).copied().unwrap_or(self.masked.len());
+        self.masked[start..end].trim().is_empty()
+    }
+}
+
+struct Cursor<'a> {
+    chars: Vec<(usize, char)>,
+    src: &'a str,
+    i: usize,
+    line: u32,
+    col: u32,
+    masked: String,
+    /// Last character emitted into the masked code stream (identifier
+    /// boundary detection for `r"…"` vs `var r` etc.).
+    last_code: Option<char>,
+}
+
+impl Cursor<'_> {
+    fn eof(&self) -> bool {
+        self.i >= self.chars.len()
+    }
+
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).map(|&(_, c)| c)
+    }
+
+    fn offset(&self) -> usize {
+        self.chars.get(self.i).map_or(self.src.len(), |&(o, _)| o)
+    }
+
+    fn advance(&mut self, c: char) {
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.i += 1;
+    }
+
+    /// Consume one char as code: it stays visible in the masked view.
+    fn take_code(&mut self) -> char {
+        let c = self.peek(0).expect("take_code at EOF");
+        self.masked.push(c);
+        self.last_code = Some(c);
+        self.advance(c);
+        c
+    }
+
+    /// Consume one char as non-code: blanked in the masked view (newlines
+    /// survive so line numbers stay aligned).
+    fn take_blank(&mut self) -> char {
+        let c = self.peek(0).expect("take_blank at EOF");
+        if c == '\n' {
+            self.masked.push('\n');
+        } else {
+            for _ in 0..c.len_utf8() {
+                self.masked.push(' ');
+            }
+        }
+        self.advance(c);
+        c
+    }
+
+    fn last_code_is_ident(&self) -> bool {
+        self.last_code.is_some_and(|c| c.is_alphanumeric() || c == '_')
+    }
+}
+
+/// Scan one source file. Never fails: malformed trailing syntax (an
+/// unterminated string or comment) consumes to EOF in the open state.
+pub fn scan(source: &str) -> Scan {
+    let mut cur = Cursor {
+        chars: source.char_indices().collect(),
+        src: source,
+        i: 0,
+        line: 1,
+        col: 1,
+        masked: String::with_capacity(source.len()),
+        last_code: None,
+    };
+    let mut literals = Vec::new();
+    let mut comments = Vec::new();
+    let mut line_starts = vec![0usize];
+
+    while !cur.eof() {
+        let c = cur.peek(0).expect("peek inside loop");
+        match c {
+            '\n' => {
+                cur.take_code();
+                line_starts.push(cur.offset());
+            }
+            '/' if cur.peek(1) == Some('/') => {
+                comments.push(read_line_comment(&mut cur));
+            }
+            '/' if cur.peek(1) == Some('*') => {
+                comments.push(read_block_comment(&mut cur, &mut line_starts));
+            }
+            '"' => {
+                literals.push(read_string(&mut cur, 0, &mut line_starts));
+            }
+            '\'' => {
+                read_char_or_lifetime(&mut cur, &mut line_starts);
+            }
+            'r' | 'b' if !cur.last_code_is_ident() => {
+                match try_read_prefixed(&mut cur, &mut line_starts) {
+                    Prefixed::Str(lit) => literals.push(lit),
+                    Prefixed::ByteChar => {}
+                    Prefixed::NotALiteral => {
+                        cur.take_code();
+                    }
+                }
+            }
+            _ => {
+                cur.take_code();
+            }
+        }
+    }
+
+    Scan { masked: cur.masked, literals, comments, line_starts }
+}
+
+fn read_line_comment(cur: &mut Cursor) -> Comment {
+    let (line, col) = (cur.line, cur.col);
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.take_blank();
+    }
+    Comment { line, end_line: line, col, text }
+}
+
+fn read_block_comment(cur: &mut Cursor, line_starts: &mut Vec<usize>) -> Comment {
+    let (line, col) = (cur.line, cur.col);
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while !cur.eof() {
+        if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push(cur.take_blank());
+            text.push(cur.take_blank());
+            continue;
+        }
+        if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+            depth = depth.saturating_sub(1);
+            text.push(cur.take_blank());
+            text.push(cur.take_blank());
+            if depth == 0 {
+                break;
+            }
+            continue;
+        }
+        let c = cur.take_blank();
+        if c == '\n' {
+            line_starts.push(cur.offset());
+        }
+        text.push(c);
+    }
+    Comment { line, end_line: cur.line, col, text }
+}
+
+/// Read a `"…"` string whose opening quote is `skip_prefix` chars ahead
+/// of the cursor (0 for plain strings, 1 for `b"…"`), unescaping as it
+/// goes.
+fn read_string(cur: &mut Cursor, skip_prefix: usize, line_starts: &mut Vec<usize>) -> StrLit {
+    let (offset, line, col) = (cur.offset(), cur.line, cur.col);
+    for _ in 0..skip_prefix {
+        cur.take_blank();
+    }
+    cur.take_blank(); // opening quote
+    let mut value = String::new();
+    while let Some(c) = cur.peek(0) {
+        match c {
+            '"' => {
+                cur.take_blank();
+                break;
+            }
+            '\\' => {
+                cur.take_blank();
+                let Some(e) = cur.peek(0) else { break };
+                match e {
+                    'n' => value.push('\n'),
+                    't' => value.push('\t'),
+                    'r' => value.push('\r'),
+                    '0' => value.push('\0'),
+                    '\\' | '"' | '\'' => value.push(e),
+                    '\n' => {
+                        // Line continuation: the newline and leading
+                        // whitespace of the next line are elided.
+                        cur.take_blank();
+                        line_starts.push(cur.offset());
+                        while cur.peek(0).is_some_and(|w| w == ' ' || w == '\t') {
+                            cur.take_blank();
+                        }
+                        continue;
+                    }
+                    'u' => {
+                        cur.take_blank(); // 'u'
+                        let mut hex = String::new();
+                        if cur.peek(0) == Some('{') {
+                            cur.take_blank();
+                            while let Some(h) = cur.peek(0) {
+                                cur.take_blank();
+                                if h == '}' {
+                                    break;
+                                }
+                                hex.push(h);
+                            }
+                        }
+                        if let Some(ch) =
+                            u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32)
+                        {
+                            value.push(ch);
+                        }
+                        continue;
+                    }
+                    'x' => {
+                        cur.take_blank(); // 'x'
+                        let mut hex = String::new();
+                        for _ in 0..2 {
+                            if let Some(h) = cur.peek(0) {
+                                if h.is_ascii_hexdigit() {
+                                    hex.push(h);
+                                    cur.take_blank();
+                                }
+                            }
+                        }
+                        if let Some(ch) =
+                            u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32)
+                        {
+                            value.push(ch);
+                        }
+                        continue;
+                    }
+                    other => value.push(other),
+                }
+                cur.take_blank();
+            }
+            '\n' => {
+                value.push(c);
+                cur.take_blank();
+                line_starts.push(cur.offset());
+            }
+            _ => {
+                value.push(c);
+                cur.take_blank();
+            }
+        }
+    }
+    StrLit { offset, line, col, value }
+}
+
+/// Outcome of a `r`/`b`-prefixed literal probe.
+enum Prefixed {
+    /// A (raw/byte) string literal was consumed.
+    Str(StrLit),
+    /// A `b'x'` byte-char literal was consumed (nothing to record).
+    ByteChar,
+    /// Nothing was consumed — the `r`/`b` starts a plain identifier.
+    NotALiteral,
+}
+
+/// Try to read `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'x'` at the
+/// cursor. Consumes nothing on [`Prefixed::NotALiteral`].
+fn try_read_prefixed(cur: &mut Cursor, line_starts: &mut Vec<usize>) -> Prefixed {
+    let Some(first) = cur.peek(0) else { return Prefixed::NotALiteral };
+    // Shape of the prefix: [b] [r] [#]* "  — anything else is code.
+    let mut k = 1usize;
+    let mut raw = first == 'r';
+    if first == 'b' {
+        match cur.peek(1) {
+            Some('r') => {
+                raw = true;
+                k = 2;
+            }
+            Some('"') => {
+                // b"…" — a plain byte string.
+                return Prefixed::Str(read_string(cur, 1, line_starts));
+            }
+            Some('\'') => {
+                // b'x' byte char: consume the `b` as blank, then delegate.
+                cur.take_blank();
+                read_char_or_lifetime(cur, line_starts);
+                return Prefixed::ByteChar;
+            }
+            _ => return Prefixed::NotALiteral,
+        }
+    }
+    if !raw {
+        return Prefixed::NotALiteral;
+    }
+    let mut hashes = 0usize;
+    while cur.peek(k) == Some('#') {
+        hashes += 1;
+        k += 1;
+    }
+    if cur.peek(k) != Some('"') {
+        return Prefixed::NotALiteral;
+    }
+    let (offset, line, col) = (cur.offset(), cur.line, cur.col);
+    for _ in 0..=k {
+        cur.take_blank(); // prefix chars and the opening quote
+    }
+    let mut value = String::new();
+    'body: while let Some(c) = cur.peek(0) {
+        if c == '"' {
+            // Candidate close: must be followed by `hashes` hash marks.
+            for h in 0..hashes {
+                if cur.peek(1 + h) != Some('#') {
+                    value.push(c);
+                    cur.take_blank();
+                    continue 'body;
+                }
+            }
+            for _ in 0..=hashes {
+                cur.take_blank();
+            }
+            break;
+        }
+        value.push(c);
+        cur.take_blank();
+        if c == '\n' {
+            line_starts.push(cur.offset());
+        }
+    }
+    Prefixed::Str(StrLit { offset, line, col, value })
+}
+
+/// Disambiguate `'x'` / `'\n'` char literals from `'lifetime` marks. Char
+/// literals are blanked; lifetimes stay in the masked code.
+fn read_char_or_lifetime(cur: &mut Cursor, line_starts: &mut Vec<usize>) {
+    match (cur.peek(1), cur.peek(2)) {
+        (Some('\\'), _) => {
+            cur.take_blank(); // '
+            cur.take_blank(); // backslash
+            if let Some(e) = cur.peek(0) {
+                cur.take_blank(); // the escaped char
+                if e == 'u' && cur.peek(0) == Some('{') {
+                    while let Some(h) = cur.peek(0) {
+                        cur.take_blank();
+                        if h == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+            if cur.peek(0) == Some('\'') {
+                cur.take_blank(); // closing quote
+            }
+        }
+        (Some(inner), Some('\'')) if inner != '\'' => {
+            let newline = inner == '\n';
+            cur.take_blank();
+            cur.take_blank();
+            if newline {
+                line_starts.push(cur.offset());
+            }
+            cur.take_blank();
+        }
+        _ => {
+            // A lifetime (or stray quote): code, not a literal.
+            cur.take_code();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masked_preserves_length_and_lines() {
+        let src = "let a = \"x\"; // hi\nlet b = 1;\n";
+        let s = scan(src);
+        assert_eq!(s.masked.len(), src.len());
+        assert_eq!(s.masked.matches('\n').count(), src.matches('\n').count());
+        assert!(!s.masked.contains("hi"));
+        assert!(s.masked.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = scan("fn f<'a>(x: &'a str) -> &'static str { x }");
+        assert!(s.masked.contains("'a"), "lifetime survives masking: {}", s.masked);
+        assert!(s.masked.contains("'static"));
+        assert!(s.literals.is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! Snapshot test: linting the checked-in fixture tree must produce
+//! byte-identical `--json` output to `fixtures/mini.expected.json`.
+//!
+//! The fixture seeds exactly one violation per rule (TM-L000 through
+//! TM-L005), one reasoned suppression, and an unused registry name, so
+//! this test pins every rule's file/line/col reporting and the JSON
+//! shape at once. To regenerate after an intentional diagnostics change:
+//!
+//! ```sh
+//! cargo run -p tabmeta-lint -- --root crates/lint/tests/fixtures/mini --json \
+//!   > crates/lint/tests/fixtures/mini.expected.json
+//! ```
+
+use std::path::Path;
+
+#[test]
+fn fixture_json_matches_snapshot() {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let report = tabmeta_lint::lint_tree(&base.join("mini")).expect("fixture lints");
+    let expected = std::fs::read_to_string(base.join("mini.expected.json")).expect("snapshot");
+    assert_eq!(report.render_json(), expected, "fixture diagnostics drifted from snapshot");
+}
+
+#[test]
+fn fixture_covers_every_rule_once() {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini");
+    let report = tabmeta_lint::lint_tree(&base).expect("fixture lints");
+    assert!(!report.clean());
+    assert_eq!(report.files_scanned, 3);
+    let count = |rule: &str| report.violations.iter().filter(|v| v.rule == rule).count();
+    assert_eq!(count("TM-L000"), 1, "bare lint:allow");
+    assert_eq!(count("TM-L001"), 1, "thread_rng");
+    assert_eq!(count("TM-L002"), 1, "raw Instant::now");
+    assert_eq!(count("TM-L003"), 1, "unsafe without SAFETY");
+    assert_eq!(count("TM-L004"), 3, "near-dup + undeclared + unused registry name");
+    assert_eq!(count("TM-L005"), 1, "println! in a lib (the bin is exempt)");
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, "TM-L002");
+
+    // Text rendering carries file:line:col plus the offending line.
+    let text = report.render_text();
+    assert!(text.contains("src/lib.rs:7:25: TM-L001"), "{text}");
+    assert!(text.contains("let mut rng = rand::thread_rng();"), "{text}");
+    assert!(text.contains("8 violation(s) in 3 files scanned (1 suppressed)"), "{text}");
+}

@@ -1,0 +1,5 @@
+//! Mini registry for the lint fixture tree.
+
+pub const APP_TICKS: &str = "app.ticks";
+pub const APP_PHASE_PREFIX: &str = "app.phase.";
+pub const APP_UNUSED: &str = "app.unused";

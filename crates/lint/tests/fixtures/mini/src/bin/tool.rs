@@ -1,0 +1,5 @@
+//! Binaries are exempt from TM-L005.
+
+fn main() {
+    println!("bins may print");
+}

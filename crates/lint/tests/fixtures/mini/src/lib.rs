@@ -1,0 +1,55 @@
+//! Deliberately broken fixture library: exactly one violation per rule,
+//! one reasoned suppression, one bare suppression, and a gauntlet of
+//! scanner hard cases that must stay silent. Never compiled — scanned by
+//! the snapshot test only.
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn timing() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}
+
+pub fn suppressed_timing() -> std::time::Duration {
+    // lint:allow(TM-L002): fixture demonstrates a reasoned suppression
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}
+
+pub unsafe fn no_safety() {}
+
+// SAFETY: does nothing; exists to prove the adjacent comment is honored.
+pub unsafe fn with_safety() {}
+
+pub fn metrics(reg: &Registry) {
+    reg.counter("app.tick").inc();
+    reg.gauge("nope.metric").set(1.0);
+    reg.counter(&format!("{}warm", APP_PHASE_PREFIX)).inc();
+    reg.counter(APP_TICKS).inc();
+}
+
+pub fn chatty() {
+    println!("lib crates must not print");
+}
+
+// lint:allow(TM-L001)
+pub fn bare_allow_is_malformed() {}
+
+// --- hard cases below: none of these may fire -------------------------
+
+/* outer /* thread_rng inside a nested block comment */ still comment */
+
+pub fn quotes() -> (char, char) {
+    ('"', '\'')
+}
+
+pub fn aligned() -> &'static str {
+    "thread_rng and Instant::now() and unsafe stay inside this string"
+}
+
+pub fn raw() -> &'static str {
+    r#"println! and unsafe and Instant::now() in a raw string"#
+}

@@ -1,0 +1,38 @@
+//! The lint's own acceptance gate: the workspace must be lint-clean, and
+//! any surviving suppression must carry a reason. This is the same check
+//! `scripts/check.sh` runs via the binary, kept as a test so plain
+//! `cargo test` enforces the invariants too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = tabmeta_lint::lint_tree(&root).expect("workspace lints");
+    assert!(report.clean(), "workspace has lint violations:\n{}", report.render_text());
+    // The tree is large enough that a traversal bug (skipping crates/,
+    // say) would show up as a suspiciously small file count.
+    assert!(report.files_scanned > 80, "only {} files scanned", report.files_scanned);
+    // Suppressions are budgeted: at most two, each with a real reason.
+    assert!(report.suppressed.len() <= 2, "suppression budget exceeded: {:?}", report.suppressed);
+    for s in &report.suppressed {
+        assert!(!s.reason.trim().is_empty(), "reasonless suppression at {}:{}", s.file, s.line);
+    }
+}
+
+#[test]
+fn workspace_registry_names_all_resolve() {
+    // Re-parse the live registry and confirm the structural conventions
+    // TM-L004 relies on: unique values, prefixes end in '.', exact names
+    // never do.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let source = std::fs::read_to_string(root.join(tabmeta_lint::NAMES_RS)).expect("names.rs");
+    let names = tabmeta_lint::Names::parse(tabmeta_lint::NAMES_RS, &source);
+    assert!(names.entries.len() >= 40, "registry shrank: {}", names.entries.len());
+    for (i, e) in names.entries.iter().enumerate() {
+        assert_eq!(e.prefix, e.value.ends_with('.'), "{:?}", e.value);
+        assert!(!names.entries[..i].iter().any(|p| p.value == e.value), "duplicate {:?}", e.value);
+    }
+    assert!(names.exact("sgns.pairs").is_some());
+    assert!(names.matching_prefix("classifier.degraded.no_signal").is_some());
+}

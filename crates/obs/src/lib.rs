@@ -15,7 +15,10 @@
 //! The [`global()`] registry serves the pipeline; tests that need exact
 //! counts build private [`Registry`] instances instead.
 
+#![forbid(unsafe_code)]
+
 pub mod metrics;
+pub mod names;
 pub mod span;
 
 pub use metrics::{Counter, Gauge, Histogram, SUB_BUCKETS};
@@ -82,6 +85,16 @@ impl Registry {
     /// Open a span named `name` recording into this registry.
     pub fn span(&self, name: &str) -> SpanGuard<'_> {
         SpanGuard::enter(&self.spans, name)
+    }
+
+    /// Run `f` inside a span on this registry, returning its result and
+    /// elapsed wall time (for callers that need the duration as a value,
+    /// e.g. throughput gauges).
+    pub fn timed<R>(&self, name: &str, f: impl FnOnce() -> R) -> (R, Duration) {
+        let _guard = self.span(name);
+        let start = Instant::now();
+        let result = f();
+        (result, start.elapsed())
     }
 
     /// This registry's span aggregates.
@@ -165,10 +178,7 @@ pub fn span_enter(name: &str) -> SpanGuard<'static> {
 /// time (for callers that need the duration as a value, e.g. reported
 /// experiment timings).
 pub fn timed<R>(name: &str, f: impl FnOnce() -> R) -> (R, Duration) {
-    let _guard = span_enter(name);
-    let start = Instant::now();
-    let result = f();
-    (result, start.elapsed())
+    global().timed(name, f)
 }
 
 /// Open a span on the global registry for the rest of the enclosing

@@ -17,6 +17,7 @@
 //!   degenerate (blank tables, extreme numerics, duplicated headers).
 //!   Ingestion must accept them and classification must survive them.
 
+#![forbid(unsafe_code)]
 // The data path must be panic-free on input-derived values: unwrap/
 // expect are denied outside tests (promoted from warn by the clippy
 // `-D warnings` gate in scripts/check.sh).

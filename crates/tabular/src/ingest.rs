@@ -219,12 +219,14 @@ impl QuarantineReport {
     /// `ingest.rejected.<reason>` counter per occupied bucket (the
     /// rejection-reason histogram, as a bounded counter family).
     pub fn publish_metrics(&self) {
+        use tabmeta_obs::names;
         let reg = tabmeta_obs::global();
-        reg.counter("ingest.accepted").add(self.accepted as u64);
-        reg.counter("ingest.quarantined").add(self.quarantined() as u64);
+        reg.counter(names::INGEST_ACCEPTED).add(self.accepted as u64);
+        reg.counter(names::INGEST_QUARANTINED).add(self.quarantined() as u64);
         for (reason, &n) in RejectReason::ALL.iter().zip(self.by_reason.iter()) {
             if n > 0 {
-                reg.counter(&format!("ingest.rejected.{}", reason.as_str())).add(n as u64);
+                reg.counter(&format!("{}{}", names::INGEST_REJECTED_PREFIX, reason.as_str()))
+                    .add(n as u64);
             }
         }
     }

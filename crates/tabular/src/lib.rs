@@ -24,6 +24,7 @@
 //!   ([`ingest::IngestError`] / [`ingest::RejectReason`]) and the
 //!   [`ingest::QuarantineReport`] produced by lossy loading.
 
+#![forbid(unsafe_code)]
 // The data path must be panic-free on input-derived values: unwrap/
 // expect are denied outside tests (promoted from warn by the clippy
 // `-D warnings` gate in scripts/check.sh).

@@ -16,6 +16,7 @@
 //!   each word into hashed character n-grams so rare biomedical terms still
 //!   receive meaningful vectors.
 
+#![forbid(unsafe_code)]
 // The data path must be panic-free on input-derived values: unwrap/
 // expect are denied outside tests (promoted from warn by the clippy
 // `-D warnings` gate in scripts/check.sh).

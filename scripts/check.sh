@@ -25,6 +25,13 @@ echo "==> cargo test -q (resilience: chaos + data-path crates)"
 RAYON_NUM_THREADS=4 cargo test -q --offline --test chaos
 cargo test -q --offline -p tabmeta-resilience -p tabmeta-tabular -p tabmeta-core -p tabmeta-text
 
+# Workspace-invariant static analysis: unseeded RNG, raw timing outside
+# the obs layer, unsafe without SAFETY comments, metric names that bypass
+# tabmeta_obs::names, stdout printing in library crates. Exits nonzero on
+# any violation; suppressions require a written reason.
+echo "==> tabmeta-lint"
+cargo run -q -p tabmeta-lint --offline -- --workspace --json
+
 # tabular/core/text/resilience carry crate-level
 # `#![warn(clippy::unwrap_used, clippy::expect_used)]` (tests exempt via
 # cfg_attr), so `-D warnings` below denies any unwrap/expect that sneaks

@@ -19,6 +19,7 @@ use std::process::ExitCode;
 use tabmeta::contrastive::{Pipeline, PipelineConfig};
 use tabmeta::corpora::{CorpusKind, GeneratorConfig};
 use tabmeta::eval::{standard_keys, LevelKey, LevelScores};
+use tabmeta::obs::names;
 use tabmeta::tabular::{csv, Corpus};
 
 /// Minimal `--key value` argument map.
@@ -122,12 +123,17 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "paper" => PipelineConfig::paper(seed),
         other => return Err(format!("unknown --config '{other}' (fast|paper)")),
     };
-    let t0 = std::time::Instant::now();
-    let pipeline = Pipeline::train(&corpus.tables, &config).map_err(|e| e.to_string())?;
+    // Wall-clock flows through the obs layer (TM-L002): the same interval
+    // backs the `cli.train` span, the `cli.total_secs` gauge, and the
+    // printed summary.
+    let (pipeline, elapsed) =
+        tabmeta_obs::timed(names::SPAN_CLI_TRAIN, || Pipeline::train(&corpus.tables, &config));
+    let pipeline = pipeline.map_err(|e| e.to_string())?;
+    tabmeta_obs::global().gauge(names::CLI_TOTAL_SECS).set(elapsed.as_secs_f64());
     let s = pipeline.summary();
     println!(
         "trained in {:.1}s: {} sentences, {} SGNS pairs, {} markup-bootstrapped tables",
-        t0.elapsed().as_secs_f64(),
+        elapsed.as_secs_f64(),
         s.sentences,
         s.sgns_pairs,
         s.markup_bootstrapped

@@ -37,6 +37,8 @@
 //! println!("HMD depth = {}, VMD depth = {}", verdict.hmd_depth, verdict.vmd_depth);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod hybrid;
 pub mod search;
 

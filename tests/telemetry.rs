@@ -4,7 +4,7 @@
 
 use tabmeta::contrastive::{Pipeline, PipelineConfig};
 use tabmeta::corpora::{CorpusKind, GeneratorConfig};
-use tabmeta::obs::{self, Snapshot};
+use tabmeta::obs::{self, names, Snapshot};
 
 #[test]
 fn pipeline_run_populates_every_stage() {
@@ -35,22 +35,27 @@ fn pipeline_run_populates_every_stage() {
     // Counters from embed, bootstrap, fine-tuning and classification.
     let counter = |name: &str| snap.counters.iter().find(|c| c.name == name).map(|c| c.value);
     for name in [
-        "embed.sentences",
-        "sgns.pairs",
-        "bootstrap.tables",
-        "finetune.pairs",
-        "classifier.tables",
-        "classifier.angle_tests",
+        names::EMBED_SENTENCES,
+        names::SGNS_PAIRS,
+        names::BOOTSTRAP_TABLES,
+        names::FINETUNE_PAIRS,
+        names::CLASSIFIER_TABLES,
+        names::CLASSIFIER_ANGLE_TESTS,
     ] {
         assert!(counter(name).unwrap_or(0) > 0, "counter {name:?} never incremented");
     }
-    assert_eq!(counter("bootstrap.tables"), Some(80));
+    assert_eq!(counter(names::BOOTSTRAP_TABLES), Some(80));
     // classify() ran once per table via classify_corpus.
-    assert!(counter("classifier.tables").unwrap() >= 80);
+    assert!(counter(names::CLASSIFIER_TABLES).unwrap() >= 80);
 
     // Gauges carry the training trajectory.
     let gauge_names: Vec<&str> = snap.gauges.iter().map(|g| g.name.as_str()).collect();
-    for name in ["sgns.lr", "finetune.loss", "classify.tables_per_sec"] {
+    for name in [
+        names::SGNS_LR,
+        names::FINETUNE_LOSS,
+        names::FINETUNE_EPOCH_SECS,
+        names::CLASSIFY_TABLES_PER_SEC,
+    ] {
         assert!(gauge_names.contains(&name), "gauge {name:?} missing: {gauge_names:?}");
     }
 
@@ -60,7 +65,7 @@ fn pipeline_run_populates_every_stage() {
     let depth = snap
         .histograms
         .iter()
-        .find(|h| h.name == "classifier.boundary_depth")
+        .find(|h| h.name == names::CLASSIFIER_BOUNDARY_DEPTH)
         .expect("boundary depth histogram");
     // Two records (HMD + VMD) per classified table, across classify() and
     // classify_corpus(); depth-0 axes land in the underflow bucket.
