@@ -66,6 +66,26 @@ pub struct FinetuneReport {
     pub satisfied: u64,
 }
 
+/// Loop state of a fine-tune run at an epoch boundary: epoch counter, RNG
+/// position, and the accumulated report. Serialized into training
+/// checkpoints; restoring it via [`run_resumable`] continues the identical
+/// negative-mining stream, so a resumed run is bit-identical to an
+/// uninterrupted one (fine-tuning is always sequential).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FinetuneResume {
+    /// Epochs fully completed.
+    pub epochs_done: usize,
+    /// xoshiro256++ state of the mining RNG at the boundary.
+    pub rng: [u64; 4],
+    /// Report accumulated over the completed epochs.
+    pub report: FinetuneReport,
+}
+
+/// Per-epoch observer for resumable fine-tuning: called with the embedder
+/// and loop state after every completed epoch; returning
+/// [`std::ops::ControlFlow::Break`] stops the run at that boundary.
+pub type FinetuneSink<'s, E> = &'s mut dyn FnMut(&E, &FinetuneResume) -> std::ops::ControlFlow<()>;
+
 /// ∂cos(A,B)/∂A = B/(|A||B|) − cos·A/|A|².
 fn cosine_grad_wrt_a(a: &[f32], b: &[f32], cos: f32) -> Vec<f32> {
     let na = norm(a);
@@ -161,6 +181,23 @@ pub fn run<E: TunableEmbedder + ?Sized>(
     tokenizer: &Tokenizer,
     config: &FinetuneConfig,
 ) -> FinetuneReport {
+    run_resumable(tables, weak, embedder, tokenizer, config, None, None).0
+}
+
+/// [`run`] with checkpoint/resume plumbing: `resume` restores the loop
+/// state captured at an epoch boundary (the caller restores the embedder
+/// weights separately), `sink` observes every completed epoch and may
+/// break out. Returns the accumulated report and whether the sink
+/// interrupted the run.
+pub fn run_resumable<E: TunableEmbedder + ?Sized>(
+    tables: &[Table],
+    weak: &[WeakLabels],
+    embedder: &mut E,
+    tokenizer: &Tokenizer,
+    config: &FinetuneConfig,
+    resume: Option<FinetuneResume>,
+    mut sink: Option<FinetuneSink<'_, E>>,
+) -> (FinetuneReport, bool) {
     assert_eq!(tables.len(), weak.len(), "tables and weak labels must align");
     use tabmeta_obs::names;
     let obs = tabmeta_obs::global();
@@ -168,9 +205,12 @@ pub fn run<E: TunableEmbedder + ?Sized>(
     let loss_gauge = obs.gauge(names::FINETUNE_LOSS);
     let rate_gauge = obs.gauge(names::FINETUNE_PAIRS_PER_SEC);
     let epoch_secs_gauge = obs.gauge(names::FINETUNE_EPOCH_SECS);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut report = FinetuneReport::default();
-    for epoch in 0..config.epochs {
+    let (start_epoch, mut rng, mut report) = match resume {
+        Some(state) => (state.epochs_done, StdRng::from_state(state.rng), state.report),
+        None => (0, StdRng::seed_from_u64(config.seed), FinetuneReport::default()),
+    };
+    let mut interrupted = false;
+    for epoch in start_epoch..config.epochs {
         let pairs_before = report.positive_updates + report.negative_updates + report.satisfied;
         let (epoch_loss, elapsed) = obs.timed(names::SPAN_EPOCH, || {
             let mut epoch_loss = 0.0f64;
@@ -257,8 +297,15 @@ pub fn run<E: TunableEmbedder + ?Sized>(
                 rate_gauge.set(epoch_pairs as f64 / secs);
             }
         }
+        if let Some(sink) = sink.as_mut() {
+            let state = FinetuneResume { epochs_done: epoch + 1, rng: rng.state(), report };
+            if sink(&*embedder, &state).is_break() {
+                interrupted = true;
+                break;
+            }
+        }
     }
-    report
+    (report, interrupted)
 }
 
 #[cfg(test)]
@@ -409,6 +456,38 @@ mod tests {
         assert_eq!(report.negative_updates, 2, "{report:?}");
         assert_ne!(e.map.get("age"), before.map.get("age"), "epoch 0 updates level 1");
         assert_ne!(e.map.get("sex"), before.map.get("sex"), "epoch 1 rotates to level 2");
+    }
+
+    #[test]
+    fn resumable_run_is_bit_identical() {
+        use std::ops::ControlFlow;
+        let tables = tables();
+        let labeler = BootstrapLabeler::default();
+        let weak: Vec<WeakLabels> = tables.iter().map(|t| labeler.label(t)).collect();
+        let config = FinetuneConfig { epochs: 4, ..Default::default() };
+        let tok = Tokenizer::default();
+        let mut baseline = weakly_separated();
+        let base_report = run(&tables, &weak, &mut baseline, &tok, &config);
+
+        // Interrupt after epoch 2, then resume from the snapshot alone.
+        let mut e = weakly_separated();
+        let mut snap = None;
+        let mut sink = |em: &MapEmbedder, s: &FinetuneResume| {
+            if s.epochs_done == 2 {
+                snap = Some((em.clone(), s.clone()));
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        };
+        let (_, interrupted) =
+            run_resumable(&tables, &weak, &mut e, &tok, &config, None, Some(&mut sink));
+        assert!(interrupted);
+        let (mut resumed, state) = snap.unwrap();
+        let (report, interrupted) =
+            run_resumable(&tables, &weak, &mut resumed, &tok, &config, Some(state), None);
+        assert!(!interrupted);
+        assert_eq!(report, base_report);
+        assert_eq!(resumed.map, baseline.map, "resume must be bit-identical");
     }
 
     #[test]

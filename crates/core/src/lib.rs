@@ -45,17 +45,23 @@
 pub mod aggregate;
 pub mod bootstrap;
 pub mod centroid;
+pub mod checkpoint;
 pub mod classifier;
 pub mod config;
 pub mod finetune;
+pub mod persist;
 pub mod pipeline;
 
 pub use bootstrap::{BootstrapLabeler, WeakLabel, WeakLabels};
 pub use centroid::{AxisCentroids, CentroidModel, LevelPairStats};
+pub use checkpoint::{
+    CheckpointScanReport, CheckpointStage, CheckpointStore, QuarantinedCheckpoint, TrainCheckpoint,
+};
 pub use classifier::{
     Classifier, ClassifierConfig, ClassifyError, DegradeReason, Provenance, RangeKind, TraceStep,
     Verdict, WalkStrategy,
 };
 pub use config::{EmbeddingChoice, PipelineConfig};
-pub use finetune::FinetuneConfig;
-pub use pipeline::{Pipeline, TrainError, TrainSummary};
+pub use finetune::{FinetuneConfig, FinetuneResume};
+pub use persist::{atomic_write, load_pipeline, run_fingerprint, save_pipeline, ArtifactError};
+pub use pipeline::{AnyEmbedder, Pipeline, TrainError, TrainHook, TrainSummary};

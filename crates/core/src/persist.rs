@@ -1,0 +1,514 @@
+//! Durable artifact persistence: a versioned, checksummed envelope plus
+//! atomic file writes.
+//!
+//! Every on-disk artifact (trained model, training checkpoint) is wrapped
+//! in a fixed 28-byte header followed by a JSON payload:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic            b"TMA1"
+//!      4     4  format_version   u32 LE
+//!      8     8  config_fingerprint  u64 LE (FNV-1a over config + corpus)
+//!     16     8  payload_len      u64 LE
+//!     24     4  checksum         CRC-32 (IEEE) of the payload, u32 LE
+//!     28     —  payload          JSON
+//! ```
+//!
+//! Decoding validates structure outermost-first — magic, version, length,
+//! checksum — and reports the first failure as a typed [`ArtifactError`]
+//! with the byte offset where the problem was detected, so a `classify`
+//! run against a truncated or bit-flipped model file names the damage
+//! instead of deserializing garbage. Loading a [`Pipeline`] additionally
+//! deep-validates the payload (matrix shapes vs. the vocabulary, centroid
+//! reference dimensions vs. the embedder, finiteness everywhere) before
+//! the model is allowed near the classify path.
+//!
+//! Writes go through [`atomic_write`]: temp file in the destination
+//! directory → `fsync` → `rename`, so a crash mid-write leaves either the
+//! old artifact or a quarantineable temp file — never a half-written
+//! artifact under the final name.
+
+use crate::config::PipelineConfig;
+use crate::pipeline::Pipeline;
+use std::io::Write;
+use std::path::Path;
+use tabmeta_obs::names;
+use tabmeta_tabular::Table;
+
+/// First four bytes of every tabmeta artifact.
+pub const MAGIC: [u8; 4] = *b"TMA1";
+/// Current (and only) envelope format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Fixed byte length of the envelope header preceding the payload.
+pub const HEADER_LEN: usize = 28;
+
+/// Why an artifact was rejected. Ordered outermost-in: the decoder stops
+/// at the first failure, so a single error names the damage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The file ends before a required section.
+    Truncated {
+        /// Byte offset where the missing section starts.
+        offset: usize,
+        /// Bytes the section needs.
+        needed: usize,
+        /// Bytes actually present from `offset`.
+        available: usize,
+    },
+    /// Payload bytes do not hash to the checksum recorded in the header.
+    ChecksumMismatch {
+        /// CRC-32 recorded in the header.
+        expected: u32,
+        /// CRC-32 of the payload as read.
+        actual: u32,
+    },
+    /// Header carries a version this build cannot read.
+    VersionUnsupported {
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+    /// The payload is not valid JSON for the expected schema (also covers
+    /// a bad magic, which means the file is not a tabmeta artifact at all).
+    SchemaInvalid {
+        /// What failed to parse, with the decoder's own message.
+        detail: String,
+    },
+    /// A weight matrix or centroid reference contains NaN or ±∞.
+    NonFiniteWeights {
+        /// Which tensor, row and column.
+        location: String,
+    },
+    /// Internally inconsistent shapes (matrix rows vs. vocabulary,
+    /// centroid reference length vs. embedder dimension, …).
+    DimensionMismatch {
+        /// Which dimensions disagree.
+        detail: String,
+    },
+    /// The artifact's config fingerprint does not match this run's.
+    ConfigMismatch {
+        /// Fingerprint this run expects.
+        expected: u64,
+        /// Fingerprint recorded in the header.
+        found: u64,
+    },
+    /// The underlying file operation failed.
+    Io {
+        /// Operation and OS error text.
+        detail: String,
+    },
+}
+
+impl ArtifactError {
+    /// Stable snake_case tag, used as the `artifact.rejected.<reason>`
+    /// counter suffix and in quarantine reports.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ArtifactError::Truncated { .. } => "truncated",
+            ArtifactError::ChecksumMismatch { .. } => "checksum_mismatch",
+            ArtifactError::VersionUnsupported { .. } => "version_unsupported",
+            ArtifactError::SchemaInvalid { .. } => "schema_invalid",
+            ArtifactError::NonFiniteWeights { .. } => "non_finite_weights",
+            ArtifactError::DimensionMismatch { .. } => "dimension_mismatch",
+            ArtifactError::ConfigMismatch { .. } => "config_mismatch",
+            ArtifactError::Io { .. } => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Truncated { offset, needed, available } => write!(
+                f,
+                "truncated at byte {offset}: section needs {needed} bytes, {available} present"
+            ),
+            ArtifactError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch at byte {HEADER_LEN}: header says {expected:#010x}, \
+                 payload hashes to {actual:#010x}"
+            ),
+            ArtifactError::VersionUnsupported { found, supported } => write!(
+                f,
+                "unsupported format version {found} at byte 4 (this build reads <= {supported})"
+            ),
+            ArtifactError::SchemaInvalid { detail } => write!(f, "invalid schema: {detail}"),
+            ArtifactError::NonFiniteWeights { location } => {
+                write!(f, "non-finite weight in {location}")
+            }
+            ArtifactError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            ArtifactError::ConfigMismatch { expected, found } => write!(
+                f,
+                "config fingerprint {found:#018x} at byte 8 does not match this run's \
+                 {expected:#018x}"
+            ),
+            ArtifactError::Io { detail } => write!(f, "io: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+// ---------------------------------------------------------------------------
+// Checksums — hand-rolled, zero new dependencies.
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Streaming FNV-1a (64-bit) hasher for fingerprints.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self { state: 0xcbf2_9ce4_8422_2325 }
+    }
+
+    /// Fold `bytes` into the hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Fold a length-prefixed string (prefixing prevents `"ab","c"` from
+    /// colliding with `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(&(s.len() as u64).to_le_bytes());
+        self.write(s.as_bytes());
+    }
+
+    /// Fold a `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// FNV-1a (64-bit) of `bytes` in one call.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Fingerprint of one training run: the pipeline configuration (all
+/// determinism-relevant knobs) plus the corpus content. `threads` is
+/// excluded — it changes the schedule, not the task — so a checkpoint
+/// written at `threads = 4` can resume at `threads = 1`.
+pub fn run_fingerprint(config: &PipelineConfig, tables: &[Table]) -> u64 {
+    let mut h = Fnv1a::new();
+    // Every config knob derives Debug with full field values; hashing the
+    // rendering tracks new knobs automatically. A config struct with
+    // `threads` stripped keeps the fingerprint schedule-independent.
+    let mut config = config.clone();
+    config.threads = 1;
+    h.write_str(&format!("{config:?}"));
+    h.write_u64(tables.len() as u64);
+    for t in tables {
+        h.write_u64(t.id);
+        h.write_str(&t.caption);
+        h.write_u64(t.n_rows() as u64);
+        h.write_u64(t.n_cols() as u64);
+        for r in 0..t.n_rows() {
+            for c in 0..t.n_cols() {
+                h.write_str(&t.cell(r, c).text);
+            }
+        }
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Envelope encode / decode.
+// ---------------------------------------------------------------------------
+
+/// Wrap `payload` in the versioned, checksummed envelope.
+pub fn encode_envelope(fingerprint: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Read an LE integer section or report exactly where the file ran out.
+fn take<const N: usize>(bytes: &[u8], offset: usize) -> Result<[u8; N], ArtifactError> {
+    match bytes.get(offset..offset + N) {
+        Some(s) => {
+            let mut a = [0u8; N];
+            a.copy_from_slice(s);
+            Ok(a)
+        }
+        None => Err(ArtifactError::Truncated {
+            offset,
+            needed: N,
+            available: bytes.len().saturating_sub(offset),
+        }),
+    }
+}
+
+/// Validate the envelope and return `(config_fingerprint, payload)`.
+///
+/// Checks run outermost-first: magic, version, declared length vs. actual
+/// bytes, then the payload checksum. The first failure wins.
+pub fn decode_envelope(bytes: &[u8]) -> Result<(u64, &[u8]), ArtifactError> {
+    let magic: [u8; 4] = take(bytes, 0)?;
+    if magic != MAGIC {
+        return Err(ArtifactError::SchemaInvalid {
+            detail: format!("bad magic at byte 0: {magic:02x?} (expected {MAGIC:02x?})"),
+        });
+    }
+    let version = u32::from_le_bytes(take(bytes, 4)?);
+    if version != FORMAT_VERSION {
+        return Err(ArtifactError::VersionUnsupported {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let fingerprint = u64::from_le_bytes(take(bytes, 8)?);
+    let payload_len = u64::from_le_bytes(take(bytes, 16)?) as usize;
+    let expected_crc = u32::from_le_bytes(take(bytes, 24)?);
+    let payload = bytes.get(HEADER_LEN..HEADER_LEN + payload_len).ok_or({
+        ArtifactError::Truncated {
+            offset: HEADER_LEN,
+            needed: payload_len,
+            available: bytes.len().saturating_sub(HEADER_LEN),
+        }
+    })?;
+    let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(ArtifactError::ChecksumMismatch { expected: expected_crc, actual: actual_crc });
+    }
+    Ok((fingerprint, payload))
+}
+
+// ---------------------------------------------------------------------------
+// Atomic writes.
+// ---------------------------------------------------------------------------
+
+fn io_err(op: &str, path: &Path, e: std::io::Error) -> ArtifactError {
+    ArtifactError::Io { detail: format!("{op} {}: {e}", path.display()) }
+}
+
+/// Durably replace `path` with `bytes`: write to a temp file in the same
+/// directory, `fsync` it, `rename` over the destination, then `fsync` the
+/// directory. A crash at any point leaves either the previous file intact
+/// or an orphaned `.tmp-*` file — never a partially-written `path`.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), ArtifactError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| ArtifactError::Io {
+        detail: format!("atomic_write needs a file name, got {}", path.display()),
+    })?;
+    let tmp = dir.join(format!(".{name}.tmp-{}", std::process::id()));
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        file.write_all(bytes).map_err(|e| io_err("write", &tmp, e))?;
+        file.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| io_err("rename", &tmp, e))?;
+        // Rename durability needs the directory entry flushed too.
+        #[cfg(unix)]
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline artifacts.
+// ---------------------------------------------------------------------------
+
+/// Serialize `pipeline`, wrap it in the envelope, and atomically write it
+/// to `path`. `fingerprint` records the training run (see
+/// [`run_fingerprint`]); pass `0` when the corpus is unavailable.
+pub fn save_pipeline(
+    path: &Path,
+    pipeline: &Pipeline,
+    fingerprint: u64,
+) -> Result<(), ArtifactError> {
+    let payload = pipeline
+        .to_json()
+        .map_err(|e| ArtifactError::SchemaInvalid { detail: format!("serialize pipeline: {e}") })?;
+    atomic_write(path, &encode_envelope(fingerprint, payload.as_bytes()))
+}
+
+/// Decode, checksum-verify, parse, and deep-validate a pipeline artifact
+/// from raw bytes. Returns the pipeline and the fingerprint recorded in
+/// the header.
+pub fn load_pipeline_bytes(bytes: &[u8]) -> Result<(Pipeline, u64), ArtifactError> {
+    let (fingerprint, payload) = decode_envelope(bytes)?;
+    let json = std::str::from_utf8(payload)
+        .map_err(|e| ArtifactError::SchemaInvalid { detail: format!("payload not UTF-8: {e}") })?;
+    let pipeline = Pipeline::from_json(json)?;
+    Ok((pipeline, fingerprint))
+}
+
+/// [`load_pipeline_bytes`] from a file, with `artifact.loaded` /
+/// `artifact.rejected.<reason>` telemetry.
+pub fn load_pipeline(path: &Path) -> Result<(Pipeline, u64), ArtifactError> {
+    let result = std::fs::read(path)
+        .map_err(|e| io_err("read", path, e))
+        .and_then(|bytes| load_pipeline_bytes(&bytes));
+    record_load(&result);
+    result
+}
+
+/// Count an artifact load attempt: `artifact.loaded` on success,
+/// `artifact.rejected.<reason>` on failure.
+pub(crate) fn record_load<T>(result: &Result<T, ArtifactError>) {
+    let obs = tabmeta_obs::global();
+    match result {
+        Ok(_) => obs.counter(names::ARTIFACT_LOADED).inc(),
+        Err(e) => obs.counter(&format!("{}{}", names::ARTIFACT_REJECTED_PREFIX, e.reason())).inc(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let payload = b"{\"k\":1}";
+        let bytes = encode_envelope(0xDEAD_BEEF, payload);
+        assert_eq!(bytes.len(), HEADER_LEN + payload.len());
+        let (fp, body) = decode_envelope(&bytes).unwrap();
+        assert_eq!(fp, 0xDEAD_BEEF);
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn bad_magic_is_schema_invalid() {
+        let mut bytes = encode_envelope(1, b"x");
+        bytes[0] = b'X';
+        assert!(matches!(decode_envelope(&bytes), Err(ArtifactError::SchemaInvalid { .. })));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = encode_envelope(1, b"x");
+        bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+        assert_eq!(
+            decode_envelope(&bytes).unwrap_err(),
+            ArtifactError::VersionUnsupported { found: 2, supported: FORMAT_VERSION }
+        );
+    }
+
+    #[test]
+    fn truncation_reports_offset() {
+        let bytes = encode_envelope(1, b"hello world");
+        // Cut inside the payload.
+        let err = decode_envelope(&bytes[..HEADER_LEN + 3]).unwrap_err();
+        assert_eq!(err, ArtifactError::Truncated { offset: HEADER_LEN, needed: 11, available: 3 });
+        // Cut inside the header.
+        let err = decode_envelope(&bytes[..10]).unwrap_err();
+        assert_eq!(err, ArtifactError::Truncated { offset: 8, needed: 8, available: 2 });
+    }
+
+    #[test]
+    fn payload_bitflip_is_checksum_mismatch() {
+        let mut bytes = encode_envelope(1, b"hello world");
+        bytes[HEADER_LEN + 4] ^= 0x10;
+        assert!(matches!(decode_envelope(&bytes), Err(ArtifactError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join(format!("tabmeta-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"one").unwrap();
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_but_not_content() {
+        use crate::config::PipelineConfig;
+        use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+        let corpus = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 4, seed: 3 });
+        let mut config = PipelineConfig::fast_seeded(3);
+        let base = run_fingerprint(&config, &corpus.tables);
+        config.threads = 8;
+        assert_eq!(run_fingerprint(&config, &corpus.tables), base, "threads excluded");
+        config.threads = 1;
+        let other = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 4, seed: 4 });
+        assert_ne!(run_fingerprint(&config, &other.tables), base, "corpus included");
+        let mut tweaked = PipelineConfig::fast_seeded(4);
+        tweaked.threads = 1;
+        assert_ne!(run_fingerprint(&tweaked, &corpus.tables), base, "config included");
+    }
+}

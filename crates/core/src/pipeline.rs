@@ -15,12 +15,19 @@
 //! describe the tuned geometry the classifier will actually measure.
 
 use crate::bootstrap::WeakLabels;
-use crate::centroid::{self, CentroidModel};
+use crate::centroid::{self, AxisCentroids, CentroidModel};
+use crate::checkpoint::{CheckpointStage, CheckpointStore, TrainCheckpoint};
 use crate::classifier::{Classifier, TraceStep, Verdict};
 use crate::config::{EmbeddingChoice, PipelineConfig};
-use crate::finetune::{self, FinetuneReport};
+use crate::finetune::{self, FinetuneReport, FinetuneResume};
+use crate::persist::ArtifactError;
 use rayon::prelude::*;
-use tabmeta_embed::{sentences_from_tables_par, CharGram, TermEmbedder, TunableEmbedder, Word2Vec};
+use std::ops::ControlFlow;
+use tabmeta_embed::{
+    sentences_from_tables_par, CharGram, IntegrityFault, SgnsResume, TermEmbedder, TunableEmbedder,
+    Word2Vec,
+};
+use tabmeta_linalg::AngleRange;
 use tabmeta_obs::names;
 use tabmeta_tabular::Table;
 use tabmeta_text::Tokenizer;
@@ -60,6 +67,17 @@ impl TunableEmbedder for AnyEmbedder {
     }
 }
 
+impl AnyEmbedder {
+    /// Structural and numeric self-check of the wrapped model (matrix
+    /// shapes vs. vocabulary, finiteness of every weight).
+    pub fn validate_integrity(&self) -> Result<(), IntegrityFault> {
+        match self {
+            AnyEmbedder::Word2Vec(m) => m.validate_integrity(),
+            AnyEmbedder::CharGram(m) => m.validate_integrity(),
+        }
+    }
+}
+
 /// Training failure modes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TrainError {
@@ -67,6 +85,15 @@ pub enum TrainError {
     EmptyCorpus,
     /// The corpus produced no usable centroid evidence along either axis.
     NoCentroidEvidence,
+    /// The checkpoint hook stopped training after `at_epoch` global
+    /// epochs (SGNS epochs first, fine-tune epochs after) — the
+    /// crash-injection path.
+    Interrupted {
+        /// Global epochs fully completed (and checkpointed) before the stop.
+        at_epoch: u64,
+    },
+    /// A training checkpoint could not be written or restored.
+    Checkpoint(ArtifactError),
 }
 
 impl std::fmt::Display for TrainError {
@@ -76,11 +103,21 @@ impl std::fmt::Display for TrainError {
             TrainError::NoCentroidEvidence => {
                 write!(f, "corpus yielded no usable centroid evidence on either axis")
             }
+            TrainError::Interrupted { at_epoch } => {
+                write!(f, "training interrupted after {at_epoch} completed epoch(s)")
+            }
+            TrainError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
         }
     }
 }
 
 impl std::error::Error for TrainError {}
+
+/// Post-checkpoint observer for [`Pipeline::train_with_checkpoints`]:
+/// called with the global epoch index after each epoch's checkpoint is
+/// durable; returning [`ControlFlow::Break`] aborts training there (the
+/// crash-injection harness uses this as its kill switch).
+pub type TrainHook<'h> = &'h mut dyn FnMut(u64) -> ControlFlow<()>;
 
 /// What training did, for logs and EXPERIMENTS.md.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
@@ -108,6 +145,28 @@ impl Pipeline {
     /// Train the full pipeline on a corpus (unsupervised: only markup or
     /// positional weak labels are consumed, never ground truth).
     pub fn train(tables: &[Table], config: &PipelineConfig) -> Result<Self, TrainError> {
+        Self::train_with_checkpoints(tables, config, None, None, None)
+    }
+
+    /// [`Pipeline::train`] with crash-safe checkpointing.
+    ///
+    /// With a `store`, the embedder weights and stage loop state are
+    /// durably checkpointed after every completed epoch (SGNS epochs on
+    /// the sequential path, the stage boundary under Hogwild, every
+    /// fine-tune epoch). `resume` restarts from a checkpoint previously
+    /// returned by [`CheckpointStore::latest_valid`]: everything pure
+    /// (sentences, vocabulary, weak labels, centroids) is recomputed, so
+    /// at `threads = 1` the resumed run is **bit-identical** to an
+    /// uninterrupted run with the same seed. `hook` fires after each
+    /// checkpoint is durable and may abort training
+    /// ([`TrainError::Interrupted`]) — the crash-injection kill switch.
+    pub fn train_with_checkpoints(
+        tables: &[Table],
+        config: &PipelineConfig,
+        store: Option<&CheckpointStore>,
+        resume: Option<TrainCheckpoint>,
+        mut hook: Option<TrainHook<'_>>,
+    ) -> Result<Self, TrainError> {
         if tables.is_empty() {
             return Err(TrainError::EmptyCorpus);
         }
@@ -117,22 +176,116 @@ impl Pipeline {
         obs.gauge(names::TRAIN_THREADS).set(threads as f64);
         let tokenizer = Tokenizer::default();
 
+        let sgns_epochs = match &config.embedding {
+            EmbeddingChoice::Word2Vec(sgns) => sgns.epochs,
+            EmbeddingChoice::CharGram(cfg) => cfg.sgns.epochs,
+        } as u64;
+        let plan = match resume {
+            None => ResumePlan::Embed(None),
+            Some(ck) => {
+                obs.gauge(names::CHECKPOINT_RESUMED_EPOCH)
+                    .set(ck.stage.global_epoch(sgns_epochs) as f64);
+                match ck.stage {
+                    CheckpointStage::Sgns(state) => ResumePlan::Embed(Some((ck.embedder, state))),
+                    CheckpointStage::Finetune { sgns_pairs, resume } => ResumePlan::PastEmbed {
+                        embedder: ck.embedder,
+                        sgns_pairs,
+                        finetune: resume,
+                    },
+                }
+            }
+        };
+        let wants_sink = store.is_some() || hook.is_some();
+        // Checkpoint-write failures escape the epoch sinks through this
+        // slot (a sink can only `Break`, not return an error).
+        let mut ckpt_err: Option<ArtifactError> = None;
+        let mut halted_at: u64 = 0;
+
         let embed_span = obs.span(names::SPAN_EMBED);
         let sentences = sentences_from_tables_par(tables, &tokenizer, &config.sentences, threads);
+        let n_sentences = sentences.len();
         // The `threads` knob propagates into SGNS so one pipeline setting
         // governs the whole training path.
-        let (mut embedder, sgns_pairs) = match &config.embedding {
-            EmbeddingChoice::Word2Vec(sgns) => {
-                let mut sgns = sgns.clone();
-                sgns.threads = threads;
-                let (model, report) = Word2Vec::train(&sentences, sgns);
-                (AnyEmbedder::Word2Vec(model), report.pairs)
+        let (mut embedder, sgns_pairs, ft_resume) = match plan {
+            ResumePlan::PastEmbed { embedder, sgns_pairs, finetune } => {
+                (embedder, sgns_pairs, Some(finetune))
             }
-            EmbeddingChoice::CharGram(cfg) => {
-                let mut cfg = cfg.clone();
-                cfg.sgns.threads = threads;
-                let (model, report) = CharGram::train(&sentences, cfg);
-                (AnyEmbedder::CharGram(model), report.pairs)
+            ResumePlan::Embed(prior) => {
+                let (embedder, pairs, interrupted) = match &config.embedding {
+                    EmbeddingChoice::Word2Vec(sgns) => {
+                        let mut sgns = sgns.clone();
+                        sgns.threads = threads;
+                        let prior = match prior {
+                            None => None,
+                            Some((AnyEmbedder::Word2Vec(m), st)) => Some((m, st)),
+                            Some((AnyEmbedder::CharGram(_), _)) => {
+                                return Err(TrainError::Checkpoint(ArtifactError::SchemaInvalid {
+                                    detail: "checkpoint holds a CharGram embedder but the config \
+                                             trains Word2Vec"
+                                        .to_string(),
+                                }))
+                            }
+                        };
+                        let mut sink = |m: &Word2Vec, st: &SgnsResume| {
+                            sgns_boundary(
+                                store,
+                                &mut hook,
+                                &mut ckpt_err,
+                                &mut halted_at,
+                                || AnyEmbedder::Word2Vec(m.clone()),
+                                st,
+                                n_sentences,
+                            )
+                        };
+                        let (model, report, interrupted) = Word2Vec::train_resumable(
+                            &sentences,
+                            sgns,
+                            prior,
+                            wants_sink.then_some(&mut sink),
+                        );
+                        (AnyEmbedder::Word2Vec(model), report.pairs, interrupted)
+                    }
+                    EmbeddingChoice::CharGram(cfg) => {
+                        let mut cfg = cfg.clone();
+                        cfg.sgns.threads = threads;
+                        let prior = match prior {
+                            None => None,
+                            Some((AnyEmbedder::CharGram(m), st)) => Some((m, st)),
+                            Some((AnyEmbedder::Word2Vec(_), _)) => {
+                                return Err(TrainError::Checkpoint(ArtifactError::SchemaInvalid {
+                                    detail: "checkpoint holds a Word2Vec embedder but the config \
+                                             trains CharGram"
+                                        .to_string(),
+                                }))
+                            }
+                        };
+                        let mut sink = |m: &CharGram, st: &SgnsResume| {
+                            sgns_boundary(
+                                store,
+                                &mut hook,
+                                &mut ckpt_err,
+                                &mut halted_at,
+                                || AnyEmbedder::CharGram(m.clone()),
+                                st,
+                                n_sentences,
+                            )
+                        };
+                        let (model, report, interrupted) = CharGram::train_resumable(
+                            &sentences,
+                            cfg,
+                            prior,
+                            wants_sink.then_some(&mut sink),
+                        );
+                        (AnyEmbedder::CharGram(model), report.pairs, interrupted)
+                    }
+                };
+                if interrupted {
+                    if let Some(e) = ckpt_err.take() {
+                        return Err(TrainError::Checkpoint(e));
+                    }
+                    return Err(TrainError::Interrupted { at_epoch: halted_at });
+                }
+                (embedder, pairs, None)
             }
         };
         drop(embed_span);
@@ -150,10 +303,41 @@ impl Pipeline {
         obs.counter(names::BOOTSTRAP_MARKUP_TABLES).add(markup_bootstrapped as u64);
         drop(bootstrap_span);
 
-        let finetune_report = config.finetune.as_ref().map(|ft| {
-            let _finetune_span = obs.span(names::SPAN_FINETUNE);
-            finetune::run(tables, &weak, &mut embedder, &tokenizer, ft)
-        });
+        let finetune_report = match config.finetune.as_ref() {
+            None => None,
+            Some(ft) => {
+                let _finetune_span = obs.span(names::SPAN_FINETUNE);
+                let mut sink = |e: &AnyEmbedder, st: &FinetuneResume| {
+                    finetune_boundary(
+                        store,
+                        &mut hook,
+                        &mut ckpt_err,
+                        &mut halted_at,
+                        e,
+                        st,
+                        sgns_pairs,
+                        sgns_epochs,
+                        n_sentences,
+                    )
+                };
+                let (report, interrupted) = finetune::run_resumable(
+                    tables,
+                    &weak,
+                    &mut embedder,
+                    &tokenizer,
+                    ft,
+                    ft_resume,
+                    wants_sink.then_some(&mut sink),
+                );
+                if interrupted {
+                    if let Some(e) = ckpt_err.take() {
+                        return Err(TrainError::Checkpoint(e));
+                    }
+                    return Err(TrainError::Interrupted { at_epoch: halted_at });
+                }
+                Some(report)
+            }
+        };
 
         let centroid_span = obs.span(names::SPAN_CENTROID);
         let centroids =
@@ -168,7 +352,7 @@ impl Pipeline {
             tokenizer,
             classifier: Classifier { centroids, config: config.classifier.clone() },
             summary: TrainSummary {
-                sentences: sentences.len(),
+                sentences: n_sentences,
                 sgns_pairs,
                 finetune: finetune_report,
                 markup_bootstrapped,
@@ -230,17 +414,168 @@ impl Pipeline {
 
     /// Serialize the trained pipeline (embeddings, centroids, tokenizer
     /// and classifier knobs) to JSON — train once, classify anywhere.
-    // Serializing the pipeline's own state (plain structs, no maps with
-    // non-string keys) cannot fail; this is not input-derived.
-    #[allow(clippy::expect_used)]
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("pipeline state is serializable")
+    /// The output is byte-deterministic (maps serialize key-sorted), which
+    /// is what makes the resume determinism gate checkable by comparison.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
-    /// Restore a pipeline saved with [`Pipeline::to_json`].
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Restore a pipeline saved with [`Pipeline::to_json`], deep-validating
+    /// it before it can reach the classify path: weight-matrix shapes vs.
+    /// the vocabulary, centroid reference dimensions vs. the embedder,
+    /// range ordering, and finiteness of every number.
+    pub fn from_json(json: &str) -> Result<Self, ArtifactError> {
+        let pipeline: Self = serde_json::from_str(json)
+            .map_err(|e| ArtifactError::SchemaInvalid { detail: format!("pipeline: {e}") })?;
+        pipeline.validate()?;
+        Ok(pipeline)
     }
+
+    /// Deep structural/numeric validation of a deserialized pipeline.
+    pub fn validate(&self) -> Result<(), ArtifactError> {
+        self.embedder.validate_integrity().map_err(|f| match f {
+            IntegrityFault::Shape { detail } => ArtifactError::DimensionMismatch { detail },
+            IntegrityFault::NonFinite { location } => ArtifactError::NonFiniteWeights { location },
+        })?;
+        let dim = self.embedder.dim();
+        for (axis, ax) in [
+            ("rows", &self.classifier.centroids.rows),
+            ("columns", &self.classifier.centroids.columns),
+        ] {
+            validate_axis(axis, ax, dim)?;
+        }
+        Ok(())
+    }
+}
+
+/// Where training resumes from, decoded from an optional checkpoint.
+enum ResumePlan {
+    /// Run the embedding stage — from scratch (`None`) or from a
+    /// mid-stage SGNS checkpoint.
+    Embed(Option<(AnyEmbedder, SgnsResume)>),
+    /// The embedding stage already completed; go straight to fine-tuning.
+    PastEmbed { embedder: AnyEmbedder, sgns_pairs: u64, finetune: FinetuneResume },
+}
+
+/// SGNS epoch boundary: persist a checkpoint (when a store is attached),
+/// then give the hook its chance to abort.
+fn sgns_boundary(
+    store: Option<&CheckpointStore>,
+    hook: &mut Option<TrainHook<'_>>,
+    ckpt_err: &mut Option<ArtifactError>,
+    halted_at: &mut u64,
+    make_embedder: impl FnOnce() -> AnyEmbedder,
+    state: &SgnsResume,
+    sentences: usize,
+) -> ControlFlow<()> {
+    let epoch = state.epochs_done as u64;
+    *halted_at = epoch;
+    if let Some(store) = store {
+        let checkpoint = TrainCheckpoint {
+            stage: CheckpointStage::Sgns(state.clone()),
+            embedder: make_embedder(),
+            sentences,
+        };
+        if let Err(e) = store.write(&checkpoint) {
+            *ckpt_err = Some(e);
+            return ControlFlow::Break(());
+        }
+    }
+    match hook.as_mut() {
+        Some(h) => h(epoch),
+        None => ControlFlow::Continue(()),
+    }
+}
+
+/// Fine-tune epoch boundary; global epoch indices continue after the SGNS
+/// stage's.
+#[allow(clippy::too_many_arguments)]
+fn finetune_boundary(
+    store: Option<&CheckpointStore>,
+    hook: &mut Option<TrainHook<'_>>,
+    ckpt_err: &mut Option<ArtifactError>,
+    halted_at: &mut u64,
+    embedder: &AnyEmbedder,
+    state: &FinetuneResume,
+    sgns_pairs: u64,
+    sgns_epochs: u64,
+    sentences: usize,
+) -> ControlFlow<()> {
+    let epoch = sgns_epochs + state.epochs_done as u64;
+    *halted_at = epoch;
+    if let Some(store) = store {
+        let checkpoint = TrainCheckpoint {
+            stage: CheckpointStage::Finetune { sgns_pairs, resume: state.clone() },
+            embedder: embedder.clone(),
+            sentences,
+        };
+        if let Err(e) = store.write(&checkpoint) {
+            *ckpt_err = Some(e);
+            return ControlFlow::Break(());
+        }
+    }
+    match hook.as_mut() {
+        Some(h) => h(epoch),
+        None => ControlFlow::Continue(()),
+    }
+}
+
+/// Validate one axis of the centroid model against the embedder dimension.
+fn validate_axis(axis: &str, ax: &AxisCentroids, dim: usize) -> Result<(), ArtifactError> {
+    for (name, v) in [("meta_ref", &ax.meta_ref), ("data_ref", &ax.data_ref)] {
+        if v.len() != dim {
+            return Err(ArtifactError::DimensionMismatch {
+                detail: format!(
+                    "centroids.{axis}.{name} has {} components but the embedder dimension \
+                     is {dim}",
+                    v.len()
+                ),
+            });
+        }
+        if let Some(i) = v.iter().position(|x| !x.is_finite()) {
+            return Err(ArtifactError::NonFiniteWeights {
+                location: format!("centroids.{axis}.{name}[{i}]"),
+            });
+        }
+    }
+    for (name, r) in [("c_mde", &ax.c_mde), ("c_de", &ax.c_de), ("c_mde_de", &ax.c_mde_de)] {
+        validate_range(&format!("centroids.{axis}.{name}"), r)?;
+    }
+    for l in &ax.levels {
+        for (name, r) in [
+            ("prev_range", &l.prev_range),
+            ("to_data_range", &l.to_data_range),
+            ("c_mde", &l.c_mde),
+            ("c_mde_de", &l.c_mde_de),
+            ("c_de", &l.c_de),
+        ] {
+            validate_range(&format!("centroids.{axis}.level{}.{name}", l.level), r)?;
+        }
+        for (name, d) in
+            [("delta_prev_meta", l.delta_prev_meta), ("delta_to_data", l.delta_to_data)]
+        {
+            if let Some(d) = d {
+                if !d.is_finite() {
+                    return Err(ArtifactError::NonFiniteWeights {
+                        location: format!("centroids.{axis}.level{}.{name}", l.level),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// An angle range is valid when empty (the "no evidence" sentinel, which
+/// the classifier treats as never-matching) or finite with `lo <= hi`.
+fn validate_range(location: &str, r: &AngleRange) -> Result<(), ArtifactError> {
+    if r.is_empty() {
+        return Ok(());
+    }
+    if !r.lo.is_finite() || !r.hi.is_finite() {
+        return Err(ArtifactError::NonFiniteWeights { location: location.to_string() });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -328,7 +663,7 @@ mod tests {
     fn pipeline_persistence_roundtrip() {
         let corpus = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 80, seed: 19 });
         let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(19)).unwrap();
-        let json = pipeline.to_json();
+        let json = pipeline.to_json().unwrap();
         let restored = Pipeline::from_json(&json).expect("round-trips");
         for t in corpus.tables.iter().take(20) {
             assert_eq!(pipeline.classify(t), restored.classify(t));

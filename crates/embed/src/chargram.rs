@@ -13,9 +13,9 @@
 // Grid construction walks coordinates; index loops are the clear form here.
 #![allow(clippy::needless_range_loop)]
 
-use crate::embedder::{TermEmbedder, TunableEmbedder};
+use crate::embedder::{check_matrix_finite, IntegrityFault, TermEmbedder, TunableEmbedder};
 use crate::negative::NegativeTable;
-use crate::sgns::{SgnsConfig, SigmoidTable, TrainReport};
+use crate::sgns::{EpochSink, SgnsConfig, SgnsResume, SigmoidTable, TrainReport};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use rayon::prelude::*;
@@ -60,6 +60,21 @@ pub struct CharGram {
 impl CharGram {
     /// Train from term-string sentences.
     pub fn train(sentences: &[Vec<String>], config: CharGramConfig) -> (Self, TrainReport) {
+        let (model, report, _) = Self::train_resumable(sentences, config, None, None);
+        (model, report)
+    }
+
+    /// [`CharGram::train`] with checkpoint/resume plumbing; same contract
+    /// as [`crate::word2vec::Word2Vec::train_resumable`]: vocabulary,
+    /// encoding, and gram cache are recomputed, `resume` restores weights
+    /// plus loop state from an epoch boundary, `sink` observes every
+    /// sequential epoch (stage end only under Hogwild) and may break out.
+    pub fn train_resumable(
+        sentences: &[Vec<String>],
+        config: CharGramConfig,
+        resume: Option<(Self, SgnsResume)>,
+        mut sink: Option<EpochSink<'_, Self>>,
+    ) -> (Self, TrainReport, bool) {
         let mut counting = Vocabulary::new();
         for s in sentences {
             for t in s {
@@ -80,93 +95,186 @@ impl CharGram {
             .filter(|s: &Vec<u32>| s.len() >= 2)
             .collect();
 
-        let word_grams: Vec<Vec<u32>> = (0..vocab.len())
-            .map(|id| {
-                ngram_ids(vocab.term(id as u32), &config.ngrams)
-                    .into_iter()
-                    .map(|g| g as u32)
-                    .collect()
-            })
-            .collect();
-
-        let mut rng = StdRng::seed_from_u64(config.sgns.seed ^ 0xcafe);
-        let dim = config.sgns.dim;
-        let mut model = CharGram {
-            words: Matrix::uniform_init(vocab.len(), dim, &mut rng),
-            grams: Matrix::uniform_init(config.ngrams.buckets, dim, &mut rng),
-            output: Matrix::zeros(vocab.len(), dim),
-            word_grams,
-            vocab,
-            config,
+        let (mut model, mut state) = match resume {
+            Some((model, state)) => (model, state),
+            None => {
+                let word_grams: Vec<Vec<u32>> = (0..vocab.len())
+                    .map(|id| {
+                        ngram_ids(vocab.term(id as u32), &config.ngrams)
+                            .into_iter()
+                            .map(|g| g as u32)
+                            .collect()
+                    })
+                    .collect();
+                let mut rng = StdRng::seed_from_u64(config.sgns.seed ^ 0xcafe);
+                let dim = config.sgns.dim;
+                let state = SgnsResume::fresh(&config.sgns);
+                let model = CharGram {
+                    words: Matrix::uniform_init(vocab.len(), dim, &mut rng),
+                    grams: Matrix::uniform_init(config.ngrams.buckets, dim, &mut rng),
+                    output: Matrix::zeros(vocab.len(), dim),
+                    word_grams,
+                    vocab,
+                    config,
+                };
+                (model, state)
+            }
         };
-        let report = if encoded.is_empty() || model.vocab.total_count() == 0 {
-            TrainReport::default()
-        } else {
-            let negatives =
-                NegativeTable::build(&model.vocab, NegativeTable::DEFAULT_SIZE.min(1 << 18));
-            model.run_sgns(&encoded, &negatives)
-        };
-        (model, report)
-    }
 
-    /// SGNS over composed (word + grams) input vectors.
-    fn run_sgns(&mut self, sentences: &[Vec<u32>], negatives: &NegativeTable) -> TrainReport {
-        if self.config.sgns.threads > 1 {
-            return self.run_sgns_hogwild(sentences, negatives);
+        if encoded.is_empty() || model.vocab.total_count() == 0 {
+            return (model, TrainReport { pairs: state.pairs, final_lr: state.lr }, false);
         }
-        let config = self.config.sgns.clone();
-        let dim = config.dim;
-        let sigmoid = SigmoidTable::new();
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let total_tokens: u64 = sentences.iter().map(|s| s.len() as u64).sum();
-        let total_work = (total_tokens * config.epochs as u64).max(1);
-        let mut processed = 0u64;
-        let mut pairs = 0u64;
-        let mut lr = config.learning_rate;
-        let mut v_in = vec![0.0f32; dim];
-        let mut grad = vec![0.0f32; dim];
+        let negatives =
+            NegativeTable::build(&model.vocab, NegativeTable::DEFAULT_SIZE.min(1 << 18));
 
-        for _epoch in 0..config.epochs {
-            for sentence in sentences {
-                for (pos, &center) in sentence.iter().enumerate() {
-                    processed += 1;
-                    lr = config.learning_rate
-                        * (1.0 - processed as f32 / total_work as f32).max(1e-4);
-                    let reduced = rng.random_range(1..=config.window);
-                    let lo = pos.saturating_sub(reduced);
-                    let hi = (pos + reduced).min(sentence.len() - 1);
-                    for ctx_pos in lo..=hi {
-                        if ctx_pos == pos {
-                            continue;
-                        }
-                        pairs += 1;
-                        let context = sentence[ctx_pos];
-                        self.compose_into(center, &mut v_in);
-                        grad.fill(0.0);
-                        // Positive.
-                        {
-                            let v_out = self.output.row_mut(context as usize);
-                            let g = (1.0 - sigmoid.get(tabmeta_linalg::dot(&v_in, v_out))) * lr;
-                            tabmeta_linalg::axpy(g, v_out, &mut grad);
-                            tabmeta_linalg::axpy(g, &v_in, v_out);
-                        }
-                        // Negatives.
-                        for _ in 0..config.negative {
-                            let neg = negatives.sample(&mut rng);
-                            if neg == context {
-                                continue;
-                            }
-                            let v_out = self.output.row_mut(neg as usize);
-                            let g = (0.0 - sigmoid.get(tabmeta_linalg::dot(&v_in, v_out))) * lr;
-                            tabmeta_linalg::axpy(g, v_out, &mut grad);
-                            tabmeta_linalg::axpy(g, &v_in, v_out);
-                        }
-                        self.spread_gradient(center, &grad);
-                    }
+        if model.config.sgns.threads > 1 && state.epochs_done == 0 {
+            // Hogwild runs the stage whole; the sink sees only the end.
+            let report = model.run_sgns_hogwild(&encoded, &negatives);
+            let mut interrupted = false;
+            if let Some(sink) = sink.as_mut() {
+                let end = SgnsResume {
+                    epochs_done: model.config.sgns.epochs,
+                    pairs: report.pairs,
+                    lr: report.final_lr,
+                    ..SgnsResume::fresh(&model.config.sgns)
+                };
+                interrupted = sink(&model, &end).is_break();
+            }
+            return (model, report, interrupted);
+        }
+
+        let epochs = model.config.sgns.epochs;
+        let mut interrupted = false;
+        while state.epochs_done < epochs {
+            model.run_sgns_epoch(&encoded, &negatives, &mut state);
+            if let Some(sink) = sink.as_mut() {
+                if sink(&model, &state).is_break() {
+                    interrupted = true;
+                    break;
                 }
             }
         }
-        TrainReport { pairs, final_lr: lr }
+        let report = TrainReport { pairs: state.pairs, final_lr: state.lr };
+        (model, report, interrupted)
+    }
+
+    /// One sequential epoch of SGNS over composed (word + grams) input
+    /// vectors, advancing `st` (RNG stream, decay, counters) in place.
+    /// An empty sentence set still advances the epoch counter so
+    /// zero-work runs terminate.
+    fn run_sgns_epoch(
+        &mut self,
+        sentences: &[Vec<u32>],
+        negatives: &NegativeTable,
+        st: &mut SgnsResume,
+    ) {
+        let config = self.config.sgns.clone();
+        let dim = config.dim;
+        let sigmoid = SigmoidTable::new();
+        let mut rng = StdRng::from_state(st.rng);
+        let total_tokens: u64 = sentences.iter().map(|s| s.len() as u64).sum();
+        let total_work = (total_tokens * config.epochs as u64).max(1);
+        let mut v_in = vec![0.0f32; dim];
+        let mut grad = vec![0.0f32; dim];
+
+        for sentence in sentences {
+            for (pos, &center) in sentence.iter().enumerate() {
+                st.processed += 1;
+                st.lr = config.learning_rate
+                    * (1.0 - st.processed as f32 / total_work as f32).max(1e-4);
+                let reduced = rng.random_range(1..=config.window);
+                let lo = pos.saturating_sub(reduced);
+                let hi = (pos + reduced).min(sentence.len() - 1);
+                for ctx_pos in lo..=hi {
+                    if ctx_pos == pos {
+                        continue;
+                    }
+                    st.pairs += 1;
+                    let context = sentence[ctx_pos];
+                    self.compose_into(center, &mut v_in);
+                    grad.fill(0.0);
+                    // Positive.
+                    {
+                        let v_out = self.output.row_mut(context as usize);
+                        let g = (1.0 - sigmoid.get(tabmeta_linalg::dot(&v_in, v_out))) * st.lr;
+                        tabmeta_linalg::axpy(g, v_out, &mut grad);
+                        tabmeta_linalg::axpy(g, &v_in, v_out);
+                    }
+                    // Negatives.
+                    for _ in 0..config.negative {
+                        let neg = negatives.sample(&mut rng);
+                        if neg == context {
+                            continue;
+                        }
+                        let v_out = self.output.row_mut(neg as usize);
+                        let g = (0.0 - sigmoid.get(tabmeta_linalg::dot(&v_in, v_out))) * st.lr;
+                        tabmeta_linalg::axpy(g, v_out, &mut grad);
+                        tabmeta_linalg::axpy(g, &v_in, v_out);
+                    }
+                    self.spread_gradient(center, &grad);
+                }
+            }
+        }
+        st.rng = rng.state();
+        st.epochs_done += 1;
+    }
+
+    /// Deep validation for deserialized models: matrix shapes must agree
+    /// with the vocabulary, gram-bucket count, and config; the cached gram
+    /// ids must stay inside the bucket space; every weight must be finite.
+    pub fn validate_integrity(&self) -> Result<(), IntegrityFault> {
+        let dim = self.config.sgns.dim;
+        if self.words.rows() != self.vocab.len() || self.output.rows() != self.vocab.len() {
+            return Err(IntegrityFault::Shape {
+                detail: format!(
+                    "chargram word/output matrices hold {}x{} rows but the vocabulary has {} terms",
+                    self.words.rows(),
+                    self.output.rows(),
+                    self.vocab.len()
+                ),
+            });
+        }
+        if self.grams.rows() != self.config.ngrams.buckets {
+            return Err(IntegrityFault::Shape {
+                detail: format!(
+                    "chargram gram matrix holds {} rows but config declares {} buckets",
+                    self.grams.rows(),
+                    self.config.ngrams.buckets
+                ),
+            });
+        }
+        if self.words.dim() != dim || self.grams.dim() != dim || self.output.dim() != dim {
+            return Err(IntegrityFault::Shape {
+                detail: format!(
+                    "chargram matrix dims {}/{}/{} disagree with config dim {dim}",
+                    self.words.dim(),
+                    self.grams.dim(),
+                    self.output.dim()
+                ),
+            });
+        }
+        if self.word_grams.len() != self.vocab.len() {
+            return Err(IntegrityFault::Shape {
+                detail: format!(
+                    "gram cache covers {} words but the vocabulary has {} terms",
+                    self.word_grams.len(),
+                    self.vocab.len()
+                ),
+            });
+        }
+        if let Some((word, &g)) = self.word_grams.iter().enumerate().find_map(|(w, gs)| {
+            gs.iter().find(|&&g| g as usize >= self.grams.rows()).map(|g| (w, g))
+        }) {
+            return Err(IntegrityFault::Shape {
+                detail: format!(
+                    "word {word} references gram bucket {g} outside 0..{}",
+                    self.grams.rows()
+                ),
+            });
+        }
+        check_matrix_finite(&self.words, "chargram.words")?;
+        check_matrix_finite(&self.grams, "chargram.grams")?;
+        check_matrix_finite(&self.output, "chargram.output")
     }
 
     /// Hogwild variant of [`Self::run_sgns`]: sentence shards train
@@ -433,6 +541,48 @@ mod tests {
         let (model, _) = CharGram::train(&topic_sentences(), CharGramConfig::tiny(12));
         let back = CharGram::from_json(&model.to_json()).unwrap();
         assert_eq!(back.embed("campus"), model.embed("campus"));
+    }
+
+    #[test]
+    fn resumable_run_is_bit_identical() {
+        use std::ops::ControlFlow;
+        let sentences = topic_sentences();
+        let config = CharGramConfig::tiny(14);
+        let (baseline, base_report) = CharGram::train(&sentences, config.clone());
+
+        let mut snap: Option<(CharGram, SgnsResume)> = None;
+        let mut sink = |m: &CharGram, s: &SgnsResume| {
+            if s.epochs_done == 2 {
+                snap = Some((m.clone(), s.clone()));
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        };
+        let (_, _, interrupted) =
+            CharGram::train_resumable(&sentences, config.clone(), None, Some(&mut sink));
+        assert!(interrupted);
+        let (resumed, report, interrupted) =
+            CharGram::train_resumable(&sentences, config, snap, None);
+        assert!(!interrupted);
+        assert_eq!(report, base_report);
+        assert_eq!(resumed.to_json(), baseline.to_json(), "resume must be bit-identical");
+    }
+
+    #[test]
+    fn integrity_validation_flags_corruption() {
+        let (model, _) = CharGram::train(&topic_sentences(), CharGramConfig::tiny(15));
+        assert_eq!(model.validate_integrity(), Ok(()));
+
+        let mut bad = model.clone();
+        bad.grams.row_mut(1)[0] = f32::INFINITY;
+        assert!(matches!(
+            bad.validate_integrity(),
+            Err(IntegrityFault::NonFinite { location }) if location.contains("chargram.grams")
+        ));
+
+        let mut bad = model.clone();
+        bad.word_grams[0] = vec![u32::MAX];
+        assert!(matches!(bad.validate_integrity(), Err(IntegrityFault::Shape { .. })));
     }
 
     #[test]

@@ -43,6 +43,51 @@ pub trait TunableEmbedder: TermEmbedder {
     fn apply_gradient(&mut self, term: &str, grad: &[f32]);
 }
 
+/// A structural or numeric defect found in an embedding model — the deep
+/// half of artifact validation: a file can have a valid checksum and parse
+/// cleanly yet still carry weights that would poison every downstream
+/// angle computation. Produced by the models' `validate_integrity`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntegrityFault {
+    /// A weight matrix's shape disagrees with the vocabulary or config.
+    Shape {
+        /// What disagrees with what, with the numbers involved.
+        detail: String,
+    },
+    /// A NaN or infinite weight.
+    NonFinite {
+        /// Which matrix and row holds the bad value.
+        location: String,
+    },
+}
+
+impl std::fmt::Display for IntegrityFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrityFault::Shape { detail } => write!(f, "shape mismatch: {detail}"),
+            IntegrityFault::NonFinite { location } => {
+                write!(f, "non-finite weight in {location}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntegrityFault {}
+
+/// Scan a matrix for NaN/Inf; `name` labels the fault location.
+pub(crate) fn check_matrix_finite(
+    m: &tabmeta_linalg::Matrix,
+    name: &str,
+) -> Result<(), IntegrityFault> {
+    if let Some(idx) = m.as_flat().iter().position(|v| !v.is_finite()) {
+        let dim = m.dim().max(1);
+        return Err(IntegrityFault::NonFinite {
+            location: format!("{name} row {} col {}", idx / dim, idx % dim),
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 pub(crate) mod test_support {
     use super::*;

@@ -34,7 +34,7 @@ pub mod sgns;
 pub mod word2vec;
 
 pub use chargram::{CharGram, CharGramConfig};
-pub use embedder::{TermEmbedder, TunableEmbedder};
+pub use embedder::{IntegrityFault, TermEmbedder, TunableEmbedder};
 pub use sentences::{sentences_from_tables, sentences_from_tables_par, SentenceConfig};
-pub use sgns::SgnsConfig;
+pub use sgns::{EpochSink, SgnsConfig, SgnsResume};
 pub use word2vec::Word2Vec;

@@ -128,11 +128,56 @@ impl Default for SigmoidTable {
     }
 }
 
+/// Loop state of an SGNS run at an epoch boundary: everything the
+/// sequential path needs (besides the matrices themselves) to continue a
+/// run exactly where it stopped. Serialized into training checkpoints;
+/// restoring it via [`SgnsTrainer::resume`] continues the identical RNG
+/// stream and learning-rate schedule, so a resumed `threads = 1` run is
+/// bit-identical to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SgnsResume {
+    /// Epochs fully completed.
+    pub epochs_done: usize,
+    /// xoshiro256++ state of the training RNG at the boundary.
+    pub rng: [u64; 4],
+    /// Tokens processed so far (drives the linear lr decay).
+    pub processed: u64,
+    /// (center, context) pairs processed so far.
+    pub pairs: u64,
+    /// Learning rate after the last completed epoch.
+    pub lr: f32,
+}
+
+impl SgnsResume {
+    /// The loop state of a run that has not started yet: the seed-derived
+    /// RNG at its origin, zero work done, undecayed learning rate.
+    pub fn fresh(config: &SgnsConfig) -> Self {
+        Self {
+            epochs_done: 0,
+            rng: StdRng::seed_from_u64(config.seed).state(),
+            processed: 0,
+            pairs: 0,
+            lr: config.learning_rate,
+        }
+    }
+}
+
+/// Per-epoch observer for resumable training: called with the model and
+/// its loop state after every completed epoch. Returning
+/// [`std::ops::ControlFlow::Break`] stops training at that boundary
+/// (cooperative cancellation; the crash-injection harness uses it to
+/// simulate dying right after a checkpoint write).
+pub type EpochSink<'s, M> = &'s mut dyn FnMut(&M, &SgnsResume) -> std::ops::ControlFlow<()>;
+
 /// The mutable state of one SGNS run over id-encoded sentences.
 pub struct SgnsTrainer<'a> {
     config: &'a SgnsConfig,
     sigmoid: SigmoidTable,
     rng: StdRng,
+    epochs_done: usize,
+    processed: u64,
+    pairs: u64,
+    lr: f32,
 }
 
 /// Progress statistics reported by [`SgnsTrainer::train`].
@@ -147,7 +192,51 @@ pub struct TrainReport {
 impl<'a> SgnsTrainer<'a> {
     /// New trainer with the config's seed.
     pub fn new(config: &'a SgnsConfig) -> Self {
-        Self { config, sigmoid: SigmoidTable::new(), rng: StdRng::seed_from_u64(config.seed) }
+        Self {
+            config,
+            sigmoid: SigmoidTable::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            epochs_done: 0,
+            processed: 0,
+            pairs: 0,
+            lr: config.learning_rate,
+        }
+    }
+
+    /// Rebuild a trainer mid-run from a checkpointed [`SgnsResume`]. The
+    /// caller must supply the same matrices the snapshot was taken against
+    /// for the continuation to be meaningful.
+    pub fn resume(config: &'a SgnsConfig, state: &SgnsResume) -> Self {
+        Self {
+            config,
+            sigmoid: SigmoidTable::new(),
+            rng: StdRng::from_state(state.rng),
+            epochs_done: state.epochs_done,
+            processed: state.processed,
+            pairs: state.pairs,
+            lr: state.lr,
+        }
+    }
+
+    /// Snapshot the loop state (valid at epoch boundaries).
+    pub fn state(&self) -> SgnsResume {
+        SgnsResume {
+            epochs_done: self.epochs_done,
+            rng: self.rng.state(),
+            processed: self.processed,
+            pairs: self.pairs,
+            lr: self.lr,
+        }
+    }
+
+    /// Whether all configured epochs have run.
+    pub fn is_complete(&self) -> bool {
+        self.epochs_done >= self.config.epochs
+    }
+
+    /// Progress report for the epochs run so far.
+    pub fn report(&self) -> TrainReport {
+        TrainReport { pairs: self.pairs, final_lr: self.lr }
     }
 
     /// Run SGNS over `sentences` (term-id sequences), updating `input` and
@@ -164,50 +253,70 @@ impl<'a> SgnsTrainer<'a> {
         use tabmeta_obs::names;
         tabmeta_obs::span!(names::SPAN_SGNS);
         let obs = tabmeta_obs::global();
-        let pair_counter = obs.counter(names::SGNS_PAIRS);
-        let lr_gauge = obs.gauge(names::SGNS_LR);
         if self.config.threads > 1 {
             let report = self.train_hogwild(sentences, negatives, input, output);
             // Metrics are aggregated across workers and recorded once.
-            pair_counter.add(report.pairs);
-            lr_gauge.set(report.final_lr as f64);
+            obs.counter(names::SGNS_PAIRS).add(report.pairs);
+            obs.gauge(names::SGNS_LR).set(report.final_lr as f64);
             return report;
         }
+        while !self.is_complete() {
+            self.run_epoch(sentences, negatives, input, output);
+        }
+        self.report()
+    }
+
+    /// Run exactly one epoch of the sequential deterministic path,
+    /// advancing the trainer's RNG, decay, and counters. Callers that need
+    /// per-epoch checkpoints drive this directly ([`SgnsTrainer::state`]
+    /// between calls); [`SgnsTrainer::train`] loops it to completion.
+    /// No-op once [`SgnsTrainer::is_complete`] — except that an empty
+    /// sentence set still advances the epoch counter so zero-work runs
+    /// terminate.
+    pub fn run_epoch(
+        &mut self,
+        sentences: &[Vec<u32>],
+        negatives: &NegativeTable,
+        input: &mut Matrix,
+        output: &mut Matrix,
+    ) {
+        assert_eq!(input.dim(), output.dim(), "SGNS matrices must share dimensionality");
+        if self.is_complete() {
+            return;
+        }
+        let obs = tabmeta_obs::global();
+        let pair_counter = obs.counter(tabmeta_obs::names::SGNS_PAIRS);
+        let lr_gauge = obs.gauge(tabmeta_obs::names::SGNS_LR);
+        let _epoch_span = obs.span(tabmeta_obs::names::SPAN_EPOCH);
         let dim = input.dim();
         let total_tokens: u64 = sentences.iter().map(|s| s.len() as u64).sum();
         let total_work = (total_tokens * self.config.epochs as u64).max(1);
-        let mut processed: u64 = 0;
-        let mut pairs: u64 = 0;
         let mut grad = vec![0.0f32; dim];
-        let mut lr = self.config.learning_rate;
-
-        for _epoch in 0..self.config.epochs {
-            let _epoch_span = obs.span(tabmeta_obs::names::SPAN_EPOCH);
-            let pairs_at_epoch_start = pairs;
-            for sentence in sentences {
-                for (pos, &center) in sentence.iter().enumerate() {
-                    processed += 1;
-                    // Linear decay with the standard floor.
-                    lr = self.config.learning_rate
-                        * (1.0 - processed as f32 / total_work as f32).max(1e-4);
-                    // Dynamic window shrink, as in word2vec.
-                    let reduced = self.rng.random_range(1..=self.config.window);
-                    let lo = pos.saturating_sub(reduced);
-                    let hi = (pos + reduced).min(sentence.len() - 1);
-                    for ctx_pos in lo..=hi {
-                        if ctx_pos == pos {
-                            continue;
-                        }
-                        let context = sentence[ctx_pos];
-                        pairs += 1;
-                        self.step(center, context, negatives, input, output, lr, &mut grad);
+        let pairs_at_epoch_start = self.pairs;
+        for sentence in sentences {
+            for (pos, &center) in sentence.iter().enumerate() {
+                self.processed += 1;
+                // Linear decay with the standard floor.
+                self.lr = self.config.learning_rate
+                    * (1.0 - self.processed as f32 / total_work as f32).max(1e-4);
+                // Dynamic window shrink, as in word2vec.
+                let reduced = self.rng.random_range(1..=self.config.window);
+                let lo = pos.saturating_sub(reduced);
+                let hi = (pos + reduced).min(sentence.len() - 1);
+                for ctx_pos in lo..=hi {
+                    if ctx_pos == pos {
+                        continue;
                     }
+                    let context = sentence[ctx_pos];
+                    self.pairs += 1;
+                    let lr = self.lr;
+                    self.step(center, context, negatives, input, output, lr, &mut grad);
                 }
             }
-            pair_counter.add(pairs - pairs_at_epoch_start);
-            lr_gauge.set(lr as f64);
         }
-        TrainReport { pairs, final_lr: lr }
+        self.epochs_done += 1;
+        pair_counter.add(self.pairs - pairs_at_epoch_start);
+        lr_gauge.set(self.lr as f64);
     }
 
     /// One positive pair plus `k` negative updates.
@@ -418,6 +527,55 @@ mod tests {
         };
         let explicit = SgnsConfig { threads: 1, ..config.clone() };
         assert_eq!(run(&config), run(&explicit), "threads=1 must stay the sequential stream");
+    }
+
+    #[test]
+    fn epoch_resume_matches_uninterrupted() {
+        let (sentences, negatives, input0, output0, config) = toy_setup();
+        // Uninterrupted run.
+        let mut input_a = input0.clone();
+        let mut output_a = output0.clone();
+        let report_a =
+            SgnsTrainer::new(&config).train(&sentences, &negatives, &mut input_a, &mut output_a);
+        // Run one epoch, snapshot, drop the trainer, rebuild from the
+        // snapshot alone, finish.
+        let mut input_b = input0.clone();
+        let mut output_b = output0.clone();
+        let snap = {
+            let mut t = SgnsTrainer::new(&config);
+            t.run_epoch(&sentences, &negatives, &mut input_b, &mut output_b);
+            assert!(!t.is_complete());
+            t.state()
+        };
+        let report_b = SgnsTrainer::resume(&config, &snap).train(
+            &sentences,
+            &negatives,
+            &mut input_b,
+            &mut output_b,
+        );
+        assert_eq!(input_a, input_b, "resumed run must be bit-identical");
+        assert_eq!(output_a, output_b);
+        assert_eq!(report_a, report_b);
+    }
+
+    #[test]
+    fn run_epoch_terminates_on_empty_sentences() {
+        let config = SgnsConfig::tiny(5);
+        let negatives = {
+            let mut v = Vocabulary::new();
+            v.add("x");
+            NegativeTable::build(&v, 64)
+        };
+        let mut input = Matrix::zeros(1, config.dim);
+        let mut output = Matrix::zeros(1, config.dim);
+        let mut t = SgnsTrainer::new(&config);
+        let mut spins = 0;
+        while !t.is_complete() {
+            t.run_epoch(&[], &negatives, &mut input, &mut output);
+            spins += 1;
+            assert!(spins <= config.epochs, "empty input must still advance epochs");
+        }
+        assert_eq!(t.report().pairs, 0);
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! negative sampling, dimensionality 300, window 3, `min_count` 1. Term
 //! vectors are the **input** matrix rows, as is conventional.
 
-use crate::embedder::{TermEmbedder, TunableEmbedder};
+use crate::embedder::{check_matrix_finite, IntegrityFault, TermEmbedder, TunableEmbedder};
 use crate::negative::NegativeTable;
-use crate::sgns::{SgnsConfig, SgnsTrainer, TrainReport};
+use crate::sgns::{EpochSink, SgnsConfig, SgnsResume, SgnsTrainer, TrainReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -29,6 +29,32 @@ impl Word2Vec {
     /// sentences, and runs [`SgnsTrainer`]. Numeric class tokens are
     /// pre-interned so they always exist even in corpora without numerics.
     pub fn train(sentences: &[Vec<String>], config: SgnsConfig) -> (Self, TrainReport) {
+        let (model, report, _) = Self::train_resumable(sentences, config, None, None);
+        (model, report)
+    }
+
+    /// [`Word2Vec::train`] with checkpoint/resume plumbing.
+    ///
+    /// The vocabulary and sentence encoding are always recomputed (they are
+    /// pure functions of `sentences` + `config`); `resume` restores a model
+    /// and its SGNS loop state captured at an epoch boundary, and `sink` is
+    /// invoked after every completed epoch on the sequential path (once,
+    /// after the whole stage, on the Hogwild path — per-epoch interleaving
+    /// state cannot be snapshotted there). Returns `true` in the last tuple
+    /// slot when the sink broke out of training early; the returned model
+    /// then holds the state at the last completed epoch.
+    ///
+    /// At `threads = 1` a resumed run continues the exact RNG stream and
+    /// learning-rate schedule, so the final model is bit-identical to an
+    /// uninterrupted run. A partially-complete resume under `threads > 1`
+    /// finishes the remaining epochs on the deterministic sequential path
+    /// (mid-stage Hogwild state is never checkpointed in the first place).
+    pub fn train_resumable(
+        sentences: &[Vec<String>],
+        config: SgnsConfig,
+        resume: Option<(Self, SgnsResume)>,
+        mut sink: Option<EpochSink<'_, Self>>,
+    ) -> (Self, TrainReport, bool) {
         let mut counting = Vocabulary::new();
         for s in sentences {
             for t in s {
@@ -49,17 +75,91 @@ impl Word2Vec {
             .filter(|s: &Vec<u32>| s.len() >= 2)
             .collect();
 
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
-        let mut input = Matrix::uniform_init(vocab.len(), config.dim, &mut rng);
-        let mut output = Matrix::zeros(vocab.len(), config.dim);
-        let report = if encoded.is_empty() || vocab.total_count() == 0 {
-            TrainReport::default()
-        } else {
-            let negatives = NegativeTable::build(&vocab, NegativeTable::DEFAULT_SIZE.min(1 << 18));
-            let mut trainer = SgnsTrainer::new(&config);
-            trainer.train(&encoded, &negatives, &mut input, &mut output)
+        let (mut model, state) = match resume {
+            Some((model, state)) => (model, state),
+            None => {
+                let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
+                let input = Matrix::uniform_init(vocab.len(), config.dim, &mut rng);
+                let output = Matrix::zeros(vocab.len(), config.dim);
+                let state = SgnsResume::fresh(&config);
+                (Self { config, vocab, input, output }, state)
+            }
         };
-        (Self { config, vocab, input, output }, report)
+        let config = model.config.clone();
+
+        if encoded.is_empty() || model.vocab.total_count() == 0 {
+            return (model, TrainReport { pairs: state.pairs, final_lr: state.lr }, false);
+        }
+        let negatives =
+            NegativeTable::build(&model.vocab, NegativeTable::DEFAULT_SIZE.min(1 << 18));
+
+        if config.threads > 1 && state.epochs_done == 0 {
+            // Hogwild runs the stage in one shot; per-epoch snapshots are
+            // meaningless mid-flight, so the sink sees only the stage end.
+            let report = SgnsTrainer::new(&config).train(
+                &encoded,
+                &negatives,
+                &mut model.input,
+                &mut model.output,
+            );
+            let mut interrupted = false;
+            if let Some(sink) = sink.as_mut() {
+                let end = SgnsResume {
+                    epochs_done: config.epochs,
+                    pairs: report.pairs,
+                    lr: report.final_lr,
+                    ..SgnsResume::fresh(&config)
+                };
+                interrupted = sink(&model, &end).is_break();
+            }
+            return (model, report, interrupted);
+        }
+
+        tabmeta_obs::span!(tabmeta_obs::names::SPAN_SGNS);
+        let mut trainer = if state.epochs_done == 0 && state.processed == 0 {
+            SgnsTrainer::new(&config)
+        } else {
+            SgnsTrainer::resume(&config, &state)
+        };
+        let mut interrupted = false;
+        while !trainer.is_complete() {
+            trainer.run_epoch(&encoded, &negatives, &mut model.input, &mut model.output);
+            if let Some(sink) = sink.as_mut() {
+                if sink(&model, &trainer.state()).is_break() {
+                    interrupted = true;
+                    break;
+                }
+            }
+        }
+        let report = trainer.report();
+        (model, report, interrupted)
+    }
+
+    /// Deep validation for deserialized models: matrix shapes must agree
+    /// with the vocabulary and config, and every weight must be finite.
+    pub fn validate_integrity(&self) -> Result<(), IntegrityFault> {
+        if self.input.rows() != self.vocab.len() || self.output.rows() != self.vocab.len() {
+            return Err(IntegrityFault::Shape {
+                detail: format!(
+                    "word2vec matrices hold {}x{} rows but the vocabulary has {} terms",
+                    self.input.rows(),
+                    self.output.rows(),
+                    self.vocab.len()
+                ),
+            });
+        }
+        if self.input.dim() != self.config.dim || self.output.dim() != self.config.dim {
+            return Err(IntegrityFault::Shape {
+                detail: format!(
+                    "word2vec matrix dims {}/{} disagree with config dim {}",
+                    self.input.dim(),
+                    self.output.dim(),
+                    self.config.dim
+                ),
+            });
+        }
+        check_matrix_finite(&self.input, "word2vec.input")?;
+        check_matrix_finite(&self.output, "word2vec.output")
     }
 
     /// The model's vocabulary.
@@ -215,6 +315,49 @@ mod tests {
         let back = Word2Vec::from_json(&model.to_json()).unwrap();
         assert_eq!(back.embed("age"), model.embed("age"));
         assert_eq!(back.vocab().len(), model.vocab().len());
+    }
+
+    #[test]
+    fn resumable_run_is_bit_identical() {
+        use std::ops::ControlFlow;
+        let sentences = topic_sentences();
+        let config = SgnsConfig::tiny(21);
+        let (baseline, base_report) = Word2Vec::train(&sentences, config.clone());
+
+        // Interrupt after epoch 1, then resume from the captured snapshot.
+        let mut snap: Option<(Word2Vec, SgnsResume)> = None;
+        let mut sink = |m: &Word2Vec, s: &SgnsResume| {
+            if s.epochs_done == 1 {
+                snap = Some((m.clone(), s.clone()));
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        };
+        let (_, _, interrupted) =
+            Word2Vec::train_resumable(&sentences, config.clone(), None, Some(&mut sink));
+        assert!(interrupted);
+        let (resumed, report, interrupted) =
+            Word2Vec::train_resumable(&sentences, config, snap, None);
+        assert!(!interrupted);
+        assert_eq!(report, base_report);
+        assert_eq!(resumed.to_json(), baseline.to_json(), "resume must be bit-identical");
+    }
+
+    #[test]
+    fn integrity_validation_flags_nan_and_shape() {
+        let (model, _) = Word2Vec::train(&topic_sentences(), SgnsConfig::tiny(22));
+        assert_eq!(model.validate_integrity(), Ok(()));
+
+        let mut bad = model.clone();
+        bad.input.row_mut(0)[0] = f32::NAN;
+        assert!(matches!(
+            bad.validate_integrity(),
+            Err(IntegrityFault::NonFinite { location }) if location.contains("word2vec.input")
+        ));
+
+        let mut bad = model.clone();
+        bad.config.dim += 1;
+        assert!(matches!(bad.validate_integrity(), Err(IntegrityFault::Shape { .. })));
     }
 
     #[test]

@@ -1,0 +1,23 @@
+//! Regenerate the registry table in `METRICS.md` from
+//! [`tabmeta_obs::names::render_markdown`].
+//!
+//! Run after adding names to the registry:
+//!
+//! ```text
+//! cargo run --offline -p tabmeta-obs --example regen_metrics
+//! ```
+//!
+//! The obs test `metrics_md_matches_registry` pins the checked-in file to
+//! the code, so a stale table fails `scripts/check.sh` until this runs.
+
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../METRICS.md");
+    let doc = std::fs::read_to_string(path).expect("METRICS.md at workspace root");
+    let begin = "<!-- registry:begin -->\n";
+    let end = "<!-- registry:end -->";
+    let start = doc.find(begin).expect("registry:begin marker") + begin.len();
+    let stop = doc[start..].find(end).expect("registry:end marker") + start;
+    let out = format!("{}{}{}", &doc[..start], tabmeta_obs::names::render_markdown(), &doc[stop..]);
+    std::fs::write(path, out).expect("rewrite METRICS.md");
+    println!("METRICS.md regenerated ({} registry rows)", tabmeta_obs::names::REGISTRY.len());
+}

@@ -35,6 +35,8 @@ pub const SPAN_SGNS: &str = "sgns";
 pub const SPAN_EPOCH: &str = "epoch";
 /// CLI `train` command wall-clock (model build end to end).
 pub const SPAN_CLI_TRAIN: &str = "cli.train";
+/// One durable checkpoint write (serialize + envelope + atomic rename).
+pub const SPAN_CHECKPOINT_WRITE: &str = "checkpoint.write";
 
 // --- spans: eval harness ----------------------------------------------
 
@@ -89,6 +91,17 @@ pub const CLASSIFIER_DEGRADED: &str = "classifier.degraded";
 /// `<reason>` is a `DegradeReason::as_str` value (`unusable_centroids`,
 /// `single_level`, `no_signal`, `non_finite`, `model_mismatch`).
 pub const CLASSIFIER_DEGRADED_PREFIX: &str = "classifier.degraded.";
+/// Artifacts (model files / checkpoints) loaded and fully validated.
+pub const ARTIFACT_LOADED: &str = "artifact.loaded";
+/// Per-reason artifact rejection family: `artifact.rejected.<reason>`
+/// where `<reason>` is an `ArtifactError::reason` value (`truncated`,
+/// `checksum_mismatch`, `version_unsupported`, `schema_invalid`,
+/// `non_finite_weights`, `dimension_mismatch`, `config_mismatch`, `io`).
+pub const ARTIFACT_REJECTED_PREFIX: &str = "artifact.rejected.";
+/// Training checkpoints durably written.
+pub const CHECKPOINT_WRITTEN: &str = "checkpoint.written";
+/// Checkpoint files quarantined during a resume scan.
+pub const CHECKPOINT_QUARANTINED: &str = "checkpoint.quarantined";
 
 // --- gauges -----------------------------------------------------------
 
@@ -109,6 +122,10 @@ pub const FINETUNE_EPOCH_SECS: &str = "finetune.epoch_secs";
 pub const CLASSIFY_TABLES_PER_SEC: &str = "classify.tables_per_sec";
 /// Wall-clock seconds of the CLI `train` command's model build.
 pub const CLI_TOTAL_SECS: &str = "cli.total_secs";
+/// Wall-clock seconds of the most recent checkpoint write.
+pub const CHECKPOINT_WRITE_SECS: &str = "checkpoint.write_secs";
+/// Global epoch index training resumed from (set once per resume).
+pub const CHECKPOINT_RESUMED_EPOCH: &str = "checkpoint.resumed_epoch";
 
 // --- histograms -------------------------------------------------------
 
@@ -244,6 +261,14 @@ pub static REGISTRY: &[MetricDef] = &[
         unit: "µs",
         stage: "cli",
         doc: "CLI train command: end-to-end model build",
+    },
+    MetricDef {
+        name: SPAN_CHECKPOINT_WRITE,
+        suffix: "",
+        kind: Kind::Span,
+        unit: "µs",
+        stage: "train",
+        doc: "One durable checkpoint write (serialize + envelope + atomic rename)",
     },
     // Spans — eval harness.
     MetricDef {
@@ -415,6 +440,38 @@ pub static REGISTRY: &[MetricDef] = &[
         stage: "classify",
         doc: "Per-reason fallbacks; <reason> is a DegradeReason::as_str value",
     },
+    MetricDef {
+        name: ARTIFACT_LOADED,
+        suffix: "",
+        kind: Kind::Counter,
+        unit: "artifacts",
+        stage: "persist",
+        doc: "Artifacts (model files / checkpoints) loaded and fully validated",
+    },
+    MetricDef {
+        name: ARTIFACT_REJECTED_PREFIX,
+        suffix: "<reason>",
+        kind: Kind::Counter,
+        unit: "artifacts",
+        stage: "persist",
+        doc: "Per-reason artifact rejections; <reason> is an ArtifactError::reason value",
+    },
+    MetricDef {
+        name: CHECKPOINT_WRITTEN,
+        suffix: "",
+        kind: Kind::Counter,
+        unit: "checkpoints",
+        stage: "train",
+        doc: "Training checkpoints durably written",
+    },
+    MetricDef {
+        name: CHECKPOINT_QUARANTINED,
+        suffix: "",
+        kind: Kind::Counter,
+        unit: "files",
+        stage: "train",
+        doc: "Checkpoint files quarantined during a resume scan",
+    },
     // Gauges.
     MetricDef {
         name: TRAIN_THREADS,
@@ -479,6 +536,22 @@ pub static REGISTRY: &[MetricDef] = &[
         unit: "seconds",
         stage: "cli",
         doc: "Wall-clock of the CLI train command's model build",
+    },
+    MetricDef {
+        name: CHECKPOINT_WRITE_SECS,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "seconds",
+        stage: "train",
+        doc: "Wall-clock of the most recent checkpoint write",
+    },
+    MetricDef {
+        name: CHECKPOINT_RESUMED_EPOCH,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "epoch",
+        stage: "train",
+        doc: "Global epoch index training resumed from (set once per resume)",
     },
     // Histograms.
     MetricDef {

@@ -29,6 +29,10 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use tabmeta_tabular::{Cell, LevelLabel, Table};
 
+pub mod crash;
+
+pub use crash::{run_crash_recovery, CheckpointCorruption, CrashOutcome, CrashPlan};
+
 /// One kind of injectable damage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum FaultKind {

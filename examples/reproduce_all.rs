@@ -174,7 +174,10 @@ fn main() {
         println!("\nTelemetry:\n{}", snapshot.render_text());
         let report = Telemetry { snapshot, trace_sample };
         let json = serde_json::to_string_pretty(&report).expect("telemetry serializes");
-        std::fs::write(&path, json).expect("telemetry path is writable");
+        // Atomic replace: a crash mid-write must never leave a truncated
+        // telemetry file where a previous good one stood.
+        tabmeta::contrastive::atomic_write(std::path::Path::new(&path), json.as_bytes())
+            .expect("telemetry path is writable");
         println!("telemetry written to {path}");
     }
 }

@@ -25,6 +25,13 @@ echo "==> cargo test -q (resilience: chaos + data-path crates)"
 RAYON_NUM_THREADS=4 cargo test -q --offline --test chaos
 cargo test -q --offline -p tabmeta-resilience -p tabmeta-tabular -p tabmeta-core -p tabmeta-text
 
+# Crash-recovery gate: 20 seeded kill-points across both embedders; every
+# resume must be byte-identical to the uninterrupted run, and corrupted
+# checkpoints must quarantine with a typed reason, never load. Pinned to
+# one rayon thread — the identity claim is about the sequential path.
+echo "==> cargo test -q --test crash_recovery (RAYON_NUM_THREADS=1)"
+RAYON_NUM_THREADS=1 cargo test -q --offline --test crash_recovery
+
 # Workspace-invariant static analysis: unseeded RNG, raw timing outside
 # the obs layer, unsafe without SAFETY comments, metric names that bypass
 # tabmeta_obs::names, stdout printing in library crates. Exits nonzero on

@@ -15,8 +15,12 @@
 //! the workspace's dependency budget.
 
 use std::fs;
+use std::path::Path;
 use std::process::ExitCode;
-use tabmeta::contrastive::{Pipeline, PipelineConfig};
+use tabmeta::contrastive::{
+    atomic_write, load_pipeline, run_fingerprint, save_pipeline, CheckpointStore, Pipeline,
+    PipelineConfig,
+};
 use tabmeta::corpora::{CorpusKind, GeneratorConfig};
 use tabmeta::eval::{standard_keys, LevelKey, LevelScores};
 use tabmeta::obs::names;
@@ -37,7 +41,7 @@ impl Args {
             };
             match name {
                 // Boolean flags.
-                "score" | "lossy" => pairs.push((name.to_string(), "true".to_string())),
+                "score" | "lossy" | "resume" => pairs.push((name.to_string(), "true".to_string())),
                 _ => {
                     let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     pairs.push((name.to_string(), value.clone()));
@@ -76,8 +80,11 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     let seed = args.u64_or("seed", 42)?;
     let out = args.require("out")?;
     let corpus = kind.generate(&GeneratorConfig { n_tables, seed });
-    let file = fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?;
-    corpus.write_jsonl(file).map_err(|e| format!("write {out}: {e}"))?;
+    // Serialize to memory first so the file lands atomically: a killed
+    // `generate` never leaves a half-written corpus under the final name.
+    let mut bytes = Vec::new();
+    corpus.write_jsonl(&mut bytes).map_err(|e| format!("serialize corpus: {e}"))?;
+    atomic_write(Path::new(out), &bytes).map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote {} tables of {} to {out}", corpus.len(), kind.name());
     Ok(())
 }
@@ -123,11 +130,37 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         "paper" => PipelineConfig::paper(seed),
         other => return Err(format!("unknown --config '{other}' (fast|paper)")),
     };
+    // The fingerprint binds checkpoints and the saved model to this exact
+    // config + corpus (minus the schedule-only `threads` knob).
+    let fingerprint = run_fingerprint(&config, &corpus.tables);
+    let store = match args.get("checkpoint-dir") {
+        Some(dir) => Some(
+            CheckpointStore::open(dir, fingerprint)
+                .map_err(|e| format!("open checkpoint dir {dir}: {e}"))?,
+        ),
+        None => None,
+    };
+    let resume_from = if args.get("resume").is_some() {
+        let store =
+            store.as_ref().ok_or("--resume needs --checkpoint-dir to scan for checkpoints")?;
+        let (checkpoint, report) =
+            store.latest_valid().map_err(|e| format!("scan checkpoints: {e}"))?;
+        if !report.is_clean() || report.resumed_from.is_some() {
+            eprint!("{}", report.render_text());
+        }
+        if checkpoint.is_none() {
+            eprintln!("no valid checkpoint found; training from scratch");
+        }
+        checkpoint
+    } else {
+        None
+    };
     // Wall-clock flows through the obs layer (TM-L002): the same interval
     // backs the `cli.train` span, the `cli.total_secs` gauge, and the
     // printed summary.
-    let (pipeline, elapsed) =
-        tabmeta_obs::timed(names::SPAN_CLI_TRAIN, || Pipeline::train(&corpus.tables, &config));
+    let (pipeline, elapsed) = tabmeta_obs::timed(names::SPAN_CLI_TRAIN, || {
+        Pipeline::train_with_checkpoints(&corpus.tables, &config, store.as_ref(), resume_from, None)
+    });
     let pipeline = pipeline.map_err(|e| e.to_string())?;
     tabmeta_obs::global().gauge(names::CLI_TOTAL_SECS).set(elapsed.as_secs_f64());
     let s = pipeline.summary();
@@ -138,15 +171,22 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         s.sgns_pairs,
         s.markup_bootstrapped
     );
-    fs::write(out, pipeline.to_json()).map_err(|e| format!("write {out}: {e}"))?;
+    save_pipeline(Path::new(out), &pipeline, fingerprint)
+        .map_err(|e| format!("write {out}: {e}"))?;
     println!("model saved to {out}");
     Ok(())
 }
 
+/// Load a model artifact through the validating loader; a rejection names
+/// the typed reason and the byte offset of the damage.
+fn load_model(path: &str) -> Result<Pipeline, String> {
+    let (pipeline, _fingerprint) = load_pipeline(Path::new(path))
+        .map_err(|e| format!("model {path} rejected [{}]: {e}", e.reason()))?;
+    Ok(pipeline)
+}
+
 fn cmd_classify(args: &Args) -> Result<(), String> {
-    let model_path = args.require("model")?;
-    let json = fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
-    let pipeline = Pipeline::from_json(&json).map_err(|e| format!("parse model: {e}"))?;
+    let pipeline = load_model(args.require("model")?)?;
 
     if let Some(path) = args.get("csv") {
         let text = fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
@@ -295,9 +335,7 @@ fn cmd_reproduce(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_inspect(args: &Args) -> Result<(), String> {
-    let model_path = args.require("model")?;
-    let json = fs::read_to_string(model_path).map_err(|e| format!("read {model_path}: {e}"))?;
-    let pipeline = Pipeline::from_json(&json).map_err(|e| format!("parse model: {e}"))?;
+    let pipeline = load_model(args.require("model")?)?;
     let c = pipeline.centroids();
     for (name, ax) in [("rows (HMD)", &c.rows), ("columns (VMD)", &c.columns)] {
         println!("{name}:");
@@ -319,14 +357,20 @@ fn cmd_inspect(args: &Args) -> Result<(), String> {
 
 const USAGE: &str = "usage:
   tabmeta generate --corpus <name> [--tables N] [--seed S] --out corpus.jsonl
-  tabmeta train    (--corpus corpus.jsonl [--lossy] | --csv-dir DIR) [--seed S] [--config fast|paper] --out model.json
-  tabmeta classify --model model.json (--csv table.csv | --corpus corpus.jsonl [--lossy] [--score])
-  tabmeta inspect  --model model.json
+  tabmeta train    (--corpus corpus.jsonl [--lossy] | --csv-dir DIR) [--seed S] [--config fast|paper]
+                   [--checkpoint-dir DIR [--resume]] --out model.tma
+  tabmeta classify --model model.tma (--csv table.csv | --corpus corpus.jsonl [--lossy] [--score])
+  tabmeta inspect  --model model.tma
   tabmeta stats    --corpus corpus.jsonl [--lossy]
   tabmeta reproduce [--artifact table1|…|table6|fig6|fig7|runtime|cmd] [--tables N] [--seed S]
 
   --lossy: quarantine malformed JSONL records (report on stderr) instead of
-  aborting on the first bad line.";
+  aborting on the first bad line.
+  --checkpoint-dir: write a durable checkpoint after every training epoch;
+  with --resume, continue from the newest valid checkpoint in that
+  directory (corrupt ones are quarantined and reported on stderr).
+  Models are saved as versioned, checksummed artifacts and are fully
+  validated on load.";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

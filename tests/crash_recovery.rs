@@ -1,0 +1,194 @@
+//! Crash-recovery gate: training killed at any epoch boundary must resume
+//! from its checkpoints to a final model **byte-identical** to an
+//! uninterrupted run of the same seed (at `threads = 1`), and corrupted
+//! checkpoints must be quarantined with a typed reason — never loaded.
+//!
+//! Run at `RAYON_NUM_THREADS=1` (scripts/check.sh does) — the identity
+//! claim is about the sequential deterministic path.
+
+use std::path::PathBuf;
+use tabmeta::contrastive::{EmbeddingChoice, Pipeline, PipelineConfig};
+use tabmeta::corpora::{CorpusKind, GeneratorConfig};
+use tabmeta::resilience::{run_crash_recovery, CheckpointCorruption, CrashPlan};
+use tabmeta::tabular::Table;
+
+/// Small but complete config: 4 SGNS epochs + 6 fine-tune epochs = 10
+/// global kill points per corpus.
+fn tiny_config(seed: u64) -> PipelineConfig {
+    let mut config = PipelineConfig::fast_seeded(seed);
+    if let EmbeddingChoice::Word2Vec(sgns) = &mut config.embedding {
+        sgns.dim = 24;
+        sgns.epochs = 4;
+    }
+    if let Some(ft) = &mut config.finetune {
+        ft.epochs = 6;
+    }
+    config
+}
+
+fn tiny_corpus(seed: u64) -> Vec<Table> {
+    CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 40, seed }).tables
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tabmeta-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The 20-kill-point sweep: two corpus seeds × every global epoch
+/// boundary. Each drill kills training right after the checkpoint for
+/// that epoch is durable, resumes from disk, and must reproduce the
+/// uninterrupted model bit-for-bit.
+#[test]
+fn every_kill_point_resumes_bit_identical() {
+    for corpus_seed in [31u64, 47] {
+        let tables = tiny_corpus(corpus_seed);
+        let config = tiny_config(corpus_seed);
+        let baseline = Pipeline::train(&tables, &config).unwrap().to_json().unwrap();
+        for kill_after in 1..=10u64 {
+            let dir = scratch_dir(&format!("sweep-{corpus_seed}-{kill_after}"));
+            let plan = CrashPlan {
+                kill_after_epoch: kill_after,
+                corruption: CheckpointCorruption::Intact,
+            };
+            let outcome = run_crash_recovery(&tables, &config, &dir, &plan)
+                .unwrap_or_else(|e| panic!("drill seed={corpus_seed} kill={kill_after}: {e}"));
+            assert_eq!(
+                outcome.killed_at,
+                Some(kill_after),
+                "kill switch fires at the requested epoch"
+            );
+            assert!(
+                outcome.scan.resumed_from.is_some(),
+                "a checkpoint must exist to resume from (seed={corpus_seed} kill={kill_after})"
+            );
+            assert!(outcome.scan.is_clean(), "no corruption injected, nothing to quarantine");
+            assert_eq!(
+                outcome.recovered.to_json().unwrap(),
+                baseline,
+                "resume must be byte-identical (seed={corpus_seed} kill={kill_after})"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+/// Corruption drills: the newest checkpoint is damaged after the kill;
+/// the scan must quarantine it with the right typed reason, fall back to
+/// an older valid checkpoint (or scratch), and still reproduce the
+/// uninterrupted model exactly.
+#[test]
+fn corrupted_checkpoints_are_quarantined_and_recovery_stays_exact() {
+    let tables = tiny_corpus(5);
+    let config = tiny_config(5);
+    let baseline = Pipeline::train(&tables, &config).unwrap().to_json().unwrap();
+    // (kill epoch, damage, expected typed reason). Epoch 3 is mid-SGNS,
+    // epoch 7 is mid-fine-tune; epoch 1 leaves no older checkpoint, so
+    // recovery restarts from scratch.
+    let scenarios: &[(u64, CheckpointCorruption, &str)] = &[
+        (3, CheckpointCorruption::TruncateTail(37), "truncated"),
+        (7, CheckpointCorruption::BitFlip { offset: 40, mask: 0x20 }, "checksum_mismatch"),
+        (7, CheckpointCorruption::KeepPrefix(10), "truncated"),
+        (1, CheckpointCorruption::BitFlip { offset: 4096, mask: 0x01 }, "checksum_mismatch"),
+    ];
+    for (i, (kill_after, corruption, reason)) in scenarios.iter().enumerate() {
+        let dir = scratch_dir(&format!("corrupt-{i}"));
+        let plan = CrashPlan { kill_after_epoch: *kill_after, corruption: *corruption };
+        let outcome = run_crash_recovery(&tables, &config, &dir, &plan)
+            .unwrap_or_else(|e| panic!("scenario {i}: {e}"));
+        assert_eq!(outcome.killed_at, Some(*kill_after));
+        let corrupted = outcome.corrupted_file.as_deref().expect("a checkpoint was damaged");
+        assert_eq!(
+            outcome.scan.quarantined.len(),
+            1,
+            "exactly the damaged file quarantines (scenario {i}): {}",
+            outcome.scan.render_text()
+        );
+        let q = &outcome.scan.quarantined[0];
+        assert_eq!(q.file, corrupted, "the damaged file is the one quarantined");
+        assert_eq!(q.error.reason(), *reason, "typed reason (scenario {i}): {}", q.error);
+        let moved = q.moved_to.as_ref().expect("quarantine move succeeded");
+        assert!(moved.exists(), "quarantined file preserved for forensics");
+        assert!(
+            moved.parent().unwrap().ends_with("quarantine"),
+            "moved into the quarantine/ subdirectory"
+        );
+        assert_ne!(
+            outcome.scan.resumed_from.as_deref(),
+            Some(corrupted),
+            "a corrupted checkpoint is never loaded"
+        );
+        if *kill_after > 1 {
+            assert!(
+                outcome.scan.resumed_from.is_some(),
+                "an older valid checkpoint takes over (scenario {i})"
+            );
+        }
+        assert_eq!(
+            outcome.recovered.to_json().unwrap(),
+            baseline,
+            "recovery is still byte-identical (scenario {i})"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// A kill point past the end of training means the run completes; the
+/// drill reports no kill and the finished model is the baseline.
+#[test]
+fn kill_point_past_training_end_is_a_clean_run() {
+    let tables = tiny_corpus(9);
+    let config = tiny_config(9);
+    let baseline = Pipeline::train(&tables, &config).unwrap().to_json().unwrap();
+    let dir = scratch_dir("past-end");
+    let plan = CrashPlan { kill_after_epoch: 99, corruption: CheckpointCorruption::Intact };
+    let outcome = run_crash_recovery(&tables, &config, &dir, &plan).unwrap();
+    assert_eq!(outcome.killed_at, None);
+    assert_eq!(outcome.recovered.to_json().unwrap(), baseline);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// CharGram path: the second embedder's resumable trainer honors the same
+/// byte-identity contract.
+#[test]
+fn chargram_kill_points_resume_bit_identical() {
+    let tables = tiny_corpus(13);
+    let mut config = PipelineConfig::fast_chargram(13);
+    if let Some(ft) = &mut config.finetune {
+        ft.epochs = 4;
+    }
+    let baseline = Pipeline::train(&tables, &config).unwrap().to_json().unwrap();
+    // 3 SGNS epochs + 4 fine-tune epochs; probe both stages.
+    for kill_after in [2u64, 5] {
+        let dir = scratch_dir(&format!("chargram-{kill_after}"));
+        let plan =
+            CrashPlan { kill_after_epoch: kill_after, corruption: CheckpointCorruption::Intact };
+        let outcome = run_crash_recovery(&tables, &config, &dir, &plan).unwrap();
+        assert_eq!(outcome.killed_at, Some(kill_after));
+        assert_eq!(
+            outcome.recovered.to_json().unwrap(),
+            baseline,
+            "chargram resume must be byte-identical (kill={kill_after})"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// Hogwild training (`threads > 1`) checkpoints at stage boundaries and
+/// must still kill/resume cleanly — recovery trains to completion even
+/// though bit-identity is only promised at `threads = 1`.
+#[test]
+fn hogwild_training_still_recovers() {
+    let tables = tiny_corpus(17);
+    let mut config = tiny_config(17);
+    config.threads = 4;
+    let dir = scratch_dir("hogwild");
+    // The SGNS stage checkpoint lands at epoch 4 (the stage boundary).
+    let plan = CrashPlan { kill_after_epoch: 4, corruption: CheckpointCorruption::Intact };
+    let outcome = run_crash_recovery(&tables, &config, &dir, &plan).unwrap();
+    assert_eq!(outcome.killed_at, Some(4));
+    assert!(outcome.scan.resumed_from.is_some());
+    assert!(outcome.recovered.summary().sgns_pairs > 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

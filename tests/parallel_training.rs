@@ -22,10 +22,18 @@ fn single_thread_is_bit_identical_to_default() {
     let explicit_cfg = PipelineConfig::fast_seeded(11).with_threads(1);
     let a = Pipeline::train(&corpus.tables, &default_cfg).unwrap();
     let b = Pipeline::train(&corpus.tables, &explicit_cfg).unwrap();
-    assert_eq!(a.to_json(), b.to_json(), "threads=1 must be the sequential seeded stream");
+    assert_eq!(
+        a.to_json().unwrap(),
+        b.to_json().unwrap(),
+        "threads=1 must be the sequential seeded stream"
+    );
     // And repeated runs of the same config stay deterministic.
     let c = Pipeline::train(&corpus.tables, &default_cfg).unwrap();
-    assert_eq!(a.to_json(), c.to_json(), "sequential training must be reproducible");
+    assert_eq!(
+        a.to_json().unwrap(),
+        c.to_json().unwrap(),
+        "sequential training must be reproducible"
+    );
 }
 
 /// Hogwild training at `threads = 4` must stay within ±0.03 of the
