@@ -9,6 +9,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod perf;
+
 use tabmeta_core::{Pipeline, PipelineConfig};
 use tabmeta_corpora::{CorpusKind, GeneratorConfig};
 use tabmeta_eval::ExperimentConfig;

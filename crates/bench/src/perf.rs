@@ -1,0 +1,467 @@
+//! The perf-trajectory harness behind `tabmeta bench`: seeded
+//! warmup-then-measured workloads whose results land in schema-versioned
+//! `BENCH_*.json` reports at the repo root, plus the regression compare
+//! that gates them in `scripts/check.sh`.
+//!
+//! A report separates *work* (deterministic integer counts — tables
+//! classified, SGNS pairs trained, rows ingested — which must be
+//! byte-identical across same-seed reruns) from *measurements*
+//! (throughput and latency floats, which never are). [`compare`] exploits
+//! the split: when two reports share a seed and config fingerprint their
+//! work maps must match exactly (a determinism gate), while measured
+//! keys ending in `_per_sec` are higher-is-better throughput gated by a
+//! relative tolerance. [`scale_throughput`] synthesizes regression
+//! fixtures for testing the gate itself.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::{Duration, Instant};
+use tabmeta_core::persist::{atomic_write, run_fingerprint};
+use tabmeta_core::{Pipeline, PipelineConfig};
+use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+use tabmeta_obs::{global, mem, names, Registry};
+use tabmeta_tabular::Corpus;
+
+/// Report format version; [`load_report`] rejects anything else.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Relative throughput tolerance of [`compare`] when the caller passes
+/// `None`: a `_per_sec` metric may drop up to 20% before it counts as a
+/// regression.
+pub const DEFAULT_TOLERANCE: f64 = 0.2;
+
+/// Scale and seeding of one bench run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerfConfig {
+    /// RNG seed for corpus generation and training.
+    pub seed: u64,
+    /// Synthetic corpus size (tables).
+    pub tables: usize,
+    /// Unmeasured warmup iterations per workload.
+    pub warmup: usize,
+    /// Measured iterations per workload.
+    pub iters: usize,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig { seed: 2025, tables: 240, warmup: 1, iters: 3 }
+    }
+}
+
+/// One workload's machine-readable result, serialized to `BENCH_*.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report format version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Workload name: `"classify"` or `"train"`.
+    pub workload: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Corpus size (tables) the run used.
+    pub tables: usize,
+    /// Warmup iterations before measurement.
+    pub warmup: usize,
+    /// Measured iterations.
+    pub iters: usize,
+    /// `run_fingerprint` of the pipeline config + corpus, hex-encoded.
+    pub config_fingerprint: String,
+    /// Whether the counting allocator was installed in this process.
+    pub mem_tracked: bool,
+    /// High-water heap bytes over the measured iterations (0 when not
+    /// tracked).
+    pub peak_mem_bytes: u64,
+    /// Deterministic work counts — identical across same-seed reruns.
+    pub work: BTreeMap<String, u64>,
+    /// Measurements; keys ending `_per_sec` are higher-is-better
+    /// throughput gated by [`compare`].
+    pub measured: BTreeMap<String, f64>,
+}
+
+impl BenchReport {
+    fn new(workload: &str, cfg: &PerfConfig, fingerprint: u64) -> Self {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            workload: workload.to_string(),
+            seed: cfg.seed,
+            tables: cfg.tables,
+            warmup: cfg.warmup,
+            iters: cfg.iters,
+            config_fingerprint: format!("{fingerprint:016x}"),
+            mem_tracked: mem::is_tracking(),
+            peak_mem_bytes: mem::peak_bytes(),
+            work: BTreeMap::new(),
+            measured: BTreeMap::new(),
+        }
+    }
+
+    /// The file name this report is written under (`BENCH_classify.json`).
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.workload)
+    }
+}
+
+fn per_sec(count: u64, elapsed: Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs > 0.0 {
+        count as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// Batch-classification workload: train once, then measure
+/// `classify_corpus` over the held-out split (tables/sec) and per-table
+/// latency quantiles from a [`names::BENCH_CLASSIFY_TABLE_MICROS`]
+/// histogram.
+pub fn run_classify(cfg: &PerfConfig) -> Result<BenchReport, String> {
+    let corpus =
+        CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: cfg.tables, seed: cfg.seed });
+    let pipe_cfg = PipelineConfig::fast_seeded(cfg.seed);
+    let mut report = BenchReport::new("classify", cfg, run_fingerprint(&pipe_cfg, &corpus.tables));
+    let cut = corpus.tables.len() * 7 / 10;
+    let (train, test) = corpus.tables.split_at(cut);
+    let pipeline =
+        Pipeline::train(train, &pipe_cfg).map_err(|e| format!("bench training failed: {e}"))?;
+
+    for _ in 0..cfg.warmup {
+        let _ = pipeline.classify_corpus(test);
+    }
+
+    mem::reset_peak();
+    let latencies = Registry::new();
+    let mut batch_elapsed = Duration::ZERO;
+    let mut classified: u64 = 0;
+    for _ in 0..cfg.iters.max(1) {
+        let (verdicts, elapsed) =
+            global().timed(names::SPAN_BENCH_CLASSIFY, || pipeline.classify_corpus(test));
+        batch_elapsed += elapsed;
+        classified += verdicts.len() as u64;
+        // Per-table latency from single-table calls; the batch path above
+        // is what throughput is measured on.
+        for table in test {
+            let start = Instant::now();
+            let _ = pipeline.classify(table);
+            let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            latencies.histogram(names::BENCH_CLASSIFY_TABLE_MICROS).record(micros);
+        }
+    }
+
+    let tables_per_sec = per_sec(classified, batch_elapsed);
+    global().gauge(names::BENCH_CLASSIFY_TABLES_PER_SEC).set(tables_per_sec);
+    mem::publish(global());
+    report.peak_mem_bytes = mem::peak_bytes();
+    report.mem_tracked = mem::is_tracking();
+
+    report.work.insert("corpus_tables".into(), corpus.tables.len() as u64);
+    report.work.insert("train_tables".into(), train.len() as u64);
+    report.work.insert("tables_classified".into(), classified);
+    report.measured.insert("tables_per_sec".into(), tables_per_sec);
+    let hist = latencies.histogram(names::BENCH_CLASSIFY_TABLE_MICROS);
+    if let (Some(p50), Some(p99)) = (hist.p50(), hist.p99()) {
+        report.measured.insert("table_p50_micros".into(), p50 as f64);
+        report.measured.insert("table_p99_micros".into(), p99 as f64);
+    }
+    Ok(report)
+}
+
+/// Training + ingestion workload: measure JSONL ingestion (rows/sec over
+/// an in-memory round-trip) and full pipeline training (SGNS pairs/sec).
+pub fn run_train(cfg: &PerfConfig) -> Result<BenchReport, String> {
+    let corpus =
+        CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: cfg.tables, seed: cfg.seed });
+    let pipe_cfg = PipelineConfig::fast_seeded(cfg.seed);
+    let mut report = BenchReport::new("train", cfg, run_fingerprint(&pipe_cfg, &corpus.tables));
+
+    let mut jsonl = Vec::new();
+    corpus.write_jsonl(&mut jsonl).map_err(|e| format!("corpus serialization failed: {e}"))?;
+    let rows_per_pass: u64 = corpus.tables.iter().map(|t| t.n_rows() as u64).sum();
+
+    for _ in 0..cfg.warmup {
+        let _ = Corpus::read_jsonl("bench", &jsonl[..]);
+        let _ = Pipeline::train(&corpus.tables, &pipe_cfg);
+    }
+
+    mem::reset_peak();
+    let mut ingest_elapsed = Duration::ZERO;
+    let mut rows_ingested: u64 = 0;
+    let mut train_elapsed = Duration::ZERO;
+    let mut pairs_trained: u64 = 0;
+    let mut sentences: u64 = 0;
+    for _ in 0..cfg.iters.max(1) {
+        let (ingested, elapsed) =
+            global().timed(names::SPAN_BENCH_INGEST, || Corpus::read_jsonl("bench", &jsonl[..]));
+        ingested.map_err(|e| format!("bench ingestion failed: {e}"))?;
+        ingest_elapsed += elapsed;
+        rows_ingested += rows_per_pass;
+
+        let (trained, elapsed) =
+            global().timed(names::SPAN_BENCH_TRAIN, || Pipeline::train(&corpus.tables, &pipe_cfg));
+        let trained = trained.map_err(|e| format!("bench training failed: {e}"))?;
+        train_elapsed += elapsed;
+        pairs_trained += trained.summary().sgns_pairs;
+        sentences = trained.summary().sentences as u64;
+    }
+
+    let rows_per_sec = per_sec(rows_ingested, ingest_elapsed);
+    let pairs_per_sec = per_sec(pairs_trained, train_elapsed);
+    global().gauge(names::BENCH_INGEST_ROWS_PER_SEC).set(rows_per_sec);
+    global().gauge(names::BENCH_TRAIN_PAIRS_PER_SEC).set(pairs_per_sec);
+    mem::publish(global());
+    report.peak_mem_bytes = mem::peak_bytes();
+    report.mem_tracked = mem::is_tracking();
+
+    report.work.insert("corpus_tables".into(), corpus.tables.len() as u64);
+    report.work.insert("rows_ingested".into(), rows_ingested);
+    report.work.insert("sgns_pairs".into(), pairs_trained);
+    report.work.insert("sentences".into(), sentences);
+    report.measured.insert("rows_per_sec".into(), rows_per_sec);
+    report.measured.insert("pairs_per_sec".into(), pairs_per_sec);
+    report
+        .measured
+        .insert("train_secs".into(), train_elapsed.as_secs_f64() / cfg.iters.max(1) as f64);
+    Ok(report)
+}
+
+/// Atomically write `report` as pretty-printed JSON (trailing newline) at
+/// `path`.
+pub fn write_report(path: &Path, report: &BenchReport) -> Result<(), String> {
+    let mut json = serde_json::to_string_pretty(report)
+        .map_err(|e| format!("report serialization failed: {e}"))?;
+    json.push('\n');
+    atomic_write(path, json.as_bytes()).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
+/// Load and schema-check a report written by [`write_report`].
+pub fn load_report(path: &Path) -> Result<BenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let report: BenchReport =
+        serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "{}: schema_version {} unsupported (expected {SCHEMA_VERSION})",
+            path.display(),
+            report.schema_version
+        ));
+    }
+    Ok(report)
+}
+
+/// Result of [`compare`]: human-readable per-metric lines plus the
+/// failures that make the comparison gate fail.
+#[derive(Debug, Clone, Default)]
+pub struct CompareOutcome {
+    /// One line per compared metric (always populated).
+    pub lines: Vec<String>,
+    /// Throughput regressions beyond tolerance.
+    pub regressions: Vec<String>,
+    /// Determinism / compatibility violations (work-count drift, workload
+    /// mismatch).
+    pub mismatches: Vec<String>,
+}
+
+impl CompareOutcome {
+    /// Whether the gate passes (no regressions, no mismatches).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.mismatches.is_empty()
+    }
+
+    /// Render everything as one printable block.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        for m in &self.mismatches {
+            out.push_str(&format!("MISMATCH: {m}\n"));
+        }
+        for r in &self.regressions {
+            out.push_str(&format!("REGRESSION: {r}\n"));
+        }
+        out.push_str(if self.passed() { "compare: PASS\n" } else { "compare: FAIL\n" });
+        out
+    }
+}
+
+/// Compare `current` against `baseline`.
+///
+/// Throughput gate: every measured key ending `_per_sec` present in both
+/// reports may not drop more than `tolerance` (relative; default
+/// [`DEFAULT_TOLERANCE`]). Determinism gate: when the two runs share a
+/// seed and config fingerprint, their `work` maps must be identical.
+/// `deterministic_only` skips the (noise-sensitive) throughput gate and
+/// checks only determinism and compatibility — what CI wants when the
+/// two runs raced on a loaded machine.
+pub fn compare(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    tolerance: Option<f64>,
+    deterministic_only: bool,
+) -> CompareOutcome {
+    let tolerance = tolerance.unwrap_or(DEFAULT_TOLERANCE);
+    let mut out = CompareOutcome::default();
+
+    if baseline.workload != current.workload {
+        out.mismatches.push(format!(
+            "workload {:?} (baseline) vs {:?} (current)",
+            baseline.workload, current.workload
+        ));
+        return out;
+    }
+
+    let same_run = baseline.seed == current.seed
+        && baseline.config_fingerprint == current.config_fingerprint
+        && baseline.iters == current.iters;
+    if same_run && baseline.work != current.work {
+        let keys: std::collections::BTreeSet<&String> =
+            baseline.work.keys().chain(current.work.keys()).collect();
+        for key in keys {
+            let b = baseline.work.get(key);
+            let c = current.work.get(key);
+            if b != c {
+                out.mismatches.push(format!(
+                    "work[{key}] = {b:?} (baseline) vs {c:?} (current) despite identical seed/config"
+                ));
+            }
+        }
+    }
+
+    for (key, base) in &baseline.measured {
+        let Some(cur) = current.measured.get(key) else { continue };
+        if !key.ends_with("_per_sec") {
+            out.lines.push(format!("{key}: {base:.1} -> {cur:.1} (informational)"));
+            continue;
+        }
+        let delta = if *base > 0.0 { (cur - base) / base } else { 0.0 };
+        out.lines.push(format!("{key}: {base:.1} -> {cur:.1} ({:+.1}%)", delta * 100.0));
+        if deterministic_only {
+            continue;
+        }
+        if delta < -tolerance {
+            out.regressions.push(format!(
+                "{key} dropped {:.1}% (tolerance {:.0}%)",
+                -delta * 100.0,
+                tolerance * 100.0
+            ));
+        }
+    }
+    out
+}
+
+/// Copy of `report` with every `_per_sec` measurement multiplied by
+/// `factor` — a synthetic fixture for exercising the [`compare`] gate
+/// (e.g. a `factor > 1` baseline makes any real run look regressed).
+pub fn scale_throughput(report: &BenchReport, factor: f64) -> BenchReport {
+    let mut scaled = report.clone();
+    for (key, value) in scaled.measured.iter_mut() {
+        if key.ends_with("_per_sec") {
+            *value *= factor;
+        }
+    }
+    scaled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PerfConfig {
+        PerfConfig { seed: 11, tables: 40, warmup: 0, iters: 1 }
+    }
+
+    fn fake_report() -> BenchReport {
+        let mut r = BenchReport::new("classify", &tiny(), 0xabcd);
+        r.work.insert("tables_classified".into(), 12);
+        r.measured.insert("tables_per_sec".into(), 1000.0);
+        r.measured.insert("table_p50_micros".into(), 250.0);
+        r
+    }
+
+    #[test]
+    fn report_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("tabmeta-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_roundtrip.json");
+        let report = fake_report();
+        write_report(&path, &report).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'), "report ends with a newline");
+        assert_eq!(load_report(&path).unwrap(), report);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unsupported_schema_version_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("tabmeta-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_schema.json");
+        let mut report = fake_report();
+        report.schema_version = SCHEMA_VERSION + 1;
+        let json = serde_json::to_string(&report).unwrap();
+        std::fs::write(&path, json).unwrap();
+        let err = load_report(&path).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn self_compare_passes() {
+        let report = fake_report();
+        let outcome = compare(&report, &report, None, false);
+        assert!(outcome.passed(), "{}", outcome.render_text());
+        assert!(!outcome.lines.is_empty());
+        assert!(outcome.render_text().contains("compare: PASS"));
+    }
+
+    #[test]
+    fn inflated_baseline_fails_the_throughput_gate() {
+        let report = fake_report();
+        let boosted = scale_throughput(&report, 1.5);
+        // Current is 33% below the boosted baseline; tolerance is 20%.
+        let outcome = compare(&boosted, &report, None, false);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions.len(), 1);
+        assert!(outcome.render_text().contains("compare: FAIL"));
+        // Non-throughput metrics never regress, and deterministic-only
+        // mode ignores throughput entirely.
+        assert!(compare(&boosted, &report, None, true).passed());
+        // Within tolerance passes: 10% drop vs 20% tolerance.
+        let slight = scale_throughput(&report, 1.1);
+        assert!(compare(&slight, &report, None, false).passed());
+    }
+
+    #[test]
+    fn workload_mismatch_is_flagged() {
+        let a = fake_report();
+        let mut b = fake_report();
+        b.workload = "train".into();
+        assert!(!compare(&a, &b, None, false).passed());
+    }
+
+    #[test]
+    fn same_seed_runs_are_work_deterministic() {
+        let cfg = tiny();
+        let a = run_classify(&cfg).unwrap();
+        let b = run_classify(&cfg).unwrap();
+        assert_eq!(a.work, b.work, "same-seed classify work counts must match");
+        assert_eq!(a.config_fingerprint, b.config_fingerprint);
+        assert!(a.work["tables_classified"] > 0);
+        assert!(a.measured["tables_per_sec"] > 0.0);
+        let outcome = compare(&a, &b, None, true);
+        assert!(outcome.passed(), "{}", outcome.render_text());
+    }
+
+    #[test]
+    fn train_workload_reports_pairs_and_rows() {
+        let report = run_train(&tiny()).unwrap();
+        assert_eq!(report.workload, "train");
+        assert!(report.work["sgns_pairs"] > 0);
+        assert!(report.work["rows_ingested"] > 0);
+        assert!(report.measured["pairs_per_sec"] > 0.0);
+        assert!(report.measured["rows_per_sec"] > 0.0);
+        assert_eq!(report.file_name(), "BENCH_train.json");
+    }
+}

@@ -8,21 +8,36 @@
 //!   which take a short registry lock) and then hammer the handle.
 //! * **Spans** ([`SpanGuard`], the [`span!`] macro) — RAII wall-time
 //!   scopes that nest per thread into `/`-joined paths
-//!   (`train/embed/epoch`), aggregated per path.
+//!   (`train/embed/epoch`), aggregated per path *and* mirrored as
+//!   timestamped open/close events into a bounded [`Timeline`]
+//!   exportable as JSONL or Chrome `trace_event` JSON.
+//! * **Memory accounting** ([`mem`], feature `alloc-track`) — a counting
+//!   `#[global_allocator]` wrapper feeding `mem.current_bytes` /
+//!   `mem.peak_bytes` gauges.
 //! * **Export** ([`Snapshot`]) — one serializable view of everything,
-//!   renderable as aligned text or JSON (via `serde_json`).
+//!   renderable as aligned text or JSON (via `serde_json`), with
+//!   self-vs-cumulative time attribution per span path.
 //!
 //! The [`global()`] registry serves the pipeline; tests that need exact
 //! counts build private [`Registry`] instances instead.
 
-#![forbid(unsafe_code)]
+// The crate is unsafe-free except for the feature-gated counting
+// allocator in `mem`, which carries its own allow + SAFETY comments.
+#![cfg_attr(not(feature = "alloc-track"), forbid(unsafe_code))]
+#![cfg_attr(feature = "alloc-track", deny(unsafe_code))]
 
+#[cfg(feature = "alloc-track")]
+pub mod mem;
 pub mod metrics;
 pub mod names;
 pub mod span;
+pub mod timeline;
 
 pub use metrics::{Counter, Gauge, Histogram, SUB_BUCKETS};
 pub use span::{SpanGuard, SpanRecorder, SpanStat};
+pub use timeline::{
+    ChromeTrace, ChromeTraceEvent, EventKind, Timeline, TimelineSnapshot, TraceEvent,
+};
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -102,8 +117,28 @@ impl Registry {
         &self.spans
     }
 
+    /// This registry's trace timeline (the span open/close event log).
+    pub fn timeline(&self) -> &Timeline {
+        self.spans.timeline()
+    }
+
+    /// Point-in-time copy of the trace timeline.
+    pub fn timeline_snapshot(&self) -> TimelineSnapshot {
+        self.timeline().snapshot()
+    }
+
     /// Point-in-time copy of every instrument.
     pub fn snapshot(&self) -> Snapshot {
+        let span_stats = self.spans.snapshot();
+        // Self time = a path's total minus its *direct* children's totals
+        // (a child path is parent + "/" + one more segment). Children on
+        // other threads root independently, so there is no double count.
+        let mut child_totals: BTreeMap<String, u64> = BTreeMap::new();
+        for (path, stat) in &span_stats {
+            if let Some(cut) = path.rfind('/') {
+                *child_totals.entry(path[..cut].to_string()).or_default() += stat.total_micros;
+            }
+        }
         Snapshot {
             counters: self
                 .counters
@@ -127,8 +162,9 @@ impl Registry {
                     sum: h.sum(),
                     underflow: h.underflow(),
                     overflow: h.overflow(),
-                    p50: h.quantile(0.5),
-                    p99: h.quantile(0.99),
+                    p50: h.p50(),
+                    p90: h.p90(),
+                    p99: h.p99(),
                     buckets: h
                         .nonzero_buckets()
                         .into_iter()
@@ -136,16 +172,21 @@ impl Registry {
                         .collect(),
                 })
                 .collect(),
-            spans: self
-                .spans
-                .snapshot()
+            spans: span_stats
                 .into_iter()
-                .map(|(path, s)| SpanSnapshot {
-                    path,
-                    count: s.count,
-                    total_micros: s.total_micros,
-                    min_micros: s.min_micros,
-                    max_micros: s.max_micros,
+                .map(|(path, s)| {
+                    let children = child_totals.get(&path).copied().unwrap_or(0);
+                    SpanSnapshot {
+                        // Concurrent children (Hogwild workers nesting
+                        // under a parent on the driving thread) can sum
+                        // past the parent's wall time; clamp at zero.
+                        self_micros: s.total_micros.saturating_sub(children),
+                        path,
+                        count: s.count,
+                        total_micros: s.total_micros,
+                        min_micros: s.min_micros,
+                        max_micros: s.max_micros,
+                    }
                 })
                 .collect(),
         }
@@ -238,6 +279,8 @@ pub struct HistogramSnapshot {
     pub overflow: u64,
     /// Approximate median.
     pub p50: Option<u64>,
+    /// Approximate 90th percentile.
+    pub p90: Option<u64>,
     /// Approximate 99th percentile.
     pub p99: Option<u64>,
     /// Occupied buckets only.
@@ -251,8 +294,11 @@ pub struct SpanSnapshot {
     pub path: String,
     /// Completed invocations.
     pub count: u64,
-    /// Summed wall time, microseconds.
+    /// Summed wall time, microseconds (cumulative: includes children).
     pub total_micros: u64,
+    /// Wall time not attributed to any direct child span, microseconds
+    /// (clamped at zero when concurrent children oversum the parent).
+    pub self_micros: u64,
     /// Fastest invocation, microseconds.
     pub min_micros: u64,
     /// Slowest invocation, microseconds.
@@ -294,10 +340,11 @@ impl Snapshot {
                 let mean = s.total_micros.checked_div(s.count).unwrap_or(0);
                 let _ = writeln!(
                     out,
-                    "  {:indent$}{name:<28} n={:<7} total={:<10} mean={:<10} min={:<10} max={}",
+                    "  {:indent$}{name:<28} n={:<7} total={:<10} self={:<10} mean={:<10} min={:<10} max={}",
                     "",
                     s.count,
                     fmt_micros(s.total_micros),
+                    fmt_micros(s.self_micros),
                     fmt_micros(mean),
                     fmt_micros(s.min_micros),
                     fmt_micros(s.max_micros),
@@ -392,6 +439,29 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_attributes_self_vs_cumulative_time() {
+        let reg = Registry::new();
+        // Inject known aggregates directly; only direct children subtract.
+        reg.spans().record("train", 100);
+        reg.spans().record("train/embed", 30);
+        reg.spans().record("train/embed/epoch", 10);
+        reg.spans().record("train/bootstrap", 25);
+        reg.spans().record("classify", 5);
+        let snap = reg.snapshot();
+        let self_of = |p: &str| snap.spans.iter().find(|s| s.path == p).unwrap().self_micros;
+        assert_eq!(self_of("train"), 100 - 30 - 25);
+        assert_eq!(self_of("train/embed"), 30 - 10);
+        assert_eq!(self_of("train/embed/epoch"), 10);
+        assert_eq!(self_of("classify"), 5);
+        // Oversumming children clamp the parent's self time at zero.
+        reg.spans().record("train/embed/epoch", 1_000);
+        assert_eq!(
+            reg.snapshot().spans.iter().find(|s| s.path == "train/embed").unwrap().self_micros,
+            0
+        );
+    }
+
+    #[test]
     fn reset_clears_instruments() {
         let reg = Registry::new();
         reg.counter("x").inc();
@@ -399,5 +469,6 @@ mod tests {
         reg.reset();
         let snap = reg.snapshot();
         assert!(snap.counters.is_empty() && snap.spans.is_empty());
+        assert!(reg.timeline_snapshot().events.is_empty(), "reset clears the timeline too");
     }
 }

@@ -204,6 +204,21 @@ impl Histogram {
         }
         Some(self.hi)
     }
+
+    /// Approximate median (`None` when empty).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// Approximate 90th percentile (`None` when empty).
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// Approximate 99th percentile (`None` when empty).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +289,50 @@ mod tests {
             expected_lo = hi;
         }
         assert_eq!(expected_lo, 1 << 10);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_none() {
+        let h = Histogram::for_micros();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p90(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn single_sample_pins_every_quantile_to_its_bucket() {
+        let h = Histogram::for_micros();
+        h.record(100);
+        // 100 lands in major [64,128), sub-bucket [96,112); every
+        // quantile reports that bucket's upper bound.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(112), "q={q}");
+        }
+        assert_eq!(h.p50(), h.p99());
+    }
+
+    #[test]
+    fn exact_boundary_sample_reports_its_own_buckets_bound() {
+        // A power-of-two value starts a new major bucket; the quantile
+        // must report that bucket's upper bound, not the previous one's.
+        let h = Histogram::for_micros();
+        h.record(256);
+        assert_eq!(h.quantile(0.5), Some(256 + 256 / SUB_BUCKETS as u64)); // [256, 320)
+        let h2 = Histogram::for_micros();
+        h2.record(255); // last sub-bucket of [128, 256)
+        assert_eq!(h2.quantile(0.5), Some(256));
+    }
+
+    #[test]
+    fn quantile_boundary_cases_under_and_overflow() {
+        let h = Histogram::new(8, 64);
+        h.record(1); // underflow
+        assert_eq!(h.quantile(0.5), Some(8), "all-underflow reports the low bound");
+        let h2 = Histogram::new(8, 64);
+        h2.record(100); // overflow
+        assert_eq!(h2.quantile(0.5), Some(64), "all-overflow reports the high bound");
     }
 
     #[test]

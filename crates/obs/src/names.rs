@@ -38,6 +38,15 @@ pub const SPAN_CLI_TRAIN: &str = "cli.train";
 /// One durable checkpoint write (serialize + envelope + atomic rename).
 pub const SPAN_CHECKPOINT_WRITE: &str = "checkpoint.write";
 
+// --- spans: bench harness ---------------------------------------------
+
+/// Bench harness: one measured batch-classify iteration.
+pub const SPAN_BENCH_CLASSIFY: &str = "bench.classify";
+/// Bench harness: one measured training run.
+pub const SPAN_BENCH_TRAIN: &str = "bench.train";
+/// Bench harness: one measured JSONL ingestion pass.
+pub const SPAN_BENCH_INGEST: &str = "bench.ingest";
+
 // --- spans: eval harness ----------------------------------------------
 
 /// Eval: our pipeline's training run in the runtime experiment.
@@ -126,6 +135,16 @@ pub const CLI_TOTAL_SECS: &str = "cli.total_secs";
 pub const CHECKPOINT_WRITE_SECS: &str = "checkpoint.write_secs";
 /// Global epoch index training resumed from (set once per resume).
 pub const CHECKPOINT_RESUMED_EPOCH: &str = "checkpoint.resumed_epoch";
+/// Bench harness: batch classify throughput of the most recent run.
+pub const BENCH_CLASSIFY_TABLES_PER_SEC: &str = "bench.classify.tables_per_sec";
+/// Bench harness: SGNS pair throughput of the most recent run.
+pub const BENCH_TRAIN_PAIRS_PER_SEC: &str = "bench.train.pairs_per_sec";
+/// Bench harness: JSONL ingestion row throughput of the most recent run.
+pub const BENCH_INGEST_ROWS_PER_SEC: &str = "bench.ingest.rows_per_sec";
+/// Live heap bytes from the counting allocator (0 when not installed).
+pub const MEM_CURRENT_BYTES: &str = "mem.current_bytes";
+/// High-water heap bytes since process start or the last stage reset.
+pub const MEM_PEAK_BYTES: &str = "mem.peak_bytes";
 
 // --- histograms -------------------------------------------------------
 
@@ -134,6 +153,8 @@ pub const EMBED_SENTENCE_LEN: &str = "embed.sentence_len";
 /// Metadata boundary depth per classified axis, bounds [1, 16); depth 0
 /// (headerless axes) lands in the underflow bucket.
 pub const CLASSIFIER_BOUNDARY_DEPTH: &str = "classifier.boundary_depth";
+/// Bench harness: per-table classify latency distribution.
+pub const BENCH_CLASSIFY_TABLE_MICROS: &str = "bench.classify.table_micros";
 
 /// The instrument kind a registered name belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,6 +290,31 @@ pub static REGISTRY: &[MetricDef] = &[
         unit: "µs",
         stage: "train",
         doc: "One durable checkpoint write (serialize + envelope + atomic rename)",
+    },
+    // Spans — bench harness.
+    MetricDef {
+        name: SPAN_BENCH_CLASSIFY,
+        suffix: "",
+        kind: Kind::Span,
+        unit: "µs",
+        stage: "bench",
+        doc: "Bench harness: one measured batch-classify iteration",
+    },
+    MetricDef {
+        name: SPAN_BENCH_TRAIN,
+        suffix: "",
+        kind: Kind::Span,
+        unit: "µs",
+        stage: "bench",
+        doc: "Bench harness: one measured training run",
+    },
+    MetricDef {
+        name: SPAN_BENCH_INGEST,
+        suffix: "",
+        kind: Kind::Span,
+        unit: "µs",
+        stage: "bench",
+        doc: "Bench harness: one measured JSONL ingestion pass",
     },
     // Spans — eval harness.
     MetricDef {
@@ -553,6 +599,46 @@ pub static REGISTRY: &[MetricDef] = &[
         stage: "train",
         doc: "Global epoch index training resumed from (set once per resume)",
     },
+    MetricDef {
+        name: BENCH_CLASSIFY_TABLES_PER_SEC,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "tables/s",
+        stage: "bench",
+        doc: "Batch classify throughput of the most recent bench run",
+    },
+    MetricDef {
+        name: BENCH_TRAIN_PAIRS_PER_SEC,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "pairs/s",
+        stage: "bench",
+        doc: "SGNS pair throughput of the most recent bench run",
+    },
+    MetricDef {
+        name: BENCH_INGEST_ROWS_PER_SEC,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "rows/s",
+        stage: "bench",
+        doc: "JSONL ingestion row throughput of the most recent bench run",
+    },
+    MetricDef {
+        name: MEM_CURRENT_BYTES,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "bytes",
+        stage: "process",
+        doc: "Live heap bytes from the counting allocator (0 when not installed)",
+    },
+    MetricDef {
+        name: MEM_PEAK_BYTES,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "bytes",
+        stage: "process",
+        doc: "High-water heap bytes since process start or the last stage reset",
+    },
     // Histograms.
     MetricDef {
         name: EMBED_SENTENCE_LEN,
@@ -569,6 +655,14 @@ pub static REGISTRY: &[MetricDef] = &[
         unit: "levels",
         stage: "classify",
         doc: "Metadata boundary depth per axis, bounds [1, 16); depth 0 underflows",
+    },
+    MetricDef {
+        name: BENCH_CLASSIFY_TABLE_MICROS,
+        suffix: "",
+        kind: Kind::Histogram,
+        unit: "µs",
+        stage: "bench",
+        doc: "Per-table classify latency distribution in the bench harness",
     },
 ];
 

@@ -10,7 +10,13 @@
 //! Aggregation (count / total / min / max per path) happens only at guard
 //! drop, under a short mutex — spans are for stage-level timing, not
 //! per-element hot loops; use [`crate::metrics::Histogram`] for those.
+//!
+//! Alongside the aggregates, every span entry/exit is mirrored into the
+//! recorder's [`Timeline`] — a bounded event log with monotonic
+//! timestamps, exportable as JSONL or Chrome `trace_event` JSON (see
+//! [`crate::timeline`]).
 
+use crate::timeline::Timeline;
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -39,9 +45,15 @@ pub struct SpanStat {
 #[derive(Debug, Default)]
 pub struct SpanRecorder {
     stats: Mutex<BTreeMap<String, SpanStat>>,
+    timeline: Timeline,
 }
 
 impl SpanRecorder {
+    /// The event log mirroring this recorder's span entries/exits.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
     /// Fold one completed invocation into the aggregate for `path`.
     pub fn record(&self, path: &str, micros: u64) {
         let mut stats = self.stats.lock();
@@ -62,9 +74,10 @@ impl SpanRecorder {
         self.stats.lock().iter().map(|(k, v)| (k.clone(), v.clone())).collect()
     }
 
-    /// Drop all aggregates (test isolation).
+    /// Drop all aggregates and timeline events (test isolation).
     pub fn clear(&self) {
         self.stats.lock().clear();
+        self.timeline.clear();
     }
 }
 
@@ -74,6 +87,9 @@ pub struct SpanGuard<'r> {
     recorder: &'r SpanRecorder,
     path: String,
     start: Instant,
+    /// Whether the open event made it into the (bounded) timeline; the
+    /// close event is recorded only if the open was.
+    traced: bool,
 }
 
 impl<'r> SpanGuard<'r> {
@@ -89,7 +105,8 @@ impl<'r> SpanGuard<'r> {
             stack.push(path.clone());
             path
         });
-        SpanGuard { recorder, path, start: Instant::now() }
+        let traced = recorder.timeline.open(&path);
+        SpanGuard { recorder, path, start: Instant::now(), traced }
     }
 
     /// This span's full `/`-joined path.
@@ -101,6 +118,7 @@ impl<'r> SpanGuard<'r> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let micros = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.recorder.timeline.close(&self.path, self.traced);
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
             // Guards normally drop LIFO; tolerate out-of-order drops by
@@ -147,6 +165,26 @@ mod tests {
         assert_eq!(stats.len(), 1);
         let (_, s) = &stats[0];
         assert_eq!((s.count, s.total_micros, s.min_micros, s.max_micros), (3, 60, 10, 30));
+    }
+
+    #[test]
+    fn guards_mirror_open_close_into_the_timeline() {
+        let rec = SpanRecorder::default();
+        {
+            let _a = SpanGuard::enter(&rec, "outer");
+            let _b = SpanGuard::enter(&rec, "inner");
+        }
+        let snap = rec.timeline().snapshot();
+        snap.validate().expect("RAII drops keep the event stream balanced");
+        let seq: Vec<(&str, crate::timeline::EventKind)> =
+            snap.events.iter().map(|e| (e.path.as_str(), e.kind)).collect();
+        use crate::timeline::EventKind::{Close, Open};
+        assert_eq!(
+            seq,
+            [("outer", Open), ("outer/inner", Open), ("outer/inner", Close), ("outer", Close)]
+        );
+        // Open and close of one span come from the same thread.
+        assert!(snap.events.iter().all(|e| e.thread == snap.events[0].thread));
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //! ```
 //!
 //! `--telemetry <path>` dumps the run's full observability snapshot
-//! (stage span timings, counters, gauges, histograms) plus a sample
-//! classification trace as JSON, and prints the human-readable report.
+//! (stage span timings, counters, gauges, histograms, the span open/close
+//! timeline) plus a sample classification trace as JSON, prints the
+//! human-readable report, and writes a Chrome `trace_event` file next to
+//! it (`<path with .trace.json extension>`, loadable in chrome://tracing
+//! or Perfetto).
 
 use tabmeta::contrastive::TraceStep;
 use tabmeta::corpora::CorpusKind;
@@ -19,13 +22,21 @@ use tabmeta::eval::experiments::{
 use tabmeta::eval::Anatomy;
 use tabmeta::eval::ExperimentConfig;
 
-/// Everything `--telemetry` exports: one obs snapshot plus the angle-walk
-/// trace of one test table, under a single JSON roof.
+/// Everything `--telemetry` exports: one obs snapshot, the span open/close
+/// timeline, plus the angle-walk trace of one test table, under a single
+/// JSON roof.
 #[derive(serde::Serialize)]
 struct Telemetry {
     snapshot: tabmeta::obs::Snapshot,
+    timeline: tabmeta::obs::TimelineSnapshot,
     trace_sample: Vec<TraceStep>,
 }
+
+// Heap accounting: lets the telemetry snapshot report real
+// mem.current_bytes / mem.peak_bytes gauges.
+#[cfg(feature = "mem-track")]
+#[global_allocator]
+static ALLOC: tabmeta::obs::mem::CountingAlloc = tabmeta::obs::mem::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -170,14 +181,28 @@ fn main() {
     );
 
     if let Some(path) = telemetry_path {
+        // Mirror allocator accounting into the mem.* gauges (zeros when
+        // the build carries no allocator).
+        #[cfg(feature = "mem-track")]
+        tabmeta::obs::mem::publish(tabmeta::obs::global());
         let snapshot = tabmeta::obs::global().snapshot();
         println!("\nTelemetry:\n{}", snapshot.render_text());
-        let report = Telemetry { snapshot, trace_sample };
+        let timeline = tabmeta::obs::global().timeline_snapshot();
+        if let Err(e) = timeline.validate() {
+            eprintln!("warning: trace timeline is not well-formed: {e}");
+        }
+        let chrome = serde_json::to_string_pretty(&timeline.to_chrome_trace())
+            .expect("chrome trace serializes");
+        let report = Telemetry { snapshot, timeline, trace_sample };
         let json = serde_json::to_string_pretty(&report).expect("telemetry serializes");
         // Atomic replace: a crash mid-write must never leave a truncated
         // telemetry file where a previous good one stood.
         tabmeta::contrastive::atomic_write(std::path::Path::new(&path), json.as_bytes())
             .expect("telemetry path is writable");
         println!("telemetry written to {path}");
+        let trace_path = std::path::Path::new(&path).with_extension("trace.json");
+        tabmeta::contrastive::atomic_write(&trace_path, chrome.as_bytes())
+            .expect("trace path is writable");
+        println!("chrome trace written to {}", trace_path.display());
     }
 }

@@ -32,6 +32,31 @@ cargo test -q --offline -p tabmeta-resilience -p tabmeta-tabular -p tabmeta-core
 echo "==> cargo test -q --test crash_recovery (RAYON_NUM_THREADS=1)"
 RAYON_NUM_THREADS=1 cargo test -q --offline --test crash_recovery
 
+# Perf-trajectory gate: the bench/obs unit suites (quantiles, timeline,
+# report schema, compare semantics), then a tiny smoke run of `tabmeta
+# bench` — same-seed runs must agree on work counts (determinism gate),
+# self-compare must pass the throughput gate, and a synthetically boosted
+# baseline (1.5x => a 33% apparent regression vs the 20% tolerance) must
+# fail it with a nonzero exit.
+echo "==> bench smoke"
+cargo test -q --offline -p tabmeta-bench
+cargo test -q --offline -p tabmeta-obs --features alloc-track
+BENCH_TMP="$(mktemp -d)"
+trap 'rm -rf "$BENCH_TMP"' EXIT
+TABMETA=target/release/tabmeta
+mkdir -p "$BENCH_TMP/a" "$BENCH_TMP/b"
+"$TABMETA" bench --workload all --tables 60 --warmup 0 --iters 1 --seed 11 --out-dir "$BENCH_TMP/a" >/dev/null
+"$TABMETA" bench --workload all --tables 60 --warmup 0 --iters 1 --seed 11 --out-dir "$BENCH_TMP/b" >/dev/null
+for w in classify train; do
+  "$TABMETA" bench --compare "$BENCH_TMP/a/BENCH_$w.json" --current "$BENCH_TMP/b/BENCH_$w.json" --deterministic-only >/dev/null
+  "$TABMETA" bench --compare "$BENCH_TMP/a/BENCH_$w.json" --current "$BENCH_TMP/a/BENCH_$w.json" >/dev/null
+done
+"$TABMETA" bench --scale "$BENCH_TMP/a/BENCH_classify.json" --factor 1.5 --out "$BENCH_TMP/boosted.json" >/dev/null
+if "$TABMETA" bench --compare "$BENCH_TMP/boosted.json" --current "$BENCH_TMP/a/BENCH_classify.json" >/dev/null 2>&1; then
+  echo "bench compare failed to flag a 33% throughput regression" >&2
+  exit 1
+fi
+
 # Workspace-invariant static analysis: unseeded RNG, raw timing outside
 # the obs layer, unsafe without SAFETY comments, metric names that bypass
 # tabmeta_obs::names, stdout printing in library crates. Exits nonzero on

@@ -9,6 +9,8 @@
 //! tabmeta inspect  --model model.json
 //! tabmeta stats    --corpus corpus.jsonl
 //! tabmeta reproduce --artifact table5 [--tables N] [--seed S]
+//! tabmeta bench    [--workload classify|train|all] [--out-dir DIR]
+//! tabmeta bench    --compare BENCH_classify.json [--current run.json]
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--flag value` pairs) to stay inside
@@ -26,6 +28,12 @@ use tabmeta::eval::{standard_keys, LevelKey, LevelScores};
 use tabmeta::obs::names;
 use tabmeta::tabular::{csv, Corpus};
 
+// Heap accounting for BENCH_*.json peak-memory numbers (satellite of the
+// perf-observability layer); `--no-default-features` builds without it.
+#[cfg(feature = "mem-track")]
+#[global_allocator]
+static ALLOC: tabmeta::obs::mem::CountingAlloc = tabmeta::obs::mem::CountingAlloc;
+
 /// Minimal `--key value` argument map.
 struct Args {
     pairs: Vec<(String, String)>,
@@ -41,7 +49,9 @@ impl Args {
             };
             match name {
                 // Boolean flags.
-                "score" | "lossy" | "resume" => pairs.push((name.to_string(), "true".to_string())),
+                "score" | "lossy" | "resume" | "deterministic-only" => {
+                    pairs.push((name.to_string(), "true".to_string()))
+                }
                 _ => {
                     let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                     pairs.push((name.to_string(), value.clone()));
@@ -63,6 +73,13 @@ impl Args {
         match self.get(name) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| format!("--{name} must be an integer")),
+        }
+    }
+
+    fn f64_opt(&self, name: &str) -> Result<Option<f64>, String> {
+        match self.get(name) {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("--{name} must be a number")),
         }
     }
 }
@@ -334,6 +351,95 @@ fn cmd_reproduce(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `tabmeta bench`: run the seeded perf workloads into `BENCH_*.json`
+/// reports, or compare/scale existing reports.
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    use tabmeta::bench::perf;
+
+    // Fixture mode: scale a report's throughput metrics (used by
+    // scripts/check.sh to synthesize a regression baseline).
+    if let Some(path) = args.get("scale") {
+        let factor =
+            args.f64_opt("factor")?.ok_or("--scale needs --factor (throughput multiplier)")?;
+        let out = args.require("out")?;
+        let scaled = perf::scale_throughput(&perf::load_report(Path::new(path))?, factor);
+        perf::write_report(Path::new(out), &scaled)?;
+        println!("wrote {out}: throughput metrics of {path} scaled by {factor}");
+        return Ok(());
+    }
+
+    // Compare mode: gate a current report (given or freshly measured)
+    // against a baseline; a regression or determinism mismatch is an Err,
+    // so the process exits nonzero.
+    if let Some(baseline_path) = args.get("compare") {
+        let baseline = perf::load_report(Path::new(baseline_path))?;
+        let current = match args.get("current") {
+            Some(p) => perf::load_report(Path::new(p))?,
+            None => {
+                // Re-measure the baseline's workload at its own scale.
+                let cfg = perf::PerfConfig {
+                    seed: baseline.seed,
+                    tables: baseline.tables,
+                    warmup: baseline.warmup,
+                    iters: baseline.iters,
+                };
+                match baseline.workload.as_str() {
+                    "classify" => perf::run_classify(&cfg)?,
+                    "train" => perf::run_train(&cfg)?,
+                    other => return Err(format!("baseline has unknown workload '{other}'")),
+                }
+            }
+        };
+        let outcome = perf::compare(
+            &baseline,
+            &current,
+            args.f64_opt("tolerance")?,
+            args.get("deterministic-only").is_some(),
+        );
+        print!("{}", outcome.render_text());
+        if !outcome.passed() {
+            return Err(format!(
+                "bench compare failed: {} regression(s), {} mismatch(es)",
+                outcome.regressions.len(),
+                outcome.mismatches.len()
+            ));
+        }
+        return Ok(());
+    }
+
+    // Run mode: measure the requested workloads and write their reports.
+    let cfg = perf::PerfConfig {
+        seed: args.u64_or("seed", 2025)?,
+        tables: args.u64_or("tables", 240)? as usize,
+        warmup: args.u64_or("warmup", 1)? as usize,
+        iters: args.u64_or("iters", 3)? as usize,
+    };
+    let workload = args.get("workload").unwrap_or("all");
+    let out_dir = Path::new(args.get("out-dir").unwrap_or(".")).to_path_buf();
+    let mut reports = Vec::new();
+    if matches!(workload, "classify" | "all") {
+        reports.push(perf::run_classify(&cfg)?);
+    }
+    if matches!(workload, "train" | "all") {
+        reports.push(perf::run_train(&cfg)?);
+    }
+    if reports.is_empty() {
+        return Err(format!("unknown --workload '{workload}' (classify|train|all)"));
+    }
+    for report in &reports {
+        let path = out_dir.join(report.file_name());
+        perf::write_report(&path, report)?;
+        println!("{} ({} iters, seed {}):", path.display(), report.iters, report.seed);
+        for (key, value) in &report.measured {
+            println!("  {key}: {value:.1}");
+        }
+        if report.mem_tracked {
+            println!("  peak_mem_bytes: {}", report.peak_mem_bytes);
+        }
+    }
+    Ok(())
+}
+
 fn cmd_inspect(args: &Args) -> Result<(), String> {
     let pipeline = load_model(args.require("model")?)?;
     let c = pipeline.centroids();
@@ -363,7 +469,20 @@ const USAGE: &str = "usage:
   tabmeta inspect  --model model.tma
   tabmeta stats    --corpus corpus.jsonl [--lossy]
   tabmeta reproduce [--artifact table1|…|table6|fig6|fig7|runtime|cmd] [--tables N] [--seed S]
+  tabmeta bench    [--workload classify|train|all] [--tables N] [--seed S]
+                   [--warmup N] [--iters N] [--out-dir DIR]
+  tabmeta bench    --compare baseline.json [--current run.json]
+                   [--tolerance F] [--deterministic-only]
+  tabmeta bench    --scale report.json --factor F --out scaled.json
 
+  bench: seeded warmup-then-measured workloads writing schema-versioned
+  BENCH_classify.json / BENCH_train.json (tables/sec + latency quantiles,
+  SGNS pairs/sec, ingestion rows/sec, peak heap). --compare gates a run
+  against a baseline: throughput may not drop more than --tolerance
+  (default 0.2) and same-seed runs must agree on work counts; exits
+  nonzero on failure. --deterministic-only skips the noise-sensitive
+  throughput gate. Without --current the baseline's workload is
+  re-measured in-process.
   --lossy: quarantine malformed JSONL records (report on stderr) instead of
   aborting on the first bad line.
   --checkpoint-dir: write a durable checkpoint after every training epoch;
@@ -385,6 +504,7 @@ fn main() -> ExitCode {
         "inspect" => cmd_inspect(&args),
         "stats" => cmd_stats(&args),
         "reproduce" => cmd_reproduce(&args),
+        "bench" => cmd_bench(&args),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     });
     match result {
@@ -417,6 +537,18 @@ mod tests {
         let a = Args::parse(&strs(&["--score", "--model", "m.json"])).unwrap();
         assert!(a.get("score").is_some());
         assert_eq!(a.require("model").unwrap(), "m.json");
+    }
+
+    #[test]
+    fn bench_flags_parse() {
+        let a = Args::parse(&strs(&["--compare", "b.json", "--deterministic-only"])).unwrap();
+        assert_eq!(a.get("compare"), Some("b.json"));
+        assert!(a.get("deterministic-only").is_some());
+        assert_eq!(a.f64_opt("tolerance").unwrap(), None, "absent float is None");
+        let b = Args::parse(&strs(&["--factor", "1.5"])).unwrap();
+        assert_eq!(b.f64_opt("factor").unwrap(), Some(1.5));
+        let bad = Args::parse(&strs(&["--factor", "x"])).unwrap();
+        assert!(bad.f64_opt("factor").is_err());
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Acceptance test for the observability layer: one end-to-end train +
 //! classify run must leave every pipeline stage visible in the global
-//! registry, and the snapshot must survive a JSON round-trip.
+//! registry, the trace timeline must be well-formed and exportable as
+//! Chrome `trace_event` JSON, and the snapshot must survive a JSON
+//! round-trip.
 
 use tabmeta::contrastive::{Pipeline, PipelineConfig};
 use tabmeta::corpora::{CorpusKind, GeneratorConfig};
-use tabmeta::obs::{self, names, Snapshot};
+use tabmeta::obs::{self, names, ChromeTrace, EventKind, Registry, Snapshot};
 
 #[test]
 fn pipeline_run_populates_every_stage() {
@@ -71,6 +73,27 @@ fn pipeline_run_populates_every_stage() {
     // classify_corpus(); depth-0 axes land in the underflow bucket.
     assert!(depth.count >= 160);
 
+    // Self-time attribution: a parent's self time never exceeds its
+    // cumulative time.
+    for s in &snap.spans {
+        assert!(s.self_micros <= s.total_micros, "{}: self > total", s.path);
+    }
+
+    // The run's trace timeline is well-formed (every open has a matching
+    // close, children close before parents, per thread) and exports as
+    // valid Chrome trace_event JSON with balanced B/E pairs.
+    let timeline = obs::global().timeline_snapshot();
+    assert!(!timeline.events.is_empty(), "pipeline run recorded no timeline events");
+    timeline.validate().expect("timeline is well-formed");
+    let chrome = timeline.to_chrome_trace();
+    let begins = chrome.trace_events.iter().filter(|e| e.ph == "B").count();
+    let ends = chrome.trace_events.iter().filter(|e| e.ph == "E").count();
+    assert_eq!(begins, ends, "unbalanced begin/end events");
+    let chrome_json = serde_json::to_string(&chrome).expect("chrome trace serializes");
+    assert!(chrome_json.contains("\"traceEvents\""));
+    let chrome_back: ChromeTrace = serde_json::from_str(&chrome_json).expect("round-trips");
+    assert_eq!(chrome_back, chrome);
+
     // The snapshot round-trips through JSON losslessly.
     let json = serde_json::to_string_pretty(&snap).expect("serializes");
     let back: Snapshot = serde_json::from_str(&json).expect("deserializes");
@@ -79,5 +102,56 @@ fn pipeline_run_populates_every_stage() {
     let text = snap.render_text();
     for section in ["spans:", "counters:", "gauges:", "histograms:"] {
         assert!(text.contains(section), "missing {section:?}:\n{text}");
+    }
+}
+
+#[test]
+fn timeline_is_well_formed_across_threads() {
+    // A private registry driven from several threads at once: each
+    // thread's open/close events must obey stack discipline with
+    // consistent thread ids, and the JSONL export must parse line by
+    // line.
+    let reg = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..8 {
+                    let _train = reg.span(names::SPAN_TRAIN);
+                    let _embed = reg.span(names::SPAN_EMBED);
+                    let _epoch = reg.span(names::SPAN_EPOCH);
+                }
+                let _classify = reg.span(names::SPAN_CLASSIFY);
+            });
+        }
+    });
+    let snap = reg.timeline_snapshot();
+    assert_eq!(snap.events.len(), 4 * (8 * 3 + 1) * 2, "every open has a close");
+    assert_eq!(snap.dropped, 0);
+    snap.validate().expect("concurrent spans keep per-thread stack discipline");
+
+    // Thread-id consistency: each open/close pair shares a thread, and
+    // nested paths stay on their opener's thread.
+    let threads: std::collections::BTreeSet<u64> = snap.events.iter().map(|e| e.thread).collect();
+    assert_eq!(threads.len(), 4, "one compact thread id per worker");
+    for thread in threads {
+        let opens =
+            snap.events.iter().filter(|e| e.thread == thread && e.kind == EventKind::Open).count();
+        let closes =
+            snap.events.iter().filter(|e| e.thread == thread && e.kind == EventKind::Close).count();
+        assert_eq!(opens, closes, "thread {thread} is unbalanced");
+        assert_eq!(opens, 8 * 3 + 1);
+    }
+
+    // Timestamps are monotone in admission order.
+    for pair in snap.events.windows(2) {
+        assert!(pair[0].ts_micros <= pair[1].ts_micros);
+    }
+
+    // JSONL export: one parseable object per event.
+    let jsonl = snap.to_jsonl();
+    assert_eq!(jsonl.lines().count(), snap.events.len());
+    for line in jsonl.lines() {
+        let event: tabmeta::obs::TraceEvent = serde_json::from_str(line).expect("line parses");
+        assert!(!event.path.is_empty());
     }
 }
