@@ -1,14 +1,29 @@
 //! Aggregated level vectors (Def. 8): one vector per table row or column,
 //! the summation of its cells' term embeddings.
+//!
+//! Two paths produce the same vectors:
+//!
+//! * [`level_vector`] / [`axis_vectors`] — the direct path: tokenize the
+//!   level's cells and accumulate term embeddings on the spot.
+//! * [`LevelVectorCache`] + [`TermInterner`] — the classify hot path:
+//!   tokenize every cell of a table exactly **once**, resolve each token to
+//!   an interned term vector, and replay the same accumulation order for
+//!   both the Row and Column axis passes. Because a cached term vector is a
+//!   bit-exact copy of what `accumulate` would have added (an embedding
+//!   accumulated into a zero buffer) and the per-level add order is
+//!   unchanged, the cached path is bit-identical to the direct one.
 
+use std::collections::HashMap;
 use tabmeta_embed::TermEmbedder;
 use tabmeta_tabular::{Axis, Table};
-use tabmeta_text::Tokenizer;
+use tabmeta_text::{Token, Tokenizer};
 
 /// Compute the aggregated embedding of one level (row or column).
 ///
 /// Blank cells contribute nothing; returns `None` when no term of the
-/// level embeds (fully blank or fully OOV level).
+/// level embeds (fully blank or fully OOV level). The output buffer is
+/// allocated lazily at the first embeddable token, so fully-blank and
+/// fully-OOV levels allocate nothing.
 pub fn level_vector<E: TermEmbedder + ?Sized>(
     table: &Table,
     axis: Axis,
@@ -16,8 +31,7 @@ pub fn level_vector<E: TermEmbedder + ?Sized>(
     embedder: &E,
     tokenizer: &Tokenizer,
 ) -> Option<Vec<f32>> {
-    let mut out = vec![0.0f32; embedder.dim()];
-    let mut any = false;
+    let mut out: Option<Vec<f32>> = None;
     let mut buf = Vec::new();
     for cell in table.level_cells(axis, index) {
         if cell.is_blank() {
@@ -26,10 +40,23 @@ pub fn level_vector<E: TermEmbedder + ?Sized>(
         buf.clear();
         tokenizer.tokenize_into(&cell.text, &mut buf);
         for tok in &buf {
-            any |= embedder.accumulate(&tok.text, &mut out);
+            match out.as_mut() {
+                Some(o) => {
+                    embedder.accumulate(&tok.text, o);
+                }
+                None if embedder.embeds(&tok.text) => {
+                    // First embeddable token: accumulating into fresh zeros
+                    // is exactly what the eager path did for the prefix of
+                    // OOV tokens (they contributed nothing).
+                    let mut o = vec![0.0f32; embedder.dim()];
+                    embedder.accumulate(&tok.text, &mut o);
+                    out = Some(o);
+                }
+                None => {}
+            }
         }
     }
-    any.then_some(out)
+    out
 }
 
 /// Aggregated vectors for every level along `axis` (index-aligned; `None`
@@ -41,6 +68,218 @@ pub fn axis_vectors<E: TermEmbedder + ?Sized>(
     tokenizer: &Tokenizer,
 ) -> Vec<Option<Vec<f32>>> {
     (0..table.n_levels(axis)).map(|i| level_vector(table, axis, i, embedder, tokenizer)).collect()
+}
+
+/// Memoized term → embedding resolution, shared across many tables.
+///
+/// The classify hot path sees the same header vocabulary over and over
+/// (`age`, `<int>`, `patient`, …); resolving each distinct term through the
+/// embedder once and replaying the cached vector afterwards removes the
+/// per-occurrence vocabulary hash + row copy (and, for CharGram, the whole
+/// n-gram composition). In-vocabulary terms take a dense fast path keyed by
+/// [`TermEmbedder::term_id`]; everything else falls back to a string map.
+///
+/// Interner contents never influence *values* — a cached vector is the
+/// bit-exact `embed` result — so reusing one interner across tables and
+/// worker threads' scratch lifetimes cannot change any verdict.
+#[derive(Default)]
+pub struct TermInterner {
+    /// Dense fast path: embedder vocab id → interned slot + 1 (0 = unset).
+    by_vocab_id: Vec<u32>,
+    /// Fallback for terms without a stable vocab id (OOV, gram-composed).
+    by_str: HashMap<String, u32>,
+    /// Slot → the term's embedding; `None` for terms that do not embed.
+    vectors: Vec<Option<Vec<f32>>>,
+    /// Cell text → its tokens' slots, in tokenization order. Corpora repeat
+    /// cell texts heavily (years, units, shared header vocabulary), and a
+    /// hit here skips the whole tokenize-then-resolve pass for the cell.
+    /// Replaying the identical slot sequence is what makes the memo safe:
+    /// the accumulation the caller performs is unchanged, byte for byte.
+    cell_slots: HashMap<String, Vec<u32>>,
+}
+
+impl TermInterner {
+    /// A fresh, empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resolve `term` to its interned slot, embedding it on first sight.
+    pub fn resolve<E: TermEmbedder + ?Sized>(&mut self, embedder: &E, term: &str) -> u32 {
+        if let Some(id) = embedder.term_id(term) {
+            let idx = id as usize;
+            if idx >= self.by_vocab_id.len() {
+                self.by_vocab_id.resize(idx + 1, 0);
+            }
+            let slot = self.by_vocab_id[idx];
+            if slot != 0 {
+                return slot - 1;
+            }
+            let slot = self.intern(embedder, term);
+            self.by_vocab_id[idx] = slot + 1;
+            slot
+        } else {
+            if let Some(&slot) = self.by_str.get(term) {
+                return slot;
+            }
+            let slot = self.intern(embedder, term);
+            self.by_str.insert(term.to_string(), slot);
+            slot
+        }
+    }
+
+    fn intern<E: TermEmbedder + ?Sized>(&mut self, embedder: &E, term: &str) -> u32 {
+        let slot = self.vectors.len() as u32;
+        self.vectors.push(embedder.embed(term));
+        slot
+    }
+
+    /// The interned slots of one cell's tokens, tokenizing on first sight
+    /// of this exact cell text and replaying the memoized slot list after.
+    ///
+    /// `tokenizer` must be the same across all calls on one interner (the
+    /// scratch that owns an interner belongs to one classifier, which has
+    /// exactly one tokenizer, so this holds by construction).
+    pub fn resolve_cell<E: TermEmbedder + ?Sized>(
+        &mut self,
+        embedder: &E,
+        tokenizer: &Tokenizer,
+        text: &str,
+        token_buf: &mut Vec<Token>,
+    ) -> &[u32] {
+        if !self.cell_slots.contains_key(text) {
+            token_buf.clear();
+            tokenizer.tokenize_into(text, token_buf);
+            let mut slots = Vec::with_capacity(token_buf.len());
+            for tok in token_buf.iter() {
+                slots.push(self.resolve(embedder, &tok.text));
+            }
+            self.cell_slots.insert(text.to_string(), slots);
+        }
+        &self.cell_slots[text]
+    }
+
+    /// The embedding behind a slot returned by [`resolve`], or `None` for a
+    /// term with no representation.
+    ///
+    /// [`resolve`]: TermInterner::resolve
+    #[inline]
+    pub fn vector(&self, slot: u32) -> Option<&[f32]> {
+        self.vectors[slot as usize].as_deref()
+    }
+
+    /// Number of distinct terms interned so far.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Total memo entries held: interned terms plus memoized cell texts.
+    /// The classify scratch pool uses this to retire oversized scratches.
+    pub fn memo_entries(&self) -> usize {
+        self.vectors.len() + self.cell_slots.len()
+    }
+}
+
+/// Per-table cache of tokenized cells: every cell is tokenized exactly once
+/// and its tokens resolved to [`TermInterner`] slots, then both axis passes
+/// replay the slots.
+///
+/// Lifetime: built at the start of a table's classification (lazily — only
+/// if at least one axis actually walks), dropped with the table. The
+/// interner it references outlives it and keeps amortizing across tables.
+pub struct LevelVectorCache {
+    n_rows: usize,
+    n_cols: usize,
+    /// Per cell, row-major `(start, len)` into `terms`.
+    spans: Vec<(u32, u32)>,
+    /// Interner slots of every token of every cell, in tokenization order.
+    terms: Vec<u32>,
+}
+
+impl LevelVectorCache {
+    /// Tokenize every non-blank cell of `table` once, resolving tokens
+    /// through `interner`. `token_buf` is caller-provided scratch so batch
+    /// drivers can reuse one buffer across tables.
+    pub fn build<E: TermEmbedder + ?Sized>(
+        table: &Table,
+        embedder: &E,
+        tokenizer: &Tokenizer,
+        interner: &mut TermInterner,
+        token_buf: &mut Vec<Token>,
+    ) -> Self {
+        let n_rows = table.n_rows();
+        let n_cols = table.n_cols();
+        let mut spans = Vec::with_capacity(n_rows * n_cols);
+        let mut terms = Vec::new();
+        for r in 0..n_rows {
+            for c in 0..n_cols {
+                let cell = table.cell(r, c);
+                if cell.is_blank() {
+                    spans.push((terms.len() as u32, 0));
+                    continue;
+                }
+                let start = terms.len() as u32;
+                terms.extend_from_slice(
+                    interner.resolve_cell(embedder, tokenizer, &cell.text, token_buf),
+                );
+                spans.push((start, terms.len() as u32 - start));
+            }
+        }
+        Self { n_rows, n_cols, spans, terms }
+    }
+
+    /// Number of levels along `axis` (mirrors [`Table::n_levels`]).
+    pub fn n_levels(&self, axis: Axis) -> usize {
+        match axis {
+            Axis::Row => self.n_rows,
+            Axis::Column => self.n_cols,
+        }
+    }
+
+    /// The aggregated vector of one level, bit-identical to
+    /// [`level_vector`]: cells are replayed in the same order
+    /// (left-to-right for rows, top-to-bottom for columns) and each token's
+    /// cached vector is added in tokenization order. Allocation is deferred
+    /// to the first embeddable token, so blank/OOV levels allocate nothing.
+    pub fn level_vector(
+        &self,
+        axis: Axis,
+        index: usize,
+        interner: &TermInterner,
+        dim: usize,
+    ) -> Option<Vec<f32>> {
+        let mut out: Option<Vec<f32>> = None;
+        let (n_cells, stride, base) = match axis {
+            Axis::Row => (self.n_cols, 1, index * self.n_cols),
+            Axis::Column => (self.n_rows, self.n_cols, index),
+        };
+        for i in 0..n_cells {
+            let (start, len) = self.spans[base + i * stride];
+            for slot in &self.terms[start as usize..(start + len) as usize] {
+                if let Some(v) = interner.vector(*slot) {
+                    let buf = out.get_or_insert_with(|| vec![0.0f32; dim]);
+                    tabmeta_linalg::add_assign(buf, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Aggregated vectors for every level along `axis` (index-aligned),
+    /// mirroring [`axis_vectors`].
+    pub fn axis_vectors(
+        &self,
+        axis: Axis,
+        interner: &TermInterner,
+        dim: usize,
+    ) -> Vec<Option<Vec<f32>>> {
+        (0..self.n_levels(axis)).map(|i| self.level_vector(axis, i, interner, dim)).collect()
+    }
 }
 
 /// The terms of one level, post-tokenization — the constituency set that
@@ -82,6 +321,9 @@ mod tests {
             } else {
                 false
             }
+        }
+        fn embeds(&self, term: &str) -> bool {
+            self.map.contains_key(term)
         }
     }
 
@@ -160,5 +402,55 @@ mod tests {
         let t = Table::from_strings(1, &[&["age group", "sex"]]);
         let terms = level_terms(&t, Axis::Row, 0, &Tokenizer::default());
         assert_eq!(terms, vec!["age", "group", "sex"]);
+    }
+
+    #[test]
+    fn cached_level_vectors_are_bit_identical_to_direct() {
+        let t = Table::from_strings(
+            1,
+            &[&["age group", "sex", ""], &["41", "zzz", "42"], &["", "", ""]],
+        );
+        let e = embedder();
+        let tok = Tokenizer::default();
+        let mut interner = TermInterner::new();
+        let mut buf = Vec::new();
+        let cache = LevelVectorCache::build(&t, &e, &tok, &mut interner, &mut buf);
+        for axis in [Axis::Row, Axis::Column] {
+            assert_eq!(cache.n_levels(axis), t.n_levels(axis));
+            for i in 0..t.n_levels(axis) {
+                let direct = level_vector(&t, axis, i, &e, &tok);
+                let cached = cache.level_vector(axis, i, &interner, e.dim());
+                match (&direct, &cached) {
+                    (Some(d), Some(c)) => {
+                        let db: Vec<u32> = d.iter().map(|x| x.to_bits()).collect();
+                        let cb: Vec<u32> = c.iter().map(|x| x.to_bits()).collect();
+                        assert_eq!(db, cb, "{axis:?} level {i}");
+                    }
+                    (None, None) => {}
+                    _ => panic!("{axis:?} level {i}: {direct:?} vs {cached:?}"),
+                }
+            }
+            let direct_axis = axis_vectors(&t, axis, &e, &tok);
+            assert_eq!(cache.axis_vectors(axis, &interner, e.dim()), direct_axis);
+        }
+    }
+
+    #[test]
+    fn interner_memoizes_terms_across_tables() {
+        let e = embedder();
+        let tok = Tokenizer::default();
+        let mut interner = TermInterner::new();
+        let mut buf = Vec::new();
+        let t1 = Table::from_strings(1, &[&["age", "sex"], &["41", "42"]]);
+        let t2 = Table::from_strings(1, &[&["age", "sex"], &["7", "8"]]);
+        LevelVectorCache::build(&t1, &e, &tok, &mut interner, &mut buf);
+        let after_first = interner.len();
+        assert!(after_first >= 3, "age, sex, <int>");
+        LevelVectorCache::build(&t2, &e, &tok, &mut interner, &mut buf);
+        assert_eq!(interner.len(), after_first, "second table adds no new terms");
+        // OOV terms intern once too (slot with no vector).
+        let slot = interner.resolve(&e, "never-seen");
+        assert!(interner.vector(slot).is_none());
+        assert_eq!(interner.resolve(&e, "never-seen"), slot);
     }
 }

@@ -18,15 +18,15 @@
 //! signature (sparse row whose aggregate sits closer to the metadata
 //! reference).
 
-use crate::aggregate::axis_vectors;
+use crate::aggregate::{LevelVectorCache, TermInterner};
 use crate::centroid::CentroidModel;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, OnceLock};
 use tabmeta_embed::TermEmbedder;
-use tabmeta_linalg::angle_degrees;
+use tabmeta_linalg::{angle_from_parts, dot, dot2, dot2_norms, dot_norms, norm};
 use tabmeta_obs::names;
 use tabmeta_tabular::{Axis, LevelLabel, Table};
-use tabmeta_text::Tokenizer;
+use tabmeta_text::{Token, Tokenizer};
 
 /// Cached handles into the global registry: classification runs per table
 /// from rayon workers, so the registry lookup happens once per process and
@@ -245,6 +245,9 @@ pub enum RangeKind {
     Nearest,
     /// No angle available (blank/OOV level or first level).
     Reference,
+    /// No walk happened at all: the axis fell back to positional labeling
+    /// and this step records the fallback label for its level.
+    Degraded,
 }
 
 /// One step of the classification walk, for worked-example output (Fig. 5).
@@ -272,7 +275,129 @@ pub struct Classifier {
     pub config: ClassifierConfig,
 }
 
+/// Reusable classification state: the term interner, tokenization scratch,
+/// and the reference-centroid norms, computed once instead of once per
+/// angle test per table.
+///
+/// Obtain one from [`Classifier::scratch`] and reuse it across many tables
+/// (one per worker thread in the batched path). A scratch is tied to the
+/// classifier that created it — the cached reference norms belong to that
+/// model's centroids. None of its contents influence verdict values:
+/// interned vectors are bit-exact embeddings and the cached norms are the
+/// same `dot(v, v).sqrt()` every angle test used to recompute.
+pub struct ClassifyScratch {
+    interner: TermInterner,
+    token_buf: Vec<Token>,
+    /// `(‖meta_ref‖, ‖data_ref‖)` per axis; `(0.0, 0.0)` for unusable axes
+    /// (never read — unusable axes go positional before any angle test).
+    row_ref_norms: (f32, f32),
+    col_ref_norms: (f32, f32),
+}
+
+impl ClassifyScratch {
+    /// Distinct terms interned so far (across all tables this scratch saw).
+    pub fn interned_terms(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Total memo entries held (terms + distinct cell texts) — the growth
+    /// measure pool retirement bounds on.
+    pub fn memo_entries(&self) -> usize {
+        self.interner.memo_entries()
+    }
+
+    fn ref_norms(&self, axis: Axis) -> (f32, f32) {
+        match axis {
+            Axis::Row => self.row_ref_norms,
+            Axis::Column => self.col_ref_norms,
+        }
+    }
+}
+
+/// Per-axis lazy memo of level norms and level↔reference angles, so each
+/// quantity is computed at most once per table (the `still_meta` re-test
+/// and the CMD scan previously recomputed angles the walk already knew).
+struct AngleMemo {
+    norms: Vec<Option<f32>>,
+    refs: Vec<Option<(f32, f32)>>,
+}
+
+impl AngleMemo {
+    fn new(n: usize) -> Self {
+        Self { norms: vec![None; n], refs: vec![None; n] }
+    }
+
+    /// `(∠(v, meta_ref), ∠(v, data_ref))` for level `i`, fused into one
+    /// pass over `v` and memoized.
+    fn ref_angles(
+        &mut self,
+        i: usize,
+        v: &[f32],
+        meta_ref: &[f32],
+        data_ref: &[f32],
+        ref_norms: (f32, f32),
+    ) -> (f32, f32) {
+        if let Some(a) = self.refs[i] {
+            return a;
+        }
+        let (dm, dd, nv) = match self.norms[i] {
+            Some(nv) => {
+                let (dm, dd) = dot2(v, meta_ref, data_ref);
+                (dm, dd, nv)
+            }
+            None => {
+                let fused = dot2_norms(v, meta_ref, data_ref);
+                self.norms[i] = Some(fused.2);
+                fused
+            }
+        };
+        let a = (angle_from_parts(dm, nv, ref_norms.0), angle_from_parts(dd, nv, ref_norms.1));
+        self.refs[i] = Some(a);
+        a
+    }
+
+    /// `∠(prev, v)` — the walk's consecutive-pair delta — with both norms
+    /// memoized and the unseen one fused into the dot's pass.
+    fn delta(&mut self, i_prev: usize, prev: &[f32], i: usize, v: &[f32]) -> f32 {
+        let np = match self.norms[i_prev] {
+            Some(n) => n,
+            None => {
+                let n = norm(prev);
+                self.norms[i_prev] = Some(n);
+                n
+            }
+        };
+        match self.norms[i] {
+            Some(nv) => angle_from_parts(dot(prev, v), np, nv),
+            None => {
+                let (d, nv) = dot_norms(v, prev);
+                self.norms[i] = Some(nv);
+                angle_from_parts(d, np, nv)
+            }
+        }
+    }
+}
+
 impl Classifier {
+    /// Build a [`ClassifyScratch`] for this classifier, precomputing the
+    /// reference-centroid norms once.
+    pub fn scratch(&self) -> ClassifyScratch {
+        let norms_of = |axis: Axis| {
+            let c = self.centroids.axis(axis);
+            if c.is_usable() {
+                (norm(&c.meta_ref), norm(&c.data_ref))
+            } else {
+                (0.0, 0.0)
+            }
+        };
+        ClassifyScratch {
+            interner: TermInterner::new(),
+            token_buf: Vec::new(),
+            row_ref_norms: norms_of(Axis::Row),
+            col_ref_norms: norms_of(Axis::Column),
+        }
+    }
+
     /// Classify one table (rows, then columns). Never panics and never
     /// fails: degenerate tables and model/embedder mismatches route to the
     /// positional fallback, with the reason recorded on the verdict's
@@ -283,10 +408,24 @@ impl Classifier {
         embedder: &E,
         tokenizer: &Tokenizer,
     ) -> Verdict {
+        self.classify_with_scratch(table, embedder, tokenizer, &mut self.scratch())
+    }
+
+    /// [`Classifier::classify`] with caller-owned scratch state, the entry
+    /// point of the batched hot path: one scratch per worker thread
+    /// amortizes term interning and reference norms across tables. Verdicts
+    /// are bit-identical to [`Classifier::classify`].
+    pub fn classify_with_scratch<E: TermEmbedder + ?Sized>(
+        &self,
+        table: &Table,
+        embedder: &E,
+        tokenizer: &Tokenizer,
+        scratch: &mut ClassifyScratch,
+    ) -> Verdict {
         if self.check_dims(embedder).is_err() {
-            return self.degraded_verdict(table, DegradeReason::ModelMismatch);
+            return self.degraded_verdict(table, DegradeReason::ModelMismatch, None);
         }
-        self.classify_inner(table, embedder, tokenizer, None)
+        self.classify_inner(table, embedder, tokenizer, scratch, None)
     }
 
     /// Strict variant of [`Classifier::classify`]: a model/embedder
@@ -301,21 +440,40 @@ impl Classifier {
         tokenizer: &Tokenizer,
     ) -> Result<Verdict, ClassifyError> {
         self.check_dims(embedder)?;
-        Ok(self.classify_inner(table, embedder, tokenizer, None))
+        Ok(self.classify_inner(table, embedder, tokenizer, &mut self.scratch(), None))
     }
 
     /// Classify and record every angle decision (the Fig. 5 walk-through).
+    ///
+    /// Positional fallbacks are traced too: when an axis (or, on a
+    /// model/embedder mismatch, the whole table) degrades, one
+    /// [`RangeKind::Degraded`] step per level records the fallback label —
+    /// a degraded table never yields an empty trace.
     pub fn classify_with_trace<E: TermEmbedder + ?Sized>(
         &self,
         table: &Table,
         embedder: &E,
         tokenizer: &Tokenizer,
     ) -> (Verdict, Vec<TraceStep>) {
-        if self.check_dims(embedder).is_err() {
-            return (self.degraded_verdict(table, DegradeReason::ModelMismatch), Vec::new());
-        }
+        self.classify_with_trace_scratch(table, embedder, tokenizer, &mut self.scratch())
+    }
+
+    /// [`Classifier::classify_with_trace`] with caller-owned scratch state;
+    /// see [`Classifier::classify_with_scratch`].
+    pub fn classify_with_trace_scratch<E: TermEmbedder + ?Sized>(
+        &self,
+        table: &Table,
+        embedder: &E,
+        tokenizer: &Tokenizer,
+        scratch: &mut ClassifyScratch,
+    ) -> (Verdict, Vec<TraceStep>) {
         let mut trace = Vec::new();
-        let verdict = self.classify_inner(table, embedder, tokenizer, Some(&mut trace));
+        if self.check_dims(embedder).is_err() {
+            let verdict =
+                self.degraded_verdict(table, DegradeReason::ModelMismatch, Some(&mut trace));
+            return (verdict, trace);
+        }
+        let verdict = self.classify_inner(table, embedder, tokenizer, scratch, Some(&mut trace));
         (verdict, trace)
     }
 
@@ -335,9 +493,16 @@ impl Classifier {
     }
 
     /// Fully degraded verdict: positional fallback on both axes.
-    fn degraded_verdict(&self, table: &Table, reason: DegradeReason) -> Verdict {
-        let (rows, hmd_depth, row_provenance) = positional_axis(table, Axis::Row, reason);
-        let (columns, vmd_depth, col_provenance) = positional_axis(table, Axis::Column, reason);
+    fn degraded_verdict(
+        &self,
+        table: &Table,
+        reason: DegradeReason,
+        mut trace: Option<&mut Vec<TraceStep>>,
+    ) -> Verdict {
+        let (rows, hmd_depth, row_provenance) =
+            positional_axis(table, Axis::Row, reason, trace.as_deref_mut());
+        let (columns, vmd_depth, col_provenance) =
+            positional_axis(table, Axis::Column, reason, trace);
         let obs = obs_handles();
         obs.tables.inc();
         obs.boundary_depth.record(hmd_depth as u64);
@@ -350,14 +515,20 @@ impl Classifier {
         table: &Table,
         embedder: &E,
         tokenizer: &Tokenizer,
+        scratch: &mut ClassifyScratch,
         mut trace: Option<&mut Vec<TraceStep>>,
     ) -> Verdict {
+        // Built lazily by the first axis that actually walks, then shared
+        // by the second: each cell is tokenized exactly once per table.
+        let mut cache: Option<LevelVectorCache> = None;
         let (rows, hmd_depth, row_provenance) = self.classify_axis(
             table,
             Axis::Row,
             self.config.max_hmd_depth,
             embedder,
             tokenizer,
+            scratch,
+            &mut cache,
             trace.as_deref_mut(),
         );
         let (columns, vmd_depth, col_provenance) = self.classify_axis(
@@ -366,6 +537,8 @@ impl Classifier {
             self.config.max_vmd_depth,
             embedder,
             tokenizer,
+            scratch,
+            &mut cache,
             trace,
         );
         let obs = obs_handles();
@@ -375,6 +548,7 @@ impl Classifier {
         Verdict { rows, columns, hmd_depth, vmd_depth, row_provenance, col_provenance }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn classify_axis<E: TermEmbedder + ?Sized>(
         &self,
         table: &Table,
@@ -382,24 +556,36 @@ impl Classifier {
         depth_cap: u8,
         embedder: &E,
         tokenizer: &Tokenizer,
+        scratch: &mut ClassifyScratch,
+        cache_slot: &mut Option<LevelVectorCache>,
         mut trace: Option<&mut Vec<TraceStep>>,
     ) -> (Vec<LevelLabel>, u8, Provenance) {
         let n = table.n_levels(axis);
         let mut labels = vec![LevelLabel::Data; n];
         let centroids = self.centroids.axis(axis);
         if !centroids.is_usable() {
-            return positional_axis(table, axis, DegradeReason::UnusableCentroids);
+            return positional_axis(table, axis, DegradeReason::UnusableCentroids, trace);
         }
         if n < 2 {
             // No consecutive pair to measure an angle over.
-            return positional_axis(table, axis, DegradeReason::SingleLevel);
+            return positional_axis(table, axis, DegradeReason::SingleLevel, trace);
         }
         let angle_tests = &obs_handles().angle_tests;
+        let cache = cache_slot.get_or_insert_with(|| {
+            LevelVectorCache::build(
+                table,
+                embedder,
+                tokenizer,
+                &mut scratch.interner,
+                &mut scratch.token_buf,
+            )
+        });
         // Sanitize aggregates: a vector with NaN/∞ components (numeric
         // overflow upstream) would poison every angle test downstream, so
         // it is demoted to a blank level here.
         let mut non_finite = false;
-        let vectors: Vec<Option<Vec<f32>>> = axis_vectors(table, axis, embedder, tokenizer)
+        let vectors: Vec<Option<Vec<f32>>> = cache
+            .axis_vectors(axis, &scratch.interner, embedder.dim())
             .into_iter()
             .map(|v| match v {
                 Some(vec) if vec.iter().all(|x| x.is_finite()) => Some(vec),
@@ -413,8 +599,10 @@ impl Classifier {
         if vectors.iter().all(Option::is_none) {
             let reason =
                 if non_finite { DegradeReason::NonFinite } else { DegradeReason::NoSignal };
-            return positional_axis(table, axis, reason);
+            return positional_axis(table, axis, reason, trace);
         }
+        let ref_norms = scratch.ref_norms(axis);
+        let mut memo = AngleMemo::new(n);
         let meta_label = |depth: u8| match axis {
             Axis::Row => LevelLabel::Hmd(depth),
             Axis::Column => LevelLabel::Vmd(depth),
@@ -438,8 +626,8 @@ impl Classifier {
                     break;
                 };
                 angle_tests.inc();
-                let to_meta = angle_degrees(v, &centroids.meta_ref);
-                let to_data = angle_degrees(v, &centroids.data_ref);
+                let (to_meta, to_data) =
+                    memo.ref_angles(i, v, &centroids.meta_ref, &centroids.data_ref, ref_norms);
                 let is_meta = to_meta < to_data && depth < depth_cap;
                 if let Some(t) = trace.as_deref_mut() {
                     t.push(TraceStep {
@@ -501,8 +689,8 @@ impl Classifier {
             if i == 0 {
                 // First level: closest reference centroid decides.
                 angle_tests.inc();
-                let to_meta = angle_degrees(v, &centroids.meta_ref);
-                let to_data = angle_degrees(v, &centroids.data_ref);
+                let (to_meta, to_data) =
+                    memo.ref_angles(0, v, &centroids.meta_ref, &centroids.data_ref, ref_norms);
                 let is_meta = to_meta < to_data;
                 if let Some(t) = trace.as_deref_mut() {
                     t.push(TraceStep {
@@ -530,7 +718,7 @@ impl Classifier {
                 break;
             };
             angle_tests.inc();
-            let delta = angle_degrees(prev, v);
+            let delta = memo.delta(i - 1, prev, i, v);
             let mde = meta_range_at(depth);
             let mde_de = trans_range_at(depth);
             let in_mde = mde.contains(delta);
@@ -552,8 +740,8 @@ impl Classifier {
             // requires the level itself to lean toward the metadata
             // reference (guards against C_MDE-close *data* level pairs).
             let still_meta = range_says_meta && {
-                let to_meta = angle_degrees(v, &centroids.meta_ref);
-                let to_data = angle_degrees(v, &centroids.data_ref);
+                let (to_meta, to_data) =
+                    memo.ref_angles(i, v, &centroids.meta_ref, &centroids.data_ref, ref_norms);
                 to_meta <= to_data + self.config.ref_tolerance_deg
             };
             if still_meta && depth < depth_cap {
@@ -592,8 +780,8 @@ impl Classifier {
                 if table.blank_fraction(axis, i) < self.config.cmd_blank_threshold {
                     continue;
                 }
-                let to_meta = angle_degrees(v, &centroids.meta_ref);
-                let to_data = angle_degrees(v, &centroids.data_ref);
+                let (to_meta, to_data) =
+                    memo.ref_angles(i, v, &centroids.meta_ref, &centroids.data_ref, ref_norms);
                 if to_meta < to_data + self.config.cmd_ref_tolerance_deg
                     && labels[i] == LevelLabel::Data
                 {
@@ -619,10 +807,15 @@ impl Classifier {
 /// column is VMD(1) only when there is more than one column and it is not
 /// numeric-dominated. Used whenever the angle walk has nothing to stand
 /// on, with the reason recorded as [`Provenance::Degraded`].
+///
+/// When a trace is requested, one [`RangeKind::Degraded`] step per level
+/// records the fallback label, so degraded axes never vanish from the
+/// walk-through.
 fn positional_axis(
     table: &Table,
     axis: Axis,
     reason: DegradeReason,
+    trace: Option<&mut Vec<TraceStep>>,
 ) -> (Vec<LevelLabel>, u8, Provenance) {
     let n = table.n_levels(axis);
     let mut labels = vec![LevelLabel::Data; n];
@@ -639,6 +832,17 @@ fn positional_axis(
                 labels[0] = LevelLabel::Vmd(1);
                 depth = 1;
             }
+        }
+    }
+    if let Some(t) = trace {
+        for (i, label) in labels.iter().enumerate() {
+            t.push(TraceStep {
+                axis,
+                index: i,
+                angle: None,
+                matched: RangeKind::Degraded,
+                decision: *label,
+            });
         }
     }
     let obs = obs_handles();
@@ -1006,5 +1210,77 @@ mod tests {
         let v = c.classify(&t, &Synthetic::new(), &Tokenizer::default());
         assert_eq!(v.hmd_depth, 1);
         assert_eq!(v.rows[1], LevelLabel::Data);
+    }
+
+    #[test]
+    fn degraded_trace_is_not_empty_on_dimension_mismatch() {
+        // Regression: check_dims failure used to return an EMPTY trace,
+        // hiding the positional-fallback labels from the walk-through.
+        struct Wide;
+        impl TermEmbedder for Wide {
+            fn dim(&self) -> usize {
+                7
+            }
+            fn accumulate(&self, _term: &str, out: &mut [f32]) -> bool {
+                out[0] = 1.0;
+                true
+            }
+        }
+        let t = Table::from_strings(28, &[&["header", "header"], &["1", "2"]]);
+        let c = classifier();
+        let (v, trace) = c.classify_with_trace(&t, &Wide, &Tokenizer::default());
+        assert_eq!(v.row_provenance, Provenance::Degraded(DegradeReason::ModelMismatch));
+        assert_eq!(trace.len(), t.n_rows() + t.n_cols(), "one step per level on both axes");
+        assert!(trace.iter().all(|s| s.matched == RangeKind::Degraded && s.angle.is_none()));
+        // Each step records the fallback label actually assigned.
+        for s in &trace {
+            let label = match s.axis {
+                Axis::Row => v.rows[s.index],
+                Axis::Column => v.columns[s.index],
+            };
+            assert_eq!(s.decision, label, "{:?} level {}", s.axis, s.index);
+        }
+    }
+
+    #[test]
+    fn degraded_trace_on_unusable_axis() {
+        // Only the column axis degrades; its levels still show up in the
+        // trace as Degraded steps while the row walk traces normally.
+        let mut c = classifier();
+        c.centroids.columns.meta_ref = vec![0.0, 0.0];
+        let t = Table::from_strings(29, &[&["header", "header"], &["1", "2"]]);
+        let (v, trace) = c.classify_with_trace(&t, &Synthetic::new(), &Tokenizer::default());
+        assert!(v.col_provenance.is_degraded());
+        let col_steps: Vec<&TraceStep> = trace.iter().filter(|s| s.axis == Axis::Column).collect();
+        assert_eq!(col_steps.len(), t.n_cols());
+        assert!(col_steps.iter().all(|s| s.matched == RangeKind::Degraded));
+        let row_steps: Vec<&TraceStep> = trace.iter().filter(|s| s.axis == Axis::Row).collect();
+        assert!(!row_steps.is_empty());
+        assert!(row_steps.iter().all(|s| s.matched != RangeKind::Degraded));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_classification() {
+        let c = classifier();
+        let e = Synthetic::new();
+        let tok = Tokenizer::default();
+        let tables = [
+            Table::from_strings(30, &[&["header", "header"], &["1", "2"]]),
+            Table::from_strings(
+                31,
+                &[&["header", "header"], &["subheader", "subheader"], &["1", "2"]],
+            ),
+            Table::from_strings(32, &[&["", ""], &["", ""]]),
+            Table::from_strings(33, &[&["header"]]),
+        ];
+        let mut scratch = c.scratch();
+        for t in &tables {
+            assert_eq!(c.classify_with_scratch(t, &e, &tok, &mut scratch), c.classify(t, &e, &tok));
+            let (v1, tr1) = c.classify_with_trace_scratch(t, &e, &tok, &mut scratch);
+            let (v2, tr2) = c.classify_with_trace(t, &e, &tok);
+            assert_eq!(v1, v2);
+            assert_eq!(tr1, tr2);
+        }
+        assert!(scratch.interned_terms() > 0);
     }
 }

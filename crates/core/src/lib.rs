@@ -52,14 +52,15 @@ pub mod finetune;
 pub mod persist;
 pub mod pipeline;
 
+pub use aggregate::{LevelVectorCache, TermInterner};
 pub use bootstrap::{BootstrapLabeler, WeakLabel, WeakLabels};
 pub use centroid::{AxisCentroids, CentroidModel, LevelPairStats};
 pub use checkpoint::{
     CheckpointScanReport, CheckpointStage, CheckpointStore, QuarantinedCheckpoint, TrainCheckpoint,
 };
 pub use classifier::{
-    Classifier, ClassifierConfig, ClassifyError, DegradeReason, Provenance, RangeKind, TraceStep,
-    Verdict, WalkStrategy,
+    Classifier, ClassifierConfig, ClassifyError, ClassifyScratch, DegradeReason, Provenance,
+    RangeKind, TraceStep, Verdict, WalkStrategy,
 };
 pub use config::{EmbeddingChoice, PipelineConfig};
 pub use finetune::{FinetuneConfig, FinetuneResume};

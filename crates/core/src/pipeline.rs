@@ -56,6 +56,20 @@ impl TermEmbedder for AnyEmbedder {
             AnyEmbedder::CharGram(m) => m.accumulate(term, out),
         }
     }
+
+    fn term_id(&self, term: &str) -> Option<tabmeta_text::TermId> {
+        match self {
+            AnyEmbedder::Word2Vec(m) => TermEmbedder::term_id(m, term),
+            AnyEmbedder::CharGram(m) => TermEmbedder::term_id(m, term),
+        }
+    }
+
+    fn embeds(&self, term: &str) -> bool {
+        match self {
+            AnyEmbedder::Word2Vec(m) => TermEmbedder::embeds(m, term),
+            AnyEmbedder::CharGram(m) => TermEmbedder::embeds(m, term),
+        }
+    }
 }
 
 impl TunableEmbedder for AnyEmbedder {
@@ -132,13 +146,112 @@ pub struct TrainSummary {
     pub markup_bootstrapped: usize,
 }
 
+/// Recycled warm [`ClassifyScratch`]es, shared by every classify entry
+/// point on one [`Pipeline`].
+///
+/// The expensive part of a scratch is not its buffers but its *warmth*:
+/// the term interner and cell-text memo amortize tokenization and
+/// embedding lookups across every table they have ever seen. Dropping
+/// that state between `classify_corpus` calls (or between per-table
+/// `classify` calls) re-pays the whole vocabulary warmup per call, which
+/// dominates the batch profile. The pool keeps scratches alive across
+/// calls; scratch contents never influence verdicts (the bit-identity
+/// property suite pins this), so recycling is invisible to callers.
+///
+/// Never serialized and never cloned with contents — a cloned or
+/// deserialized pipeline starts with a cold pool.
+///
+/// [`ClassifyScratch`]: crate::classifier::ClassifyScratch
+struct ScratchPool {
+    slots: std::sync::Mutex<Vec<crate::classifier::ClassifyScratch>>,
+}
+
+/// A scratch whose memo tables outgrow this many entries is retired
+/// instead of pooled, bounding pool memory on unbounded-vocabulary
+/// streams (a long-lived server classifying arbitrary corpora).
+const SCRATCH_RETIRE_ENTRIES: usize = 1 << 20;
+
+impl ScratchPool {
+    fn new() -> Self {
+        Self { slots: std::sync::Mutex::new(Vec::new()) }
+    }
+
+    /// A pooled warm scratch, if any is idle (poisoned lock → none).
+    fn checkout(&self) -> Option<crate::classifier::ClassifyScratch> {
+        self.slots.lock().ok()?.pop()
+    }
+
+    /// Return a scratch for reuse, unless its memos have grown past the
+    /// retirement bound.
+    fn checkin(&self, scratch: crate::classifier::ClassifyScratch) {
+        if scratch.memo_entries() > SCRATCH_RETIRE_ENTRIES {
+            return;
+        }
+        if let Ok(mut slots) = self.slots.lock() {
+            slots.push(scratch);
+        }
+    }
+}
+
+impl Clone for ScratchPool {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let idle = self.slots.lock().map(|s| s.len()).unwrap_or(0);
+        f.debug_struct("ScratchPool").field("idle", &idle).finish()
+    }
+}
+
 /// A trained classification pipeline.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Pipeline {
     embedder: AnyEmbedder,
     tokenizer: Tokenizer,
     classifier: Classifier,
     summary: TrainSummary,
+    /// Warm scratch recycled across classify calls; runtime-only state
+    /// (skipped by the hand-written serde impls below).
+    scratch_pool: ScratchPool,
+}
+
+// Hand-written (de)serialization: the derive macro serializes every
+// field, but `scratch_pool` is runtime-only cache state (a Mutex, and
+// deliberately absent from artifacts). The four model fields keep the
+// derive's exact map layout, so existing saved pipelines load unchanged.
+impl serde::Serialize for Pipeline {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(serde::Content::Map(vec![
+            ("embedder".to_string(), serde::to_content(&self.embedder)),
+            ("tokenizer".to_string(), serde::to_content(&self.tokenizer)),
+            ("classifier".to_string(), serde::to_content(&self.classifier)),
+            ("summary".to_string(), serde::to_content(&self.summary)),
+        ]))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Pipeline {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            serde::Content::Map(mut entries) => Ok(Pipeline {
+                embedder: serde::de::take_field(&mut entries, "embedder")
+                    .map_err(serde::de::Error::custom)?,
+                tokenizer: serde::de::take_field(&mut entries, "tokenizer")
+                    .map_err(serde::de::Error::custom)?,
+                classifier: serde::de::take_field(&mut entries, "classifier")
+                    .map_err(serde::de::Error::custom)?,
+                summary: serde::de::take_field(&mut entries, "summary")
+                    .map_err(serde::de::Error::custom)?,
+                scratch_pool: ScratchPool::new(),
+            }),
+            other => {
+                Err(serde::de::Error::custom(format!("expected pipeline object, found {other:?}")))
+            }
+        }
+    }
 }
 
 impl Pipeline {
@@ -357,26 +470,69 @@ impl Pipeline {
                 finetune: finetune_report,
                 markup_bootstrapped,
             },
+            scratch_pool: ScratchPool::new(),
         })
     }
 
     /// Classify one table.
+    ///
+    /// Uses a pooled warm scratch when one is idle (the verdict is
+    /// bit-identical either way), so repeated single-table calls amortize
+    /// tokenization and vocabulary lookups like the batch path does.
     pub fn classify(&self, table: &Table) -> Verdict {
-        self.classifier.classify(table, &self.embedder, &self.tokenizer)
+        let mut scratch = self.scratch_pool.checkout().unwrap_or_else(|| self.classifier.scratch());
+        let verdict = self.classify_with_scratch(table, &mut scratch);
+        self.scratch_pool.checkin(scratch);
+        verdict
     }
 
     /// Classify one table, recording the angle walk (Fig. 5).
     pub fn classify_with_trace(&self, table: &Table) -> (Verdict, Vec<TraceStep>) {
-        self.classifier.classify_with_trace(table, &self.embedder, &self.tokenizer)
+        let mut scratch = self.scratch_pool.checkout().unwrap_or_else(|| self.classifier.scratch());
+        let out = self.classify_with_trace_scratch(table, &mut scratch);
+        self.scratch_pool.checkin(scratch);
+        out
+    }
+
+    /// Fresh reusable scratch for [`Pipeline::classify_with_scratch`].
+    pub fn classify_scratch(&self) -> crate::classifier::ClassifyScratch {
+        self.classifier.scratch()
+    }
+
+    /// [`Pipeline::classify`] with caller-owned scratch (see
+    /// [`Classifier::classify_with_scratch`]).
+    pub fn classify_with_scratch(
+        &self,
+        table: &Table,
+        scratch: &mut crate::classifier::ClassifyScratch,
+    ) -> Verdict {
+        self.classifier.classify_with_scratch(table, &self.embedder, &self.tokenizer, scratch)
+    }
+
+    /// [`Pipeline::classify_with_trace`] with caller-owned scratch.
+    pub fn classify_with_trace_scratch(
+        &self,
+        table: &Table,
+        scratch: &mut crate::classifier::ClassifyScratch,
+    ) -> (Verdict, Vec<TraceStep>) {
+        self.classifier.classify_with_trace_scratch(table, &self.embedder, &self.tokenizer, scratch)
     }
 
     /// Classify a whole corpus in parallel (the "scalable" in the title:
     /// per-table classification is embarrassingly parallel).
+    ///
+    /// An empty corpus is explicit: no `classify` span is opened and
+    /// `classify.tables_per_sec` reads zero, so bench and serve layers can
+    /// never misread a stale gauge from an earlier run.
     pub fn classify_corpus(&self, tables: &[Table]) -> Vec<Verdict> {
+        if tables.is_empty() {
+            tabmeta_obs::global().gauge(names::CLASSIFY_TABLES_PER_SEC).set(0.0);
+            return Vec::new();
+        }
         // Timed through the span registry so `classify.tables_per_sec`
         // and the `classify` span report the same wall-clock interval.
         let (verdicts, elapsed) = tabmeta_obs::timed(names::SPAN_CLASSIFY, || -> Vec<Verdict> {
-            tables.par_iter().map(|t| self.classify(t)).collect()
+            self.classify_corpus_cached(tables)
         });
         let secs = elapsed.as_secs_f64();
         if secs > 0.0 {
@@ -384,6 +540,74 @@ impl Pipeline {
                 .gauge(names::CLASSIFY_TABLES_PER_SEC)
                 .set(tables.len() as f64 / secs);
         }
+        verdicts
+    }
+
+    /// The batched classify hot path: contiguous per-worker chunks (the
+    /// same slicing the rayon facade uses, so outputs stay in corpus
+    /// order), each worker reusing one [`ClassifyScratch`] across its
+    /// tables. Verdicts are bit-identical to per-table
+    /// [`Pipeline::classify`] — scratch contents never influence values.
+    ///
+    /// [`ClassifyScratch`]: crate::classifier::ClassifyScratch
+    pub fn classify_corpus_cached(&self, tables: &[Table]) -> Vec<Verdict> {
+        let refs: Vec<&Table> = tables.iter().collect();
+        self.classify_refs_cached(&refs)
+    }
+
+    /// [`Pipeline::classify_corpus_cached`] over borrowed tables, for
+    /// callers (e.g. the hybrid router) whose batch is a scattered subset
+    /// of a larger corpus.
+    pub fn classify_refs_cached(&self, tables: &[&Table]) -> Vec<Verdict> {
+        if tables.is_empty() {
+            return Vec::new();
+        }
+        let workers = rayon::current_num_threads().max(1).min(tables.len());
+        let interned: usize;
+        let verdicts = if workers <= 1 {
+            let mut scratch =
+                self.scratch_pool.checkout().unwrap_or_else(|| self.classifier.scratch());
+            let out: Vec<Verdict> =
+                tables.iter().map(|t| self.classify_with_scratch(t, &mut scratch)).collect();
+            interned = scratch.interned_terms();
+            self.scratch_pool.checkin(scratch);
+            out
+        } else {
+            let chunk = tables.len().div_ceil(workers);
+            let mut chunk_results: Vec<(Vec<Verdict>, usize)> = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = tables
+                    .chunks(chunk)
+                    .map(|slice| {
+                        s.spawn(move || {
+                            let mut scratch = self
+                                .scratch_pool
+                                .checkout()
+                                .unwrap_or_else(|| self.classifier.scratch());
+                            let out: Vec<Verdict> = slice
+                                .iter()
+                                .map(|t| self.classify_with_scratch(t, &mut scratch))
+                                .collect();
+                            let n = scratch.interned_terms();
+                            self.scratch_pool.checkin(scratch);
+                            (out, n)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    match h.join() {
+                        Ok(r) => chunk_results.push(r),
+                        // Re-raise a worker panic on the calling thread;
+                        // swallowing it would return a silently truncated
+                        // verdict list.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
+            interned = chunk_results.iter().map(|(_, n)| n).sum();
+            chunk_results.into_iter().flat_map(|(out, _)| out).collect()
+        };
+        tabmeta_obs::global().gauge(names::CLASSIFY_INTERNED_TERMS).set(interned as f64);
         verdicts
     }
 
@@ -627,6 +851,43 @@ mod tests {
         let seq: Vec<Verdict> = corpus.tables.iter().map(|t| pipeline.classify(t)).collect();
         let par = pipeline.classify_corpus(&corpus.tables);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn cached_corpus_path_matches_per_table_classify() {
+        let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 70, seed: 33 });
+        let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(33)).unwrap();
+        let per_table: Vec<Verdict> = corpus.tables.iter().map(|t| pipeline.classify(t)).collect();
+        assert_eq!(pipeline.classify_corpus_cached(&corpus.tables), per_table);
+        // The ref-based variant preserves the caller's (scattered) order.
+        let refs: Vec<&Table> = corpus.tables.iter().rev().collect();
+        let rev: Vec<Verdict> = per_table.iter().rev().cloned().collect();
+        assert_eq!(pipeline.classify_refs_cached(&refs), rev);
+    }
+
+    #[test]
+    fn empty_corpus_classification_is_explicit() {
+        let corpus = CorpusKind::Saus.generate(&GeneratorConfig { n_tables: 40, seed: 9 });
+        let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(9)).unwrap();
+        // Leave a non-zero throughput behind, then classify nothing: the
+        // gauge must be explicitly reset, not left stale.
+        pipeline.classify_corpus(&corpus.tables);
+        let gauge = tabmeta_obs::global().gauge(names::CLASSIFY_TABLES_PER_SEC);
+        assert!(gauge.get() > 0.0, "non-empty run sets a throughput");
+        let classify_spans = || {
+            tabmeta_obs::global()
+                .spans()
+                .snapshot()
+                .iter()
+                .filter(|(p, _)| p == names::SPAN_CLASSIFY || p.ends_with("/classify"))
+                .map(|(_, s)| s.count)
+                .sum::<u64>()
+        };
+        let spans_before = classify_spans();
+        assert_eq!(pipeline.classify_corpus(&[]), Vec::<Verdict>::new());
+        assert_eq!(gauge.get(), 0.0, "empty corpus records zero, not a stale rate");
+        assert_eq!(classify_spans(), spans_before, "empty corpus opens no classify span");
+        assert_eq!(pipeline.classify_refs_cached(&[]), Vec::<Verdict>::new());
     }
 
     #[test]

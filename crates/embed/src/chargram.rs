@@ -443,6 +443,16 @@ impl TermEmbedder for CharGram {
         tabmeta_linalg::add_assign(out, &v);
         true
     }
+
+    fn term_id(&self, term: &str) -> Option<tabmeta_text::TermId> {
+        // Only in-vocabulary terms get an id; OOV terms embed via grams but
+        // have no stable slot, so memoizing callers fall back to the string.
+        self.vocab.id(term)
+    }
+
+    fn embeds(&self, term: &str) -> bool {
+        self.vocab.id(term).is_some() || !ngram_ids(term, &self.config.ngrams).is_empty()
+    }
 }
 
 impl TunableEmbedder for CharGram {

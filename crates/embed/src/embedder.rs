@@ -24,6 +24,29 @@ pub trait TermEmbedder {
         self.accumulate(term, &mut out).then_some(out)
     }
 
+    /// Stable vocabulary id for `term` when the model has a dense,
+    /// id-addressable vocabulary entry for it; `None` otherwise.
+    ///
+    /// Callers may use the id only as a memoization key: `None` does **not**
+    /// imply OOV (CharGram composes out-of-vocabulary terms from grams and
+    /// still accumulates them) — use [`embeds`] for that question.
+    ///
+    /// [`embeds`]: TermEmbedder::embeds
+    fn term_id(&self, _term: &str) -> Option<tabmeta_text::TermId> {
+        None
+    }
+
+    /// Whether `term` has any representation — i.e. whether [`accumulate`]
+    /// would return `true` — ideally without allocating. The default probes
+    /// via [`embed`] and therefore allocates a scratch vector; real models
+    /// override it with a vocabulary test.
+    ///
+    /// [`accumulate`]: TermEmbedder::accumulate
+    /// [`embed`]: TermEmbedder::embed
+    fn embeds(&self, term: &str) -> bool {
+        self.embed(term).is_some()
+    }
+
     /// Aggregate a sequence of terms by summation (Def. 8). Returns `None`
     /// when no term embedded.
     fn aggregate<'t>(&self, terms: impl IntoIterator<Item = &'t str>) -> Option<Vec<f32>> {
@@ -114,6 +137,10 @@ pub(crate) mod test_support {
                 None => false,
             }
         }
+
+        fn embeds(&self, term: &str) -> bool {
+            self.vectors.contains_key(term)
+        }
     }
 
     impl TunableEmbedder for FixedEmbedder {
@@ -145,6 +172,16 @@ pub(crate) mod test_support {
         e.vectors.insert("a".into(), vec![0.5, 0.5]);
         assert_eq!(e.embed("a"), Some(vec![0.5, 0.5]));
         assert_eq!(e.embed("q"), None);
+    }
+
+    #[test]
+    fn embeds_and_term_id_defaults() {
+        let mut e = FixedEmbedder { dim: 2, ..Default::default() };
+        e.vectors.insert("a".into(), vec![0.5, 0.5]);
+        assert!(e.embeds("a"));
+        assert!(!e.embeds("q"));
+        // FixedEmbedder keeps the trait default: no id-addressable vocab.
+        assert_eq!(e.term_id("a"), None);
     }
 
     #[test]

@@ -229,6 +229,14 @@ impl TermEmbedder for Word2Vec {
             None => false,
         }
     }
+
+    fn term_id(&self, term: &str) -> Option<TermId> {
+        self.vocab.id(term)
+    }
+
+    fn embeds(&self, term: &str) -> bool {
+        self.vocab.id(term).is_some()
+    }
 }
 
 impl TunableEmbedder for Word2Vec {

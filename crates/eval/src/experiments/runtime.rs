@@ -195,8 +195,14 @@ pub fn inference_scaling(config: &ExperimentConfig) -> Vec<ScalingResult> {
         out.push(ScalingResult { method: name.to_string(), points, fit });
     };
     let TrainedMethods { ours, pytheas, layout, .. } = &methods;
+    // Cold per-table cost (fresh scratch per call): the §IV-G claim is
+    // about the inherent embedding-based processing of one table. The
+    // pooled `Pipeline::classify` amortizes tokenization/vocabulary work
+    // across calls and would measure the memo instead of the method (see
+    // BENCH_classify.json for that warm batched trajectory).
     measure("Our method", &mut |t| {
-        let _ = ours.classify(t);
+        let mut scratch = ours.classify_scratch();
+        let _ = ours.classify_with_scratch(t, &mut scratch);
     });
     measure("Pytheas", &mut |t| {
         let _ = pytheas.classify_table(t);
@@ -224,13 +230,21 @@ pub fn hybrid_routing(config: &ExperimentConfig) -> (f64, f64, f64) {
         t.blank_fraction(Axis::Column, 0) > 0.2 || t.n_cols() > 6
     };
 
+    // Cold per-table costs (fresh scratch per call), as in
+    // [`inference_scaling`]: the hybrid's premise — cheap rules for
+    // simple tables, expensive embeddings for complex ones — is a claim
+    // about the unamortized cost of one table. The pooled warm path
+    // (BENCH_classify.json) undercuts Pytheas at this scale, which is a
+    // property of our memoization, not of the paper's cost model.
     let ours_only = time_per_table(&corpus.tables, |t| {
-        let _ = methods.ours.classify(t);
+        let mut scratch = methods.ours.classify_scratch();
+        let _ = methods.ours.classify_with_scratch(t, &mut scratch);
     });
     let routed_cheap = corpus.tables.iter().filter(|t| !complex(t)).count();
     let hybrid = time_per_table(&corpus.tables, |t| {
         if complex(t) {
-            let _ = methods.ours.classify(t);
+            let mut scratch = methods.ours.classify_scratch();
+            let _ = methods.ours.classify_with_scratch(t, &mut scratch);
         } else {
             let _ = methods.pytheas.classify_table(t);
         }

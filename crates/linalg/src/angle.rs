@@ -23,11 +23,31 @@ pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
     if !na.is_finite() || !nb.is_finite() || na == 0.0 || nb == 0.0 {
         return 0.0;
     }
-    let cos = dot(a, b) / (na * nb);
+    cosine_from_parts(dot(a, b), na, nb)
+}
+
+/// [`cosine_similarity`] assembled from precomputed parts: the dot product
+/// `d = a·b` and the two norms. Callers that already hold the parts (fused
+/// kernels, per-level norm caches) get a result bit-identical to
+/// [`cosine_similarity`] without re-traversing either slice, because the
+/// guard order, the division, and the clamp are the same code path.
+#[inline]
+pub fn cosine_from_parts(d: f32, na: f32, nb: f32) -> f32 {
+    if !na.is_finite() || !nb.is_finite() || na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    let cos = d / (na * nb);
     if !cos.is_finite() {
         return 0.0;
     }
     cos.clamp(-1.0, 1.0)
+}
+
+/// [`angle_degrees`] assembled from precomputed parts; see
+/// [`cosine_from_parts`] for the bit-identity argument.
+#[inline]
+pub fn angle_from_parts(d: f32, na: f32, nb: f32) -> f32 {
+    cosine_from_parts(d, na, nb).acos().to_degrees()
 }
 
 /// Angle between two vectors in **degrees**, in `[0, 180]`.
@@ -99,6 +119,20 @@ mod tests {
         let a = vec![1.0, 0.0];
         let b = vec![1.0, 1.0];
         assert!((angle_degrees(&a, &b) - 45.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn parts_forms_are_bit_identical_to_slice_forms() {
+        let a = vec![0.3, -1.2, 4.7, 0.01, -9.9];
+        let b = vec![1.1, 2.2, -0.4, 3.0, 0.5];
+        let d = dot(&a, &b);
+        let (na, nb) = (norm(&a), norm(&b));
+        assert_eq!(cosine_from_parts(d, na, nb).to_bits(), cosine_similarity(&a, &b).to_bits());
+        assert_eq!(angle_from_parts(d, na, nb).to_bits(), angle_degrees(&a, &b).to_bits());
+        // Degenerate norms short-circuit before touching the dot.
+        assert_eq!(cosine_from_parts(f32::NAN, 0.0, 1.0), 0.0);
+        assert_eq!(cosine_from_parts(f32::NAN, f32::INFINITY, 1.0), 0.0);
+        assert!((angle_from_parts(1.0, 0.0, 0.0) - 90.0).abs() < 1e-4);
     }
 
     #[test]

@@ -22,11 +22,14 @@ pub mod range;
 pub mod stats;
 pub mod vector;
 
-pub use angle::{angle_degrees, cosine_similarity, cosine_to_degrees};
+pub use angle::{
+    angle_degrees, angle_from_parts, cosine_from_parts, cosine_similarity, cosine_to_degrees,
+};
 pub use centroid::{aggregate_concat, aggregate_mean, aggregate_sum, centroid};
 pub use matrix::{HogwildView, Matrix};
 pub use range::{AngleRange, RangeEstimator};
 pub use stats::{linear_fit, LinearFit, OnlineStats};
 pub use vector::{
-    add_assign, axpy, dot, euclidean, euclidean_sq, norm, normalize, scale, sub_assign,
+    add_assign, axpy, dot, dot2, dot2_norms, dot_norms, euclidean, euclidean_sq, norm, normalize,
+    scale, sub_assign,
 };

@@ -36,6 +36,120 @@ pub fn norm(a: &[f32]) -> f32 {
     dot(a, a).sqrt()
 }
 
+/// Fused dot of one probe against two references: `(v·a, v·b)` in a single
+/// pass over `v`.
+///
+/// Each output keeps its own 4-lane accumulator array walked in the exact
+/// chunk order of [`dot`], so both results are bit-identical to two separate
+/// `dot` calls — fusing only saves the second traversal of `v`, it never
+/// reassociates a sum.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot2(v: &[f32], a: &[f32], b: &[f32]) -> (f32, f32) {
+    assert_eq!(v.len(), a.len(), "dot2: dimension mismatch {} vs {}", v.len(), a.len());
+    assert_eq!(v.len(), b.len(), "dot2: dimension mismatch {} vs {}", v.len(), b.len());
+    let mut acc_a = [0.0f32; 4];
+    let mut acc_b = [0.0f32; 4];
+    let chunks = v.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc_a[0] += v[j] * a[j];
+        acc_a[1] += v[j + 1] * a[j + 1];
+        acc_a[2] += v[j + 2] * a[j + 2];
+        acc_a[3] += v[j + 3] * a[j + 3];
+        acc_b[0] += v[j] * b[j];
+        acc_b[1] += v[j + 1] * b[j + 1];
+        acc_b[2] += v[j + 2] * b[j + 2];
+        acc_b[3] += v[j + 3] * b[j + 3];
+    }
+    let mut sum_a = acc_a[0] + acc_a[1] + acc_a[2] + acc_a[3];
+    let mut sum_b = acc_b[0] + acc_b[1] + acc_b[2] + acc_b[3];
+    for j in chunks * 4..v.len() {
+        sum_a += v[j] * a[j];
+        sum_b += v[j] * b[j];
+    }
+    (sum_a, sum_b)
+}
+
+/// Fused dot-plus-norm: `(v·a, ‖v‖)` in a single pass over `v`.
+///
+/// The self-product lane mirrors [`dot`]'s chunked accumulation exactly, so
+/// the returned norm is bit-identical to [`norm`]`(v)` and the dot to
+/// [`dot`]`(v, a)`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_norms(v: &[f32], a: &[f32]) -> (f32, f32) {
+    assert_eq!(v.len(), a.len(), "dot_norms: dimension mismatch {} vs {}", v.len(), a.len());
+    let mut acc_a = [0.0f32; 4];
+    let mut acc_v = [0.0f32; 4];
+    let chunks = v.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc_a[0] += v[j] * a[j];
+        acc_a[1] += v[j + 1] * a[j + 1];
+        acc_a[2] += v[j + 2] * a[j + 2];
+        acc_a[3] += v[j + 3] * a[j + 3];
+        acc_v[0] += v[j] * v[j];
+        acc_v[1] += v[j + 1] * v[j + 1];
+        acc_v[2] += v[j + 2] * v[j + 2];
+        acc_v[3] += v[j + 3] * v[j + 3];
+    }
+    let mut sum_a = acc_a[0] + acc_a[1] + acc_a[2] + acc_a[3];
+    let mut sum_v = acc_v[0] + acc_v[1] + acc_v[2] + acc_v[3];
+    for j in chunks * 4..v.len() {
+        sum_a += v[j] * a[j];
+        sum_v += v[j] * v[j];
+    }
+    (sum_a, sum_v.sqrt())
+}
+
+/// Fused two-reference dot-plus-norm: `(v·a, v·b, ‖v‖)` in one pass.
+///
+/// This is the classifier's reference test (probe against both the metadata
+/// and data centroids) collapsed from five slice traversals into one, with
+/// every output bit-identical to its unfused counterpart for the same reason
+/// as [`dot2`] and [`dot_norms`].
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot2_norms(v: &[f32], a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+    assert_eq!(v.len(), a.len(), "dot2_norms: dimension mismatch {} vs {}", v.len(), a.len());
+    assert_eq!(v.len(), b.len(), "dot2_norms: dimension mismatch {} vs {}", v.len(), b.len());
+    let mut acc_a = [0.0f32; 4];
+    let mut acc_b = [0.0f32; 4];
+    let mut acc_v = [0.0f32; 4];
+    let chunks = v.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc_a[0] += v[j] * a[j];
+        acc_a[1] += v[j + 1] * a[j + 1];
+        acc_a[2] += v[j + 2] * a[j + 2];
+        acc_a[3] += v[j + 3] * a[j + 3];
+        acc_b[0] += v[j] * b[j];
+        acc_b[1] += v[j + 1] * b[j + 1];
+        acc_b[2] += v[j + 2] * b[j + 2];
+        acc_b[3] += v[j + 3] * b[j + 3];
+        acc_v[0] += v[j] * v[j];
+        acc_v[1] += v[j + 1] * v[j + 1];
+        acc_v[2] += v[j + 2] * v[j + 2];
+        acc_v[3] += v[j + 3] * v[j + 3];
+    }
+    let mut sum_a = acc_a[0] + acc_a[1] + acc_a[2] + acc_a[3];
+    let mut sum_b = acc_b[0] + acc_b[1] + acc_b[2] + acc_b[3];
+    let mut sum_v = acc_v[0] + acc_v[1] + acc_v[2] + acc_v[3];
+    for j in chunks * 4..v.len() {
+        sum_a += v[j] * a[j];
+        sum_b += v[j] * b[j];
+        sum_v += v[j] * v[j];
+    }
+    (sum_a, sum_b, sum_v.sqrt())
+}
+
 /// `a += b` element-wise.
 ///
 /// # Panics
@@ -127,6 +241,43 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn dot_mismatch_panics() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn fused_kernels_are_bit_identical_to_separate_calls() {
+        // Awkward length (not a multiple of 4) exercises the tail loop.
+        let v: Vec<f32> = (0..37).map(|i| (i as f32 - 11.0) * 0.37).collect();
+        let a: Vec<f32> = (0..37).map(|i| (i as f32) * 0.11 - 2.0).collect();
+        let b: Vec<f32> = (0..37).map(|i| (17 - i) as f32 * 0.29).collect();
+        let (da, db) = dot2(&v, &a, &b);
+        assert_eq!(da.to_bits(), dot(&v, &a).to_bits());
+        assert_eq!(db.to_bits(), dot(&v, &b).to_bits());
+        let (da2, nv) = dot_norms(&v, &a);
+        assert_eq!(da2.to_bits(), dot(&v, &a).to_bits());
+        assert_eq!(nv.to_bits(), norm(&v).to_bits());
+        let (da3, db3, nv3) = dot2_norms(&v, &a, &b);
+        assert_eq!(da3.to_bits(), dot(&v, &a).to_bits());
+        assert_eq!(db3.to_bits(), dot(&v, &b).to_bits());
+        assert_eq!(nv3.to_bits(), norm(&v).to_bits());
+    }
+
+    #[test]
+    fn fused_kernels_on_empty_slices() {
+        assert_eq!(dot2(&[], &[], &[]), (0.0, 0.0));
+        assert_eq!(dot_norms(&[], &[]), (0.0, 0.0));
+        assert_eq!(dot2_norms(&[], &[], &[]), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot2_mismatch_panics() {
+        dot2(&[1.0], &[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_norms_mismatch_panics() {
+        dot_norms(&[1.0], &[1.0, 2.0]);
     }
 
     #[test]

@@ -4,12 +4,25 @@
 
 use proptest::prelude::*;
 use tabmeta_linalg::{
-    aggregate_mean, aggregate_sum, angle_degrees, cosine_similarity, AngleRange, Matrix,
-    OnlineStats, RangeEstimator,
+    aggregate_mean, aggregate_sum, angle_degrees, angle_from_parts, cosine_from_parts,
+    cosine_similarity, dot, dot2, dot2_norms, dot_norms, norm, AngleRange, Matrix, OnlineStats,
+    RangeEstimator,
 };
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-100.0f32..100.0, len..=len)
+}
+
+/// Three equal-length vectors of an arbitrary (possibly tail-heavy) length,
+/// with components wide enough to hit subnormals-adjacent and large values.
+fn vec_triple() -> impl Strategy<Value = (Vec<f32>, Vec<f32>, Vec<f32>)> {
+    (0usize..33).prop_flat_map(|len| {
+        (
+            proptest::collection::vec(-1e6f32..1e6, len..=len),
+            proptest::collection::vec(-1e6f32..1e6, len..=len),
+            proptest::collection::vec(-1e6f32..1e6, len..=len),
+        )
+    })
 }
 
 proptest! {
@@ -124,6 +137,39 @@ proptest! {
         let mut ba = b; ba.merge(&a);
         prop_assert_eq!(ab.count(), ba.count());
         prop_assert!((ab.mean().unwrap() - ba.mean().unwrap()).abs() < 1e-9);
+    }
+
+    // The classifier's fused kernels must be EXACTLY equal to the separate
+    // calls they replace — bit equality, not tolerance — because verdict
+    // parity between the cached and uncached classify paths depends on it.
+    #[test]
+    fn dot2_is_bit_identical_to_two_dots((v, a, b) in vec_triple()) {
+        let (da, db) = dot2(&v, &a, &b);
+        prop_assert_eq!(da.to_bits(), dot(&v, &a).to_bits());
+        prop_assert_eq!(db.to_bits(), dot(&v, &b).to_bits());
+    }
+
+    #[test]
+    fn dot_norms_is_bit_identical_to_dot_plus_norm((v, a, _b) in vec_triple()) {
+        let (d, n) = dot_norms(&v, &a);
+        prop_assert_eq!(d.to_bits(), dot(&v, &a).to_bits());
+        prop_assert_eq!(n.to_bits(), norm(&v).to_bits());
+    }
+
+    #[test]
+    fn dot2_norms_is_bit_identical_to_three_calls((v, a, b) in vec_triple()) {
+        let (da, db, n) = dot2_norms(&v, &a, &b);
+        prop_assert_eq!(da.to_bits(), dot(&v, &a).to_bits());
+        prop_assert_eq!(db.to_bits(), dot(&v, &b).to_bits());
+        prop_assert_eq!(n.to_bits(), norm(&v).to_bits());
+    }
+
+    #[test]
+    fn parts_angle_is_bit_identical_to_slice_angle((v, a, _b) in vec_triple()) {
+        let c = cosine_from_parts(dot(&v, &a), norm(&v), norm(&a));
+        prop_assert_eq!(c.to_bits(), cosine_similarity(&v, &a).to_bits());
+        let d = angle_from_parts(dot(&v, &a), norm(&v), norm(&a));
+        prop_assert_eq!(d.to_bits(), angle_degrees(&v, &a).to_bits());
     }
 
     #[test]

@@ -129,6 +129,9 @@ pub const FINETUNE_PAIRS_PER_SEC: &str = "finetune.pairs_per_sec";
 pub const FINETUNE_EPOCH_SECS: &str = "finetune.epoch_secs";
 /// Classification throughput of the most recent `classify_corpus` call.
 pub const CLASSIFY_TABLES_PER_SEC: &str = "classify.tables_per_sec";
+/// Distinct terms interned across all workers of the most recent batched
+/// classify call.
+pub const CLASSIFY_INTERNED_TERMS: &str = "classify.interned_terms";
 /// Wall-clock seconds of the CLI `train` command's model build.
 pub const CLI_TOTAL_SECS: &str = "cli.total_secs";
 /// Wall-clock seconds of the most recent checkpoint write.
@@ -574,6 +577,14 @@ pub static REGISTRY: &[MetricDef] = &[
         unit: "tables/s",
         stage: "classify",
         doc: "Throughput of the most recent classify_corpus call",
+    },
+    MetricDef {
+        name: CLASSIFY_INTERNED_TERMS,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "terms",
+        stage: "classify",
+        doc: "Distinct terms interned across workers of the most recent batched classify",
     },
     MetricDef {
         name: CLI_TOTAL_SECS,

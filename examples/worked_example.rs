@@ -59,6 +59,7 @@ fn main() {
                 RangeKind::De => "Δ ∈ C_DE       ",
                 RangeKind::Nearest => "nearest range  ",
                 RangeKind::Reference => "reference test ",
+                RangeKind::Degraded => "degraded       ",
             };
             let angle =
                 step.angle.map(|a| format!("{a:5.1}°")).unwrap_or_else(|| "  (blank)".to_string());

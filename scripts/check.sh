@@ -57,6 +57,14 @@ if "$TABMETA" bench --compare "$BENCH_TMP/boosted.json" --current "$BENCH_TMP/a/
   exit 1
 fi
 
+# Committed-baseline gate: re-measure at the committed BENCH_classify.json
+# baseline's own scale (seed 2025, 240 tables) and enforce work-map
+# equality against it, so any PR that changes how much work classify does
+# (tables seen, tables classified) fails loudly. Deterministic-only:
+# wall-clock throughput varies across boxes; the measured trajectory is
+# recorded in EXPERIMENTS.md instead.
+"$TABMETA" bench --compare BENCH_classify.json --deterministic-only >/dev/null
+
 # Workspace-invariant static analysis: unseeded RNG, raw timing outside
 # the obs layer, unsafe without SAFETY comments, metric names that bypass
 # tabmeta_obs::names, stdout printing in library crates. Exits nonzero on

@@ -103,17 +103,28 @@ impl HybridClassifier {
     }
 
     /// Classify a corpus, returning verdicts plus the fraction routed deep.
+    ///
+    /// Deep-routed tables are batched through the pipeline's cached
+    /// classify path (per-worker scratch, shared term interner) instead of
+    /// paying the per-table setup cost one call at a time; the cheap path
+    /// stays per-table. Verdicts and ordering are identical to calling
+    /// [`HybridClassifier::classify`] per table.
     pub fn classify_corpus(&self, tables: &[Table]) -> (Vec<Verdict>, f64) {
-        let mut deep = 0usize;
-        let verdicts = tables
-            .iter()
-            .map(|t| {
-                let (v, route) = self.classify(t);
-                if route == Route::Deep {
-                    deep += 1;
-                }
-                v
-            })
+        let mut deep_refs: Vec<&Table> = Vec::new();
+        let mut verdicts: Vec<Option<Verdict>> = Vec::with_capacity(tables.len());
+        for t in tables {
+            if self.router.is_complex(t) {
+                deep_refs.push(t);
+                verdicts.push(None);
+            } else {
+                verdicts.push(Some(self.classify(t).0));
+            }
+        }
+        let deep = deep_refs.len();
+        let mut deep_verdicts = self.pipeline.classify_refs_cached(&deep_refs).into_iter();
+        let verdicts: Vec<Verdict> = verdicts
+            .into_iter()
+            .map(|v| v.unwrap_or_else(|| deep_verdicts.next().expect("one verdict per deep table")))
             .collect();
         (verdicts, deep as f64 / tables.len().max(1) as f64)
     }
@@ -175,6 +186,22 @@ mod tests {
         }
         let acc = ok as f64 / test.len() as f64;
         assert!(acc > 0.9, "hybrid HMD1 accuracy: {acc}");
+    }
+
+    #[test]
+    fn corpus_batching_matches_per_table_routing() {
+        let (h, test) = hybrid(CorpusKind::Ckg, 150, 7);
+        let (verdicts, deep_frac) = h.classify_corpus(&test);
+        assert_eq!(verdicts.len(), test.len());
+        let mut deep = 0usize;
+        for (t, v) in test.iter().zip(&verdicts) {
+            let (per_table, route) = h.classify(t);
+            assert_eq!(*v, per_table);
+            if route == Route::Deep {
+                deep += 1;
+            }
+        }
+        assert!((deep_frac - deep as f64 / test.len() as f64).abs() < 1e-12);
     }
 
     #[test]

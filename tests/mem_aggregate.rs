@@ -1,0 +1,91 @@
+//! Heap-accounting proof that blank/OOV level aggregation allocates no
+//! output buffer.
+//!
+//! `aggregate::level_vector` defers the dim-width zero buffer until the
+//! first *embeddable* token: a fully blank or fully OOV level must never
+//! pay the `vec![0.0; dim]`. That is invisible to value-level tests, so
+//! this binary installs the counting allocator (the same `mem-track`
+//! wrapper the CLI uses) and measures the peak-heap delta around the
+//! call. With `dim = 1024` the buffer is 4 KiB — far above the few dozen
+//! bytes of incidental bookkeeping (the `Vec<&Cell>` of level refs,
+//! tokenizer scratch) — so "no dim-width allocation" is a wide, stable
+//! margin, not an exact-zero knife edge.
+//!
+//! Kept as the sole test in its own integration binary: the allocator
+//! counters are process-global, and a concurrently running test would
+//! pollute the deltas.
+
+// `tabmeta::obs::mem` only exists when the root `mem-track` feature is on
+// (the default); a `--no-default-features` build compiles this binary to
+// nothing.
+#![cfg(feature = "mem-track")]
+
+use tabmeta::contrastive::aggregate::level_vector;
+use tabmeta::embed::{SgnsConfig, Word2Vec};
+use tabmeta::obs::mem;
+use tabmeta::tabular::{Axis, Cell, Table};
+use tabmeta::text::Tokenizer;
+
+#[global_allocator]
+static ALLOC: tabmeta::obs::mem::CountingAlloc = tabmeta::obs::mem::CountingAlloc;
+
+/// Peak-heap delta (bytes) across `f`, measured from the live size at
+/// entry.
+fn peak_delta<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    mem::reset_peak();
+    let before = mem::current_bytes();
+    let out = f();
+    (out, mem::peak_bytes().saturating_sub(before))
+}
+
+#[test]
+fn blank_and_oov_levels_allocate_no_output_buffer() {
+    const DIM: usize = 1024;
+    let sentences: Vec<Vec<String>> = vec![
+        vec!["year".into(), "value".into(), "total".into()],
+        vec!["total".into(), "year".into(), "state".into()],
+    ];
+    let (model, _report) =
+        Word2Vec::train(&sentences, SgnsConfig { dim: DIM, epochs: 1, ..SgnsConfig::tiny(5) });
+    let tokenizer = Tokenizer::default();
+    let buffer_bytes = (DIM * std::mem::size_of::<f32>()) as u64;
+
+    let table = Table::new(
+        1,
+        "mem",
+        vec![
+            vec![Cell::text(""), Cell::text(""), Cell::text("")],
+            vec![Cell::text("zzqx9"), Cell::text("vvkq7"), Cell::text("qqjz3")],
+            vec![Cell::text("year"), Cell::text("value"), Cell::text("total")],
+        ],
+    );
+
+    // Warm up any lazy one-time allocations (tokenizer tables, etc.) so
+    // the measured calls see steady state.
+    let _ = level_vector(&table, Axis::Row, 2, &model, &tokenizer);
+
+    let (blank, blank_peak) = peak_delta(|| level_vector(&table, Axis::Row, 0, &model, &tokenizer));
+    let (oov, oov_peak) = peak_delta(|| level_vector(&table, Axis::Row, 1, &model, &tokenizer));
+    let (embedded, embedded_peak) =
+        peak_delta(|| level_vector(&table, Axis::Row, 2, &model, &tokenizer));
+
+    assert!(blank.is_none(), "fully blank level must aggregate to None");
+    assert!(oov.is_none(), "fully OOV level must aggregate to None");
+    assert_eq!(embedded.as_ref().map(Vec::len), Some(DIM));
+
+    assert!(mem::is_tracking(), "counting allocator must be installed in this binary");
+    // The embeddable level proves the measurement resolves the buffer…
+    assert!(
+        embedded_peak >= buffer_bytes,
+        "embeddable level must allocate the {buffer_bytes}-byte output buffer, peak {embedded_peak}"
+    );
+    // …and the degenerate levels stay far below it.
+    assert!(
+        blank_peak < buffer_bytes / 2,
+        "blank level allocated {blank_peak} bytes — output buffer not deferred?"
+    );
+    assert!(
+        oov_peak < buffer_bytes / 2,
+        "OOV level allocated {oov_peak} bytes — output buffer not deferred?"
+    );
+}
