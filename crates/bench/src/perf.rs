@@ -224,6 +224,138 @@ pub fn run_train(cfg: &PerfConfig) -> Result<BenchReport, String> {
     Ok(report)
 }
 
+/// Serving workload: train once, start an in-process `tabmeta-serve`
+/// server on an ephemeral loopback port, and drive it with a fixed pool
+/// of seeded client threads (requests/sec over TCP plus client-observed
+/// request latency quantiles).
+///
+/// The admission queue is sized above the total request count and the
+/// deadline far above any realistic pass, so a healthy run never sheds
+/// load — keeping the work map (requests sent, tables classified)
+/// deterministic. Any rejection therefore *is* the failure signal: the
+/// run errors out rather than reporting partial throughput.
+pub fn run_serve(cfg: &PerfConfig) -> Result<BenchReport, String> {
+    use tabmeta_serve::{Client, Request, ServeConfig, Server, ServingModel, Status};
+
+    const CLIENTS: usize = 4;
+    const BATCH: usize = 8;
+
+    let corpus =
+        CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: cfg.tables, seed: cfg.seed });
+    let pipe_cfg = PipelineConfig::fast_seeded(cfg.seed);
+    let fingerprint = run_fingerprint(&pipe_cfg, &corpus.tables);
+    let mut report = BenchReport::new("serve", cfg, fingerprint);
+    let cut = corpus.tables.len() * 7 / 10;
+    let (train, test) = corpus.tables.split_at(cut);
+    let pipeline =
+        Pipeline::train(train, &pipe_cfg).map_err(|e| format!("bench training failed: {e}"))?;
+
+    let requests: Vec<Request> = test
+        .chunks(BATCH.max(1))
+        .enumerate()
+        .map(|(i, chunk)| Request { id: i as u64 + 1, tables: chunk.to_vec() })
+        .collect();
+    let serve_cfg = ServeConfig {
+        workers: CLIENTS,
+        queue_capacity: requests.len().max(16),
+        deadline_ms: 600_000,
+        io_timeout_ms: 60_000,
+        ..ServeConfig::default()
+    };
+    let server =
+        Server::start(ServingModel { pipeline, fingerprint }, serve_cfg, "127.0.0.1:0", None)
+            .map_err(|e| format!("bench serve bind failed: {e}"))?;
+    let addr = server.local_addr();
+
+    // One pass: every request once, spread round-robin over the client
+    // pool, each client on its own connection. Returns latency micros.
+    let run_pass = || -> Result<Vec<u64>, String> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let requests = &requests;
+                    scope.spawn(move || -> Result<Vec<u64>, String> {
+                        let mut client = Client::connect(addr, 60_000)
+                            .map_err(|e| format!("client {c} connect: {e}"))?;
+                        let mut latencies = Vec::new();
+                        for request in requests.iter().skip(c).step_by(CLIENTS) {
+                            let start = Instant::now();
+                            let response = client
+                                .call(request)
+                                .map_err(|e| format!("client {c} call: {e}"))?;
+                            let micros = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                            if response.parsed_status() != Some(Status::Ok) {
+                                return Err(format!(
+                                    "client {c} request {} rejected: {} ({})",
+                                    request.id, response.status, response.detail
+                                ));
+                            }
+                            if response.verdicts.len() != request.tables.len() {
+                                return Err(format!(
+                                    "client {c} request {}: {} verdicts for {} tables",
+                                    request.id,
+                                    response.verdicts.len(),
+                                    request.tables.len()
+                                ));
+                            }
+                            latencies.push(micros);
+                        }
+                        Ok(latencies)
+                    })
+                })
+                .collect();
+            let mut all = Vec::new();
+            for handle in handles {
+                all.extend(handle.join().map_err(|_| "bench client panicked".to_string())??);
+            }
+            Ok(all)
+        })
+    };
+
+    for _ in 0..cfg.warmup {
+        run_pass()?;
+    }
+
+    mem::reset_peak();
+    let mut elapsed_total = Duration::ZERO;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut requests_sent: u64 = 0;
+    let mut tables_classified: u64 = 0;
+    for _ in 0..cfg.iters.max(1) {
+        let (pass, elapsed) = global().timed(names::SPAN_BENCH_SERVE, run_pass);
+        latencies.extend(pass?);
+        elapsed_total += elapsed;
+        requests_sent += requests.len() as u64;
+        tables_classified += test.len() as u64;
+    }
+
+    let stats = server.shutdown().map_err(|e| format!("bench serve shutdown: {e}"))?;
+    if !stats.admissions_conserved() || stats.overloaded > 0 || stats.deadline_exceeded > 0 {
+        return Err(format!("bench serve shed load, report would be nondeterministic: {stats:?}"));
+    }
+
+    let requests_per_sec = per_sec(requests_sent, elapsed_total);
+    let tables_per_sec = per_sec(tables_classified, elapsed_total);
+    global().gauge(names::BENCH_SERVE_REQUESTS_PER_SEC).set(requests_per_sec);
+    mem::publish(global());
+    report.peak_mem_bytes = mem::peak_bytes();
+    report.mem_tracked = mem::is_tracking();
+
+    report.work.insert("corpus_tables".into(), corpus.tables.len() as u64);
+    report.work.insert("train_tables".into(), train.len() as u64);
+    report.work.insert("requests_sent".into(), requests_sent);
+    report.work.insert("tables_classified".into(), tables_classified);
+    report.measured.insert("requests_per_sec".into(), requests_per_sec);
+    report.measured.insert("tables_per_sec".into(), tables_per_sec);
+    latencies.sort_unstable();
+    if !latencies.is_empty() {
+        let p = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize] as f64;
+        report.measured.insert("request_p50_micros".into(), p(0.50));
+        report.measured.insert("request_p99_micros".into(), p(0.99));
+    }
+    Ok(report)
+}
+
 /// Atomically write `report` as pretty-printed JSON (trailing newline) at
 /// `path`.
 pub fn write_report(path: &Path, report: &BenchReport) -> Result<(), String> {

@@ -26,6 +26,7 @@
 #![cfg_attr(not(feature = "alloc-track"), forbid(unsafe_code))]
 #![cfg_attr(feature = "alloc-track", deny(unsafe_code))]
 
+pub mod clock;
 #[cfg(feature = "alloc-track")]
 pub mod mem;
 pub mod metrics;

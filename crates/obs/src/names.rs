@@ -46,6 +46,13 @@ pub const SPAN_BENCH_CLASSIFY: &str = "bench.classify";
 pub const SPAN_BENCH_TRAIN: &str = "bench.train";
 /// Bench harness: one measured JSONL ingestion pass.
 pub const SPAN_BENCH_INGEST: &str = "bench.ingest";
+/// Bench harness: one measured serve load-generation pass.
+pub const SPAN_BENCH_SERVE: &str = "bench.serve";
+
+// --- spans: serve path --------------------------------------------------
+
+/// One admitted request's classify work on a serve worker thread.
+pub const SPAN_SERVE_CLASSIFY: &str = "serve.classify";
 
 // --- spans: eval harness ----------------------------------------------
 
@@ -111,6 +118,19 @@ pub const ARTIFACT_REJECTED_PREFIX: &str = "artifact.rejected.";
 pub const CHECKPOINT_WRITTEN: &str = "checkpoint.written";
 /// Checkpoint files quarantined during a resume scan.
 pub const CHECKPOINT_QUARANTINED: &str = "checkpoint.quarantined";
+/// Requests admitted into the serve queue (well-formed and accepted).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Per-reason serve rejection family: `serve.rejected.<reason>` where
+/// `<reason>` is a `Status::as_str` value (`overloaded`,
+/// `deadline_exceeded`, `bad_request`, `frame_too_large`, `slow_read`,
+/// `shutting_down`) or the wire-level tag `truncated`/`io` for
+/// connections that died before a response could be written.
+pub const SERVE_REJECTED_PREFIX: &str = "serve.rejected.";
+/// Hot model reloads that passed deep validation and were swapped in.
+pub const SERVE_RELOADS: &str = "serve.reloads";
+/// Hot reload candidates rejected by envelope or deep validation (the
+/// server keeps serving the previous model).
+pub const SERVE_RELOAD_REJECTED: &str = "serve.reload_rejected";
 
 // --- gauges -----------------------------------------------------------
 
@@ -144,6 +164,12 @@ pub const BENCH_CLASSIFY_TABLES_PER_SEC: &str = "bench.classify.tables_per_sec";
 pub const BENCH_TRAIN_PAIRS_PER_SEC: &str = "bench.train.pairs_per_sec";
 /// Bench harness: JSONL ingestion row throughput of the most recent run.
 pub const BENCH_INGEST_ROWS_PER_SEC: &str = "bench.ingest.rows_per_sec";
+/// Bench harness: serve request throughput of the most recent run.
+pub const BENCH_SERVE_REQUESTS_PER_SEC: &str = "bench.serve.requests_per_sec";
+/// Current depth of the serve admission queue.
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Requests currently being classified by serve workers.
+pub const SERVE_IN_FLIGHT: &str = "serve.in_flight";
 /// Live heap bytes from the counting allocator (0 when not installed).
 pub const MEM_CURRENT_BYTES: &str = "mem.current_bytes";
 /// High-water heap bytes since process start or the last stage reset.
@@ -158,6 +184,9 @@ pub const EMBED_SENTENCE_LEN: &str = "embed.sentence_len";
 pub const CLASSIFIER_BOUNDARY_DEPTH: &str = "classifier.boundary_depth";
 /// Bench harness: per-table classify latency distribution.
 pub const BENCH_CLASSIFY_TABLE_MICROS: &str = "bench.classify.table_micros";
+/// Serve request latency (enqueue to response ready), queue wait
+/// included; p50/p90/p99 come from the histogram quantiles.
+pub const SERVE_REQUEST_MICROS: &str = "serve.request_micros";
 
 /// The instrument kind a registered name belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -318,6 +347,23 @@ pub static REGISTRY: &[MetricDef] = &[
         unit: "µs",
         stage: "bench",
         doc: "Bench harness: one measured JSONL ingestion pass",
+    },
+    MetricDef {
+        name: SPAN_BENCH_SERVE,
+        suffix: "",
+        kind: Kind::Span,
+        unit: "µs",
+        stage: "bench",
+        doc: "Bench harness: one measured serve load-generation pass",
+    },
+    // Spans — serve path.
+    MetricDef {
+        name: SPAN_SERVE_CLASSIFY,
+        suffix: "",
+        kind: Kind::Span,
+        unit: "µs",
+        stage: "serve",
+        doc: "One admitted request's classify work on a serve worker thread",
     },
     // Spans — eval harness.
     MetricDef {
@@ -521,6 +567,38 @@ pub static REGISTRY: &[MetricDef] = &[
         stage: "train",
         doc: "Checkpoint files quarantined during a resume scan",
     },
+    MetricDef {
+        name: SERVE_REQUESTS,
+        suffix: "",
+        kind: Kind::Counter,
+        unit: "requests",
+        stage: "serve",
+        doc: "Requests admitted into the serve queue",
+    },
+    MetricDef {
+        name: SERVE_REJECTED_PREFIX,
+        suffix: "<reason>",
+        kind: Kind::Counter,
+        unit: "requests",
+        stage: "serve",
+        doc: "Per-reason typed rejections; <reason> is a Status::as_str or wire tag",
+    },
+    MetricDef {
+        name: SERVE_RELOADS,
+        suffix: "",
+        kind: Kind::Counter,
+        unit: "reloads",
+        stage: "serve",
+        doc: "Hot model reloads validated and atomically swapped in",
+    },
+    MetricDef {
+        name: SERVE_RELOAD_REJECTED,
+        suffix: "",
+        kind: Kind::Counter,
+        unit: "artifacts",
+        stage: "serve",
+        doc: "Reload candidates rejected by validation; old model keeps serving",
+    },
     // Gauges.
     MetricDef {
         name: TRAIN_THREADS,
@@ -635,6 +713,30 @@ pub static REGISTRY: &[MetricDef] = &[
         doc: "JSONL ingestion row throughput of the most recent bench run",
     },
     MetricDef {
+        name: BENCH_SERVE_REQUESTS_PER_SEC,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "requests/s",
+        stage: "bench",
+        doc: "Serve request throughput of the most recent bench run",
+    },
+    MetricDef {
+        name: SERVE_QUEUE_DEPTH,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "requests",
+        stage: "serve",
+        doc: "Current depth of the serve admission queue",
+    },
+    MetricDef {
+        name: SERVE_IN_FLIGHT,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "requests",
+        stage: "serve",
+        doc: "Requests currently being classified by serve workers",
+    },
+    MetricDef {
         name: MEM_CURRENT_BYTES,
         suffix: "",
         kind: Kind::Gauge,
@@ -674,6 +776,14 @@ pub static REGISTRY: &[MetricDef] = &[
         unit: "µs",
         stage: "bench",
         doc: "Per-table classify latency distribution in the bench harness",
+    },
+    MetricDef {
+        name: SERVE_REQUEST_MICROS,
+        suffix: "",
+        kind: Kind::Histogram,
+        unit: "µs",
+        stage: "serve",
+        doc: "Request latency from enqueue to response ready, queue wait included",
     },
 ];
 

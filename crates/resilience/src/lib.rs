@@ -30,8 +30,10 @@ use serde::{Deserialize, Serialize};
 use tabmeta_tabular::{Cell, LevelLabel, Table};
 
 pub mod crash;
+pub mod wire;
 
 pub use crash::{run_crash_recovery, CheckpointCorruption, CrashOutcome, CrashPlan};
+pub use wire::{RequestFaultInjector, RequestFaultPlan, WireDecision, WireFaultKind};
 
 /// One kind of injectable damage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

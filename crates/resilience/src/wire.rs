@@ -1,0 +1,256 @@
+//! Seeded wire-level fault injection for the serve protocol.
+//!
+//! The serve chaos gate needs malformed traffic that is hostile *and*
+//! replayable: a failing seed must reproduce the exact byte stream that
+//! broke the server. [`RequestFaultPlan`] mirrors the corpus-level
+//! [`crate::FaultPlan`] — a seed, a rate, and a kind mix — and
+//! [`RequestFaultInjector`] applies it deterministically to well-formed
+//! frames (4-byte little-endian length prefix + JSON payload, the
+//! `tabmeta-serve` wire format).
+//!
+//! Every kind is *lethal at the wire layer*: the server must answer with
+//! a typed rejection or (when the peer vanishes mid-frame) close without
+//! panicking, and must never interpret the damage as a valid request.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tabmeta_core::persist::Fnv1a;
+
+/// One kind of wire damage applied to an outgoing frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WireFaultKind {
+    /// Send only a proper prefix of the frame, then continue the
+    /// conversation as if nothing happened (a flaky proxy). The server
+    /// reads a length it can never fill from bytes that follow.
+    TruncatedFrame,
+    /// Keep the payload but lie in the length prefix with a huge value.
+    /// The server must reject on the declared length alone, before
+    /// buffering a body it will never receive.
+    OversizedLength,
+    /// Replace the JSON payload with length-correct garbage bytes. The
+    /// frame parses; the request must not.
+    GarbageBytes,
+    /// Send a proper prefix of the frame and hang up mid-body (a client
+    /// killed at the worst moment). Nobody is left to answer.
+    MidFrameDisconnect,
+}
+
+impl WireFaultKind {
+    /// Every wire fault kind.
+    pub const ALL: [WireFaultKind; 4] = [
+        WireFaultKind::TruncatedFrame,
+        WireFaultKind::OversizedLength,
+        WireFaultKind::GarbageBytes,
+        WireFaultKind::MidFrameDisconnect,
+    ];
+
+    /// Whether the peer closes the connection after the damaged bytes
+    /// (no response can be delivered to it).
+    pub fn disconnects(self) -> bool {
+        matches!(self, WireFaultKind::MidFrameDisconnect)
+    }
+
+    /// Stable lowercase token for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WireFaultKind::TruncatedFrame => "truncated_frame",
+            WireFaultKind::OversizedLength => "oversized_length",
+            WireFaultKind::GarbageBytes => "garbage_bytes",
+            WireFaultKind::MidFrameDisconnect => "mid_frame_disconnect",
+        }
+    }
+}
+
+impl std::fmt::Display for WireFaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A deterministic wire-corruption recipe for one traffic source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestFaultPlan {
+    /// RNG seed — the whole corruption is a pure function of this and
+    /// the frame sequence.
+    pub seed: u64,
+    /// Per-frame corruption probability in `[0, 1]`.
+    pub rate: f64,
+    /// The fault kinds to draw from (uniformly).
+    pub kinds: Vec<WireFaultKind>,
+}
+
+impl RequestFaultPlan {
+    /// The full wire fault mix at `rate`.
+    pub fn full(seed: u64, rate: f64) -> Self {
+        Self { seed, rate: rate.clamp(0.0, 1.0), kinds: WireFaultKind::ALL.to_vec() }
+    }
+
+    /// A plan restricted to the given kinds.
+    pub fn with_kinds(seed: u64, rate: f64, kinds: &[WireFaultKind]) -> Self {
+        Self { seed, rate: rate.clamp(0.0, 1.0), kinds: kinds.to_vec() }
+    }
+}
+
+/// What the injector decided for one outgoing frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireDecision {
+    /// Send the frame untouched and read a normal response.
+    Clean,
+    /// Send `bytes` instead; `kind` documents the damage, and
+    /// [`WireFaultKind::disconnects`] tells the sender to hang up
+    /// afterwards instead of reading a response.
+    Corrupt {
+        /// The damage applied.
+        kind: WireFaultKind,
+        /// The bytes to put on the wire.
+        bytes: Vec<u8>,
+    },
+}
+
+/// Applies a [`RequestFaultPlan`] to a sequence of well-formed frames.
+///
+/// Determinism contract: decisions depend only on the plan and on the
+/// *sequence* of `decide` calls (frame content included via a content
+/// hash, so the same request stream replays byte-identically).
+#[derive(Debug)]
+pub struct RequestFaultInjector {
+    plan: RequestFaultPlan,
+    rng: StdRng,
+    injected: Vec<WireFaultKind>,
+}
+
+impl RequestFaultInjector {
+    /// Injector for `plan`.
+    pub fn new(plan: RequestFaultPlan) -> Self {
+        // Fold the content-independent parts of the plan into the seed so
+        // two plans differing only in rate/kinds still diverge.
+        let mut tag = Fnv1a::new();
+        tag.write(&plan.seed.to_le_bytes());
+        tag.write(&plan.rate.to_bits().to_le_bytes());
+        for kind in &plan.kinds {
+            tag.write(kind.as_str().as_bytes());
+        }
+        let rng = StdRng::seed_from_u64(tag.finish());
+        Self { plan, rng, injected: Vec::new() }
+    }
+
+    /// Decide what to do with one well-formed frame (`header ‖ payload`,
+    /// as produced by the serve protocol's `write_frame`).
+    pub fn decide(&mut self, frame: &[u8]) -> WireDecision {
+        if self.plan.kinds.is_empty() || !self.rng.random_bool(self.plan.rate) {
+            return WireDecision::Clean;
+        }
+        let kind = self.plan.kinds[self.rng.random_range(0..self.plan.kinds.len())];
+        let bytes = self.corrupt(kind, frame);
+        self.injected.push(kind);
+        WireDecision::Corrupt { kind, bytes }
+    }
+
+    fn corrupt(&mut self, kind: WireFaultKind, frame: &[u8]) -> Vec<u8> {
+        match kind {
+            WireFaultKind::TruncatedFrame | WireFaultKind::MidFrameDisconnect => {
+                // A proper prefix: at least the header, never the whole
+                // frame (the header alone is the degenerate minimum for
+                // tiny frames).
+                let cut = if frame.len() > 5 { self.rng.random_range(5..frame.len()) } else { 4 };
+                frame[..cut.min(frame.len())].to_vec()
+            }
+            WireFaultKind::OversizedLength => {
+                let mut bytes = frame.to_vec();
+                let declared = self.rng.random_range(1u32 << 30..u32::MAX);
+                bytes[..4].copy_from_slice(&declared.to_le_bytes());
+                bytes
+            }
+            WireFaultKind::GarbageBytes => {
+                let mut bytes = frame.to_vec();
+                for b in bytes.iter_mut().skip(4) {
+                    *b = self.rng.random_range(0..=255u32) as u8;
+                }
+                bytes
+            }
+        }
+    }
+
+    /// Every fault injected so far, in decision order.
+    pub fn injected(&self) -> &[WireFaultKind] {
+        &self.injected
+    }
+
+    /// The plan this injector runs.
+    pub fn plan(&self) -> &RequestFaultPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut out = (payload.len() as u32).to_le_bytes().to_vec();
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn same_plan_same_stream_replays_identically() {
+        let frames: Vec<Vec<u8>> =
+            (0..200).map(|i| frame(format!("{{\"id\":{i}}}").as_bytes())).collect();
+        let mut a = RequestFaultInjector::new(RequestFaultPlan::full(7, 0.5));
+        let mut b = RequestFaultInjector::new(RequestFaultPlan::full(7, 0.5));
+        for f in &frames {
+            assert_eq!(a.decide(f), b.decide(f));
+        }
+        assert!(!a.injected().is_empty());
+    }
+
+    #[test]
+    fn rate_zero_never_corrupts_rate_one_always_does() {
+        let f = frame(b"{\"id\":1}");
+        let mut never = RequestFaultInjector::new(RequestFaultPlan::full(3, 0.0));
+        let mut always = RequestFaultInjector::new(RequestFaultPlan::full(3, 1.0));
+        for _ in 0..50 {
+            assert_eq!(never.decide(&f), WireDecision::Clean);
+            assert!(matches!(always.decide(&f), WireDecision::Corrupt { .. }));
+        }
+        assert_eq!(always.injected().len(), 50);
+    }
+
+    #[test]
+    fn corruptions_are_structurally_what_they_claim() {
+        let f = frame(b"{\"id\":1,\"tables\":[]}");
+        let mut inj = RequestFaultInjector::new(RequestFaultPlan::full(11, 1.0));
+        for _ in 0..200 {
+            match inj.decide(&f) {
+                WireDecision::Clean => unreachable!("rate 1.0"),
+                WireDecision::Corrupt { kind, bytes } => match kind {
+                    WireFaultKind::TruncatedFrame | WireFaultKind::MidFrameDisconnect => {
+                        assert!(bytes.len() < f.len());
+                        assert!(bytes.len() >= 4);
+                        assert_eq!(&bytes[..], &f[..bytes.len()]);
+                    }
+                    WireFaultKind::OversizedLength => {
+                        assert_eq!(bytes.len(), f.len());
+                        let declared = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+                        assert!(declared >= 1 << 30);
+                    }
+                    WireFaultKind::GarbageBytes => {
+                        assert_eq!(bytes.len(), f.len());
+                        assert_eq!(&bytes[..4], &f[..4]);
+                    }
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let f = frame(b"{\"id\":1}");
+        let mut a = RequestFaultInjector::new(RequestFaultPlan::full(1, 0.5));
+        let mut b = RequestFaultInjector::new(RequestFaultPlan::full(2, 0.5));
+        let decisions_a: Vec<_> = (0..100).map(|_| a.decide(&f)).collect();
+        let decisions_b: Vec<_> = (0..100).map(|_| b.decide(&f)).collect();
+        assert_ne!(decisions_a, decisions_b);
+    }
+}

@@ -1,0 +1,233 @@
+//! `tabmeta-serve`: a hardened concurrent classification server.
+//!
+//! The long-lived half of the pipeline: load a model once through the
+//! validating [`tabmeta_core::persist`] loader, share its read-only
+//! classify state across a worker pool behind an `Arc`, and answer
+//! batch classify requests over a zero-dependency, length-prefixed
+//! JSON-over-TCP protocol (`std::net` only, like `tabmeta-lint`'s
+//! zero-dep discipline).
+//!
+//! Robustness properties, each enforced by the chaos gate
+//! (`tests/serve_chaos.rs`):
+//!
+//! * **Bounded admission** — a fixed-capacity queue; a full queue means
+//!   an immediate typed `overloaded` response carrying a retry hint,
+//!   never unbounded growth.
+//! * **Deadlines** — a request that waits in the queue past its deadline
+//!   is answered `deadline_exceeded`, not silently served stale.
+//! * **Slow-peer protection** — read/write socket timeouts; a peer that
+//!   cannot complete a frame in time gets `slow_read` and a close.
+//! * **Typed failure** — malformed JSON, oversized length prefixes, and
+//!   truncated frames each map to a distinct [`protocol::Status`] or
+//!   wire tag, all counted under `serve.rejected.<reason>`.
+//! * **Hot reload** — a watcher polls the model path; a changed artifact
+//!   is deep-validated (envelope fingerprint + CRC + schema + weights)
+//!   and atomically swapped in. In-flight requests finish on the model
+//!   they started with; a failing candidate is rejected typed and the
+//!   old model keeps serving.
+//! * **Graceful drain** — shutdown stops admissions (typed
+//!   `shutting_down`), then answers every already-admitted request
+//!   before the workers exit. [`server::StatsSnapshot::admissions_conserved`]
+//!   is the machine-checkable zero-drop invariant.
+//!
+//! Every successful response carries the serving model's fingerprint
+//! and per-table verdicts with full degraded/quarantine provenance, so
+//! clients can pin any verdict to the exact model that produced it even
+//! across reloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{Request, Response, Status, WireError};
+pub use server::{Client, ServeConfig, Server, ServingModel, StatsSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use tabmeta_core::persist::save_pipeline;
+    use tabmeta_core::{Pipeline, PipelineConfig};
+    use tabmeta_corpora::{CorpusKind, GeneratorConfig};
+    use tabmeta_obs::clock;
+    use tabmeta_tabular::Table;
+
+    fn train(seed: u64) -> (Pipeline, Vec<Table>) {
+        let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 30, seed });
+        let pipeline = Pipeline::train(&corpus.tables, &PipelineConfig::fast_seeded(seed))
+            .expect("tiny training run");
+        (pipeline, corpus.tables)
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tabmeta-serve-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Poll until `done` or the timeout elapses; true when `done` won.
+    fn wait_until(timeout_ms: u64, mut done: impl FnMut() -> bool) -> bool {
+        let start = clock::monotonic_millis();
+        while clock::monotonic_millis().saturating_sub(start) < timeout_ms {
+            if done() {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        done()
+    }
+
+    #[test]
+    fn end_to_end_verdicts_match_offline() {
+        let (pipeline, tables) = train(41);
+        let offline: Vec<_> = tables[..4].iter().map(|t| pipeline.classify(t)).collect();
+        let fingerprint = 0xfeed_beef;
+        let server = Server::start(
+            ServingModel { pipeline, fingerprint },
+            ServeConfig { workers: 2, ..ServeConfig::default() },
+            "127.0.0.1:0",
+            None,
+        )
+        .unwrap();
+
+        let mut client = Client::connect(server.local_addr(), 2_000).unwrap();
+        let response = client.call(&Request { id: 9, tables: tables[..4].to_vec() }).unwrap();
+        assert_eq!(response.parsed_status(), Some(Status::Ok));
+        assert!(response.is_well_formed());
+        assert_eq!(response.id, 9);
+        assert_eq!(response.model_fingerprint, format!("{fingerprint:016x}"));
+        assert_eq!(response.verdicts, offline);
+
+        // Malformed JSON in a well-framed payload → typed bad_request,
+        // connection stays usable.
+        let mut garbage = Vec::new();
+        protocol::write_frame(&mut garbage, b"{not json").unwrap();
+        client.send_raw(&garbage).unwrap();
+        let rejection = client.read_response().unwrap();
+        assert_eq!(rejection.parsed_status(), Some(Status::BadRequest));
+        assert!(rejection.is_well_formed());
+        let after = client.call(&Request { id: 10, tables: tables[..1].to_vec() }).unwrap();
+        assert_eq!(after.parsed_status(), Some(Status::Ok));
+
+        let stats = server.shutdown().unwrap();
+        assert!(stats.admissions_conserved(), "{stats:?}");
+        assert_eq!(stats.ok, 2);
+        assert_eq!(stats.bad_request, 1);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_read() {
+        let (pipeline, _) = train(43);
+        let server = Server::start(
+            ServingModel { pipeline, fingerprint: 1 },
+            ServeConfig { workers: 1, max_frame_bytes: 256, ..ServeConfig::default() },
+            "127.0.0.1:0",
+            None,
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr(), 2_000).unwrap();
+        // Declare a body far above the bound without sending one.
+        client.send_raw(&1_000_000u32.to_le_bytes()).unwrap();
+        let rejection = client.read_response().unwrap();
+        assert_eq!(rejection.parsed_status(), Some(Status::FrameTooLarge));
+        assert!(rejection.is_well_formed());
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.frame_too_large, 1);
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn slow_client_gets_typed_close() {
+        let (pipeline, _) = train(47);
+        let server = Server::start(
+            ServingModel { pipeline, fingerprint: 1 },
+            ServeConfig { workers: 1, io_timeout_ms: 120, ..ServeConfig::default() },
+            "127.0.0.1:0",
+            None,
+        )
+        .unwrap();
+        let mut client = Client::connect(server.local_addr(), 3_000).unwrap();
+        // Half a header, then stall past the server's read timeout.
+        client.send_raw(&[7u8, 0]).unwrap();
+        let rejection = client.read_response().unwrap();
+        assert_eq!(rejection.parsed_status(), Some(Status::SlowRead));
+        assert!(rejection.is_well_formed());
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.slow_read, 1);
+    }
+
+    #[test]
+    fn hot_reload_swaps_and_rejects_corrupt() {
+        let (pipeline_a, tables) = train(53);
+        let (pipeline_b, _) = train(59);
+        let offline_b = pipeline_b.classify(&tables[0]);
+        let dir = tmp_dir("reload");
+        let path = dir.join("model.tma");
+        save_pipeline(&path, &pipeline_a, 0xa).unwrap();
+
+        let server = Server::start(
+            ServingModel { pipeline: pipeline_a, fingerprint: 0xa },
+            ServeConfig { workers: 1, reload_poll_ms: 10, ..ServeConfig::default() },
+            "127.0.0.1:0",
+            Some(path.clone()),
+        )
+        .unwrap();
+        assert_eq!(server.model_fingerprint(), 0xa);
+
+        // A valid new artifact swaps in.
+        save_pipeline(&path, &pipeline_b, 0xb).unwrap();
+        assert!(
+            wait_until(5_000, || server.model_fingerprint() == 0xb),
+            "reload never swapped: stats {:?}",
+            server.stats()
+        );
+        let mut client = Client::connect(server.local_addr(), 2_000).unwrap();
+        let response = client.call(&Request { id: 1, tables: vec![tables[0].clone()] }).unwrap();
+        assert_eq!(response.model_fingerprint, format!("{:016x}", 0xbu64));
+        assert_eq!(response.verdicts, vec![offline_b.clone()]);
+
+        // A corrupted artifact is rejected typed; the old model serves on.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        tabmeta_core::atomic_write(&path, &bytes).unwrap();
+        assert!(
+            wait_until(5_000, || server.stats().reload_rejected >= 1),
+            "corrupt artifact never observed"
+        );
+        assert_eq!(server.model_fingerprint(), 0xb);
+        assert_eq!(server.last_reload_error(), "checksum_mismatch");
+        let response = client.call(&Request { id: 2, tables: vec![tables[0].clone()] }).unwrap();
+        assert_eq!(response.verdicts, vec![offline_b]);
+
+        let stats = server.shutdown().unwrap();
+        assert!(stats.reloads >= 1);
+        assert_eq!(stats.reload_rejected, 1);
+        assert!(stats.admissions_conserved(), "{stats:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drained_shutdown_conserves_admissions() {
+        let (pipeline, tables) = train(61);
+        let offline = pipeline.classify(&tables[0]);
+        let server = Server::start(
+            ServingModel { pipeline, fingerprint: 3 },
+            ServeConfig { workers: 1, ..ServeConfig::default() },
+            "127.0.0.1:0",
+            None,
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr, 2_000).unwrap();
+        let ok = client.call(&Request { id: 5, tables: vec![tables[0].clone()] }).unwrap();
+        assert_eq!(ok.verdicts, vec![offline]);
+        let stats = server.shutdown().unwrap();
+        assert!(stats.admissions_conserved(), "{stats:?}");
+        assert_eq!(stats.ok, 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! The serve wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! A frame is a 4-byte little-endian payload length followed by exactly
+//! that many bytes of UTF-8 JSON. Requests and responses are flat
+//! structs (the vendored serde has no tagged-enum support); the response
+//! `status` string is the machine-readable discriminant, mirrored by
+//! the typed [`Status`] enum whose `as_str` values double as the
+//! `serve.rejected.<reason>` metric suffixes.
+//!
+//! Framing errors are typed ([`WireError`]) and distinguish a clean
+//! close from a mid-frame truncation, a declared length above the
+//! server's bound (rejected *before* reading the body, so an oversized
+//! prefix cannot force an allocation), a read/write timeout, and any
+//! other I/O failure.
+
+use serde::{Deserialize, Serialize};
+use std::io::{ErrorKind, Read, Write};
+use tabmeta_core::classifier::Verdict;
+use tabmeta_tabular::Table;
+
+/// Default upper bound on a frame payload, generous for batch requests.
+pub const MAX_FRAME_BYTES_DEFAULT: u32 = 8 * 1024 * 1024;
+
+/// Length of the frame header (little-endian u32 payload length).
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Typed framing/transport failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Peer closed the connection cleanly between frames.
+    Closed,
+    /// Peer disappeared mid-frame: `got` of `expected` bytes arrived.
+    Truncated {
+        /// Bytes the frame still owed.
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// A read or write blocked past the socket timeout (slow peer).
+    TimedOut,
+    /// Declared payload length exceeds the negotiated bound.
+    FrameTooLarge {
+        /// Length the prefix declared.
+        declared: u32,
+        /// Bound it exceeded.
+        max: u32,
+    },
+    /// Any other transport failure.
+    Io {
+        /// Stringified `std::io::Error`.
+        detail: String,
+    },
+}
+
+impl WireError {
+    /// Snake_case tag for metrics and logs.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            WireError::Closed => "closed",
+            WireError::Truncated { .. } => "truncated",
+            WireError::TimedOut => "timed_out",
+            WireError::FrameTooLarge { .. } => "frame_too_large",
+            WireError::Io { .. } => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Truncated { expected, got } => {
+                write!(f, "frame truncated: got {got} of {expected} bytes")
+            }
+            WireError::TimedOut => write!(f, "socket timed out"),
+            WireError::FrameTooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte bound")
+            }
+            WireError::Io { detail } => write!(f, "io error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn read_all(stream: &mut impl Read, buf: &mut [u8]) -> Result<(), WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if filled == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated { expected: buf.len(), got: filled }
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(WireError::TimedOut);
+            }
+            Err(e) => return Err(WireError::Io { detail: e.to_string() }),
+        }
+    }
+    Ok(())
+}
+
+/// Read one frame payload; an oversized declared length fails before the
+/// body is read (or allocated). A clean EOF before the first header byte
+/// is [`WireError::Closed`]; EOF anywhere later is a truncation.
+pub fn read_frame(stream: &mut impl Read, max_bytes: u32) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    read_all(stream, &mut header)?;
+    let declared = u32::from_le_bytes(header);
+    if declared > max_bytes {
+        return Err(WireError::FrameTooLarge { declared, max: max_bytes });
+    }
+    let mut payload = vec![0u8; declared as usize];
+    match read_all(stream, &mut payload) {
+        // EOF between header and body is still a truncation of the frame.
+        Err(WireError::Closed) => Err(WireError::Truncated { expected: declared as usize, got: 0 }),
+        other => other.map(|()| payload),
+    }
+}
+
+/// Write one frame (header + payload), mapping timeouts like reads.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| WireError::FrameTooLarge { declared: u32::MAX, max: u32::MAX })?;
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    match stream.write_all(&buf).and_then(|()| stream.flush()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+            Err(WireError::TimedOut)
+        }
+        Err(e) => Err(WireError::Io { detail: e.to_string() }),
+    }
+}
+
+/// One batch classify request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Tables to classify, in response `verdicts` order.
+    pub tables: Vec<Table>,
+}
+
+/// Machine-readable response discriminant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Request classified; `verdicts` holds one entry per table.
+    Ok,
+    /// Admission queue full; retry after `retry_after_ms`.
+    Overloaded,
+    /// Request waited in the queue past its deadline.
+    DeadlineExceeded,
+    /// Payload was not a well-formed `Request`.
+    BadRequest,
+    /// Declared frame length exceeded the server bound.
+    FrameTooLarge,
+    /// Peer read/wrote too slowly; connection is being closed.
+    SlowRead,
+    /// Server is draining; no new requests are admitted.
+    ShuttingDown,
+}
+
+impl Status {
+    /// Snake_case wire value; non-`ok` values are also the
+    /// `serve.rejected.<reason>` suffixes.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Overloaded => "overloaded",
+            Status::DeadlineExceeded => "deadline_exceeded",
+            Status::BadRequest => "bad_request",
+            Status::FrameTooLarge => "frame_too_large",
+            Status::SlowRead => "slow_read",
+            Status::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parse a wire value; `None` marks a malformed response.
+    pub fn parse(s: &str) -> Option<Status> {
+        Some(match s {
+            "ok" => Status::Ok,
+            "overloaded" => Status::Overloaded,
+            "deadline_exceeded" => Status::DeadlineExceeded,
+            "bad_request" => Status::BadRequest,
+            "frame_too_large" => Status::FrameTooLarge,
+            "slow_read" => Status::SlowRead,
+            "shutting_down" => Status::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+/// One response frame. Flat rather than an enum so the vendored serde
+/// derive can carry it; [`Response::status`] is the discriminant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Correlation id echoed from the request (0 when the request never
+    /// parsed far enough to have one).
+    pub id: u64,
+    /// A [`Status::as_str`] value.
+    pub status: String,
+    /// Human-readable detail for rejections, empty on success.
+    pub detail: String,
+    /// Suggested retry delay for `overloaded`, 0 otherwise.
+    pub retry_after_ms: u64,
+    /// Hex fingerprint of the model that produced `verdicts` (empty on
+    /// rejection) — lets clients pin verdicts to a model across hot
+    /// reloads.
+    pub model_fingerprint: String,
+    /// One verdict per request table, each carrying the full
+    /// degraded/quarantine provenance; empty on rejection.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl Response {
+    /// Successful classification under the model `fingerprint`.
+    pub fn ok(id: u64, fingerprint: u64, verdicts: Vec<Verdict>) -> Response {
+        Response {
+            id,
+            status: Status::Ok.as_str().to_string(),
+            detail: String::new(),
+            retry_after_ms: 0,
+            model_fingerprint: format!("{fingerprint:016x}"),
+            verdicts,
+        }
+    }
+
+    /// Typed rejection.
+    pub fn rejected(id: u64, status: Status, detail: String, retry_after_ms: u64) -> Response {
+        Response {
+            id,
+            status: status.as_str().to_string(),
+            detail,
+            retry_after_ms,
+            model_fingerprint: String::new(),
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// The typed status, `None` when the wire value is unknown.
+    pub fn parsed_status(&self) -> Option<Status> {
+        Status::parse(&self.status)
+    }
+
+    /// Structural well-formedness: known status, and the success/failure
+    /// invariants (verdicts and fingerprint iff ok, retry hint only on
+    /// overloaded) hold.
+    pub fn is_well_formed(&self) -> bool {
+        match self.parsed_status() {
+            None => false,
+            Some(Status::Ok) => !self.model_fingerprint.is_empty(),
+            Some(Status::Overloaded) => self.verdicts.is_empty() && self.retry_after_ms > 0,
+            Some(_) => self.verdicts.is_empty() && self.model_fingerprint.is_empty(),
+        }
+    }
+}
+
+/// Serialize `value` and frame it onto `stream`.
+pub fn write_message<T: Serialize>(stream: &mut impl Write, value: &T) -> Result<(), WireError> {
+    let json = serde_json::to_string(value)
+        .map_err(|e| WireError::Io { detail: format!("serialize: {e}") })?;
+    write_frame(stream, json.as_bytes())
+}
+
+/// Read one frame and parse it as `T`; JSON/UTF-8 failures surface as
+/// `Io` with a `parse:` detail prefix.
+pub fn read_message<T: for<'de> Deserialize<'de>>(
+    stream: &mut impl Read,
+    max_bytes: u32,
+) -> Result<T, WireError> {
+    let payload = read_frame(stream, max_bytes)?;
+    parse_payload(&payload)
+}
+
+/// Parse an already-read frame payload as `T`.
+pub fn parse_payload<T: for<'de> Deserialize<'de>>(payload: &[u8]) -> Result<T, WireError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| WireError::Io { detail: format!("parse: payload not UTF-8: {e}") })?;
+    serde_json::from_str(text).map_err(|e| WireError::Io { detail: format!("parse: {e}") })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(buf.len(), FRAME_HEADER_LEN + 5);
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor, 1024).unwrap(), b"hello");
+        // A second read on the drained stream is a clean close.
+        assert_eq!(read_frame(&mut cursor, 1024), Err(WireError::Closed));
+    }
+
+    #[test]
+    fn oversized_prefix_rejected_before_body() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = &buf[..];
+        assert_eq!(
+            read_frame(&mut cursor, 64),
+            Err(WireError::FrameTooLarge { declared: u32::MAX, max: 64 })
+        );
+    }
+
+    #[test]
+    fn truncated_body_is_typed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor, 64), Err(WireError::Truncated { expected: 8, got: 3 }));
+    }
+
+    #[test]
+    fn truncated_header_is_typed() {
+        let buf = [1u8, 0];
+        let mut cursor = &buf[..];
+        assert_eq!(read_frame(&mut cursor, 64), Err(WireError::Truncated { expected: 4, got: 2 }));
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        for status in [
+            Status::Ok,
+            Status::Overloaded,
+            Status::DeadlineExceeded,
+            Status::BadRequest,
+            Status::FrameTooLarge,
+            Status::SlowRead,
+            Status::ShuttingDown,
+        ] {
+            assert_eq!(Status::parse(status.as_str()), Some(status));
+        }
+        assert_eq!(Status::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn response_well_formedness() {
+        assert!(Response::ok(1, 42, Vec::new()).is_well_formed());
+        assert!(Response::rejected(1, Status::Overloaded, "full".into(), 25).is_well_formed());
+        assert!(Response::rejected(0, Status::BadRequest, "bad json".into(), 0).is_well_formed());
+        let mut bogus = Response::ok(1, 42, Vec::new());
+        bogus.status = "mystery".into();
+        assert!(!bogus.is_well_formed());
+        // Overloaded without a retry hint is malformed by construction.
+        let no_hint = Response::rejected(1, Status::Overloaded, "full".into(), 0);
+        assert!(!no_hint.is_well_formed());
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let req = Request { id: 7, tables: Vec::new() };
+        let mut buf = Vec::new();
+        write_message(&mut buf, &req).unwrap();
+        let mut cursor = &buf[..];
+        let back: Request = read_message(&mut cursor, 1024).unwrap();
+        assert_eq!(back, req);
+    }
+}

@@ -47,7 +47,7 @@ TABMETA=target/release/tabmeta
 mkdir -p "$BENCH_TMP/a" "$BENCH_TMP/b"
 "$TABMETA" bench --workload all --tables 60 --warmup 0 --iters 1 --seed 11 --out-dir "$BENCH_TMP/a" >/dev/null
 "$TABMETA" bench --workload all --tables 60 --warmup 0 --iters 1 --seed 11 --out-dir "$BENCH_TMP/b" >/dev/null
-for w in classify train; do
+for w in classify train serve; do
   "$TABMETA" bench --compare "$BENCH_TMP/a/BENCH_$w.json" --current "$BENCH_TMP/b/BENCH_$w.json" --deterministic-only >/dev/null
   "$TABMETA" bench --compare "$BENCH_TMP/a/BENCH_$w.json" --current "$BENCH_TMP/a/BENCH_$w.json" >/dev/null
 done
@@ -57,13 +57,27 @@ if "$TABMETA" bench --compare "$BENCH_TMP/boosted.json" --current "$BENCH_TMP/a/
   exit 1
 fi
 
-# Committed-baseline gate: re-measure at the committed BENCH_classify.json
+# Committed-baseline gate: re-measure at each committed BENCH_*.json
 # baseline's own scale (seed 2025, 240 tables) and enforce work-map
-# equality against it, so any PR that changes how much work classify does
-# (tables seen, tables classified) fails loudly. Deterministic-only:
-# wall-clock throughput varies across boxes; the measured trajectory is
-# recorded in EXPERIMENTS.md instead.
-"$TABMETA" bench --compare BENCH_classify.json --deterministic-only >/dev/null
+# equality against it, so any PR that changes how much work a workload does
+# (tables seen/classified, pairs trained, requests served) fails loudly.
+# Deterministic-only: wall-clock throughput varies across boxes; the
+# measured trajectory is recorded in EXPERIMENTS.md instead.
+for baseline in BENCH_classify.json BENCH_train.json BENCH_serve.json; do
+  "$TABMETA" bench --compare "$baseline" --deterministic-only >/dev/null
+done
+
+# Serve chaos gate: a 30-second seeded mixed-traffic soak against the
+# classification server — ≥15% wire-malformed frames, slowloris peers, and
+# hot model reloads including one corrupted-artifact swap — run both
+# sequential and with the concurrent classify paths enabled. Asserts zero
+# panics, zero dropped in-flight requests, typed well-formed responses on
+# every clean connection, bounded queue depth, and reload-spanning verdict
+# bit-identity against offline classification.
+echo "==> serve chaos (RAYON_NUM_THREADS=1)"
+TABMETA_SERVE_SOAK_SECS=30 RAYON_NUM_THREADS=1 cargo test -q --offline --release --test serve_chaos
+echo "==> serve chaos (RAYON_NUM_THREADS=4)"
+TABMETA_SERVE_SOAK_SECS=30 RAYON_NUM_THREADS=4 cargo test -q --offline --release --test serve_chaos
 
 # Workspace-invariant static analysis: unseeded RNG, raw timing outside
 # the obs layer, unsafe without SAFETY comments, metric names that bypass

@@ -9,8 +9,9 @@
 //! tabmeta inspect  --model model.json
 //! tabmeta stats    --corpus corpus.jsonl
 //! tabmeta reproduce --artifact table5 [--tables N] [--seed S]
-//! tabmeta bench    [--workload classify|train|all] [--out-dir DIR]
+//! tabmeta bench    [--workload classify|train|serve|all] [--out-dir DIR]
 //! tabmeta bench    --compare BENCH_classify.json [--current run.json]
+//! tabmeta serve    --model model.tma [--addr HOST:PORT] [--workers N]
 //! ```
 //!
 //! Argument parsing is hand-rolled (`--flag value` pairs) to stay inside
@@ -82,6 +83,92 @@ impl Args {
             Some(v) => v.parse().map(Some).map_err(|_| format!("--{name} must be a number")),
         }
     }
+}
+
+/// Known flags per subcommand; `check_known_flags` rejects anything
+/// else, so a misspelled `--tolerence` fails loudly instead of being
+/// silently ignored.
+const COMMAND_FLAGS: &[(&str, &[&str])] = &[
+    ("generate", &["corpus", "tables", "seed", "out"]),
+    ("train", &["corpus", "csv-dir", "lossy", "seed", "config", "checkpoint-dir", "resume", "out"]),
+    ("classify", &["model", "csv", "corpus", "lossy", "score"]),
+    ("inspect", &["model"]),
+    ("stats", &["corpus", "lossy"]),
+    ("reproduce", &["artifact", "tables", "seed"]),
+    (
+        "bench",
+        &[
+            "workload",
+            "tables",
+            "seed",
+            "warmup",
+            "iters",
+            "out-dir",
+            "compare",
+            "current",
+            "tolerance",
+            "deterministic-only",
+            "scale",
+            "factor",
+            "out",
+        ],
+    ),
+    (
+        "serve",
+        &[
+            "model",
+            "addr",
+            "workers",
+            "queue",
+            "deadline-ms",
+            "io-timeout-ms",
+            "max-frame-bytes",
+            "poll-ms",
+            "retry-after-ms",
+            "soak-secs",
+        ],
+    ),
+];
+
+/// Levenshtein distance for near-miss suggestions on unknown flags.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// Typed rejection of flags the subcommand does not define, with a
+/// did-you-mean suggestion and the full valid-flag list.
+fn check_known_flags(command: &str, args: &Args) -> Result<(), String> {
+    let Some((_, known)) = COMMAND_FLAGS.iter().find(|(c, _)| *c == command) else {
+        return Ok(());
+    };
+    for (flag, _) in &args.pairs {
+        if known.contains(&flag.as_str()) {
+            continue;
+        }
+        let suggestion = known
+            .iter()
+            .map(|k| (edit_distance(flag, k), *k))
+            .min()
+            .filter(|(d, _)| *d <= 2)
+            .map(|(_, k)| format!(" (did you mean --{k}?)"))
+            .unwrap_or_default();
+        let valid: Vec<String> = known.iter().map(|k| format!("--{k}")).collect();
+        return Err(format!(
+            "unknown flag --{flag} for '{command}'{suggestion}; valid flags: {}",
+            valid.join(", ")
+        ));
+    }
+    Ok(())
 }
 
 fn corpus_kind(name: &str) -> Result<CorpusKind, String> {
@@ -386,6 +473,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
                 match baseline.workload.as_str() {
                     "classify" => perf::run_classify(&cfg)?,
                     "train" => perf::run_train(&cfg)?,
+                    "serve" => perf::run_serve(&cfg)?,
                     other => return Err(format!("baseline has unknown workload '{other}'")),
                 }
             }
@@ -423,8 +511,11 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     if matches!(workload, "train" | "all") {
         reports.push(perf::run_train(&cfg)?);
     }
+    if matches!(workload, "serve" | "all") {
+        reports.push(perf::run_serve(&cfg)?);
+    }
     if reports.is_empty() {
-        return Err(format!("unknown --workload '{workload}' (classify|train|all)"));
+        return Err(format!("unknown --workload '{workload}' (classify|train|serve|all)"));
     }
     for report in &reports {
         let path = out_dir.join(report.file_name());
@@ -436,6 +527,66 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
         if report.mem_tracked {
             println!("  peak_mem_bytes: {}", report.peak_mem_bytes);
         }
+    }
+    Ok(())
+}
+
+/// `tabmeta serve`: hardened concurrent classification server over the
+/// length-prefixed TCP wire protocol, with bounded-queue backpressure,
+/// per-request deadlines, and hot model reload from the artifact path.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use tabmeta::serve::{ServeConfig, Server, ServingModel};
+
+    let model_path = args.require("model")?.to_string();
+    let (pipeline, fingerprint) = load_pipeline(Path::new(&model_path))
+        .map_err(|e| format!("refusing to serve {model_path}: {e} [reason: {}]", e.reason()))?;
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        workers: args.u64_or("workers", defaults.workers as u64)? as usize,
+        queue_capacity: args.u64_or("queue", defaults.queue_capacity as u64)? as usize,
+        deadline_ms: args.u64_or("deadline-ms", defaults.deadline_ms)?,
+        io_timeout_ms: args.u64_or("io-timeout-ms", defaults.io_timeout_ms)?,
+        max_frame_bytes: args.u64_or("max-frame-bytes", defaults.max_frame_bytes as u64)? as u32,
+        reload_poll_ms: args.u64_or("poll-ms", defaults.reload_poll_ms)?,
+        retry_after_ms: args.u64_or("retry-after-ms", defaults.retry_after_ms)?,
+    };
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878");
+    let soak_secs = args.u64_or("soak-secs", 0)?;
+
+    let model = ServingModel { pipeline, fingerprint };
+    let server = Server::start(model, config.clone(), addr, Some(model_path.clone().into()))
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "serving {model_path} (fingerprint {fingerprint:016x}) on {} — {} workers, queue {}, deadline {}ms, hot-reload poll {}ms",
+        server.local_addr(),
+        config.workers,
+        config.queue_capacity,
+        config.deadline_ms,
+        config.reload_poll_ms,
+    );
+    if soak_secs == 0 {
+        println!("serving until killed (use --soak-secs N for a timed run with drained shutdown)");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_secs(soak_secs));
+    let stats = server.shutdown()?;
+    println!(
+        "drained shutdown after {soak_secs}s: {} connections, {} admitted ({} ok, {} deadline-exceeded, {} drained), {} overloaded, {} reloads ({} rejected)",
+        stats.connections,
+        stats.admitted,
+        stats.ok,
+        stats.deadline_exceeded,
+        stats.drained,
+        stats.overloaded,
+        stats.reloads,
+        stats.reload_rejected,
+    );
+    if !stats.admissions_conserved() {
+        return Err(
+            "admission conservation violated: admitted != ok + deadline_exceeded + drained".into(),
+        );
     }
     Ok(())
 }
@@ -469,11 +620,14 @@ const USAGE: &str = "usage:
   tabmeta inspect  --model model.tma
   tabmeta stats    --corpus corpus.jsonl [--lossy]
   tabmeta reproduce [--artifact table1|…|table6|fig6|fig7|runtime|cmd] [--tables N] [--seed S]
-  tabmeta bench    [--workload classify|train|all] [--tables N] [--seed S]
+  tabmeta bench    [--workload classify|train|serve|all] [--tables N] [--seed S]
                    [--warmup N] [--iters N] [--out-dir DIR]
   tabmeta bench    --compare baseline.json [--current run.json]
                    [--tolerance F] [--deterministic-only]
   tabmeta bench    --scale report.json --factor F --out scaled.json
+  tabmeta serve    --model model.tma [--addr HOST:PORT] [--workers N] [--queue N]
+                   [--deadline-ms MS] [--io-timeout-ms MS] [--max-frame-bytes N]
+                   [--poll-ms MS] [--retry-after-ms MS] [--soak-secs S]
 
   bench: seeded warmup-then-measured workloads writing schema-versioned
   BENCH_classify.json / BENCH_train.json (tables/sec + latency quantiles,
@@ -489,7 +643,15 @@ const USAGE: &str = "usage:
   with --resume, continue from the newest valid checkpoint in that
   directory (corrupt ones are quarantined and reported on stderr).
   Models are saved as versioned, checksummed artifacts and are fully
-  validated on load.";
+  validated on load.
+  serve: length-prefixed JSON over TCP (4-byte little-endian frame length).
+  Full queue -> typed 'overloaded' + retry_after_ms; queue wait past
+  --deadline-ms -> 'deadline_exceeded'; slow peers -> 'slow_read' + close.
+  The model file is watched: a valid replacement is atomically swapped in
+  (in-flight requests finish on the old model), an invalid one is rejected
+  and serving continues on the current model. Every response carries the
+  serving model's fingerprint and degraded-input provenance.
+  Unknown flags are rejected per-subcommand with a did-you-mean hint.";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -497,15 +659,19 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let result = Args::parse(rest).and_then(|args| match command.as_str() {
-        "generate" => cmd_generate(&args),
-        "train" => cmd_train(&args),
-        "classify" => cmd_classify(&args),
-        "inspect" => cmd_inspect(&args),
-        "stats" => cmd_stats(&args),
-        "reproduce" => cmd_reproduce(&args),
-        "bench" => cmd_bench(&args),
-        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    let result = Args::parse(rest).and_then(|args| {
+        check_known_flags(command, &args)?;
+        match command.as_str() {
+            "generate" => cmd_generate(&args),
+            "train" => cmd_train(&args),
+            "classify" => cmd_classify(&args),
+            "inspect" => cmd_inspect(&args),
+            "stats" => cmd_stats(&args),
+            "reproduce" => cmd_reproduce(&args),
+            "bench" => cmd_bench(&args),
+            "serve" => cmd_serve(&args),
+            other => Err(format!("unknown command '{other}'\n{USAGE}")),
+        }
     });
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -558,6 +724,53 @@ mod tests {
         let a = Args::parse(&strs(&["--seed", "x"])).unwrap();
         assert!(a.u64_or("seed", 1).is_err(), "non-integer");
         assert!(a.require("absent").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected_with_suggestion() {
+        let a = Args::parse(&strs(&["--compare", "b.json", "--tolerence", "0.3"])).unwrap();
+        let err = check_known_flags("bench", &a).unwrap_err();
+        assert!(err.contains("unknown flag --tolerence for 'bench'"), "{err}");
+        assert!(err.contains("did you mean --tolerance?"), "{err}");
+        assert!(err.contains("--deterministic-only"), "lists valid flags: {err}");
+    }
+
+    #[test]
+    fn unknown_flag_without_near_miss_lists_valid_flags() {
+        let a = Args::parse(&strs(&["--model", "m.tma", "--zzz", "1"])).unwrap();
+        let err = check_known_flags("serve", &a).unwrap_err();
+        assert!(err.contains("unknown flag --zzz for 'serve'"), "{err}");
+        assert!(!err.contains("did you mean"), "no far-fetched suggestion: {err}");
+        assert!(err.contains("--deadline-ms"), "{err}");
+    }
+
+    #[test]
+    fn known_flags_pass_validation_per_subcommand() {
+        let boolean = ["score", "lossy", "resume", "deterministic-only"];
+        for (cmd, flags) in COMMAND_FLAGS {
+            let raw: Vec<String> = flags
+                .iter()
+                .flat_map(|f| {
+                    if boolean.contains(f) {
+                        vec![format!("--{f}")]
+                    } else {
+                        vec![format!("--{f}"), "1".into()]
+                    }
+                })
+                .collect();
+            let a = Args::parse(&raw).unwrap();
+            assert!(check_known_flags(cmd, &a).is_ok(), "all {cmd} flags accepted");
+        }
+        // Unlisted commands (none today) and flag-free invocations pass.
+        assert!(check_known_flags("bench", &Args { pairs: Vec::new() }).is_ok());
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("tolerence", "tolerance"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`eval`] | `tabmeta-eval` | experiment harness regenerating every paper table and figure |
 //! | [`obs`] | `tabmeta-obs` | spans, metrics, trace timeline, and snapshot export for pipeline telemetry |
 //! | [`bench`] | `tabmeta-bench` | Criterion targets + the `BENCH_*.json` perf-trajectory harness |
+//! | [`serve`] | `tabmeta-serve` | hardened TCP classification server: backpressure, deadlines, hot reload |
 //! | [`hybrid`] | (this crate) | §IV-G hybrid router: cheap path for simple tables, pipeline for complex ones |
 //! | [`search`] | (this crate) | metadata-aware structural search over classified corpora |
 //!
@@ -52,5 +53,6 @@ pub use tabmeta_eval as eval;
 pub use tabmeta_linalg as linalg;
 pub use tabmeta_obs as obs;
 pub use tabmeta_resilience as resilience;
+pub use tabmeta_serve as serve;
 pub use tabmeta_tabular as tabular;
 pub use tabmeta_text as text;

@@ -223,3 +223,64 @@ fn tampered_payload_fails_deep_validation() {
     assert_eq!(fp, 7);
     assert_eq!(ok.to_json().unwrap(), json);
 }
+
+/// PR 8 satellite: readers racing `atomic_write` replacements must see
+/// the old artifact or the new one — never a torn mix. Four reader
+/// threads hammer `load_pipeline` while a writer alternates two distinct
+/// valid artifacts; every load must succeed, carry one of the two known
+/// fingerprints, and deserialize to exactly that fingerprint's payload.
+#[test]
+fn concurrent_readers_never_see_torn_artifacts() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use tabmeta::contrastive::persist::atomic_write;
+
+    let dir = std::env::temp_dir().join(format!("tabmeta-artifact-race-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hot.tma");
+
+    // Two distinct valid artifacts: same trained pipeline, one with a
+    // harmlessly perturbed (still self-consistent) payload so the JSON —
+    // not just the fingerprint field — differs between generations.
+    let (pipeline, _config) = tiny_pipeline();
+    let json_a = pipeline.to_json().unwrap();
+    let mut parsed_b = serde_json::value_from_str(&json_a).unwrap();
+    edit_at(&mut parsed_b, &["classifier", "config", "margin_deg"], |v| {
+        *v = Value::F64(9.5);
+    });
+    let json_b = serde_json::to_string(&parsed_b).unwrap();
+    let bytes_a = encode_envelope(0xA, json_a.as_bytes());
+    let bytes_b = encode_envelope(0xB, json_b.as_bytes());
+    assert!(load_pipeline_bytes(&bytes_b).is_ok(), "perturbed artifact must stay valid");
+
+    atomic_write(&path, &bytes_a).unwrap();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            readers.push(scope.spawn(|| {
+                let mut seen = [0u64; 2];
+                while !done.load(Ordering::Relaxed) {
+                    let (loaded, fp) = load_pipeline(&path).expect("no torn read may surface");
+                    let expected = match fp {
+                        0xA => &json_a,
+                        0xB => &json_b,
+                        other => panic!("unknown fingerprint {other:#x} from racing load"),
+                    };
+                    assert_eq!(&loaded.to_json().unwrap(), expected, "payload/fingerprint mix");
+                    seen[usize::from(fp == 0xB)] += 1;
+                }
+                seen
+            }));
+        }
+        for i in 0..60u64 {
+            atomic_write(&path, if i % 2 == 0 { &bytes_b } else { &bytes_a }).unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        let totals = readers
+            .into_iter()
+            .map(|r| r.join().expect("reader panicked"))
+            .fold([0u64; 2], |acc, s| [acc[0] + s[0], acc[1] + s[1]]);
+        assert!(totals[0] + totals[1] > 0, "readers never completed a load");
+    });
+    std::fs::remove_dir_all(&dir).unwrap();
+}
