@@ -163,7 +163,7 @@ pub struct TrainSummary {
 ///
 /// [`ClassifyScratch`]: crate::classifier::ClassifyScratch
 struct ScratchPool {
-    slots: std::sync::Mutex<Vec<crate::classifier::ClassifyScratch>>,
+    slots: tabmeta_obs::lockorder::TrackedMutex<Vec<crate::classifier::ClassifyScratch>>,
 }
 
 /// A scratch whose memo tables outgrow this many entries is retired
@@ -173,12 +173,17 @@ const SCRATCH_RETIRE_ENTRIES: usize = 1 << 20;
 
 impl ScratchPool {
     fn new() -> Self {
-        Self { slots: std::sync::Mutex::new(Vec::new()) }
+        Self {
+            slots: tabmeta_obs::lockorder::TrackedMutex::new(
+                &tabmeta_obs::lockorder::CORE_SCRATCH,
+                Vec::new(),
+            ),
+        }
     }
 
-    /// A pooled warm scratch, if any is idle (poisoned lock → none).
+    /// A pooled warm scratch, if any is idle.
     fn checkout(&self) -> Option<crate::classifier::ClassifyScratch> {
-        self.slots.lock().ok()?.pop()
+        self.slots.lock().pop()
     }
 
     /// Return a scratch for reuse, unless its memos have grown past the
@@ -187,9 +192,7 @@ impl ScratchPool {
         if scratch.memo_entries() > SCRATCH_RETIRE_ENTRIES {
             return;
         }
-        if let Ok(mut slots) = self.slots.lock() {
-            slots.push(scratch);
-        }
+        self.slots.lock().push(scratch);
     }
 }
 
@@ -201,7 +204,7 @@ impl Clone for ScratchPool {
 
 impl std::fmt::Debug for ScratchPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let idle = self.slots.lock().map(|s| s.len()).unwrap_or(0);
+        let idle = self.slots.lock().len();
         f.debug_struct("ScratchPool").field("idle", &idle).finish()
     }
 }

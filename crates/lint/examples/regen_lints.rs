@@ -1,0 +1,24 @@
+//! Regenerate the rule catalog in `LINTS.md` from
+//! [`tabmeta_lint::catalog::render_markdown`].
+//!
+//! Run after adding or editing rules:
+//!
+//! ```text
+//! cargo run --offline -p tabmeta-lint --example regen_lints
+//! ```
+//!
+//! The lint test `lints_md_matches_catalog` pins the checked-in file to
+//! the code, so a stale catalog fails `scripts/check.sh` until this runs.
+
+fn main() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../LINTS.md");
+    let doc = std::fs::read_to_string(path).expect("LINTS.md at workspace root");
+    let begin = "<!-- catalog:begin -->\n";
+    let end = "<!-- catalog:end -->";
+    let start = doc.find(begin).expect("catalog:begin marker") + begin.len();
+    let stop = doc[start..].find(end).expect("catalog:end marker") + start;
+    let out =
+        format!("{}{}{}", &doc[..start], tabmeta_lint::catalog::render_markdown(), &doc[stop..]);
+    std::fs::write(path, out).expect("rewrite LINTS.md");
+    println!("LINTS.md regenerated ({} rules)", tabmeta_lint::catalog::CATALOG.len());
+}

@@ -16,9 +16,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod catalog;
+pub mod concurrency;
 pub mod registry;
 pub mod rules;
 pub mod scanner;
+pub mod scope;
 
 pub use registry::Names;
 pub use rules::{SuppressedHit, UsageTracker, Violation};
@@ -39,6 +42,9 @@ const SKIP_DIRS: [&str; 5] = ["vendor", "target", ".git", "fixtures", "node_modu
 pub struct Report {
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Workspace-relative paths of every scanned file (not serialized;
+    /// the JSON stays violation-focused).
+    pub scanned_files: Vec<String>,
     /// All violations, sorted by (file, line, col, rule).
     pub violations: Vec<Violation>,
     /// Violations silenced by reasoned `lint:allow` directives.
@@ -182,6 +188,7 @@ pub fn lint_tree(root: &Path) -> Result<Report, String> {
         report.violations.append(&mut v);
         report.suppressed.append(&mut s);
         report.files_scanned += 1;
+        report.scanned_files.push(rel.clone());
     }
     rules::check_registry(&names, &usage, &mut report.violations);
     report.violations.sort();

@@ -8,6 +8,11 @@
 //! | TM-L003 | safety-comment       | every `unsafe` carries an adjacent `// SAFETY:`    |
 //! | TM-L004 | metric-name-registry | metric/span names resolve via `tabmeta_obs::names` |
 //! | TM-L005 | no-stdout-in-libs    | library crates never print to stdout/stderr        |
+//! | TM-L006 | lock-ordering        | lock acquisitions follow the declared rank order   |
+//! | TM-L007 | atomic-ordering      | no SeqCst; Relaxed zoned; acquire/release paired   |
+//! | TM-L008 | channel-discipline   | bounded channels only; `try_send` errors handled   |
+//! | TM-L009 | thread-lifecycle     | every spawned thread is joined or allow-detached   |
+//! | TM-L010 | reason-exhaustive    | typed error reasons are documented in the registry |
 //!
 //! Suppression: `// lint:allow(TM-L00N): <reason>` on the violating line
 //! or the line directly above it. The reason is mandatory — a bare allow
@@ -19,7 +24,10 @@ use crate::scanner::{scan, Scan};
 use std::collections::BTreeSet;
 
 /// Rule identifiers that `lint:allow` may name.
-pub const SUPPRESSIBLE_RULES: [&str; 5] = ["TM-L001", "TM-L002", "TM-L003", "TM-L004", "TM-L005"];
+pub const SUPPRESSIBLE_RULES: [&str; 10] = [
+    "TM-L001", "TM-L002", "TM-L003", "TM-L004", "TM-L005", "TM-L006", "TM-L007", "TM-L008",
+    "TM-L009", "TM-L010",
+];
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -95,6 +103,14 @@ pub fn lint_file(
     if scope.stdout_checked {
         check_l005(rel, source, &scan, &mut raw);
     }
+    crate::concurrency::check_concurrency(
+        rel,
+        source,
+        &scan,
+        names,
+        scope.metrics_checked,
+        &mut raw,
+    );
     if rel != names.file {
         track_ident_usage(&scan, names, usage);
     }
@@ -218,13 +234,15 @@ impl Scope {
 // Shared text utilities.
 // ---------------------------------------------------------------------
 
-fn is_ident_byte(b: u8) -> bool {
+/// Bytes that can appear inside an identifier (multibyte UTF-8
+/// continuation/start bytes count, so word boundaries stay byte-safe).
+pub(crate) fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
 }
 
 /// Byte offsets of `needle` in `haystack` where the match is not embedded
 /// in a longer identifier on either side.
-fn find_word(haystack: &str, needle: &str) -> Vec<usize> {
+pub(crate) fn find_word(haystack: &str, needle: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let bytes = haystack.as_bytes();
     let mut from = 0;
@@ -242,7 +260,7 @@ fn find_word(haystack: &str, needle: &str) -> Vec<usize> {
     out
 }
 
-fn push_at(
+pub(crate) fn push_at(
     rel: &str,
     source: &str,
     scan: &Scan,
@@ -297,7 +315,7 @@ fn parse_allows(rel: &str, source: &str, scan: &Scan) -> (Vec<Allow>, Vec<Violat
         };
         let rule = rule.trim();
         if !SUPPRESSIBLE_RULES.contains(&rule) {
-            fail(format!("unknown rule `{rule}` in lint:allow (expected TM-L001..TM-L005)"));
+            fail(format!("unknown rule `{rule}` in lint:allow (expected TM-L001..TM-L010)"));
             continue;
         }
         let reason = rest
@@ -445,7 +463,7 @@ fn check_l004(
 }
 
 /// Byte offset of the `)` matching the `(` at `open` (or end of text).
-fn match_paren(masked: &str, open: usize) -> usize {
+pub(crate) fn match_paren(masked: &str, open: usize) -> usize {
     let bytes = masked.as_bytes();
     let mut depth = 0usize;
     for (k, &b) in bytes.iter().enumerate().skip(open) {

@@ -16,8 +16,11 @@
 //! Handled syntax: `//` line comments, nested `/* /* */ */` block
 //! comments, `"…"` strings with escapes, `r"…"` / `r#"…"#` raw strings at
 //! any hash depth, `b"…"` / `br#"…"#` byte strings, `'x'` / `'\''` /
-//! `'\u{…}'` char literals, and `'lifetime` marks (which are *not* char
-//! literals and stay in the masked code).
+//! `'\u{…}'` char literals, `'lifetime` marks (which are *not* char
+//! literals and stay in the masked code), raw identifiers (`r#fn`,
+//! `r#type` — *not* raw strings; consumed atomically as code), and a
+//! leading `#!` shebang line (treated as a comment so stray quotes in it
+//! cannot desync every byte offset after line one).
 
 /// One string literal (normal, raw, or byte) found in the source.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,6 +180,22 @@ pub fn scan(source: &str) -> Scan {
     let mut comments = Vec::new();
     let mut line_starts = vec![0usize];
 
+    // A leading `#!...` shebang (but not the `#![...]` inner-attribute
+    // form) is host-shell text, not Rust: quotes inside it must never
+    // open a string or char literal, or every offset after line one
+    // desyncs. Consume it as a comment up front.
+    if source.starts_with("#!") && !source.starts_with("#![") {
+        let mut text = String::new();
+        while let Some(c) = cur.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            cur.take_blank();
+        }
+        comments.push(Comment { line: 1, end_line: 1, col: 1, text });
+    }
+
     while !cur.eof() {
         let c = cur.peek(0).expect("peek inside loop");
         match c {
@@ -202,6 +221,18 @@ pub fn scan(source: &str) -> Scan {
                     Prefixed::ByteChar => {}
                     Prefixed::NotALiteral => {
                         cur.take_code();
+                        // Raw identifier (`r#fn`, `r#type`): consume the
+                        // `#` and the identifier atomically as code so no
+                        // following char is re-probed as a literal start.
+                        if c == 'r'
+                            && cur.peek(0) == Some('#')
+                            && cur.peek(1).is_some_and(|n| n.is_alphanumeric() || n == '_')
+                        {
+                            cur.take_code(); // '#'
+                            while cur.peek(0).is_some_and(|n| n.is_alphanumeric() || n == '_') {
+                                cur.take_code();
+                            }
+                        }
                     }
                 }
             }
@@ -481,5 +512,59 @@ mod tests {
         assert!(s.masked.contains("'a"), "lifetime survives masking: {}", s.masked);
         assert!(s.masked.contains("'static"));
         assert!(s.literals.is_empty());
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let src = "let r#fn = 1;\nlet r#type = r#\"raw body\"#;\nlet s = \"plain\";\n";
+        let s = scan(src);
+        assert_eq!(s.masked.len(), src.len());
+        assert!(s.masked.contains("r#fn"), "raw ident survives masking: {}", s.masked);
+        assert!(s.masked.contains("r#type"));
+        let values: Vec<&str> = s.literals.iter().map(|l| l.value.as_str()).collect();
+        assert_eq!(values, ["raw body", "plain"], "masked: {}", s.masked);
+        // Offsets stayed aligned: the plain literal's position is exact.
+        let plain = &s.literals[1];
+        assert_eq!(&src[plain.offset..plain.offset + 7], "\"plain\"");
+    }
+
+    #[test]
+    fn raw_identifier_followed_by_string_keeps_offsets() {
+        // `r#match` ends right before a string; the scanner must not eat
+        // the quote as part of a raw-string probe.
+        let src = "m.insert(r#match, \"value\");\n";
+        let s = scan(src);
+        assert_eq!(s.literals.len(), 1);
+        assert_eq!(s.literals[0].value, "value");
+        assert!(s.masked.contains("r#match"));
+    }
+
+    #[test]
+    fn leading_shebang_is_a_comment_and_offsets_hold() {
+        // The shebang carries an unbalanced quote; without shebang
+        // handling it would open a char/string literal and desync the
+        // entire file.
+        let src = "#!/usr/bin/env -S sh -c 'exec \"cargo\" run\nfn main() { let c = 'x'; let s = \"body\"; }\n";
+        let s = scan(src);
+        assert_eq!(s.masked.len(), src.len());
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.starts_with("#!"));
+        assert_eq!(s.comments[0].line, 1);
+        // Line 2 is scanned as ordinary code: the char literal masked,
+        // the string captured at its exact offset.
+        assert!(s.masked.contains("fn main()"));
+        assert_eq!(s.literals.len(), 1);
+        assert_eq!(s.literals[0].value, "body");
+        assert_eq!(s.literals[0].line, 2);
+        let lit = &s.literals[0];
+        assert_eq!(&src[lit.offset..lit.offset + 6], "\"body\"");
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {}\n";
+        let s = scan(src);
+        assert!(s.comments.is_empty());
+        assert!(s.masked.contains("#![forbid(unsafe_code)]"));
     }
 }

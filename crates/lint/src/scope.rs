@@ -1,0 +1,478 @@
+//! Phase two of the analyzer: a lightweight scope/item pass over the
+//! masked source.
+//!
+//! The scanner (phase one) erases literals and comments while preserving
+//! byte offsets; this module builds just enough structure on top of that
+//! masked text for the concurrency rules to reason about *where* code
+//! lives rather than only *what tokens* it contains:
+//!
+//! - a brace-matched [`ScopeTree`] of blocks, each attributed to the
+//!   `fn` / `impl` / `mod` item whose header introduced it (everything
+//!   else — loop bodies, closures, struct literals — is `Other`);
+//! - [`use`-alias resolution](UseAliases) for the std sync types the
+//!   rules care about, so `use std::sync::Mutex as Mu;` does not hide a
+//!   lock declaration from TM-L006;
+//! - statement-span helpers ([`statement_start`], [`statement_end`])
+//!   that approximate edition-2021 temporary scopes well enough to
+//!   decide how long a lock guard is held.
+//!
+//! This is deliberately not a parser. It never allocates an AST, it
+//! tolerates unbalanced input (fixtures, macro-heavy code), and it is
+//! wrong in ways that only *widen* hold ranges — a conservative
+//! direction for a lock-order rule.
+
+use crate::rules::is_ident_byte;
+
+/// What kind of item header introduced a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// `fn name(..) { .. }` (free function, method, or nested fn).
+    Fn,
+    /// `impl Type { .. }` or `impl Trait for Type { .. }` (named by the
+    /// implementing type).
+    Impl,
+    /// `mod name { .. }` (inline module, including `mod tests`).
+    Mod,
+    /// Any other brace pair: control flow, closures, struct literals.
+    Other,
+}
+
+/// One brace-delimited block in the masked source.
+#[derive(Debug)]
+pub struct Block {
+    /// Byte offset of the opening `{`.
+    pub open: usize,
+    /// Byte offset of the matching `}` (or `masked.len()` if unclosed).
+    pub close: usize,
+    /// Index of the enclosing block in [`ScopeTree::blocks`], if any.
+    pub parent: Option<usize>,
+    /// Item kind attributed from the header text before `open`.
+    pub kind: BlockKind,
+    /// Item name (`fn`/`mod` identifier, `impl` target type); empty for
+    /// [`BlockKind::Other`].
+    pub name: String,
+}
+
+/// Brace-matched block tree over one file's masked source.
+#[derive(Debug)]
+pub struct ScopeTree {
+    /// All blocks in source order of their opening brace.
+    pub blocks: Vec<Block>,
+}
+
+impl ScopeTree {
+    /// Build the tree by walking every `{`/`}` in the masked text.
+    /// String and comment braces are already blanked by the scanner, so
+    /// plain byte matching is exact up to macro weirdness.
+    pub fn build(masked: &str) -> ScopeTree {
+        let bytes = masked.as_bytes();
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'{' {
+                let (kind, name) = classify_header(masked, i);
+                blocks.push(Block {
+                    open: i,
+                    close: masked.len(),
+                    parent: stack.last().copied(),
+                    kind,
+                    name,
+                });
+                stack.push(blocks.len() - 1);
+            } else if b == b'}' {
+                if let Some(idx) = stack.pop() {
+                    blocks[idx].close = i;
+                }
+            }
+        }
+        ScopeTree { blocks }
+    }
+
+    /// Innermost block containing `off`, if any.
+    pub fn innermost(&self, off: usize) -> Option<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.open < off && off < b.close)
+            .max_by_key(|(_, b)| b.open)
+            .map(|(i, _)| i)
+    }
+
+    /// Walk from the innermost block containing `off` outward until a
+    /// block of `kind` is found.
+    pub fn enclosing(&self, off: usize, kind: BlockKind) -> Option<&Block> {
+        let mut at = self.innermost(off);
+        while let Some(i) = at {
+            if self.blocks[i].kind == kind {
+                return Some(&self.blocks[i]);
+            }
+            at = self.blocks[i].parent;
+        }
+        None
+    }
+
+    /// The `fn name { .. }` block nested (at any depth) inside an
+    /// `impl imp { .. }` block. Used by TM-L010 to find `Type::method`.
+    pub fn fn_in_impl(&self, imp: &str, name: &str) -> Option<&Block> {
+        let imp_idx =
+            self.blocks.iter().position(|b| b.kind == BlockKind::Impl && b.name == imp)?;
+        let imp_block = &self.blocks[imp_idx];
+        self.blocks.iter().find(|b| {
+            b.kind == BlockKind::Fn
+                && b.name == name
+                && b.open > imp_block.open
+                && b.close < imp_block.close
+        })
+    }
+}
+
+/// Classify the header text ending at the `{` at `open`.
+fn classify_header(masked: &str, open: usize) -> (BlockKind, String) {
+    let start = statement_start(masked, open);
+    let header = &masked[start..open];
+    if let Some(at) = find_word_at(header, "fn") {
+        // `fn` wins over `impl`: `fn f(x: impl Trait) {` is a function.
+        let name = ident_after(header, at + 2);
+        return (BlockKind::Fn, name);
+    }
+    if let Some(at) = find_word_at(header, "impl") {
+        return (BlockKind::Impl, impl_target(&header[at + 4..]));
+    }
+    if let Some(at) = find_word_at(header, "mod") {
+        let name = ident_after(header, at + 3);
+        if !name.is_empty() {
+            return (BlockKind::Mod, name);
+        }
+    }
+    (BlockKind::Other, String::new())
+}
+
+/// Name of the type an `impl` header targets, given the text after the
+/// `impl` keyword: skip generics, and prefer the type after `for`
+/// (`impl Display for Foo` → `Foo`). Paths and generic arguments are
+/// stripped (`a::b::Foo<T>` → `Foo`).
+fn impl_target(after_impl: &str) -> String {
+    let mut rest = after_impl.trim_start();
+    // Skip `<..>` generic parameters immediately after `impl`.
+    if rest.starts_with('<') {
+        let mut depth = 0usize;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        rest = &rest[i + 1..];
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // `impl Trait for Type` — the item is named by `Type`.
+    if let Some(at) = find_word_at(rest, "for") {
+        rest = &rest[at + 3..];
+    }
+    // First path expression: take its final identifier segment.
+    let rest = rest.trim_start();
+    let mut end = 0;
+    for (i, c) in rest.char_indices() {
+        if c.is_alphanumeric() || c == '_' || c == ':' {
+            end = i + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    let path = &rest[..end];
+    path.rsplit("::").next().unwrap_or("").to_string()
+}
+
+/// First identifier at or after byte `from` in `text`.
+fn ident_after(text: &str, from: usize) -> String {
+    let bytes = text.as_bytes();
+    let mut i = from;
+    while i < bytes.len() && !is_ident_byte(bytes[i]) {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() && is_ident_byte(bytes[i]) {
+        i += 1;
+    }
+    text[start..i].to_string()
+}
+
+/// Byte offset of the first standalone keyword occurrence in `text`
+/// (not part of a longer identifier), or None.
+fn find_word_at(text: &str, word: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = text[from..].find(word) {
+        let at = from + rel;
+        let pre_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let post_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if pre_ok && post_ok {
+            return Some(at);
+        }
+        from = at + word.len();
+    }
+    None
+}
+
+/// Start of the statement containing `off`: the byte just after the
+/// nearest `;`, `{`, or `}` at the same nesting depth scanning
+/// backwards (struct-literal fields and match arms count as their own
+/// "statements", which is what the hold-range logic wants).
+pub fn statement_start(masked: &str, off: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut depth = 0usize;
+    let mut i = off;
+    while i > 0 {
+        i -= 1;
+        match bytes[i] {
+            b')' | b']' | b'}' if i < off => {
+                if bytes[i] == b'}' && depth == 0 {
+                    return i + 1;
+                }
+                depth += 1;
+            }
+            b'(' | b'[' | b'{' => {
+                if depth == 0 {
+                    return i + 1;
+                }
+                depth -= 1;
+            }
+            b';' if depth == 0 => return i + 1,
+            _ => {}
+        }
+    }
+    0
+}
+
+/// End of the statement containing `off` (exclusive): the first `;` at
+/// the current depth, or the `}` that closes the enclosing block.
+pub fn statement_end(masked: &str, off: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut depth = 0usize;
+    let mut i = off;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' => depth = depth.saturating_sub(1),
+            b'}' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            b';' if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Resolved `use` aliases: local leaf name → full imported path.
+///
+/// Handles nested group imports (`use a::{b, c as d, e::{f, g}};`) and
+/// explicit renames. Glob imports are ignored — the rules that consume
+/// this treat an unresolved name as "not the type we care about", and
+/// no workspace crate glob-imports a sync type.
+#[derive(Debug, Default)]
+pub struct UseAliases {
+    entries: Vec<(String, String)>,
+}
+
+impl UseAliases {
+    /// Parse every `use` statement in the masked source.
+    pub fn parse(masked: &str) -> UseAliases {
+        let mut aliases = UseAliases::default();
+        let bytes = masked.as_bytes();
+        let mut from = 0;
+        while let Some(rel) = masked[from..].find("use ") {
+            let at = from + rel;
+            from = at + 4;
+            // Must be a standalone keyword at a statement start.
+            if at > 0 && is_ident_byte(bytes[at - 1]) {
+                continue;
+            }
+            let before = masked[..at].trim_end();
+            let starts_stmt = before.is_empty()
+                || before.ends_with(';')
+                || before.ends_with('{')
+                || before.ends_with('}')
+                || before.ends_with("pub");
+            if !starts_stmt {
+                continue;
+            }
+            let end = masked[at..].find(';').map(|e| at + e).unwrap_or(masked.len());
+            parse_use_tree(masked[at + 4..end].trim(), "", &mut aliases.entries);
+            from = end;
+        }
+        aliases
+    }
+
+    /// Full path a local name was imported as, if any.
+    pub fn resolve(&self, name: &str) -> Option<&str> {
+        self.entries.iter().find(|(alias, _)| alias == name).map(|(_, path)| path.as_str())
+    }
+
+    /// Local names whose import path ends with `::suffix` (or equals
+    /// it). Used to find every alias of e.g. `std::sync::Mutex`.
+    pub fn names_for_suffix(&self, suffix: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(_, path)| path == suffix || path.ends_with(&format!("::{suffix}")))
+            .map(|(alias, _)| alias.as_str())
+            .collect()
+    }
+}
+
+/// Recursively flatten one `use` tree (text between `use` and `;`).
+fn parse_use_tree(tree: &str, prefix: &str, out: &mut Vec<(String, String)>) {
+    let tree = tree.trim();
+    if tree.is_empty() || tree == "*" {
+        return;
+    }
+    if let Some(brace) = tree.find('{') {
+        // `head::{group}` — recurse into each comma-separated item.
+        let head = tree[..brace].trim().trim_end_matches("::");
+        let inner_prefix = join_path(prefix, head);
+        let inner = tree[brace + 1..].trim_end_matches('}');
+        for item in split_top_level(inner) {
+            parse_use_tree(item, &inner_prefix, out);
+        }
+        return;
+    }
+    // Plain path, optionally `path as alias`.
+    let (path, alias) = match tree.split_once(" as ") {
+        Some((p, a)) => (p.trim(), a.trim()),
+        None => (tree, tree.rsplit("::").next().unwrap_or(tree).trim()),
+    };
+    if alias.is_empty() || alias == "_" {
+        return;
+    }
+    out.push((alias.to_string(), join_path(prefix, path)));
+}
+
+/// Join two `::`-separated path fragments.
+fn join_path(prefix: &str, tail: &str) -> String {
+    let tail = tail.trim();
+    if prefix.is_empty() {
+        tail.to_string()
+    } else if tail.is_empty() {
+        prefix.to_string()
+    } else {
+        format!("{prefix}::{tail}")
+    }
+}
+
+/// Split a `use` group on commas that are not inside nested braces.
+fn split_top_level(group: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in group.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                items.push(&group[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(&group[start..]);
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    #[test]
+    fn block_tree_attributes_fn_impl_mod() {
+        let src = r#"
+mod outer {
+    impl std::fmt::Display for Thing {
+        fn fmt(&self, f: &mut Formatter) -> Result {
+            if true { loop {} }
+            Ok(())
+        }
+    }
+    impl<T: Clone> Holder<T> {
+        fn get(&self) -> &T { &self.0 }
+    }
+}
+"#;
+        let s = scan(src);
+        let tree = ScopeTree::build(&s.masked);
+        let named: Vec<(BlockKind, &str)> = tree
+            .blocks
+            .iter()
+            .filter(|b| b.kind != BlockKind::Other)
+            .map(|b| (b.kind, b.name.as_str()))
+            .collect();
+        assert_eq!(
+            named,
+            vec![
+                (BlockKind::Mod, "outer"),
+                (BlockKind::Impl, "Thing"),
+                (BlockKind::Fn, "fmt"),
+                (BlockKind::Impl, "Holder"),
+                (BlockKind::Fn, "get"),
+            ]
+        );
+        let fmt = tree.fn_in_impl("Thing", "fmt").expect("fmt found");
+        assert!(tree.fn_in_impl("Holder", "fmt").is_none());
+        let inner_if = tree
+            .blocks
+            .iter()
+            .position(|b| b.kind == BlockKind::Other && b.open > fmt.open)
+            .expect("if-body block");
+        assert_eq!(
+            tree.enclosing(tree.blocks[inner_if].open + 1, BlockKind::Fn).map(|b| b.name.as_str()),
+            Some("fmt")
+        );
+    }
+
+    #[test]
+    fn fn_with_impl_trait_arg_is_a_fn() {
+        let s = scan("fn run(f: impl Fn() -> u32) { f(); }\n");
+        let tree = ScopeTree::build(&s.masked);
+        assert_eq!(tree.blocks[0].kind, BlockKind::Fn);
+        assert_eq!(tree.blocks[0].name, "run");
+    }
+
+    #[test]
+    fn statement_spans_respect_nesting() {
+        let src = "fn f() { let a = g(1, h(2; 3)); a.call(); }";
+        // NB: the `;` inside parens must not terminate the let.
+        let masked = scan(src).masked;
+        let a_let = src.find("let a").unwrap();
+        assert_eq!(statement_start(&masked, a_let), src.find('{').unwrap() + 1);
+        assert_eq!(statement_end(&masked, a_let), src.find("); a").unwrap() + 2);
+        let call = src.find("a.call").unwrap();
+        assert_eq!(&src[statement_start(&masked, call)..call].trim(), &"");
+    }
+
+    #[test]
+    fn use_aliases_resolve_nested_groups_and_renames() {
+        let src = "use std::sync::{mpsc, Arc, Mutex as Mu};\n\
+                   use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   pub use parking_lot::RwLock;\n\
+                   use std::thread::spawn as go;\n";
+        let aliases = UseAliases::parse(&scan(src).masked);
+        assert_eq!(aliases.resolve("mpsc"), Some("std::sync::mpsc"));
+        assert_eq!(aliases.resolve("Mu"), Some("std::sync::Mutex"));
+        assert_eq!(aliases.resolve("RwLock"), Some("parking_lot::RwLock"));
+        assert_eq!(aliases.resolve("go"), Some("std::thread::spawn"));
+        assert_eq!(aliases.names_for_suffix("Mutex"), vec!["Mu"]);
+        assert_eq!(aliases.names_for_suffix("RwLock"), vec!["RwLock"]);
+        assert!(aliases.resolve("because").is_none(), "`use` inside words ignored");
+    }
+}

@@ -2,7 +2,7 @@
 //! byte-identical `--json` output to `fixtures/mini.expected.json`.
 //!
 //! The fixture seeds exactly one violation per rule (TM-L000 through
-//! TM-L005), one reasoned suppression, and an unused registry name, so
+//! TM-L010), one reasoned suppression, and an unused registry name, so
 //! this test pins every rule's file/line/col reporting and the JSON
 //! shape at once. To regenerate after an intentional diagnostics change:
 //!
@@ -26,7 +26,7 @@ fn fixture_covers_every_rule_once() {
     let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini");
     let report = tabmeta_lint::lint_tree(&base).expect("fixture lints");
     assert!(!report.clean());
-    assert_eq!(report.files_scanned, 3);
+    assert_eq!(report.files_scanned, 4);
     let count = |rule: &str| report.violations.iter().filter(|v| v.rule == rule).count();
     assert_eq!(count("TM-L000"), 1, "bare lint:allow");
     assert_eq!(count("TM-L001"), 1, "thread_rng");
@@ -34,6 +34,11 @@ fn fixture_covers_every_rule_once() {
     assert_eq!(count("TM-L003"), 1, "unsafe without SAFETY");
     assert_eq!(count("TM-L004"), 3, "near-dup + undeclared + unused registry name");
     assert_eq!(count("TM-L005"), 1, "println! in a lib (the bin is exempt)");
+    assert_eq!(count("TM-L006"), 1, "undeclared Mutex field");
+    assert_eq!(count("TM-L007"), 1, "SeqCst store");
+    assert_eq!(count("TM-L008"), 1, "unbounded mpsc::channel");
+    assert_eq!(count("TM-L009"), 1, "discarded thread::spawn handle");
+    assert_eq!(count("TM-L010"), 1, "undocumented error reason");
     assert_eq!(report.suppressed.len(), 1);
     assert_eq!(report.suppressed[0].rule, "TM-L002");
 
@@ -41,5 +46,5 @@ fn fixture_covers_every_rule_once() {
     let text = report.render_text();
     assert!(text.contains("src/lib.rs:7:25: TM-L001"), "{text}");
     assert!(text.contains("let mut rng = rand::thread_rng();"), "{text}");
-    assert!(text.contains("8 violation(s) in 3 files scanned (1 suppressed)"), "{text}");
+    assert!(text.contains("13 violation(s) in 4 files scanned (1 suppressed)"), "{text}");
 }

@@ -3,3 +3,5 @@
 pub const APP_TICKS: &str = "app.ticks";
 pub const APP_PHASE_PREFIX: &str = "app.phase.";
 pub const APP_UNUSED: &str = "app.unused";
+/// counter family — ingest rejects by reason: `malformed_json`.
+pub const INGEST_REJECTED_PREFIX: &str = "ingest.rejected.";

@@ -1,0 +1,36 @@
+//! Concurrency fixture: exactly one seeded violation per rule
+//! TM-L006..TM-L010. Never compiled — scanned by the snapshot test only.
+
+pub struct Holder {
+    held: std::sync::Mutex<Vec<u8>>,
+}
+
+pub fn fence(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+pub fn unbounded_pipe() {
+    let (_tx, _rx) = std::sync::mpsc::channel();
+}
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}
+
+pub enum RejectReason {
+    Malformed,
+    BadHeader,
+}
+
+impl RejectReason {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::Malformed => "malformed_json",
+            RejectReason::BadHeader => "bad_header",
+        }
+    }
+}
+
+pub fn reject_metrics(reg: &Registry) {
+    reg.counter(&format!("{}io", INGEST_REJECTED_PREFIX)).inc();
+}

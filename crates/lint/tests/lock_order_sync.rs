@@ -1,0 +1,34 @@
+//! The static lock-order table (TM-L006) and the runtime witness
+//! registry must be the same table: same ids, same ranks, same order.
+//! A lock added to one side without the other would let the lint and
+//! the chaos gates silently enforce different orders.
+
+use tabmeta_lint::registry::LOCK_ORDER;
+use tabmeta_obs::lockorder::REGISTRY;
+
+#[test]
+fn static_and_runtime_lock_registries_are_identical() {
+    let lint: Vec<(&str, u32)> = LOCK_ORDER.iter().map(|l| (l.id, l.rank)).collect();
+    let witness: Vec<(&str, u32)> = REGISTRY.iter().map(|l| (l.name, l.rank)).collect();
+    assert_eq!(
+        lint, witness,
+        "crates/lint/src/registry.rs LOCK_ORDER and \
+         crates/obs/src/lockorder.rs REGISTRY diverged"
+    );
+}
+
+#[test]
+fn ranks_are_strictly_ascending_and_files_exist() {
+    for pair in LOCK_ORDER.windows(2) {
+        assert!(pair[0].rank < pair[1].rank, "{} !< {}", pair[0].id, pair[1].id);
+    }
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for lock in &LOCK_ORDER {
+        assert!(
+            root.join(lock.file).is_file(),
+            "registered lock `{}` points at missing file {}",
+            lock.id,
+            lock.file
+        );
+    }
+}

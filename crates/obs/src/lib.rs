@@ -27,6 +27,7 @@
 #![cfg_attr(feature = "alloc-track", deny(unsafe_code))]
 
 pub mod clock;
+pub mod lockorder;
 #[cfg(feature = "alloc-track")]
 pub mod mem;
 pub mod metrics;

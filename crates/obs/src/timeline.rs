@@ -15,7 +15,7 @@
 //! may briefly exceed capacity by the number of spans in flight at the
 //! moment it filled.
 
-use parking_lot::Mutex;
+use crate::lockorder::{self, TrackedMutex};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
@@ -92,7 +92,7 @@ pub struct Timeline {
     epoch: Instant,
     enabled: AtomicBool,
     dropped: AtomicU64,
-    buffer: Mutex<Buffer>,
+    buffer: TrackedMutex<Buffer>,
 }
 
 impl Default for Timeline {
@@ -109,7 +109,10 @@ impl Timeline {
             epoch: Instant::now(),
             enabled: AtomicBool::new(true),
             dropped: AtomicU64::new(0),
-            buffer: Mutex::new(Buffer { events: Vec::new(), capacity }),
+            buffer: TrackedMutex::new(
+                &lockorder::OBS_TIMELINE,
+                Buffer { events: Vec::new(), capacity },
+            ),
         }
     }
 

@@ -39,7 +39,7 @@ use tabmeta_core::persist::{fnv1a, load_pipeline_bytes};
 use tabmeta_core::Pipeline;
 use tabmeta_obs::{clock, names};
 
-use parking_lot::{Mutex, RwLock};
+use tabmeta_obs::lockorder::{self, TrackedMutex, TrackedRwLock};
 
 /// Tuning knobs for a [`Server`]. All durations are milliseconds.
 #[derive(Debug, Clone)]
@@ -176,13 +176,13 @@ fn count_rejected(reason: &str) {
 
 struct Shared {
     config: ServeConfig,
-    model: RwLock<Arc<ServingModel>>,
+    model: TrackedRwLock<Arc<ServingModel>>,
     queue_tx: SyncSender<Job>,
-    queue_rx: Mutex<Receiver<Job>>,
+    queue_rx: TrackedMutex<Receiver<Job>>,
     shutdown: AtomicBool,
     stats: ServerStats,
     instruments: Instruments,
-    last_reload_error: Mutex<String>,
+    last_reload_error: TrackedMutex<String>,
 }
 
 impl Shared {
@@ -503,13 +503,13 @@ impl Server {
         let (queue_tx, queue_rx) = mpsc::sync_channel(config.queue_capacity.max(1));
         let shared = Arc::new(Shared {
             config: config.clone(),
-            model: RwLock::new(Arc::new(model)),
+            model: TrackedRwLock::new(&lockorder::SERVE_MODEL, Arc::new(model)),
             queue_tx,
-            queue_rx: Mutex::new(queue_rx),
+            queue_rx: TrackedMutex::new(&lockorder::SERVE_QUEUE_RX, queue_rx),
             shutdown: AtomicBool::new(false),
             stats: ServerStats::default(),
             instruments: Instruments::from_global(),
-            last_reload_error: Mutex::new(String::new()),
+            last_reload_error: TrackedMutex::new(&lockorder::SERVE_RELOAD_ERROR, String::new()),
         });
 
         let workers = (0..config.workers.max(1))

@@ -79,12 +79,23 @@ TABMETA_SERVE_SOAK_SECS=30 RAYON_NUM_THREADS=1 cargo test -q --offline --release
 echo "==> serve chaos (RAYON_NUM_THREADS=4)"
 TABMETA_SERVE_SOAK_SECS=30 RAYON_NUM_THREADS=4 cargo test -q --offline --release --test serve_chaos
 
-# Workspace-invariant static analysis: unseeded RNG, raw timing outside
-# the obs layer, unsafe without SAFETY comments, metric names that bypass
-# tabmeta_obs::names, stdout printing in library crates. Exits nonzero on
-# any violation; suppressions require a written reason.
-echo "==> tabmeta-lint"
+# Workspace-invariant static analysis (TM-L000..TM-L010, see LINTS.md):
+# unseeded RNG, raw timing outside the obs layer, unsafe without SAFETY
+# comments, metric names that bypass tabmeta_obs::names, stdout printing
+# in library crates, plus the scope-aware concurrency pass — lock
+# ordering against the LOCK_ORDER registry, atomic-ordering discipline,
+# channel backpressure, thread lifecycle, error-reason exhaustiveness.
+# The walk covers tests/ and examples/ too (workspace_self_check pins
+# that), not just crate sources. Exits nonzero on any violation;
+# suppressions require a written reason, and the suppression budget is
+# zero. The stage prints its own wall-clock so lint cost stays visible
+# as the analyzer grows.
+echo "==> tabmeta-lint (full tree: crates/ + src/ + tests/ + examples/)"
+LINT_T0=$(date +%s%N)
 cargo run -q -p tabmeta-lint --offline -- --workspace --json
+LINT_NS=$(( $(date +%s%N) - LINT_T0 ))
+printf '    lint stage wall-clock: %d.%03ds\n' \
+  $(( LINT_NS / 1000000000 )) $(( (LINT_NS / 1000000) % 1000 ))
 
 # tabular/core/text/resilience carry crate-level
 # `#![warn(clippy::unwrap_used, clippy::expect_used)]` (tests exempt via

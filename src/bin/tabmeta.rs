@@ -50,7 +50,7 @@ impl Args {
             };
             match name {
                 // Boolean flags.
-                "score" | "lossy" | "resume" | "deterministic-only" => {
+                "score" | "lossy" | "resume" | "deterministic-only" | "json" => {
                     pairs.push((name.to_string(), "true".to_string()))
                 }
                 _ => {
@@ -95,6 +95,7 @@ const COMMAND_FLAGS: &[(&str, &[&str])] = &[
     ("inspect", &["model"]),
     ("stats", &["corpus", "lossy"]),
     ("reproduce", &["artifact", "tables", "seed"]),
+    ("lint", &["root", "json"]),
     (
         "bench",
         &[
@@ -380,6 +381,27 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_lint(args: &Args) -> Result<(), String> {
+    let root = match args.get("root") {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            tabmeta_lint::find_workspace_root(&cwd)?
+        }
+    };
+    let report = tabmeta_lint::lint_tree(&root)?;
+    if args.get("json").is_some() {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.clean() {
+        Ok(())
+    } else {
+        Err(format!("{} lint violation(s)", report.violations.len()))
+    }
+}
+
 fn cmd_reproduce(args: &Args) -> Result<(), String> {
     use tabmeta::corpora::CorpusKind;
     use tabmeta::eval::experiments::{accuracy, centroids, cmd as cmd_exp, llm, runtime};
@@ -620,6 +642,7 @@ const USAGE: &str = "usage:
   tabmeta inspect  --model model.tma
   tabmeta stats    --corpus corpus.jsonl [--lossy]
   tabmeta reproduce [--artifact table1|…|table6|fig6|fig7|runtime|cmd] [--tables N] [--seed S]
+  tabmeta lint     [--root DIR] [--json]
   tabmeta bench    [--workload classify|train|serve|all] [--tables N] [--seed S]
                    [--warmup N] [--iters N] [--out-dir DIR]
   tabmeta bench    --compare baseline.json [--current run.json]
@@ -651,6 +674,11 @@ const USAGE: &str = "usage:
   (in-flight requests finish on the old model), an invalid one is rejected
   and serving continues on the current model. Every response carries the
   serving model's fingerprint and degraded-input provenance.
+  lint: run the workspace static analyzer (TM-L000..TM-L010: determinism,
+  obs routing, unsafe hygiene, metric registry, lock ordering, atomic
+  orderings, channel discipline, thread lifecycle, error-reason
+  exhaustiveness) over --root (default: the enclosing workspace); --json
+  emits machine-readable diagnostics. Exits nonzero on violations.
   Unknown flags are rejected per-subcommand with a did-you-mean hint.";
 
 fn main() -> ExitCode {
@@ -668,6 +696,7 @@ fn main() -> ExitCode {
             "inspect" => cmd_inspect(&args),
             "stats" => cmd_stats(&args),
             "reproduce" => cmd_reproduce(&args),
+            "lint" => cmd_lint(&args),
             "bench" => cmd_bench(&args),
             "serve" => cmd_serve(&args),
             other => Err(format!("unknown command '{other}'\n{USAGE}")),
@@ -746,7 +775,7 @@ mod tests {
 
     #[test]
     fn known_flags_pass_validation_per_subcommand() {
-        let boolean = ["score", "lossy", "resume", "deterministic-only"];
+        let boolean = ["score", "lossy", "resume", "deterministic-only", "json"];
         for (cmd, flags) in COMMAND_FLAGS {
             let raw: Vec<String> = flags
                 .iter()

@@ -46,6 +46,9 @@ fn accepted_indices(log: &FaultLog) -> Vec<usize> {
 /// panic-free, provenance-tagged classification of every survivor.
 #[test]
 fn fifty_fault_plans_never_panic_and_account_exactly() {
+    // Run the whole fault sweep under the runtime lock-order witness
+    // (dynamic counterpart of lint rule TM-L006).
+    tabmeta_obs::lockorder::set_enabled(true);
     for kind in KINDS {
         let corpus = kind.generate(&GeneratorConfig { n_tables: 80, seed: 1009 });
         let clean = jsonl_bytes(&corpus.tables, "chaos");
@@ -93,6 +96,10 @@ fn fifty_fault_plans_never_panic_and_account_exactly() {
             }
         }
     }
+    assert!(
+        tabmeta_obs::lockorder::checks() > 0,
+        "lock-order witness saw no acquisitions during the fault sweep"
+    );
 }
 
 /// Training on a corrupted stream must not poison accuracy on the clean

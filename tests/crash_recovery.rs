@@ -42,6 +42,9 @@ fn scratch_dir(tag: &str) -> PathBuf {
 /// uninterrupted model bit-for-bit.
 #[test]
 fn every_kill_point_resumes_bit_identical() {
+    // Crash/resume cycles run under the runtime lock-order witness
+    // (dynamic counterpart of lint rule TM-L006).
+    tabmeta_obs::lockorder::set_enabled(true);
     for corpus_seed in [31u64, 47] {
         let tables = tiny_corpus(corpus_seed);
         let config = tiny_config(corpus_seed);
@@ -72,6 +75,10 @@ fn every_kill_point_resumes_bit_identical() {
             std::fs::remove_dir_all(&dir).unwrap();
         }
     }
+    assert!(
+        tabmeta_obs::lockorder::checks() > 0,
+        "lock-order witness saw no acquisitions across the kill/resume cycles"
+    );
 }
 
 /// Corruption drills: the newest checkpoint is damaged after the kill;

@@ -277,6 +277,10 @@ fn slowloris_thread(addr: SocketAddr, stop: Arc<AtomicBool>) -> (u64, Vec<String
 
 #[test]
 fn chaos_soak_survives_malformed_traffic_and_hot_reloads() {
+    // Force the lock-order witness on even in release mode: this gate is
+    // the dynamic counterpart of lint rule TM-L006, so a soak that never
+    // checked an acquisition would be vacuous.
+    tabmeta_obs::lockorder::set_enabled(true);
     let corpus = CorpusKind::Ckg.generate(&GeneratorConfig { n_tables: 40, seed: 7 });
     let tables = Arc::new(corpus.tables);
     let model_a = Pipeline::train(&tables, &PipelineConfig::fast_seeded(11)).expect("train A");
@@ -453,6 +457,10 @@ fn chaos_soak_survives_malformed_traffic_and_hot_reloads() {
         }
     }
     assert!(checked >= 20, "bit-identity check covered too few verdicts: {checked}");
+    assert!(
+        tabmeta_obs::lockorder::checks() > 0,
+        "lock-order witness saw no acquisitions; the soak would not catch an inversion"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
