@@ -135,7 +135,13 @@ impl Default for CentroidOptions {
 }
 
 /// Accumulators for one axis during estimation.
-struct AxisAccumulator {
+///
+/// Serializable so the streaming trainer can checkpoint the partial
+/// reduce state at every shard boundary; the sample vectors round-trip
+/// through JSON bit-exactly (the same f32 path the envelope tests pin),
+/// which is what makes kill-and-resume byte-identical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct AxisAccumulator {
     mde: RangeEstimator,
     de: RangeEstimator,
     mde_de: RangeEstimator,
@@ -153,7 +159,7 @@ struct AxisAccumulator {
 const MAX_LEVELS: usize = 5;
 
 impl AxisAccumulator {
-    fn new(dim: usize) -> Self {
+    pub(crate) fn new(dim: usize) -> Self {
         Self {
             mde: RangeEstimator::new(),
             de: RangeEstimator::new(),
@@ -170,7 +176,7 @@ impl AxisAccumulator {
         }
     }
 
-    fn observe_table(
+    pub(crate) fn observe_table(
         &mut self,
         vectors: &[Option<Vec<f32>>],
         meta_idx: &[usize],
@@ -245,7 +251,12 @@ impl AxisAccumulator {
     /// distributed-reservoir argument: an item survives shard sampling
     /// with probability `cap/seen_s` and the merge draw with probability
     /// proportional to `seen_s`, which cancels to `cap/(seen_a+seen_b)`.
-    fn merge(&mut self, mut other: AxisAccumulator, options: &CentroidOptions, rng: &mut StdRng) {
+    pub(crate) fn merge(
+        &mut self,
+        mut other: AxisAccumulator,
+        options: &CentroidOptions,
+        rng: &mut StdRng,
+    ) {
         self.mde.merge(&other.mde);
         self.de.merge(&other.de);
         self.mde_de.merge(&other.mde_de);
@@ -291,7 +302,7 @@ impl AxisAccumulator {
         self.seen_meta = seen_a + seen_b;
     }
 
-    fn finish(mut self, options: &CentroidOptions, rng: &mut StdRng) -> AxisCentroids {
+    pub(crate) fn finish(mut self, options: &CentroidOptions, rng: &mut StdRng) -> AxisCentroids {
         // Cross-table metadata pairs from the reservoir.
         if self.reservoir.len() >= 2 {
             for _ in 0..options.cross_pairs {
@@ -337,6 +348,61 @@ impl AxisAccumulator {
     }
 }
 
+/// Feed one weakly-labeled table into the row/column accumulator pair —
+/// the shared inner step of [`estimate`], [`estimate_par`], and the
+/// streaming per-shard map phase.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn observe_table_pair<E: TermEmbedder + ?Sized>(
+    rows_acc: &mut AxisAccumulator,
+    cols_acc: &mut AxisAccumulator,
+    table: &Table,
+    labels: &WeakLabels,
+    embedder: &E,
+    tokenizer: &Tokenizer,
+    options: &CentroidOptions,
+    rng: &mut StdRng,
+) {
+    let row_vecs = axis_vectors(table, Axis::Row, embedder, tokenizer);
+    rows_acc.observe_table(
+        &row_vecs,
+        &labels.metadata_indices(Axis::Row),
+        &labels.data_indices(Axis::Row),
+        options,
+        rng,
+    );
+    let col_vecs = axis_vectors(table, Axis::Column, embedder, tokenizer);
+    cols_acc.observe_table(
+        &col_vecs,
+        &labels.metadata_indices(Axis::Column),
+        &labels.data_indices(Axis::Column),
+        options,
+        rng,
+    );
+}
+
+/// Centroid map-reduce fold state at a logical shard boundary, carried
+/// by streaming-training checkpoints.
+///
+/// Holds the running folded accumulators (rows merged before columns,
+/// matching [`estimate_par`]'s fold order), the base-seed RNG position
+/// the merges advanced, and the bootstrap provenance tally that the
+/// final [`crate::pipeline::TrainSummary`] reports — everything the
+/// resumed pass cannot recompute without re-observing the shards it
+/// skips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CentroidShardResume {
+    /// Logical shards fully folded into the accumulators.
+    pub shards_done: usize,
+    /// Tables whose weak labels came from markup, over the folded shards.
+    pub markup_bootstrapped: usize,
+    /// Base-seed RNG position after `shards_done` folds.
+    pub(crate) rng: [u64; 4],
+    /// Folded row-axis accumulator.
+    pub(crate) rows: AxisAccumulator,
+    /// Folded column-axis accumulator.
+    pub(crate) cols: AxisAccumulator,
+}
+
 /// Estimate a [`CentroidModel`] from weakly-labeled tables.
 ///
 /// `tables` and `weak` must be index-aligned.
@@ -353,19 +419,13 @@ pub fn estimate<E: TermEmbedder + ?Sized>(
     let mut cols_acc = AxisAccumulator::new(dim);
     let mut rng = StdRng::seed_from_u64(options.seed);
     for (table, labels) in tables.iter().zip(weak) {
-        let row_vecs = axis_vectors(table, Axis::Row, embedder, tokenizer);
-        rows_acc.observe_table(
-            &row_vecs,
-            &labels.metadata_indices(Axis::Row),
-            &labels.data_indices(Axis::Row),
-            options,
-            &mut rng,
-        );
-        let col_vecs = axis_vectors(table, Axis::Column, embedder, tokenizer);
-        cols_acc.observe_table(
-            &col_vecs,
-            &labels.metadata_indices(Axis::Column),
-            &labels.data_indices(Axis::Column),
+        observe_table_pair(
+            &mut rows_acc,
+            &mut cols_acc,
+            table,
+            labels,
+            embedder,
+            tokenizer,
             options,
             &mut rng,
         );
@@ -409,19 +469,13 @@ pub fn estimate_par<E: TermEmbedder + Sync + ?Sized>(
             let mut cols_acc = AxisAccumulator::new(dim);
             let mut rng = StdRng::seed_from_u64(options.seed ^ (shard + 1));
             for (table, labels) in shard_tables.iter().zip(shard_weak) {
-                let row_vecs = axis_vectors(table, Axis::Row, embedder, tokenizer);
-                rows_acc.observe_table(
-                    &row_vecs,
-                    &labels.metadata_indices(Axis::Row),
-                    &labels.data_indices(Axis::Row),
-                    options,
-                    &mut rng,
-                );
-                let col_vecs = axis_vectors(table, Axis::Column, embedder, tokenizer);
-                cols_acc.observe_table(
-                    &col_vecs,
-                    &labels.metadata_indices(Axis::Column),
-                    &labels.data_indices(Axis::Column),
+                observe_table_pair(
+                    &mut rows_acc,
+                    &mut cols_acc,
+                    table,
+                    labels,
+                    embedder,
+                    tokenizer,
                     options,
                     &mut rng,
                 );

@@ -17,6 +17,7 @@
 //! names each reject with its typed reason, mirroring the corpus
 //! quarantine report from the ingestion layer.
 
+use crate::centroid::CentroidShardResume;
 use crate::finetune::FinetuneResume;
 use crate::persist::{atomic_write, decode_envelope, encode_envelope, ArtifactError};
 use crate::pipeline::AnyEmbedder;
@@ -39,6 +40,17 @@ pub enum CheckpointStage {
         /// Fine-tune loop state.
         resume: FinetuneResume,
     },
+    /// Out-of-core centroid map-reduce (streaming training only; ranks
+    /// past both in-memory stages). SGNS is complete; the partial
+    /// per-axis fold state is carried so a kill at any logical shard
+    /// boundary resumes to a byte-identical same-seed result.
+    CentroidShard {
+        /// Total SGNS pairs processed by the completed embedding stage.
+        sgns_pairs: u64,
+        /// Centroid fold state at the shard boundary (boxed: the fold
+        /// accumulators dwarf the other variants).
+        resume: Box<CentroidShardResume>,
+    },
 }
 
 impl CheckpointStage {
@@ -47,15 +59,19 @@ impl CheckpointStage {
         match self {
             CheckpointStage::Sgns(s) => (0, s.epochs_done),
             CheckpointStage::Finetune { resume, .. } => (1, resume.epochs_done),
+            CheckpointStage::CentroidShard { resume, .. } => (2, resume.shards_done),
         }
     }
 
-    /// Global epoch index (SGNS epochs count from 0, fine-tune epochs
-    /// continue after `sgns_epochs`).
+    /// Global epoch index (SGNS epochs count from 0; fine-tune epochs and
+    /// streaming centroid shards continue after `sgns_epochs`).
     pub fn global_epoch(&self, sgns_epochs: u64) -> u64 {
         match self {
             CheckpointStage::Sgns(s) => s.epochs_done as u64,
             CheckpointStage::Finetune { resume, .. } => sgns_epochs + resume.epochs_done as u64,
+            CheckpointStage::CentroidShard { resume, .. } => {
+                sgns_epochs + resume.shards_done as u64
+            }
         }
     }
 }

@@ -51,6 +51,7 @@ pub mod config;
 pub mod finetune;
 pub mod persist;
 pub mod pipeline;
+pub mod stream;
 
 pub use aggregate::{LevelVectorCache, TermInterner};
 pub use bootstrap::{BootstrapLabeler, WeakLabel, WeakLabels};
@@ -64,5 +65,11 @@ pub use classifier::{
 };
 pub use config::{EmbeddingChoice, PipelineConfig};
 pub use finetune::{FinetuneConfig, FinetuneResume};
-pub use persist::{atomic_write, load_pipeline, run_fingerprint, save_pipeline, ArtifactError};
+pub use persist::{
+    atomic_write, load_pipeline, run_fingerprint, save_pipeline, ArtifactError, StreamFingerprint,
+};
 pub use pipeline::{AnyEmbedder, Pipeline, TrainError, TrainHook, TrainSummary};
+pub use stream::{
+    train_streaming, SpillEvent, StreamBoundary, StreamHook, StreamSummary, StreamTrainError,
+    StreamTrainOptions,
+};

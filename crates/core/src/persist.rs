@@ -261,6 +261,58 @@ pub fn run_fingerprint(config: &PipelineConfig, tables: &[Table]) -> u64 {
     h.finish()
 }
 
+/// Incremental run fingerprint for the out-of-core streaming path, where
+/// the corpus is never resident and the table count is unknown until the
+/// first pass completes.
+///
+/// Folds the same per-table byte sequence as [`run_fingerprint`] but
+/// appends the table count *last* instead of first (FNV cannot splice a
+/// prefix in after the fact), so streaming fingerprints are
+/// self-consistent across passes and resumes but deliberately distinct
+/// from in-memory fingerprints — a streaming checkpoint can never be
+/// mistaken for an in-memory one. The centroid logical-shard size is
+/// folded in too: it changes the map-reduce fold structure, so two runs
+/// with different shard sizes must never share a checkpoint store.
+#[derive(Debug, Clone)]
+pub struct StreamFingerprint {
+    h: Fnv1a,
+    tables: u64,
+}
+
+impl StreamFingerprint {
+    /// Start a fingerprint over `config` (with `threads` stripped, like
+    /// [`run_fingerprint`]) and the given centroid logical-shard size.
+    pub fn new(config: &PipelineConfig, centroid_shard_tables: usize) -> Self {
+        let mut h = Fnv1a::new();
+        let mut config = config.clone();
+        config.threads = 1;
+        h.write_str(&format!("{config:?}"));
+        h.write_u64(centroid_shard_tables as u64);
+        Self { h, tables: 0 }
+    }
+
+    /// Fold one accepted table (call in corpus order).
+    pub fn fold_table(&mut self, t: &Table) {
+        self.tables += 1;
+        self.h.write_u64(t.id);
+        self.h.write_str(&t.caption);
+        self.h.write_u64(t.n_rows() as u64);
+        self.h.write_u64(t.n_cols() as u64);
+        for r in 0..t.n_rows() {
+            for c in 0..t.n_cols() {
+                self.h.write_str(&t.cell(r, c).text);
+            }
+        }
+    }
+
+    /// The fingerprint over everything folded so far.
+    pub fn finish(&self) -> u64 {
+        let mut h = self.h.clone();
+        h.write_u64(self.tables);
+        h.finish()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Envelope encode / decode.
 // ---------------------------------------------------------------------------

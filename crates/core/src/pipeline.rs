@@ -258,6 +258,17 @@ impl<'de> serde::Deserialize<'de> for Pipeline {
 }
 
 impl Pipeline {
+    /// Assemble a pipeline from already-trained parts (the streaming
+    /// trainer's exit point); starts with a cold scratch pool.
+    pub(crate) fn assemble(
+        embedder: AnyEmbedder,
+        tokenizer: Tokenizer,
+        classifier: Classifier,
+        summary: TrainSummary,
+    ) -> Self {
+        Self { embedder, tokenizer, classifier, summary, scratch_pool: ScratchPool::new() }
+    }
+
     /// Train the full pipeline on a corpus (unsupervised: only markup or
     /// positional weak labels are consumed, never ground truth).
     pub fn train(tables: &[Table], config: &PipelineConfig) -> Result<Self, TrainError> {
@@ -308,6 +319,14 @@ impl Pipeline {
                         sgns_pairs,
                         finetune: resume,
                     },
+                    CheckpointStage::CentroidShard { .. } => {
+                        return Err(TrainError::Checkpoint(ArtifactError::SchemaInvalid {
+                            detail: "checkpoint holds a streaming centroid-shard stage; \
+                                     resume it with train_streaming, not the in-memory \
+                                     trainer"
+                                .to_string(),
+                        }))
+                    }
                 }
             }
         };

@@ -37,4 +37,4 @@ pub use chargram::{CharGram, CharGramConfig};
 pub use embedder::{IntegrityFault, TermEmbedder, TunableEmbedder};
 pub use sentences::{sentences_from_tables, sentences_from_tables_par, SentenceConfig};
 pub use sgns::{EpochSink, SgnsConfig, SgnsResume};
-pub use word2vec::Word2Vec;
+pub use word2vec::{SentenceEncoder, VocabBuilder, Word2Vec};

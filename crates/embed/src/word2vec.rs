@@ -22,6 +22,74 @@ pub struct Word2Vec {
     output: Matrix,
 }
 
+/// Pass-A half of the two-pass streaming vocabulary build: feed every
+/// sentence through [`VocabBuilder::observe`] (shard by shard, dropping
+/// each shard's sentences afterwards), then [`VocabBuilder::finish`] to
+/// apply `min_count` and obtain the final [`Vocabulary`] plus the
+/// [`SentenceEncoder`] pass B uses to turn sentences into compact id
+/// lists. Observing the same sentences in the same order as the
+/// in-memory path yields an identical vocabulary — term ids are
+/// insertion-ordered, so the split into shards is invisible.
+#[derive(Debug, Default)]
+pub struct VocabBuilder {
+    counting: Vocabulary,
+}
+
+impl VocabBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count every term of one sentence.
+    pub fn observe(&mut self, sentence: &[String]) {
+        for t in sentence {
+            self.counting.add(t);
+        }
+    }
+
+    /// Number of distinct terms observed so far (pre-filter).
+    pub fn distinct_terms(&self) -> usize {
+        self.counting.len()
+    }
+
+    /// Apply `min_count` (clamped to ≥ 1), intern the numeric-class
+    /// tokens, and return the final vocabulary with its encoder.
+    pub fn finish(self, min_count: u64) -> (Vocabulary, SentenceEncoder) {
+        let (mut vocab, remap) = self.counting.filter_min_count(min_count.max(1));
+        for tok in NumericClass::all_tokens() {
+            vocab.intern(tok);
+        }
+        (vocab, SentenceEncoder { counting: self.counting, remap })
+    }
+}
+
+/// Pass-B encoder: maps term-string sentences to final vocabulary ids,
+/// dropping out-of-vocabulary terms and sentences too short to yield a
+/// skip-gram pair — exactly the encoding [`Word2Vec::train_resumable`]
+/// performs in memory.
+#[derive(Debug)]
+pub struct SentenceEncoder {
+    counting: Vocabulary,
+    remap: Vec<Option<TermId>>,
+}
+
+impl SentenceEncoder {
+    /// Encode one sentence; `None` when fewer than two terms survive
+    /// (such sentences contribute no pairs and no learning-rate decay).
+    pub fn encode(&self, sentence: &[String]) -> Option<Vec<u32>> {
+        let ids: Vec<u32> = sentence
+            .iter()
+            .filter_map(|t| self.counting.id(t).and_then(|old| self.remap[old as usize]))
+            .collect();
+        if ids.len() >= 2 {
+            Some(ids)
+        } else {
+            None
+        }
+    }
+}
+
 impl Word2Vec {
     /// Train a model from term-string sentences.
     ///
@@ -53,28 +121,33 @@ impl Word2Vec {
         sentences: &[Vec<String>],
         config: SgnsConfig,
         resume: Option<(Self, SgnsResume)>,
+        sink: Option<EpochSink<'_, Self>>,
+    ) -> (Self, TrainReport, bool) {
+        let mut builder = VocabBuilder::new();
+        for s in sentences {
+            builder.observe(s);
+        }
+        let (vocab, encoder) = builder.finish(config.min_count);
+        let encoded: Vec<Vec<u32>> = sentences.iter().filter_map(|s| encoder.encode(s)).collect();
+        Self::train_encoded_resumable(vocab, &encoded, config, resume, sink)
+    }
+
+    /// [`Word2Vec::train_resumable`] over pre-encoded sentences — the seam
+    /// the out-of-core path uses: pass A builds `vocab` via
+    /// [`VocabBuilder`], pass B encodes each shard with the returned
+    /// [`SentenceEncoder`] and accumulates only the compact id lists, then
+    /// hands them here. `vocab` is only consulted on a fresh start (a
+    /// resumed model carries its own); `encoded` must already exclude
+    /// sentences shorter than two ids, as [`SentenceEncoder::encode`]
+    /// guarantees, or the learning-rate schedule diverges from the
+    /// in-memory path.
+    pub fn train_encoded_resumable(
+        vocab: Vocabulary,
+        encoded: &[Vec<u32>],
+        config: SgnsConfig,
+        resume: Option<(Self, SgnsResume)>,
         mut sink: Option<EpochSink<'_, Self>>,
     ) -> (Self, TrainReport, bool) {
-        let mut counting = Vocabulary::new();
-        for s in sentences {
-            for t in s {
-                counting.add(t);
-            }
-        }
-        let (mut vocab, remap) = counting.filter_min_count(config.min_count.max(1));
-        for tok in NumericClass::all_tokens() {
-            vocab.intern(tok);
-        }
-        let encoded: Vec<Vec<u32>> = sentences
-            .iter()
-            .map(|s| {
-                s.iter()
-                    .filter_map(|t| counting.id(t).and_then(|old| remap[old as usize]))
-                    .collect()
-            })
-            .filter(|s: &Vec<u32>| s.len() >= 2)
-            .collect();
-
         let (mut model, state) = match resume {
             Some((model, state)) => (model, state),
             None => {
@@ -97,7 +170,7 @@ impl Word2Vec {
             // Hogwild runs the stage in one shot; per-epoch snapshots are
             // meaningless mid-flight, so the sink sees only the stage end.
             let report = SgnsTrainer::new(&config).train(
-                &encoded,
+                encoded,
                 &negatives,
                 &mut model.input,
                 &mut model.output,
@@ -123,7 +196,7 @@ impl Word2Vec {
         };
         let mut interrupted = false;
         while !trainer.is_complete() {
-            trainer.run_epoch(&encoded, &negatives, &mut model.input, &mut model.output);
+            trainer.run_epoch(encoded, &negatives, &mut model.input, &mut model.output);
             if let Some(sink) = sink.as_mut() {
                 if sink(&model, &trainer.state()).is_break() {
                     interrupted = true;

@@ -124,7 +124,10 @@ impl AngleRange {
 /// the trimmed estimate drops the configured tail mass on both sides before
 /// taking the extremes, which is what the training phase records as the
 /// corpus centroid range.
-#[derive(Debug, Clone, Default)]
+/// Serializes as its raw sample list so a partially-built estimator can
+/// ride a checkpoint (the streaming trainer persists per-shard
+/// accumulators) and resume with bit-identical state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RangeEstimator {
     samples: Vec<f32>,
 }

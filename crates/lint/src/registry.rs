@@ -255,11 +255,17 @@ pub struct ReasonFamily {
 
 /// Every typed-error reason family. Keyed by (type, method) rather than
 /// file so the rule follows the type if it moves.
-pub const REASON_FAMILIES: [ReasonFamily; 5] = [
+pub const REASON_FAMILIES: [ReasonFamily; 6] = [
     ReasonFamily {
         imp: "RejectReason",
         method: "as_str",
         prefix_ident: "INGEST_REJECTED_PREFIX",
+        exempt: &[],
+    },
+    ReasonFamily {
+        imp: "ShardFault",
+        method: "as_str",
+        prefix_ident: "SHARD_QUARANTINED_PREFIX",
         exempt: &[],
     },
     ReasonFamily {

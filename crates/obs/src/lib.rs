@@ -30,6 +30,33 @@ pub mod clock;
 pub mod lockorder;
 #[cfg(feature = "alloc-track")]
 pub mod mem;
+/// Memory-accounting stubs when the counting allocator is compiled
+/// out: [`mem::is_tracking`] reports `false` and every reading is
+/// zero, so callers (e.g. the streaming memory-budget governor) need
+/// no feature gates of their own.
+#[cfg(not(feature = "alloc-track"))]
+pub mod mem {
+    /// Always 0 without `alloc-track`.
+    pub fn current_bytes() -> u64 {
+        0
+    }
+
+    /// Always 0 without `alloc-track`.
+    pub fn peak_bytes() -> u64 {
+        0
+    }
+
+    /// No-op without `alloc-track`.
+    pub fn reset_peak() {}
+
+    /// Always `false` without `alloc-track`: readings are meaningless.
+    pub fn is_tracking() -> bool {
+        false
+    }
+
+    /// No-op without `alloc-track`.
+    pub fn publish(_registry: &crate::Registry) {}
+}
 pub mod metrics;
 pub mod names;
 pub mod span;

@@ -37,6 +37,8 @@ pub const SPAN_EPOCH: &str = "epoch";
 pub const SPAN_CLI_TRAIN: &str = "cli.train";
 /// One durable checkpoint write (serialize + envelope + atomic rename).
 pub const SPAN_CHECKPOINT_WRITE: &str = "checkpoint.write";
+/// Whole out-of-core streaming training run (all shard passes).
+pub const SPAN_STREAM_TRAIN: &str = "stream.train";
 
 // --- spans: bench harness ---------------------------------------------
 
@@ -114,6 +116,15 @@ pub const ARTIFACT_LOADED: &str = "artifact.loaded";
 /// `checksum_mismatch`, `version_unsupported`, `schema_invalid`,
 /// `non_finite_weights`, `dimension_mismatch`, `config_mismatch`, `io`).
 pub const ARTIFACT_REJECTED_PREFIX: &str = "artifact.rejected.";
+/// Shards produced by the out-of-core streaming reader (all passes).
+pub const STREAM_SHARDS: &str = "stream.shards";
+/// Budget-driven spill events: shard size was halved because the live
+/// heap exceeded the configured memory budget at a shard boundary.
+pub const STREAM_SPILLS: &str = "stream.spills";
+/// Per-fault shard quarantine family: `shard.quarantined.<fault>` where
+/// `<fault>` is a `ShardFault::as_str` value (`short_read`,
+/// `short_write`, `no_space`, `torn_rename`, `io`).
+pub const SHARD_QUARANTINED_PREFIX: &str = "shard.quarantined.";
 /// Training checkpoints durably written.
 pub const CHECKPOINT_WRITTEN: &str = "checkpoint.written";
 /// Checkpoint files quarantined during a resume scan.
@@ -123,8 +134,9 @@ pub const SERVE_REQUESTS: &str = "serve.requests";
 /// Per-reason serve rejection family: `serve.rejected.<reason>` where
 /// `<reason>` is a `Status::as_str` value (`overloaded`,
 /// `deadline_exceeded`, `bad_request`, `frame_too_large`, `slow_read`,
-/// `shutting_down`) or the wire-level tag `truncated`/`io` for
-/// connections that died before a response could be written.
+/// `shutting_down`, `internal_error`) or the wire-level tag
+/// `truncated`/`io` for connections that died before a response could
+/// be written.
 pub const SERVE_REJECTED_PREFIX: &str = "serve.rejected.";
 /// Hot model reloads that passed deep validation and were swapped in.
 pub const SERVE_RELOADS: &str = "serve.reloads";
@@ -158,6 +170,11 @@ pub const CLI_TOTAL_SECS: &str = "cli.total_secs";
 pub const CHECKPOINT_WRITE_SECS: &str = "checkpoint.write_secs";
 /// Global epoch index training resumed from (set once per resume).
 pub const CHECKPOINT_RESUMED_EPOCH: &str = "checkpoint.resumed_epoch";
+/// Effective shard row target the streaming trainer is currently using
+/// (shrinks when the memory budget forces a spill).
+pub const STREAM_SHARD_ROWS: &str = "stream.shard_rows";
+/// Configured streaming memory budget (0 when unbounded).
+pub const STREAM_BUDGET_BYTES: &str = "stream.budget_bytes";
 /// Bench harness: batch classify throughput of the most recent run.
 pub const BENCH_CLASSIFY_TABLES_PER_SEC: &str = "bench.classify.tables_per_sec";
 /// Bench harness: SGNS pair throughput of the most recent run.
@@ -322,6 +339,14 @@ pub static REGISTRY: &[MetricDef] = &[
         unit: "µs",
         stage: "train",
         doc: "One durable checkpoint write (serialize + envelope + atomic rename)",
+    },
+    MetricDef {
+        name: SPAN_STREAM_TRAIN,
+        suffix: "",
+        kind: Kind::Span,
+        unit: "µs",
+        stage: "train/stream",
+        doc: "Whole out-of-core streaming training run (all shard passes)",
     },
     // Spans — bench harness.
     MetricDef {
@@ -552,6 +577,30 @@ pub static REGISTRY: &[MetricDef] = &[
         doc: "Per-reason artifact rejections; <reason> is an ArtifactError::reason value",
     },
     MetricDef {
+        name: STREAM_SHARDS,
+        suffix: "",
+        kind: Kind::Counter,
+        unit: "shards",
+        stage: "train/stream",
+        doc: "Shards produced by the out-of-core streaming reader, all passes",
+    },
+    MetricDef {
+        name: STREAM_SPILLS,
+        suffix: "",
+        kind: Kind::Counter,
+        unit: "events",
+        stage: "train/stream",
+        doc: "Budget-driven spills: shard size halved after a budget overshoot",
+    },
+    MetricDef {
+        name: SHARD_QUARANTINED_PREFIX,
+        suffix: "<fault>",
+        kind: Kind::Counter,
+        unit: "faults",
+        stage: "train/stream",
+        doc: "Per-fault shard quarantines; <fault> is a ShardFault::as_str value",
+    },
+    MetricDef {
         name: CHECKPOINT_WRITTEN,
         suffix: "",
         kind: Kind::Counter,
@@ -687,6 +736,22 @@ pub static REGISTRY: &[MetricDef] = &[
         unit: "epoch",
         stage: "train",
         doc: "Global epoch index training resumed from (set once per resume)",
+    },
+    MetricDef {
+        name: STREAM_SHARD_ROWS,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "rows",
+        stage: "train/stream",
+        doc: "Effective shard row target; shrinks when the budget forces a spill",
+    },
+    MetricDef {
+        name: STREAM_BUDGET_BYTES,
+        suffix: "",
+        kind: Kind::Gauge,
+        unit: "bytes",
+        stage: "train/stream",
+        doc: "Configured streaming memory budget (0 when unbounded)",
     },
     MetricDef {
         name: BENCH_CLASSIFY_TABLES_PER_SEC,

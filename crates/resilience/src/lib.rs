@@ -30,9 +30,16 @@ use serde::{Deserialize, Serialize};
 use tabmeta_tabular::{Cell, LevelLabel, Table};
 
 pub mod crash;
+pub mod disk;
+pub mod shard;
 pub mod wire;
 
 pub use crash::{run_crash_recovery, CheckpointCorruption, CrashOutcome, CrashPlan};
+pub use disk::{DiskFaultKind, DiskFaultPlan, FaultyDisk};
+pub use shard::{
+    enumerate_boundaries, run_disk_fault_drills, run_shard_chaos, FaultDrillOutcome,
+    ShardChaosOutcome,
+};
 pub use wire::{RequestFaultInjector, RequestFaultPlan, WireDecision, WireFaultKind};
 
 /// One kind of injectable damage.

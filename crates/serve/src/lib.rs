@@ -12,7 +12,12 @@
 //!
 //! * **Bounded admission** — a fixed-capacity queue; a full queue means
 //!   an immediate typed `overloaded` response carrying a retry hint,
-//!   never unbounded growth.
+//!   never unbounded growth. [`retry`] is the client half: it honors
+//!   the hint with seeded-jitter bounded backoff so shed load is
+//!   retried deterministically, not dropped or resent in a herd.
+//! * **Worker panic isolation** — a panic inside classification is
+//!   caught per request; the poisoned request gets a typed
+//!   `internal_error` rejection and the worker keeps serving.
 //! * **Deadlines** — a request that waits in the queue past its deadline
 //!   is answered `deadline_exceeded`, not silently served stale.
 //! * **Slow-peer protection** — read/write socket timeouts; a peer that
@@ -41,9 +46,11 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod protocol;
+pub mod retry;
 pub mod server;
 
 pub use protocol::{Request, Response, Status, WireError};
+pub use retry::{RetryError, RetryOutcome, RetryPolicy};
 pub use server::{Client, ServeConfig, Server, ServingModel, StatsSnapshot};
 
 #[cfg(test)]
@@ -209,6 +216,39 @@ mod tests {
         assert_eq!(stats.reload_rejected, 1);
         assert!(stats.admissions_conserved(), "{stats:?}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_request_is_rejected_typed_and_worker_survives() {
+        let (pipeline, tables) = train(67);
+        let server = Server::start(
+            ServingModel { pipeline, fingerprint: 7 },
+            ServeConfig { workers: 1, ..ServeConfig::default() },
+            "127.0.0.1:0",
+            None,
+        )
+        .unwrap();
+        const POISON: u64 = 0xdead_0001;
+        server::POISON_REQUEST_ID.store(POISON, std::sync::atomic::Ordering::Relaxed);
+
+        let mut client = Client::connect(server.local_addr(), 2_000).unwrap();
+        let rejected =
+            client.call(&Request { id: POISON, tables: vec![tables[0].clone()] }).unwrap();
+        assert_eq!(rejected.parsed_status(), Some(Status::InternalError));
+        assert!(rejected.is_well_formed());
+        assert!(rejected.detail.contains("panicked"), "{}", rejected.detail);
+
+        // The sole worker caught the panic and keeps serving: the same
+        // connection gets a real classification afterwards.
+        server::POISON_REQUEST_ID.store(u64::MAX, std::sync::atomic::Ordering::Relaxed);
+        let ok = client.call(&Request { id: 8, tables: vec![tables[0].clone()] }).unwrap();
+        assert_eq!(ok.parsed_status(), Some(Status::Ok));
+        assert_eq!(ok.verdicts.len(), 1);
+
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.internal_error, 1);
+        assert_eq!(stats.ok, 1);
+        assert!(stats.admissions_conserved(), "{stats:?}");
     }
 
     #[test]

@@ -165,6 +165,9 @@ pub enum Status {
     SlowRead,
     /// Server is draining; no new requests are admitted.
     ShuttingDown,
+    /// A worker panicked while classifying this request; the worker
+    /// survives and the panic is reported as a typed rejection.
+    InternalError,
 }
 
 impl Status {
@@ -179,6 +182,7 @@ impl Status {
             Status::FrameTooLarge => "frame_too_large",
             Status::SlowRead => "slow_read",
             Status::ShuttingDown => "shutting_down",
+            Status::InternalError => "internal_error",
         }
     }
 
@@ -192,6 +196,7 @@ impl Status {
             "frame_too_large" => Status::FrameTooLarge,
             "slow_read" => Status::SlowRead,
             "shutting_down" => Status::ShuttingDown,
+            "internal_error" => Status::InternalError,
             _ => return None,
         })
     }
@@ -338,6 +343,7 @@ mod tests {
             Status::FrameTooLarge,
             Status::SlowRead,
             Status::ShuttingDown,
+            Status::InternalError,
         ] {
             assert_eq!(Status::parse(status.as_str()), Some(status));
         }

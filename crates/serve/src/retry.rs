@@ -1,0 +1,261 @@
+//! Client-side retry for shed load: honor the server's `retry_after_ms`
+//! hint on [`Status::Overloaded`] with seeded-jitter bounded backoff.
+//!
+//! The server answers a full admission queue with a typed `overloaded`
+//! rejection carrying a retry hint (see [`crate::server`]). A client
+//! that resends immediately just loses the race again and synchronizes
+//! with every other rejected client into thundering herds. This module
+//! turns the hint into a bounded, *deterministic* backoff schedule:
+//!
+//! * the wait for attempt `n` is the server's hint doubled per retry
+//!   (`hint << n`), capped at [`RetryPolicy::max_backoff_ms`];
+//! * a seeded jitter in `[0, wait/2]` de-synchronizes clients that were
+//!   rejected together — seeded, so a drill replays the same schedule;
+//! * attempts are bounded; exhaustion returns the last rejection as a
+//!   typed [`RetryError::Exhausted`], never an infinite loop.
+//!
+//! Only `overloaded` is retried. Every other rejection (`bad_request`,
+//! `deadline_exceeded`, `internal_error`, `shutting_down`, ...) is
+//! either permanent for this request or a policy decision the caller
+//! must make — blind retry would mask real failures.
+
+use crate::protocol::{Response, Status, WireError};
+use crate::server::Client;
+use crate::Request;
+
+/// Bounded, seeded backoff schedule for `overloaded` retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first; `1` disables retry.
+    pub max_attempts: u32,
+    /// Per-wait ceiling applied after doubling, before jitter.
+    pub max_backoff_ms: u64,
+    /// Seed for the jitter draw; same seed, same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 5, max_backoff_ms: 1_000, seed: 0 }
+    }
+}
+
+/// What a retried call observed on success.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryOutcome {
+    /// The final (non-`overloaded`) response.
+    pub response: Response,
+    /// How many `overloaded` rejections were absorbed before it.
+    pub retries: u32,
+    /// Total milliseconds slept across those retries.
+    pub slept_ms: u64,
+}
+
+/// Why a retried call gave up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetryError {
+    /// The transport failed; the connection is no longer usable.
+    Wire(WireError),
+    /// Every attempt was answered `overloaded`.
+    Exhausted {
+        /// Attempts made (equals the policy's `max_attempts`).
+        attempts: u32,
+        /// The last rejection, with the server's final retry hint.
+        last: Response,
+    },
+}
+
+impl std::fmt::Display for RetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetryError::Wire(e) => write!(f, "retry aborted by transport error: {e}"),
+            RetryError::Exhausted { attempts, last } => {
+                write!(
+                    f,
+                    "still overloaded after {attempts} attempts (hint {}ms)",
+                    last.retry_after_ms
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RetryError {}
+
+/// SplitMix64 — the standard tiny seed mixer; this crate is
+/// deliberately zero-dependency, so no `rand` here.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The wait before retry number `retry` (0-based), given the server's
+/// hint. Pure: `(policy, retry, hint)` always yields the same wait.
+pub fn backoff_ms(policy: &RetryPolicy, retry: u32, retry_after_ms: u64) -> u64 {
+    let hint = retry_after_ms.max(1);
+    let base = saturating_shl(hint, retry.min(20)).min(policy.max_backoff_ms.max(1));
+    let jitter_span = base / 2;
+    let jitter = if jitter_span == 0 {
+        0
+    } else {
+        splitmix64(policy.seed ^ u64::from(retry).wrapping_mul(0x9e37_79b9)) % (jitter_span + 1)
+    };
+    base + jitter
+}
+
+/// The retry loop itself, transport- and clock-agnostic: `attempt` runs
+/// one request/response exchange, `sleep` waits the given milliseconds.
+/// Extracted so tests drive it with scripted responses and a recording
+/// sleeper — no sockets, no real time.
+pub fn retry_loop(
+    policy: &RetryPolicy,
+    mut attempt: impl FnMut() -> Result<Response, WireError>,
+    mut sleep: impl FnMut(u64),
+) -> Result<RetryOutcome, RetryError> {
+    let attempts = policy.max_attempts.max(1);
+    let mut slept_ms = 0u64;
+    let mut last = None;
+    for retry in 0..attempts {
+        let response = attempt().map_err(RetryError::Wire)?;
+        if response.parsed_status() != Some(Status::Overloaded) {
+            return Ok(RetryOutcome { response, retries: retry, slept_ms });
+        }
+        if retry + 1 < attempts {
+            let wait = backoff_ms(policy, retry, response.retry_after_ms);
+            slept_ms += wait;
+            sleep(wait);
+        }
+        last = Some(response);
+    }
+    match last {
+        Some(last) => Err(RetryError::Exhausted { attempts, last }),
+        // attempts >= 1, so the loop ran and `last` is set; this arm is
+        // unreachable but keeps the function total without a panic.
+        None => Err(RetryError::Exhausted {
+            attempts,
+            last: Response::rejected(0, Status::Overloaded, String::new(), 0),
+        }),
+    }
+}
+
+impl Client {
+    /// [`Client::call`] with `overloaded` absorbed by the policy's
+    /// backoff schedule (real `thread::sleep` between attempts).
+    pub fn call_with_retry(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<RetryOutcome, RetryError> {
+        retry_loop(
+            policy,
+            || self.call(request),
+            |ms| std::thread::sleep(std::time::Duration::from_millis(ms)),
+        )
+    }
+}
+
+/// `x << shift`, pinned at `u64::MAX` instead of wrapping — a hostile
+/// `retry_after_ms` hint must not overflow the doubling.
+fn saturating_shl(x: u64, shift: u32) -> u64 {
+    if shift >= u64::BITS || x > (u64::MAX >> shift) {
+        u64::MAX
+    } else {
+        x << shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn overloaded(hint: u64) -> Response {
+        Response::rejected(1, Status::Overloaded, "queue full".into(), hint)
+    }
+
+    fn ok() -> Response {
+        Response::ok(1, 0xf, Vec::new())
+    }
+
+    #[test]
+    fn honors_hint_and_backs_off_with_bounded_seeded_jitter() {
+        let policy = RetryPolicy { max_attempts: 4, max_backoff_ms: 200, seed: 7 };
+        // Scripted exchange: overloaded ×2 with a 25ms hint, then ok.
+        let mut script = vec![Ok(ok()), Ok(overloaded(25)), Ok(overloaded(25))];
+        let mut sleeps = Vec::new();
+        let outcome = retry_loop(&policy, || script.pop().unwrap(), |ms| sleeps.push(ms)).unwrap();
+        assert_eq!(outcome.retries, 2);
+        assert_eq!(outcome.response.parsed_status(), Some(Status::Ok));
+        assert_eq!(outcome.slept_ms, sleeps.iter().sum::<u64>());
+        // Each wait honors the hint (>= hint, doubling) and the cap
+        // (+50% max jitter).
+        assert_eq!(sleeps.len(), 2);
+        assert!(sleeps[0] >= 25 && sleeps[0] <= 25 + 12, "{sleeps:?}");
+        assert!(sleeps[1] >= 50 && sleeps[1] <= 50 + 25, "{sleeps:?}");
+        // Same seed, same schedule; different seed, (here) a different
+        // draw — the jitter is seeded, not time-derived.
+        let again: Vec<u64> = (0..2).map(|r| backoff_ms(&policy, r, 25)).collect();
+        assert_eq!(again, sleeps);
+        let other = RetryPolicy { seed: 8, ..policy };
+        assert!(
+            (0..8).any(|r| backoff_ms(&other, r, 25) != backoff_ms(&policy, r, 25)),
+            "jitter must depend on the seed"
+        );
+    }
+
+    #[test]
+    fn exhaustion_is_typed_and_cap_bounds_every_wait() {
+        let policy = RetryPolicy { max_attempts: 6, max_backoff_ms: 40, seed: 3 };
+        let mut calls = 0u32;
+        let mut sleeps = Vec::new();
+        let err = retry_loop(
+            &policy,
+            || {
+                calls += 1;
+                Ok(overloaded(1_000_000))
+            },
+            |ms| sleeps.push(ms),
+        )
+        .unwrap_err();
+        match err {
+            RetryError::Exhausted { attempts, last } => {
+                assert_eq!(attempts, 6);
+                assert_eq!(last.retry_after_ms, 1_000_000);
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(calls, 6);
+        // No sleep after the final attempt, and the cap holds even for
+        // an absurd hint: wait <= cap + cap/2.
+        assert_eq!(sleeps.len(), 5);
+        assert!(sleeps.iter().all(|&ms| ms <= 40 + 20), "{sleeps:?}");
+    }
+
+    #[test]
+    fn non_overloaded_rejections_are_not_retried() {
+        let policy = RetryPolicy::default();
+        let mut calls = 0u32;
+        let outcome = retry_loop(
+            &policy,
+            || {
+                calls += 1;
+                Ok(Response::rejected(1, Status::InternalError, "worker panicked".into(), 0))
+            },
+            |_| panic!("must not sleep"),
+        )
+        .unwrap();
+        assert_eq!(calls, 1);
+        assert_eq!(outcome.retries, 0);
+        assert_eq!(outcome.response.parsed_status(), Some(Status::InternalError));
+    }
+
+    #[test]
+    fn wire_errors_abort_immediately() {
+        let policy = RetryPolicy::default();
+        let err = retry_loop(&policy, || Err(WireError::TimedOut), |_| panic!("must not sleep"))
+            .unwrap_err();
+        assert_eq!(err, RetryError::Wire(WireError::TimedOut));
+    }
+}

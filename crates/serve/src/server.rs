@@ -93,6 +93,7 @@ struct ServerStats {
     ok: AtomicU64,
     deadline_exceeded: AtomicU64,
     drained: AtomicU64,
+    internal_error: AtomicU64,
     overloaded: AtomicU64,
     bad_request: AtomicU64,
     frame_too_large: AtomicU64,
@@ -117,6 +118,7 @@ pub struct StatsSnapshot {
     pub ok: u64,
     pub deadline_exceeded: u64,
     pub drained: u64,
+    pub internal_error: u64,
     pub overloaded: u64,
     pub bad_request: u64,
     pub frame_too_large: u64,
@@ -132,10 +134,11 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
-    /// Every admitted request must be answered: classified, expired, or
-    /// drained at shutdown. Zero-drop invariant for the chaos gate.
+    /// Every admitted request must be answered: classified, expired,
+    /// drained at shutdown, or rejected after a caught worker panic.
+    /// Zero-drop invariant for the chaos gate.
     pub fn admissions_conserved(&self) -> bool {
-        self.admitted == self.ok + self.deadline_exceeded + self.drained
+        self.admitted == self.ok + self.deadline_exceeded + self.drained + self.internal_error
     }
 }
 
@@ -173,6 +176,13 @@ impl Instruments {
 fn count_rejected(reason: &str) {
     tabmeta_obs::global().counter(&format!("{}{}", names::SERVE_REJECTED_PREFIX, reason)).inc();
 }
+
+/// Test-only poison switch: a request whose id matches this value
+/// panics inside the worker's classify closure, exercising the
+/// `catch_unwind` fence without needing a genuinely panicking model
+/// (classification is designed never to panic).
+#[cfg(test)]
+pub(crate) static POISON_REQUEST_ID: AtomicU64 = AtomicU64::new(u64::MAX);
 
 struct Shared {
     config: ServeConfig,
@@ -260,9 +270,38 @@ impl Shared {
             let model = Arc::clone(&self.model.read());
             let obs = tabmeta_obs::global();
             let _span = obs.span(names::SPAN_SERVE_CLASSIFY);
-            let verdicts = model.pipeline.classify_corpus_cached(&job.request.tables);
-            self.stats.ok.fetch_add(1, Ordering::Relaxed);
-            Response::ok(job.request.id, model.fingerprint, verdicts)
+            // A panic inside classification must not take the worker
+            // down with it — the pool would shrink until no admitted
+            // request could ever be answered. Catch it and reject the
+            // one poisoned request instead.
+            let classified = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[cfg(test)]
+                if job.request.id == POISON_REQUEST_ID.load(Ordering::Relaxed) {
+                    panic!("poisoned request {} (test hook)", job.request.id);
+                }
+                model.pipeline.classify_corpus_cached(&job.request.tables)
+            }));
+            match classified {
+                Ok(verdicts) => {
+                    self.stats.ok.fetch_add(1, Ordering::Relaxed);
+                    Response::ok(job.request.id, model.fingerprint, verdicts)
+                }
+                Err(panic) => {
+                    let detail = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".to_string());
+                    self.stats.internal_error.fetch_add(1, Ordering::Relaxed);
+                    count_rejected(Status::InternalError.as_str());
+                    Response::rejected(
+                        job.request.id,
+                        Status::InternalError,
+                        format!("worker panicked during classification: {detail}"),
+                        0,
+                    )
+                }
+            }
         };
         self.instruments
             .request_micros
@@ -323,6 +362,7 @@ impl Shared {
             ok: s.ok.load(Ordering::Relaxed),
             deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
             drained: s.drained.load(Ordering::Relaxed),
+            internal_error: s.internal_error.load(Ordering::Relaxed),
             overloaded: s.overloaded.load(Ordering::Relaxed),
             bad_request: s.bad_request.load(Ordering::Relaxed),
             frame_too_large: s.frame_too_large.load(Ordering::Relaxed),

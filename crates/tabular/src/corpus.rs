@@ -284,7 +284,9 @@ impl Corpus {
 /// Parse one raw JSONL line. `Ok(None)` means a blank line (not a
 /// record); errors come back as `(reason, detail, snippet)` for the
 /// caller to wrap into strict or lossy handling.
-fn parse_jsonl_record(bytes: &[u8]) -> Result<Option<Table>, (RejectReason, String, String)> {
+pub(crate) fn parse_jsonl_record(
+    bytes: &[u8],
+) -> Result<Option<Table>, (RejectReason, String, String)> {
     let line = match std::str::from_utf8(bytes) {
         Ok(s) => s,
         Err(e) => {

@@ -22,7 +22,10 @@
 //!   persistence and structure statistics,
 //! * [`ingest`] — the typed ingestion-error taxonomy
 //!   ([`ingest::IngestError`] / [`ingest::RejectReason`]) and the
-//!   [`ingest::QuarantineReport`] produced by lossy loading.
+//!   [`ingest::QuarantineReport`] produced by lossy loading,
+//! * [`stream`] — out-of-core shard streaming over corpus directories
+//!   behind the injectable [`stream::DiskIo`] seam, with the
+//!   [`stream::ShardFault`] disk-failure taxonomy.
 
 #![forbid(unsafe_code)]
 // The data path must be panic-free on input-derived values: unwrap/
@@ -37,10 +40,12 @@ pub mod csv;
 pub mod htmlite;
 pub mod ingest;
 pub mod label;
+pub mod stream;
 pub mod table;
 
 pub use cell::{Cell, Markup};
 pub use corpus::{Corpus, CorpusStats, SplitError};
 pub use ingest::{IngestError, QuarantineReport, QuarantinedRecord, RejectReason};
 pub use label::LevelLabel;
+pub use stream::{DiskIo, RealDisk, Shard, ShardCursor, ShardFault, ShardReader, StreamOptions};
 pub use table::{Axis, Table};

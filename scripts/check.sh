@@ -79,6 +79,45 @@ TABMETA_SERVE_SOAK_SECS=30 RAYON_NUM_THREADS=1 cargo test -q --offline --release
 echo "==> serve chaos (RAYON_NUM_THREADS=4)"
 TABMETA_SERVE_SOAK_SECS=30 RAYON_NUM_THREADS=4 cargo test -q --offline --release --test serve_chaos
 
+# Shard-chaos gate (tests/shard_chaos.rs): out-of-core streaming training
+# under fire. Kills at *every* boundary the run exposes (vocab shard,
+# encode shard, SGNS epoch, centroid shard) must resume byte-identical to
+# an uninterrupted same-seed run at one thread; every seeded
+# DiskFaultPlan kind must yield typed quarantine with exact conservation
+# (accepted + quarantined == total), never a panic; budget spills and
+# double kills must converge to the same model. Run both sequential and
+# with the rayon extraction pool enabled.
+echo "==> shard chaos (RAYON_NUM_THREADS=1)"
+RAYON_NUM_THREADS=1 cargo test -q --offline --release --test shard_chaos
+echo "==> shard chaos (RAYON_NUM_THREADS=4)"
+RAYON_NUM_THREADS=4 cargo test -q --offline --release --test shard_chaos
+
+# Mem-budget assertion: stream-train a multi-file generated corpus dir
+# through the release binary — the counting allocator is live there, so
+# the budget is enforced, not advisory. Under a budget far below the
+# run's real peak the spill governor must fire at least once, the run
+# must still complete, and the streamed model must classify.
+echo "==> stream mem-budget assertion"
+STREAM_DIR="$BENCH_TMP/stream-corpus"
+mkdir -p "$STREAM_DIR"
+for kind in saus wdc cius; do
+  "$TABMETA" generate --corpus "$kind" --tables 400 --seed 2025 \
+    --out "$STREAM_DIR/$kind.jsonl" >/dev/null
+done
+for threads in 1 4; do
+  MODEL="$BENCH_TMP/streamed-$threads.tma"
+  LINE="$(RAYON_NUM_THREADS=$threads "$TABMETA" train --stream \
+    --corpus "$STREAM_DIR" --seed 2025 --shard-rows 512 \
+    --mem-budget $((4 * 1024 * 1024)) --out "$MODEL" 2>/dev/null \
+    | grep '^streamed ')"
+  SPILLS="$(sed -n 's/.* \([0-9][0-9]*\) spills.*/\1/p' <<<"$LINE")"
+  if [ -z "$SPILLS" ] || [ "$SPILLS" -eq 0 ]; then
+    echo "stream budget governor never spilled (threads=$threads): $LINE" >&2
+    exit 1
+  fi
+  "$TABMETA" classify --model "$MODEL" --corpus "$STREAM_DIR/saus.jsonl" >/dev/null
+done
+
 # Workspace-invariant static analysis (TM-L000..TM-L010, see LINTS.md):
 # unseeded RNG, raw timing outside the obs layer, unsafe without SAFETY
 # comments, metric names that bypass tabmeta_obs::names, stdout printing

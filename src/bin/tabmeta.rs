@@ -50,7 +50,7 @@ impl Args {
             };
             match name {
                 // Boolean flags.
-                "score" | "lossy" | "resume" | "deterministic-only" | "json" => {
+                "score" | "lossy" | "resume" | "deterministic-only" | "json" | "stream" => {
                     pairs.push((name.to_string(), "true".to_string()))
                 }
                 _ => {
@@ -90,7 +90,24 @@ impl Args {
 /// silently ignored.
 const COMMAND_FLAGS: &[(&str, &[&str])] = &[
     ("generate", &["corpus", "tables", "seed", "out"]),
-    ("train", &["corpus", "csv-dir", "lossy", "seed", "config", "checkpoint-dir", "resume", "out"]),
+    (
+        "train",
+        &[
+            "corpus",
+            "csv-dir",
+            "lossy",
+            "seed",
+            "config",
+            "checkpoint-dir",
+            "resume",
+            "out",
+            "stream",
+            "shard-rows",
+            "mem-budget",
+            "quarantine-dir",
+            "centroid-shard-tables",
+        ],
+    ),
     ("classify", &["model", "csv", "corpus", "lossy", "score"]),
     ("inspect", &["model"]),
     ("stats", &["corpus", "lossy"]),
@@ -213,7 +230,77 @@ fn load_corpus(path: &str, lossy: bool) -> Result<Corpus, String> {
     }
 }
 
+/// `tabmeta train --stream`: out-of-core training over a corpus
+/// *directory* of `*.jsonl` / `*.csv` files. The corpus is streamed in
+/// bounded shards (never fully resident); with `--checkpoint-dir`, a
+/// killed run resumes from the newest valid checkpoint automatically
+/// (no separate `--resume` needed — the scan always runs).
+fn cmd_train_stream(args: &Args) -> Result<(), String> {
+    use std::path::PathBuf;
+    use std::sync::Arc;
+    use tabmeta::contrastive::{train_streaming, StreamTrainOptions};
+    use tabmeta::tabular::stream::RealDisk;
+
+    let dir = args.require("corpus")?;
+    let seed = args.u64_or("seed", 42)?;
+    let out = args.require("out")?;
+    // Streaming never runs the fine-tune stage (it would need a fourth
+    // pass holding aggregated level vectors for the whole corpus).
+    let config = match args.get("config").unwrap_or("fast") {
+        "fast" => PipelineConfig::fast_seeded(seed),
+        "paper" => PipelineConfig::paper(seed),
+        other => return Err(format!("unknown --config '{other}' (fast|paper)")),
+    }
+    .without_finetune();
+    let defaults = StreamTrainOptions::default();
+    let options = StreamTrainOptions {
+        shard_rows: args.u64_or("shard-rows", defaults.shard_rows as u64)? as usize,
+        mem_budget: match args.get("mem-budget") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|_| "--mem-budget must be an integer byte count")?),
+        },
+        quarantine_dir: args.get("quarantine-dir").map(PathBuf::from),
+        centroid_shard_tables: args
+            .u64_or("centroid-shard-tables", defaults.centroid_shard_tables as u64)?
+            as usize,
+    };
+    let checkpoint_dir = args.get("checkpoint-dir").map(Path::new);
+    let (result, elapsed) = tabmeta_obs::timed(names::SPAN_CLI_TRAIN, || {
+        train_streaming(Path::new(dir), &config, &options, Arc::new(RealDisk), checkpoint_dir, None)
+    });
+    let (pipeline, summary) = result.map_err(|e| e.to_string())?;
+    tabmeta_obs::global().gauge(names::CLI_TOTAL_SECS).set(elapsed.as_secs_f64());
+    if !summary.report.is_clean() {
+        eprint!("{}", summary.report.render_text());
+    }
+    if let Some(scan) = &summary.scan {
+        if !scan.is_clean() || scan.resumed_from.is_some() {
+            eprint!("{}", scan.render_text());
+        }
+    }
+    let s = &summary.train;
+    println!(
+        "streamed {} tables ({} IO shards, {} centroid shards, {} spills) in {:.1}s: \
+         {} sentences, {} SGNS pairs, {} markup-bootstrapped",
+        summary.report.accepted,
+        summary.io_shards,
+        summary.centroid_shards,
+        summary.spills.len(),
+        elapsed.as_secs_f64(),
+        s.sentences,
+        s.sgns_pairs,
+        s.markup_bootstrapped,
+    );
+    save_pipeline(Path::new(out), &pipeline, summary.fingerprint)
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("model saved to {out}");
+    Ok(())
+}
+
 fn cmd_train(args: &Args) -> Result<(), String> {
+    if args.get("stream").is_some() {
+        return cmd_train_stream(args);
+    }
     let lossy = args.get("lossy").is_some();
     let corpus = if let Some(dir) = args.get("csv-dir") {
         let (corpus, report) = Corpus::from_csv_dir(dir, std::path::Path::new(dir))
@@ -595,20 +682,21 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     std::thread::sleep(std::time::Duration::from_secs(soak_secs));
     let stats = server.shutdown()?;
     println!(
-        "drained shutdown after {soak_secs}s: {} connections, {} admitted ({} ok, {} deadline-exceeded, {} drained), {} overloaded, {} reloads ({} rejected)",
+        "drained shutdown after {soak_secs}s: {} connections, {} admitted ({} ok, {} deadline-exceeded, {} drained, {} internal-error), {} overloaded, {} reloads ({} rejected)",
         stats.connections,
         stats.admitted,
         stats.ok,
         stats.deadline_exceeded,
         stats.drained,
+        stats.internal_error,
         stats.overloaded,
         stats.reloads,
         stats.reload_rejected,
     );
     if !stats.admissions_conserved() {
-        return Err(
-            "admission conservation violated: admitted != ok + deadline_exceeded + drained".into(),
-        );
+        return Err("admission conservation violated: admitted != ok + deadline_exceeded \
+                    + drained + internal_error"
+            .into());
     }
     Ok(())
 }
@@ -638,6 +726,9 @@ const USAGE: &str = "usage:
   tabmeta generate --corpus <name> [--tables N] [--seed S] --out corpus.jsonl
   tabmeta train    (--corpus corpus.jsonl [--lossy] | --csv-dir DIR) [--seed S] [--config fast|paper]
                    [--checkpoint-dir DIR [--resume]] --out model.tma
+  tabmeta train    --stream --corpus DIR [--shard-rows N] [--mem-budget BYTES]
+                   [--quarantine-dir DIR] [--centroid-shard-tables N]
+                   [--checkpoint-dir DIR] [--seed S] [--config fast|paper] --out model.tma
   tabmeta classify --model model.tma (--csv table.csv | --corpus corpus.jsonl [--lossy] [--score])
   tabmeta inspect  --model model.tma
   tabmeta stats    --corpus corpus.jsonl [--lossy]
@@ -665,6 +756,14 @@ const USAGE: &str = "usage:
   --checkpoint-dir: write a durable checkpoint after every training epoch;
   with --resume, continue from the newest valid checkpoint in that
   directory (corrupt ones are quarantined and reported on stderr).
+  --stream: out-of-core training over a corpus *directory* of .jsonl/.csv
+  files, streamed in shards of --shard-rows table rows; the corpus is
+  never fully resident. --mem-budget (bytes, against the counting
+  allocator) shrinks shards when exceeded instead of OOMing. Disk faults
+  quarantine records (shard.quarantined.* counters) rather than aborting.
+  Checkpoints land after every SGNS epoch and centroid shard; with
+  --checkpoint-dir a killed run resumes automatically (byte-identical to
+  an uninterrupted run at one thread). Fine-tuning is skipped.
   Models are saved as versioned, checksummed artifacts and are fully
   validated on load.
   serve: length-prefixed JSON over TCP (4-byte little-endian frame length).
@@ -775,7 +874,7 @@ mod tests {
 
     #[test]
     fn known_flags_pass_validation_per_subcommand() {
-        let boolean = ["score", "lossy", "resume", "deterministic-only", "json"];
+        let boolean = ["score", "lossy", "resume", "deterministic-only", "json", "stream"];
         for (cmd, flags) in COMMAND_FLAGS {
             let raw: Vec<String> = flags
                 .iter()
